@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bench harness implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace dynsum;
+using namespace dynsum::bench;
+using namespace dynsum::workload;
+
+HarnessOptions HarnessOptions::parse(int Argc, const char *const *Argv) {
+  CommandLine CL(Argc, Argv);
+  HarnessOptions O;
+  O.Scale = CL.getDouble("scale", O.Scale);
+  O.Budget = uint64_t(CL.getInt("budget", int64_t(O.Budget)));
+  O.Seed = uint64_t(CL.getInt("seed", 0));
+  O.Only = CL.getString("bench", "");
+  return O;
+}
+
+BenchProgram dynsum::bench::makeBenchProgram(const BenchmarkSpec &Spec,
+                                             const HarnessOptions &Opts) {
+  BenchProgram BP;
+  BP.Spec = &Spec;
+  GenOptions GO;
+  GO.Scale = Opts.Scale;
+  GO.Seed = Opts.Seed;
+  BP.Prog = generateProgram(Spec, GO);
+  BP.Built = analysis::buildPAGWithAndersenCallGraph(*BP.Prog);
+  return BP;
+}
+
+std::vector<const BenchmarkSpec *>
+dynsum::bench::selectedSpecs(const HarnessOptions &Opts) {
+  std::vector<const BenchmarkSpec *> Out;
+  for (const BenchmarkSpec &S : paperSuite())
+    if (Opts.Only.empty() || S.Name == Opts.Only)
+      Out.push_back(&S);
+  return Out;
+}
+
+std::vector<const BenchmarkSpec *> dynsum::bench::figureSpecs() {
+  return {&specByName("soot-c"), &specByName("bloat"), &specByName("jython")};
+}
+
+std::vector<clients::ClientQuery>
+dynsum::bench::clientQueries(const clients::Client &C, unsigned ClientIndex,
+                             const BenchProgram &BP,
+                             const HarnessOptions &Opts) {
+  size_t Max = scaledQueryCount(*BP.Spec, ClientIndex, Opts.Scale);
+  return C.makeQueries(*BP.Built.Graph, Max);
+}

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared setup for the table/figure reproduction benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_BENCH_HARNESS_H
+#define DYNSUM_BENCH_HARNESS_H
+
+#include "analysis/Andersen.h"
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "clients/Client.h"
+#include "support/CommandLine.h"
+#include "workload/BenchmarkSpec.h"
+#include "workload/Generator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+namespace bench {
+
+/// One generated benchmark program with its PAG.
+struct BenchProgram {
+  const workload::BenchmarkSpec *Spec = nullptr;
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+};
+
+/// Harness-wide knobs parsed from the command line:
+///   --scale=<double>   linear size factor vs the paper (default 1/32)
+///   --budget=<int>     per-query traversal budget (default 75000)
+///   --seed=<int>       extra generator seed
+///   --bench=<name>     restrict to one Table 3 program
+struct HarnessOptions {
+  double Scale = 1.0 / 32;
+  uint64_t Budget = 75000;
+  uint64_t Seed = 0;
+  std::string Only;
+
+  static HarnessOptions parse(int Argc, const char *const *Argv);
+
+  analysis::AnalysisOptions analysisOptions() const {
+    analysis::AnalysisOptions O;
+    O.BudgetPerQuery = Budget;
+    return O;
+  }
+};
+
+/// Generates \p Spec at the harness scale and builds its PAG with the
+/// Andersen-refined call graph (the paper's Spark-style setup).
+BenchProgram makeBenchProgram(const workload::BenchmarkSpec &Spec,
+                              const HarnessOptions &Opts);
+
+/// The Table 3 programs selected by --bench (all nine by default).
+std::vector<const workload::BenchmarkSpec *>
+selectedSpecs(const HarnessOptions &Opts);
+
+/// The three selected "large code base" programs of Figures 4 and 5.
+std::vector<const workload::BenchmarkSpec *> figureSpecs();
+
+/// Query stream of client \p ClientIndex (0 = SafeCast, 1 = NullDeref,
+/// 2 = FactoryM) for \p BP, truncated to the paper's scaled count.
+std::vector<clients::ClientQuery>
+clientQueries(const clients::Client &C, unsigned ClientIndex,
+              const BenchProgram &BP, const HarnessOptions &Opts);
+
+} // namespace bench
+} // namespace dynsum
+
+#endif // DYNSUM_BENCH_HARNESS_H

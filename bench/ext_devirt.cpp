@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension bench: the Devirt client (JIT devirtualization) across the
+/// Table 3 suite, NOREFINE vs REFINEPTS vs DYNSUM.
+///
+/// Not a paper table — the paper evaluates SafeCast/NullDeref/FactoryM —
+/// but the same harness applied to the JIT use case its introduction
+/// motivates.  The expected shape matches Table 4: DYNSUM answers the
+/// same queries with fewer traversal steps, and the verdict counts are
+/// identical across analyses (all three are exact up to budget).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::bench;
+using namespace dynsum::clients;
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  outs() << "=== Devirt client (extension; scale=" << Opts.Scale
+         << ", budget=" << Opts.Budget << ") ===\n\n";
+
+  PrettyTable T;
+  T.row()
+      .cell("benchmark")
+      .cell("queries")
+      .cell("NOREFINE s")
+      .cell("REFINEPTS s")
+      .cell("DYNSUM s")
+      .cell("speedup")
+      .cell("mono%");
+
+  DevirtClient Client;
+  for (const workload::BenchmarkSpec *Spec : selectedSpecs(Opts)) {
+    BenchProgram BP = makeBenchProgram(*Spec, Opts);
+    std::vector<ClientQuery> Qs = Client.makeQueries(*BP.Built.Graph, 2000);
+
+    RefinePtsAnalysis NoRefine(*BP.Built.Graph, Opts.analysisOptions(),
+                               /*Refinement=*/false);
+    RefinePtsAnalysis Refine(*BP.Built.Graph, Opts.analysisOptions());
+    DynSumAnalysis DynSum(*BP.Built.Graph, Opts.analysisOptions());
+
+    ClientReport RepNo = runClient(Client, NoRefine, Qs);
+    ClientReport RepRef = runClient(Client, Refine, Qs);
+    ClientReport RepDyn = runClient(Client, DynSum, Qs);
+
+    double Speedup =
+        RepDyn.Seconds > 0 ? RepRef.Seconds / RepDyn.Seconds : 0.0;
+    uint64_t Mono =
+        RepDyn.NumQueries ? RepDyn.Proven * 100 / RepDyn.NumQueries : 0;
+    T.row()
+        .cell(Spec->Name)
+        .cell(RepDyn.NumQueries)
+        .cell(RepNo.Seconds, 3)
+        .cell(RepRef.Seconds, 3)
+        .cell(RepDyn.Seconds, 3)
+        .cell(Speedup, 2)
+        .cell(Mono);
+  }
+  T.print(outs());
+  outs() << "\nmono% = CHA-polymorphic call sites proven monomorphic by\n"
+            "points-to (devirtualizable); the paper's Table 4 pattern —\n"
+            "DYNSUM fastest via summary reuse — should repeat here.\n";
+  return 0;
+}

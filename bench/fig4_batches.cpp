@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 4: per-batch DYNSUM time normalized to REFINEPTS
+/// for soot-c, bloat and jython, 10 batches per client.
+///
+/// The paper's curves start near (or above) 1.0 and fall as more
+/// summaries accumulate — later batches reuse earlier batches' work.
+/// We print both the time ratio and the steps ratio per batch; the
+/// steps ratio is deterministic and machine-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::bench;
+using namespace dynsum::clients;
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  constexpr unsigned kBatches = 10;
+  outs() << "=== Figure 4: per-batch DYNSUM time normalized to REFINEPTS "
+            "(10 batches), scale="
+         << Opts.Scale << " ===\n";
+
+  auto Clients = makePaperClients();
+  for (unsigned CI = 0; CI < Clients.size(); ++CI) {
+    const Client &C = *Clients[CI];
+    outs() << "\n--- Client: " << C.name()
+           << " (rows: benchmark; columns: batch 1..10; value: "
+              "DYNSUM/REFINEPTS) ---\n";
+    PrettyTable T;
+    {
+      auto &Header = T.row().cell("Benchmark").cell("metric");
+      for (unsigned B = 1; B <= kBatches; ++B)
+        Header.cell("b" + std::to_string(B));
+    }
+    for (const workload::BenchmarkSpec *Spec : figureSpecs()) {
+      BenchProgram BP = makeBenchProgram(*Spec, Opts);
+      std::vector<ClientQuery> Qs = clientQueries(C, CI, BP, Opts);
+      size_t PerBatch = Qs.size() / kBatches;
+      if (PerBatch == 0)
+        PerBatch = 1;
+
+      // Both analyses persist across batches, exactly like the paper's
+      // experiment: DYNSUM's cache warms, REFINEPTS has nothing to warm.
+      RefinePtsAnalysis Refine(*BP.Built.Graph, Opts.analysisOptions());
+      DynSumAnalysis DynSum(*BP.Built.Graph, Opts.analysisOptions());
+
+      std::vector<double> TimeRatio, StepRatio;
+      for (unsigned B = 0; B < kBatches; ++B) {
+        size_t Begin = B * PerBatch;
+        size_t End = B + 1 == kBatches ? Qs.size() : Begin + PerBatch;
+        if (Begin >= Qs.size())
+          break;
+        ClientReport RP = runClient(C, Refine, Qs, Begin, End);
+        ClientReport DS = runClient(C, DynSum, Qs, Begin, End);
+        TimeRatio.push_back(RP.Seconds > 0 ? DS.Seconds / RP.Seconds : 1.0);
+        StepRatio.push_back(RP.TotalSteps > 0
+                                ? double(DS.TotalSteps) /
+                                      double(RP.TotalSteps)
+                                : 1.0);
+      }
+      auto &TimeRow = T.row().cell(Spec->Name).cell("time");
+      for (double V : TimeRatio)
+        TimeRow.cell(V, 2);
+      auto &StepRow = T.row().cell("").cell("steps");
+      for (double V : StepRatio)
+        StepRow.cell(V, 2);
+    }
+    T.print(outs());
+  }
+  outs() << "\nExpected shape: ratios below 1.0 that tend to decrease "
+            "with the batch index as summaries accumulate.\n";
+  outs().flush();
+  return 0;
+}

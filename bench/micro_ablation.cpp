@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation study of DYNSUM's design choices (DESIGN.md section 5):
+///
+///   1. summary cache on/off — isolates the paper's central claim that
+///      *local reachability reuse* is where the speedup comes from;
+///   2. traversal budget sweep — how answer quality (unknown rate)
+///      trades against cost;
+///   3. field-depth k-limit sweep — the termination knob's effect;
+///   4. query order (client order vs reversed) — reuse robustness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+
+#include <algorithm>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::bench;
+using namespace dynsum::clients;
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  outs() << "=== Ablations (soot-c, SafeCast; scale=" << Opts.Scale
+         << ") ===\n\n";
+
+  BenchProgram BP = makeBenchProgram(workload::specByName("soot-c"), Opts);
+  SafeCastClient C;
+  std::vector<ClientQuery> Qs = clientQueries(C, 0, BP, Opts);
+
+  // 1. Cache on/off.
+  {
+    PrettyTable T;
+    T.row().cell("cache").cell("steps").cell("seconds").cell("unknown");
+    for (bool Cache : {true, false}) {
+      AnalysisOptions AO = Opts.analysisOptions();
+      AO.EnableCache = Cache;
+      DynSumAnalysis A(*BP.Built.Graph, AO);
+      ClientReport Rep = runClient(C, A, Qs);
+      T.row()
+          .cell(Cache ? "on" : "off")
+          .cell(Rep.TotalSteps)
+          .cell(Rep.Seconds, 3)
+          .cell(Rep.Unknown);
+    }
+    outs() << "-- 1. summary cache --\n";
+    T.print(outs());
+  }
+
+  // 2. Budget sweep.
+  {
+    PrettyTable T;
+    T.row().cell("budget").cell("steps").cell("proven").cell("unknown");
+    for (uint64_t Budget : {1000ull, 5000ull, 25000ull, 75000ull,
+                            300000ull}) {
+      AnalysisOptions AO = Opts.analysisOptions();
+      AO.BudgetPerQuery = Budget;
+      DynSumAnalysis A(*BP.Built.Graph, AO);
+      ClientReport Rep = runClient(C, A, Qs);
+      T.row()
+          .cell(Budget)
+          .cell(Rep.TotalSteps)
+          .cell(Rep.Proven)
+          .cell(Rep.Unknown);
+    }
+    outs() << "\n-- 2. per-query budget --\n";
+    T.print(outs());
+  }
+
+  // 3. Field-depth k-limit sweep.
+  {
+    PrettyTable T;
+    T.row().cell("maxFieldDepth").cell("steps").cell("proven").cell(
+        "unknown");
+    for (uint32_t Depth : {2u, 4u, 8u, 16u, 64u}) {
+      AnalysisOptions AO = Opts.analysisOptions();
+      AO.MaxFieldDepth = Depth;
+      DynSumAnalysis A(*BP.Built.Graph, AO);
+      ClientReport Rep = runClient(C, A, Qs);
+      T.row()
+          .cell(uint64_t(Depth))
+          .cell(Rep.TotalSteps)
+          .cell(Rep.Proven)
+          .cell(Rep.Unknown);
+    }
+    outs() << "\n-- 3. field-depth k-limit --\n";
+    T.print(outs());
+  }
+
+  // 4. Query order.
+  {
+    PrettyTable T;
+    T.row().cell("order").cell("steps").cell("summaries");
+    for (bool Reversed : {false, true}) {
+      std::vector<ClientQuery> Ordered = Qs;
+      if (Reversed)
+        std::reverse(Ordered.begin(), Ordered.end());
+      DynSumAnalysis A(*BP.Built.Graph, Opts.analysisOptions());
+      ClientReport Rep = runClient(C, A, Ordered);
+      T.row()
+          .cell(Reversed ? "reversed" : "client")
+          .cell(Rep.TotalSteps)
+          .cell(uint64_t(A.cacheSize()));
+    }
+    outs() << "\n-- 4. query order --\n";
+    T.print(outs());
+  }
+  outs().flush();
+  return 0;
+}

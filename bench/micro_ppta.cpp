@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the core machinery: PPTA
+/// summarization, DYNSUM queries (cold vs warm cache), REFINEPTS and
+/// NOREFINE queries, Andersen solving, and interned-stack operations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "ir/Parser.h"
+#include "pag/PAGBuilder.h"
+#include "support/InternedStack.h"
+#include "workload/Generator.h"
+#include "workload/PaperExample.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+
+namespace {
+
+/// Lazily built shared fixtures (benchmark registration runs before
+/// main, so build on first use, not statically).
+struct Fig2 {
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+  pag::NodeId S1 = 0, S2 = 0, RetGet = 0;
+
+  static Fig2 &get() {
+    static Fig2 F;
+    if (!F.Prog) {
+      ir::ParseResult R = ir::parseProgram(workload::figure2Source());
+      F.Prog = std::move(R.Prog);
+      F.Built = pag::buildPAG(*F.Prog);
+      for (const ir::Variable &V : F.Prog->variables()) {
+        if (V.IsGlobal)
+          continue;
+        std::string_view Name = F.Prog->names().text(V.Name);
+        std::string Method = F.Prog->describeMethod(V.Owner);
+        if (Name == "s1" && Method == "Main.main")
+          F.S1 = F.Built.Graph->nodeOfVar(V.Id);
+        if (Name == "s2" && Method == "Main.main")
+          F.S2 = F.Built.Graph->nodeOfVar(V.Id);
+        if (Name == "ret" && Method == "Vector.get")
+          F.RetGet = F.Built.Graph->nodeOfVar(V.Id);
+      }
+    }
+    return F;
+  }
+};
+
+struct GenProg {
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+  std::vector<pag::NodeId> QueryNodes;
+
+  static GenProg &get() {
+    static GenProg G;
+    if (!G.Prog) {
+      workload::GenOptions GO;
+      GO.Scale = 1.0 / 64;
+      G.Prog = workload::generateProgram(
+          workload::specByName("soot-c"), GO);
+      G.Built = analysis::buildPAGWithAndersenCallGraph(*G.Prog);
+      // Query every 37th local variable: a spread of demand targets.
+      for (size_t I = 0; I < G.Prog->variables().size(); I += 37)
+        if (!G.Prog->variables()[I].IsGlobal)
+          G.QueryNodes.push_back(G.Built.Graph->nodeOfVar(ir::VarId(I)));
+    }
+    return G;
+  }
+};
+
+void BM_PptaSummary_Figure2(benchmark::State &State) {
+  Fig2 &F = Fig2::get();
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  PptaEngine Engine(*F.Built.Graph, A.fieldStacks(), Opts.MaxFieldDepth);
+  for (auto _ : State) {
+    Budget B(Opts.BudgetPerQuery);
+    PptaSummary S;
+    Engine.compute(F.RetGet, StackPool::empty(), RsmState::S1, B, S);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_PptaSummary_Figure2);
+
+void BM_DynSumQuery_Cold(benchmark::State &State) {
+  Fig2 &F = Fig2::get();
+  AnalysisOptions Opts;
+  for (auto _ : State) {
+    DynSumAnalysis A(*F.Built.Graph, Opts); // fresh cache every round
+    benchmark::DoNotOptimize(A.query(F.S1));
+  }
+}
+BENCHMARK(BM_DynSumQuery_Cold);
+
+void BM_DynSumQuery_Warm(benchmark::State &State) {
+  Fig2 &F = Fig2::get();
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  (void)A.query(F.S1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.query(F.S2));
+}
+BENCHMARK(BM_DynSumQuery_Warm);
+
+void BM_RefinePtsQuery(benchmark::State &State) {
+  Fig2 &F = Fig2::get();
+  AnalysisOptions Opts;
+  RefinePtsAnalysis A(*F.Built.Graph, Opts);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.query(F.S1));
+}
+BENCHMARK(BM_RefinePtsQuery);
+
+void BM_NoRefineQuery(benchmark::State &State) {
+  Fig2 &F = Fig2::get();
+  AnalysisOptions Opts;
+  RefinePtsAnalysis A(*F.Built.Graph, Opts, /*Refinement=*/false);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.query(F.S1));
+}
+BENCHMARK(BM_NoRefineQuery);
+
+void BM_DynSum_GeneratedQueries(benchmark::State &State) {
+  GenProg &G = GenProg::get();
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*G.Built.Graph, Opts);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(
+        A.query(G.QueryNodes[I++ % G.QueryNodes.size()]));
+  }
+}
+BENCHMARK(BM_DynSum_GeneratedQueries);
+
+void BM_AndersenSolve(benchmark::State &State) {
+  GenProg &G = GenProg::get();
+  for (auto _ : State) {
+    AndersenAnalysis A(*G.Built.Graph);
+    A.solve();
+    benchmark::DoNotOptimize(A.propagationCount());
+  }
+}
+BENCHMARK(BM_AndersenSolve);
+
+void BM_PAGBuild(benchmark::State &State) {
+  GenProg &G = GenProg::get();
+  for (auto _ : State) {
+    pag::BuiltPAG Built = pag::buildPAG(*G.Prog);
+    benchmark::DoNotOptimize(Built.Graph->numEdges());
+  }
+}
+BENCHMARK(BM_PAGBuild);
+
+void BM_StackPool_PushPop(benchmark::State &State) {
+  StackPool Pool;
+  uint64_t Sum = 0;
+  for (auto _ : State) {
+    StackId S = StackPool::empty();
+    for (uint32_t I = 0; I < 16; ++I)
+      S = Pool.push(S, I & 7);
+    for (uint32_t I = 0; I < 16; ++I) {
+      Sum += Pool.peek(S);
+      S = Pool.pop(S);
+    }
+  }
+  benchmark::DoNotOptimize(Sum);
+}
+BENCHMARK(BM_StackPool_PushPop);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 3: benchmark statistics of the nine programs'
+/// context-sensitive PAGs — node counts per kind, edge counts per kind,
+/// locality, and per-client query counts.
+///
+/// Our programs are synthesized from the paper's published statistics
+/// (see workload/BenchmarkSpec.cpp), so this bench both *regenerates*
+/// the table at the chosen --scale and prints the paper's own numbers
+/// for side-by-side comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+
+using namespace dynsum;
+using namespace dynsum::bench;
+using namespace dynsum::clients;
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  outs() << "=== Table 3: benchmark statistics (scale=" << Opts.Scale
+         << " of the paper's sizes) ===\n\n";
+
+  PrettyTable T;
+  T.row()
+      .cell("Benchmark")
+      .cell("#Methods")
+      .cell("O")
+      .cell("V")
+      .cell("G")
+      .cell("new")
+      .cell("assign")
+      .cell("load")
+      .cell("store")
+      .cell("entry")
+      .cell("exit")
+      .cell("aglobal")
+      .cell("Locality")
+      .cell("paper")
+      .cell("Q:Cast")
+      .cell("Q:Null")
+      .cell("Q:Fact");
+
+  auto Clients = makePaperClients();
+  for (const workload::BenchmarkSpec *Spec : selectedSpecs(Opts)) {
+    BenchProgram BP = makeBenchProgram(*Spec, Opts);
+    pag::PAGStats S = BP.Built.Graph->stats();
+    auto Edge = [&](pag::EdgeKind K) {
+      return S.EdgesByKind[unsigned(K)];
+    };
+    T.row()
+        .cell(Spec->Name)
+        .cell(S.NumMethods)
+        .cell(S.NumObjects)
+        .cell(S.NumLocals)
+        .cell(S.NumGlobals)
+        .cell(Edge(pag::EdgeKind::New))
+        .cell(Edge(pag::EdgeKind::Assign))
+        .cell(Edge(pag::EdgeKind::Load))
+        .cell(Edge(pag::EdgeKind::Store))
+        .cell(Edge(pag::EdgeKind::Entry))
+        .cell(Edge(pag::EdgeKind::Exit))
+        .cell(Edge(pag::EdgeKind::AssignGlobal))
+        .cell(100.0 * S.locality(), 1)
+        .cell(Spec->LocalityPct, 1)
+        .cell(uint64_t(clientQueries(*Clients[0], 0, BP, Opts).size()))
+        .cell(uint64_t(clientQueries(*Clients[1], 1, BP, Opts).size()))
+        .cell(uint64_t(clientQueries(*Clients[2], 2, BP, Opts).size()));
+  }
+  T.print(outs());
+  outs() << "\nPaper reference (Table 3, thousands):\n";
+  PrettyTable R;
+  R.row()
+      .cell("Benchmark")
+      .cell("MethK")
+      .cell("O=newK")
+      .cell("VK")
+      .cell("assignK")
+      .cell("loadK")
+      .cell("storeK")
+      .cell("entryK")
+      .cell("exitK")
+      .cell("aglobK")
+      .cell("Locality")
+      .cell("Q:Cast")
+      .cell("Q:Null")
+      .cell("Q:Fact");
+  for (const workload::BenchmarkSpec *Spec : selectedSpecs(Opts))
+    R.row()
+        .cell(Spec->Name)
+        .cell(Spec->MethodsK, 1)
+        .cell(Spec->ObjectsK, 1)
+        .cell(Spec->VarsK, 1)
+        .cell(Spec->AssignK, 1)
+        .cell(Spec->LoadK, 1)
+        .cell(Spec->StoreK, 1)
+        .cell(Spec->EntryK, 1)
+        .cell(Spec->ExitK, 1)
+        .cell(Spec->AssignGlobalK, 1)
+        .cell(Spec->LocalityPct, 1)
+        .cell(uint64_t(Spec->QuerySafeCast))
+        .cell(uint64_t(Spec->QueryNullDeref))
+        .cell(uint64_t(Spec->QueryFactoryM));
+  R.print(outs());
+  outs().flush();
+  return 0;
+}

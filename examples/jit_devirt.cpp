@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Example: a JIT-style devirtualization pass driven by demand queries.
+///
+/// The paper motivates demand-driven analysis with "environments with
+/// small time budgets, such as just-in-time (JIT) compilers".  This
+/// example plays the JIT: for every virtual call site that CHA cannot
+/// devirtualize, it asks DYNSUM for the receiver's points-to set under a
+/// small budget and reports which sites become inlinable.
+///
+/// Run: build/examples/jit_devirt
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DynSum.h"
+#include "clients/Client.h"
+#include "frontend/Frontend.h"
+#include "pag/PAGBuilder.h"
+#include "support/OStream.h"
+
+using namespace dynsum;
+
+namespace {
+
+/// A rendering pipeline: the Renderer hierarchy is polymorphic to CHA,
+/// but most pipelines are constructed with exactly one renderer.
+const char *kSource = R"(
+  class Surface {}
+
+  class Renderer {
+    Surface target;
+    Surface draw() { return this.target; }
+  }
+  class GlRenderer extends Renderer {
+    Surface draw() { return this.target; }
+  }
+  class SoftwareRenderer extends Renderer {
+    Surface draw() { return this.target; }
+  }
+
+  class Pipeline {
+    Renderer renderer;
+    Pipeline(Renderer r) { this.renderer = r; }
+    Surface frame() {
+      Renderer r = this.renderer;
+      return r.draw();
+    }
+  }
+
+  class Main {
+    static Renderer pickAtRuntime(Renderer a, Renderer b) {
+      if (true) { return a; }
+      return b;
+    }
+    static void main() {
+      // A hot, monomorphic call: CHA sees three draw() implementations,
+      // but the receiver set is the singleton {GlRenderer}.
+      Renderer solo = new GlRenderer();
+      Surface s0 = solo.draw();
+
+      // Two pipelines sharing Pipeline.frame(): the call inside frame()
+      // merges both pipelines' renderers when queried context-freely.
+      Pipeline gl = new Pipeline(new GlRenderer());
+      Surface s1 = gl.frame();
+      Pipeline sw = new Pipeline(new SoftwareRenderer());
+      Surface s2 = sw.frame();
+
+      // A genuinely polymorphic call the JIT must leave virtual.
+      Renderer dyn = Main.pickAtRuntime(new GlRenderer(),
+                                        new SoftwareRenderer());
+      Surface s3 = dyn.draw();
+    }
+  }
+)";
+
+} // namespace
+
+int main() {
+  frontend::CompileResult Compiled = frontend::compileMiniJava(kSource);
+  if (!Compiled.ok()) {
+    errs() << "compilation failed:\n" << Compiled.Diags.str() << '\n';
+    return 1;
+  }
+  const ir::Program &P = *Compiled.Prog;
+  pag::BuiltPAG Built = pag::buildPAG(P);
+
+  // A JIT works under a small budget; 2,000 edges is plenty here and
+  // guarantees bounded compile-time overhead.
+  analysis::AnalysisOptions Opts;
+  Opts.BudgetPerQuery = 2000;
+  analysis::DynSumAnalysis DynSum(*Built.Graph, Opts);
+
+  clients::DevirtClient Devirt;
+  std::vector<clients::ClientQuery> Sites = Devirt.makeQueries(*Built.Graph, 0);
+  outs() << "CHA left " << uint64_t(Sites.size())
+         << " polymorphic call sites; querying DYNSUM:\n\n";
+
+  unsigned Inlined = 0;
+  for (const clients::ClientQuery &Q : Sites) {
+    analysis::QueryResult R = DynSum.query(Q.Node);
+    const ir::CallSite &Site = P.callSite(Q.Site);
+    outs() << "  call site in " << P.describeMethod(Site.Caller) << " (line "
+           << Site.Label << "): ";
+    switch (Devirt.judge(*Built.Graph, Q, R)) {
+    case clients::Verdict::Proven: {
+      auto Targets = clients::DevirtClient::dispatchTargets(*Built.Graph, Q, R);
+      outs() << "DEVIRTUALIZE -> "
+             << (Targets.empty() ? std::string("<unreachable>")
+                                 : P.describeMethod(Targets[0]))
+             << " (" << R.Steps << " steps)\n";
+      ++Inlined;
+      break;
+    }
+    case clients::Verdict::Refuted:
+      outs() << "stays virtual (receiver set is polymorphic)\n";
+      break;
+    case clients::Verdict::Unknown:
+      outs() << "stays virtual (budget exhausted)\n";
+      break;
+    }
+  }
+
+  outs() << '\n'
+         << Inlined << " of " << uint64_t(Sites.size())
+         << " sites devirtualized; summary cache holds "
+         << uint64_t(DynSum.cacheSize())
+         << " reusable method summaries for the next compilation.\n\n"
+         << "Note how the call inside the *shared* Pipeline.frame stays\n"
+            "virtual: a context-free receiver query merges every\n"
+            "pipeline's renderer.  Specializing it would need one query\n"
+            "per calling context, which is exactly the per-context\n"
+            "traversal DYNSUM's summaries make cheap.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Example: the full MiniJava pipeline — compile Java-like source down
+/// to the pointer IR, build the PAG, and answer demand queries with
+/// DYNSUM, watching the summary cache grow and get reused.
+///
+/// Run: build/examples/minijava_pipeline
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DynSum.h"
+#include "frontend/Frontend.h"
+#include "ir/Printer.h"
+#include "pag/PAGBuilder.h"
+#include "support/OStream.h"
+
+using namespace dynsum;
+
+namespace {
+
+/// An event-listener registry: handlers are stored in a shared list and
+/// dispatched virtually — a miniature of the workloads that make
+/// context-sensitive points-to analysis interesting.
+const char *kSource = R"(
+  class Event {
+    Object payload;
+    Event(Object p) { this.payload = p; }
+  }
+
+  class Handler {
+    Object handle(Event e) { return e.payload; }
+  }
+
+  class LoggingHandler extends Handler {
+    Object sink;
+    LoggingHandler(Object s) { this.sink = s; }
+    Object handle(Event e) { return this.sink; }
+  }
+
+  class Bus {
+    Handler[] handlers;
+    int count;
+    Bus() { this.handlers = new Handler[4]; }
+    void subscribe(Handler h) { this.handlers[this.count] = h; }
+    Object publish(Event e) {
+      Handler h = this.handlers[0];
+      return h.handle(e);
+    }
+  }
+
+  class Main {
+    static void main() {
+      Object secret = new Object();
+      Object logFile = new Object();
+
+      Bus plainBus = new Bus();
+      plainBus.subscribe(new Handler());
+      Object fromPlain = plainBus.publish(new Event(secret));
+
+      Bus logBus = new Bus();
+      logBus.subscribe(new LoggingHandler(logFile));
+      Object fromLog = logBus.publish(new Event(secret));
+    }
+  }
+)";
+
+pag::NodeId varNode(const ir::Program &P, const pag::PAG &G,
+                    std::string_view Cls, std::string_view Method,
+                    std::string_view Var) {
+  ir::TypeId T = P.findClass(P.names().lookup(Cls));
+  ir::MethodId M = P.findMethod(T, P.names().lookup(Method));
+  Symbol N = P.names().lookup(Var);
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Owner == M && V.Name == N)
+      return G.nodeOfVar(V.Id);
+  return 0;
+}
+
+void report(const ir::Program &P, const char *Var,
+            const analysis::QueryResult &R, size_t CacheBefore,
+            size_t CacheAfter) {
+  outs() << "  pts(" << Var << ") = {";
+  bool First = true;
+  for (ir::AllocId A : R.allocSites()) {
+    if (!First)
+      outs() << ", ";
+    First = false;
+    outs() << P.describeAlloc(A);
+  }
+  outs() << "}  [" << R.Steps << " steps, cache " << uint64_t(CacheBefore)
+         << " -> " << uint64_t(CacheAfter) << " summaries]\n";
+}
+
+} // namespace
+
+int main() {
+  // 1. Compile MiniJava source to the pointer IR.
+  frontend::CompileResult Compiled = frontend::compileMiniJava(kSource);
+  if (!Compiled.ok()) {
+    errs() << "compilation failed:\n" << Compiled.Diags.str() << '\n';
+    return 1;
+  }
+  const ir::Program &P = *Compiled.Prog;
+  outs() << "compiled " << uint64_t(P.methods().size()) << " methods, "
+         << uint64_t(P.allocs().size()) << " allocation sites\n";
+
+  // 2. Build the PAG (CHA call graph, recursion collapsed).
+  pag::BuiltPAG Built = pag::buildPAG(P);
+  outs() << "PAG: " << uint64_t(Built.Graph->numNodes()) << " nodes\n\n";
+
+  // 3. Demand queries with DYNSUM.
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(*Built.Graph, Opts);
+
+  outs() << "DYNSUM demand queries:\n";
+  for (const char *Var : {"secret", "fromPlain", "fromLog"}) {
+    size_t Before = DynSum.cacheSize();
+    analysis::QueryResult R =
+        DynSum.query(varNode(P, *Built.Graph, "Main", "main", Var));
+    report(P, Var, R, Before, DynSum.cacheSize());
+  }
+
+  outs() << "\nThe second publish() query reuses the Bus/Handler summaries\n"
+            "computed for the first one — the paper's local reachability\n"
+            "reuse across different calling contexts.\n";
+  return 0;
+}

@@ -1,0 +1,203 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Andersen solver implementation.
+///
+/// The solver works on an extended node space: every PAG variable node,
+/// plus one node per (object, field) pair touched by a load or store.
+/// Assign-like PAG edges (assign, assignglobal, entry, exit) become
+/// static copy edges.  Loads and stores add dynamic copy edges as
+/// objects reach base variables, the textbook worklist formulation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::pag;
+
+AndersenAnalysis::AndersenAnalysis(const PAG &G)
+    : Graph(G), NumAllocs(G.program().allocs().size()) {}
+
+uint32_t AndersenAnalysis::fieldNode(ir::AllocId A, ir::FieldId F) {
+  uint64_t Key = packPair(A, F);
+  auto It = FieldNodes.find(Key);
+  if (It != FieldNodes.end())
+    return It->second;
+  uint32_t Id = uint32_t(Pts.size());
+  Pts.emplace_back(NumAllocs);
+  CopySucc.emplace_back();
+  FieldNodes.emplace(Key, Id);
+  FieldNodeKeys.emplace_back(A, F);
+  return Id;
+}
+
+bool AndersenAnalysis::addCopy(uint32_t Src, uint32_t Dst) {
+  // Linear duplicate check is fine: fan-outs stay small and this runs
+  // once per (object, access) discovery.
+  for (uint32_t Existing : CopySucc[Src])
+    if (Existing == Dst)
+      return false;
+  CopySucc[Src].push_back(Dst);
+  return true;
+}
+
+void AndersenAnalysis::solve() {
+  if (Solved)
+    return;
+  Solved = true;
+
+  size_t NumVars = Graph.numNodes();
+  Pts.assign(NumVars, BitVector(NumAllocs));
+  CopySucc.assign(NumVars, {});
+
+  // Split the PAG into the solver's edge classes once.
+  struct Access {
+    uint32_t Base;
+    uint32_t Other; // load destination / store source
+    ir::FieldId F;
+  };
+  std::vector<std::vector<Access>> LoadsAt(NumVars), StoresAt(NumVars);
+
+  std::deque<uint32_t> Worklist;
+  BitVector InList(NumVars);
+  auto Enqueue = [&](uint32_t N) {
+    if (N < NumVars) {
+      if (!InList.set(N))
+        return;
+    }
+    Worklist.push_back(N);
+  };
+
+  for (EdgeId Id = 0; Id < Graph.numEdges(); ++Id) {
+    const Edge &E = Graph.edge(Id);
+    switch (E.Kind) {
+    case EdgeKind::New:
+      Pts[E.Dst].set(Graph.allocOf(E.Src));
+      Enqueue(E.Dst);
+      break;
+    case EdgeKind::Assign:
+    case EdgeKind::AssignGlobal:
+    case EdgeKind::Entry:
+    case EdgeKind::Exit:
+      addCopy(E.Src, E.Dst);
+      break;
+    case EdgeKind::Load:
+      // base --load(f)--> dst
+      LoadsAt[E.Src].push_back(Access{E.Src, E.Dst, E.Aux});
+      break;
+    case EdgeKind::Store:
+      // src --store(f)--> base
+      StoresAt[E.Dst].push_back(Access{E.Dst, E.Src, E.Aux});
+      break;
+    }
+  }
+
+  // InList is sized for variable nodes only; field nodes always enqueue.
+  while (!Worklist.empty()) {
+    uint32_t N = Worklist.front();
+    Worklist.pop_front();
+    if (N < NumVars)
+      InList.reset(N);
+    ++Propagations;
+
+    // Discover dynamic copies induced by field accesses on N's objects.
+    if (N < NumVars) {
+      for (size_t A = 0; A < NumAllocs; ++A) {
+        if (!Pts[N].test(A))
+          continue;
+        for (const Access &L : LoadsAt[N]) {
+          uint32_t FN = fieldNode(ir::AllocId(A), L.F);
+          if (addCopy(FN, L.Other))
+            Enqueue(FN);
+        }
+        for (const Access &S : StoresAt[N]) {
+          uint32_t FN = fieldNode(ir::AllocId(A), S.F);
+          if (addCopy(S.Other, FN))
+            Enqueue(S.Other);
+        }
+      }
+    }
+
+    // Propagate N's set over its copy successors.
+    for (uint32_t Succ : CopySucc[N]) {
+      if (Pts[Succ].size() != Pts[N].size())
+        Pts[Succ].resize(NumAllocs); // defensive; sizes always match
+      if (Pts[Succ].orInPlace(Pts[N]))
+        Enqueue(Succ);
+    }
+  }
+}
+
+std::vector<ir::AllocId> AndersenAnalysis::allocSites(NodeId V) const {
+  assert(Solved && "query before solve()");
+  std::vector<ir::AllocId> Out;
+  for (size_t A = 0; A < NumAllocs; ++A)
+    if (Pts[V].test(A))
+      Out.push_back(ir::AllocId(A));
+  return Out;
+}
+
+bool AndersenAnalysis::pointsTo(NodeId V, ir::AllocId A) const {
+  assert(Solved && "query before solve()");
+  return Pts[V].test(A);
+}
+
+std::vector<ir::AllocId>
+AndersenAnalysis::fieldAllocSites(ir::AllocId A, ir::FieldId F) const {
+  assert(Solved && "query before solve()");
+  auto It = FieldNodes.find(packPair(A, F));
+  std::vector<ir::AllocId> Out;
+  if (It == FieldNodes.end())
+    return Out;
+  for (size_t O = 0; O < NumAllocs; ++O)
+    if (Pts[It->second].test(O))
+      Out.push_back(ir::AllocId(O));
+  return Out;
+}
+
+std::vector<ir::MethodId>
+AndersenTargetResolver::resolve(const ir::Program &P, ir::MethodId Caller,
+                                const ir::Statement &S) const {
+  assert(S.Kind == ir::StmtKind::Call && S.IsVirtual && "not a virtual call");
+  std::vector<ir::MethodId> Targets;
+  NodeId Recv = Graph.nodeOfVar(S.Base);
+  for (ir::AllocId A : Andersen.allocSites(Recv)) {
+    const ir::AllocSite &Site = P.alloc(A);
+    if (Site.IsNull)
+      continue; // calls on null do not dispatch
+    ir::MethodId M = P.dispatch(Site.Type, S.VirtualName);
+    if (M != ir::kNone &&
+        std::find(Targets.begin(), Targets.end(), M) == Targets.end())
+      Targets.push_back(M);
+  }
+  if (Targets.empty()) {
+    // Receiver has no points-to info (dead code or library stubs); fall
+    // back to CHA so the PAG stays sound.
+    return TargetResolver::resolve(P, Caller, S);
+  }
+  std::sort(Targets.begin(), Targets.end());
+  return Targets;
+}
+
+BuiltPAG dynsum::analysis::buildPAGWithAndersenCallGraph(const ir::Program &P,
+                                                         unsigned Rounds) {
+  BuiltPAG Built = buildPAG(P); // CHA first
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    AndersenAnalysis Andersen(*Built.Graph);
+    Andersen.solve();
+    AndersenTargetResolver Resolver(Andersen, *Built.Graph);
+    BuiltPAG Refined = buildPAG(P, &Resolver);
+    bool Same = Refined.Graph->numEdges() == Built.Graph->numEdges();
+    Built = std::move(Refined);
+    if (Same)
+      break; // call graph stabilized
+  }
+  return Built;
+}

@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Out-of-line virtual anchor for DemandAnalysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DemandAnalysis.h"
+
+#include <algorithm>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+
+DemandAnalysis::~DemandAnalysis() = default;
+
+bool DemandAnalysis::mayAlias(pag::NodeId A, pag::NodeId B) {
+  if (A == B)
+    return true;
+  QueryResult RA = query(A);
+  QueryResult RB = query(B);
+  if (RA.BudgetExceeded || RB.BudgetExceeded)
+    return true; // no proof of disjointness within budget
+  // Both target lists are canonical (sorted, unique); a linear merge
+  // finds any common allocation site.  Contexts are intentionally
+  // ignored: (o, c1) and (o, c2) name the same run-time objects when
+  // c1 and c2 describe overlapping concrete stacks, which cannot be
+  // decided from the abstractions alone.
+  std::vector<ir::AllocId> SA = RA.allocSites(), SB = RB.allocSites();
+  std::vector<ir::AllocId> Common;
+  std::set_intersection(SA.begin(), SA.end(), SB.begin(), SB.end(),
+                        std::back_inserter(Common));
+  return !Common.empty();
+}

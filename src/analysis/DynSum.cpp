@@ -1,0 +1,423 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DYNSUM implementation: Algorithm 3 (PPTA) and Algorithm 4 (worklist).
+///
+/// The paper's listings write PAG edges in flowsTo-bar orientation; the
+/// comments below map every listing line onto the storage orientation
+/// pinned in PAG.h:
+///
+///   listing "a --l--> b"  ==  PAG edge "b --l--> a"
+///
+/// so S1 (flowsTo-bar) rules read a node's IN edges, S2 (flowsTo) rules
+/// read OUT edges, except the two "-bar" field rules called out inline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DynSum.h"
+
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::pag;
+
+uint64_t dynsum::analysis::packSummaryKey(NodeId Node, StackId Fields,
+                                          RsmState S) {
+  assert(Fields.Id < (1u << 31) && "field-stack id overflow");
+  return (uint64_t(Fields.Id) << 33) | (uint64_t(Node) << 1) |
+         uint64_t(S == RsmState::S2);
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm 3: DSPOINTSTO
+//===----------------------------------------------------------------------===//
+
+bool PptaEngine::compute(NodeId V, StackId F, RsmState S, Budget &Bgt,
+                         PptaSummary &Summary) {
+  B = &Bgt;
+  Out = &Summary;
+  Complete = true;
+  Visited.clear();
+  visit(V, F, S);
+  return Complete;
+}
+
+void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
+  // Lines 1-3: visited check on (v, f, s).
+  if (!Visited.insert(packSummaryKey(V, F, S)).second)
+    return;
+  if (B->exceeded()) {
+    Complete = false;
+    return;
+  }
+
+  const Node &Nd = Graph.node(V);
+
+  if (S == RsmState::S1) {
+    // ---- S1: walking a flowsTo-bar path (lines 5-16). ----
+    for (EdgeId EId : Graph.inEdges(V)) {
+      const Edge &E = Graph.edge(EId);
+      switch (E.Kind) {
+      case EdgeKind::New:
+        // Lines 6-10.  o --new--> v.  With an empty field stack the
+        // object is a result; otherwise flip to S2 at v ("new new-bar")
+        // to look for aliases of v.
+        if (!B->consume()) {
+          Complete = false;
+          return;
+        }
+        if (F.isEmpty())
+          Out->Objects.push_back(Graph.allocOf(E.Src));
+        else
+          visit(V, F, RsmState::S2);
+        break;
+      case EdgeKind::Assign:
+        // Lines 11-12.  x --assign--> v: continue backwards at x.
+        if (!B->consume()) {
+          Complete = false;
+          return;
+        }
+        visit(E.Src, F, RsmState::S1);
+        break;
+      case EdgeKind::Load:
+        // Lines 13-14.  base --load(g)--> v (v = base.g): push g and
+        // continue backwards at the base.
+        if (!B->consume()) {
+          Complete = false;
+          return;
+        }
+        // k-limit the pending-field stack: cyclic stores/loads can grow
+        // it without bound (e.g. a circular list).  Pruning the branch
+        // is the same under-approximation as the visited-flag cycle
+        // cutting REFINEPTS inherits from [15]; access paths deeper
+        // than the cap do not occur in realistic code.
+        if (FieldStacks.depth(F) >= MaxFieldDepth) {
+          ++DepthPrunes;
+          break;
+        }
+        visit(E.Src, FieldStacks.push(F, encodeLoadBarField(E.Aux)),
+              RsmState::S1);
+        break;
+      default:
+        break; // global edges terminate PPTA below; stores irrelevant
+      }
+      if (B->exceeded()) {
+        Complete = false;
+        return;
+      }
+    }
+    // Lines 15-16: a global edge flows into v — record the boundary
+    // state for Algorithm 4.
+    if (Nd.HasGlobalIn)
+      Out->Tuples.push_back(PptaTuple{V, F, RsmState::S1});
+    return;
+  }
+
+  // ---- S2: walking a flowsTo path (lines 17-29). ----
+  for (EdgeId EId : Graph.outEdges(V)) {
+    const Edge &E = Graph.edge(EId);
+    switch (E.Kind) {
+    case EdgeKind::Load:
+      // Lines 18-20.  v --load(g)--> x (x = v.g): the tracked object
+      // sits in v's field g; the load transfers it to x.  Only a field
+      // pushed by a *store* (the object really went into .g) may be
+      // popped here; see encodeLoadBarField's comment.
+      if (F.isEmpty() || FieldStacks.peek(F) != encodeStoreField(E.Aux))
+        break;
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      visit(E.Dst, FieldStacks.pop(F), RsmState::S2);
+      break;
+    case EdgeKind::Assign:
+      // Lines 21-22.  v --assign--> x: flow forwards.
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      visit(E.Dst, F, RsmState::S2);
+      break;
+    case EdgeKind::Store:
+      // Lines 23-24.  v --store(g)--> base (base.g = v): the object is
+      // stored into base.g; push g and look for aliases of the base by
+      // walking flowsTo-bar (S1) from it.
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      if (FieldStacks.depth(F) >= MaxFieldDepth) {
+        ++DepthPrunes; // see the S1 load case for the rationale
+        break;
+      }
+      visit(E.Dst, FieldStacks.push(F, encodeStoreField(E.Aux)),
+            RsmState::S1);
+      break;
+    default:
+      break;
+    }
+    if (B->exceeded()) {
+      Complete = false;
+      return;
+    }
+  }
+  // Lines 25-27.  value --store(g)--> v (v.g = value): v is the base of
+  // a store matching the pending field g; the tracked alias's field g
+  // holds whatever "value" held — continue backwards (S1) from it.
+  // Only a field pushed by a load-bar (an unresolved ".g read") may be
+  // popped by a store-bar; see encodeLoadBarField's comment.
+  if (!F.isEmpty()) {
+    for (EdgeId EId : Graph.inEdges(V)) {
+      const Edge &E = Graph.edge(EId);
+      if (E.Kind != EdgeKind::Store ||
+          encodeLoadBarField(E.Aux) != FieldStacks.peek(F))
+        continue;
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      visit(E.Src, FieldStacks.pop(F), RsmState::S1);
+      if (B->exceeded()) {
+        Complete = false;
+        return;
+      }
+    }
+  }
+  // Lines 28-29: a global edge flows out of v — boundary state.
+  if (Nd.HasGlobalOut)
+    Out->Tuples.push_back(PptaTuple{V, F, RsmState::S2});
+}
+
+//===----------------------------------------------------------------------===//
+// Algorithm 4: the DYNSUM worklist
+//===----------------------------------------------------------------------===//
+
+const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
+                                              RsmState S, Budget &B,
+                                              bool &UsedCache) {
+  UsedCache = false;
+  uint64_t Key = packSummaryKey(U, F, S);
+
+  // Section 4.3: skip the PPTA when u has no local edges — the node
+  // itself is the only boundary state.
+  if (!Graph.node(U).HasLocalEdge) {
+    auto It = TrivialSummaries.find(Key);
+    if (It != TrivialSummaries.end())
+      return &It->second;
+    PptaSummary Trivial;
+    Trivial.Tuples.push_back(PptaTuple{U, F, S});
+    return &TrivialSummaries.emplace(Key, std::move(Trivial)).first->second;
+  }
+
+  if (Opts.EnableCache) {
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      UsedCache = true;
+      Stats.add("dynsum.cacheHits");
+      return &It->second;
+    }
+  }
+
+  // Lines 8-9: compute and (when complete) memoize the summary.
+  PptaSummary Fresh;
+  bool IsComplete = Engine.compute(U, F, S, B, Fresh);
+  Stats.add("dynsum.pptaComputed");
+  if (!IsComplete)
+    return nullptr;
+  if (!Opts.EnableCache) {
+    // Uncached mode (ablation): stash in the trivial map keyed the same
+    // way so the pointer stays valid for this query.
+    return &TrivialSummaries
+                .insert_or_assign(Key, std::move(Fresh))
+                .first->second;
+  }
+  return &Cache.emplace(Key, std::move(Fresh)).first->second;
+}
+
+QueryResult DynSumAnalysis::query(NodeId V,
+                                  const ClientPredicate &SatisfyClient) {
+  (void)SatisfyClient; // DYNSUM computes full precision directly
+  assert(!Graph.isObject(V) && "points-to query on an object node");
+
+  Budget B(Opts.BudgetPerQuery);
+  QueryResult Result;
+  std::unordered_set<uint64_t> Pts; // packed (alloc, ctx)
+
+  // Worklist de-dup: summary key -> context ids already enqueued.
+  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> Enqueued;
+  struct Item {
+    NodeId Node;
+    StackId Fields;
+    RsmState State;
+    StackId Ctx;
+  };
+  std::deque<Item> Work;
+
+  auto Propagate = [&](NodeId N, StackId F, RsmState S, StackId C) {
+    if (Enqueued[packSummaryKey(N, F, S)].insert(C.Id).second)
+      Work.push_back(Item{N, F, S, C});
+  };
+
+  // Line 2: initial state (v, empty fields, S1, empty context).
+  Propagate(V, StackPool::empty(), RsmState::S1, StackPool::empty());
+
+  while (!Work.empty() && !B.exceeded()) {
+    Item It = Work.front();
+    Work.pop_front();
+    Stats.add("dynsum.worklistPops");
+
+    bool UsedCache = false;
+    const PptaSummary *Summary =
+        getSummary(It.Node, It.Fields, It.State, B, UsedCache);
+    if (Summary == nullptr) {
+      Result.BudgetExceeded = true;
+      break;
+    }
+
+    // Lines 10-11: objects found by the summary materialize under the
+    // *current* context — this is exactly why summaries are reusable
+    // across contexts.
+    for (ir::AllocId A : Summary->Objects)
+      Pts.insert(packPair(A, It.Ctx.Id));
+
+    // Lines 12-28: cross global edges from every boundary tuple.
+    for (const PptaTuple &T : Summary->Tuples) {
+      if (T.State == RsmState::S1) {
+        for (EdgeId EId : Graph.inEdges(T.Node)) {
+          const Edge &E = Graph.edge(EId);
+          switch (E.Kind) {
+          case EdgeKind::Exit:
+            // Lines 14-15: backwards into the callee pushes the site.
+            if (!B.consume())
+              break;
+            Propagate(E.Src, T.Fields, RsmState::S1,
+                      E.ContextFree ? It.Ctx : Contexts.push(It.Ctx, E.Aux));
+            break;
+          case EdgeKind::Entry:
+            // Lines 16-18: backwards to the caller pops on match or
+            // from the unbalanced empty stack.
+            if (E.ContextFree) {
+              if (B.consume())
+                Propagate(E.Src, T.Fields, RsmState::S1, It.Ctx);
+            } else if (It.Ctx.isEmpty()) {
+              if (B.consume())
+                Propagate(E.Src, T.Fields, RsmState::S1,
+                          StackPool::empty());
+            } else if (Contexts.peek(It.Ctx) == E.Aux) {
+              if (B.consume())
+                Propagate(E.Src, T.Fields, RsmState::S1,
+                          Contexts.pop(It.Ctx));
+            }
+            break;
+          case EdgeKind::AssignGlobal:
+            // Lines 19-20: globals clear the context.
+            if (B.consume())
+              Propagate(E.Src, T.Fields, RsmState::S1, StackPool::empty());
+            break;
+          default:
+            break;
+          }
+        }
+      } else {
+        for (EdgeId EId : Graph.outEdges(T.Node)) {
+          const Edge &E = Graph.edge(EId);
+          switch (E.Kind) {
+          case EdgeKind::Exit:
+            // Lines 22-24: forwards to the caller pops on match.
+            if (E.ContextFree) {
+              if (B.consume())
+                Propagate(E.Dst, T.Fields, RsmState::S2, It.Ctx);
+            } else if (It.Ctx.isEmpty()) {
+              if (B.consume())
+                Propagate(E.Dst, T.Fields, RsmState::S2,
+                          StackPool::empty());
+            } else if (Contexts.peek(It.Ctx) == E.Aux) {
+              if (B.consume())
+                Propagate(E.Dst, T.Fields, RsmState::S2,
+                          Contexts.pop(It.Ctx));
+            }
+            break;
+          case EdgeKind::Entry:
+            // Lines 25-26: forwards into the callee pushes the site.
+            if (B.consume())
+              Propagate(E.Dst, T.Fields, RsmState::S2,
+                        E.ContextFree ? It.Ctx
+                                      : Contexts.push(It.Ctx, E.Aux));
+            break;
+          case EdgeKind::AssignGlobal:
+            // Lines 27-28.
+            if (B.consume())
+              Propagate(E.Dst, T.Fields, RsmState::S2, StackPool::empty());
+            break;
+          default:
+            break;
+          }
+        }
+      }
+      if (B.exceeded())
+        break;
+    }
+  }
+
+  if (B.exceeded())
+    Result.BudgetExceeded = true;
+  Result.Steps = B.used();
+  Result.Targets.reserve(Pts.size());
+  for (uint64_t Packed : Pts)
+    Result.Targets.push_back(
+        PtsTarget{ir::AllocId(Packed >> 32), StackId{uint32_t(Packed)}});
+  Result.canonicalize();
+  TrivialSummaries.clear(); // uncached-mode stash is per-query only
+  return Result;
+}
+
+size_t DynSumAnalysis::cacheNodeStateCount() const {
+  std::unordered_set<uint64_t> NodeStates;
+  for (const auto &[Key, Summary] : Cache) {
+    (void)Summary;
+    // Strip the field-stack bits (33..63), keep node and state.
+    NodeStates.insert(Key & 0x1ffffffffull);
+  }
+  return NodeStates.size();
+}
+
+void DynSumAnalysis::invalidateMethod(ir::MethodId M) {
+  for (auto It = Cache.begin(); It != Cache.end();) {
+    NodeId N = NodeId((It->first >> 1) & 0xffffffffu);
+    if (Graph.node(N).Method == M)
+      It = Cache.erase(It);
+    else
+      ++It;
+  }
+  for (auto It = TrivialSummaries.begin(); It != TrivialSummaries.end();) {
+    NodeId N = NodeId((It->first >> 1) & 0xffffffffu);
+    if (Graph.node(N).Method == M)
+      It = TrivialSummaries.erase(It);
+    else
+      ++It;
+  }
+}
+
+void DynSumAnalysis::remapCache(
+    const std::function<NodeId(NodeId)> &Remap) {
+  std::unordered_map<uint64_t, PptaSummary> NewCache;
+  NewCache.reserve(Cache.size());
+  for (auto &[Key, Summary] : Cache) {
+    NodeId OldNode = NodeId((Key >> 1) & 0xffffffffu);
+    RsmState S = (Key & 1) == 0 ? RsmState::S1 : RsmState::S2;
+    StackId Fields{uint32_t(Key >> 33)};
+    for (PptaTuple &T : Summary.Tuples)
+      T.Node = Remap(T.Node);
+    NewCache.emplace(packSummaryKey(Remap(OldNode), Fields, S),
+                     std::move(Summary));
+  }
+  Cache = std::move(NewCache);
+  // Trivial summaries are cheap to rebuild and their boundary flags may
+  // have changed; drop them wholesale.
+  TrivialSummaries.clear();
+}

@@ -1,0 +1,178 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DYNSUM — the paper's contribution: context-sensitive demand-driven
+/// points-to analysis with dynamic PPTA summaries (Algorithms 3 and 4).
+///
+/// PPTA (Partial Points-To Analysis) summarizes, per queried
+/// (node, field-stack, RSM-state) triple, everything reachable along
+/// *local* PAG edges only: the objects found (field-sensitively) plus
+/// the boundary tuples where a *global* edge must be crossed.  Because
+/// local edges never touch the calling context, a summary computed
+/// under one context is valid under every context — the paper's "local
+/// reachability reuse".  The worklist algorithm stitches summaries
+/// across global edges while tracking the RRP context stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ANALYSIS_DYNSUM_H
+#define DYNSUM_ANALYSIS_DYNSUM_H
+
+#include "analysis/DemandAnalysis.h"
+#include "support/InternedStack.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dynsum {
+namespace analysis {
+
+/// Direction state of the LFT RSMs in Figure 3(a).
+enum class RsmState : uint8_t {
+  S1, ///< traversing a flowsTo-bar path (towards allocation sites)
+  S2, ///< traversing a flowsTo path (away from an allocation site)
+};
+
+/// A context-independent CFL-reachability fact: the traversal stands at
+/// \p Node with pending field labels \p Fields in direction \p State.
+struct PptaTuple {
+  pag::NodeId Node = 0;
+  StackId Fields;
+  RsmState State = RsmState::S1;
+};
+
+/// The dynamic summary for one (node, field-stack, state) key.
+struct PptaSummary {
+  /// Objects whose new edge was reached with an empty field stack;
+  /// their context is the *querying* context (supplied by Algorithm 4).
+  std::vector<ir::AllocId> Objects;
+  /// States at method-boundary nodes (incident to global edges) where
+  /// Algorithm 4 must take over.
+  std::vector<PptaTuple> Tuples;
+};
+
+/// Packs a summary key into 64 bits: bit 0 = state, bits 1..32 = node,
+/// bits 33..63 = field-stack id (field stacks stay well below 2^31).
+uint64_t packSummaryKey(pag::NodeId Node, StackId Fields, RsmState S);
+
+/// Pending-field stack entries are tagged with the sub-language that
+/// pushed them.  The LFT grammar pairs parentheses per sub-language:
+/// a load(f)-bar push (S1, "resolve an alias's .f") may only be closed
+/// by a store(f)-bar edge, and a store(f) push (S2, "the tracked object
+/// went into .f") only by a forward load(f).  A single untyped stack
+/// would let the two kinds cross-match and fabricate points-to targets
+/// (the paper's Table 1 trace implicitly maintains this pairing).
+inline uint32_t encodeLoadBarField(ir::FieldId F) { return (F << 1) | 0; }
+inline uint32_t encodeStoreField(ir::FieldId F) { return (F << 1) | 1; }
+inline ir::FieldId decodeField(uint32_t Encoded) { return Encoded >> 1; }
+
+/// The reusable PPTA engine (Algorithm 3).  Shared by DYNSUM and by the
+/// STASUM static summary closure.
+class PptaEngine {
+public:
+  PptaEngine(const pag::PAG &G, StackPool &FieldStacks,
+             uint32_t MaxFieldDepth)
+      : Graph(G), FieldStacks(FieldStacks), MaxFieldDepth(MaxFieldDepth) {}
+
+  /// Runs DSPOINTSTO(V, F, S) with a fresh visited set, appending into
+  /// \p Out.  Returns true when the computation completed within
+  /// \p Budget and the field-depth cap (only complete summaries are
+  /// cacheable).
+  bool compute(pag::NodeId V, StackId F, RsmState S, Budget &B,
+               PptaSummary &Out);
+
+  /// Branches pruned by the field-depth k-limit so far (diagnostics).
+  uint64_t depthPrunes() const { return DepthPrunes; }
+
+private:
+  void visit(pag::NodeId V, StackId F, RsmState S);
+
+  const pag::PAG &Graph;
+  StackPool &FieldStacks;
+  uint32_t MaxFieldDepth;
+
+  // Per-compute() state.
+  Budget *B = nullptr;
+  PptaSummary *Out = nullptr;
+  bool Complete = true;
+  uint64_t DepthPrunes = 0;
+  std::unordered_set<uint64_t> Visited;
+};
+
+/// Algorithm 4 plus the summary cache.
+class DynSumAnalysis : public DemandAnalysis {
+public:
+  DynSumAnalysis(const pag::PAG &G, const AnalysisOptions &Opts)
+      : DemandAnalysis(G, Opts),
+        Engine(G, FieldStacks, Opts.MaxFieldDepth) {}
+
+  const char *name() const override { return "DYNSUM"; }
+
+  QueryResult query(pag::NodeId V,
+                    const ClientPredicate &SatisfyClient) override;
+
+  using DemandAnalysis::query;
+
+  /// Number of summaries currently cached (the |Cache| of Figure 5).
+  size_t cacheSize() const { return Cache.size(); }
+
+  /// Cache size projected onto distinct (node, state) pairs — the unit
+  /// comparable with STASUM's per-boundary-point method summaries
+  /// (STASUM's own count is per boundary point, not per pending-field
+  /// configuration).
+  size_t cacheNodeStateCount() const;
+
+  /// Drops every cached summary.
+  void clearCache() { Cache.clear(); }
+
+  /// Drops only the summaries of nodes owned by \p M — the IDE/JIT
+  /// "method was edited" scenario the paper motivates (an extension;
+  /// the paper recomputes naturally because summaries are demand-built).
+  /// Passing ir::kNone drops the summaries keyed at unowned nodes
+  /// (globals and the null object).
+  void invalidateMethod(ir::MethodId M);
+
+  /// Rewrites every cached node id through \p Remap after an in-place
+  /// PAG rebuild changed the numbering (object nodes shift when
+  /// variables are added; see pag::rebuildPAG).  Also drops the
+  /// trivial-summary memo, whose boundary flags may be stale.
+  void remapCache(const std::function<pag::NodeId(pag::NodeId)> &Remap);
+
+  /// Access to the interned field-stack pool (tests, SummaryIO).
+  StackPool &fieldStacks() { return FieldStacks; }
+  const StackPool &fieldStacks() const { return FieldStacks; }
+
+  /// Read access to the summary cache (SummaryIO serialization).
+  const std::unordered_map<uint64_t, PptaSummary> &summaryCache() const {
+    return Cache;
+  }
+
+  /// Installs a summary for (\p Node, \p Fields, \p S), overwriting any
+  /// existing entry.  \p Fields must come from this instance's
+  /// fieldStacks() pool (SummaryIO re-interns on load).
+  void insertSummary(pag::NodeId Node, StackId Fields, RsmState S,
+                     PptaSummary Summary) {
+    Cache[packSummaryKey(Node, Fields, S)] = std::move(Summary);
+  }
+
+private:
+  /// Cache lookup/compute for one summary key.  Returns null when the
+  /// summary could not be completed within budget (query turns
+  /// conservative).  \p UsedCache reports a hit.
+  const PptaSummary *getSummary(pag::NodeId U, StackId F, RsmState S,
+                                Budget &B, bool &UsedCache);
+
+  StackPool FieldStacks;
+  StackPool Contexts;
+  PptaEngine Engine;
+  std::unordered_map<uint64_t, PptaSummary> Cache;
+  /// Summaries for boundary nodes without local edges (the Section 4.3
+  /// shortcut) materialized once; not counted as real summaries.
+  std::unordered_map<uint64_t, PptaSummary> TrivialSummaries;
+};
+
+} // namespace analysis
+} // namespace dynsum
+
+#endif // DYNSUM_ANALYSIS_DYNSUM_H

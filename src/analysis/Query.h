@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared query/result/budget types for all demand-driven analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ANALYSIS_QUERY_H
+#define DYNSUM_ANALYSIS_QUERY_H
+
+#include "ir/Program.h"
+#include "pag/PAG.h"
+#include "support/InternedStack.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dynsum {
+namespace analysis {
+
+/// Per-query traversal budget, counted in PAG edge traversals exactly as
+/// the paper's Section 5.2 (default limit 75,000 edges per query).  Once
+/// exhausted, every later consume() fails and the analysis unwinds with
+/// a conservative "budget exceeded" answer.
+class Budget {
+public:
+  explicit Budget(uint64_t Limit) : Limit(Limit) {}
+
+  /// Accounts one edge traversal; returns false when over budget.
+  bool consume() {
+    if (Used >= Limit)
+      return false;
+    ++Used;
+    return true;
+  }
+
+  bool exceeded() const { return Used >= Limit; }
+  uint64_t used() const { return Used; }
+  uint64_t limit() const { return Limit; }
+
+private:
+  uint64_t Limit;
+  uint64_t Used = 0;
+};
+
+/// One context-tagged points-to target: (allocation site, context stack).
+/// Contexts are StackPool ids local to the producing analysis instance;
+/// cross-analysis comparisons project onto allocation sites.
+struct PtsTarget {
+  ir::AllocId Alloc = ir::kNone;
+  StackId Context;
+
+  friend bool operator==(const PtsTarget &A, const PtsTarget &B) {
+    return A.Alloc == B.Alloc && A.Context == B.Context;
+  }
+  friend bool operator<(const PtsTarget &A, const PtsTarget &B) {
+    if (A.Alloc != B.Alloc)
+      return A.Alloc < B.Alloc;
+    return A.Context.Id < B.Context.Id;
+  }
+};
+
+/// The answer to one demand query.
+struct QueryResult {
+  /// Sorted, deduplicated context-tagged targets.
+  std::vector<PtsTarget> Targets;
+  /// True when the traversal budget ran out: Targets is then a partial
+  /// under-approximation and clients must treat the answer as "unknown".
+  bool BudgetExceeded = false;
+  /// Edge traversals spent answering this query (the paper's
+  /// machine-independent cost unit).
+  uint64_t Steps = 0;
+
+  /// Sorts and dedups Targets; analyses call this before returning.
+  void canonicalize() {
+    std::sort(Targets.begin(), Targets.end());
+    Targets.erase(std::unique(Targets.begin(), Targets.end()),
+                  Targets.end());
+  }
+
+  /// Context-insensitive projection: the distinct allocation sites.
+  std::vector<ir::AllocId> allocSites() const {
+    std::vector<ir::AllocId> Out;
+    Out.reserve(Targets.size());
+    for (const PtsTarget &T : Targets)
+      Out.push_back(T.Alloc);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
+
+  /// True when some target is allocation site \p A.
+  bool contains(ir::AllocId A) const {
+    for (const PtsTarget &T : Targets)
+      if (T.Alloc == A)
+        return true;
+    return false;
+  }
+};
+
+/// Tunables shared by the demand-driven analyses.
+struct AnalysisOptions {
+  /// Edge-traversal budget per points-to query (75,000 in the paper).
+  uint64_t BudgetPerQuery = 75000;
+  /// Abort a query whose pending-field stack exceeds this depth; keeps
+  /// PPTA finite on field-recursive structures within one budget unit.
+  uint32_t MaxFieldDepth = 64;
+  /// REFINEPTS: bound on refinement iterations (Algorithm 2's loop).
+  uint32_t MaxRefineIterations = 16;
+  /// REFINEPTS: enable its per-query (v, context) memoization.
+  /// DYNSUM: enable the cross-query summary cache.
+  bool EnableCache = true;
+};
+
+} // namespace analysis
+} // namespace dynsum
+
+#endif // DYNSUM_ANALYSIS_QUERY_H

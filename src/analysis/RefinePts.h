@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// REFINEPTS — Sridharan & Bodík's refinement-based context-sensitive
+/// demand-driven points-to analysis (the paper's Algorithms 1 and 2) —
+/// and NOREFINE, its variant with neither refinement nor caching.
+///
+/// The analysis computes L_REFINEPTS = L_FT  intersect  RRP reachability
+/// by recursive traversal: SBPOINTSTO walks flowsTo-bar paths backwards
+/// from the queried variable, SBFLOWSTO walks flowsTo paths forwards
+/// from objects; both track the RRP context stack.  Heap accesses start
+/// field-based (match edges) and are refined per load edge across
+/// iterations of the refinement loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ANALYSIS_REFINEPTS_H
+#define DYNSUM_ANALYSIS_REFINEPTS_H
+
+#include "analysis/DemandAnalysis.h"
+#include "support/InternedStack.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace dynsum {
+namespace analysis {
+
+/// Algorithms 1 + 2.  Construct with \p Refinement = false for NOREFINE
+/// (every load edge is field-sensitive from the start, no memoization,
+/// a single pass).
+class RefinePtsAnalysis : public DemandAnalysis {
+public:
+  RefinePtsAnalysis(const pag::PAG &G, const AnalysisOptions &Opts,
+                    bool Refinement = true)
+      : DemandAnalysis(G, Opts), Refinement(Refinement) {}
+
+  const char *name() const override {
+    return Refinement ? "REFINEPTS" : "NOREFINE";
+  }
+
+  QueryResult query(pag::NodeId V,
+                    const ClientPredicate &SatisfyClient) override;
+
+  using DemandAnalysis::query;
+
+  /// Refinement iterations used by the most recent query.
+  unsigned lastIterations() const { return LastIterations; }
+
+private:
+  /// (alloc, context) during traversal.
+  using ObjSet = std::vector<PtsTarget>;
+  /// (variable node, context) — flowsTo results.
+  struct VarCtx {
+    pag::NodeId Node;
+    StackId Ctx;
+  };
+  using VarSet = std::vector<VarCtx>;
+
+  /// One refinement pass: SBPOINTSTO(v, empty) with the current
+  /// fldsToRefine set.
+  ObjSet runPass(pag::NodeId V, Budget &B);
+
+  /// Algorithm 1.  Traverses backwards (flowsTo-bar).
+  ObjSet sbPointsTo(pag::NodeId V, StackId Ctx, Budget &B);
+
+  /// The "inverse" of Algorithm 1.  Traverses forwards (flowsTo) from
+  /// object node \p O.
+  VarSet sbFlowsTo(pag::NodeId O, StackId Ctx, Budget &B);
+
+  /// Forward traversal from a variable that the tracked object reached.
+  VarSet fwdFlowsTo(pag::NodeId V, StackId Ctx, Budget &B);
+
+  /// Dedup helpers.
+  static void mergeInto(ObjSet &Dst, const ObjSet &Src);
+  static void mergeInto(VarSet &Dst, const VarSet &Src);
+
+  bool Refinement;
+  unsigned LastIterations = 0;
+
+  //===------------------------------------------------------------------===//
+  // Per-query state
+  //===------------------------------------------------------------------===//
+
+  StackPool Contexts;
+  /// Load edges currently treated field-sensitively.
+  std::unordered_set<uint32_t> FldsToRefine;
+  /// Load edges crossed field-based during the current pass.
+  std::unordered_set<uint32_t> FldsSeen;
+  /// Cycle guards: (node, ctx) active on the recursion stack, one per
+  /// direction.
+  std::unordered_set<uint64_t> ActiveBack, ActiveFwd;
+  /// True while some recursion result depended on an active node (such
+  /// results are not memoized: they are partial by cycle cutting).
+  bool CycleDependent = false;
+  /// Ad hoc memoization ("caching ... within a query", Section 4):
+  /// fully-resolved results keyed by (node, ctx), cleared every pass.
+  std::unordered_map<uint64_t, ObjSet> BackCache;
+  std::unordered_map<uint64_t, VarSet> FwdCache;
+};
+
+} // namespace analysis
+} // namespace dynsum
+
+#endif // DYNSUM_ANALYSIS_REFINEPTS_H

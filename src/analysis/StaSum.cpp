@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// STASUM offline summary closure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaSum.h"
+
+#include "support/InternedStack.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::pag;
+
+StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
+                                             const StaSumOptions &Opts) {
+  StaSumResult Result;
+  StackPool FieldStacks;
+  PptaEngine Engine(G, FieldStacks, Opts.MaxFieldDepth);
+  Budget B(Opts.StepBudget);
+
+  std::unordered_set<uint64_t> Seen; // all keys ever enqueued
+  std::unordered_set<uint64_t> NodeStates; // keys projected to (node, state)
+  std::deque<uint64_t> Work;
+  // Key decoding mirrors packSummaryKey.
+  auto Push = [&](NodeId N, StackId F, RsmState S) {
+    uint64_t Key = packSummaryKey(N, F, S);
+    if (Seen.insert(Key).second)
+      Work.push_back(Key);
+  };
+
+  // Seed: every boundary node of every method, both directions, with an
+  // empty field stack — the states a fresh query can demand first.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const Node &Nd = G.node(N);
+    if (Nd.HasGlobalIn)
+      Push(N, StackPool::empty(), RsmState::S1);
+    if (Nd.HasGlobalOut)
+      Push(N, StackPool::empty(), RsmState::S2);
+  }
+
+  while (!Work.empty()) {
+    if (Result.NumSummaries >= Opts.MaxSummaries || B.exceeded()) {
+      Result.Capped = true;
+      break;
+    }
+    uint64_t Key = Work.front();
+    Work.pop_front();
+    NodeId N = NodeId((Key >> 1) & 0xffffffffu);
+    StackId F{uint32_t(Key >> 33)};
+    RsmState S = (Key & 1) ? RsmState::S2 : RsmState::S1;
+
+    PptaSummary Summary;
+    if (G.node(N).HasLocalEdge) {
+      Engine.compute(N, F, S, B, Summary);
+      ++Result.NumSummaries;
+      NodeStates.insert(Key & 0x1ffffffffull);
+    } else {
+      Summary.Tuples.push_back(PptaTuple{N, F, S});
+    }
+
+    // Close over every global edge (context-insensitively: a static
+    // summary must serve all contexts, so no stack filtering applies).
+    for (const PptaTuple &T : Summary.Tuples) {
+      if (T.State == RsmState::S1) {
+        for (EdgeId EId : G.inEdges(T.Node)) {
+          const Edge &E = G.edge(EId);
+          if (E.Kind == EdgeKind::Exit || E.Kind == EdgeKind::Entry ||
+              E.Kind == EdgeKind::AssignGlobal)
+            Push(E.Src, T.Fields, RsmState::S1);
+        }
+      } else {
+        for (EdgeId EId : G.outEdges(T.Node)) {
+          const Edge &E = G.edge(EId);
+          if (E.Kind == EdgeKind::Exit || E.Kind == EdgeKind::Entry ||
+              E.Kind == EdgeKind::AssignGlobal)
+            Push(E.Dst, T.Fields, RsmState::S2);
+        }
+      }
+    }
+  }
+
+  Result.Steps = B.used();
+  Result.NumNodeStateSummaries = NodeStates.size();
+  return Result;
+}

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// STASUM — static whole-program summary precomputation (Yan et al.,
+/// ISSTA'11 style), reproduced for the Figure 5 comparison.
+///
+/// STASUM computes, offline, the PPTA summaries for *every* summary key
+/// any query could ever demand: it seeds one key per (boundary node,
+/// empty field stack, direction) of every method and closes the set by
+/// following boundary tuples across all global edges, context-
+/// insensitively (static summaries cannot depend on calling contexts).
+/// DYNSUM's cache is always a subset of this closure; Figure 5 plots
+/// the ratio per query batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ANALYSIS_STASUM_H
+#define DYNSUM_ANALYSIS_STASUM_H
+
+#include "analysis/DynSum.h"
+
+#include <cstdint>
+
+namespace dynsum {
+namespace analysis {
+
+struct StaSumOptions {
+  /// Same cap as the dynamic analyses so key spaces are comparable.
+  uint32_t MaxFieldDepth = 64;
+  /// Safety valves for the offline closure (the paper notes STASUM can
+  /// bound its summary count only via user-supplied heuristics; these
+  /// are ours).
+  uint64_t MaxSummaries = 4u * 1000 * 1000;
+  uint64_t StepBudget = 200u * 1000 * 1000;
+};
+
+struct StaSumResult {
+  /// Distinct summaries computed (keys over nodes that have local
+  /// edges, matching what DYNSUM counts in its cache).
+  uint64_t NumSummaries = 0;
+  /// Summaries projected onto distinct (node, state) pairs — STASUM's
+  /// own accounting unit (one all-pairs summary per boundary point);
+  /// compare with DynSumAnalysis::cacheNodeStateCount().
+  uint64_t NumNodeStateSummaries = 0;
+  /// PPTA edge traversals spent building them.
+  uint64_t Steps = 0;
+  /// True when a safety valve stopped the closure early.
+  bool Capped = false;
+};
+
+/// Runs the offline closure over \p G.
+StaSumResult computeStaSum(const pag::PAG &G,
+                           const StaSumOptions &Opts = StaSumOptions());
+
+} // namespace analysis
+} // namespace dynsum
+
+#endif // DYNSUM_ANALYSIS_STASUM_H

@@ -1,0 +1,261 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary-cache serialization implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryIO.h"
+
+#include "support/Hashing.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+
+static constexpr uint32_t kMagic = 0x4d555344; // "DSUM" little-endian
+static constexpr uint32_t kVersion = 1;
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t dynsum::analysis::programFingerprint(const ir::Program &P) {
+  uint64_t H = 0xd59b8cf1a2b3c4d5ull;
+  H = hashCombine(H, P.classes().size());
+  for (const ir::ClassType &C : P.classes()) {
+    H = hashCombine(H, C.Name.Id);
+    H = hashCombine(H, C.Super);
+  }
+  H = hashCombine(H, P.fields().size());
+  for (const ir::Field &F : P.fields())
+    H = hashCombine(H, F.Name.Id);
+  H = hashCombine(H, P.variables().size());
+  for (const ir::Variable &V : P.variables()) {
+    H = hashCombine(H, V.Name.Id);
+    H = hashCombine(H, packPair(V.Owner, uint32_t(V.IsGlobal)));
+  }
+  H = hashCombine(H, P.allocs().size());
+  for (const ir::AllocSite &A : P.allocs())
+    H = hashCombine(H, packPair(A.Type, A.Owner));
+  H = hashCombine(H, P.methods().size());
+  for (const ir::Method &M : P.methods()) {
+    H = hashCombine(H, M.Name.Id);
+    H = hashCombine(H, packPair(M.Owner, uint32_t(M.Params.size())));
+    for (ir::VarId V : M.Params)
+      H = hashCombine(H, V);
+    H = hashCombine(H, M.Stmts.size());
+    for (const ir::Statement &S : M.Stmts) {
+      H = hashCombine(H, packPair(uint32_t(S.Kind), S.Dst));
+      H = hashCombine(H, packPair(S.Src, S.Base));
+      H = hashCombine(H, packPair(S.FieldLabel, S.Type));
+      H = hashCombine(H, packPair(S.Alloc, S.Call));
+      H = hashCombine(H, packPair(S.Callee, S.VirtualName.Id));
+      H = hashCombine(H, uint64_t(S.IsVirtual));
+      for (ir::VarId V : S.Args)
+        H = hashCombine(H, V);
+    }
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian buffer primitives
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void put32(std::string &Buf, uint32_t V) {
+  char Bytes[4] = {char(V), char(V >> 8), char(V >> 16), char(V >> 24)};
+  Buf.append(Bytes, 4);
+}
+
+void put64(std::string &Buf, uint64_t V) {
+  put32(Buf, uint32_t(V));
+  put32(Buf, uint32_t(V >> 32));
+}
+
+/// Bounds-checked little-endian reader over the input buffer.
+class Reader {
+public:
+  explicit Reader(std::string_view Data) : Data(Data) {}
+
+  bool read32(uint32_t &V) {
+    if (Pos + 4 > Data.size())
+      return false;
+    V = uint32_t(uint8_t(Data[Pos])) | uint32_t(uint8_t(Data[Pos + 1])) << 8 |
+        uint32_t(uint8_t(Data[Pos + 2])) << 16 |
+        uint32_t(uint8_t(Data[Pos + 3])) << 24;
+    Pos += 4;
+    return true;
+  }
+
+  bool read64(uint64_t &V) {
+    uint32_t Lo = 0, Hi = 0;
+    if (!read32(Lo) || !read32(Hi))
+      return false;
+    V = uint64_t(Hi) << 32 | Lo;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  std::string_view Data;
+  size_t Pos = 0;
+};
+
+/// Serializes one (node, stack, state) triple with the stack expanded.
+void putTriple(std::string &Buf, const StackPool &Stacks, pag::NodeId Node,
+               StackId Fields, RsmState S) {
+  put32(Buf, Node);
+  put32(Buf, uint32_t(S));
+  std::vector<uint32_t> Elems = Stacks.elements(Fields);
+  put32(Buf, uint32_t(Elems.size()));
+  for (uint32_t E : Elems)
+    put32(Buf, E);
+}
+
+/// Reads a triple back, re-interning the stack in \p Stacks.  A sanity
+/// bound on node ids and stack length guards against corrupt input.
+bool readTriple(Reader &R, StackPool &Stacks, size_t NumNodes,
+                pag::NodeId &Node, StackId &Fields, RsmState &S) {
+  uint32_t StateRaw = 0, Len = 0;
+  if (!R.read32(Node) || !R.read32(StateRaw) || !R.read32(Len))
+    return false;
+  if (Node >= NumNodes || StateRaw > 1 || Len > (1u << 20))
+    return false;
+  StackId Stack = StackPool::empty();
+  for (uint32_t I = 0; I < Len; ++I) {
+    uint32_t E = 0;
+    if (!R.read32(E))
+      return false;
+    Stack = Stacks.push(Stack, E);
+  }
+  Fields = Stack;
+  S = StateRaw == 0 ? RsmState::S1 : RsmState::S2;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Serialize / deserialize
+//===----------------------------------------------------------------------===//
+
+std::string dynsum::analysis::serializeSummaries(const DynSumAnalysis &A) {
+  std::string Buf;
+  put32(Buf, kMagic);
+  put32(Buf, kVersion);
+  put64(Buf, programFingerprint(A.graph().program()));
+  put64(Buf, A.summaryCache().size());
+
+  const StackPool &Stacks = A.fieldStacks();
+  for (const auto &[Key, Summary] : A.summaryCache()) {
+    pag::NodeId Node = pag::NodeId((Key >> 1) & 0xffffffffu);
+    RsmState S = (Key & 1) == 0 ? RsmState::S1 : RsmState::S2;
+    StackId Fields{uint32_t(Key >> 33)};
+    putTriple(Buf, Stacks, Node, Fields, S);
+    put32(Buf, uint32_t(Summary.Objects.size()));
+    for (ir::AllocId O : Summary.Objects)
+      put32(Buf, O);
+    put32(Buf, uint32_t(Summary.Tuples.size()));
+    for (const PptaTuple &T : Summary.Tuples)
+      putTriple(Buf, Stacks, T.Node, T.Fields, T.State);
+  }
+  return Buf;
+}
+
+bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
+                                            std::string_view Data) {
+  Reader R(Data);
+  uint32_t Magic = 0, Version = 0;
+  uint64_t Fingerprint = 0, NumEntries = 0;
+  if (!R.read32(Magic) || Magic != kMagic)
+    return false;
+  if (!R.read32(Version) || Version != kVersion)
+    return false;
+  if (!R.read64(Fingerprint) ||
+      Fingerprint != programFingerprint(A.graph().program()))
+    return false;
+  if (!R.read64(NumEntries))
+    return false;
+
+  size_t NumNodes = A.graph().numNodes();
+  size_t NumAllocs = A.graph().program().allocs().size();
+  StackPool &Stacks = A.fieldStacks();
+
+  // Parse into a staging vector first so a truncated buffer never
+  // leaves a half-merged cache.
+  struct Entry {
+    pag::NodeId Node;
+    StackId Fields;
+    RsmState S;
+    PptaSummary Summary;
+  };
+  std::vector<Entry> Staged;
+  Staged.reserve(size_t(NumEntries));
+  for (uint64_t I = 0; I < NumEntries; ++I) {
+    Entry E;
+    if (!readTriple(R, Stacks, NumNodes, E.Node, E.Fields, E.S))
+      return false;
+    uint32_t NumObjects = 0;
+    if (!R.read32(NumObjects) || NumObjects > NumAllocs)
+      return false;
+    E.Summary.Objects.resize(NumObjects);
+    for (uint32_t O = 0; O < NumObjects; ++O) {
+      if (!R.read32(E.Summary.Objects[O]) ||
+          E.Summary.Objects[O] >= NumAllocs)
+        return false;
+    }
+    uint32_t NumTuples = 0;
+    if (!R.read32(NumTuples) || NumTuples > (1u << 22))
+      return false;
+    E.Summary.Tuples.resize(NumTuples);
+    for (uint32_t T = 0; T < NumTuples; ++T) {
+      PptaTuple &Tuple = E.Summary.Tuples[T];
+      if (!readTriple(R, Stacks, NumNodes, Tuple.Node, Tuple.Fields,
+                      Tuple.State))
+        return false;
+    }
+    Staged.push_back(std::move(E));
+  }
+  if (!R.atEnd())
+    return false;
+
+  for (Entry &E : Staged)
+    A.insertSummary(E.Node, E.Fields, E.S, std::move(E.Summary));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// File wrappers
+//===----------------------------------------------------------------------===//
+
+bool dynsum::analysis::saveSummariesFile(const DynSumAnalysis &A,
+                                         const std::string &Path) {
+  std::string Buf = serializeSummaries(A);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
+
+bool dynsum::analysis::loadSummariesFile(DynSumAnalysis &A,
+                                         const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::string Buf;
+  char Chunk[65536];
+  size_t N = 0;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.append(Chunk, N);
+  std::fclose(F);
+  return deserializeSummaries(A, Buf);
+}

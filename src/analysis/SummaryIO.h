@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for DYNSUM summary caches: warm starts across processes.
+///
+/// The paper positions DYNSUM for JIT compilers and IDEs; both restart.
+/// SummaryIO lets a session serialize its dynamic summaries on shutdown
+/// and a later session on the *same program* load them back, skipping
+/// every PPTA recomputation for previously queried code.
+///
+/// Summaries are keyed by PAG node ids and field-stack ids; both are
+/// deterministic functions of the program (node numbering) and of the
+/// stack contents (re-interned on load), so the only safety requirement
+/// is that the loading session analyzes an identical program.  That is
+/// enforced with a fingerprint of the program's analysis-relevant shape
+/// embedded in the byte stream: loads onto a different program are
+/// rejected, never silently wrong.
+///
+/// Format (little-endian): magic "DSUM", u32 version, u64 fingerprint,
+/// u64 entry count, then per entry the key triple with the field stack
+/// spelled out element by element, the object list, and the boundary
+/// tuples (again with explicit stacks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ANALYSIS_SUMMARYIO_H
+#define DYNSUM_ANALYSIS_SUMMARYIO_H
+
+#include "analysis/DynSum.h"
+
+#include <string>
+#include <string_view>
+
+namespace dynsum {
+namespace analysis {
+
+/// A stable fingerprint of everything about \p P the analyses can
+/// observe: the class hierarchy, methods, variables, allocation/call
+/// sites and every statement.  Two programs with equal fingerprints
+/// build identical PAGs.
+uint64_t programFingerprint(const ir::Program &P);
+
+/// Serializes \p A's summary cache (tagged with its program's
+/// fingerprint) into a byte buffer.
+std::string serializeSummaries(const DynSumAnalysis &A);
+
+/// Loads summaries serialized by serializeSummaries into \p A, merging
+/// over its current cache.  Returns false — leaving \p A untouched — on
+/// a malformed buffer, a version mismatch, or a fingerprint mismatch
+/// with \p A's program.
+bool deserializeSummaries(DynSumAnalysis &A, std::string_view Data);
+
+/// Convenience file wrappers over the buffer API.  saveSummariesFile
+/// returns false on I/O failure; loadSummariesFile on I/O failure or
+/// any deserializeSummaries rejection.
+bool saveSummariesFile(const DynSumAnalysis &A, const std::string &Path);
+bool loadSummariesFile(DynSumAnalysis &A, const std::string &Path);
+
+} // namespace analysis
+} // namespace dynsum
+
+#endif // DYNSUM_ANALYSIS_SUMMARYIO_H

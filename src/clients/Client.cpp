@@ -1,0 +1,329 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client framework and the three paper clients.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Client.h"
+
+#include "pag/CallGraph.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::clients;
+using namespace dynsum::ir;
+
+Client::~Client() = default;
+
+ClientPredicate Client::predicate(const pag::PAG &G,
+                                  const ClientQuery &Q) const {
+  return [this, &G, Q](const QueryResult &R) {
+    return judge(G, Q, R) == Verdict::Proven;
+  };
+}
+
+std::vector<ClientQuery> dynsum::clients::strideSample(
+    std::vector<ClientQuery> Queries, size_t MaxQueries) {
+  if (MaxQueries == 0 || Queries.size() <= MaxQueries)
+    return Queries;
+  std::vector<ClientQuery> Out;
+  Out.reserve(MaxQueries);
+  // Uniform stride keeps the sample spread over the whole program.
+  double Step = double(Queries.size()) / double(MaxQueries);
+  for (size_t I = 0; I < MaxQueries; ++I)
+    Out.push_back(Queries[size_t(double(I) * Step)]);
+  return Out;
+}
+
+ClientReport dynsum::clients::runClient(const Client &C, DemandAnalysis &A,
+                                        const std::vector<ClientQuery> &Qs,
+                                        size_t Begin, size_t End) {
+  ClientReport Report;
+  Report.ClientName = C.name();
+  Report.AnalysisName = A.name();
+  Timer T;
+  for (size_t I = Begin; I < End && I < Qs.size(); ++I) {
+    const ClientQuery &Q = Qs[I];
+    QueryResult R = A.query(Q.Node, C.predicate(A.graph(), Q));
+    ++Report.NumQueries;
+    Report.TotalSteps += R.Steps;
+    switch (C.judge(A.graph(), Q, R)) {
+    case Verdict::Proven:
+      ++Report.Proven;
+      break;
+    case Verdict::Refuted:
+      ++Report.Refuted;
+      break;
+    case Verdict::Unknown:
+      ++Report.Unknown;
+      break;
+    }
+  }
+  Report.Seconds = T.seconds();
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// SafeCast
+//===----------------------------------------------------------------------===//
+
+std::vector<ClientQuery>
+SafeCastClient::makeQueries(const pag::PAG &G, size_t MaxQueries) const {
+  const Program &P = G.program();
+  std::vector<ClientQuery> Out;
+  for (const CastSite &C : P.castSites()) {
+    // Upcasts are statically safe; only downcasts/crosscasts demand
+    // points-to information.
+    TypeId SrcType = P.variable(C.Source).DeclaredType;
+    if (P.isSubtypeOf(SrcType, C.Target))
+      continue;
+    ClientQuery Q;
+    Q.Node = G.nodeOfVar(C.Source);
+    Q.Site = C.Id;
+    Q.TargetType = C.Target;
+    Out.push_back(Q);
+  }
+  return strideSample(std::move(Out), MaxQueries);
+}
+
+Verdict SafeCastClient::judge(const pag::PAG &G, const ClientQuery &Q,
+                              const QueryResult &R) const {
+  const Program &P = G.program();
+  bool AllSubtypes = true;
+  for (const PtsTarget &T : R.Targets) {
+    const AllocSite &A = P.alloc(T.Alloc);
+    if (A.IsNull)
+      continue; // null passes any cast
+    AllSubtypes &= P.isSubtypeOf(A.Type, Q.TargetType);
+  }
+  if (AllSubtypes && !R.BudgetExceeded)
+    return Verdict::Proven;
+  if (R.BudgetExceeded)
+    return Verdict::Unknown;
+  return Verdict::Refuted;
+}
+
+//===----------------------------------------------------------------------===//
+// NullDeref
+//===----------------------------------------------------------------------===//
+
+std::vector<ClientQuery>
+NullDerefClient::makeQueries(const pag::PAG &G, size_t MaxQueries) const {
+  const Program &P = G.program();
+  std::vector<ClientQuery> Out;
+  std::unordered_set<VarId> SeenBases;
+  uint32_t Ordinal = 0;
+  for (const Method &M : P.methods()) {
+    for (const Statement &S : M.Stmts) {
+      ++Ordinal;
+      if (S.Kind != StmtKind::Load && S.Kind != StmtKind::Store)
+        continue;
+      if (!SeenBases.insert(S.Base).second)
+        continue; // one query per distinct base variable
+      ClientQuery Q;
+      Q.Node = G.nodeOfVar(S.Base);
+      Q.Site = Ordinal;
+      Out.push_back(Q);
+    }
+  }
+  return strideSample(std::move(Out), MaxQueries);
+}
+
+Verdict NullDerefClient::judge(const pag::PAG &G, const ClientQuery &Q,
+                               const QueryResult &R) const {
+  (void)Q;
+  const Program &P = G.program();
+  for (const PtsTarget &T : R.Targets)
+    if (P.alloc(T.Alloc).IsNull)
+      return Verdict::Refuted; // may dereference null
+  if (R.BudgetExceeded)
+    return Verdict::Unknown;
+  if (R.Targets.empty())
+    return Verdict::Refuted; // uninitialized: definitely-null deref
+  return Verdict::Proven;
+}
+
+//===----------------------------------------------------------------------===//
+// FactoryM
+//===----------------------------------------------------------------------===//
+
+bool FactoryMClient::isFactoryName(std::string_view Name) {
+  return Name.starts_with("create") || Name.starts_with("make");
+}
+
+std::vector<ClientQuery>
+FactoryMClient::makeQueries(const pag::PAG &G, size_t MaxQueries) const {
+  const Program &P = G.program();
+  std::vector<ClientQuery> Out;
+  // One query per call site whose (single, direct) target is a factory
+  // and whose result is used; virtual factory calls query every target.
+  for (const Method &M : P.methods()) {
+    for (const Statement &S : M.Stmts) {
+      if (S.Kind != StmtKind::Call || S.Dst == kNone)
+        continue;
+      MethodId Target = kNone;
+      if (!S.IsVirtual) {
+        if (isFactoryName(P.names().text(P.method(S.Callee).Name)))
+          Target = S.Callee;
+      } else if (isFactoryName(P.names().text(S.VirtualName))) {
+        Target = kNone; // judged per answer; factory unknown statically
+      } else {
+        continue;
+      }
+      if (!S.IsVirtual && Target == kNone)
+        continue;
+      ClientQuery Q;
+      Q.Node = G.nodeOfVar(S.Dst);
+      Q.Site = S.Call;
+      Q.Factory = Target;
+      Out.push_back(Q);
+    }
+  }
+  return strideSample(std::move(Out), MaxQueries);
+}
+
+/// Lazily-built "methods reachable from each factory" index.
+struct FactoryMClient::ReachabilityIndex {
+  explicit ReachabilityIndex(const Program &P)
+      : Calls(pag::buildCallGraph(P)) {}
+
+  bool reaches(MethodId From, MethodId To) {
+    auto It = Cache.find(From);
+    if (It == Cache.end()) {
+      std::vector<MethodId> R = Calls.reachableFrom(From);
+      It = Cache.emplace(From, std::unordered_set<MethodId>(R.begin(),
+                                                            R.end()))
+               .first;
+    }
+    return It->second.count(To) != 0;
+  }
+
+  pag::CallGraph Calls;
+  std::unordered_map<MethodId, std::unordered_set<MethodId>> Cache;
+};
+
+FactoryMClient::FactoryMClient() = default;
+FactoryMClient::~FactoryMClient() = default;
+
+Verdict FactoryMClient::judge(const pag::PAG &G, const ClientQuery &Q,
+                              const QueryResult &R) const {
+  const Program &P = G.program();
+  if (ReachProgram != &P) {
+    Reach = std::make_unique<ReachabilityIndex>(P);
+    ReachProgram = &P;
+  }
+  ReachabilityIndex &ReachIdx = *Reach;
+  bool AllFresh = true;
+  for (const PtsTarget &T : R.Targets) {
+    const AllocSite &A = P.alloc(T.Alloc);
+    if (A.IsNull) {
+      AllFresh = false; // a factory returning null is not fresh
+      continue;
+    }
+    // Fresh = allocated in the factory itself or something it calls.
+    if (Q.Factory != kNone) {
+      AllFresh &= A.Owner != kNone && ReachIdx.reaches(Q.Factory, A.Owner);
+    } else {
+      // Virtual factory: accept allocation inside any factory-named
+      // method (or its callees is unknowable without the target).
+      AllFresh &= A.Owner != kNone &&
+                  isFactoryName(P.names().text(P.method(A.Owner).Name));
+    }
+  }
+  if (R.BudgetExceeded)
+    return Verdict::Unknown;
+  if (R.Targets.empty())
+    return Verdict::Refuted; // factory provably returns nothing useful
+  return AllFresh ? Verdict::Proven : Verdict::Refuted;
+}
+
+//===----------------------------------------------------------------------===//
+// Devirt
+//===----------------------------------------------------------------------===//
+
+std::vector<ClientQuery>
+DevirtClient::makeQueries(const pag::PAG &G, size_t MaxQueries) const {
+  const Program &P = G.program();
+  std::vector<ClientQuery> Out;
+  for (const Method &M : P.methods()) {
+    for (const Statement &S : M.Stmts) {
+      if (S.Kind != StmtKind::Call || !S.IsVirtual)
+        continue;
+      // CHA-monomorphic sites need no points-to information; a JIT
+      // devirtualizes them straight off the class hierarchy.
+      TypeId RecvType = P.variable(S.Base).DeclaredType;
+      if (P.chaTargets(RecvType, S.VirtualName).size() <= 1)
+        continue;
+      ClientQuery Q;
+      Q.Node = G.nodeOfVar(S.Base);
+      Q.Site = S.Call;
+      Out.push_back(Q);
+    }
+  }
+  return strideSample(std::move(Out), MaxQueries);
+}
+
+/// The virtual-call statement at site \p Site; null when \p Site is not
+/// a virtual call.
+static const Statement *findVirtualCall(const Program &P, CallSiteId Site) {
+  const CallSite &C = P.callSite(Site);
+  for (const Statement &S : P.method(C.Caller).Stmts)
+    if (S.Kind == StmtKind::Call && S.IsVirtual && S.Call == Site)
+      return &S;
+  return nullptr;
+}
+
+std::vector<MethodId>
+DevirtClient::dispatchTargets(const pag::PAG &G, const ClientQuery &Q,
+                              const QueryResult &R) {
+  const Program &P = G.program();
+  const Statement *Call = findVirtualCall(P, Q.Site);
+  assert(Call && "Devirt queries only virtual call sites");
+  std::vector<MethodId> Targets;
+  for (const PtsTarget &T : R.Targets) {
+    const AllocSite &A = P.alloc(T.Alloc);
+    if (A.IsNull)
+      continue; // a null receiver throws; it dispatches nowhere
+    MethodId Target = P.dispatch(A.Type, Call->VirtualName);
+    if (Target != kNone)
+      Targets.push_back(Target);
+  }
+  std::sort(Targets.begin(), Targets.end());
+  Targets.erase(std::unique(Targets.begin(), Targets.end()), Targets.end());
+  return Targets;
+}
+
+Verdict DevirtClient::judge(const pag::PAG &G, const ClientQuery &Q,
+                            const QueryResult &R) const {
+  if (R.BudgetExceeded)
+    return Verdict::Unknown;
+  // An empty receiver set means the call never executes; trivially
+  // monomorphic.
+  return dispatchTargets(G, Q, R).size() <= 1 ? Verdict::Proven
+                                              : Verdict::Refuted;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+std::vector<std::unique_ptr<Client>> dynsum::clients::makePaperClients() {
+  std::vector<std::unique_ptr<Client>> Out;
+  Out.push_back(std::make_unique<SafeCastClient>());
+  Out.push_back(std::make_unique<NullDerefClient>());
+  Out.push_back(std::make_unique<FactoryMClient>());
+  return Out;
+}
+
+std::vector<std::unique_ptr<Client>> dynsum::clients::makeAllClients() {
+  std::vector<std::unique_ptr<Client>> Out = makePaperClients();
+  Out.push_back(std::make_unique<DevirtClient>());
+  return Out;
+}

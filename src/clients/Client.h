@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client framework: a client derives points-to queries from a
+/// program and judges each answer.  The paper evaluates three clients —
+/// SafeCast, NullDeref and FactoryM — all implemented in this library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_CLIENTS_CLIENT_H
+#define DYNSUM_CLIENTS_CLIENT_H
+
+#include "analysis/DemandAnalysis.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+namespace clients {
+
+/// One demand issued by a client.
+struct ClientQuery {
+  /// The PAG variable node whose points-to set is demanded.
+  pag::NodeId Node = 0;
+  /// Client-specific site id (cast site, statement ordinal, call site).
+  uint32_t Site = ir::kNone;
+  /// SafeCast: the downcast target type.
+  ir::TypeId TargetType = ir::kNone;
+  /// FactoryM: the factory method whose freshness is checked.
+  ir::MethodId Factory = ir::kNone;
+};
+
+/// Outcome of judging one query's answer.
+enum class Verdict : uint8_t {
+  Proven,  ///< the client property definitely holds
+  Refuted, ///< the property definitely fails (a real finding)
+  Unknown, ///< budget exceeded: no claim
+};
+
+/// Aggregated results of running one client against one analysis.
+struct ClientReport {
+  std::string ClientName;
+  std::string AnalysisName;
+  uint64_t NumQueries = 0;
+  uint64_t Proven = 0;
+  uint64_t Refuted = 0;
+  uint64_t Unknown = 0;
+  /// Total PAG edge traversals across all queries.
+  uint64_t TotalSteps = 0;
+  /// Wall-clock seconds for the batch.
+  double Seconds = 0.0;
+};
+
+/// A points-to analysis client.
+class Client {
+public:
+  virtual ~Client();
+
+  virtual const char *name() const = 0;
+
+  /// Derives this client's query stream from \p G, in deterministic
+  /// order.  \p MaxQueries truncates by uniform stride (0 = no limit) —
+  /// the knob used to mirror the paper's per-benchmark query counts.
+  virtual std::vector<ClientQuery> makeQueries(const pag::PAG &G,
+                                               size_t MaxQueries) const = 0;
+
+  /// Judges the answer to \p Q.
+  virtual Verdict judge(const pag::PAG &G, const ClientQuery &Q,
+                        const analysis::QueryResult &R) const = 0;
+
+  /// The REFINEPTS satisfaction predicate for \p Q: refinement stops as
+  /// soon as the property is Proven.  (Refuted answers cannot stop
+  /// refinement early — the imprecision may be the analysis's fault.)
+  analysis::ClientPredicate predicate(const pag::PAG &G,
+                                      const ClientQuery &Q) const;
+};
+
+/// Applies \p MaxQueries to \p Queries by uniform stride.
+std::vector<ClientQuery> strideSample(std::vector<ClientQuery> Queries,
+                                      size_t MaxQueries);
+
+/// Runs queries [\p Begin, \p End) of \p Queries through \p Analysis and
+/// aggregates a report.
+ClientReport runClient(const Client &C, analysis::DemandAnalysis &A,
+                       const std::vector<ClientQuery> &Queries,
+                       size_t Begin, size_t End);
+
+/// Convenience: run the whole stream.
+inline ClientReport runClient(const Client &C, analysis::DemandAnalysis &A,
+                              const std::vector<ClientQuery> &Queries) {
+  return runClient(C, A, Queries, 0, Queries.size());
+}
+
+//===----------------------------------------------------------------------===//
+// The three paper clients
+//===----------------------------------------------------------------------===//
+
+/// Checks downcast safety: for every cast site (T) x where T is not a
+/// supertype of x's declared type, the cast is safe iff every object x
+/// may point to has a type that is a subtype of T.
+class SafeCastClient : public Client {
+public:
+  const char *name() const override { return "SafeCast"; }
+  std::vector<ClientQuery> makeQueries(const pag::PAG &G,
+                                       size_t MaxQueries) const override;
+  Verdict judge(const pag::PAG &G, const ClientQuery &Q,
+                const analysis::QueryResult &R) const override;
+};
+
+/// Detects null-pointer dereferences: for the base variable of every
+/// load and store, the dereference is safe iff no null pseudo-object is
+/// in its points-to set (and the set is non-empty, i.e. the variable is
+/// initialized at all).  This client "demands high precision": any null
+/// anywhere in the heap approximation refutes it.
+class NullDerefClient : public Client {
+public:
+  const char *name() const override { return "NullDeref"; }
+  std::vector<ClientQuery> makeQueries(const pag::PAG &G,
+                                       size_t MaxQueries) const override;
+  Verdict judge(const pag::PAG &G, const ClientQuery &Q,
+                const analysis::QueryResult &R) const override;
+};
+
+/// Checks the factory-method property: the result of a call to a
+/// factory (a method whose name starts with "create" or "make") must
+/// only be objects freshly allocated inside the factory or its callees.
+class FactoryMClient : public Client {
+public:
+  FactoryMClient();
+  ~FactoryMClient() override;
+
+  const char *name() const override { return "FactoryM"; }
+  std::vector<ClientQuery> makeQueries(const pag::PAG &G,
+                                       size_t MaxQueries) const override;
+  Verdict judge(const pag::PAG &G, const ClientQuery &Q,
+                const analysis::QueryResult &R) const override;
+
+  /// True when \p M is treated as a factory by name.
+  static bool isFactoryName(std::string_view Name);
+
+private:
+  struct ReachabilityIndex;
+  /// Lazily built per judged program; owned by this client so indexes
+  /// cannot outlive the queries that keyed them.
+  mutable std::unique_ptr<ReachabilityIndex> Reach;
+  mutable const ir::Program *ReachProgram = nullptr;
+};
+
+/// Checks virtual-call devirtualizability: a call site is Proven when
+/// the receiver's points-to set dispatches to exactly one target method
+/// (the JIT may then inline it), Refuted when several targets remain.
+/// This client is not in the paper's evaluation; it implements the JIT
+/// use case the paper's introduction motivates.
+class DevirtClient : public Client {
+public:
+  const char *name() const override { return "Devirt"; }
+  std::vector<ClientQuery> makeQueries(const pag::PAG &G,
+                                       size_t MaxQueries) const override;
+  Verdict judge(const pag::PAG &G, const ClientQuery &Q,
+                const analysis::QueryResult &R) const override;
+
+  /// The distinct dispatch targets implied by \p R for the virtual call
+  /// at site \p Q.Site (null receivers ignored).  Exposed for tests and
+  /// the devirtualization example.
+  static std::vector<ir::MethodId> dispatchTargets(const pag::PAG &G,
+                                                   const ClientQuery &Q,
+                                                   const analysis::QueryResult &R);
+};
+
+/// Constructs the three paper clients in evaluation order.
+std::vector<std::unique_ptr<Client>> makePaperClients();
+
+/// The paper clients plus the Devirt extension client.
+std::vector<std::unique_ptr<Client>> makeAllClients();
+
+} // namespace clients
+} // namespace dynsum
+
+#endif // DYNSUM_CLIENTS_CLIENT_H

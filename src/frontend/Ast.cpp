@@ -1,0 +1,268 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST pretty-printer (pseudo-source form used by tests and tools).
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+#include "support/OStream.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+std::string TypeRef::str() const {
+  std::string Out;
+  switch (Base) {
+  case Class:
+    Out = Name;
+    break;
+  case Int:
+    Out = "int";
+    break;
+  case Boolean:
+    Out = "boolean";
+    break;
+  case Void:
+    Out = "void";
+    break;
+  }
+  if (IsArray)
+    Out += "[]";
+  return Out;
+}
+
+namespace {
+
+/// Indentation-tracking printer over an OStream.
+class AstPrinter {
+public:
+  explicit AstPrinter(OStream &OS) : OS(OS) {}
+
+  void print(const CompilationUnit &Unit) {
+    for (const ClassDecl &Cls : Unit.Classes)
+      printClass(Cls);
+  }
+
+private:
+  void indent() { OS.writeRepeated(' ', Depth * 2); }
+
+  void printClass(const ClassDecl &Cls);
+  void printMethod(const MethodDecl &M);
+  void printStmt(const Stmt &S);
+  void printExpr(const Expr &E);
+
+  OStream &OS;
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+void AstPrinter::printClass(const ClassDecl &Cls) {
+  OS << "class " << Cls.Name;
+  if (!Cls.SuperName.empty())
+    OS << " extends " << Cls.SuperName;
+  OS << " {\n";
+  ++Depth;
+  for (const FieldDecl &F : Cls.Fields) {
+    indent();
+    if (F.IsStatic)
+      OS << "static ";
+    OS << F.Type.str() << ' ' << F.Name << ";\n";
+  }
+  for (const MethodDecl &M : Cls.Methods)
+    printMethod(M);
+  --Depth;
+  OS << "}\n";
+}
+
+void AstPrinter::printMethod(const MethodDecl &M) {
+  indent();
+  if (M.IsStatic)
+    OS << "static ";
+  if (!M.IsCtor)
+    OS << M.ReturnType.str() << ' ';
+  OS << M.Name << '(';
+  for (size_t I = 0; I < M.Params.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << M.Params[I].Type.str() << ' ' << M.Params[I].Name;
+  }
+  OS << ") ";
+  printStmt(*M.Body);
+}
+
+void AstPrinter::printStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    OS << "{\n";
+    ++Depth;
+    for (const StmtPtr &Child : S.Body) {
+      indent();
+      printStmt(*Child);
+    }
+    --Depth;
+    indent();
+    OS << "}\n";
+    return;
+  case StmtKind::VarDecl:
+    OS << S.DeclType.str() << ' ' << S.Text;
+    if (S.Value) {
+      OS << " = ";
+      printExpr(*S.Value);
+    }
+    OS << ";\n";
+    return;
+  case StmtKind::Assign:
+    printExpr(*S.Target);
+    OS << " = ";
+    printExpr(*S.Value);
+    OS << ";\n";
+    return;
+  case StmtKind::ExprStmt:
+    printExpr(*S.Value);
+    OS << ";\n";
+    return;
+  case StmtKind::If:
+    OS << "if (";
+    printExpr(*S.Cond);
+    OS << ") ";
+    printStmt(*S.Then);
+    if (S.Else) {
+      indent();
+      OS << "else ";
+      printStmt(*S.Else);
+    }
+    return;
+  case StmtKind::While:
+    OS << "while (";
+    printExpr(*S.Cond);
+    OS << ") ";
+    printStmt(*S.Then);
+    return;
+  case StmtKind::Return:
+    OS << "return";
+    if (S.Value) {
+      OS << ' ';
+      printExpr(*S.Value);
+    }
+    OS << ";\n";
+    return;
+  }
+}
+
+/// Spelling of binary/unary operator \p K.
+static const char *opSpelling(TokenKind K) {
+  switch (K) {
+  case TokenKind::Plus:
+    return "+";
+  case TokenKind::Minus:
+    return "-";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Slash:
+    return "/";
+  case TokenKind::Less:
+    return "<";
+  case TokenKind::Greater:
+    return ">";
+  case TokenKind::EqEq:
+    return "==";
+  case TokenKind::NotEq:
+    return "!=";
+  case TokenKind::AndAnd:
+    return "&&";
+  case TokenKind::OrOr:
+    return "||";
+  case TokenKind::Not:
+    return "!";
+  default:
+    assert(false && "not an operator token");
+    return "?";
+  }
+}
+
+void AstPrinter::printExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    OS << E.IntValue;
+    return;
+  case ExprKind::BoolLit:
+    OS << (E.BoolValue ? "true" : "false");
+    return;
+  case ExprKind::StringLit:
+    OS << '"' << E.Text << '"';
+    return;
+  case ExprKind::NullLit:
+    OS << "null";
+    return;
+  case ExprKind::This:
+    OS << "this";
+    return;
+  case ExprKind::VarRef:
+    OS << E.Text;
+    return;
+  case ExprKind::FieldAccess:
+    printExpr(*E.Lhs);
+    OS << '.' << E.Text;
+    return;
+  case ExprKind::ArrayIndex:
+    printExpr(*E.Lhs);
+    OS << '[';
+    printExpr(*E.Rhs);
+    OS << ']';
+    return;
+  case ExprKind::Call:
+    if (E.Lhs) {
+      printExpr(*E.Lhs);
+      OS << '.';
+    }
+    OS << E.Text << '(';
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printExpr(*E.Args[I]);
+    }
+    OS << ')';
+    return;
+  case ExprKind::NewObject:
+    OS << "new " << E.Type.Name << '(';
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      printExpr(*E.Args[I]);
+    }
+    OS << ')';
+    return;
+  case ExprKind::NewArray: {
+    TypeRef Elem = E.Type;
+    Elem.IsArray = false;
+    OS << "new " << Elem.str() << '[';
+    printExpr(*E.Rhs);
+    OS << ']';
+    return;
+  }
+  case ExprKind::Cast:
+    OS << '(' << E.Type.str() << ") ";
+    printExpr(*E.Lhs);
+    return;
+  case ExprKind::Unary:
+    OS << opSpelling(E.Op);
+    printExpr(*E.Lhs);
+    return;
+  case ExprKind::Binary:
+    OS << '(';
+    printExpr(*E.Lhs);
+    OS << ' ' << opSpelling(E.Op) << ' ';
+    printExpr(*E.Rhs);
+    OS << ')';
+    return;
+  }
+}
+
+void dynsum::frontend::dumpAst(const CompilationUnit &Unit, OStream &OS) {
+  AstPrinter(OS).print(Unit);
+}

@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree of the MiniJava frontend.
+///
+/// The surface language is a small single-inheritance subset of Java:
+/// classes with typed fields, constructors, static and instance methods,
+/// block-structured statements (if/while/return/assignment/expression),
+/// and expressions covering allocation, field and array access, calls,
+/// casts and integer/boolean arithmetic.  Pointer-relevant constructs
+/// lower onto the mini pointer IR; arithmetic type-checks but lowers to
+/// nothing (the analyses are pointer-only, like the paper's PAG).
+///
+/// Expressions and statements are tagged structs (one struct per
+/// category, the same pattern as ir::Statement) rather than class
+/// hierarchies: the frontend is a producer pipeline with exactly three
+/// consumers (sema, lowering, dump), so visitors would be noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_AST_H
+#define DYNSUM_FRONTEND_AST_H
+
+#include "frontend/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+class OStream;
+} // namespace dynsum
+
+namespace dynsum {
+namespace frontend {
+
+/// A syntactic type reference, before sema resolution.
+struct TypeRef {
+  enum BaseKind : uint8_t {
+    Class,   ///< a class name (Name holds it)
+    Int,     ///< primitive int
+    Boolean, ///< primitive boolean
+    Void,    ///< method return only
+  };
+
+  BaseKind Base = Class;
+  std::string Name; ///< class name when Base == Class
+  bool IsArray = false;
+  SourceLoc Loc;
+
+  bool isClass() const { return Base == Class && !IsArray; }
+  bool isPrimitive() const { return (Base == Int || Base == Boolean) && !IsArray; }
+  bool isVoid() const { return Base == Void; }
+
+  /// "Vector", "int[]", "void" — for diagnostics.
+  std::string str() const;
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,      ///< 42                       (IntValue)
+  BoolLit,     ///< true / false             (BoolValue)
+  StringLit,   ///< "text"                   (Text, with quotes stripped)
+  NullLit,     ///< null
+  This,        ///< this
+  VarRef,      ///< name                     (Text; may resolve to a class)
+  FieldAccess, ///< Lhs.Text
+  ArrayIndex,  ///< Lhs[Rhs]
+  Call,        ///< [Lhs.]Text(Args)         (Lhs null for unqualified)
+  NewObject,   ///< new Type(Args)
+  NewArray,    ///< new Type[Rhs]
+  Cast,        ///< (Type) Lhs
+  Unary,       ///< Op Lhs                   (Op in {'!', '-'})
+  Binary,      ///< Lhs Op Rhs               (arithmetic/logic/comparison)
+};
+
+/// Binary operator spelling, kept as the token kind that produced it.
+/// All binaries operate on primitives except EqEq/NotEq, which also
+/// compare references (type-checked, lowered to nothing).
+struct Expr {
+  ExprKind Kind = ExprKind::NullLit;
+  SourceLoc Loc;
+
+  ExprPtr Lhs; ///< base / operand / cast operand
+  ExprPtr Rhs; ///< index / binary right operand / array size
+
+  std::string Text;          ///< identifier, field, method or literal text
+  int64_t IntValue = 0;      ///< IntLit
+  bool BoolValue = false;    ///< BoolLit
+  TokenKind Op = TokenKind::Eof; ///< Unary/Binary operator
+  TypeRef Type;              ///< NewObject/NewArray/Cast type
+  std::vector<ExprPtr> Args; ///< Call/NewObject arguments
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  VarDecl, ///< Type Text [= Value];
+  Assign,  ///< Target = Value;              (Target: VarRef/Field/Index)
+  ExprStmt,///< Value;                       (calls for effect)
+  If,      ///< if (Cond) Then [else Else]
+  While,   ///< while (Cond) Then
+  Return,  ///< return [Value];
+  Block,   ///< { Body... }
+};
+
+struct Stmt {
+  StmtKind Kind = StmtKind::Block;
+  SourceLoc Loc;
+
+  TypeRef DeclType;          ///< VarDecl
+  std::string Text;          ///< VarDecl name
+  ExprPtr Target;            ///< Assign left-hand side
+  ExprPtr Value;             ///< initializer / RHS / ExprStmt / Return
+  ExprPtr Cond;              ///< If/While condition
+  StmtPtr Then;              ///< If then-branch / While body
+  StmtPtr Else;              ///< If else-branch
+  std::vector<StmtPtr> Body; ///< Block statements
+};
+
+/// A formal parameter.
+struct ParamDecl {
+  TypeRef Type;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// A method, constructor (Name == owning class name, IsCtor set) or
+/// static method declaration.
+struct MethodDecl {
+  std::string Name;
+  TypeRef ReturnType;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body; ///< always a Block
+  bool IsStatic = false;
+  bool IsCtor = false;
+  SourceLoc Loc;
+};
+
+/// A field declaration.  Static fields are program globals (accessed as
+/// "ClassName.field"); they lower to the IR's context-insensitive global
+/// variables, the source of assignglobal PAG edges.
+struct FieldDecl {
+  TypeRef Type;
+  std::string Name;
+  bool IsStatic = false;
+  SourceLoc Loc;
+};
+
+/// A class declaration.
+struct ClassDecl {
+  std::string Name;
+  std::string SuperName; ///< empty = extends Object
+  std::vector<FieldDecl> Fields;
+  std::vector<MethodDecl> Methods;
+  SourceLoc Loc;
+};
+
+/// A parsed compilation unit.
+struct CompilationUnit {
+  std::vector<ClassDecl> Classes;
+};
+
+/// Pretty-prints \p Unit as indented pseudo-source (tests, debugging).
+void dumpAst(const CompilationUnit &Unit, OStream &OS);
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_AST_H

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection shared by the MiniJava parser, sema and
+/// lowering phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_DIAGNOSTICS_H
+#define DYNSUM_FRONTEND_DIAGNOSTICS_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace dynsum {
+namespace frontend {
+
+/// One error message anchored at a source location.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  /// "line L:C: message" (the error style of the IR parser).
+  std::string str() const;
+};
+
+/// Accumulates diagnostics across frontend phases.  The frontend never
+/// aborts on the first error; each phase reports what it can and later
+/// phases run only when earlier ones were clean.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void report(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics joined by newlines (convenience for tests and
+  /// tools).  Empty when clean.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava compilation driver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+std::string Diagnostic::str() const {
+  return "line " + std::to_string(Loc.Line) + ":" + std::to_string(Loc.Col) +
+         ": " + Message;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!Out.empty())
+      Out += '\n';
+    Out += D.str();
+  }
+  return Out;
+}
+
+CompileResult dynsum::frontend::compileMiniJava(std::string_view Source) {
+  CompileResult Result;
+  CompilationUnit Unit = parseUnit(Source, Result.Diags);
+  if (Result.Diags.hasErrors())
+    return Result;
+  SemaResult Sema = analyzeUnit(Unit, Result.Diags);
+  if (Result.Diags.hasErrors())
+    return Result;
+  Result.Prog = lowerUnit(Unit, Sema);
+  return Result;
+}

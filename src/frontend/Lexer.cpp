@@ -1,0 +1,302 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava lexer implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+const char *dynsum::frontend::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwExtends:
+    return "'extends'";
+  case TokenKind::KwStatic:
+    return "'static'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBoolean:
+    return "'boolean'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  assert(false && "unknown token kind");
+  return "?";
+}
+
+void Lexer::advance() {
+  assert(Pos < Source.size() && "advancing past end of input");
+  if (Source[Pos] == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  ++Pos;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = Source[Pos];
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && Source[Pos] != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Source.size() &&
+             !(Source[Pos] == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Source.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokenKind K, size_t Begin) const {
+  Token T;
+  T.Kind = K;
+  T.Text = Source.substr(Begin, Pos - Begin);
+  T.Loc = {TokLine, TokCol};
+  return T;
+}
+
+/// Maps an identifier spelling to its keyword kind, or Identifier.
+static TokenKind classifyWord(std::string_view Word) {
+  if (Word == "class")
+    return TokenKind::KwClass;
+  if (Word == "extends")
+    return TokenKind::KwExtends;
+  if (Word == "static")
+    return TokenKind::KwStatic;
+  if (Word == "void")
+    return TokenKind::KwVoid;
+  if (Word == "int")
+    return TokenKind::KwInt;
+  if (Word == "boolean")
+    return TokenKind::KwBoolean;
+  if (Word == "if")
+    return TokenKind::KwIf;
+  if (Word == "else")
+    return TokenKind::KwElse;
+  if (Word == "while")
+    return TokenKind::KwWhile;
+  if (Word == "return")
+    return TokenKind::KwReturn;
+  if (Word == "new")
+    return TokenKind::KwNew;
+  if (Word == "null")
+    return TokenKind::KwNull;
+  if (Word == "this")
+    return TokenKind::KwThis;
+  if (Word == "true")
+    return TokenKind::KwTrue;
+  if (Word == "false")
+    return TokenKind::KwFalse;
+  return TokenKind::Identifier;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  TokLine = Line;
+  TokCol = Col;
+  size_t Begin = Pos;
+  if (Pos >= Source.size())
+    return make(TokenKind::Eof, Begin);
+
+  char C = Source[Pos];
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+            Source[Pos] == '_' || Source[Pos] == '$'))
+      advance();
+    Token T = make(TokenKind::Identifier, Begin);
+    T.Kind = classifyWord(T.Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(Source[Pos])))
+      advance();
+    return make(TokenKind::IntLiteral, Begin);
+  }
+
+  if (C == '"') {
+    advance();
+    while (Pos < Source.size() && Source[Pos] != '"' && Source[Pos] != '\n') {
+      if (Source[Pos] == '\\' && Pos + 1 < Source.size())
+        advance(); // skip the escaped character as well
+      advance();
+    }
+    if (Pos >= Source.size() || Source[Pos] != '"')
+      return make(TokenKind::Error, Begin); // unterminated string
+    advance();
+    return make(TokenKind::StringLiteral, Begin);
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    return make(TokenKind::LBrace, Begin);
+  case '}':
+    return make(TokenKind::RBrace, Begin);
+  case '(':
+    return make(TokenKind::LParen, Begin);
+  case ')':
+    return make(TokenKind::RParen, Begin);
+  case '[':
+    return make(TokenKind::LBracket, Begin);
+  case ']':
+    return make(TokenKind::RBracket, Begin);
+  case ';':
+    return make(TokenKind::Semicolon, Begin);
+  case ',':
+    return make(TokenKind::Comma, Begin);
+  case '.':
+    return make(TokenKind::Dot, Begin);
+  case '+':
+    return make(TokenKind::Plus, Begin);
+  case '-':
+    return make(TokenKind::Minus, Begin);
+  case '*':
+    return make(TokenKind::Star, Begin);
+  case '/':
+    return make(TokenKind::Slash, Begin);
+  case '<':
+    return make(TokenKind::Less, Begin);
+  case '>':
+    return make(TokenKind::Greater, Begin);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqEq, Begin);
+    }
+    return make(TokenKind::Assign, Begin);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::NotEq, Begin);
+    }
+    return make(TokenKind::Not, Begin);
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AndAnd, Begin);
+    }
+    return make(TokenKind::Error, Begin);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::OrOr, Begin);
+    }
+    return make(TokenKind::Error, Begin);
+  default:
+    return make(TokenKind::Error, Begin);
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof) || T.is(TokenKind::Error))
+      break;
+  }
+  if (Tokens.back().is(TokenKind::Error)) {
+    Token Eof;
+    Eof.Kind = TokenKind::Eof;
+    Eof.Loc = Tokens.back().Loc;
+    Tokens.push_back(Eof);
+  }
+  return Tokens;
+}

@@ -1,0 +1,56 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the MiniJava frontend.
+///
+/// Supports // line comments and /* block comments */, decimal integer
+/// literals, double-quoted string literals (no escapes beyond \" \\ \n
+/// \t) and the operator/keyword set of Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_LEXER_H
+#define DYNSUM_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace dynsum {
+namespace frontend {
+
+/// Lexes a source buffer into a token vector (ending with Eof).  The
+/// buffer must outlive any tokens produced from it.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Lexes the next token.  After Eof, repeatedly returns Eof.  Invalid
+  /// input yields a Token::Error carrying the offending text.
+  Token next();
+
+  /// Lexes the entire buffer.  The result always ends with an Eof token;
+  /// an Error token (if any) terminates lexing early.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  void advance();
+  void skipTrivia();
+  Token make(TokenKind K, size_t Begin) const;
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  uint32_t TokLine = 1;
+  uint32_t TokCol = 1;
+};
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_LEXER_H

@@ -1,0 +1,628 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava-to-IR lowering implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lower.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+using ir::kNone;
+
+namespace {
+
+/// Lowering context for one compilation unit.
+class Lowerer {
+public:
+  Lowerer(const CompilationUnit &Unit, const SemaResult &Sema)
+      : Unit(Unit), Sema(Sema), Prog(std::make_unique<ir::Program>()) {}
+
+  std::unique_ptr<ir::Program> run();
+
+private:
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  /// IR class for sema class \p Idx, creating superclasses first.
+  ir::TypeId irClass(uint32_t Idx);
+
+  /// IR class representing arrays of \p Elem ("Vector[]", "int[]").
+  ir::TypeId irArrayClass(TypeDesc::Kind Elem, uint32_t ElemClassIdx);
+
+  /// IR type carrying values of \p T (kObjectType for non-pointers).
+  ir::TypeId irTypeOf(const TypeDesc &T);
+
+  /// IR global for static field \p FieldIdx of sema class \p ClassIdx.
+  ir::VarId irStaticField(uint32_t ClassIdx, uint32_t FieldIdx);
+
+  void declareMethods();
+  void lowerBodies();
+
+  //===------------------------------------------------------------------===//
+  // Statements and expressions
+  //===------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt &S);
+
+  /// Lowers \p E for value.  Returns the IR variable holding the result,
+  /// or kNone when the expression carries no pointer.
+  ir::VarId lowerExpr(const Expr &E);
+
+  ir::VarId lowerCall(const Expr &E);
+  ir::VarId lowerNewObject(const Expr &E);
+
+  /// A fresh temporary in the current method with declared type \p T.
+  ir::VarId newTemp(ir::TypeId T);
+
+  /// The scoped IR variable for source name \p Name (must be bound).
+  ir::VarId scopedVar(std::string_view Name) const;
+
+  void emit(ir::Statement S) { Prog->addStatement(CurMethod, std::move(S)); }
+
+  void emitAssign(ir::VarId Dst, ir::VarId Src) {
+    assert(Dst != kNone && Src != kNone && "assign of non-pointers");
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Assign;
+    S.Dst = Dst;
+    S.Src = Src;
+    emit(std::move(S));
+  }
+
+  /// Declares source variable \p Name in the innermost scope, creating a
+  /// uniquely named IR local (shadowed names get a "#N" suffix).
+  ir::VarId declareScopedVar(std::string_view Name, ir::TypeId DeclaredType);
+
+  void pushScope() { ScopeBounds.push_back(Scope.size()); }
+  void popScope() {
+    Scope.resize(ScopeBounds.back());
+    ScopeBounds.pop_back();
+  }
+
+  const CompilationUnit &Unit;
+  const SemaResult &Sema;
+  std::unique_ptr<ir::Program> Prog;
+
+  /// Sema class index -> IR class id (kNone until created).
+  std::vector<ir::TypeId> ClassMap;
+  /// Array-class cache keyed by (elem kind, elem class idx).
+  std::unordered_map<uint64_t, ir::TypeId> ArrayClasses;
+  /// Sema method index -> IR method id.
+  std::vector<ir::MethodId> MethodMap;
+  /// (class idx << 32 | field idx) -> IR global id.
+  std::unordered_map<uint64_t, ir::VarId> StaticFieldMap;
+
+  ir::FieldId ArrField = kNone;
+
+  // Per-method lowering state.
+  ir::MethodId CurMethod = kNone;
+  uint32_t CurSema = ~0u; ///< sema index of the method being lowered
+  struct Binding {
+    std::string Name;
+    ir::VarId Var;
+  };
+  std::vector<Binding> Scope;
+  std::vector<size_t> ScopeBounds;
+  uint32_t NextTemp = 0;
+  std::unordered_map<std::string, uint32_t> NameUses;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+ir::TypeId Lowerer::irClass(uint32_t Idx) {
+  assert(Idx < ClassMap.size() && "sema class out of range");
+  if (ClassMap[Idx] != kNone)
+    return ClassMap[Idx];
+  const ClassInfo &Info = Sema.Classes[Idx];
+  assert(Idx != 0 && "Object is pre-mapped");
+  ir::TypeId Super =
+      Info.SuperIdx == ~0u ? ir::kObjectType : irClass(Info.SuperIdx);
+  ClassMap[Idx] = Prog->createClass(Prog->name(Info.Name), Super);
+  return ClassMap[Idx];
+}
+
+ir::TypeId Lowerer::irArrayClass(TypeDesc::Kind Elem, uint32_t ElemClassIdx) {
+  uint64_t Key = (uint64_t(Elem) << 32) | ElemClassIdx;
+  auto It = ArrayClasses.find(Key);
+  if (It != ArrayClasses.end())
+    return It->second;
+  std::string Name;
+  switch (Elem) {
+  case TypeDesc::Int:
+    Name = "int[]";
+    break;
+  case TypeDesc::Boolean:
+    Name = "boolean[]";
+    break;
+  case TypeDesc::Class:
+    Name = Sema.Classes[ElemClassIdx].Name + "[]";
+    break;
+  default:
+    assert(false && "bad array element kind");
+  }
+  ir::TypeId Id = Prog->createClass(Prog->name(Name), ir::kObjectType);
+  ArrayClasses.emplace(Key, Id);
+  return Id;
+}
+
+ir::TypeId Lowerer::irTypeOf(const TypeDesc &T) {
+  switch (T.K) {
+  case TypeDesc::Class:
+    return irClass(T.ClassIdx);
+  case TypeDesc::Array:
+    return irArrayClass(T.Elem, T.ElemClassIdx);
+  default:
+    return ir::kObjectType;
+  }
+}
+
+ir::VarId Lowerer::irStaticField(uint32_t ClassIdx, uint32_t FieldIdx) {
+  uint64_t Key = (uint64_t(ClassIdx) << 32) | FieldIdx;
+  auto It = StaticFieldMap.find(Key);
+  if (It != StaticFieldMap.end())
+    return It->second;
+  const ClassInfo &Cls = Sema.Classes[ClassIdx];
+  const FieldInfo &F = Cls.StaticFields[FieldIdx];
+  ir::VarId G = Prog->createGlobal(Prog->name(Cls.Name + "." + F.Name),
+                                   irTypeOf(F.Type));
+  StaticFieldMap.emplace(Key, G);
+  return G;
+}
+
+void Lowerer::declareMethods() {
+  MethodMap.assign(Sema.Methods.size(), kNone);
+  for (uint32_t I = 0; I < Sema.Methods.size(); ++I) {
+    const MethodInfo &M = Sema.Methods[I];
+    ir::TypeId Owner = irClass(M.ClassIdx);
+    std::string_view Name = M.IsCtor ? std::string_view("<init>") : M.Name;
+    ir::MethodId Id = Prog->createMethod(Prog->name(Name), Owner);
+    MethodMap[I] = Id;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scope management
+//===----------------------------------------------------------------------===//
+
+ir::VarId Lowerer::declareScopedVar(std::string_view Name,
+                                    ir::TypeId DeclaredType) {
+  // IR locals are keyed by name within a method; shadowed declarations
+  // get a unique suffix.
+  std::string Unique(Name);
+  uint32_t &Uses = NameUses[Unique];
+  if (Uses > 0)
+    Unique += "#" + std::to_string(Uses);
+  ++Uses;
+  ir::VarId V =
+      Prog->createLocal(Prog->name(Unique), CurMethod, DeclaredType);
+  Scope.push_back({std::string(Name), V});
+  return V;
+}
+
+ir::VarId Lowerer::scopedVar(std::string_view Name) const {
+  for (size_t I = Scope.size(); I > 0; --I)
+    if (Scope[I - 1].Name == Name)
+      return Scope[I - 1].Var;
+  assert(false && "sema guarantees all variable references are bound");
+  return kNone;
+}
+
+ir::VarId Lowerer::newTemp(ir::TypeId T) {
+  std::string Name = "$t" + std::to_string(NextTemp++);
+  return Prog->createLocal(Prog->name(Name), CurMethod, T);
+}
+
+//===----------------------------------------------------------------------===//
+// Bodies
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerBodies() {
+  for (uint32_t I = 0; I < Sema.Methods.size(); ++I) {
+    const MethodInfo &M = Sema.Methods[I];
+    if (!M.Decl || !M.Decl->Body)
+      continue;
+    CurMethod = MethodMap[I];
+    CurSema = I;
+    Scope.clear();
+    ScopeBounds.clear();
+    NameUses.clear();
+    NextTemp = 0;
+    pushScope();
+
+    ir::Method &IrM = Prog->method(CurMethod);
+    if (!M.IsStatic) {
+      ir::VarId This = declareScopedVar("this", irClass(M.ClassIdx));
+      IrM.Params.push_back(This);
+    }
+    for (size_t P = 0; P < M.ParamNames.size(); ++P) {
+      if (!M.ParamTypes[P].isPointer()) {
+        // Primitive parameters exist only in sema's scopes; the IR
+        // signature is pointers-only.
+        Scope.push_back({M.ParamNames[P], kNone});
+        continue;
+      }
+      ir::VarId V =
+          declareScopedVar(M.ParamNames[P], irTypeOf(M.ParamTypes[P]));
+      IrM.Params.push_back(V);
+    }
+
+    lowerStmt(*M.Decl->Body);
+    popScope();
+  }
+  CurMethod = kNone;
+  CurSema = ~0u;
+}
+
+void Lowerer::lowerStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    pushScope();
+    for (const StmtPtr &Child : S.Body)
+      lowerStmt(*Child);
+    popScope();
+    return;
+
+  case StmtKind::VarDecl: {
+    // The declared type, not the initializer type, names the IR local's
+    // static type (SafeCast keys on declared types).
+    TypeDesc Declared;
+    switch (S.DeclType.Base) {
+    case TypeRef::Int:
+      Declared = TypeDesc::intTy();
+      break;
+    case TypeRef::Boolean:
+      Declared = TypeDesc::boolTy();
+      break;
+    case TypeRef::Void:
+      Declared = TypeDesc::invalidTy();
+      break;
+    case TypeRef::Class:
+      Declared = TypeDesc::classTy(Sema.classIdx(S.DeclType.Name));
+      break;
+    }
+    if (S.DeclType.IsArray)
+      Declared = TypeDesc::arrayOf(Declared.K, Declared.ClassIdx);
+
+    if (!Declared.isPointer()) {
+      // Primitive local: evaluate the initializer for effects only.
+      if (S.Value)
+        lowerExpr(*S.Value);
+      Scope.push_back({S.Text, kNone});
+      return;
+    }
+    ir::VarId V = declareScopedVar(S.Text, irTypeOf(Declared));
+    if (S.Value) {
+      ir::VarId Init = lowerExpr(*S.Value);
+      if (Init != kNone)
+        emitAssign(V, Init);
+    }
+    return;
+  }
+
+  case StmtKind::Assign: {
+    const Expr &Target = *S.Target;
+    switch (Target.Kind) {
+    case ExprKind::VarRef: {
+      ir::VarId Src = lowerExpr(*S.Value);
+      ir::VarId Dst = scopedVar(Target.Text);
+      if (Dst != kNone && Src != kNone)
+        emitAssign(Dst, Src);
+      return;
+    }
+    case ExprKind::FieldAccess: {
+      auto StaticRef = Sema.StaticFieldRefs.find(&Target);
+      if (StaticRef != Sema.StaticFieldRefs.end()) {
+        ir::VarId Src = lowerExpr(*S.Value);
+        ir::VarId G = irStaticField(StaticRef->second.first,
+                                    StaticRef->second.second);
+        if (Src != kNone)
+          emitAssign(G, Src); // a global assignment
+        return;
+      }
+      ir::VarId Base = lowerExpr(*Target.Lhs);
+      ir::VarId Src = lowerExpr(*S.Value);
+      if (Base == kNone || Src == kNone)
+        return; // primitive-typed field: no pointer moves
+      ir::Statement Store;
+      Store.Kind = ir::StmtKind::Store;
+      Store.Base = Base;
+      Store.FieldLabel = Prog->getOrCreateField(Prog->name(Target.Text));
+      Store.Src = Src;
+      emit(std::move(Store));
+      return;
+    }
+    case ExprKind::ArrayIndex: {
+      ir::VarId Base = lowerExpr(*Target.Lhs);
+      lowerExpr(*Target.Rhs); // index, for effects
+      ir::VarId Src = lowerExpr(*S.Value);
+      if (Base == kNone || Src == kNone)
+        return;
+      ir::Statement Store;
+      Store.Kind = ir::StmtKind::Store;
+      Store.Base = Base;
+      Store.FieldLabel = ArrField;
+      Store.Src = Src;
+      emit(std::move(Store));
+      return;
+    }
+    default:
+      assert(false && "parser rejects other assignment targets");
+      return;
+    }
+  }
+
+  case StmtKind::ExprStmt:
+    lowerExpr(*S.Value);
+    return;
+
+  case StmtKind::If:
+    lowerExpr(*S.Cond); // effects only; both branches always lower
+    lowerStmt(*S.Then);
+    if (S.Else)
+      lowerStmt(*S.Else);
+    return;
+
+  case StmtKind::While:
+    lowerExpr(*S.Cond);
+    lowerStmt(*S.Then);
+    return;
+
+  case StmtKind::Return: {
+    if (!S.Value)
+      return;
+    ir::VarId V = lowerExpr(*S.Value);
+    if (V == kNone)
+      return; // void/primitive return carries no pointer
+    ir::Statement Ret;
+    Ret.Kind = ir::StmtKind::Return;
+    Ret.Src = V;
+    emit(std::move(Ret));
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ir::VarId Lowerer::lowerExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+    return kNone;
+
+  case ExprKind::NullLit: {
+    ir::VarId Tmp = newTemp(ir::kObjectType);
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Null;
+    S.Dst = Tmp;
+    S.Alloc = Prog->createNullAlloc(CurMethod);
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::StringLit: {
+    uint32_t StringIdx = Sema.classIdx("String");
+    ir::TypeId StringTy = irClass(StringIdx);
+    ir::VarId Tmp = newTemp(StringTy);
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Alloc;
+    S.Dst = Tmp;
+    S.Type = StringTy;
+    S.Alloc = Prog->createAllocSite(StringTy, CurMethod, Symbol{});
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::This:
+    return scopedVar("this");
+
+  case ExprKind::VarRef:
+    if (Sema.ClassRefs.count(&E))
+      return kNone; // a class name used as a static qualifier
+    return scopedVar(E.Text);
+
+  case ExprKind::FieldAccess: {
+    auto StaticRef = Sema.StaticFieldRefs.find(&E);
+    if (StaticRef != Sema.StaticFieldRefs.end()) {
+      const FieldInfo &F =
+          Sema.Classes[StaticRef->second.first]
+              .StaticFields[StaticRef->second.second];
+      if (!F.Type.isPointer())
+        return kNone;
+      return irStaticField(StaticRef->second.first, StaticRef->second.second);
+    }
+    ir::VarId Base = lowerExpr(*E.Lhs);
+    if (Sema.LengthReads.count(&E))
+      return kNone; // arr.length is an int
+    TypeDesc FieldType = Sema.typeOf(&E);
+    if (Base == kNone || !FieldType.isPointer())
+      return kNone; // primitive field: the deref moves no pointer
+    ir::VarId Tmp = newTemp(irTypeOf(FieldType));
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Load;
+    S.Dst = Tmp;
+    S.Base = Base;
+    S.FieldLabel = Prog->getOrCreateField(Prog->name(E.Text));
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::ArrayIndex: {
+    ir::VarId Base = lowerExpr(*E.Lhs);
+    lowerExpr(*E.Rhs); // index, for effects
+    TypeDesc ElemType = Sema.typeOf(&E);
+    if (Base == kNone || !ElemType.isPointer())
+      return kNone;
+    ir::VarId Tmp = newTemp(irTypeOf(ElemType));
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Load;
+    S.Dst = Tmp;
+    S.Base = Base;
+    S.FieldLabel = ArrField;
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::Call:
+    return lowerCall(E);
+  case ExprKind::NewObject:
+    return lowerNewObject(E);
+
+  case ExprKind::NewArray: {
+    lowerExpr(*E.Rhs); // size, for effects
+    TypeDesc T = Sema.typeOf(&E);
+    assert(T.K == TypeDesc::Array && "sema types new[] as an array");
+    ir::TypeId ArrTy = irArrayClass(T.Elem, T.ElemClassIdx);
+    ir::VarId Tmp = newTemp(ArrTy);
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Alloc;
+    S.Dst = Tmp;
+    S.Type = ArrTy;
+    S.Alloc = Prog->createAllocSite(ArrTy, CurMethod, Symbol{});
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::Cast: {
+    ir::VarId Src = lowerExpr(*E.Lhs);
+    TypeDesc Target = Sema.typeOf(&E);
+    if (Src == kNone || !Target.isPointer())
+      return Src;
+    ir::TypeId TargetTy = irTypeOf(Target);
+    ir::VarId Tmp = newTemp(TargetTy);
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Cast;
+    S.Dst = Tmp;
+    S.Src = Src;
+    S.Type = TargetTy;
+    S.Cast = Prog->createCastSite(CurMethod, Src, TargetTy);
+    emit(std::move(S));
+    return Tmp;
+  }
+
+  case ExprKind::Unary:
+    lowerExpr(*E.Lhs);
+    return kNone;
+
+  case ExprKind::Binary:
+    lowerExpr(*E.Lhs);
+    lowerExpr(*E.Rhs);
+    return kNone;
+  }
+  assert(false && "unknown expression kind");
+  return kNone;
+}
+
+ir::VarId Lowerer::lowerCall(const Expr &E) {
+  auto CallIt = Sema.Calls.find(&E);
+  assert(CallIt != Sema.Calls.end() && "sema resolves every call");
+  const CallInfo &Info = CallIt->second;
+  const MethodInfo &Callee = Sema.Methods[Info.MethodIdx];
+
+  // Receiver (virtual calls only).
+  ir::VarId Recv = kNone;
+  if (Info.K == CallInfo::Virtual)
+    Recv = Info.ImplicitThis ? scopedVar("this") : lowerExpr(*E.Lhs);
+  else if (E.Lhs && !Sema.ClassRefs.count(E.Lhs.get()))
+    lowerExpr(*E.Lhs); // static call through an expression: effects only
+
+  // Arguments: lower all for effects, keep the pointer ones.
+  std::vector<ir::VarId> PtrArgs;
+  for (size_t I = 0; I < E.Args.size(); ++I) {
+    ir::VarId V = lowerExpr(*E.Args[I]);
+    if (Callee.ParamTypes[I].isPointer()) {
+      // A pointer parameter may still receive the null temp of an
+      // unlowered operand only via sema errors; guarded by assert.
+      assert(V != kNone && "pointer argument lowered to nothing");
+      PtrArgs.push_back(V);
+    }
+  }
+
+  ir::VarId Dst = kNone;
+  if (Callee.ReturnType.isPointer())
+    Dst = newTemp(irTypeOf(Callee.ReturnType));
+
+  ir::Statement S;
+  S.Kind = ir::StmtKind::Call;
+  S.Dst = Dst;
+  S.Call = Prog->createCallSite(CurMethod, E.Loc.Line);
+  if (Info.K == CallInfo::Virtual) {
+    assert(Recv != kNone && "virtual call without a receiver");
+    S.IsVirtual = true;
+    S.Base = Recv;
+    S.VirtualName = Prog->name(Callee.Name);
+    S.Args.push_back(Recv);
+  } else {
+    S.Callee = MethodMap[Info.MethodIdx];
+  }
+  for (ir::VarId Arg : PtrArgs)
+    S.Args.push_back(Arg);
+  emit(std::move(S));
+  return Dst;
+}
+
+ir::VarId Lowerer::lowerNewObject(const Expr &E) {
+  TypeDesc T = Sema.typeOf(&E);
+  assert(T.K == TypeDesc::Class && "sema types 'new C' as class C");
+  ir::TypeId Ty = irClass(T.ClassIdx);
+  ir::VarId Obj = newTemp(Ty);
+  ir::Statement Alloc;
+  Alloc.Kind = ir::StmtKind::Alloc;
+  Alloc.Dst = Obj;
+  Alloc.Type = Ty;
+  Alloc.Alloc = Prog->createAllocSite(Ty, CurMethod, Symbol{});
+  emit(std::move(Alloc));
+
+  auto CallIt = Sema.Calls.find(&E);
+  if (CallIt == Sema.Calls.end())
+    return Obj; // no constructor declared: the bare allocation suffices
+
+  const MethodInfo &Ctor = Sema.Methods[CallIt->second.MethodIdx];
+  ir::Statement S;
+  S.Kind = ir::StmtKind::Call;
+  S.Callee = MethodMap[CallIt->second.MethodIdx];
+  S.Call = Prog->createCallSite(CurMethod, E.Loc.Line);
+  S.Args.push_back(Obj); // the fresh object is the receiver
+  for (size_t I = 0; I < E.Args.size(); ++I) {
+    ir::VarId V = lowerExpr(*E.Args[I]);
+    if (Ctor.ParamTypes[I].isPointer()) {
+      assert(V != kNone && "pointer argument lowered to nothing");
+      S.Args.push_back(V);
+    }
+  }
+  emit(std::move(S));
+  return Obj;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Program> Lowerer::run() {
+  ClassMap.assign(Sema.Classes.size(), kNone);
+  ClassMap[0] = ir::kObjectType;
+  for (uint32_t I = 1; I < Sema.Classes.size(); ++I)
+    irClass(I);
+  ArrField = Prog->getOrCreateField(Prog->name("arr"));
+  declareMethods();
+  lowerBodies();
+  return std::move(Prog);
+}
+
+std::unique_ptr<ir::Program>
+dynsum::frontend::lowerUnit(const CompilationUnit &Unit,
+                            const SemaResult &Sema) {
+  Lowerer L(Unit, Sema);
+  return L.run();
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowering from the checked MiniJava AST to the mini pointer IR.
+///
+/// Lowering is pointer-only, the same projection Spark applies to Java
+/// bytecode before building a PAG:
+///  * control flow is flattened — the IR is flow-insensitive, so the
+///    statements of both branches of an if (and of loop bodies) are
+///    emitted unconditionally into the method's statement bag;
+///  * arithmetic and boolean computation disappears; subexpressions are
+///    still lowered so calls buried in them keep their effects;
+///  * loads/stores of primitive-typed fields and array elements vanish
+///    (they move no pointers);
+///  * arrays collapse onto the single "arr" field of a synthesized
+///    "T[]" class, exactly the paper's array model;
+///  * "new C(...)" becomes an allocation plus a direct call to the
+///    constructor "C.<init>" with the fresh object as receiver;
+///  * virtual calls carry the method *name*; PAG construction expands
+///    them through CHA dispatch;
+///  * static fields become IR globals named "Class.field"; reads and
+///    writes become (context-insensitive) global assignments;
+///  * every null literal gets its own null pseudo-allocation site (the
+///    NullDeref client's targets);
+///  * every reference cast records a cast site (the SafeCast client
+///    filters statically-safe upcasts itself).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_LOWER_H
+#define DYNSUM_FRONTEND_LOWER_H
+
+#include "frontend/Sema.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace dynsum {
+namespace frontend {
+
+/// Lowers \p Unit (checked against \p Sema, which must be error-free)
+/// into a fresh IR program.
+std::unique_ptr<ir::Program> lowerUnit(const CompilationUnit &Unit,
+                                       const SemaResult &Sema);
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_LOWER_H

@@ -1,0 +1,590 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava recursive-descent parser implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+namespace {
+
+/// The parser state: a token cursor plus diagnostics.  Recovery is by
+/// synchronizing to ';' or '}' after an error so one typo does not
+/// cascade into hundreds of messages.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  CompilationUnit parseUnit();
+
+private:
+  //===------------------------------------------------------------------===//
+  // Token cursor
+  //===------------------------------------------------------------------===//
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind K) const { return cur().is(K); }
+
+  Token take() {
+    Token T = cur();
+    if (!T.is(TokenKind::Eof))
+      ++Pos;
+    return T;
+  }
+
+  bool accept(TokenKind K) {
+    if (!at(K))
+      return false;
+    take();
+    return true;
+  }
+
+  /// Consumes a token of kind \p K or reports "\p What expected".
+  Token expect(TokenKind K, const char *What) {
+    if (at(K))
+      return take();
+    error(cur().Loc, std::string("expected ") + What + " before " +
+                         tokenKindName(cur().Kind));
+    return cur();
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.report(Loc, std::move(Message));
+  }
+
+  /// Skips ahead to the next ';' (consumed) or '}' / EOF (left in
+  /// place), the statement-level recovery point.
+  void synchronizeStmt() {
+    while (!at(TokenKind::Eof)) {
+      if (accept(TokenKind::Semicolon))
+        return;
+      if (at(TokenKind::RBrace))
+        return;
+      take();
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Grammar productions
+  //===------------------------------------------------------------------===//
+
+  ClassDecl parseClass();
+  void parseMember(ClassDecl &Cls);
+  TypeRef parseType();
+  std::vector<ParamDecl> parseParams();
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  std::vector<ExprPtr> parseArgs();
+
+  /// True when the cursor sits at the start of a type usable in a
+  /// declaration statement: "int"/"boolean", "ID ID", or "ID [ ] ID".
+  bool atDeclStart() const;
+
+  /// True when \p K may begin a unary expression (cast lookahead).
+  static bool startsUnary(TokenKind K);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+static ExprPtr makeExpr(ExprKind K, SourceLoc Loc) {
+  auto E = std::make_unique<Expr>();
+  E->Kind = K;
+  E->Loc = Loc;
+  return E;
+}
+
+static StmtPtr makeStmt(StmtKind K, SourceLoc Loc) {
+  auto S = std::make_unique<Stmt>();
+  S->Kind = K;
+  S->Loc = Loc;
+  return S;
+}
+
+bool Parser::startsUnary(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+  case TokenKind::IntLiteral:
+  case TokenKind::StringLiteral:
+  case TokenKind::KwTrue:
+  case TokenKind::KwFalse:
+  case TokenKind::KwNull:
+  case TokenKind::KwThis:
+  case TokenKind::KwNew:
+  case TokenKind::LParen:
+  case TokenKind::Not:
+  case TokenKind::Minus:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::atDeclStart() const {
+  if (at(TokenKind::KwInt) || at(TokenKind::KwBoolean))
+    return true;
+  if (!at(TokenKind::Identifier))
+    return false;
+  if (peek().is(TokenKind::Identifier))
+    return true; // "Type name"
+  return peek().is(TokenKind::LBracket) && peek(2).is(TokenKind::RBracket) &&
+         peek(3).is(TokenKind::Identifier); // "Type[] name"
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+CompilationUnit Parser::parseUnit() {
+  CompilationUnit Unit;
+  while (!at(TokenKind::Eof)) {
+    if (at(TokenKind::KwClass)) {
+      Unit.Classes.push_back(parseClass());
+      continue;
+    }
+    error(cur().Loc, std::string("expected 'class' at top level, found ") +
+                         tokenKindName(cur().Kind));
+    // Recover by scanning for the next class keyword.
+    while (!at(TokenKind::Eof) && !at(TokenKind::KwClass))
+      take();
+  }
+  return Unit;
+}
+
+ClassDecl Parser::parseClass() {
+  ClassDecl Cls;
+  Cls.Loc = expect(TokenKind::KwClass, "'class'").Loc;
+  Cls.Name = std::string(expect(TokenKind::Identifier, "class name").Text);
+  if (accept(TokenKind::KwExtends))
+    Cls.SuperName =
+        std::string(expect(TokenKind::Identifier, "superclass name").Text);
+  expect(TokenKind::LBrace, "'{'");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof))
+    parseMember(Cls);
+  expect(TokenKind::RBrace, "'}'");
+  return Cls;
+}
+
+void Parser::parseMember(ClassDecl &Cls) {
+  MethodDecl M;
+  M.Loc = cur().Loc;
+
+  // Constructor: "ClassName ( ... )".
+  if (at(TokenKind::Identifier) && cur().Text == Cls.Name &&
+      peek().is(TokenKind::LParen)) {
+    M.Name = std::string(take().Text);
+    M.IsCtor = true;
+    M.ReturnType.Base = TypeRef::Void;
+    M.ReturnType.Loc = M.Loc;
+    expect(TokenKind::LParen, "'('");
+    M.Params = parseParams();
+    expect(TokenKind::RParen, "')'");
+    M.Body = parseBlock();
+    Cls.Methods.push_back(std::move(M));
+    return;
+  }
+
+  M.IsStatic = accept(TokenKind::KwStatic);
+
+  TypeRef Type;
+  if (at(TokenKind::KwVoid)) {
+    Type.Base = TypeRef::Void;
+    Type.Loc = take().Loc;
+  } else {
+    Type = parseType();
+  }
+
+  Token Name = expect(TokenKind::Identifier, "member name");
+
+  if (accept(TokenKind::LParen)) {
+    M.Name = std::string(Name.Text);
+    M.ReturnType = Type;
+    M.Params = parseParams();
+    expect(TokenKind::RParen, "')'");
+    M.Body = parseBlock();
+    Cls.Methods.push_back(std::move(M));
+    return;
+  }
+
+  // Otherwise a field declaration (static fields are globals).
+  if (Type.isVoid())
+    error(Type.Loc, "fields may not have type void");
+  FieldDecl F;
+  F.Loc = M.Loc;
+  F.Type = Type;
+  F.Name = std::string(Name.Text);
+  F.IsStatic = M.IsStatic;
+  expect(TokenKind::Semicolon, "';'");
+  Cls.Fields.push_back(std::move(F));
+}
+
+TypeRef Parser::parseType() {
+  TypeRef T;
+  T.Loc = cur().Loc;
+  if (accept(TokenKind::KwInt)) {
+    T.Base = TypeRef::Int;
+  } else if (accept(TokenKind::KwBoolean)) {
+    T.Base = TypeRef::Boolean;
+  } else {
+    T.Base = TypeRef::Class;
+    T.Name = std::string(expect(TokenKind::Identifier, "type name").Text);
+  }
+  if (accept(TokenKind::LBracket)) {
+    expect(TokenKind::RBracket, "']'");
+    T.IsArray = true;
+  }
+  return T;
+}
+
+std::vector<ParamDecl> Parser::parseParams() {
+  std::vector<ParamDecl> Params;
+  if (at(TokenKind::RParen))
+    return Params;
+  do {
+    ParamDecl P;
+    P.Loc = cur().Loc;
+    P.Type = parseType();
+    P.Name = std::string(expect(TokenKind::Identifier, "parameter name").Text);
+    Params.push_back(std::move(P));
+  } while (accept(TokenKind::Comma));
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  StmtPtr Block = makeStmt(StmtKind::Block, cur().Loc);
+  expect(TokenKind::LBrace, "'{'");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof))
+    Block->Body.push_back(parseStmt());
+  expect(TokenKind::RBrace, "'}'");
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+
+  if (at(TokenKind::LBrace))
+    return parseBlock();
+
+  if (accept(TokenKind::KwIf)) {
+    StmtPtr S = makeStmt(StmtKind::If, Loc);
+    expect(TokenKind::LParen, "'('");
+    S->Cond = parseExpr();
+    expect(TokenKind::RParen, "')'");
+    S->Then = parseStmt();
+    if (accept(TokenKind::KwElse))
+      S->Else = parseStmt();
+    return S;
+  }
+
+  if (accept(TokenKind::KwWhile)) {
+    StmtPtr S = makeStmt(StmtKind::While, Loc);
+    expect(TokenKind::LParen, "'('");
+    S->Cond = parseExpr();
+    expect(TokenKind::RParen, "')'");
+    S->Then = parseStmt();
+    return S;
+  }
+
+  if (accept(TokenKind::KwReturn)) {
+    StmtPtr S = makeStmt(StmtKind::Return, Loc);
+    if (!at(TokenKind::Semicolon))
+      S->Value = parseExpr();
+    expect(TokenKind::Semicolon, "';'");
+    return S;
+  }
+
+  if (atDeclStart()) {
+    StmtPtr S = makeStmt(StmtKind::VarDecl, Loc);
+    S->DeclType = parseType();
+    S->Text = std::string(expect(TokenKind::Identifier, "variable name").Text);
+    if (accept(TokenKind::Assign))
+      S->Value = parseExpr();
+    expect(TokenKind::Semicolon, "';'");
+    return S;
+  }
+
+  // Expression statement or assignment.
+  ExprPtr E = parseExpr();
+  if (accept(TokenKind::Assign)) {
+    StmtPtr S = makeStmt(StmtKind::Assign, Loc);
+    if (E->Kind != ExprKind::VarRef && E->Kind != ExprKind::FieldAccess &&
+        E->Kind != ExprKind::ArrayIndex)
+      error(E->Loc, "left-hand side of '=' must be a variable, field or "
+                    "array element");
+    S->Target = std::move(E);
+    S->Value = parseExpr();
+    expect(TokenKind::Semicolon, "';'");
+    return S;
+  }
+
+  StmtPtr S = makeStmt(StmtKind::ExprStmt, Loc);
+  if (E->Kind != ExprKind::Call && E->Kind != ExprKind::NewObject)
+    error(E->Loc, "only calls may be used as statements");
+  S->Value = std::move(E);
+  if (!accept(TokenKind::Semicolon)) {
+    error(cur().Loc, std::string("expected ';' before ") +
+                         tokenKindName(cur().Kind));
+    synchronizeStmt();
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binding power of binary operator \p K; 0 when not a binary operator.
+static int binaryPrec(TokenKind K) {
+  switch (K) {
+  case TokenKind::OrOr:
+    return 1;
+  case TokenKind::AndAnd:
+    return 2;
+  case TokenKind::EqEq:
+  case TokenKind::NotEq:
+    return 3;
+  case TokenKind::Less:
+  case TokenKind::Greater:
+    return 4;
+  case TokenKind::Plus:
+  case TokenKind::Minus:
+    return 5;
+  case TokenKind::Star:
+  case TokenKind::Slash:
+    return 6;
+  default:
+    return 0;
+  }
+}
+
+ExprPtr Parser::parseExpr() { return parseBinary(1); }
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  while (true) {
+    int Prec = binaryPrec(cur().Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    Token Op = take();
+    ExprPtr Rhs = parseBinary(Prec + 1); // all operators left-associative
+    ExprPtr E = makeExpr(ExprKind::Binary, Op.Loc);
+    E->Op = Op.Kind;
+    E->Lhs = std::move(Lhs);
+    E->Rhs = std::move(Rhs);
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (at(TokenKind::Not) || at(TokenKind::Minus)) {
+    Token Op = take();
+    ExprPtr E = makeExpr(ExprKind::Unary, Op.Loc);
+    E->Op = Op.Kind;
+    E->Lhs = parseUnary();
+    return E;
+  }
+
+  // Cast lookahead: "( int/boolean ...", "( ID )"+unary, "( ID [ ] )".
+  if (at(TokenKind::LParen)) {
+    bool IsCast = false;
+    if (peek().is(TokenKind::KwInt) || peek().is(TokenKind::KwBoolean)) {
+      IsCast = true;
+    } else if (peek().is(TokenKind::Identifier)) {
+      if (peek(2).is(TokenKind::RParen) && startsUnary(peek(3).Kind))
+        IsCast = true;
+      else if (peek(2).is(TokenKind::LBracket) &&
+               peek(3).is(TokenKind::RBracket) && peek(4).is(TokenKind::RParen))
+        IsCast = true;
+    }
+    if (IsCast) {
+      SourceLoc Loc = take().Loc; // '('
+      ExprPtr E = makeExpr(ExprKind::Cast, Loc);
+      E->Type = parseType();
+      expect(TokenKind::RParen, "')'");
+      E->Lhs = parseUnary();
+      return E;
+    }
+  }
+
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  while (true) {
+    if (accept(TokenKind::Dot)) {
+      Token Name = expect(TokenKind::Identifier, "member name");
+      if (accept(TokenKind::LParen)) {
+        ExprPtr Call = makeExpr(ExprKind::Call, Name.Loc);
+        Call->Text = std::string(Name.Text);
+        Call->Lhs = std::move(E);
+        Call->Args = parseArgs();
+        expect(TokenKind::RParen, "')'");
+        E = std::move(Call);
+      } else {
+        ExprPtr Field = makeExpr(ExprKind::FieldAccess, Name.Loc);
+        Field->Text = std::string(Name.Text);
+        Field->Lhs = std::move(E);
+        E = std::move(Field);
+      }
+      continue;
+    }
+    if (at(TokenKind::LBracket)) {
+      SourceLoc Loc = take().Loc;
+      ExprPtr Index = makeExpr(ExprKind::ArrayIndex, Loc);
+      Index->Lhs = std::move(E);
+      Index->Rhs = parseExpr();
+      expect(TokenKind::RBracket, "']'");
+      E = std::move(Index);
+      continue;
+    }
+    return E;
+  }
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  if (at(TokenKind::RParen))
+    return Args;
+  do {
+    Args.push_back(parseExpr());
+  } while (accept(TokenKind::Comma));
+  return Args;
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+
+  if (at(TokenKind::IntLiteral)) {
+    Token T = take();
+    ExprPtr E = makeExpr(ExprKind::IntLit, Loc);
+    E->Text = std::string(T.Text);
+    E->IntValue = std::strtoll(E->Text.c_str(), nullptr, 10);
+    return E;
+  }
+
+  if (at(TokenKind::StringLiteral)) {
+    Token T = take();
+    ExprPtr E = makeExpr(ExprKind::StringLit, Loc);
+    assert(T.Text.size() >= 2 && "lexer guarantees closing quote");
+    E->Text = std::string(T.Text.substr(1, T.Text.size() - 2));
+    return E;
+  }
+
+  if (accept(TokenKind::KwTrue)) {
+    ExprPtr E = makeExpr(ExprKind::BoolLit, Loc);
+    E->BoolValue = true;
+    return E;
+  }
+  if (accept(TokenKind::KwFalse)) {
+    ExprPtr E = makeExpr(ExprKind::BoolLit, Loc);
+    E->BoolValue = false;
+    return E;
+  }
+  if (accept(TokenKind::KwNull))
+    return makeExpr(ExprKind::NullLit, Loc);
+  if (accept(TokenKind::KwThis))
+    return makeExpr(ExprKind::This, Loc);
+
+  if (accept(TokenKind::KwNew)) {
+    TypeRef Type;
+    Type.Loc = cur().Loc;
+    if (accept(TokenKind::KwInt)) {
+      Type.Base = TypeRef::Int;
+    } else if (accept(TokenKind::KwBoolean)) {
+      Type.Base = TypeRef::Boolean;
+    } else {
+      Type.Base = TypeRef::Class;
+      Type.Name = std::string(expect(TokenKind::Identifier, "type name").Text);
+    }
+    if (accept(TokenKind::LBracket)) {
+      ExprPtr E = makeExpr(ExprKind::NewArray, Loc);
+      E->Rhs = parseExpr();
+      expect(TokenKind::RBracket, "']'");
+      Type.IsArray = true;
+      E->Type = Type;
+      return E;
+    }
+    if (Type.Base != TypeRef::Class) {
+      error(Loc, "'new' on a primitive type requires '[size]'");
+      return makeExpr(ExprKind::NullLit, Loc);
+    }
+    ExprPtr E = makeExpr(ExprKind::NewObject, Loc);
+    E->Type = Type;
+    expect(TokenKind::LParen, "'('");
+    E->Args = parseArgs();
+    expect(TokenKind::RParen, "')'");
+    return E;
+  }
+
+  if (at(TokenKind::Identifier)) {
+    Token Name = take();
+    if (accept(TokenKind::LParen)) {
+      ExprPtr E = makeExpr(ExprKind::Call, Loc);
+      E->Text = std::string(Name.Text);
+      E->Args = parseArgs();
+      expect(TokenKind::RParen, "')'");
+      return E;
+    }
+    ExprPtr E = makeExpr(ExprKind::VarRef, Loc);
+    E->Text = std::string(Name.Text);
+    return E;
+  }
+
+  if (accept(TokenKind::LParen)) {
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "')'");
+    return E;
+  }
+
+  error(Loc, std::string("expected an expression, found ") +
+                 tokenKindName(cur().Kind));
+  if (!at(TokenKind::Eof))
+    take(); // make progress so the parser cannot loop
+  return makeExpr(ExprKind::NullLit, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+CompilationUnit dynsum::frontend::parseUnit(std::string_view Source,
+                                            DiagnosticEngine &Diags) {
+  Lexer Lex(Source);
+  std::vector<Token> Tokens = Lex.lexAll();
+  for (const Token &T : Tokens)
+    if (T.is(TokenKind::Error))
+      Diags.report(T.Loc, "invalid token '" + std::string(T.Text) + "'");
+  Parser P(std::move(Tokens), Diags);
+  return P.parseUnit();
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniJava.
+///
+/// Grammar (EBNF; [] optional, {} repetition):
+///
+///   unit       := {classdecl} EOF
+///   classdecl  := "class" ID ["extends" ID] "{" {member} "}"
+///   member     := type ID ";"                                   // field
+///               | ["static"] (type | "void") ID "(" params ")" block
+///               | ID "(" params ")" block                       // ctor
+///   type       := ("int" | "boolean" | ID) ["[" "]"]
+///   params     := [type ID {"," type ID}]
+///   block      := "{" {stmt} "}"
+///   stmt       := block
+///               | "if" "(" expr ")" stmt ["else" stmt]
+///               | "while" "(" expr ")" stmt
+///               | "return" [expr] ";"
+///               | type ID ["=" expr] ";"                        // decl
+///               | expr ["=" expr] ";"                           // assign
+///   expr       := binary expression over unary, precedence
+///                 || < && < ==/!= < (< >) < +- < */
+///   unary      := ("!" | "-") unary | "(" type ")" unary | postfix
+///   postfix    := primary {"." ID ["(" args ")"] | "[" expr "]"}
+///   primary    := INT | STRING | "true" | "false" | "null" | "this"
+///               | ID ["(" args ")"]
+///               | "new" ID "(" args ")"
+///               | "new" ("int" | "boolean" | ID) "[" expr "]"
+///               | "(" expr ")"
+///
+/// Cast-vs-grouping ambiguity at "(": resolved by lookahead — a
+/// parenthesized primitive type, a parenthesized "ID[]", or "(ID)"
+/// followed by a token that can begin a unary expression parses as a
+/// cast (the standard one-identifier heuristic; MiniJava has no
+/// expression juxtaposition so it is exact here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_PARSER_H
+#define DYNSUM_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diagnostics.h"
+
+#include <vector>
+
+namespace dynsum {
+namespace frontend {
+
+/// Parses \p Source into an AST, reporting problems to \p Diags.  The
+/// returned unit contains everything parseable before the first
+/// unrecoverable error; callers must check Diags before using it.
+CompilationUnit parseUnit(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_PARSER_H

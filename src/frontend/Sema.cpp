@@ -1,0 +1,851 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniJava semantic analysis implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+static constexpr uint32_t Absent = ~0u;
+
+//===----------------------------------------------------------------------===//
+// SemaResult queries
+//===----------------------------------------------------------------------===//
+
+uint32_t SemaResult::classIdx(std::string_view Name) const {
+  if (ClassIdxCache.empty())
+    for (uint32_t I = 0; I < Classes.size(); ++I)
+      ClassIdxCache.emplace(Classes[I].Name, I);
+  auto It = ClassIdxCache.find(std::string(Name));
+  return It == ClassIdxCache.end() ? Absent : It->second;
+}
+
+const FieldInfo *SemaResult::findField(uint32_t ClassIdx,
+                                       std::string_view Name) const {
+  for (uint32_t C = ClassIdx; C != Absent; C = Classes[C].SuperIdx)
+    for (const FieldInfo &F : Classes[C].Fields)
+      if (F.Name == Name)
+        return &F;
+  return nullptr;
+}
+
+std::pair<uint32_t, uint32_t>
+SemaResult::findStaticField(uint32_t ClassIdx, std::string_view Name) const {
+  for (uint32_t C = ClassIdx; C != Absent; C = Classes[C].SuperIdx)
+    for (uint32_t I = 0; I < Classes[C].StaticFields.size(); ++I)
+      if (Classes[C].StaticFields[I].Name == Name)
+        return {C, I};
+  return {Absent, Absent};
+}
+
+uint32_t SemaResult::findMethod(uint32_t ClassIdx,
+                                std::string_view Name) const {
+  for (uint32_t C = ClassIdx; C != Absent; C = Classes[C].SuperIdx)
+    for (uint32_t M : Classes[C].Methods)
+      if (!Methods[M].IsCtor && Methods[M].Name == Name)
+        return M;
+  return Absent;
+}
+
+uint32_t SemaResult::findCtor(uint32_t ClassIdx) const {
+  for (uint32_t M : Classes[ClassIdx].Methods)
+    if (Methods[M].IsCtor)
+      return M;
+  return Absent;
+}
+
+bool SemaResult::isSubclass(uint32_t Sub, uint32_t Super) const {
+  for (uint32_t C = Sub; C != Absent; C = Classes[C].SuperIdx)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+TypeDesc SemaResult::typeOf(const Expr *E) const {
+  auto It = ExprTypes.find(E);
+  return It == ExprTypes.end() ? TypeDesc::invalidTy() : It->second;
+}
+
+std::string SemaResult::typeName(const TypeDesc &T) const {
+  switch (T.K) {
+  case TypeDesc::Invalid:
+    return "<error>";
+  case TypeDesc::Void:
+    return "void";
+  case TypeDesc::Int:
+    return "int";
+  case TypeDesc::Boolean:
+    return "boolean";
+  case TypeDesc::Null:
+    return "null";
+  case TypeDesc::Class:
+    return Classes[T.ClassIdx].Name;
+  case TypeDesc::Array: {
+    TypeDesc Elem;
+    Elem.K = T.Elem;
+    Elem.ClassIdx = T.ElemClassIdx;
+    return typeName(Elem) + "[]";
+  }
+  }
+  assert(false && "unknown TypeDesc kind");
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// The analyzer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Walks the unit twice: first to build the class/member tables, then to
+/// type-check every method body under a scope stack.
+class Analyzer {
+public:
+  Analyzer(const CompilationUnit &Unit, DiagnosticEngine &Diags)
+      : Unit(Unit), Diags(Diags) {}
+
+  SemaResult run();
+
+private:
+  //===------------------------------------------------------------------===//
+  // Phase 1: declarations
+  //===------------------------------------------------------------------===//
+
+  void buildClassTable();
+  void buildMemberTables();
+  void checkFieldHiding();
+  void checkOverrides();
+
+  /// Resolves a syntactic type reference; Invalid (with a diagnostic)
+  /// when the named class does not exist.
+  TypeDesc resolveType(const TypeRef &T);
+
+  //===------------------------------------------------------------------===//
+  // Phase 2: bodies
+  //===------------------------------------------------------------------===//
+
+  void checkBodies();
+  void checkMethodBody(uint32_t MethodIdx);
+  void checkStmt(const Stmt &S);
+  TypeDesc checkExpr(const Expr &E);
+  TypeDesc checkCall(const Expr &E);
+  TypeDesc checkNewObject(const Expr &E);
+
+  /// When \p Base is a bare identifier that names a class rather than a
+  /// variable in scope, records it as a static qualifier and returns the
+  /// class index; Absent otherwise.  Callers use this *instead of*
+  /// checkExpr on the base so a qualifier is never judged as a value.
+  uint32_t classQualifier(const Expr &Base);
+
+  /// Records and returns \p T as the type of \p E.
+  TypeDesc setType(const Expr &E, TypeDesc T) {
+    Result.ExprTypes[&E] = T;
+    return T;
+  }
+
+  /// True when a value of type \p Src may be assigned to \p Dst.
+  bool assignable(const TypeDesc &Src, const TypeDesc &Dst) const;
+
+  /// Reports "cannot assign X to Y" style errors unless either side is
+  /// already invalid (avoid cascades).
+  void checkAssignable(const TypeDesc &Src, const TypeDesc &Dst,
+                       SourceLoc Loc, const char *What);
+
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.report(Loc, std::move(Message));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Scopes
+  //===------------------------------------------------------------------===//
+
+  struct ScopedVar {
+    std::string Name;
+    TypeDesc Type;
+  };
+
+  void pushScope() { ScopeBounds.push_back(Scope.size()); }
+  void popScope() {
+    Scope.resize(ScopeBounds.back());
+    ScopeBounds.pop_back();
+  }
+
+  /// Innermost declaration of \p Name; null when unbound.
+  const ScopedVar *lookupVar(std::string_view Name) const {
+    for (size_t I = Scope.size(); I > 0; --I)
+      if (Scope[I - 1].Name == Name)
+        return &Scope[I - 1];
+    return nullptr;
+  }
+
+  /// True when \p Name is already bound in the current (innermost) scope.
+  bool boundInCurrentScope(std::string_view Name) const {
+    for (size_t I = ScopeBounds.back(); I < Scope.size(); ++I)
+      if (Scope[I].Name == Name)
+        return true;
+    return false;
+  }
+
+  const CompilationUnit &Unit;
+  DiagnosticEngine &Diags;
+  SemaResult Result;
+
+  // Body-checking state.
+  const MethodInfo *CurMethod = nullptr;
+  std::vector<ScopedVar> Scope;
+  std::vector<size_t> ScopeBounds;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Phase 1: declaration tables
+//===----------------------------------------------------------------------===//
+
+void Analyzer::buildClassTable() {
+  // The implicit root.  All class insertions (including the built-in
+  // String appended by run()) happen before the first classIdx() call so
+  // the lazily built name cache in SemaResult stays consistent.
+  ClassInfo Object;
+  Object.Name = "Object";
+  Result.Classes.push_back(std::move(Object));
+
+  std::unordered_map<std::string, uint32_t> Seen;
+  Seen.emplace("Object", 0);
+  for (const ClassDecl &Cls : Unit.Classes) {
+    if (Cls.Name == "Object") {
+      error(Cls.Loc, "class name 'Object' is reserved for the built-in root");
+      continue;
+    }
+    if (!Seen.emplace(Cls.Name, uint32_t(Result.Classes.size())).second) {
+      error(Cls.Loc, "duplicate class '" + Cls.Name + "'");
+      continue;
+    }
+    ClassInfo Info;
+    Info.Name = Cls.Name;
+    Info.Decl = &Cls;
+    Result.Classes.push_back(std::move(Info));
+  }
+}
+
+void Analyzer::buildMemberTables() {
+  // Resolve superclasses.
+  for (ClassInfo &Info : Result.Classes) {
+    if (!Info.Decl) {
+      // Built-in Object (and String, added later) have no declaration.
+      continue;
+    }
+    const ClassDecl &Cls = *Info.Decl;
+    if (Cls.SuperName.empty()) {
+      Info.SuperIdx = 0;
+      continue;
+    }
+    uint32_t Super = Result.classIdx(Cls.SuperName);
+    if (Super == Absent) {
+      error(Cls.Loc, "unknown superclass '" + Cls.SuperName + "' of '" +
+                         Cls.Name + "'");
+      Info.SuperIdx = 0;
+      continue;
+    }
+    Info.SuperIdx = Super;
+  }
+
+  // Detect inheritance cycles: walk each chain with a step bound.
+  for (uint32_t I = 1; I < Result.Classes.size(); ++I) {
+    uint32_t Steps = 0;
+    for (uint32_t C = I; C != Absent; C = Result.Classes[C].SuperIdx) {
+      if (++Steps > Result.Classes.size()) {
+        error(Result.Classes[I].Decl ? Result.Classes[I].Decl->Loc
+                                     : SourceLoc{},
+              "inheritance cycle involving class '" + Result.Classes[I].Name +
+                  "'");
+        Result.Classes[I].SuperIdx = 0; // break the cycle for recovery
+        break;
+      }
+    }
+  }
+
+  // Fields and methods.
+  for (uint32_t I = 1; I < Result.Classes.size(); ++I) {
+    ClassInfo &Info = Result.Classes[I];
+    if (!Info.Decl)
+      continue;
+    const ClassDecl &Cls = *Info.Decl;
+
+    for (const FieldDecl &F : Cls.Fields) {
+      std::vector<FieldInfo> &Bucket =
+          F.IsStatic ? Info.StaticFields : Info.Fields;
+      bool Duplicate = false;
+      for (const FieldInfo &Existing : Bucket)
+        if (Existing.Name == F.Name) {
+          error(F.Loc, "duplicate field '" + F.Name + "' in class '" +
+                           Cls.Name + "'");
+          Duplicate = true;
+          break;
+        }
+      if (Duplicate)
+        continue;
+      FieldInfo FI;
+      FI.Name = F.Name;
+      FI.Type = resolveType(F.Type);
+      FI.Loc = F.Loc;
+      Bucket.push_back(std::move(FI));
+    }
+
+    for (const MethodDecl &M : Cls.Methods) {
+      bool Duplicate = false;
+      for (uint32_t Existing : Info.Methods) {
+        const MethodInfo &EM = Result.Methods[Existing];
+        if (EM.Name == M.Name && EM.IsCtor == M.IsCtor) {
+          error(M.Loc, M.IsCtor
+                           ? "duplicate constructor in class '" + Cls.Name + "'"
+                           : "duplicate method '" + M.Name + "' in class '" +
+                                 Cls.Name + "' (overloading is not supported)");
+          Duplicate = true;
+          break;
+        }
+      }
+      if (Duplicate)
+        continue;
+      MethodInfo MI;
+      MI.Name = M.Name;
+      MI.ClassIdx = I;
+      MI.ReturnType = M.IsCtor ? TypeDesc::voidTy() : resolveType(M.ReturnType);
+      MI.IsStatic = M.IsStatic;
+      MI.IsCtor = M.IsCtor;
+      MI.Decl = &M;
+      for (const ParamDecl &P : M.Params) {
+        for (const std::string &Prev : MI.ParamNames)
+          if (Prev == P.Name)
+            error(P.Loc, "duplicate parameter '" + P.Name + "'");
+        MI.ParamTypes.push_back(resolveType(P.Type));
+        MI.ParamNames.push_back(P.Name);
+      }
+      Info.Methods.push_back(uint32_t(Result.Methods.size()));
+      Result.Methods.push_back(std::move(MI));
+    }
+  }
+}
+
+void Analyzer::checkFieldHiding() {
+  // Runs after every class's fields exist (class order is arbitrary, so
+  // this cannot fold into buildMemberTables' main loop).
+  for (const ClassInfo &Info : Result.Classes) {
+    if (Info.SuperIdx == Absent)
+      continue;
+    for (const FieldInfo &F : Info.Fields)
+      if (Result.findField(Info.SuperIdx, F.Name))
+        error(F.Loc, "field '" + F.Name + "' in class '" + Info.Name +
+                         "' hides an inherited field (the IR's "
+                         "name-keyed fields cannot distinguish them)");
+  }
+}
+
+void Analyzer::checkOverrides() {
+  for (const MethodInfo &M : Result.Methods) {
+    if (M.IsCtor)
+      continue;
+    uint32_t Super = Result.Classes[M.ClassIdx].SuperIdx;
+    if (Super == Absent)
+      continue;
+    uint32_t Overridden = Result.findMethod(Super, M.Name);
+    if (Overridden == Absent)
+      continue;
+    const MethodInfo &O = Result.Methods[Overridden];
+    SourceLoc Loc = M.Decl ? M.Decl->Loc : SourceLoc{};
+    if (M.IsStatic != O.IsStatic) {
+      error(Loc, "method '" + M.Name + "' in class '" +
+                     Result.Classes[M.ClassIdx].Name +
+                     "' conflicts with an inherited " +
+                     (O.IsStatic ? "static" : "instance") + " method");
+      continue;
+    }
+    if (M.IsStatic)
+      continue; // static methods simply hide; no dispatch involved
+    bool SignatureMatches = M.ParamTypes.size() == O.ParamTypes.size() &&
+                            M.ReturnType == O.ReturnType;
+    for (size_t I = 0; SignatureMatches && I < M.ParamTypes.size(); ++I)
+      SignatureMatches = M.ParamTypes[I] == O.ParamTypes[I];
+    if (!SignatureMatches)
+      error(Loc, "override of '" + Result.Classes[O.ClassIdx].Name + "." +
+                     O.Name + "' must repeat its exact signature");
+  }
+}
+
+TypeDesc Analyzer::resolveType(const TypeRef &T) {
+  TypeDesc Base;
+  switch (T.Base) {
+  case TypeRef::Int:
+    Base = TypeDesc::intTy();
+    break;
+  case TypeRef::Boolean:
+    Base = TypeDesc::boolTy();
+    break;
+  case TypeRef::Void:
+    assert(!T.IsArray && "parser rejects void arrays");
+    return TypeDesc::voidTy();
+  case TypeRef::Class: {
+    uint32_t Idx = Result.classIdx(T.Name);
+    if (Idx == Absent) {
+      error(T.Loc, "unknown type '" + T.Name + "'");
+      return TypeDesc::invalidTy();
+    }
+    Base = TypeDesc::classTy(Idx);
+    break;
+  }
+  }
+  if (!T.IsArray)
+    return Base;
+  return TypeDesc::arrayOf(Base.K, Base.ClassIdx);
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 2: bodies
+//===----------------------------------------------------------------------===//
+
+bool Analyzer::assignable(const TypeDesc &Src, const TypeDesc &Dst) const {
+  if (Src.isInvalid() || Dst.isInvalid())
+    return true; // error recovery: stay quiet after the first message
+  if (Src == Dst)
+    return true;
+  if (Src.K == TypeDesc::Null)
+    return Dst.K == TypeDesc::Class || Dst.K == TypeDesc::Array;
+  if (Src.K == TypeDesc::Class && Dst.K == TypeDesc::Class)
+    return Result.isSubclass(Src.ClassIdx, Dst.ClassIdx);
+  if (Src.K == TypeDesc::Array && Dst.K == TypeDesc::Class)
+    return Dst.ClassIdx == 0; // any array is an Object
+  return false;
+}
+
+void Analyzer::checkAssignable(const TypeDesc &Src, const TypeDesc &Dst,
+                               SourceLoc Loc, const char *What) {
+  if (assignable(Src, Dst))
+    return;
+  error(Loc, std::string("cannot use ") + Result.typeName(Src) + " as " +
+                 Result.typeName(Dst) + " in " + What);
+}
+
+void Analyzer::checkBodies() {
+  for (uint32_t M = 0; M < Result.Methods.size(); ++M)
+    checkMethodBody(M);
+}
+
+void Analyzer::checkMethodBody(uint32_t MethodIdx) {
+  const MethodInfo &M = Result.Methods[MethodIdx];
+  if (!M.Decl || !M.Decl->Body)
+    return;
+  CurMethod = &M;
+  Scope.clear();
+  ScopeBounds.clear();
+  pushScope();
+  for (size_t I = 0; I < M.ParamNames.size(); ++I)
+    Scope.push_back({M.ParamNames[I], M.ParamTypes[I]});
+  checkStmt(*M.Decl->Body);
+  popScope();
+  CurMethod = nullptr;
+}
+
+void Analyzer::checkStmt(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::Block:
+    pushScope();
+    for (const StmtPtr &Child : S.Body)
+      checkStmt(*Child);
+    popScope();
+    return;
+
+  case StmtKind::VarDecl: {
+    TypeDesc T = resolveType(S.DeclType);
+    if (T.K == TypeDesc::Void) {
+      error(S.Loc, "variables may not have type void");
+      T = TypeDesc::invalidTy();
+    }
+    if (boundInCurrentScope(S.Text))
+      error(S.Loc, "redeclaration of '" + S.Text + "' in the same scope");
+    if (S.Value) {
+      TypeDesc Init = checkExpr(*S.Value);
+      checkAssignable(Init, T, S.Loc, "initialization");
+    }
+    Scope.push_back({S.Text, T});
+    return;
+  }
+
+  case StmtKind::Assign: {
+    TypeDesc Target = checkExpr(*S.Target);
+    if (S.Target->Kind == ExprKind::FieldAccess &&
+        Result.LengthReads.count(S.Target.get()))
+      error(S.Target->Loc, "array length is read-only");
+    TypeDesc Value = checkExpr(*S.Value);
+    checkAssignable(Value, Target, S.Loc, "assignment");
+    return;
+  }
+
+  case StmtKind::ExprStmt:
+    checkExpr(*S.Value);
+    return;
+
+  case StmtKind::If:
+  case StmtKind::While: {
+    TypeDesc Cond = checkExpr(*S.Cond);
+    if (!Cond.isInvalid() && Cond.K != TypeDesc::Boolean)
+      error(S.Cond->Loc, "condition must be boolean, got " +
+                             Result.typeName(Cond));
+    checkStmt(*S.Then);
+    if (S.Else)
+      checkStmt(*S.Else);
+    return;
+  }
+
+  case StmtKind::Return: {
+    assert(CurMethod && "return outside a method body");
+    const TypeDesc &Expected = CurMethod->ReturnType;
+    if (!S.Value) {
+      if (Expected.K != TypeDesc::Void && !Expected.isInvalid())
+        error(S.Loc, "non-void method must return a value");
+      return;
+    }
+    if (Expected.K == TypeDesc::Void) {
+      error(S.Loc, CurMethod->IsCtor
+                       ? "constructors may not return a value"
+                       : "void method may not return a value");
+      checkExpr(*S.Value);
+      return;
+    }
+    TypeDesc Got = checkExpr(*S.Value);
+    checkAssignable(Got, Expected, S.Loc, "return");
+    return;
+  }
+  }
+}
+
+TypeDesc Analyzer::checkExpr(const Expr &E) {
+  switch (E.Kind) {
+  case ExprKind::IntLit:
+    return setType(E, TypeDesc::intTy());
+  case ExprKind::BoolLit:
+    return setType(E, TypeDesc::boolTy());
+  case ExprKind::NullLit:
+    return setType(E, TypeDesc::nullTy());
+
+  case ExprKind::StringLit: {
+    uint32_t StringIdx = Result.classIdx("String");
+    assert(StringIdx != Absent && "String is registered before body checks");
+    return setType(E, TypeDesc::classTy(StringIdx));
+  }
+
+  case ExprKind::This:
+    if (!CurMethod || CurMethod->IsStatic) {
+      error(E.Loc, "'this' is only available in instance methods");
+      return setType(E, TypeDesc::invalidTy());
+    }
+    return setType(E, TypeDesc::classTy(CurMethod->ClassIdx));
+
+  case ExprKind::VarRef: {
+    if (const ScopedVar *V = lookupVar(E.Text))
+      return setType(E, V->Type);
+    // Class names are valid only as static-call/field qualifiers, which
+    // checkCall and the FieldAccess case consume via classQualifier()
+    // before ever type-checking the base as a value.
+    error(E.Loc, Result.classIdx(E.Text) != Absent
+                     ? "class name '" + E.Text + "' used as a value"
+                     : "use of undeclared variable '" + E.Text + "'");
+    return setType(E, TypeDesc::invalidTy());
+  }
+
+  case ExprKind::FieldAccess: {
+    if (uint32_t Qual = classQualifier(*E.Lhs); Qual != Absent) {
+      // "ClassName.field": a static field (a program global).
+      auto [DeclClass, FieldIdx] = Result.findStaticField(Qual, E.Text);
+      if (DeclClass == Absent) {
+        error(E.Loc, "class '" + Result.Classes[Qual].Name +
+                         "' has no static field '" + E.Text + "'");
+        return setType(E, TypeDesc::invalidTy());
+      }
+      Result.StaticFieldRefs[&E] = {DeclClass, FieldIdx};
+      return setType(E, Result.Classes[DeclClass].StaticFields[FieldIdx].Type);
+    }
+    TypeDesc Base = checkExpr(*E.Lhs);
+    if (Base.K == TypeDesc::Array) {
+      if (E.Text == "length") {
+        Result.LengthReads[&E] = true;
+        return setType(E, TypeDesc::intTy());
+      }
+      error(E.Loc, "arrays have no field '" + E.Text + "'");
+      return setType(E, TypeDesc::invalidTy());
+    }
+    if (Base.K != TypeDesc::Class) {
+      if (!Base.isInvalid())
+        error(E.Loc, "field access on non-object type " +
+                         Result.typeName(Base));
+      return setType(E, TypeDesc::invalidTy());
+    }
+    const FieldInfo *F = Result.findField(Base.ClassIdx, E.Text);
+    if (!F) {
+      error(E.Loc, "class '" + Result.Classes[Base.ClassIdx].Name +
+                       "' has no field '" + E.Text + "'");
+      return setType(E, TypeDesc::invalidTy());
+    }
+    return setType(E, F->Type);
+  }
+
+  case ExprKind::ArrayIndex: {
+    TypeDesc Base = checkExpr(*E.Lhs);
+    TypeDesc Index = checkExpr(*E.Rhs);
+    if (!Index.isInvalid() && Index.K != TypeDesc::Int)
+      error(E.Rhs->Loc, "array index must be int");
+    if (Base.K != TypeDesc::Array) {
+      if (!Base.isInvalid())
+        error(E.Loc, "indexing non-array type " + Result.typeName(Base));
+      return setType(E, TypeDesc::invalidTy());
+    }
+    TypeDesc Elem;
+    Elem.K = Base.Elem;
+    Elem.ClassIdx = Base.ElemClassIdx;
+    return setType(E, Elem);
+  }
+
+  case ExprKind::Call:
+    return checkCall(E);
+  case ExprKind::NewObject:
+    return checkNewObject(E);
+
+  case ExprKind::NewArray: {
+    TypeDesc Size = checkExpr(*E.Rhs);
+    if (!Size.isInvalid() && Size.K != TypeDesc::Int)
+      error(E.Rhs->Loc, "array size must be int");
+    TypeRef Elem = E.Type;
+    Elem.IsArray = false;
+    TypeDesc ElemTy = resolveType(Elem);
+    if (ElemTy.isInvalid())
+      return setType(E, TypeDesc::invalidTy());
+    return setType(E, TypeDesc::arrayOf(ElemTy.K, ElemTy.ClassIdx));
+  }
+
+  case ExprKind::Cast: {
+    TypeDesc Target = resolveType(E.Type);
+    TypeDesc Operand = checkExpr(*E.Lhs);
+    if (!Target.isInvalid() && !Target.isPointer())
+      error(E.Loc, "casts exist only between reference types");
+    if (!Operand.isInvalid() && !Operand.isPointer())
+      error(E.Loc, "cannot cast non-reference type " +
+                       Result.typeName(Operand));
+    return setType(E, Target);
+  }
+
+  case ExprKind::Unary: {
+    TypeDesc Operand = checkExpr(*E.Lhs);
+    TypeDesc Expected =
+        E.Op == TokenKind::Not ? TypeDesc::boolTy() : TypeDesc::intTy();
+    if (!Operand.isInvalid() && !(Operand == Expected))
+      error(E.Loc, std::string("operand of ") +
+                       (E.Op == TokenKind::Not ? "'!'" : "unary '-'") +
+                       " must be " + Result.typeName(Expected));
+    return setType(E, Expected);
+  }
+
+  case ExprKind::Binary: {
+    TypeDesc L = checkExpr(*E.Lhs);
+    TypeDesc R = checkExpr(*E.Rhs);
+    switch (E.Op) {
+    case TokenKind::EqEq:
+    case TokenKind::NotEq: {
+      bool BothRefs = L.isPointer() && R.isPointer();
+      bool SamePrim = L == R && (L.K == TypeDesc::Int ||
+                                 L.K == TypeDesc::Boolean);
+      if (!L.isInvalid() && !R.isInvalid() && !BothRefs && !SamePrim)
+        error(E.Loc, "'=='/'!=' compare two references or two values of "
+                     "the same primitive type");
+      return setType(E, TypeDesc::boolTy());
+    }
+    case TokenKind::AndAnd:
+    case TokenKind::OrOr:
+      if (!L.isInvalid() && L.K != TypeDesc::Boolean)
+        error(E.Lhs->Loc, "logical operand must be boolean");
+      if (!R.isInvalid() && R.K != TypeDesc::Boolean)
+        error(E.Rhs->Loc, "logical operand must be boolean");
+      return setType(E, TypeDesc::boolTy());
+    case TokenKind::Less:
+    case TokenKind::Greater:
+      if (!L.isInvalid() && L.K != TypeDesc::Int)
+        error(E.Lhs->Loc, "comparison operand must be int");
+      if (!R.isInvalid() && R.K != TypeDesc::Int)
+        error(E.Rhs->Loc, "comparison operand must be int");
+      return setType(E, TypeDesc::boolTy());
+    default:
+      if (!L.isInvalid() && L.K != TypeDesc::Int)
+        error(E.Lhs->Loc, "arithmetic operand must be int");
+      if (!R.isInvalid() && R.K != TypeDesc::Int)
+        error(E.Rhs->Loc, "arithmetic operand must be int");
+      return setType(E, TypeDesc::intTy());
+    }
+  }
+  }
+  assert(false && "unknown expression kind");
+  return TypeDesc::invalidTy();
+}
+
+uint32_t Analyzer::classQualifier(const Expr &Base) {
+  if (Base.Kind != ExprKind::VarRef || lookupVar(Base.Text))
+    return Absent;
+  uint32_t Cls = Result.classIdx(Base.Text);
+  if (Cls == Absent)
+    return Absent;
+  Result.ClassRefs[&Base] = Cls;
+  setType(Base, TypeDesc::invalidTy());
+  return Cls;
+}
+
+TypeDesc Analyzer::checkCall(const Expr &E) {
+  CallInfo Info;
+  uint32_t MethodIdx = Absent;
+
+  if (!E.Lhs) {
+    // Unqualified call: a method of the enclosing class.
+    assert(CurMethod && "call outside a method body");
+    MethodIdx = Result.findMethod(CurMethod->ClassIdx, E.Text);
+    if (MethodIdx == Absent) {
+      error(E.Loc, "no method '" + E.Text + "' in class '" +
+                       Result.Classes[CurMethod->ClassIdx].Name +
+                       "' or its superclasses");
+      return setType(E, TypeDesc::invalidTy());
+    }
+    const MethodInfo &M = Result.Methods[MethodIdx];
+    if (M.IsStatic) {
+      Info.K = CallInfo::Static;
+    } else {
+      if (CurMethod->IsStatic) {
+        error(E.Loc, "cannot call instance method '" + E.Text +
+                         "' from a static method");
+        return setType(E, TypeDesc::invalidTy());
+      }
+      Info.K = CallInfo::Virtual;
+      Info.ImplicitThis = true;
+    }
+  } else {
+    if (uint32_t Qual = classQualifier(*E.Lhs); Qual != Absent) {
+      // "ClassName.m(...)": a static call.
+      MethodIdx = Result.findMethod(Qual, E.Text);
+      if (MethodIdx == Absent || !Result.Methods[MethodIdx].IsStatic) {
+        error(E.Loc, "class '" + Result.Classes[Qual].Name +
+                         "' has no static method '" + E.Text + "'");
+        return setType(E, TypeDesc::invalidTy());
+      }
+      Info.K = CallInfo::Static;
+    } else {
+      TypeDesc Base = checkExpr(*E.Lhs);
+      if (Base.K != TypeDesc::Class) {
+        if (!Base.isInvalid())
+          error(E.Loc, "method call on non-object type " +
+                           Result.typeName(Base));
+        return setType(E, TypeDesc::invalidTy());
+      }
+      MethodIdx = Result.findMethod(Base.ClassIdx, E.Text);
+      if (MethodIdx == Absent) {
+        error(E.Loc, "class '" + Result.Classes[Base.ClassIdx].Name +
+                         "' has no method '" + E.Text + "'");
+        return setType(E, TypeDesc::invalidTy());
+      }
+      if (Result.Methods[MethodIdx].IsStatic) {
+        error(E.Loc, "static method '" + E.Text +
+                         "' must be called through its class name");
+        return setType(E, TypeDesc::invalidTy());
+      }
+      Info.K = CallInfo::Virtual;
+    }
+  }
+
+  const MethodInfo &M = Result.Methods[MethodIdx];
+  if (E.Args.size() != M.ParamTypes.size()) {
+    error(E.Loc, "call to '" + M.Name + "' passes " +
+                     std::to_string(E.Args.size()) + " arguments, expected " +
+                     std::to_string(M.ParamTypes.size()));
+    for (const ExprPtr &Arg : E.Args)
+      checkExpr(*Arg);
+    return setType(E, M.ReturnType);
+  }
+  for (size_t I = 0; I < E.Args.size(); ++I) {
+    TypeDesc Got = checkExpr(*E.Args[I]);
+    checkAssignable(Got, M.ParamTypes[I], E.Args[I]->Loc, "argument passing");
+  }
+
+  Info.MethodIdx = MethodIdx;
+  Result.Calls[&E] = Info;
+  return setType(E, M.ReturnType);
+}
+
+TypeDesc Analyzer::checkNewObject(const Expr &E) {
+  uint32_t Cls = Result.classIdx(E.Type.Name);
+  if (Cls == Absent) {
+    error(E.Loc, "unknown class '" + E.Type.Name + "'");
+    for (const ExprPtr &Arg : E.Args)
+      checkExpr(*Arg);
+    return setType(E, TypeDesc::invalidTy());
+  }
+
+  uint32_t Ctor = Result.findCtor(Cls);
+  if (Ctor == Absent) {
+    if (!E.Args.empty())
+      error(E.Loc, "class '" + Result.Classes[Cls].Name +
+                       "' has no constructor but arguments were passed");
+    for (const ExprPtr &Arg : E.Args)
+      checkExpr(*Arg);
+    return setType(E, TypeDesc::classTy(Cls));
+  }
+
+  const MethodInfo &M = Result.Methods[Ctor];
+  if (E.Args.size() != M.ParamTypes.size()) {
+    error(E.Loc, "constructor of '" + Result.Classes[Cls].Name + "' takes " +
+                     std::to_string(M.ParamTypes.size()) + " arguments, got " +
+                     std::to_string(E.Args.size()));
+    for (const ExprPtr &Arg : E.Args)
+      checkExpr(*Arg);
+  } else {
+    for (size_t I = 0; I < E.Args.size(); ++I) {
+      TypeDesc Got = checkExpr(*E.Args[I]);
+      checkAssignable(Got, M.ParamTypes[I], E.Args[I]->Loc,
+                      "argument passing");
+    }
+  }
+
+  CallInfo Info;
+  Info.K = CallInfo::Ctor;
+  Info.MethodIdx = Ctor;
+  Result.Calls[&E] = Info;
+  return setType(E, TypeDesc::classTy(Cls));
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+SemaResult Analyzer::run() {
+  buildClassTable();
+  // Built-in String unless the program declares its own.
+  bool HasString = false;
+  for (const ClassInfo &C : Result.Classes)
+    if (C.Name == "String")
+      HasString = true;
+  if (!HasString) {
+    ClassInfo Str;
+    Str.Name = "String";
+    Str.SuperIdx = 0;
+    Result.Classes.push_back(std::move(Str));
+  }
+  buildMemberTables();
+  checkFieldHiding();
+  checkOverrides();
+  checkBodies();
+  return std::move(Result);
+}
+
+SemaResult dynsum::frontend::analyzeUnit(const CompilationUnit &Unit,
+                                         DiagnosticEngine &Diags) {
+  Analyzer A(Unit, Diags);
+  return A.run();
+}

@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniJava: class-table construction, scope and
+/// name resolution, and type checking.
+///
+/// Sema validates a parsed CompilationUnit and produces the resolution
+/// side tables lowering consumes: the class/member tables, a type for
+/// every expression, and a resolution record for every call.  The AST
+/// itself stays immutable; annotations are keyed by node address.
+///
+/// Language rules enforced here (deliberate simplifications over Java,
+/// each keeping the IR's name-keyed dispatch sound):
+///  * single inheritance, no interfaces; "Object" and "String" are
+///    built in (String only when not user-declared);
+///  * no method overloading: one signature per name per class;
+///  * an override must repeat the overridden signature exactly;
+///  * a name may not be both a static and an instance method anywhere
+///    in one inheritance chain;
+///  * fields may not redeclare (hide) inherited fields;
+///  * arrays are invariant, assignable only to identical array types or
+///    to Object; "arr.length" reads as int;
+///  * casts exist only between reference types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_SEMA_H
+#define DYNSUM_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynsum {
+namespace frontend {
+
+/// A resolved MiniJava type.
+struct TypeDesc {
+  enum Kind : uint8_t {
+    Invalid, ///< error recovery; compatible with everything
+    Void,
+    Int,
+    Boolean,
+    Null, ///< the type of the null literal
+    Class,
+    Array,
+  };
+
+  Kind K = Invalid;
+  uint32_t ClassIdx = ~0u; ///< SemaResult::Classes index when K == Class
+  Kind Elem = Invalid;     ///< Int/Boolean/Class when K == Array
+  uint32_t ElemClassIdx = ~0u;
+
+  static TypeDesc invalidTy() { return {}; }
+  static TypeDesc voidTy() { return {Void, ~0u, Invalid, ~0u}; }
+  static TypeDesc intTy() { return {Int, ~0u, Invalid, ~0u}; }
+  static TypeDesc boolTy() { return {Boolean, ~0u, Invalid, ~0u}; }
+  static TypeDesc nullTy() { return {Null, ~0u, Invalid, ~0u}; }
+  static TypeDesc classTy(uint32_t Idx) { return {Class, Idx, Invalid, ~0u}; }
+  static TypeDesc arrayOf(Kind ElemKind, uint32_t ElemIdx) {
+    return {Array, ~0u, ElemKind, ElemIdx};
+  }
+
+  bool isPointer() const { return K == Class || K == Array || K == Null; }
+  bool isInvalid() const { return K == Invalid; }
+
+  friend bool operator==(const TypeDesc &A, const TypeDesc &B) {
+    return A.K == B.K && A.ClassIdx == B.ClassIdx && A.Elem == B.Elem &&
+           A.ElemClassIdx == B.ElemClassIdx;
+  }
+};
+
+/// A resolved instance field.
+struct FieldInfo {
+  std::string Name;
+  TypeDesc Type;
+  SourceLoc Loc;
+};
+
+/// A resolved method, constructor or static method.
+struct MethodInfo {
+  std::string Name;
+  uint32_t ClassIdx = ~0u;
+  std::vector<TypeDesc> ParamTypes;
+  std::vector<std::string> ParamNames;
+  TypeDesc ReturnType;
+  bool IsStatic = false;
+  bool IsCtor = false;
+  const MethodDecl *Decl = nullptr; ///< null for nothing today; kept for tools
+};
+
+/// A resolved class.
+struct ClassInfo {
+  std::string Name;
+  uint32_t SuperIdx = ~0u; ///< ~0 only for the Object root
+  std::vector<FieldInfo> Fields;       ///< instance fields
+  std::vector<FieldInfo> StaticFields; ///< globals, read as "Name.field"
+  std::vector<uint32_t> Methods; ///< indices into SemaResult::Methods
+  const ClassDecl *Decl = nullptr; ///< null for built-in Object/String
+};
+
+/// How one Call / NewObject expression resolved.
+struct CallInfo {
+  enum Kind : uint8_t {
+    Virtual, ///< dispatched on the receiver's dynamic type
+    Static,  ///< direct call to a static method
+    Ctor,    ///< constructor invocation from a NewObject
+  };
+
+  Kind K = Virtual;
+  uint32_t MethodIdx = ~0u; ///< the statically resolved declaration
+  /// Virtual calls on "this" / unqualified instance calls: receiver is
+  /// the implicit this.
+  bool ImplicitThis = false;
+};
+
+/// Everything sema learned about a unit.
+struct SemaResult {
+  /// Classes[0] is the implicit Object root.
+  std::vector<ClassInfo> Classes;
+  std::vector<MethodInfo> Methods;
+
+  /// Type of every expression (error recovery may leave Invalid).
+  std::unordered_map<const Expr *, TypeDesc> ExprTypes;
+  /// Resolution of every Call and NewObject expression.
+  std::unordered_map<const Expr *, CallInfo> Calls;
+  /// VarRef expressions that name a *class* (static-call/field
+  /// qualifiers).
+  std::unordered_map<const Expr *, uint32_t> ClassRefs;
+  /// FieldAccess expressions that are "array.length" reads.
+  std::unordered_map<const Expr *, bool> LengthReads;
+  /// FieldAccess expressions resolving to a static field:
+  /// (declaring class index, index into its StaticFields).
+  std::unordered_map<const Expr *, std::pair<uint32_t, uint32_t>>
+      StaticFieldRefs;
+
+  /// Class index by name; ~0u when absent.
+  uint32_t classIdx(std::string_view Name) const;
+
+  /// Field lookup walking the superclass chain; null when absent.
+  const FieldInfo *findField(uint32_t ClassIdx, std::string_view Name) const;
+
+  /// Static-field lookup walking the superclass chain.  On success
+  /// returns the declaring class index and the StaticFields position;
+  /// (~0u, ~0u) when absent.
+  std::pair<uint32_t, uint32_t> findStaticField(uint32_t ClassIdx,
+                                                std::string_view Name) const;
+
+  /// Method lookup by name walking the superclass chain; ~0u when
+  /// absent.  Constructors are never returned (look them up per class).
+  uint32_t findMethod(uint32_t ClassIdx, std::string_view Name) const;
+
+  /// The constructor declared by exactly \p ClassIdx; ~0u when none.
+  uint32_t findCtor(uint32_t ClassIdx) const;
+
+  /// True when \p Sub is \p Super or a transitive subclass.
+  bool isSubclass(uint32_t Sub, uint32_t Super) const;
+
+  /// Type of \p E as recorded by sema (Invalid when unknown).
+  TypeDesc typeOf(const Expr *E) const;
+
+  /// Readable type name for diagnostics and tests ("Vector", "int[]").
+  std::string typeName(const TypeDesc &T) const;
+
+private:
+  mutable std::unordered_map<std::string, uint32_t> ClassIdxCache;
+};
+
+/// Runs semantic analysis over \p Unit.  Errors go to \p Diags; the
+/// result is only meaningful for lowering when Diags stays clean.
+SemaResult analyzeUnit(const CompilationUnit &Unit, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_SEMA_H

@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and source locations for the MiniJava frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_FRONTEND_TOKEN_H
+#define DYNSUM_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace dynsum {
+namespace frontend {
+
+/// A 1-based line/column pair into the compiled source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool valid() const { return Line != 0; }
+};
+
+/// Lexical token kinds of the MiniJava grammar.
+enum class TokenKind : uint8_t {
+  // Punctuation and operators.
+  LBrace,    ///< {
+  RBrace,    ///< }
+  LParen,    ///< (
+  RParen,    ///< )
+  LBracket,  ///< [
+  RBracket,  ///< ]
+  Semicolon, ///< ;
+  Comma,     ///< ,
+  Dot,       ///< .
+  Assign,    ///< =
+  Plus,      ///< +
+  Minus,     ///< -
+  Star,      ///< *
+  Slash,     ///< /
+  Less,      ///< <
+  Greater,   ///< >
+  EqEq,      ///< ==
+  NotEq,     ///< !=
+  Not,       ///< !
+  AndAnd,    ///< &&
+  OrOr,      ///< ||
+
+  // Keywords.
+  KwClass,
+  KwExtends,
+  KwStatic,
+  KwVoid,
+  KwInt,
+  KwBoolean,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwNew,
+  KwNull,
+  KwThis,
+  KwTrue,
+  KwFalse,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  Eof,
+  Error, ///< invalid character or unterminated literal
+};
+
+/// Human-readable spelling of \p K for diagnostics ("'{'", "identifier").
+const char *tokenKindName(TokenKind K);
+
+/// One lexed token.  Text views into the source buffer handed to the
+/// Lexer, which must outlive the token stream.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace frontend
+} // namespace dynsum
+
+#endif // DYNSUM_FRONTEND_TOKEN_H

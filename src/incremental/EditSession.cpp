@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// EditSession implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "incremental/EditSession.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::incremental;
+using analysis::QueryResult;
+
+EditSession::EditSession(std::unique_ptr<ir::Program> P,
+                         const analysis::AnalysisOptions &Opts,
+                         InvalidationPolicy Policy)
+    : Prog(std::move(P)), Graph(*Prog), DynSum(Graph, Opts), Policy(Policy) {
+  Calls = pag::rebuildPAG(Graph);
+  snapshot();
+}
+
+void EditSession::snapshot() {
+  LastNumVars = Prog->variables().size();
+  LastFlags.resize(Graph.numNodes());
+  for (pag::NodeId N = 0; N < Graph.numNodes(); ++N) {
+    const pag::Node &Node = Graph.node(N);
+    LastFlags[N] = {Node.Method, Node.HasLocalEdge, Node.HasGlobalIn,
+                    Node.HasGlobalOut};
+  }
+}
+
+void EditSession::addStatement(ir::MethodId M, ir::Statement S) {
+  Prog->addStatement(M, std::move(S));
+  markDirty(M);
+}
+
+size_t EditSession::removeStatements(
+    ir::MethodId M, const std::function<bool(const ir::Statement &)> &Pred) {
+  std::vector<ir::Statement> &Stmts = Prog->method(M).Stmts;
+  size_t Before = Stmts.size();
+  Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
+  size_t Removed = Before - Stmts.size();
+  if (Removed > 0)
+    markDirty(M);
+  return Removed;
+}
+
+void EditSession::markDirty(ir::MethodId M) { DirtyMethods.insert(M); }
+
+CommitStats EditSession::commit() {
+  if (DirtyMethods.empty())
+    return {};
+
+  CommitStats Stats;
+  Stats.SummariesBefore = DynSum.cacheSize();
+
+  size_t OldNumVars = LastNumVars;
+  size_t OldNumNodes = LastFlags.size();
+  Calls = pag::rebuildPAG(Graph);
+
+  if (Policy == InvalidationPolicy::ClearAll) {
+    DynSum.clearCache();
+    Stats.SummariesDropped = Stats.SummariesBefore;
+    DirtyMethods.clear();
+    snapshot();
+    LastCommit = Stats;
+    return Stats;
+  }
+
+  // Object nodes shift when variables were added (variables are always
+  // numbered first).  Variables and allocation sites are append-only,
+  // so the remap is a single offset on the object suffix.
+  size_t NewNumVars = Prog->variables().size();
+  if (NewNumVars != OldNumVars) {
+    assert(NewNumVars > OldNumVars && "variables are append-only");
+    uint32_t Offset = uint32_t(NewNumVars - OldNumVars);
+    DynSum.remapCache([OldNumVars, Offset](pag::NodeId N) {
+      return N < OldNumVars ? N : N + Offset;
+    });
+    Stats.NodesRemapped = true;
+  } else {
+    // Even without a remap the trivial-summary memo keys boundary flags
+    // that the rebuild may have changed; an identity remap clears it.
+    DynSum.remapCache([](pag::NodeId N) { return N; });
+  }
+
+  // The methods to invalidate: those edited directly plus those whose
+  // node flags changed across the rebuild (their summaries' boundary
+  // tuples may be stale).  Summaries keyed at unowned nodes (globals,
+  // the null object) sit outside any method; drop them whenever a flag
+  // changed anywhere, since global edges are what connects them.
+  std::unordered_set<ir::MethodId> Invalidate(DirtyMethods);
+  bool AnyFlagChanged = false;
+  for (pag::NodeId Old = 0; Old < OldNumNodes; ++Old) {
+    pag::NodeId New =
+        Old < OldNumVars ? Old
+                         : pag::NodeId(Old + (NewNumVars - OldNumVars));
+    assert(New < Graph.numNodes() && "append-only ids stay in range");
+    const pag::Node &Node = Graph.node(New);
+    const NodeFlags &Was = LastFlags[Old];
+    assert(Node.Method == Was.Method && "node/method mapping is stable");
+    if (Node.HasLocalEdge != Was.HasLocalEdge ||
+        Node.HasGlobalIn != Was.HasGlobalIn ||
+        Node.HasGlobalOut != Was.HasGlobalOut) {
+      Invalidate.insert(Node.Method);
+      AnyFlagChanged = true;
+    }
+  }
+  if (AnyFlagChanged || !DirtyMethods.empty())
+    Invalidate.insert(ir::kNone); // global/null-object-keyed summaries
+
+  for (ir::MethodId M : Invalidate)
+    DynSum.invalidateMethod(M);
+
+  Stats.MethodsInvalidated = Invalidate.size();
+  Stats.SummariesDropped = Stats.SummariesBefore - DynSum.cacheSize();
+  DirtyMethods.clear();
+  snapshot();
+  LastCommit = Stats;
+  return Stats;
+}
+
+QueryResult EditSession::queryVar(ir::VarId V) {
+  if (dirty())
+    commit();
+  return DynSum.query(Graph.nodeOfVar(V));
+}

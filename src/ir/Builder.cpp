@@ -1,0 +1,226 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Debug.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+
+ProgramBuilder::ProgramBuilder() : Prog(std::make_unique<Program>()) {}
+
+std::unique_ptr<Program> ProgramBuilder::takeProgram() {
+  return std::move(Prog);
+}
+
+TypeId ProgramBuilder::cls(std::string_view Name, std::string_view Super) {
+  Symbol NameSym = Prog->name(Name);
+  TypeId Existing = Prog->findClass(NameSym);
+  if (Existing != kNone)
+    return Existing;
+  TypeId SuperId = kObjectType;
+  if (!Super.empty() && Super != "Object") {
+    Symbol SuperSym = Prog->name(Super);
+    SuperId = Prog->findClass(SuperSym);
+    if (SuperId == kNone)
+      SuperId = cls(Super);
+  }
+  return Prog->createClass(NameSym, SuperId);
+}
+
+TypeId ProgramBuilder::typeOf(std::string_view Name) const {
+  TypeId T = Prog->findClass(Prog->names().lookup(Name));
+  if (T == kNone)
+    fatalError("unknown class referenced in builder");
+  return T;
+}
+
+TypeId ProgramBuilder::typeOrObject(std::string_view Name) const {
+  if (Name.empty())
+    return kObjectType;
+  TypeId T = Prog->findClass(Prog->names().lookup(Name));
+  return T == kNone ? kObjectType : T;
+}
+
+FieldId ProgramBuilder::field(std::string_view Name) {
+  return Prog->getOrCreateField(Prog->name(Name));
+}
+
+MethodId ProgramBuilder::method(
+    std::string_view QualifiedName,
+    const std::vector<std::pair<std::string, std::string>> &Params) {
+  size_t Dot = QualifiedName.find('.');
+  TypeId Owner = kNone;
+  std::string_view MethodName = QualifiedName;
+  if (Dot != std::string_view::npos) {
+    Owner = cls(QualifiedName.substr(0, Dot));
+    MethodName = QualifiedName.substr(Dot + 1);
+  }
+  MethodId M = Prog->createMethod(Prog->name(MethodName), Owner);
+  for (const auto &[ParamName, ParamType] : Params) {
+    VarId V = var(M, ParamName);
+    if (!ParamType.empty())
+      declareLocal(M, ParamName, ParamType);
+    Prog->method(M).Params.push_back(V);
+  }
+  return M;
+}
+
+VarId ProgramBuilder::global(std::string_view Name, std::string_view Type) {
+  Symbol NameSym = Prog->name(Name);
+  VarId Existing = Prog->findGlobal(NameSym);
+  if (Existing != kNone)
+    return Existing;
+  return Prog->createGlobal(NameSym, typeOrObject(Type));
+}
+
+VarId ProgramBuilder::var(MethodId M, std::string_view Name) {
+  Symbol NameSym = Prog->name(Name);
+  VarId Global = Prog->findGlobal(NameSym);
+  if (Global != kNone)
+    return Global;
+  uint64_t Key = packPair(M, NameSym.Id);
+  auto It = Locals.find(Key);
+  if (It != Locals.end())
+    return It->second;
+  VarId V = Prog->createLocal(NameSym, M, kObjectType);
+  Locals.emplace(Key, V);
+  return V;
+}
+
+void ProgramBuilder::declareLocal(MethodId M, std::string_view Name,
+                                  std::string_view Type) {
+  VarId V = var(M, Name);
+  Prog->variable(V).DeclaredType = typeOrObject(Type);
+}
+
+AllocId ProgramBuilder::alloc(MethodId M, std::string_view Dst,
+                              std::string_view Type, std::string_view Label) {
+  TypeId T = cls(Type);
+  Symbol LabelSym = Label.empty() ? Symbol{} : Prog->name(Label);
+  AllocId A = Prog->createAllocSite(T, M, LabelSym);
+  Statement S;
+  S.Kind = StmtKind::Alloc;
+  S.Dst = var(M, Dst);
+  S.Type = T;
+  S.Alloc = A;
+  Prog->addStatement(M, std::move(S));
+  return A;
+}
+
+void ProgramBuilder::nullAssign(MethodId M, std::string_view Dst) {
+  Statement S;
+  S.Kind = StmtKind::Null;
+  S.Dst = var(M, Dst);
+  S.Alloc = Prog->createNullAlloc(M);
+  Prog->addStatement(M, std::move(S));
+}
+
+void ProgramBuilder::assign(MethodId M, std::string_view Dst,
+                            std::string_view Src) {
+  Statement S;
+  S.Kind = StmtKind::Assign;
+  S.Dst = var(M, Dst);
+  S.Src = var(M, Src);
+  Prog->addStatement(M, std::move(S));
+}
+
+CastSiteId ProgramBuilder::cast(MethodId M, std::string_view Dst,
+                                std::string_view Type, std::string_view Src) {
+  TypeId T = cls(Type);
+  Statement S;
+  S.Kind = StmtKind::Cast;
+  S.Dst = var(M, Dst);
+  S.Src = var(M, Src);
+  S.Type = T;
+  S.Cast = Prog->createCastSite(M, S.Src, T);
+  CastSiteId Id = S.Cast;
+  Prog->addStatement(M, std::move(S));
+  return Id;
+}
+
+void ProgramBuilder::load(MethodId M, std::string_view Dst,
+                          std::string_view Base, std::string_view FieldName) {
+  Statement S;
+  S.Kind = StmtKind::Load;
+  S.Dst = var(M, Dst);
+  S.Base = var(M, Base);
+  S.FieldLabel = field(FieldName);
+  Prog->addStatement(M, std::move(S));
+}
+
+void ProgramBuilder::store(MethodId M, std::string_view Base,
+                           std::string_view FieldName, std::string_view Src) {
+  Statement S;
+  S.Kind = StmtKind::Store;
+  S.Base = var(M, Base);
+  S.FieldLabel = field(FieldName);
+  S.Src = var(M, Src);
+  Prog->addStatement(M, std::move(S));
+}
+
+CallSiteId ProgramBuilder::call(MethodId M, std::string_view Dst,
+                                std::string_view CalleeQualifiedName,
+                                const std::vector<std::string> &Args,
+                                uint32_t Label) {
+  size_t Dot = CalleeQualifiedName.find('.');
+  MethodId Callee = kNone;
+  if (Dot != std::string_view::npos) {
+    TypeId Owner =
+        Prog->findClass(Prog->names().lookup(CalleeQualifiedName.substr(0, Dot)));
+    if (Owner == kNone)
+      fatalError("direct call to method of unknown class");
+    Callee = Prog->findMethod(
+        Owner, Prog->names().lookup(CalleeQualifiedName.substr(Dot + 1)));
+  } else {
+    Callee =
+        Prog->findFreeMethod(Prog->names().lookup(CalleeQualifiedName));
+  }
+  if (Callee == kNone)
+    fatalError("direct call to undeclared method");
+  Statement S;
+  S.Kind = StmtKind::Call;
+  S.Dst = Dst.empty() ? kNone : var(M, Dst);
+  S.Callee = Callee;
+  S.Call = Prog->createCallSite(M, Label);
+  for (const std::string &Arg : Args)
+    S.Args.push_back(var(M, Arg));
+  CallSiteId Id = S.Call;
+  Prog->addStatement(M, std::move(S));
+  return Id;
+}
+
+CallSiteId ProgramBuilder::vcall(MethodId M, std::string_view Dst,
+                                 std::string_view Recv,
+                                 std::string_view MethodName,
+                                 const std::vector<std::string> &Args,
+                                 uint32_t Label) {
+  Statement S;
+  S.Kind = StmtKind::Call;
+  S.IsVirtual = true;
+  S.Dst = Dst.empty() ? kNone : var(M, Dst);
+  S.Base = var(M, Recv);
+  S.VirtualName = Prog->name(MethodName);
+  S.Call = Prog->createCallSite(M, Label);
+  S.Args.push_back(S.Base); // receiver is the first argument
+  for (const std::string &Arg : Args)
+    S.Args.push_back(var(M, Arg));
+  CallSiteId Id = S.Call;
+  Prog->addStatement(M, std::move(S));
+  return Id;
+}
+
+void ProgramBuilder::ret(MethodId M, std::string_view Src) {
+  Statement S;
+  S.Kind = StmtKind::Return;
+  S.Src = var(M, Src);
+  Prog->addStatement(M, std::move(S));
+}

@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A name-based convenience layer for constructing IR programs.
+///
+/// Tests, examples and the workload generator build programs through
+/// this API; the parser is a thin layer over it as well.  Local
+/// variables are created on first use within their method, mirroring how
+/// the textual format treats identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_IR_BUILDER_H
+#define DYNSUM_IR_BUILDER_H
+
+#include "ir/Program.h"
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dynsum {
+namespace ir {
+
+/// Builds a Program incrementally.  The builder owns the program until
+/// takeProgram() is called.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  /// Read access to the program under construction.
+  Program &program() { return *Prog; }
+  const Program &program() const { return *Prog; }
+
+  /// Transfers ownership of the finished program.
+  std::unique_ptr<Program> takeProgram();
+
+  //===------------------------------------------------------------------===//
+  // Declarations
+  //===------------------------------------------------------------------===//
+
+  /// Declares class \p Name extending \p Super ("" or "Object" for the
+  /// root).  Returns the existing class when already declared (its super
+  /// must then match).
+  TypeId cls(std::string_view Name, std::string_view Super = "");
+
+  /// Returns the class named \p Name; aborts when it does not exist.
+  TypeId typeOf(std::string_view Name) const;
+
+  /// Declares (or finds) the field \p Name.
+  FieldId field(std::string_view Name);
+
+  /// Declares method "Class.name" or a free method "name".  \p Params
+  /// are (name, declared-type) pairs; use "" for untyped parameters.
+  /// For instance methods include the receiver (conventionally "this")
+  /// as the first parameter.
+  MethodId
+  method(std::string_view QualifiedName,
+         const std::vector<std::pair<std::string, std::string>> &Params = {});
+
+  /// Declares a global with optional declared type.
+  VarId global(std::string_view Name, std::string_view Type = "");
+
+  /// Declares or retrieves local \p Name of method \p M.  A global of
+  /// the same name takes precedence (as in the textual format).
+  VarId var(MethodId M, std::string_view Name);
+
+  /// Sets the declared type of a local ("var x : T" in the text format).
+  void declareLocal(MethodId M, std::string_view Name, std::string_view Type);
+
+  //===------------------------------------------------------------------===//
+  // Statements
+  //===------------------------------------------------------------------===//
+
+  /// Dst = new Type.  \p Label optionally names the site (e.g. "o25").
+  AllocId alloc(MethodId M, std::string_view Dst, std::string_view Type,
+                std::string_view Label = "");
+
+  /// Dst = null.
+  void nullAssign(MethodId M, std::string_view Dst);
+
+  /// Dst = Src.
+  void assign(MethodId M, std::string_view Dst, std::string_view Src);
+
+  /// Dst = (Type) Src; records a cast site for the SafeCast client.
+  CastSiteId cast(MethodId M, std::string_view Dst, std::string_view Type,
+                  std::string_view Src);
+
+  /// Dst = Base.Field.
+  void load(MethodId M, std::string_view Dst, std::string_view Base,
+            std::string_view FieldName);
+
+  /// Base.Field = Src.
+  void store(MethodId M, std::string_view Base, std::string_view FieldName,
+             std::string_view Src);
+
+  /// [Dst =] call Callee(Args).  \p Dst may be "" for a void call.
+  /// \p Label is the optional user-visible site number.
+  CallSiteId call(MethodId M, std::string_view Dst,
+                  std::string_view CalleeQualifiedName,
+                  const std::vector<std::string> &Args,
+                  uint32_t Label = kNone);
+
+  /// [Dst =] vcall Recv.Name(Args).  The receiver is implicitly passed
+  /// as the first argument.
+  CallSiteId vcall(MethodId M, std::string_view Dst, std::string_view Recv,
+                   std::string_view MethodName,
+                   const std::vector<std::string> &Args, uint32_t Label = kNone);
+
+  /// return Src.
+  void ret(MethodId M, std::string_view Src);
+
+private:
+  TypeId typeOrObject(std::string_view Name) const;
+
+  std::unique_ptr<Program> Prog;
+  /// (method id, name symbol) -> local variable.
+  std::unordered_map<uint64_t, VarId> Locals;
+};
+
+} // namespace ir
+} // namespace dynsum
+
+#endif // DYNSUM_IR_BUILDER_H

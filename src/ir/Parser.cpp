@@ -1,0 +1,566 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two-pass recursive-descent parser for the textual mini-IR.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Builder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  Ident,
+  Number,
+  Punct, // single character in Text[0]
+  Eof,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  unsigned Line = 0;
+
+  bool isPunct(char C) const { return Kind == TokKind::Punct && Text[0] == C; }
+  bool isIdent(std::string_view S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Splits the source into identifier / number / punctuation tokens.
+/// Identifiers may contain letters, digits, '_', '<', '>' and '$' so that
+/// Java-flavoured names like "<init>" work unquoted.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  bool lex(std::vector<Token> &Out, std::string &Error) {
+    while (true) {
+      skipWhitespaceAndComments();
+      if (Pos >= Source.size())
+        break;
+      char C = Source[Pos];
+      if (isIdentStart(C)) {
+        size_t Begin = Pos;
+        while (Pos < Source.size() && isIdentChar(Source[Pos]))
+          ++Pos;
+        Out.push_back(
+            Token{TokKind::Ident,
+                  std::string(Source.substr(Begin, Pos - Begin)), Line});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        size_t Begin = Pos;
+        while (Pos < Source.size() &&
+               std::isdigit(static_cast<unsigned char>(Source[Pos])))
+          ++Pos;
+        Out.push_back(
+            Token{TokKind::Number,
+                  std::string(Source.substr(Begin, Pos - Begin)), Line});
+        continue;
+      }
+      if (std::string_view("{}()=.,:@").find(C) != std::string_view::npos) {
+        Out.push_back(Token{TokKind::Punct, std::string(1, C), Line});
+        ++Pos;
+        continue;
+      }
+      Error = "line " + std::to_string(Line) + ": unexpected character '" +
+              std::string(1, C) + "'";
+      return false;
+    }
+    Out.push_back(Token{TokKind::Eof, "", Line});
+    return true;
+  }
+
+private:
+  static bool isIdentStart(char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '<' || C == '$';
+  }
+  static bool isIdentChar(char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '<' || C == '>' || C == '$' || C == '[' || C == ']';
+  }
+
+  void skipWhitespaceAndComments() {
+    while (Pos < Source.size()) {
+      char C = Source[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+        continue;
+      }
+      if (C == '#' ||
+          (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/')) {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// Parses a lexed token stream.  Pass 1 registers classes (with fields),
+/// globals and method signatures; pass 2 fills in method bodies.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  ParseResult run() {
+    // Classes and globals first so method signatures and bodies may
+    // reference declarations appearing later in the file.
+    if (!declarationPass(/*ClassesAndGlobals=*/true))
+      return {nullptr, Error};
+    Pos = 0;
+    if (!declarationPass(/*ClassesAndGlobals=*/false))
+      return {nullptr, Error};
+    Pos = 0;
+    if (!bodyPass())
+      return {nullptr, Error};
+    return {Builder.takeProgram(), ""};
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peekAhead(size_t N) const {
+    size_t I = Pos + N;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+
+  bool fail(const std::string &Message) {
+    Error = "line " + std::to_string(cur().Line) + ": " + Message;
+    return false;
+  }
+
+  bool expectPunct(char C) {
+    if (!cur().isPunct(C))
+      return fail(std::string("expected '") + C + "', found '" + cur().Text +
+                  "'");
+    advance();
+    return true;
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (cur().Kind != TokKind::Ident)
+      return fail("expected identifier, found '" + cur().Text + "'");
+    Out = cur().Text;
+    advance();
+    return true;
+  }
+
+  /// Skips a balanced { ... } block; cur() must be at '{'.
+  bool skipBlock() {
+    if (!expectPunct('{'))
+      return false;
+    unsigned Depth = 1;
+    while (Depth > 0) {
+      if (cur().Kind == TokKind::Eof)
+        return fail("unterminated block");
+      if (cur().isPunct('{'))
+        ++Depth;
+      else if (cur().isPunct('}'))
+        --Depth;
+      advance();
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 1: declarations
+  //===------------------------------------------------------------------===//
+
+  bool declarationPass(bool ClassesAndGlobals) {
+    while (cur().Kind != TokKind::Eof) {
+      if (cur().isIdent("class")) {
+        if (ClassesAndGlobals) {
+          if (!parseClassDecl())
+            return false;
+        } else {
+          while (!cur().isPunct('{') && cur().Kind != TokKind::Eof)
+            advance();
+          if (!skipBlock())
+            return false;
+        }
+        continue;
+      }
+      if (cur().isIdent("global")) {
+        if (ClassesAndGlobals) {
+          if (!parseGlobalDecl())
+            return false;
+        } else {
+          advance(); // global
+          advance(); // name
+          if (cur().isPunct(':')) {
+            advance();
+            advance();
+          }
+        }
+        continue;
+      }
+      if (cur().isIdent("method")) {
+        if (ClassesAndGlobals) {
+          while (!cur().isPunct('{') && cur().Kind != TokKind::Eof)
+            advance();
+          if (!skipBlock())
+            return false;
+        } else {
+          if (!parseMethodSignature(/*DeclareOnly=*/true))
+            return false;
+          if (!skipBlock())
+            return false;
+        }
+        continue;
+      }
+      return fail("expected 'class', 'global' or 'method'");
+    }
+    return true;
+  }
+
+  bool parseClassDecl() {
+    advance(); // class
+    std::string Name;
+    if (!expectIdent(Name))
+      return false;
+    std::string Super;
+    if (cur().isIdent("extends")) {
+      advance();
+      if (!expectIdent(Super))
+        return false;
+    }
+    Builder.cls(Name, Super);
+    if (!expectPunct('{'))
+      return false;
+    while (!cur().isPunct('}')) {
+      if (cur().Kind == TokKind::Eof)
+        return fail("unterminated class body");
+      if (!cur().isIdent("fields"))
+        return fail("expected 'fields' or '}' in class body");
+      advance();
+      while (true) {
+        std::string FieldName;
+        if (!expectIdent(FieldName))
+          return false;
+        Builder.field(FieldName);
+        if (!cur().isPunct(','))
+          break;
+        advance();
+      }
+    }
+    advance(); // }
+    return true;
+  }
+
+  bool parseGlobalDecl() {
+    advance(); // global
+    std::string Name;
+    if (!expectIdent(Name))
+      return false;
+    std::string Type;
+    if (cur().isPunct(':')) {
+      advance();
+      if (!expectIdent(Type))
+        return false;
+    }
+    Builder.global(Name, Type);
+    return true;
+  }
+
+  /// Parses "method QUAL(params)" and returns at the '{'.  When
+  /// \p DeclareOnly, registers the signature; otherwise looks the method
+  /// up for body parsing.
+  bool parseMethodSignature(bool DeclareOnly) {
+    advance(); // method
+    std::string First;
+    if (!expectIdent(First))
+      return false;
+    std::string Qual = First;
+    if (cur().isPunct('.')) {
+      advance();
+      std::string MethodName;
+      if (!expectIdent(MethodName))
+        return false;
+      Qual += "." + MethodName;
+    }
+    if (!expectPunct('('))
+      return false;
+    std::vector<std::pair<std::string, std::string>> Params;
+    if (!cur().isPunct(')')) {
+      while (true) {
+        std::string ParamName;
+        if (!expectIdent(ParamName))
+          return false;
+        std::string ParamType;
+        if (cur().isPunct(':')) {
+          advance();
+          if (!expectIdent(ParamType))
+            return false;
+        }
+        Params.emplace_back(ParamName, ParamType);
+        if (!cur().isPunct(','))
+          break;
+        advance();
+      }
+    }
+    if (!expectPunct(')'))
+      return false;
+    if (DeclareOnly) {
+      CurrentMethod = Builder.method(Qual, Params);
+    } else {
+      CurrentMethod = findDeclaredMethod(Qual);
+      if (CurrentMethod == kNone)
+        return fail("internal: method vanished between passes");
+    }
+    return true;
+  }
+
+  MethodId findDeclaredMethod(const std::string &Qual) {
+    const Program &P = Builder.program();
+    size_t Dot = Qual.find('.');
+    if (Dot == std::string::npos)
+      return P.findFreeMethod(P.names().lookup(Qual));
+    TypeId Owner = P.findClass(P.names().lookup(Qual.substr(0, Dot)));
+    if (Owner == kNone)
+      return kNone;
+    return P.findMethod(Owner, P.names().lookup(Qual.substr(Dot + 1)));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 2: method bodies
+  //===------------------------------------------------------------------===//
+
+  bool bodyPass() {
+    while (cur().Kind != TokKind::Eof) {
+      if (cur().isIdent("class")) {
+        // Skip the class declaration wholesale.
+        while (!cur().isPunct('{'))
+          advance();
+        if (!skipBlock())
+          return false;
+        continue;
+      }
+      if (cur().isIdent("global")) {
+        advance(); // global
+        advance(); // name
+        if (cur().isPunct(':')) {
+          advance();
+          advance();
+        }
+        continue;
+      }
+      if (cur().isIdent("method")) {
+        if (!parseMethodSignature(/*DeclareOnly=*/false))
+          return false;
+        if (!parseBody())
+          return false;
+        continue;
+      }
+      return fail("expected 'class', 'global' or 'method'");
+    }
+    return true;
+  }
+
+  bool parseBody() {
+    if (!expectPunct('{'))
+      return false;
+    while (!cur().isPunct('}')) {
+      if (cur().Kind == TokKind::Eof)
+        return fail("unterminated method body");
+      if (!parseStatement())
+        return false;
+    }
+    advance(); // }
+    return true;
+  }
+
+  /// Parses an optional "@ NUM" call-site label.
+  bool parseOptionalLabel(uint32_t &Label) {
+    Label = kNone;
+    if (!cur().isPunct('@'))
+      return true;
+    advance();
+    if (cur().Kind != TokKind::Number)
+      return fail("expected number after '@'");
+    Label = uint32_t(std::strtoul(cur().Text.c_str(), nullptr, 10));
+    advance();
+    return true;
+  }
+
+  bool parseArgs(std::vector<std::string> &Args) {
+    if (!expectPunct('('))
+      return false;
+    if (!cur().isPunct(')')) {
+      while (true) {
+        std::string Arg;
+        if (!expectIdent(Arg))
+          return false;
+        Args.push_back(Arg);
+        if (!cur().isPunct(','))
+          break;
+        advance();
+      }
+    }
+    return expectPunct(')');
+  }
+
+  bool parseCall(const std::string &Dst) {
+    bool Virtual = cur().isIdent("vcall");
+    advance(); // call / vcall
+    uint32_t Label;
+    if (!parseOptionalLabel(Label))
+      return false;
+    std::string First;
+    if (!expectIdent(First))
+      return false;
+    std::string Second;
+    bool HasDot = cur().isPunct('.');
+    if (HasDot) {
+      advance();
+      if (!expectIdent(Second))
+        return false;
+    }
+    std::vector<std::string> Args;
+    if (!parseArgs(Args))
+      return false;
+    if (Virtual) {
+      if (!HasDot)
+        return fail("vcall requires receiver.method");
+      Builder.vcall(CurrentMethod, Dst, First, Second, Args, Label);
+      return true;
+    }
+    std::string Qual = HasDot ? First + "." + Second : First;
+    Builder.call(CurrentMethod, Dst, Qual, Args, Label);
+    return true;
+  }
+
+  bool parseStatement() {
+    // return IDENT
+    if (cur().isIdent("return")) {
+      advance();
+      std::string Src;
+      if (!expectIdent(Src))
+        return false;
+      Builder.ret(CurrentMethod, Src);
+      return true;
+    }
+    // var IDENT : TYPE
+    if (cur().isIdent("var")) {
+      advance();
+      std::string Name, Type;
+      if (!expectIdent(Name) || !expectPunct(':') || !expectIdent(Type))
+        return false;
+      Builder.declareLocal(CurrentMethod, Name, Type);
+      return true;
+    }
+    // call/vcall without result
+    if (cur().isIdent("call") || cur().isIdent("vcall"))
+      return parseCall("");
+
+    std::string First;
+    if (!expectIdent(First))
+      return false;
+
+    // store: IDENT . FIELD = IDENT
+    if (cur().isPunct('.')) {
+      advance();
+      std::string FieldName, Src;
+      if (!expectIdent(FieldName) || !expectPunct('=') || !expectIdent(Src))
+        return false;
+      Builder.store(CurrentMethod, First, FieldName, Src);
+      return true;
+    }
+
+    if (!expectPunct('='))
+      return false;
+
+    // IDENT = new TYPE [@ LABEL]
+    if (cur().isIdent("new")) {
+      advance();
+      std::string Type;
+      if (!expectIdent(Type))
+        return false;
+      std::string Label;
+      if (cur().isPunct('@')) {
+        advance();
+        if (cur().Kind != TokKind::Ident && cur().Kind != TokKind::Number)
+          return fail("expected label after '@'");
+        Label = cur().Text;
+        advance();
+      }
+      Builder.alloc(CurrentMethod, First, Type, Label);
+      return true;
+    }
+    // IDENT = null
+    if (cur().isIdent("null")) {
+      advance();
+      Builder.nullAssign(CurrentMethod, First);
+      return true;
+    }
+    // IDENT = ( TYPE ) IDENT  -- cast
+    if (cur().isPunct('(')) {
+      advance();
+      std::string Type, Src;
+      if (!expectIdent(Type) || !expectPunct(')') || !expectIdent(Src))
+        return false;
+      Builder.cast(CurrentMethod, First, Type, Src);
+      return true;
+    }
+    // IDENT = call/vcall ...
+    if (cur().isIdent("call") || cur().isIdent("vcall"))
+      return parseCall(First);
+
+    // IDENT = IDENT [. FIELD]
+    std::string Second;
+    if (!expectIdent(Second))
+      return false;
+    if (cur().isPunct('.')) {
+      advance();
+      std::string FieldName;
+      if (!expectIdent(FieldName))
+        return false;
+      Builder.load(CurrentMethod, First, Second, FieldName);
+      return true;
+    }
+    Builder.assign(CurrentMethod, First, Second);
+    return true;
+  }
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ProgramBuilder Builder;
+  MethodId CurrentMethod = kNone;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult dynsum::ir::parseProgram(std::string_view Source) {
+  std::vector<Token> Tokens;
+  std::string LexError;
+  Lexer Lex(Source);
+  if (!Lex.lex(Tokens, LexError))
+    return {nullptr, LexError};
+  Parser P(std::move(Tokens));
+  return P.run();
+}

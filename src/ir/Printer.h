@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printer emitting the textual mini-IR format.
+///
+/// printProgram(parseProgram(Text)) round-trips modulo whitespace, which
+/// the parser tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_IR_PRINTER_H
+#define DYNSUM_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace dynsum {
+
+class OStream;
+
+namespace ir {
+
+/// Writes \p P in the textual IR grammar accepted by parseProgram().
+void printProgram(const Program &P, OStream &OS);
+
+/// Convenience wrapper returning the text as a string.
+std::string programToString(const Program &P);
+
+/// Writes one statement of \p M (used by debug dumps and examples).
+void printStatement(const Program &P, const Statement &S, OStream &OS);
+
+} // namespace ir
+} // namespace dynsum
+
+#endif // DYNSUM_IR_PRINTER_H

@@ -1,0 +1,237 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program model implementation: hierarchy maintenance, dispatch, CHA.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+
+Program::Program() {
+  // The implicit root class.
+  ClassType Root;
+  Root.Name = Names.intern("Object");
+  Root.Id = kObjectType;
+  Root.Super = kNone;
+  Classes.push_back(Root);
+}
+
+TypeId Program::createClass(Symbol ClassName, TypeId Super) {
+  assert(findClass(ClassName) == kNone && "duplicate class name");
+  assert(Super < Classes.size() && "unknown superclass");
+  TypeId Id = TypeId(Classes.size());
+  ClassType C;
+  C.Name = ClassName;
+  C.Id = Id;
+  C.Super = Super;
+  Classes.push_back(C);
+  Classes[Super].Subclasses.push_back(Id);
+  return Id;
+}
+
+FieldId Program::getOrCreateField(Symbol FieldName) {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return F.Id;
+  Field F;
+  F.Name = FieldName;
+  F.Id = FieldId(Fields.size());
+  Fields.push_back(F);
+  return F.Id;
+}
+
+MethodId Program::createMethod(Symbol MethodName, TypeId Owner) {
+  assert((Owner == kNone || Owner < Classes.size()) && "unknown owner class");
+  Method M;
+  M.Name = MethodName;
+  M.Id = MethodId(Methods.size());
+  M.Owner = Owner;
+  Methods.push_back(std::move(M));
+  if (Owner != kNone)
+    Classes[Owner].Methods.push_back(Methods.back().Id);
+  return Methods.back().Id;
+}
+
+VarId Program::createLocal(Symbol VarName, MethodId Owner,
+                           TypeId DeclaredType) {
+  assert(Owner < Methods.size() && "local without owning method");
+  Variable V;
+  V.Name = VarName;
+  V.Id = VarId(Variables.size());
+  V.Owner = Owner;
+  V.DeclaredType = DeclaredType;
+  V.IsGlobal = false;
+  Variables.push_back(V);
+  return V.Id;
+}
+
+VarId Program::createGlobal(Symbol VarName, TypeId DeclaredType) {
+  assert(findGlobal(VarName) == kNone && "duplicate global name");
+  Variable V;
+  V.Name = VarName;
+  V.Id = VarId(Variables.size());
+  V.Owner = kNone;
+  V.DeclaredType = DeclaredType;
+  V.IsGlobal = true;
+  Variables.push_back(V);
+  return V.Id;
+}
+
+AllocId Program::createAllocSite(TypeId Type, MethodId Owner, Symbol Label) {
+  AllocSite A;
+  A.Id = AllocId(Allocs.size());
+  A.Type = Type;
+  A.Owner = Owner;
+  A.Label = Label;
+  Allocs.push_back(A);
+  return A.Id;
+}
+
+CallSiteId Program::createCallSite(MethodId Caller, uint32_t Label) {
+  CallSite S;
+  S.Id = CallSiteId(CallSites.size());
+  S.Caller = Caller;
+  S.Label = Label;
+  CallSites.push_back(S);
+  return S.Id;
+}
+
+CastSiteId Program::createCastSite(MethodId Owner, VarId Source,
+                                   TypeId Target) {
+  CastSite C;
+  C.Id = CastSiteId(CastSites.size());
+  C.Owner = Owner;
+  C.Source = Source;
+  C.Target = Target;
+  CastSites.push_back(C);
+  return C.Id;
+}
+
+AllocId Program::createNullAlloc(MethodId Owner) {
+  AllocSite A;
+  A.Id = AllocId(Allocs.size());
+  A.Type = kObjectType;
+  A.Owner = Owner;
+  A.Label = Names.intern("null");
+  A.IsNull = true;
+  Allocs.push_back(A);
+  return A.Id;
+}
+
+void Program::addStatement(MethodId M, Statement S) {
+  assert(M < Methods.size() && "statement outside any method");
+  Methods[M].Stmts.push_back(std::move(S));
+}
+
+TypeId Program::findClass(Symbol ClassName) const {
+  for (const ClassType &C : Classes)
+    if (C.Name == ClassName)
+      return C.Id;
+  return kNone;
+}
+
+MethodId Program::findMethod(TypeId Owner, Symbol MethodName) const {
+  if (Owner == kNone || Owner >= Classes.size())
+    return kNone;
+  for (MethodId M : Classes[Owner].Methods)
+    if (Methods[M].Name == MethodName)
+      return M;
+  return kNone;
+}
+
+MethodId Program::findFreeMethod(Symbol MethodName) const {
+  for (const Method &M : Methods)
+    if (M.Owner == kNone && M.Name == MethodName)
+      return M.Id;
+  return kNone;
+}
+
+VarId Program::findGlobal(Symbol VarName) const {
+  for (const Variable &V : Variables)
+    if (V.IsGlobal && V.Name == VarName)
+      return V.Id;
+  return kNone;
+}
+
+MethodId Program::dispatch(TypeId Receiver, Symbol MethodName) const {
+  for (TypeId T = Receiver; T != kNone; T = Classes[T].Super) {
+    MethodId M = findMethod(T, MethodName);
+    if (M != kNone)
+      return M;
+  }
+  return kNone;
+}
+
+bool Program::isSubtypeOf(TypeId Sub, TypeId Super) const {
+  for (TypeId T = Sub; T != kNone; T = Classes[T].Super)
+    if (T == Super)
+      return true;
+  return false;
+}
+
+std::vector<MethodId> Program::chaTargets(TypeId ReceiverType,
+                                          Symbol MethodName) const {
+  std::vector<MethodId> Targets;
+  // Walk the subtree rooted at the receiver's declared type; each class
+  // in it is a possible dynamic type, so collect its dispatch result.
+  std::vector<TypeId> Work{ReceiverType};
+  while (!Work.empty()) {
+    TypeId T = Work.back();
+    Work.pop_back();
+    MethodId M = dispatch(T, MethodName);
+    if (M != kNone &&
+        std::find(Targets.begin(), Targets.end(), M) == Targets.end())
+      Targets.push_back(M);
+    for (TypeId Sub : Classes[T].Subclasses)
+      Work.push_back(Sub);
+  }
+  std::sort(Targets.begin(), Targets.end());
+  return Targets;
+}
+
+std::string Program::describeVar(VarId Id) const {
+  const Variable &V = variable(Id);
+  std::string Out;
+  if (V.IsGlobal) {
+    Out = "G.";
+    Out += Names.text(V.Name);
+    return Out;
+  }
+  Out = std::string(Names.text(V.Name));
+  Out += '@';
+  Out += describeMethod(V.Owner);
+  return Out;
+}
+
+std::string Program::describeAlloc(AllocId Id) const {
+  const AllocSite &A = alloc(Id);
+  if (A.IsNull)
+    return "null";
+  std::string Out;
+  if (!A.Label.empty())
+    Out = std::string(Names.text(A.Label));
+  else
+    Out = "o" + std::to_string(Id);
+  Out += ':';
+  Out += Names.text(classOf(A.Type).Name);
+  return Out;
+}
+
+std::string Program::describeMethod(MethodId Id) const {
+  const Method &M = method(Id);
+  std::string Out;
+  if (M.Owner != kNone) {
+    Out = std::string(Names.text(classOf(M.Owner).Name));
+    Out += '.';
+  }
+  Out += Names.text(M.Name);
+  return Out;
+}

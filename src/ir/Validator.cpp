@@ -1,0 +1,165 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR validator implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Validator.h"
+
+#include <string>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+
+namespace {
+
+class ValidatorImpl {
+public:
+  explicit ValidatorImpl(const Program &P) : P(P) {}
+
+  std::vector<std::string> run() {
+    checkHierarchy();
+    for (const Method &M : P.methods())
+      checkMethod(M);
+    return std::move(Problems);
+  }
+
+private:
+  void problem(const std::string &Message) { Problems.push_back(Message); }
+
+  void checkHierarchy() {
+    // Walking Super links from any class must terminate at Object.
+    for (const ClassType &C : P.classes()) {
+      size_t Steps = 0;
+      for (TypeId T = C.Id; T != kNone; T = P.classOf(T).Super) {
+        if (++Steps > P.classes().size()) {
+          problem("class hierarchy cycle involving " +
+                  std::string(P.names().text(C.Name)));
+          break;
+        }
+      }
+    }
+  }
+
+  bool checkVar(const Method &M, VarId V, const char *Role) {
+    if (V >= P.variables().size()) {
+      problem(P.describeMethod(M.Id) + ": " + Role + " variable out of range");
+      return false;
+    }
+    const Variable &Var = P.variable(V);
+    if (!Var.IsGlobal && Var.Owner != M.Id) {
+      problem(P.describeMethod(M.Id) + ": " + Role + " local " +
+              P.describeVar(V) + " belongs to another method");
+      return false;
+    }
+    return true;
+  }
+
+  void checkCall(const Method &M, const Statement &S) {
+    if (S.Call >= P.callSites().size()) {
+      problem(P.describeMethod(M.Id) + ": call site out of range");
+      return;
+    }
+    if (P.callSite(S.Call).Caller != M.Id)
+      problem(P.describeMethod(M.Id) + ": call site owned by another method");
+    for (VarId Arg : S.Args)
+      checkVar(M, Arg, "argument");
+    if (S.Dst != kNone)
+      checkVar(M, S.Dst, "call result");
+    if (!S.IsVirtual) {
+      if (S.Callee >= P.methods().size()) {
+        problem(P.describeMethod(M.Id) + ": direct call to unknown method");
+        return;
+      }
+      const Method &Callee = P.method(S.Callee);
+      if (Callee.Params.size() != S.Args.size())
+        problem(P.describeMethod(M.Id) + ": call to " +
+                P.describeMethod(S.Callee) + " passes " +
+                std::to_string(S.Args.size()) + " args, expects " +
+                std::to_string(Callee.Params.size()));
+      return;
+    }
+    if (!checkVar(M, S.Base, "receiver"))
+      return;
+    if (S.Args.empty() || S.Args[0] != S.Base)
+      problem(P.describeMethod(M.Id) +
+              ": virtual call receiver must be the first argument");
+    TypeId RecvType = P.variable(S.Base).DeclaredType;
+    std::vector<MethodId> Targets = P.chaTargets(RecvType, S.VirtualName);
+    if (Targets.empty()) {
+      problem(P.describeMethod(M.Id) + ": virtual call to " +
+              std::string(P.names().text(S.VirtualName)) +
+              " has no CHA target on " +
+              std::string(P.names().text(P.classOf(RecvType).Name)));
+      return;
+    }
+    for (MethodId T : Targets)
+      if (P.method(T).Params.size() != S.Args.size())
+        problem(P.describeMethod(M.Id) + ": virtual target " +
+                P.describeMethod(T) + " expects " +
+                std::to_string(P.method(T).Params.size()) + " args, got " +
+                std::to_string(S.Args.size()));
+  }
+
+  void checkMethod(const Method &M) {
+    for (VarId Param : M.Params)
+      checkVar(M, Param, "parameter");
+    for (const Statement &S : M.Stmts) {
+      switch (S.Kind) {
+      case StmtKind::Alloc:
+        checkVar(M, S.Dst, "alloc destination");
+        if (S.Type >= P.classes().size())
+          problem(P.describeMethod(M.Id) + ": alloc of unknown class");
+        if (S.Alloc >= P.allocs().size())
+          problem(P.describeMethod(M.Id) + ": alloc site out of range");
+        else if (P.alloc(S.Alloc).Owner != M.Id)
+          problem(P.describeMethod(M.Id) +
+                  ": alloc site owned by another method");
+        break;
+      case StmtKind::Null:
+        checkVar(M, S.Dst, "null destination");
+        break;
+      case StmtKind::Assign:
+        checkVar(M, S.Dst, "assign destination");
+        checkVar(M, S.Src, "assign source");
+        break;
+      case StmtKind::Cast:
+        checkVar(M, S.Dst, "cast destination");
+        checkVar(M, S.Src, "cast source");
+        if (S.Type >= P.classes().size())
+          problem(P.describeMethod(M.Id) + ": cast to unknown class");
+        if (S.Cast >= P.castSites().size())
+          problem(P.describeMethod(M.Id) + ": cast site out of range");
+        break;
+      case StmtKind::Load:
+        checkVar(M, S.Dst, "load destination");
+        checkVar(M, S.Base, "load base");
+        if (S.FieldLabel >= P.fields().size())
+          problem(P.describeMethod(M.Id) + ": load of unknown field");
+        break;
+      case StmtKind::Store:
+        checkVar(M, S.Base, "store base");
+        checkVar(M, S.Src, "store source");
+        if (S.FieldLabel >= P.fields().size())
+          problem(P.describeMethod(M.Id) + ": store of unknown field");
+        break;
+      case StmtKind::Call:
+        checkCall(M, S);
+        break;
+      case StmtKind::Return:
+        checkVar(M, S.Src, "return value");
+        break;
+      }
+    }
+  }
+
+  const Program &P;
+  std::vector<std::string> Problems;
+};
+
+} // namespace
+
+std::vector<std::string> dynsum::ir::validate(const Program &P) {
+  return ValidatorImpl(P).run();
+}

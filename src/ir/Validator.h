@@ -1,0 +1,37 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for IR programs.
+///
+/// The PAG builder and the analyses assume these invariants; the parser,
+/// builder API and workload generator are all validated in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_IR_VALIDATOR_H
+#define DYNSUM_IR_VALIDATOR_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace dynsum {
+namespace ir {
+
+/// Checks \p P and returns human-readable problems (empty = valid):
+///  * every statement's variables exist and locals belong to the
+///    enclosing method (globals are allowed anywhere);
+///  * alloc/cast types and field ids are in range;
+///  * direct calls pass exactly the callee's parameter count;
+///  * virtual calls have at least one CHA target, and every target's
+///    parameter count matches;
+///  * call/alloc/cast site ownership matches the enclosing method;
+///  * class hierarchy is acyclic (guaranteed by construction, checked
+///    defensively).
+std::vector<std::string> validate(const Program &P);
+
+} // namespace ir
+} // namespace dynsum
+
+#endif // DYNSUM_IR_VALIDATOR_H

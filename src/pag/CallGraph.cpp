@@ -1,0 +1,182 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph construction and Tarjan SCC.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/CallGraph.h"
+
+#include "support/BitVector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+using namespace dynsum::pag;
+
+TargetResolver::~TargetResolver() = default;
+
+std::vector<MethodId> TargetResolver::resolve(const Program &P,
+                                              MethodId Caller,
+                                              const Statement &S) const {
+  (void)Caller;
+  assert(S.Kind == StmtKind::Call && S.IsVirtual && "not a virtual call");
+  TypeId RecvType = P.variable(S.Base).DeclaredType;
+  return P.chaTargets(RecvType, S.VirtualName);
+}
+
+std::vector<MethodId> CallGraph::reachableFrom(MethodId Root) const {
+  std::vector<MethodId> Out;
+  BitVector Seen(Callees.size());
+  std::vector<MethodId> Work{Root};
+  Seen.set(Root);
+  while (!Work.empty()) {
+    MethodId M = Work.back();
+    Work.pop_back();
+    Out.push_back(M);
+    for (const auto &[Site, Callee] : Callees[M]) {
+      (void)Site;
+      if (Seen.set(Callee))
+        Work.push_back(Callee);
+    }
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over the method graph.
+class SccFinder {
+public:
+  SccFinder(size_t NumMethods,
+            const std::vector<std::vector<std::pair<CallSiteId, MethodId>>>
+                &Callees)
+      : Callees(Callees) {
+    Index.assign(NumMethods, kUnvisited);
+    Lowlink.assign(NumMethods, 0);
+    OnStack.assign(NumMethods, false);
+    SccIds.assign(NumMethods, 0);
+  }
+
+  void run() {
+    for (MethodId M = 0; M < Index.size(); ++M)
+      if (Index[M] == kUnvisited)
+        strongConnect(M);
+  }
+
+  std::vector<uint32_t> takeSccIds() { return std::move(SccIds); }
+  uint32_t numSccs() const { return NextScc; }
+
+private:
+  static constexpr uint32_t kUnvisited = 0xffffffffu;
+
+  struct Frame {
+    MethodId M;
+    size_t NextEdge = 0;
+  };
+
+  void strongConnect(MethodId Root) {
+    std::vector<Frame> CallStack{Frame{Root, 0}};
+    visit(Root);
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      if (F.NextEdge < Callees[F.M].size()) {
+        MethodId Next = Callees[F.M][F.NextEdge].second;
+        ++F.NextEdge;
+        if (Index[Next] == kUnvisited) {
+          visit(Next);
+          CallStack.push_back(Frame{Next, 0});
+        } else if (OnStack[Next]) {
+          Lowlink[F.M] = std::min(Lowlink[F.M], Index[Next]);
+        }
+        continue;
+      }
+      // All successors processed.
+      MethodId M = F.M;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        Lowlink[CallStack.back().M] = std::min(Lowlink[CallStack.back().M],
+                                               Lowlink[M]);
+      if (Lowlink[M] == Index[M]) {
+        // M is an SCC root; pop the component.
+        while (true) {
+          MethodId Popped = TarjanStack.back();
+          TarjanStack.pop_back();
+          OnStack[Popped] = false;
+          SccIds[Popped] = NextScc;
+          if (Popped == M)
+            break;
+        }
+        ++NextScc;
+      }
+    }
+  }
+
+  void visit(MethodId M) {
+    Index[M] = NextIndex;
+    Lowlink[M] = NextIndex;
+    ++NextIndex;
+    TarjanStack.push_back(M);
+    OnStack[M] = true;
+  }
+
+  const std::vector<std::vector<std::pair<CallSiteId, MethodId>>> &Callees;
+  std::vector<uint32_t> Index, Lowlink, SccIds;
+  std::vector<char> OnStack;
+  std::vector<MethodId> TarjanStack;
+  uint32_t NextIndex = 0;
+  uint32_t NextScc = 0;
+};
+
+} // namespace
+
+CallGraph dynsum::pag::buildCallGraph(const Program &P,
+                                      const TargetResolver *Resolver) {
+  TargetResolver Default;
+  if (Resolver == nullptr)
+    Resolver = &Default;
+
+  CallGraph CG;
+  CG.SiteTargets.assign(P.callSites().size(), {});
+  CG.Callees.assign(P.methods().size(), {});
+
+  for (const Method &M : P.methods()) {
+    for (const Statement &S : M.Stmts) {
+      if (S.Kind != StmtKind::Call)
+        continue;
+      std::vector<MethodId> Targets;
+      if (S.IsVirtual)
+        Targets = Resolver->resolve(P, M.Id, S);
+      else
+        Targets.push_back(S.Callee);
+      for (MethodId T : Targets)
+        CG.Callees[M.Id].emplace_back(S.Call, T);
+      CG.SiteTargets[S.Call] = std::move(Targets);
+    }
+  }
+
+  SccFinder Finder(P.methods().size(), CG.Callees);
+  Finder.run();
+  CG.SccIds = Finder.takeSccIds();
+  CG.SccRecursive.assign(Finder.numSccs(), false);
+
+  // An SCC is recursive when it has more than one member or a self call.
+  std::vector<uint32_t> SccSize(Finder.numSccs(), 0);
+  for (uint32_t Scc : CG.SccIds)
+    ++SccSize[Scc];
+  for (MethodId M = 0; M < P.methods().size(); ++M) {
+    if (SccSize[CG.SccIds[M]] > 1) {
+      CG.SccRecursive[CG.SccIds[M]] = true;
+      continue;
+    }
+    for (const auto &[Site, Callee] : CG.Callees[M]) {
+      (void)Site;
+      if (Callee == M)
+        CG.SccRecursive[CG.SccIds[M]] = true;
+    }
+  }
+  return CG;
+}

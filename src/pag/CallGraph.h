@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Call graph with recursion-cycle detection.
+///
+/// Virtual call sites may have several targets.  Recursion cycles
+/// (non-trivial SCCs and self calls) are "collapsed" as in the paper's
+/// implementation section: entry/exit PAG edges whose caller and callee
+/// share a recursive SCC are marked context-free so the analyses cross
+/// them without pushing or popping call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_PAG_CALLGRAPH_H
+#define DYNSUM_PAG_CALLGRAPH_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dynsum {
+namespace pag {
+
+class TargetResolver;
+class CallGraph;
+
+/// Builds the call graph using \p Resolver (CHA when null) and runs
+/// Tarjan's SCC to flag recursion.
+CallGraph buildCallGraph(const ir::Program &P,
+                         const TargetResolver *Resolver = nullptr);
+
+/// Resolves the possible targets of every call site.
+class CallGraph {
+public:
+  /// Targets of call site \p Site.
+  const std::vector<ir::MethodId> &targets(ir::CallSiteId Site) const {
+    return SiteTargets.at(Site);
+  }
+
+  /// All (site, callee) pairs made from \p Caller.
+  const std::vector<std::pair<ir::CallSiteId, ir::MethodId>> &
+  calleesOf(ir::MethodId Caller) const {
+    return Callees.at(Caller);
+  }
+
+  /// SCC index of \p M in the method graph.
+  uint32_t sccOf(ir::MethodId M) const { return SccIds.at(M); }
+
+  /// True when \p M sits on a recursion cycle.
+  bool isRecursive(ir::MethodId M) const {
+    return SccRecursive.at(SccIds.at(M));
+  }
+
+  /// True when \p Caller and \p Callee share a recursive cycle, i.e. the
+  /// call's entry/exit edges must be treated context-insensitively.
+  bool inSameRecursion(ir::MethodId Caller, ir::MethodId Callee) const {
+    return SccIds.at(Caller) == SccIds.at(Callee) &&
+           SccRecursive.at(SccIds.at(Caller));
+  }
+
+  /// Number of SCCs.
+  size_t numSccs() const { return SccRecursive.size(); }
+
+  /// Methods reachable (transitively, via call edges) from \p Root,
+  /// including \p Root itself.
+  std::vector<ir::MethodId> reachableFrom(ir::MethodId Root) const;
+
+private:
+  friend CallGraph buildCallGraph(const ir::Program &P,
+                                  const TargetResolver *Resolver);
+  std::vector<std::vector<ir::MethodId>> SiteTargets; // by CallSiteId
+  std::vector<std::vector<std::pair<ir::CallSiteId, ir::MethodId>>>
+      Callees;                      // by MethodId
+  std::vector<uint32_t> SccIds;     // by MethodId
+  std::vector<bool> SccRecursive;   // by SCC id
+};
+
+/// A pluggable virtual-dispatch policy: given a virtual call statement
+/// in \p Caller, produce possible targets.  The default policy is CHA
+/// over the receiver's declared type; the Andersen-driven policy in
+/// src/analysis narrows it with points-to results.
+class TargetResolver {
+public:
+  virtual ~TargetResolver();
+
+  /// Targets of virtual statement \p S (S.Kind == Call, S.IsVirtual).
+  virtual std::vector<ir::MethodId>
+  resolve(const ir::Program &P, ir::MethodId Caller,
+          const ir::Statement &S) const;
+};
+
+
+} // namespace pag
+} // namespace dynsum
+
+#endif // DYNSUM_PAG_CALLGRAPH_H

@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DOT export implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/GraphViz.h"
+
+#include "support/OStream.h"
+
+#include <map>
+#include <vector>
+
+using namespace dynsum;
+using namespace dynsum::pag;
+
+namespace {
+
+/// Escapes a label for a double-quoted DOT string.
+std::string escape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+const char *nodeShape(NodeKind K) {
+  switch (K) {
+  case NodeKind::Object:
+    return "ellipse";
+  case NodeKind::Local:
+    return "box";
+  case NodeKind::Global:
+    return "hexagon";
+  }
+  return "box";
+}
+
+} // namespace
+
+void dynsum::pag::writeGraphViz(const PAG &G, OStream &OS,
+                                const GraphVizOptions &Opts) {
+  const ir::Program &P = G.program();
+  OS << "digraph \"" << escape(Opts.Title) << "\" {\n";
+  OS << "  rankdir=BT;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
+
+  std::vector<bool> HasEdge(G.numNodes(), !Opts.HideIsolatedNodes);
+  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+    HasEdge[G.edge(E).Src] = true;
+    HasEdge[G.edge(E).Dst] = true;
+  }
+
+  // Bucket nodes by owning method for clustering.
+  std::map<ir::MethodId, std::vector<NodeId>> ByMethod;
+  std::vector<NodeId> Unowned;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    if (!HasEdge[N])
+      continue;
+    ir::MethodId M = G.node(N).Method;
+    if (Opts.ClusterByMethod && M != ir::kNone)
+      ByMethod[M].push_back(N);
+    else
+      Unowned.push_back(N);
+  }
+
+  auto EmitNode = [&](NodeId N, const char *Indent) {
+    OS << Indent << 'n' << N << " [label=\"" << escape(G.describe(N))
+       << "\", shape=" << nodeShape(G.node(N).Kind) << "];\n";
+  };
+
+  for (const auto &[Method, Nodes] : ByMethod) {
+    OS << "  subgraph cluster_m" << Method << " {\n";
+    OS << "    label=\"" << escape(P.describeMethod(Method))
+       << "\";\n    style=dotted;\n";
+    for (NodeId N : Nodes)
+      EmitNode(N, "    ");
+    OS << "  }\n";
+  }
+  for (NodeId N : Unowned)
+    EmitNode(N, "  ");
+
+  for (EdgeId EId = 0; EId < G.numEdges(); ++EId) {
+    const Edge &E = G.edge(EId);
+    OS << "  n" << E.Src << " -> n" << E.Dst << " [label=\""
+       << edgeKindName(E.Kind);
+    if (E.Kind == EdgeKind::Load || E.Kind == EdgeKind::Store)
+      OS << '(' << P.names().text(P.fields()[E.Aux].Name) << ')';
+    else if (E.Kind == EdgeKind::Entry || E.Kind == EdgeKind::Exit) {
+      const ir::CallSite &CS = P.callSite(E.Aux);
+      OS << (CS.Label != ir::kNone ? CS.Label : CS.Id);
+    }
+    OS << '"';
+    if (!isLocalEdgeKind(E.Kind))
+      OS << ", style=dashed";
+    if (E.ContextFree)
+      OS << ", color=gray";
+    OS << "];\n";
+  }
+  OS << "}\n";
+}
+
+std::string dynsum::pag::toGraphViz(const PAG &G,
+                                    const GraphVizOptions &Opts) {
+  StringOStream OS;
+  writeGraphViz(G, OS, Opts);
+  return OS.str();
+}

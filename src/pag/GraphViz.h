@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GraphViz (DOT) export of a PAG, in the visual style of the paper's
+/// Figure 2: local edges solid, global edges dashed, method-local nodes
+/// clustered per method.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_PAG_GRAPHVIZ_H
+#define DYNSUM_PAG_GRAPHVIZ_H
+
+#include "pag/PAG.h"
+
+#include <string>
+
+namespace dynsum {
+
+class OStream;
+
+namespace pag {
+
+struct GraphVizOptions {
+  /// Group each method's nodes into a dotted cluster (Figure 2's
+  /// rectangles).
+  bool ClusterByMethod = true;
+  /// Skip nodes without any edge.
+  bool HideIsolatedNodes = true;
+  /// Graph title.
+  std::string Title = "PAG";
+};
+
+/// Writes \p G as a DOT digraph to \p OS.
+void writeGraphViz(const PAG &G, OStream &OS,
+                   const GraphVizOptions &Opts = GraphVizOptions());
+
+/// Convenience wrapper returning the DOT text.
+std::string toGraphViz(const PAG &G,
+                       const GraphVizOptions &Opts = GraphVizOptions());
+
+} // namespace pag
+} // namespace dynsum
+
+#endif // DYNSUM_PAG_GRAPHVIZ_H

@@ -1,0 +1,184 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PAG storage, indexing and statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/PAG.h"
+
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::pag;
+
+const char *dynsum::pag::edgeKindName(EdgeKind K) {
+  switch (K) {
+  case EdgeKind::New:
+    return "new";
+  case EdgeKind::Assign:
+    return "assign";
+  case EdgeKind::Load:
+    return "load";
+  case EdgeKind::Store:
+    return "store";
+  case EdgeKind::AssignGlobal:
+    return "assignglobal";
+  case EdgeKind::Entry:
+    return "entry";
+  case EdgeKind::Exit:
+    return "exit";
+  }
+  unreachable("bad edge kind");
+}
+
+double PAGStats::locality() const {
+  uint64_t Local = EdgesByKind[unsigned(EdgeKind::New)] +
+                   EdgesByKind[unsigned(EdgeKind::Assign)] +
+                   EdgesByKind[unsigned(EdgeKind::Load)] +
+                   EdgesByKind[unsigned(EdgeKind::Store)];
+  uint64_t Total = totalEdges();
+  return Total == 0 ? 1.0 : double(Local) / double(Total);
+}
+
+uint64_t PAGStats::totalEdges() const {
+  uint64_t Total = 0;
+  for (uint64_t N : EdgesByKind)
+    Total += N;
+  return Total;
+}
+
+NodeId PAG::addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method) {
+  assert(!Finalized && "adding node after finalize");
+  NodeId Id = NodeId(Nodes.size());
+  Node N;
+  N.Kind = Kind;
+  N.IrId = IrId;
+  N.Method = Method;
+  Nodes.push_back(N);
+  if (Kind == NodeKind::Object) {
+    if (AllocToNode.size() <= IrId)
+      AllocToNode.resize(IrId + 1, ir::kNone);
+    AllocToNode[IrId] = Id;
+  } else {
+    if (VarToNode.size() <= IrId)
+      VarToNode.resize(IrId + 1, ir::kNone);
+    VarToNode[IrId] = Id;
+  }
+  return Id;
+}
+
+void PAG::reset() {
+  Nodes.clear();
+  Edges.clear();
+  In.clear();
+  Out.clear();
+  FieldStores.clear();
+  FieldLoads.clear();
+  VarToNode.clear();
+  AllocToNode.clear();
+  Finalized = false;
+}
+
+EdgeId PAG::addEdge(NodeId Src, NodeId Dst, EdgeKind Kind, uint32_t Aux,
+                    bool ContextFree) {
+  assert(!Finalized && "adding edge after finalize");
+  assert(Src < Nodes.size() && Dst < Nodes.size() && "edge endpoint range");
+  EdgeId Id = EdgeId(Edges.size());
+  Edge E;
+  E.Src = Src;
+  E.Dst = Dst;
+  E.Kind = Kind;
+  E.Aux = Aux;
+  E.ContextFree = ContextFree;
+  Edges.push_back(E);
+  if (isLocalEdgeKind(Kind)) {
+    Nodes[Src].HasLocalEdge = true;
+    Nodes[Dst].HasLocalEdge = true;
+  } else {
+    Nodes[Dst].HasGlobalIn = true;
+    Nodes[Src].HasGlobalOut = true;
+  }
+  return Id;
+}
+
+void PAG::finalize() {
+  assert(!Finalized && "finalize called twice");
+  In.assign(Nodes.size(), {});
+  Out.assign(Nodes.size(), {});
+  FieldStores.assign(Prog.fields().size(), {});
+  FieldLoads.assign(Prog.fields().size(), {});
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    const Edge &E = Edges[Id];
+    Out[E.Src].push_back(Id);
+    In[E.Dst].push_back(Id);
+    if (E.Kind == EdgeKind::Store)
+      FieldStores[E.Aux].push_back(Id);
+    else if (E.Kind == EdgeKind::Load)
+      FieldLoads[E.Aux].push_back(Id);
+  }
+  Finalized = true;
+}
+
+const std::vector<EdgeId> &PAG::storesOfField(ir::FieldId F) const {
+  assert(Finalized && "PAG not finalized");
+  return FieldStores.at(F);
+}
+
+const std::vector<EdgeId> &PAG::loadsOfField(ir::FieldId F) const {
+  assert(Finalized && "PAG not finalized");
+  return FieldLoads.at(F);
+}
+
+ir::AllocId PAG::allocOf(NodeId N) const {
+  assert(isObject(N) && "allocOf on a variable node");
+  return Nodes[N].IrId;
+}
+
+std::string PAG::describe(NodeId N) const {
+  const Node &Nd = Nodes[N];
+  if (Nd.Kind == NodeKind::Object)
+    return Prog.describeAlloc(Nd.IrId);
+  return Prog.describeVar(Nd.IrId);
+}
+
+PAGStats PAG::stats() const {
+  PAGStats S;
+  S.NumMethods = Prog.methods().size();
+  for (const Node &N : Nodes) {
+    switch (N.Kind) {
+    case NodeKind::Object:
+      ++S.NumObjects;
+      break;
+    case NodeKind::Local:
+      ++S.NumLocals;
+      break;
+    case NodeKind::Global:
+      ++S.NumGlobals;
+      break;
+    }
+  }
+  for (const Edge &E : Edges)
+    ++S.EdgesByKind[unsigned(E.Kind)];
+  return S;
+}
+
+void PAG::dump(OStream &OS) const {
+  OS << "PAG: " << uint64_t(Nodes.size()) << " nodes, "
+     << uint64_t(Edges.size()) << " edges\n";
+  for (const Edge &E : Edges) {
+    OS << "  " << describe(E.Src) << " --" << edgeKindName(E.Kind);
+    if (E.Kind == EdgeKind::Load || E.Kind == EdgeKind::Store)
+      OS << '(' << Prog.names().text(Prog.fields()[E.Aux].Name) << ')';
+    else if (E.Kind == EdgeKind::Entry || E.Kind == EdgeKind::Exit) {
+      const ir::CallSite &CS = Prog.callSite(E.Aux);
+      OS << '[' << (CS.Label != ir::kNone ? CS.Label : CS.Id) << ']';
+    }
+    if (E.ContextFree)
+      OS << "{rec}";
+    OS << "--> " << describe(E.Dst) << '\n';
+  }
+}

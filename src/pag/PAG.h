@@ -1,0 +1,190 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pointer Assignment Graph of the paper's Figure 1.
+///
+/// Nodes are objects (allocation sites), local variables and global
+/// variables.  Edges point in the direction of value flow and carry one
+/// of the seven labels:
+///
+///   local edges   new, assign, load(f), store(f)
+///   global edges  assignglobal, entry_i, exit_i
+///
+/// Orientation conventions (pinned here; every analysis cites them):
+///   o --new--> v            v = new ...          (object o flows into v)
+///   x --assign--> y         y = x
+///   base --load(f)--> dst   dst = base.f         (edge leaves the BASE)
+///   val --store(f)--> base  base.f = val         (edge enters the BASE)
+///   actual --entry_i--> formal                   (call at site i)
+///   ret --exit_i--> recv                         (return at site i)
+///
+/// The paper's algorithm listings traverse flowsTo-bar and therefore
+/// write every edge inverted; the implementation comments map each
+/// listing line to this storage orientation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_PAG_PAG_H
+#define DYNSUM_PAG_PAG_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+
+class OStream;
+
+namespace pag {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+enum class NodeKind : uint8_t {
+  Object, ///< an allocation site
+  Local,  ///< a method-local variable
+  Global, ///< a static/global variable
+};
+
+enum class EdgeKind : uint8_t {
+  New,
+  Assign,
+  Load,
+  Store,
+  AssignGlobal,
+  Entry,
+  Exit,
+};
+
+/// True for the four context-independent edge kinds summarized by PPTA.
+inline bool isLocalEdgeKind(EdgeKind K) {
+  return K == EdgeKind::New || K == EdgeKind::Assign ||
+         K == EdgeKind::Load || K == EdgeKind::Store;
+}
+
+/// Printable label ("new", "entry", ...).
+const char *edgeKindName(EdgeKind K);
+
+struct Node {
+  NodeKind Kind = NodeKind::Local;
+  /// ir::AllocId for objects, ir::VarId for variables.
+  uint32_t IrId = ir::kNone;
+  /// Owning method; kNone for globals and the null object.
+  ir::MethodId Method = ir::kNone;
+  /// True when some local-kind edge touches this node (PPTA shortcut,
+  /// paper section 4.3).
+  bool HasLocalEdge = false;
+  /// True when a global-kind edge flows into / out of this node
+  /// (Algorithm 3 lines 15-16 / 28-29 record boundary tuples on these).
+  bool HasGlobalIn = false;
+  bool HasGlobalOut = false;
+};
+
+struct Edge {
+  NodeId Src = 0;
+  NodeId Dst = 0;
+  EdgeKind Kind = EdgeKind::Assign;
+  /// FieldId for load/store; CallSiteId for entry/exit; kNone otherwise.
+  uint32_t Aux = ir::kNone;
+  /// True for entry/exit edges inside a collapsed recursion cycle: the
+  /// analyses cross them without pushing/popping the context.
+  bool ContextFree = false;
+};
+
+/// Aggregate counts for the Table 3 reproduction.
+struct PAGStats {
+  uint64_t NumMethods = 0;
+  uint64_t NumObjects = 0;
+  uint64_t NumLocals = 0;
+  uint64_t NumGlobals = 0;
+  uint64_t EdgesByKind[7] = {};
+  /// Fraction of local edges among all edges.
+  double locality() const;
+  uint64_t totalEdges() const;
+};
+
+/// The graph.  Construction happens through PAGBuilder; the analyses
+/// only read.
+class PAG {
+public:
+  explicit PAG(const ir::Program &P) : Prog(P) {}
+
+  //===------------------------------------------------------------------===//
+  // Construction (PAGBuilder only)
+  //===------------------------------------------------------------------===//
+
+  NodeId addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method);
+  EdgeId addEdge(NodeId Src, NodeId Dst, EdgeKind Kind,
+                 uint32_t Aux = ir::kNone, bool ContextFree = false);
+
+  /// Builds the per-node in/out indices; call once after the last
+  /// addEdge.
+  void finalize();
+
+  /// Drops all nodes, edges and indices, returning the graph to its
+  /// just-constructed state (the program reference is kept).  Used by
+  /// rebuildPAG for in-place rebuilds after program edits so analyses
+  /// holding references to this graph stay valid.
+  void reset();
+
+  //===------------------------------------------------------------------===//
+  // Reading
+  //===------------------------------------------------------------------===//
+
+  const ir::Program &program() const { return Prog; }
+
+  size_t numNodes() const { return Nodes.size(); }
+  size_t numEdges() const { return Edges.size(); }
+  const Node &node(NodeId N) const { return Nodes[N]; }
+  const Edge &edge(EdgeId E) const { return Edges[E]; }
+
+  /// Edge ids entering / leaving \p N (all kinds, callers filter).
+  const std::vector<EdgeId> &inEdges(NodeId N) const { return In[N]; }
+  const std::vector<EdgeId> &outEdges(NodeId N) const { return Out[N]; }
+
+  /// All store edges labelled with \p F (REFINEPTS match-edge lookup).
+  const std::vector<EdgeId> &storesOfField(ir::FieldId F) const;
+
+  /// All load edges labelled with \p F.
+  const std::vector<EdgeId> &loadsOfField(ir::FieldId F) const;
+
+  /// Node of a variable / allocation site.
+  NodeId nodeOfVar(ir::VarId V) const { return VarToNode.at(V); }
+  NodeId nodeOfAlloc(ir::AllocId A) const { return AllocToNode.at(A); }
+
+  /// True when \p N is an object node.
+  bool isObject(NodeId N) const {
+    return Nodes[N].Kind == NodeKind::Object;
+  }
+
+  /// The allocation site of object node \p N.
+  ir::AllocId allocOf(NodeId N) const;
+
+  /// Human-readable node name ("s1@Main.main", "o25:Vector").
+  std::string describe(NodeId N) const;
+
+  /// Computes the Table 3 statistics of this graph.
+  PAGStats stats() const;
+
+  /// Writes a readable edge dump (tests and debugging).
+  void dump(OStream &OS) const;
+
+private:
+  const ir::Program &Prog;
+  std::vector<Node> Nodes;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<EdgeId>> In, Out;
+  std::vector<std::vector<EdgeId>> FieldStores, FieldLoads;
+  std::vector<NodeId> VarToNode;
+  std::vector<NodeId> AllocToNode;
+  bool Finalized = false;
+
+  friend class PAGBuilder;
+};
+
+} // namespace pag
+} // namespace dynsum
+
+#endif // DYNSUM_PAG_PAG_H

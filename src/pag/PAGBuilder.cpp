@@ -1,0 +1,109 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PAG builder implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/PAGBuilder.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+using namespace dynsum::pag;
+
+namespace {
+
+/// Chooses assign vs assignglobal for a variable-to-variable copy.
+EdgeKind copyKind(const Program &P, VarId Src, VarId Dst) {
+  if (P.variable(Src).IsGlobal || P.variable(Dst).IsGlobal)
+    return EdgeKind::AssignGlobal;
+  return EdgeKind::Assign;
+}
+
+} // namespace
+
+/// Fills \p G (which must be empty) with the nodes and edges of \p P,
+/// using \p CG for call targets and recursion information.
+static void populate(PAG &G, const Program &P, const CallGraph &CG) {
+  // Nodes: all variables first, then all allocation sites.
+  for (const Variable &V : P.variables())
+    G.addNode(V.IsGlobal ? NodeKind::Global : NodeKind::Local, V.Id, V.Owner);
+  for (const AllocSite &A : P.allocs())
+    G.addNode(NodeKind::Object, A.Id, A.Owner);
+
+  // Collect each method's returned variables once; exit edges fan out
+  // from them.
+  std::vector<std::vector<VarId>> Returns(P.methods().size());
+  for (const Method &M : P.methods())
+    for (const Statement &S : M.Stmts)
+      if (S.Kind == StmtKind::Return)
+        Returns[M.Id].push_back(S.Src);
+
+  for (const Method &M : P.methods()) {
+    for (const Statement &S : M.Stmts) {
+      switch (S.Kind) {
+      case StmtKind::Alloc:
+      case StmtKind::Null:
+        G.addEdge(G.nodeOfAlloc(S.Alloc), G.nodeOfVar(S.Dst), EdgeKind::New);
+        break;
+      case StmtKind::Assign:
+      case StmtKind::Cast:
+        // A cast is an assignment to the PAG; the cast site only matters
+        // to the SafeCast client.
+        G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Dst),
+                  copyKind(P, S.Src, S.Dst));
+        break;
+      case StmtKind::Load:
+        // dst = base.f  =>  base --load(f)--> dst
+        G.addEdge(G.nodeOfVar(S.Base), G.nodeOfVar(S.Dst), EdgeKind::Load,
+                  S.FieldLabel);
+        break;
+      case StmtKind::Store:
+        // base.f = src  =>  src --store(f)--> base
+        G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Base), EdgeKind::Store,
+                  S.FieldLabel);
+        break;
+      case StmtKind::Call: {
+        for (MethodId Target : CG.targets(S.Call)) {
+          const Method &Callee = P.method(Target);
+          bool ContextFree = CG.inSameRecursion(M.Id, Target);
+          size_t NumArgs = S.Args.size() < Callee.Params.size()
+                               ? S.Args.size()
+                               : Callee.Params.size();
+          for (size_t I = 0; I < NumArgs; ++I)
+            G.addEdge(G.nodeOfVar(S.Args[I]), G.nodeOfVar(Callee.Params[I]),
+                      EdgeKind::Entry, S.Call, ContextFree);
+          if (S.Dst != kNone)
+            for (VarId Ret : Returns[Target])
+              G.addEdge(G.nodeOfVar(Ret), G.nodeOfVar(S.Dst), EdgeKind::Exit,
+                        S.Call, ContextFree);
+        }
+        break;
+      }
+      case StmtKind::Return:
+        break; // handled from the call side
+      }
+    }
+  }
+
+  G.finalize();
+}
+
+BuiltPAG dynsum::pag::buildPAG(const Program &P,
+                               const TargetResolver *Resolver) {
+  BuiltPAG Result;
+  Result.Calls = buildCallGraph(P, Resolver);
+  Result.Graph = std::make_unique<PAG>(P);
+  populate(*Result.Graph, P, Result.Calls);
+  return Result;
+}
+
+CallGraph dynsum::pag::rebuildPAG(PAG &G, const TargetResolver *Resolver) {
+  const Program &P = G.program();
+  CallGraph Calls = buildCallGraph(P, Resolver);
+  G.reset();
+  populate(G, P, Calls);
+  return Calls;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a PAG (and its call graph) from an IR program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_PAG_PAGBUILDER_H
+#define DYNSUM_PAG_PAGBUILDER_H
+
+#include "pag/CallGraph.h"
+#include "pag/PAG.h"
+
+#include <memory>
+
+namespace dynsum {
+namespace pag {
+
+/// The PAG plus the call graph it was derived from.
+struct BuiltPAG {
+  std::unique_ptr<PAG> Graph;
+  CallGraph Calls;
+};
+
+/// Translates \p P into PAG edges per Figure 1:
+///   * every variable and allocation site becomes a node;
+///   * Alloc/Null produce new edges;
+///   * Assign/Cast produce assign edges, or assignglobal when either
+///     side is a global variable;
+///   * Load/Store produce load(f)/store(f) edges between base and
+///     value/destination;
+///   * calls produce entry_i edges (actual -> formal, pairwise) and, for
+///     calls with a result, exit_i edges (returned var -> result var)
+///     for every call-graph target;
+///   * entry/exit edges whose caller and callee share a recursive SCC
+///     are marked ContextFree.
+///
+/// \p Resolver selects virtual-call targets (CHA when null).
+BuiltPAG buildPAG(const ir::Program &P,
+                  const TargetResolver *Resolver = nullptr);
+
+/// Rebuilds \p G *in place* from its (edited) program and returns the
+/// fresh call graph.  References to \p G held by analyses remain valid;
+/// node numbering follows the same deterministic scheme as buildPAG
+/// (variables in id order, then allocation sites), so nodes of
+/// pre-existing variables keep their ids and object nodes shift by the
+/// number of added variables.
+CallGraph rebuildPAG(PAG &G, const TargetResolver *Resolver = nullptr);
+
+} // namespace pag
+} // namespace dynsum
+
+#endif // DYNSUM_PAG_PAGBUILDER_H

@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RTA fixpoint and dispatch filtering.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/Rta.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::ir;
+using namespace dynsum::pag;
+
+RtaTargetResolver::RtaTargetResolver(const Program &P,
+                                     std::vector<MethodId> Roots)
+    : Prog(P), Instantiated(P.classes().size(), false),
+      Reachable(P.methods().size(), false) {
+  if (Roots.empty())
+    for (const Method &M : P.methods())
+      Roots.push_back(M.Id);
+
+  std::vector<MethodId> Worklist;
+  auto reach = [&](MethodId M) {
+    if (M == kNone || Reachable[M])
+      return;
+    Reachable[M] = true;
+    Worklist.push_back(M);
+  };
+  for (MethodId M : Roots)
+    reach(M);
+
+  // Fixpoint: processing a method admits its allocations and direct
+  // calls immediately; virtual sites are re-dispatched after every
+  // round because newly instantiated types can widen them.  The outer
+  // loop runs until neither the reachable set nor the instantiated set
+  // grows — at most |methods| + |types| rounds, each linear in the
+  // program, which is plenty fast for analysis-time construction.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    while (!Worklist.empty()) {
+      MethodId M = Worklist.back();
+      Worklist.pop_back();
+      for (const Statement &S : Prog.method(M).Stmts) {
+        switch (S.Kind) {
+        case StmtKind::Alloc:
+          if (!Instantiated[S.Type]) {
+            Instantiated[S.Type] = true;
+            Changed = true;
+          }
+          break;
+        case StmtKind::Call:
+          if (!S.IsVirtual)
+            reach(S.Callee);
+          break;
+        default:
+          break;
+        }
+      }
+    }
+
+    // Re-dispatch every virtual site of every reachable method under
+    // the current instantiated set.
+    for (const Method &M : Prog.methods()) {
+      if (!Reachable[M.Id])
+        continue;
+      for (const Statement &S : M.Stmts) {
+        if (S.Kind != StmtKind::Call || !S.IsVirtual)
+          continue;
+        for (MethodId Target : resolve(Prog, M.Id, S))
+          if (!Reachable[Target]) {
+            reach(Target);
+            Changed = true;
+          }
+      }
+    }
+  }
+}
+
+std::vector<MethodId> RtaTargetResolver::resolve(const Program &P,
+                                                 MethodId Caller,
+                                                 const Statement &S) const {
+  assert(&P == &Prog && "resolver is bound to one program");
+  (void)Caller;
+  assert(S.Kind == StmtKind::Call && S.IsVirtual && "not a virtual call");
+
+  TypeId DeclType = P.variable(S.Base).DeclaredType;
+  std::vector<MethodId> Targets;
+  // Every instantiated subtype of the receiver's declared type names a
+  // possible runtime class; collect their dispatch results.
+  for (const ClassType &C : P.classes()) {
+    if (!Instantiated[C.Id] || !P.isSubtypeOf(C.Id, DeclType))
+      continue;
+    MethodId Target = P.dispatch(C.Id, S.VirtualName);
+    if (Target == kNone)
+      continue;
+    bool Seen = false;
+    for (MethodId Existing : Targets)
+      if (Existing == Target)
+        Seen = true;
+    if (!Seen)
+      Targets.push_back(Target);
+  }
+  return Targets;
+}
+
+size_t RtaTargetResolver::numInstantiatedTypes() const {
+  size_t N = 0;
+  for (bool B : Instantiated)
+    if (B)
+      ++N;
+  return N;
+}
+
+size_t RtaTargetResolver::numReachableMethods() const {
+  size_t N = 0;
+  for (bool B : Reachable)
+    if (B)
+      ++N;
+  return N;
+}

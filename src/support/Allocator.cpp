@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BumpPtrAllocator implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+
+#include <cassert>
+
+using namespace dynsum;
+
+void *BumpPtrAllocator::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+         "alignment must be a power of two");
+  uintptr_t Current = reinterpret_cast<uintptr_t>(Cursor);
+  uintptr_t Aligned = (Current + Align - 1) & ~uintptr_t(Align - 1);
+  size_t Needed = (Aligned - Current) + Size;
+  if (Cursor == nullptr || size_t(End - Cursor) < Needed) {
+    addSlab(Size + Align);
+    Current = reinterpret_cast<uintptr_t>(Cursor);
+    Aligned = (Current + Align - 1) & ~uintptr_t(Align - 1);
+  }
+  Cursor = reinterpret_cast<char *>(Aligned + Size);
+  assert(Cursor <= End && "bump allocation overran its slab");
+  return reinterpret_cast<void *>(Aligned);
+}
+
+void BumpPtrAllocator::addSlab(size_t MinSize) {
+  size_t Size = MinSize > SlabSize ? MinSize : SlabSize;
+  Slab NewSlab;
+  NewSlab.Memory = std::make_unique<char[]>(Size);
+  NewSlab.Size = Size;
+  Cursor = NewSlab.Memory.get();
+  End = Cursor + Size;
+  TotalBytes += Size;
+  Slabs.push_back(std::move(NewSlab));
+}
+
+void BumpPtrAllocator::reset() {
+  Slabs.clear();
+  Cursor = nullptr;
+  End = nullptr;
+  TotalBytes = 0;
+}

@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena allocator for long-lived analysis objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_ALLOCATOR_H
+#define DYNSUM_SUPPORT_ALLOCATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dynsum {
+
+/// Allocates raw memory in large slabs and hands out aligned chunks by
+/// bumping a pointer.  Individual chunks are never freed; everything is
+/// released when the allocator is destroyed or reset.  Objects allocated
+/// here must be trivially destructible (the arena runs no destructors).
+class BumpPtrAllocator {
+public:
+  explicit BumpPtrAllocator(size_t SlabSize = 64 * 1024)
+      : SlabSize(SlabSize) {}
+
+  BumpPtrAllocator(const BumpPtrAllocator &) = delete;
+  BumpPtrAllocator &operator=(const BumpPtrAllocator &) = delete;
+
+  /// Returns \p Size bytes aligned to \p Align (a power of two).
+  void *allocate(size_t Size, size_t Align);
+
+  /// Allocates storage for one T; the caller placement-constructs it.
+  template <typename T> T *allocate() {
+    return static_cast<T *>(allocate(sizeof(T), alignof(T)));
+  }
+
+  /// Allocates storage for \p Count contiguous Ts.
+  template <typename T> T *allocateArray(size_t Count) {
+    return static_cast<T *>(allocate(sizeof(T) * Count, alignof(T)));
+  }
+
+  /// Drops all slabs, invalidating every outstanding allocation.
+  void reset();
+
+  /// Total bytes requested from the system so far.
+  size_t bytesAllocated() const { return TotalBytes; }
+
+  /// Number of slabs currently held.
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  struct Slab {
+    std::unique_ptr<char[]> Memory;
+    size_t Size = 0;
+  };
+
+  void addSlab(size_t MinSize);
+
+  size_t SlabSize;
+  std::vector<Slab> Slabs;
+  char *Cursor = nullptr;
+  char *End = nullptr;
+  size_t TotalBytes = 0;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_ALLOCATOR_H

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A growable bit vector used for dense visited sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_BITVECTOR_H
+#define DYNSUM_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynsum {
+
+/// Fixed-width-word bit vector with set/test/reset and population count.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t Size) { resize(Size); }
+
+  /// Grows or shrinks to exactly \p Size bits; new bits are zero.
+  void resize(size_t Size) {
+    NumBits = Size;
+    Words.resize((Size + 63) / 64, 0);
+    clearUnusedBits();
+  }
+
+  size_t size() const { return NumBits; }
+
+  /// Sets bit \p Index; returns true when the bit was previously clear.
+  bool set(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    uint64_t Mask = 1ull << (Index % 64);
+    uint64_t &Word = Words[Index / 64];
+    bool WasClear = (Word & Mask) == 0;
+    Word |= Mask;
+    return WasClear;
+  }
+
+  /// Clears bit \p Index.
+  void reset(size_t Index) {
+    assert(Index < NumBits && "bit index out of range");
+    Words[Index / 64] &= ~(1ull << (Index % 64));
+  }
+
+  /// Tests bit \p Index.
+  bool test(size_t Index) const {
+    assert(Index < NumBits && "bit index out of range");
+    return (Words[Index / 64] >> (Index % 64)) & 1;
+  }
+
+  /// Clears all bits, keeping the size.
+  void clear() {
+    for (uint64_t &Word : Words)
+      Word = 0;
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t Word : Words)
+      Total += size_t(__builtin_popcountll(Word));
+    return Total;
+  }
+
+  /// Bitwise-or of \p Other into this; sizes must match.  Returns true
+  /// when any bit changed.
+  bool orInPlace(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch in or");
+    bool Changed = false;
+    for (size_t I = 0, E = Words.size(); I != E; ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+private:
+  void clearUnusedBits() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (1ull << (NumBits % 64)) - 1;
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_BITVECTOR_H

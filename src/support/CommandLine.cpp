@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CommandLine implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cstdlib>
+#include <string_view>
+
+using namespace dynsum;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg(Argv[I]);
+    if (!Arg.starts_with("--")) {
+      Positional.emplace_back(Arg);
+      continue;
+    }
+    Arg.remove_prefix(2);
+    size_t Eq = Arg.find('=');
+    std::string Name, Value;
+    if (Eq == std::string_view::npos) {
+      Name = std::string(Arg);
+    } else {
+      Name = std::string(Arg.substr(0, Eq));
+      Value = std::string(Arg.substr(Eq + 1));
+    }
+    Flags.emplace(Name, Value);
+    Ordered.emplace_back(std::move(Name), std::move(Value));
+  }
+}
+
+std::vector<std::string> CommandLine::getAll(const std::string &Name) const {
+  std::vector<std::string> Out;
+  for (const auto &[Flag, Value] : Ordered)
+    if (Flag == Name)
+      Out.push_back(Value);
+  return Out;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}

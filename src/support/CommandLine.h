@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal --flag=value command-line parser for examples and benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_COMMANDLINE_H
+#define DYNSUM_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+
+/// Parses "--name=value" and bare positional arguments.  Unknown flags
+/// are collected rather than rejected so harnesses can share argv with
+/// other libraries (e.g. google-benchmark).
+class CommandLine {
+public:
+  CommandLine(int Argc, const char *const *Argv);
+
+  /// Returns flag \p Name's value or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+
+  /// Returns flag \p Name parsed as an integer, or \p Default.
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+
+  /// Returns flag \p Name parsed as a double, or \p Default.
+  double getDouble(const std::string &Name, double Default) const;
+
+  /// True when "--name" or "--name=..." was present.
+  bool has(const std::string &Name) const { return Flags.count(Name) != 0; }
+
+  /// Every value of a repeatable flag, in command-line order (the map
+  /// accessors above return only the first occurrence).
+  std::vector<std::string> getAll(const std::string &Name) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  std::map<std::string, std::string> Flags;
+  /// All (flag, value) pairs in order, for repeatable flags.
+  std::vector<std::pair<std::string, std::string>> Ordered;
+  std::vector<std::string> Positional;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_COMMANDLINE_H

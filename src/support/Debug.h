@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and debugging helpers shared by every DynSum library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_DEBUG_H
+#define DYNSUM_SUPPORT_DEBUG_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynsum {
+
+/// Marks a point in the program that is provably unreachable when the
+/// library's invariants hold.  Aborts with \p Msg in all build modes; this
+/// is a programmer-error trap, not a recoverable condition.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "dynsum fatal: unreachable reached: %s\n", Msg);
+  std::abort();
+}
+
+/// Reports an unrecoverable usage error (malformed input that the caller
+/// should have validated) and aborts.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "dynsum fatal: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_DEBUG_H

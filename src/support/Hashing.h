@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hashing helpers used by analysis hash tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_HASHING_H
+#define DYNSUM_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dynsum {
+
+/// Mixes 64 bits thoroughly (the SplitMix64 finalizer).
+inline uint64_t hashMix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Combines an accumulated hash with one more value.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return hashMix(Seed ^ (Value + 0x9e3779b97f4a7c15ull + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// Packs two 32-bit values into one 64-bit key (no mixing; for exact-key
+/// maps).
+inline uint64_t packPair(uint32_t Hi, uint32_t Lo) {
+  return (uint64_t(Hi) << 32) | Lo;
+}
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_HASHING_H

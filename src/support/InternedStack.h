@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash-consed persistent stacks of 32-bit elements.
+///
+/// CFL-reachability tracks two stacks per traversal state: the calling
+/// context (call-site ids, the RRP language) and the pending field labels
+/// (the LFT language).  Both are immutable stacks that are pushed/popped
+/// billions of times and used as hash-map keys, so each distinct stack is
+/// interned once and represented by a 32-bit id: push/pop/peek/compare
+/// and hashing are all O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_INTERNEDSTACK_H
+#define DYNSUM_SUPPORT_INTERNEDSTACK_H
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dynsum {
+
+/// Identifier of an interned stack within one StackPool.  Id 0 is always
+/// the empty stack.
+struct StackId {
+  uint32_t Id = 0;
+
+  bool isEmpty() const { return Id == 0; }
+  friend bool operator==(StackId A, StackId B) { return A.Id == B.Id; }
+  friend bool operator!=(StackId A, StackId B) { return A.Id != B.Id; }
+};
+
+/// Interns persistent stacks; every distinct stack value has exactly one
+/// id for the lifetime of the pool.
+class StackPool {
+public:
+  StackPool() {
+    // Node 0 is the empty stack; parent/value are never inspected.
+    Nodes.push_back(Node{0, 0, 0});
+  }
+
+  /// Returns the empty stack.
+  static StackId empty() { return StackId{0}; }
+
+  /// Returns the stack \p Base with \p Value pushed on top.
+  StackId push(StackId Base, uint32_t Value) {
+    uint64_t Key = (uint64_t(Base.Id) << 32) | Value;
+    auto It = PushCache.find(Key);
+    if (It != PushCache.end())
+      return StackId{It->second};
+    uint32_t Id = uint32_t(Nodes.size());
+    Nodes.push_back(Node{Base.Id, Value, Nodes[Base.Id].Depth + 1});
+    PushCache.emplace(Key, Id);
+    return StackId{Id};
+  }
+
+  /// Returns the stack below the top of \p Stack.  \p Stack must not be
+  /// empty.
+  StackId pop(StackId Stack) const {
+    assert(!Stack.isEmpty() && "pop of empty stack");
+    return StackId{Nodes[Stack.Id].Parent};
+  }
+
+  /// Returns the top element of \p Stack, which must not be empty.
+  uint32_t peek(StackId Stack) const {
+    assert(!Stack.isEmpty() && "peek of empty stack");
+    return Nodes[Stack.Id].Value;
+  }
+
+  /// Number of elements in \p Stack.
+  uint32_t depth(StackId Stack) const { return Nodes[Stack.Id].Depth; }
+
+  /// Returns the elements of \p Stack from bottom to top.
+  std::vector<uint32_t> elements(StackId Stack) const {
+    std::vector<uint32_t> Out(depth(Stack));
+    uint32_t Cur = Stack.Id;
+    for (size_t I = Out.size(); I > 0; --I) {
+      Out[I - 1] = Nodes[Cur].Value;
+      Cur = Nodes[Cur].Parent;
+    }
+    return Out;
+  }
+
+  /// Builds a stack from \p Elems listed bottom-to-top.
+  StackId make(const std::vector<uint32_t> &Elems) {
+    StackId S = empty();
+    for (uint32_t E : Elems)
+      S = push(S, E);
+    return S;
+  }
+
+  /// Number of distinct stacks interned so far (including empty).
+  size_t size() const { return Nodes.size(); }
+
+private:
+  struct Node {
+    uint32_t Parent;
+    uint32_t Value;
+    uint32_t Depth;
+  };
+
+  std::vector<Node> Nodes;
+  std::unordered_map<uint64_t, uint32_t> PushCache;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_INTERNEDSTACK_H

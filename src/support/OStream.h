@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight output-stream abstraction used instead of <iostream>.
+///
+/// Library code never touches std::cout/std::cerr (which drag in static
+/// constructors); it writes through OStream.  Concrete sinks are a stdio
+/// FILE* (FileOStream) and an in-memory string (StringOStream).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_OSTREAM_H
+#define DYNSUM_SUPPORT_OSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace dynsum {
+
+/// Abstract character sink with printf-free formatting helpers.
+class OStream {
+public:
+  virtual ~OStream();
+
+  /// Writes \p Size bytes starting at \p Data to the sink.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// Flushes any buffering the sink performs.  Default: no-op.
+  virtual void flush();
+
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  OStream &operator<<(const char *S) { return *this << std::string_view(S); }
+  OStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  OStream &operator<<(bool V) { return *this << (V ? "true" : "false"); }
+  OStream &operator<<(uint64_t V);
+  OStream &operator<<(int64_t V);
+  OStream &operator<<(uint32_t V) { return *this << uint64_t(V); }
+  OStream &operator<<(int32_t V) { return *this << int64_t(V); }
+  OStream &operator<<(double V);
+
+  /// Writes \p V with exactly \p Decimals digits after the decimal point.
+  OStream &writeFixed(double V, unsigned Decimals);
+
+  /// Writes \p S left- or right-padded with spaces to \p Width columns.
+  OStream &writePadded(std::string_view S, unsigned Width, bool LeftAlign);
+
+  /// Writes \p N repetitions of character \p C.
+  OStream &writeRepeated(char C, unsigned N);
+};
+
+/// OStream that appends to a stdio FILE handle.  Does not own the handle.
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *Handle) : Handle(Handle) {}
+
+  void write(const char *Data, size_t Size) override;
+  void flush() override;
+
+private:
+  std::FILE *Handle;
+};
+
+/// OStream that accumulates into an owned std::string.
+class StringOStream : public OStream {
+public:
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+
+  /// Returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+
+  /// Discards the accumulated contents.
+  void clear() { Buffer.clear(); }
+
+private:
+  std::string Buffer;
+};
+
+/// Returns the process-wide stream bound to stdout.
+OStream &outs();
+
+/// Returns the process-wide stream bound to stderr.
+OStream &errs();
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_OSTREAM_H

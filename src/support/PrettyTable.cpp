@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PrettyTable implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/PrettyTable.h"
+
+#include "support/Debug.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+
+using namespace dynsum;
+
+PrettyTable &PrettyTable::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+PrettyTable &PrettyTable::cell(const std::string &Text) {
+  if (Rows.empty())
+    fatalError("PrettyTable::cell before row()");
+  Rows.back().push_back(Text);
+  return *this;
+}
+
+PrettyTable &PrettyTable::cell(uint64_t Value) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)Value);
+  return cell(std::string(Buf));
+}
+
+PrettyTable &PrettyTable::cell(double Value, unsigned Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", int(Decimals), Value);
+  return cell(std::string(Buf));
+}
+
+void PrettyTable::print(OStream &OS) const {
+  if (Rows.empty())
+    return;
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Row.size() > Widths.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  }
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        OS << "  ";
+      // Left-align the first (label) column, right-align the rest.
+      OS.writePadded(Row[I], unsigned(Widths[I]), /*LeftAlign=*/I == 0);
+    }
+    OS << '\n';
+  };
+  PrintRow(Rows.front());
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  OS.writeRepeated('-', unsigned(Total + 2 * (Widths.size() - 1)));
+  OS << '\n';
+  for (size_t I = 1; I < Rows.size(); ++I)
+    PrintRow(Rows[I]);
+}

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aligned ASCII table rendering for benchmark reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_PRETTYTABLE_H
+#define DYNSUM_SUPPORT_PRETTYTABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+
+class OStream;
+
+/// Accumulates rows of cells and prints them with per-column alignment.
+/// The first added row is the header.  Numeric convenience overloads
+/// format with fixed precision so report columns line up.
+class PrettyTable {
+public:
+  /// Starts a new row.
+  PrettyTable &row();
+
+  /// Appends a text cell to the current row.
+  PrettyTable &cell(const std::string &Text);
+  PrettyTable &cell(const char *Text) { return cell(std::string(Text)); }
+
+  /// Appends an integer cell.
+  PrettyTable &cell(uint64_t Value);
+
+  /// Appends a fixed-precision floating-point cell.
+  PrettyTable &cell(double Value, unsigned Decimals = 2);
+
+  /// Renders the table; the first row is underlined as a header.
+  void print(OStream &OS) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_PRETTYTABLE_H

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rng and ZipfSampler implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dynsum;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void Rng::reseed(uint64_t Seed) {
+  for (auto &Word : State)
+    Word = splitMix64(Seed);
+  // All-zero state would lock xoshiro at zero forever.
+  if (State[0] == 0 && State[1] == 0 && State[2] == 0 && State[3] == 0)
+    State[0] = 1;
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::nextDouble() {
+  return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+ZipfSampler::ZipfSampler(size_t N, double S) {
+  assert(N > 0 && "Zipf over empty domain");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(double(I + 1), S);
+    Cdf[I] = Sum;
+  }
+  for (double &V : Cdf)
+    V /= Sum;
+}
+
+size_t ZipfSampler::sample(Rng &R) const {
+  double U = R.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return size_t(It - Cdf.begin());
+}

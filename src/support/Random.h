@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation for workload synthesis.
+///
+/// The workload generator must be reproducible across platforms and
+/// standard-library versions, so it uses this xoshiro256** generator with
+/// explicit distributions rather than <random>'s unspecified ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_RANDOM_H
+#define DYNSUM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynsum {
+
+/// xoshiro256** seeded via SplitMix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Re-seeds the generator deterministically from \p Seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound); \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + int64_t(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P);
+
+  /// Picks a uniformly random element of \p Items (must be non-empty).
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick from empty vector");
+    return Items[nextBelow(Items.size())];
+  }
+
+private:
+  uint64_t State[4];
+};
+
+/// Samples from a Zipf distribution over {0, ..., N-1} with exponent S.
+/// Used to give workloads realistic skew (a few hot library methods and
+/// fields, many cold ones).
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, double S);
+
+  /// Draws one index; smaller indices are more likely.
+  size_t sample(Rng &R) const;
+
+  size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_RANDOM_H

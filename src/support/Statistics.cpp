@@ -1,0 +1,17 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics printing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/OStream.h"
+
+using namespace dynsum;
+
+void Statistics::print(OStream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS << Name << " = " << Value << '\n';
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters collected by the analyses and printed by harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_STATISTICS_H
+#define DYNSUM_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dynsum {
+
+class OStream;
+
+/// An instance-owned bag of named counters.  Analyses carry their own
+/// Statistics object (no global registry; results stay comparable across
+/// side-by-side analysis instances).
+class Statistics {
+public:
+  /// Adds \p Delta to counter \p Name, creating it at zero on first use.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Returns counter \p Name, or zero when it was never touched.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  /// Resets every counter to zero.
+  void clear() { Counters.clear(); }
+
+  /// Writes "name = value" lines sorted by name.
+  void print(OStream &OS) const;
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_STATISTICS_H

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// StringInterner implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace dynsum;
+
+StringInterner::StringInterner() {
+  Symbol Empty = intern("");
+  (void)Empty;
+  assert(Empty.Id == 0 && "empty string must be symbol 0");
+}
+
+Symbol StringInterner::intern(std::string_view Text) {
+  auto It = Ids.find(std::string(Text));
+  if (It != Ids.end())
+    return Symbol{It->second};
+  uint32_t Id = uint32_t(Texts.size());
+  auto [Inserted, IsNew] = Ids.emplace(std::string(Text), Id);
+  (void)IsNew;
+  // std::unordered_map keys have stable addresses; keep a view to avoid a
+  // second copy of every name.
+  Texts.push_back(Inserted->first);
+  return Symbol{Id};
+}
+
+Symbol StringInterner::lookup(std::string_view Text) const {
+  auto It = Ids.find(std::string(Text));
+  if (It == Ids.end())
+    return Symbol{0};
+  return Symbol{It->second};
+}
+
+std::string_view StringInterner::text(Symbol Sym) const {
+  assert(Sym.Id < Texts.size() && "symbol from a different interner");
+  return Texts[Sym.Id];
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniques strings to dense 32-bit symbol ids.
+///
+/// Names of classes, fields, methods and variables are interned once so
+/// that the rest of the system compares and hashes 4-byte ids instead of
+/// strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_STRINGINTERNER_H
+#define DYNSUM_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dynsum {
+
+/// A dense id naming an interned string.  Id 0 is the empty string in any
+/// interner, so value-initialized symbols are valid and "empty".
+struct Symbol {
+  uint32_t Id = 0;
+
+  bool empty() const { return Id == 0; }
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Id < B.Id; }
+};
+
+/// Bidirectional string <-> Symbol table.
+class StringInterner {
+public:
+  StringInterner();
+
+  /// Returns the unique symbol for \p Text, creating it on first use.
+  Symbol intern(std::string_view Text);
+
+  /// Returns the symbol for \p Text, or the empty symbol when \p Text has
+  /// never been interned.  Never allocates.
+  Symbol lookup(std::string_view Text) const;
+
+  /// Returns the text of \p Sym.  \p Sym must come from this interner.
+  std::string_view text(Symbol Sym) const;
+
+  /// Number of distinct strings interned (including the empty string).
+  size_t size() const { return Texts.size(); }
+
+private:
+  std::unordered_map<std::string, uint32_t> Ids;
+  std::vector<std::string_view> Texts; // views into Ids' stable keys
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_STRINGINTERNER_H

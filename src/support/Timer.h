@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing utilities for the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_TIMER_H
+#define DYNSUM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace dynsum {
+
+/// Measures elapsed wall-clock time from construction or the last reset.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement.
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Adds the scope's elapsed seconds into an accumulator on destruction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double &Accumulator) : Accumulator(Accumulator) {}
+  ~ScopedTimer() { Accumulator += Inner.seconds(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  double &Accumulator;
+  Timer Inner;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_TIMER_H

@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The nine benchmark shapes of the paper's Table 3.
+///
+/// The paper evaluates on SPECjvm98/DaCapo programs analysed through
+/// Soot/Spark; those are unavailable here, so each benchmark is
+/// described by its published PAG statistics and re-synthesized by the
+/// generator at a configurable scale.  Node/edge counts are in
+/// thousands, exactly as printed in Table 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_WORKLOAD_BENCHMARKSPEC_H
+#define DYNSUM_WORKLOAD_BENCHMARKSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynsum {
+namespace workload {
+
+/// One row of Table 3.
+struct BenchmarkSpec {
+  std::string Name;
+  double MethodsK;      ///< #Methods (K)
+  double ObjectsK;      ///< O nodes = new edges (K)
+  double VarsK;         ///< V nodes (K)
+  double AssignK;       ///< assign edges (K)
+  double LoadK;         ///< load edges (K)
+  double StoreK;        ///< store edges (K)
+  double EntryK;        ///< entry edges (K)
+  double ExitK;         ///< exit edges (K)
+  double AssignGlobalK; ///< assignglobal edges (K)
+  double LocalityPct;   ///< paper's printed locality (derived quantity)
+  unsigned QuerySafeCast;
+  unsigned QueryNullDeref;
+  unsigned QueryFactoryM;
+
+  /// Paper locality recomputed from the edge columns (sanity check).
+  double computedLocality() const {
+    double Local = ObjectsK + AssignK + LoadK + StoreK;
+    double Global = EntryK + ExitK + AssignGlobalK;
+    return 100.0 * Local / (Local + Global);
+  }
+};
+
+/// The nine rows of Table 3, in paper order.
+const std::vector<BenchmarkSpec> &paperSuite();
+
+/// Finds a spec by name; aborts when unknown.
+const BenchmarkSpec &specByName(const std::string &Name);
+
+} // namespace workload
+} // namespace dynsum
+
+#endif // DYNSUM_WORKLOAD_BENCHMARKSPEC_H

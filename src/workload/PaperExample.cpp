@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 2 source text.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workload/PaperExample.h"
+
+const char *dynsum::workload::figure2Source() {
+  return R"(
+class Vector   { fields elems, count, arr }
+class Client   { fields vec }
+class Main     {}
+class Integer  {}
+class String   {}
+
+method Vector.<init>(this : Vector) {
+  t = new Object @o5
+  this.elems = t
+}
+
+method Vector.add(this : Vector, p) {
+  t = this.elems
+  t.arr = p
+}
+
+method Vector.get(this : Vector, i) {
+  t = this.elems
+  ret = t.arr
+  return ret
+}
+
+method Client.<initDefault>(this : Client) {
+}
+
+method Client.<init>(this : Client, v : Vector) {
+  this.vec = v
+}
+
+method Client.set(this : Client, v : Vector) {
+  this.vec = v
+}
+
+method Client.retrieve(this : Client) {
+  t = this.vec
+  r = vcall @22 t.get(i0)
+  return r
+}
+
+method Main.main() {
+  v1 = new Vector @o25
+  call @25 Vector.<init>(v1)
+  tmp1 = new Integer @o26
+  vcall @26 v1.add(tmp1)
+  c1 = new Client @o27
+  call @27 Client.<init>(c1, v1)
+  v2 = new Vector @o28
+  call @28 Vector.<init>(v2)
+  tmp2 = new String @o29
+  vcall @29 v2.add(tmp2)
+  c2 = new Client @o30
+  call @30 Client.<initDefault>(c2)
+  vcall @31 c2.set(v2)
+  s1 = vcall @32 c1.retrieve()
+  s2 = vcall @33 c2.retrieve()
+  var v1 : Vector
+  var v2 : Vector
+  var c1 : Client
+  var c2 : Client
+}
+)";
+}

@@ -1,0 +1,22 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 2 motivating example as a reusable IR source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_WORKLOAD_PAPEREXAMPLE_H
+#define DYNSUM_WORKLOAD_PAPEREXAMPLE_H
+
+namespace dynsum {
+namespace workload {
+
+/// Textual IR of the Vector/Client program of Figure 2.  Allocation and
+/// call-site labels match the paper's line numbers; the expected
+/// answers are pts(s1) = {o26} and pts(s2) = {o29}.
+const char *figure2Source();
+
+} // namespace workload
+} // namespace dynsum
+
+#endif // DYNSUM_WORKLOAD_PAPEREXAMPLE_H

@@ -1,0 +1,315 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random well-typed MiniJava program generation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MiniJavaFuzzer.h"
+
+using namespace dynsum;
+using namespace dynsum::testing;
+
+void MiniJavaFuzzer::emitClasses() {
+  unsigned NumClasses = 3 + pick(4);
+  for (unsigned I = 0; I < NumClasses; ++I) {
+    ClassModel C;
+    C.Name = "C" + std::to_string(I);
+    // Subclass an earlier class half the time (keeps the hierarchy a
+    // forest rooted at Object).
+    if (I > 0 && chance(50))
+      C.Super = int(pick(I));
+    // Field names carry the class index: field hiding is a sema error.
+    unsigned NumFields = pick(3);
+    for (unsigned F = 0; F < NumFields; ++F) {
+      C.FieldNames.push_back("f" + std::to_string(I) + "_" +
+                             std::to_string(F));
+      C.FieldTypes.push_back(int(pick(NumClasses)));
+    }
+    if (chance(40)) {
+      C.HasCtor = true;
+      C.CtorParamType = int(pick(NumClasses));
+    }
+    unsigned NumMethods = 1 + pick(2);
+    for (unsigned M = 0; M < NumMethods; ++M) {
+      C.MethodNames.push_back("m" + std::to_string(I) + "_" +
+                              std::to_string(M));
+      C.MethodParamTypes.push_back(int(pick(NumClasses)));
+    }
+    // Often override one inherited method (same name, same signature —
+    // sema requires exact matches) so virtual dispatch has real targets.
+    if (C.Super != -1 && chance(60)) {
+      std::vector<std::pair<std::string, int>> Inherited;
+      for (int A = C.Super; A != -1; A = Classes[A].Super)
+        for (size_t M = 0; M < Classes[A].MethodNames.size(); ++M)
+          Inherited.push_back({Classes[A].MethodNames[M],
+                               Classes[A].MethodParamTypes[M]});
+      if (!Inherited.empty()) {
+        auto [Name, ParamType] = Inherited[pick(unsigned(Inherited.size()))];
+        bool Duplicate = false;
+        for (const std::string &Existing : C.MethodNames)
+          if (Existing == Name)
+            Duplicate = true;
+        if (!Duplicate) {
+          C.MethodNames.push_back(Name);
+          C.MethodParamTypes.push_back(ParamType);
+        }
+      }
+    }
+    Classes.push_back(std::move(C));
+  }
+}
+
+std::string MiniJavaFuzzer::exprOf(std::string &Out, int Type,
+                                   std::vector<Local> &Locals,
+                                   unsigned ExprDepth) {
+  // Prefer an existing fitting local; at the depth bound it is the only
+  // non-null option (constructor chains can cycle: C0's ctor may take a
+  // C1 whose ctor takes a C0, so recursion must be cut explicitly).
+  std::vector<const Local *> Fits;
+  for (const Local &L : Locals)
+    if (isSubclass(L.Type, Type))
+      Fits.push_back(&L);
+  if (!Fits.empty() && (chance(70) || ExprDepth >= 3))
+    return Fits[pick(unsigned(Fits.size()))]->Name;
+  if (ExprDepth >= 3)
+    return "null";
+
+  // Past depth 1, prefer a constructor-less subclass so allocation
+  // chains stay shallow.
+  int Alloc = subclassOf(Type);
+  if (ExprDepth >= 1 && Classes[Alloc].HasCtor)
+    for (int C = 0; C < int(Classes.size()); ++C)
+      if (isSubclass(C, Type) && !Classes[C].HasCtor) {
+        Alloc = C;
+        break;
+      }
+  const ClassModel &C = Classes[Alloc];
+  if (!C.HasCtor)
+    return "new " + C.Name + "()";
+  // The constructor needs an argument; synthesize one recursively into
+  // a helper local first.
+  std::string ArgName = "h" + std::to_string(NextLocal++);
+  std::string ArgInit = exprOf(Out, C.CtorParamType, Locals, ExprDepth + 1);
+  Out += Classes[C.CtorParamType].Name + " " + ArgName + " = " + ArgInit +
+         ";\n";
+  Locals.push_back({ArgName, C.CtorParamType});
+  return "new " + C.Name + "(" + ArgName + ")";
+}
+
+void MiniJavaFuzzer::emitStmt(std::string &Out, int SelfClass,
+                              std::vector<Local> &Locals, unsigned Depth) {
+  if (StmtBudget == 0)
+    return;
+  --StmtBudget;
+
+  enum {
+    Decl,
+    Copy,
+    FieldStore,
+    FieldLoad,
+    CallMethod,
+    NullAssign,
+    IfBlock,
+    Cast,
+    NumKinds
+  };
+  unsigned Kind = pick(NumKinds);
+
+  switch (Kind) {
+  case Decl: {
+    int Type = int(pick(unsigned(Classes.size())));
+    std::string Pre;
+    std::string Init = exprOf(Pre, Type, Locals);
+    for (char Ch : Pre) { // re-indent helper lines
+      if (!Out.empty() && Out.back() == '\n' && Ch != '\n')
+        indent(Out, Depth);
+      Out += Ch;
+    }
+    std::string Name = "v" + std::to_string(NextLocal++);
+    indent(Out, Depth);
+    Out += Classes[Type].Name + " " + Name + " = " + Init + ";\n";
+    Locals.push_back({Name, Type});
+    return;
+  }
+
+  case Copy: {
+    // Pick a destination local, then a source that fits its type.  The
+    // local is copied out: exprOf may grow Locals and invalidate
+    // references into it.
+    if (Locals.empty())
+      return;
+    Local Dst = Locals[pick(unsigned(Locals.size()))];
+    std::string Pre;
+    std::string Src = exprOf(Pre, Dst.Type, Locals);
+    for (char Ch : Pre) {
+      if (!Out.empty() && Out.back() == '\n' && Ch != '\n')
+        indent(Out, Depth);
+      Out += Ch;
+    }
+    indent(Out, Depth);
+    Out += Dst.Name + " = " + Src + ";\n";
+    return;
+  }
+
+  case FieldStore:
+  case FieldLoad: {
+    // Find a local whose class (or a superclass) declares a field.
+    std::vector<std::pair<const Local *, std::pair<int, int>>> Cands;
+    for (const Local &L : Locals)
+      for (int C = L.Type; C != -1; C = Classes[C].Super)
+        for (size_t F = 0; F < Classes[C].FieldNames.size(); ++F)
+          Cands.push_back({&L, {C, int(F)}});
+    if (Cands.empty())
+      return;
+    auto [L, CF] = Cands[pick(unsigned(Cands.size()))];
+    std::string Base = L->Name; // copy before exprOf can grow Locals
+    const ClassModel &C = Classes[CF.first];
+    int FieldType = C.FieldTypes[CF.second];
+    const std::string &FieldName = C.FieldNames[CF.second];
+    if (Kind == FieldStore) {
+      std::string Pre;
+      std::string Src = exprOf(Pre, FieldType, Locals);
+      for (char Ch : Pre) {
+        if (!Out.empty() && Out.back() == '\n' && Ch != '\n')
+          indent(Out, Depth);
+        Out += Ch;
+      }
+      indent(Out, Depth);
+      Out += Base + "." + FieldName + " = " + Src + ";\n";
+    } else {
+      std::string Name = "v" + std::to_string(NextLocal++);
+      indent(Out, Depth);
+      Out += Classes[FieldType].Name + " " + Name + " = " + Base + "." +
+             FieldName + ";\n";
+      Locals.push_back({Name, FieldType});
+    }
+    return;
+  }
+
+  case CallMethod: {
+    // Virtual call on a local receiver.
+    std::vector<std::pair<const Local *, std::pair<int, int>>> Cands;
+    for (const Local &L : Locals)
+      for (int C = L.Type; C != -1; C = Classes[C].Super)
+        for (size_t M = 0; M < Classes[C].MethodNames.size(); ++M)
+          Cands.push_back({&L, {C, int(M)}});
+    if (Cands.empty())
+      return;
+    auto [L, CM] = Cands[pick(unsigned(Cands.size()))];
+    std::string Recv = L->Name; // copy before exprOf can grow Locals
+    const ClassModel &C = Classes[CM.first];
+    std::string Pre;
+    std::string Arg = exprOf(Pre, C.MethodParamTypes[CM.second], Locals);
+    for (char Ch : Pre) {
+      if (!Out.empty() && Out.back() == '\n' && Ch != '\n')
+        indent(Out, Depth);
+      Out += Ch;
+    }
+    std::string Name = "v" + std::to_string(NextLocal++);
+    indent(Out, Depth);
+    Out += "Object " + Name + " = " + Recv + "." +
+           C.MethodNames[CM.second] + "(" + Arg + ");\n";
+    return;
+  }
+
+  case NullAssign: {
+    if (Locals.empty())
+      return;
+    Local &Dst = Locals[pick(unsigned(Locals.size()))];
+    indent(Out, Depth);
+    Out += Dst.Name + " = null;\n";
+    return;
+  }
+
+  case IfBlock: {
+    if (Depth >= 4)
+      return;
+    indent(Out, Depth);
+    Out += "if (true) {\n";
+    unsigned Inner = 1 + pick(3);
+    std::vector<Local> Scoped = Locals; // block scope: copies may shadow
+    for (unsigned I = 0; I < Inner; ++I)
+      emitStmt(Out, SelfClass, Scoped, Depth + 1);
+    indent(Out, Depth);
+    Out += "}\n";
+    return;
+  }
+
+  case Cast: {
+    // Downcast an Object-typed expression to a random class.
+    if (Locals.empty())
+      return;
+    const Local &Src = Locals[pick(unsigned(Locals.size()))];
+    int Target = subclassOf(Src.Type); // a downcast within the hierarchy
+    std::string Name = "v" + std::to_string(NextLocal++);
+    indent(Out, Depth);
+    Out += Classes[Target].Name + " " + Name + " = (" +
+           Classes[Target].Name + ") " + Src.Name + ";\n";
+    Locals.push_back({Name, Target});
+    return;
+  }
+
+  default:
+    return;
+  }
+}
+
+void MiniJavaFuzzer::emitBody(std::string &Out, int SelfClass,
+                              std::vector<Local> Locals, unsigned Depth) {
+  unsigned NumStmts = 2 + pick(5);
+  for (unsigned I = 0; I < NumStmts; ++I)
+    emitStmt(Out, SelfClass, Locals, Depth);
+}
+
+std::string MiniJavaFuzzer::generate() {
+  Classes.clear();
+  Source.clear();
+  NextLocal = 0;
+  StmtBudget = 120; // global cap keeps programs small and fast
+
+  emitClasses();
+
+  for (int I = 0; I < int(Classes.size()); ++I) {
+    const ClassModel &C = Classes[I];
+    Source += "class " + C.Name;
+    if (C.Super != -1)
+      Source += " extends " + Classes[C.Super].Name;
+    Source += " {\n";
+    for (size_t F = 0; F < C.FieldNames.size(); ++F)
+      Source += "  " + Classes[C.FieldTypes[F]].Name + " " +
+                C.FieldNames[F] + ";\n";
+    if (C.HasCtor) {
+      Source += "  " + C.Name + "(" + Classes[C.CtorParamType].Name +
+                " p) {\n";
+      std::vector<Local> Locals = {{"p", C.CtorParamType}};
+      // Constructors commonly store their argument into a field.
+      for (size_t F = 0; F < C.FieldNames.size(); ++F)
+        if (isSubclass(C.CtorParamType, C.FieldTypes[F])) {
+          Source += "    this." + C.FieldNames[F] + " = p;\n";
+          break;
+        }
+      emitBody(Source, I, Locals, 2);
+      Source += "  }\n";
+    }
+    for (size_t M = 0; M < C.MethodNames.size(); ++M) {
+      int ParamType = C.MethodParamTypes[M];
+      Source += "  Object " + C.MethodNames[M] + "(" +
+                Classes[ParamType].Name + " p) {\n";
+      std::vector<Local> Locals = {{"p", ParamType}};
+      emitBody(Source, I, Locals, 2);
+      // Return something type-correct; p is always in scope.
+      Source += "    return p;\n";
+      Source += "  }\n";
+    }
+    Source += "}\n";
+  }
+
+  // The driver class ties everything together.
+  Source += "class Driver {\n  static void main() {\n";
+  std::vector<Local> Locals;
+  StmtBudget += 40;
+  emitBody(Source, -1, Locals, 2);
+  Source += "  }\n}\n";
+  return Source;
+}

@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared IR sources used across test suites, most importantly the
+/// paper's Figure 2 Vector/Client program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_TESTS_TESTPROGRAMS_H
+#define DYNSUM_TESTS_TESTPROGRAMS_H
+
+#include "workload/PaperExample.h"
+
+namespace dynsum {
+namespace testing {
+
+/// The motivating example of the paper (Figure 2).  Allocation labels
+/// and call-site labels match the paper's line numbers, so the expected
+/// results are: pts(s1) = {o26}, pts(s2) = {o29}.
+inline const char *kFigure2Source = ::dynsum::workload::figure2Source();
+
+/// A tiny single-method program: x and y point to o1, z to o2.
+inline const char *kStraightLineSource = R"(
+class A {}
+method main() {
+  x = new A @o1
+  y = x
+  z = new A @o2
+}
+)";
+
+/// Field store/load within one method: p = b.f where b.f = a, a = new.
+inline const char *kLocalFieldSource = R"(
+class A {}
+class Box { fields f }
+method main() {
+  a = new A @oa
+  b = new Box @ob
+  b.f = a
+  p = b.f
+}
+)";
+
+/// The classic context-sensitivity litmus: an identity method called
+/// from two sites must not conflate its callers.
+inline const char *kIdentitySource = R"(
+class A {}
+class B {}
+method id(p) {
+  return p
+}
+method main() {
+  a = new A @oa
+  b = new B @ob
+  x = call @1 id(a)
+  y = call @2 id(b)
+}
+)";
+
+/// Globals are context-insensitive: values meet in a static variable.
+inline const char *kGlobalSource = R"(
+class A {}
+class B {}
+global cache
+method put(v) {
+  cache = v
+}
+method take() {
+  r = cache
+  return r
+}
+method main() {
+  a = new A @oa
+  b = new B @ob
+  call @1 put(a)
+  call @2 put(b)
+  x = call @3 take()
+}
+)";
+
+/// Direct recursion: the recursive cycle must be collapsed, and the
+/// query must still terminate with the right answer.
+inline const char *kRecursionSource = R"(
+class A {}
+method rec(p, n) {
+  q = p
+  r = call @7 rec(q, n)
+  return p
+}
+method main() {
+  a = new A @oa
+  x = call @9 rec(a, a)
+}
+)";
+
+/// Field-recursive list traversal; exercises the field-depth cap.
+inline const char *kListSource = R"(
+class Node { fields next, val }
+class A {}
+method main() {
+  n1 = new Node @on1
+  n2 = new Node @on2
+  v = new A @ov
+  n1.next = n2
+  n2.next = n1
+  n2.val = v
+  t1 = n1.next
+  t2 = t1.next
+  t3 = t2.next
+  x = t3.val
+}
+)";
+
+/// Virtual dispatch with a two-class hierarchy; CHA must see both
+/// targets, Andersen-refined dispatch only the allocated one.
+inline const char *kVirtualSource = R"(
+class Shape {}
+class Circle extends Shape {}
+class Square extends Shape {}
+
+method Circle.make(this : Circle) {
+  o = new Circle @oc
+  return o
+}
+method Square.make(this : Square) {
+  o = new Square @os
+  return o
+}
+method main() {
+  s = new Circle @orecv
+  var s : Shape
+  r = vcall @1 s.make()
+}
+)";
+
+} // namespace testing
+} // namespace dynsum
+
+#endif // DYNSUM_TESTS_TESTPROGRAMS_H

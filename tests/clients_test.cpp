@@ -1,0 +1,276 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the three paper clients (SafeCast, NullDeref, FactoryM)
+/// and the client-running framework.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "clients/Client.h"
+#include "ir/Parser.h"
+#include "pag/PAGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::clients;
+
+namespace {
+
+struct ClientFixture {
+  explicit ClientFixture(const char *Src) {
+    ir::ParseResult R = ir::parseProgram(Src);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    Prog = std::move(R.Prog);
+    Built = pag::buildPAG(*Prog);
+  }
+
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SafeCast
+//===----------------------------------------------------------------------===//
+
+static const char *kCastSource = R"(
+class Animal {}
+class Dog extends Animal {}
+class Cat extends Animal {}
+method main() {
+  var a1 : Animal
+  var a2 : Animal
+  d = new Dog @od
+  c = new Cat @oc
+  a1 = d
+  a2 = c
+  safe = (Dog) a1
+  unsafe = (Dog) a2
+  up = (Animal) d
+}
+)";
+
+TEST(SafeCastTest, OnlyDowncastsBecomeQueries) {
+  ClientFixture F(kCastSource);
+  SafeCastClient C;
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  // "up" is an upcast (Dog -> Animal is a supertype of the declared
+  // type of d... d's declared type is Object, so it is a downcast too).
+  // a1/a2 are Animal-typed, Dog is not a supertype: both are queries.
+  EXPECT_GE(Qs.size(), 2u);
+}
+
+TEST(SafeCastTest, ProvenAndRefutedVerdicts) {
+  ClientFixture F(kCastSource);
+  SafeCastClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  unsigned Proven = 0, Refuted = 0;
+  for (const ClientQuery &Q : Qs) {
+    Verdict V = C.judge(*F.Built.Graph, Q, A.query(Q.Node));
+    Proven += V == Verdict::Proven;
+    Refuted += V == Verdict::Refuted;
+  }
+  // (Dog) a1 is provably safe; (Dog) a2 provably fails.
+  EXPECT_GE(Proven, 1u);
+  EXPECT_GE(Refuted, 1u);
+}
+
+TEST(SafeCastTest, NullPassesAnyCast) {
+  ClientFixture F(R"(
+class Dog {}
+method main() {
+  var a : Object
+  a = null
+  d = (Dog) a
+}
+)");
+  SafeCastClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  ASSERT_EQ(Qs.size(), 1u);
+  EXPECT_EQ(C.judge(*F.Built.Graph, Qs[0], A.query(Qs[0].Node)),
+            Verdict::Proven);
+}
+
+TEST(SafeCastTest, BudgetExceededIsUnknown) {
+  ClientFixture F(kCastSource);
+  SafeCastClient C;
+  AnalysisOptions Opts;
+  Opts.BudgetPerQuery = 0;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  ASSERT_FALSE(Qs.empty());
+  EXPECT_EQ(C.judge(*F.Built.Graph, Qs[0], A.query(Qs[0].Node)),
+            Verdict::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// NullDeref
+//===----------------------------------------------------------------------===//
+
+static const char *kNullSource = R"(
+class Box { fields f }
+method main() {
+  good = new Box @ogood
+  x = new Box @ox
+  good.f = x
+  v1 = good.f
+
+  bad = null
+  bad.f = x
+
+  w = uninit.f
+}
+)";
+
+TEST(NullDerefTest, QueriesDistinctBases) {
+  ClientFixture F(kNullSource);
+  NullDerefClient C;
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  // Bases: good (twice, deduped), bad, uninit -> 3 queries.
+  EXPECT_EQ(Qs.size(), 3u);
+}
+
+TEST(NullDerefTest, Verdicts) {
+  ClientFixture F(kNullSource);
+  NullDerefClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  unsigned Proven = 0, Refuted = 0;
+  for (const ClientQuery &Q : Qs) {
+    Verdict V = C.judge(*F.Built.Graph, Q, A.query(Q.Node));
+    Proven += V == Verdict::Proven;
+    Refuted += V == Verdict::Refuted;
+  }
+  EXPECT_EQ(Proven, 1u);  // good
+  EXPECT_EQ(Refuted, 2u); // bad (null), uninit (empty set)
+}
+
+//===----------------------------------------------------------------------===//
+// FactoryM
+//===----------------------------------------------------------------------===//
+
+static const char *kFactorySource = R"(
+class Widget {}
+global cachedInstance
+
+method createFresh(p) {
+  o = new Widget @ofresh
+  return o
+}
+
+method createDelegating(p) {
+  o = call @1 createFresh(p)
+  return o
+}
+
+method createCached(p) {
+  o = cachedInstance
+  return o
+}
+
+method main() {
+  shared = new Widget @oshared
+  cachedInstance = shared
+  a = call @2 createFresh(a0)
+  b = call @3 createDelegating(b0)
+  c = call @4 createCached(c0)
+}
+)";
+
+TEST(FactoryMTest, QueriesFactoryCallResults) {
+  ClientFixture F(kFactorySource);
+  FactoryMClient C;
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  // Call sites @2, @3, @4 have results; @1's caller is itself a factory
+  // and also counts.
+  EXPECT_EQ(Qs.size(), 4u);
+}
+
+TEST(FactoryMTest, FreshAndDelegatingProvenCachedRefuted) {
+  ClientFixture F(kFactorySource);
+  FactoryMClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  unsigned Proven = 0, Refuted = 0;
+  for (const ClientQuery &Q : Qs) {
+    Verdict V = C.judge(*F.Built.Graph, Q, A.query(Q.Node));
+    Proven += V == Verdict::Proven;
+    Refuted += V == Verdict::Refuted;
+  }
+  // @1 (inside createDelegating), @2, @3 return fresh objects; @4
+  // returns the globally cached instance.
+  EXPECT_EQ(Proven, 3u);
+  EXPECT_EQ(Refuted, 1u);
+}
+
+TEST(FactoryMTest, FactoryNameDetection) {
+  EXPECT_TRUE(FactoryMClient::isFactoryName("createThing"));
+  EXPECT_TRUE(FactoryMClient::isFactoryName("makeWidget"));
+  EXPECT_FALSE(FactoryMClient::isFactoryName("getThing"));
+  EXPECT_FALSE(FactoryMClient::isFactoryName("recreate"));
+}
+
+//===----------------------------------------------------------------------===//
+// Framework
+//===----------------------------------------------------------------------===//
+
+TEST(ClientFrameworkTest, StrideSampleKeepsOrderAndSize) {
+  std::vector<ClientQuery> Qs(100);
+  for (size_t I = 0; I < Qs.size(); ++I)
+    Qs[I].Site = uint32_t(I);
+  std::vector<ClientQuery> S = strideSample(Qs, 10);
+  ASSERT_EQ(S.size(), 10u);
+  for (size_t I = 1; I < S.size(); ++I)
+    EXPECT_LT(S[I - 1].Site, S[I].Site);
+  // No-op when the limit exceeds the size.
+  EXPECT_EQ(strideSample(Qs, 1000).size(), 100u);
+  EXPECT_EQ(strideSample(Qs, 0).size(), 100u);
+}
+
+TEST(ClientFrameworkTest, RunClientAggregates) {
+  ClientFixture F(kNullSource);
+  NullDerefClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  ClientReport Rep = runClient(C, A, Qs);
+  EXPECT_EQ(Rep.NumQueries, Qs.size());
+  EXPECT_EQ(Rep.Proven + Rep.Refuted + Rep.Unknown, Rep.NumQueries);
+  EXPECT_EQ(std::string(Rep.ClientName), "NullDeref");
+  EXPECT_EQ(std::string(Rep.AnalysisName), "DYNSUM");
+  EXPECT_GT(Rep.TotalSteps, 0u);
+}
+
+TEST(ClientFrameworkTest, PredicateStopsRefinementEarly) {
+  ClientFixture F(kCastSource);
+  SafeCastClient C;
+  AnalysisOptions Opts;
+  RefinePtsAnalysis A(*F.Built.Graph, Opts, /*Refinement=*/true);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  for (const ClientQuery &Q : Qs) {
+    (void)A.query(Q.Node, C.predicate(*F.Built.Graph, Q));
+    EXPECT_LE(A.lastIterations(), Opts.MaxRefineIterations);
+  }
+}
+
+TEST(ClientFrameworkTest, BatchedRunsCoverTheStream) {
+  ClientFixture F(kNullSource);
+  NullDerefClient C;
+  AnalysisOptions Opts;
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  std::vector<ClientQuery> Qs = C.makeQueries(*F.Built.Graph, 0);
+  ClientReport R1 = runClient(C, A, Qs, 0, 2);
+  ClientReport R2 = runClient(C, A, Qs, 2, Qs.size());
+  EXPECT_EQ(R1.NumQueries + R2.NumQueries, Qs.size());
+}

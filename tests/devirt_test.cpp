@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the Devirt client: proving virtual call sites monomorphic
+/// from demand points-to answers (the JIT inlining use case motivating
+/// the paper's low-budget setting).
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Client.h"
+
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "frontend/Frontend.h"
+#include "pag/PAGBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynsum;
+using namespace dynsum::clients;
+
+namespace {
+
+/// A hierarchy where CHA sees two overrides of work() but each call
+/// site's receiver is points-to-monomorphic.
+const char *kMonomorphicSource = R"(
+  class Task { Object work() { return null; } }
+  class Fast extends Task { Object work() { return null; } }
+  class Slow extends Task { Object work() { return null; } }
+  class Main {
+    static void main() {
+      Task f = new Fast();
+      Object a = f.work();
+      Task s = new Slow();
+      Object b = s.work();
+    }
+  }
+)";
+
+/// A receiver that really is polymorphic (both allocations flow in).
+const char *kPolymorphicSource = R"(
+  class Task { Object work() { return null; } }
+  class Fast extends Task { Object work() { return null; } }
+  class Slow extends Task { Object work() { return null; } }
+  class Main {
+    static Task pick(Task x, Task y) {
+      if (true) { return x; }
+      return y;
+    }
+    static void main() {
+      Task t = Main.pick(new Fast(), new Slow());
+      Object r = t.work();
+    }
+  }
+)";
+
+class DevirtFixture {
+public:
+  explicit DevirtFixture(const char *Source) {
+    frontend::CompileResult R = frontend::compileMiniJava(Source);
+    EXPECT_TRUE(R.ok()) << R.Diags.str();
+    Prog = std::move(R.Prog);
+    Built = pag::buildPAG(*Prog);
+  }
+
+  const pag::PAG &graph() const { return *Built.Graph; }
+
+  /// Runs the client against DYNSUM and returns the per-query verdicts
+  /// in query order.
+  std::vector<Verdict> verdicts(uint64_t Budget = 75000) {
+    analysis::AnalysisOptions Opts;
+    Opts.BudgetPerQuery = Budget;
+    analysis::DynSumAnalysis DynSum(graph(), Opts);
+    DevirtClient Client;
+    std::vector<Verdict> Out;
+    for (const ClientQuery &Q : Client.makeQueries(graph(), 0))
+      Out.push_back(Client.judge(graph(), Q, DynSum.query(Q.Node)));
+    return Out;
+  }
+
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+};
+
+TEST(DevirtTest, ChaPolymorphicButPointsToMonomorphicIsProven) {
+  DevirtFixture F(kMonomorphicSource);
+  std::vector<Verdict> V = F.verdicts();
+  ASSERT_EQ(V.size(), 2u) << "both work() sites are CHA-polymorphic";
+  EXPECT_EQ(V[0], Verdict::Proven);
+  EXPECT_EQ(V[1], Verdict::Proven);
+}
+
+TEST(DevirtTest, TrulyPolymorphicReceiverIsRefuted) {
+  DevirtFixture F(kPolymorphicSource);
+  std::vector<Verdict> V = F.verdicts();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], Verdict::Refuted);
+}
+
+TEST(DevirtTest, ChaMonomorphicSitesAreNotQueried) {
+  DevirtFixture F(R"(
+    class Only { Object m() { return null; } }
+    class Main {
+      static void main() {
+        Only o = new Only();
+        Object r = o.m();
+      }
+    }
+  )");
+  DevirtClient Client;
+  EXPECT_TRUE(Client.makeQueries(F.graph(), 0).empty())
+      << "single-implementation calls devirtualize without points-to";
+}
+
+TEST(DevirtTest, InheritedMethodCountsAsBaseTarget) {
+  // Fast does not override work(): a receiver set {Fast, Task} still
+  // dispatches to the single Task.work implementation.
+  DevirtFixture F(R"(
+    class Task { Object work() { return null; } }
+    class Fast extends Task { }
+    class Slow extends Task { Object work() { return null; } }
+    class Main {
+      static Task pick(Task x, Task y) {
+        if (true) { return x; }
+        return y;
+      }
+      static void main() {
+        Task t = Main.pick(new Fast(), new Task());
+        Object r = t.work();
+      }
+    }
+  )");
+  std::vector<Verdict> V = F.verdicts();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], Verdict::Proven)
+      << "both receiver classes dispatch to Task.work";
+}
+
+TEST(DevirtTest, NullReceiversDispatchNowhere) {
+  DevirtFixture F(R"(
+    class Task { Object work() { return null; } }
+    class Fast extends Task { Object work() { return null; } }
+    class Main {
+      static void main() {
+        Task t = new Fast();
+        if (true) { t = null; }
+        Object r = t.work();
+      }
+    }
+  )");
+  std::vector<Verdict> V = F.verdicts();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], Verdict::Proven)
+      << "the null branch throws; only Fast.work remains";
+}
+
+TEST(DevirtTest, BudgetExhaustionYieldsUnknown) {
+  DevirtFixture F(kPolymorphicSource);
+  std::vector<Verdict> V = F.verdicts(/*Budget=*/1);
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0], Verdict::Unknown);
+}
+
+TEST(DevirtTest, VerdictsAgreeAcrossAnalyses) {
+  DevirtFixture F(kMonomorphicSource);
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+  analysis::RefinePtsAnalysis Refine(F.graph(), Opts);
+  DevirtClient Client;
+  for (const ClientQuery &Q : Client.makeQueries(F.graph(), 0)) {
+    Verdict A = Client.judge(F.graph(), Q, DynSum.query(Q.Node));
+    Verdict B = Client.judge(
+        F.graph(), Q, Refine.query(Q.Node, Client.predicate(F.graph(), Q)));
+    EXPECT_EQ(A, B);
+  }
+}
+
+TEST(DevirtTest, RunClientAggregatesReports) {
+  DevirtFixture F(kMonomorphicSource);
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+  DevirtClient Client;
+  auto Queries = Client.makeQueries(F.graph(), 0);
+  ClientReport Report = runClient(Client, DynSum, Queries);
+  EXPECT_EQ(Report.NumQueries, 2u);
+  EXPECT_EQ(Report.Proven, 2u);
+  EXPECT_EQ(Report.Refuted, 0u);
+  EXPECT_GT(Report.TotalSteps, 0u);
+}
+
+TEST(DevirtTest, MakeAllClientsIncludesDevirt) {
+  auto Clients = makeAllClients();
+  ASSERT_EQ(Clients.size(), 4u);
+  EXPECT_STREQ(Clients.back()->name(), "Devirt");
+}
+
+} // namespace

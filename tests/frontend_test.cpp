@@ -1,0 +1,1042 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the MiniJava frontend: lexer, parser, sema diagnostics,
+/// lowering to the pointer IR, and end-to-end integration with the
+/// PAG and the demand-driven analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "analysis/Andersen.h"
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "frontend/Lexer.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "ir/Validator.h"
+#include "pag/PAGBuilder.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dynsum;
+using namespace dynsum::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : L.lexAll())
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto Kinds = kindsOf("class extends void classy thisx this");
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{
+                       TokenKind::KwClass, TokenKind::KwExtends,
+                       TokenKind::KwVoid, TokenKind::Identifier,
+                       TokenKind::Identifier, TokenKind::KwThis,
+                       TokenKind::Eof}));
+}
+
+TEST(LexerTest, OperatorsIncludingTwoCharacter) {
+  auto Kinds = kindsOf("= == ! != && || < > + - * /");
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{
+                       TokenKind::Assign, TokenKind::EqEq, TokenKind::Not,
+                       TokenKind::NotEq, TokenKind::AndAnd, TokenKind::OrOr,
+                       TokenKind::Less, TokenKind::Greater, TokenKind::Plus,
+                       TokenKind::Minus, TokenKind::Star, TokenKind::Slash,
+                       TokenKind::Eof}));
+}
+
+TEST(LexerTest, IntAndStringLiterals) {
+  Lexer L("42 \"hi there\" 0");
+  std::vector<Token> Toks = L.lexAll();
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[0].Text, "42");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Toks[1].Text, "\"hi there\"");
+  EXPECT_EQ(Toks[2].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, CommentsAreTrivia) {
+  auto Kinds = kindsOf("a // line comment\n b /* block\n comment */ c");
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{
+                       TokenKind::Identifier, TokenKind::Identifier,
+                       TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(LexerTest, SourceLocationsTrackLinesAndColumns) {
+  Lexer L("a\n  bb\n");
+  std::vector<Token> Toks = L.lexAll();
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Col, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, InvalidCharacterYieldsErrorToken) {
+  auto Kinds = kindsOf("a @ b");
+  ASSERT_GE(Kinds.size(), 2u);
+  EXPECT_EQ(Kinds[1], TokenKind::Error);
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  auto Kinds = kindsOf("\"oops");
+  EXPECT_EQ(Kinds.front(), TokenKind::Error);
+}
+
+TEST(LexerTest, LoneAmpersandIsAnError) {
+  auto Kinds = kindsOf("a & b");
+  ASSERT_GE(Kinds.size(), 2u);
+  EXPECT_EQ(Kinds[1], TokenKind::Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+CompilationUnit parseOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  CompilationUnit Unit = parseUnit(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Unit;
+}
+
+std::string firstParseError(std::string_view Source) {
+  DiagnosticEngine Diags;
+  parseUnit(Source, Diags);
+  if (!Diags.hasErrors())
+    return "";
+  return Diags.all().front().Message;
+}
+
+std::string dumped(const CompilationUnit &Unit) {
+  StringOStream OS;
+  dumpAst(Unit, OS);
+  return OS.str();
+}
+
+TEST(ParserTest, ClassWithExtendsAndMembers) {
+  CompilationUnit Unit = parseOk(R"(
+    class Shape {}
+    class Circle extends Shape {
+      int radius;
+      static Circle unit;
+      Shape[] parts;
+      Circle(int r) { }
+      int area() { return radius * radius * 3; }
+      static Circle makeUnit() { return new Circle(1); }
+    }
+  )");
+  ASSERT_EQ(Unit.Classes.size(), 2u);
+  const ClassDecl &Circle = Unit.Classes[1];
+  EXPECT_EQ(Circle.SuperName, "Shape");
+  ASSERT_EQ(Circle.Fields.size(), 3u);
+  EXPECT_FALSE(Circle.Fields[0].IsStatic);
+  EXPECT_TRUE(Circle.Fields[1].IsStatic);
+  EXPECT_TRUE(Circle.Fields[2].Type.IsArray);
+  ASSERT_EQ(Circle.Methods.size(), 3u);
+  EXPECT_TRUE(Circle.Methods[0].IsCtor);
+  EXPECT_FALSE(Circle.Methods[1].IsStatic);
+  EXPECT_TRUE(Circle.Methods[2].IsStatic);
+}
+
+TEST(ParserTest, PrecedenceInDump) {
+  CompilationUnit Unit = parseOk(R"(
+    class C { int f(int a, int b, int c) { return a + b * c; } }
+  )");
+  EXPECT_NE(dumped(Unit).find("return (a + (b * c));"), std::string::npos);
+}
+
+TEST(ParserTest, LogicalPrecedenceBelowComparison) {
+  CompilationUnit Unit = parseOk(R"(
+    class C { boolean f(int a, int b) { return a < b && b < a || true; } }
+  )");
+  EXPECT_NE(dumped(Unit).find("return (((a < b) && (b < a)) || true);"),
+            std::string::npos);
+}
+
+TEST(ParserTest, CastVersusGrouping) {
+  CompilationUnit Unit = parseOk(R"(
+    class A {}
+    class C {
+      Object g(Object o, int x) {
+        A a = (A) o;        // cast
+        int y = (x) + 1;    // grouping
+        A[] arr = (A[]) o;  // array cast
+        return a;
+      }
+    }
+  )");
+  std::string Dump = dumped(Unit);
+  EXPECT_NE(Dump.find("A a = (A) o;"), std::string::npos);
+  EXPECT_NE(Dump.find("int y = (x + 1);"), std::string::npos);
+  EXPECT_NE(Dump.find("A[] arr = (A[]) o;"), std::string::npos);
+}
+
+TEST(ParserTest, PostfixChains) {
+  CompilationUnit Unit = parseOk(R"(
+    class C {
+      C next;
+      C[] kids;
+      C walk(int i) { return this.next.kids[i].walk(i); }
+    }
+  )");
+  EXPECT_NE(dumped(Unit).find("return this.next.kids[i].walk(i);"),
+            std::string::npos);
+}
+
+TEST(ParserTest, NewObjectAndNewArray) {
+  CompilationUnit Unit = parseOk(R"(
+    class C {
+      void f() {
+        C c = new C();
+        C[] cs = new C[10];
+        int[] xs = new int[3 + 4];
+      }
+    }
+  )");
+  std::string Dump = dumped(Unit);
+  EXPECT_NE(Dump.find("new C()"), std::string::npos);
+  EXPECT_NE(Dump.find("new C[10]"), std::string::npos);
+  EXPECT_NE(Dump.find("new int[(3 + 4)]"), std::string::npos);
+}
+
+TEST(ParserTest, IfElseAndWhile) {
+  CompilationUnit Unit = parseOk(R"(
+    class C {
+      int f(int n) {
+        int acc = 0;
+        while (n > 0) {
+          if (n > 10) acc = acc + 2; else acc = acc + 1;
+          n = n - 1;
+        }
+        return acc;
+      }
+    }
+  )");
+  const MethodDecl &M = Unit.Classes[0].Methods[0];
+  ASSERT_EQ(M.Body->Body.size(), 3u);
+  EXPECT_EQ(M.Body->Body[1]->Kind, StmtKind::While);
+  EXPECT_EQ(M.Body->Body[1]->Then->Body[0]->Kind, StmtKind::If);
+}
+
+TEST(ParserTest, UnqualifiedAndQualifiedCalls) {
+  CompilationUnit Unit = parseOk(R"(
+    class C {
+      void a() { b(); this.b(); C.s(); }
+      void b() { }
+      static void s() { }
+    }
+  )");
+  std::string Dump = dumped(Unit);
+  EXPECT_NE(Dump.find("b();"), std::string::npos);
+  EXPECT_NE(Dump.find("this.b();"), std::string::npos);
+  EXPECT_NE(Dump.find("C.s();"), std::string::npos);
+}
+
+TEST(ParserTest, MissingSemicolonIsReported) {
+  EXPECT_NE(firstParseError("class C { void f() { int x = 1 } }"), "");
+}
+
+TEST(ParserTest, JunkAtTopLevelIsReported) {
+  EXPECT_NE(firstParseError("int x;"), "");
+}
+
+TEST(ParserTest, BadAssignmentTargetIsReported) {
+  std::string Error =
+      firstParseError("class C { void f() { f() = null; } }");
+  EXPECT_NE(Error.find("left-hand side"), std::string::npos);
+}
+
+TEST(ParserTest, RecoveryProducesSingleErrorPerStatement) {
+  DiagnosticEngine Diags;
+  parseUnit(R"(
+    class C {
+      void f() {
+        int x = ;
+        int y = 2;
+      }
+    }
+  )",
+            Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // The second statement must still parse (recovery on ';').
+  EXPECT_LE(Diags.all().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sema diagnostics
+//===----------------------------------------------------------------------===//
+
+/// Compiles and returns the first diagnostic message; "" when clean.
+std::string firstError(std::string_view Source) {
+  CompileResult R = compileMiniJava(Source);
+  if (!R.Diags.hasErrors())
+    return "";
+  return R.Diags.all().front().Message;
+}
+
+void expectClean(std::string_view Source) {
+  CompileResult R = compileMiniJava(Source);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+}
+
+TEST(SemaTest, DuplicateClass) {
+  EXPECT_NE(firstError("class A {} class A {}").find("duplicate class"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ObjectIsReserved) {
+  EXPECT_NE(firstError("class Object {}").find("reserved"),
+            std::string::npos);
+}
+
+TEST(SemaTest, UnknownSuperclass) {
+  EXPECT_NE(firstError("class A extends Missing {}").find("unknown superclass"),
+            std::string::npos);
+}
+
+TEST(SemaTest, InheritanceCycle) {
+  EXPECT_NE(
+      firstError("class A extends B {} class B extends A {}").find("cycle"),
+      std::string::npos);
+}
+
+TEST(SemaTest, DuplicateField) {
+  EXPECT_NE(firstError("class A { A f; A f; }").find("duplicate field"),
+            std::string::npos);
+}
+
+TEST(SemaTest, StaticAndInstanceFieldMayShareAName) {
+  expectClean("class A { A f; static A f; }");
+}
+
+TEST(SemaTest, OverloadingRejected) {
+  EXPECT_NE(firstError("class A { void f() {} void f(int x) {} }")
+                .find("overloading"),
+            std::string::npos);
+}
+
+TEST(SemaTest, OverrideMustMatchSignature) {
+  EXPECT_NE(firstError(R"(
+    class A { void f(int x) {} }
+    class B extends A { void f(boolean x) {} }
+  )")
+                .find("exact signature"),
+            std::string::npos);
+}
+
+TEST(SemaTest, OverrideReturnTypeMustMatch) {
+  EXPECT_NE(firstError(R"(
+    class A { Object f() { return null; } }
+    class B extends A { int f() { return 1; } }
+  )")
+                .find("exact signature"),
+            std::string::npos);
+}
+
+TEST(SemaTest, StaticInstanceConflictAcrossHierarchy) {
+  EXPECT_NE(firstError(R"(
+    class A { static void f() {} }
+    class B extends A { void f() {} }
+  )")
+                .find("conflicts"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ValidOverrideAccepted) {
+  expectClean(R"(
+    class A { Object f(A x) { return x; } }
+    class B extends A { Object f(A x) { return null; } }
+  )");
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  EXPECT_NE(firstError("class A { void f() { g = null; } }")
+                .find("undeclared variable"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ClassNameAsValue) {
+  EXPECT_NE(firstError("class A { void f() { Object o = A; } }")
+                .find("used as a value"),
+            std::string::npos);
+}
+
+TEST(SemaTest, RedeclarationInSameScope) {
+  EXPECT_NE(firstError("class A { void f() { A x; A x; } }")
+                .find("redeclaration"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ShadowingInNestedScopeAllowed) {
+  expectClean(R"(
+    class A {
+      void f() {
+        A x = new A();
+        if (true) { A x = new A(); x = null; }
+        x = null;
+      }
+    }
+  )");
+}
+
+TEST(SemaTest, ThisInStaticMethod) {
+  EXPECT_NE(firstError("class A { static void f() { A x = this; } }")
+                .find("'this'"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ConditionMustBeBoolean) {
+  EXPECT_NE(firstError("class A { void f() { if (1) { } } }")
+                .find("condition must be boolean"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ArithmeticRequiresInts) {
+  EXPECT_NE(firstError("class A { void f() { int x = true + 1; } }")
+                .find("arithmetic operand"),
+            std::string::npos);
+}
+
+TEST(SemaTest, AssignmentSubtyping) {
+  expectClean(R"(
+    class A {}
+    class B extends A {}
+    class C { void f() { A a = new B(); a = null; } }
+  )");
+  EXPECT_NE(firstError(R"(
+    class A {}
+    class B extends A {}
+    class C { void f() { B b = new A(); } }
+  )")
+                .find("cannot use A as B"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ArraysAreInvariantButObjectAssignable) {
+  EXPECT_NE(firstError(R"(
+    class A {}
+    class B extends A {}
+    class C { void f() { A[] a = new B[1]; } }
+  )")
+                .find("cannot use"),
+            std::string::npos);
+  expectClean("class A { void f() { Object o = new A[1]; } }");
+}
+
+TEST(SemaTest, UnknownFieldAndPrimitiveBase) {
+  EXPECT_NE(firstError("class A { void f(A a) { Object o = a.g; } }")
+                .find("no field 'g'"),
+            std::string::npos);
+  EXPECT_NE(firstError("class A { void f(int x) { Object o = x.g; } }")
+                .find("non-object"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ArrayLengthReadsButNeverWrites) {
+  expectClean("class A { int f(A[] a) { return a.length; } }");
+  EXPECT_NE(firstError("class A { void f(A[] a) { a.length = 3; } }")
+                .find("read-only"),
+            std::string::npos);
+}
+
+TEST(SemaTest, FieldHidingRejected) {
+  // The IR keys fields by name program-wide; hiding would make two
+  // different fields indistinguishable, so sema forbids it.
+  EXPECT_NE(firstError(R"(
+    class A { Object data; }
+    class B extends A { Object data; }
+  )")
+                .find("hides an inherited field"),
+            std::string::npos);
+}
+
+TEST(SemaTest, InheritedFieldsVisible) {
+  expectClean(R"(
+    class A { Object data; }
+    class B extends A { Object get() { return this.data; } }
+  )");
+}
+
+TEST(SemaTest, CallArityAndTypes) {
+  EXPECT_NE(firstError(R"(
+    class A { void f(A x) {} void g() { f(); } }
+  )")
+                .find("expected 1"),
+            std::string::npos);
+  EXPECT_NE(firstError(R"(
+    class A { void f(A x) {} void g() { f(1); } }
+  )")
+                .find("cannot use int as A"),
+            std::string::npos);
+}
+
+TEST(SemaTest, StaticCallThroughInstanceRejected) {
+  EXPECT_NE(firstError(R"(
+    class A { static void s() {} void f() { this.s(); } }
+  )")
+                .find("through its class name"),
+            std::string::npos);
+}
+
+TEST(SemaTest, InstanceCallFromStaticRejected) {
+  EXPECT_NE(firstError(R"(
+    class A { void m() {} static void s() { m(); } }
+  )")
+                .find("from a static method"),
+            std::string::npos);
+}
+
+TEST(SemaTest, StaticFieldResolution) {
+  expectClean(R"(
+    class Registry { static Object cache; }
+    class User {
+      void put(Object o) { Registry.cache = o; }
+      Object get() { return Registry.cache; }
+    }
+  )");
+  EXPECT_NE(firstError(R"(
+    class Registry { }
+    class User { Object get() { return Registry.missing; } }
+  )")
+                .find("no static field"),
+            std::string::npos);
+}
+
+TEST(SemaTest, CtorChecks) {
+  EXPECT_NE(firstError(R"(
+    class A { }
+    class C { void f() { A a = new A(1); } }
+  )")
+                .find("no constructor"),
+            std::string::npos);
+  EXPECT_NE(firstError(R"(
+    class A { A(int x) {} }
+    class C { void f() { A a = new A(); } }
+  )")
+                .find("takes 1 arguments"),
+            std::string::npos);
+  EXPECT_NE(firstError("class A { A() { return this; } }")
+                .find("constructors may not return"),
+            std::string::npos);
+}
+
+TEST(SemaTest, PrimitiveCastRejected) {
+  EXPECT_NE(firstError("class A { void f(int x) { int y = (int) x; } }")
+                .find("reference types"),
+            std::string::npos);
+}
+
+TEST(SemaTest, ReturnChecks) {
+  EXPECT_NE(firstError("class A { Object f() { return; } }")
+                .find("must return a value"),
+            std::string::npos);
+  EXPECT_NE(firstError("class A { void f() { return null; } }")
+                .find("may not return a value"),
+            std::string::npos);
+  EXPECT_NE(firstError(R"(
+    class A {}
+    class B { A f() { return new B(); } }
+  )")
+                .find("cannot use B as A"),
+            std::string::npos);
+}
+
+TEST(SemaTest, EqualityOperandRules) {
+  expectClean("class A { boolean f(A a, A b) { return a == b; } }");
+  expectClean("class A { boolean f(A a) { return a != null; } }");
+  EXPECT_NE(firstError("class A { boolean f(A a) { return a == 1; } }")
+                .find("'=='"),
+            std::string::npos);
+}
+
+TEST(SemaTest, UserDeclaredStringClassWins) {
+  expectClean(R"(
+    class String { String concat(String other) { return other; } }
+    class C { String f() { return "hi".concat("there"); } }
+  )");
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+/// Compiles \p Source, expecting success, and validates the IR.
+std::unique_ptr<ir::Program> lowerOk(std::string_view Source) {
+  CompileResult R = compileMiniJava(Source);
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  if (!R.ok())
+    return nullptr;
+  std::vector<std::string> Problems = ir::validate(*R.Prog);
+  EXPECT_TRUE(Problems.empty())
+      << "IR validation failed: " << Problems.front();
+  return std::move(R.Prog);
+}
+
+ir::MethodId methodOf(const ir::Program &P, std::string_view Cls,
+                      std::string_view Name) {
+  ir::TypeId T = P.findClass(P.names().lookup(Cls));
+  EXPECT_NE(T, ir::kNone);
+  ir::MethodId M = P.findMethod(T, P.names().lookup(Name));
+  EXPECT_NE(M, ir::kNone);
+  return M;
+}
+
+/// Number of statements of \p K in \p M.
+size_t countStmts(const ir::Program &P, ir::MethodId M, ir::StmtKind K) {
+  size_t N = 0;
+  for (const ir::Statement &S : P.method(M).Stmts)
+    if (S.Kind == K)
+      ++N;
+  return N;
+}
+
+TEST(LowerTest, StraightLineAllocAndAssign) {
+  auto P = lowerOk(R"(
+    class A {}
+    class Main { static void main() { A x = new A(); A y = x; } }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  EXPECT_EQ(countStmts(*P, M, ir::StmtKind::Alloc), 1u);
+  // y = x plus the temp copy x = $t0.
+  EXPECT_EQ(countStmts(*P, M, ir::StmtKind::Assign), 2u);
+}
+
+TEST(LowerTest, ConstructorBecomesAllocPlusDirectInitCall) {
+  auto P = lowerOk(R"(
+    class Box { Object v; Box(Object o) { this.v = o; } }
+    class Main { static void main() { Box b = new Box(null); } }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  EXPECT_EQ(countStmts(*P, M, ir::StmtKind::Alloc), 1u);
+  ASSERT_EQ(countStmts(*P, M, ir::StmtKind::Call), 1u);
+  for (const ir::Statement &S : P->method(M).Stmts)
+    if (S.Kind == ir::StmtKind::Call) {
+      EXPECT_FALSE(S.IsVirtual);
+      ASSERT_NE(S.Callee, ir::kNone);
+      EXPECT_EQ(P->names().text(P->method(S.Callee).Name), "<init>");
+      ASSERT_EQ(S.Args.size(), 2u) << "receiver + 1 pointer arg";
+    }
+}
+
+TEST(LowerTest, VirtualCallCarriesReceiverFirst) {
+  auto P = lowerOk(R"(
+    class A { Object id(Object o) { return o; } }
+    class Main { static void main() { A a = new A(); Object r = a.id(null); } }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  bool SawVirtual = false;
+  for (const ir::Statement &S : P->method(M).Stmts)
+    if (S.Kind == ir::StmtKind::Call && S.IsVirtual) {
+      SawVirtual = true;
+      EXPECT_EQ(P->names().text(S.VirtualName), "id");
+      ASSERT_EQ(S.Args.size(), 2u);
+      EXPECT_EQ(S.Args[0], S.Base) << "receiver is the first argument";
+      EXPECT_NE(S.Dst, ir::kNone) << "pointer-returning call gets a result";
+    }
+  EXPECT_TRUE(SawVirtual);
+}
+
+TEST(LowerTest, StaticFieldBecomesDottedGlobal) {
+  auto P = lowerOk(R"(
+    class Registry { static Object cache; }
+    class Main { static void main() { Registry.cache = new Main(); } }
+  )");
+  ASSERT_TRUE(P);
+  ir::VarId G = P->findGlobal(P->names().lookup("Registry.cache"));
+  ASSERT_NE(G, ir::kNone);
+  EXPECT_TRUE(P->variable(G).IsGlobal);
+}
+
+TEST(LowerTest, ArraysCollapseOntoArrField) {
+  auto P = lowerOk(R"(
+    class A {}
+    class Main {
+      static void main() {
+        A[] xs = new A[4];
+        xs[0] = new A();
+        A head = xs[1];
+      }
+    }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  Symbol Arr = P->names().lookup("arr");
+  size_t ArrStores = 0, ArrLoads = 0;
+  for (const ir::Statement &S : P->method(M).Stmts) {
+    if (S.Kind == ir::StmtKind::Store &&
+        P->fields()[S.FieldLabel].Name == Arr)
+      ++ArrStores;
+    if (S.Kind == ir::StmtKind::Load && P->fields()[S.FieldLabel].Name == Arr)
+      ++ArrLoads;
+  }
+  EXPECT_EQ(ArrStores, 1u);
+  EXPECT_EQ(ArrLoads, 1u);
+  EXPECT_NE(P->findClass(P->names().lookup("A[]")), ir::kNone)
+      << "array class synthesized";
+}
+
+TEST(LowerTest, PrimitiveComputationVanishes) {
+  auto P = lowerOk(R"(
+    class Main {
+      static int f(int a, int b) { return a * b + a / b - 1; }
+    }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "f");
+  EXPECT_TRUE(P->method(M).Stmts.empty());
+  EXPECT_TRUE(P->method(M).Params.empty()) << "IR signature is pointers-only";
+}
+
+TEST(LowerTest, CallsInsideArithmeticKeepTheirEffects) {
+  auto P = lowerOk(R"(
+    class Main {
+      static int g() { return 1; }
+      static int f() { return Main.g() + Main.g(); }
+    }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "f");
+  EXPECT_EQ(countStmts(*P, M, ir::StmtKind::Call), 2u);
+}
+
+TEST(LowerTest, EveryNullGetsItsOwnSite) {
+  auto P = lowerOk(R"(
+    class Main { static void main() { Object a = null; Object b = null; } }
+  )");
+  ASSERT_TRUE(P);
+  size_t NullSites = 0;
+  for (const ir::AllocSite &A : P->allocs())
+    if (A.IsNull)
+      ++NullSites;
+  EXPECT_EQ(NullSites, 2u);
+}
+
+TEST(LowerTest, CastsRecordSites) {
+  auto P = lowerOk(R"(
+    class A {}
+    class B extends A {}
+    class Main {
+      static void main() {
+        A a = new B();
+        B down = (B) a;   // downcast: the interesting site
+        A up = (A) down;  // upcast: still recorded; clients filter
+      }
+    }
+  )");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->castSites().size(), 2u);
+}
+
+TEST(LowerTest, StringLiteralAllocatesString) {
+  auto P = lowerOk(R"(
+    class Main { static Object f() { return "hello"; } }
+  )");
+  ASSERT_TRUE(P);
+  ir::TypeId StringTy = P->findClass(P->names().lookup("String"));
+  ASSERT_NE(StringTy, ir::kNone);
+  bool SawStringAlloc = false;
+  for (const ir::AllocSite &A : P->allocs())
+    if (A.Type == StringTy)
+      SawStringAlloc = true;
+  EXPECT_TRUE(SawStringAlloc);
+}
+
+TEST(LowerTest, BranchesLowerFlowInsensitively) {
+  auto P = lowerOk(R"(
+    class A {}
+    class Main {
+      static void main(boolean c) {
+        A x;
+        if (c) { x = new A(); } else { x = new A(); }
+        while (c) { x = new A(); }
+      }
+    }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  EXPECT_EQ(countStmts(*P, M, ir::StmtKind::Alloc), 3u)
+      << "all branches and the loop body lower";
+}
+
+TEST(LowerTest, ShadowedLocalsGetDistinctIrVariables) {
+  auto P = lowerOk(R"(
+    class A {}
+    class Main {
+      static void main() {
+        A x = new A();
+        if (true) { A x = new A(); x = x; }
+      }
+    }
+  )");
+  ASSERT_TRUE(P);
+  ir::MethodId M = methodOf(*P, "Main", "main");
+  size_t NamedX = 0;
+  for (const ir::Variable &V : P->variables())
+    if (!V.IsGlobal && V.Owner == M) {
+      std::string_view Name = P->names().text(V.Name);
+      if (Name == "x" || Name == "x#1")
+        ++NamedX;
+    }
+  EXPECT_EQ(NamedX, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end integration with the analyses
+//===----------------------------------------------------------------------===//
+
+/// The paper's Figure 2 program, written in MiniJava instead of the
+/// textual IR.  The Integer/String objects added to the two vectors are
+/// the paper's o26/o29.
+const char *kFigure2MiniJava = R"(
+  class Integer {}
+  class Vector {
+    Object[] elems;
+    int count;
+    Vector() {
+      Object[] t = new Object[8];
+      this.elems = t;
+    }
+    void add(Object p) {
+      Object[] t = this.elems;
+      t[this.count] = p;
+    }
+    Object get(int i) {
+      Object[] t = this.elems;
+      return t[i];
+    }
+  }
+  class Client {
+    Vector vec;
+    Client() {}
+    void set(Vector v) { this.vec = v; }
+    Object retrieve() {
+      Vector t = this.vec;
+      return t.get(0);
+    }
+  }
+  class Main {
+    static void main() {
+      Vector v1 = new Vector();
+      v1.add(new Integer());
+      Client c1 = new Client();
+      c1.set(v1);
+      Vector v2 = new Vector();
+      v2.add("marker");
+      Client c2 = new Client();
+      c2.set(v2);
+      Object s1 = c1.retrieve();
+      Object s2 = c2.retrieve();
+    }
+  }
+)";
+
+/// Fixture compiling MiniJava down to a PAG.
+class MiniJavaFixture {
+public:
+  explicit MiniJavaFixture(std::string_view Source) {
+    CompileResult R = compileMiniJava(Source);
+    EXPECT_TRUE(R.ok()) << R.Diags.str();
+    Prog = std::move(R.Prog);
+    Built = pag::buildPAG(*Prog);
+  }
+
+  const ir::Program &program() const { return *Prog; }
+  const pag::PAG &graph() const { return *Built.Graph; }
+
+  /// PAG node of the IR local holding source variable \p Name in
+  /// \p Cls.\p Method (lowered names are unchanged for unshadowed vars).
+  pag::NodeId varNode(std::string_view Cls, std::string_view Method,
+                      std::string_view Name) const {
+    ir::TypeId T = Prog->findClass(Prog->names().lookup(Cls));
+    ir::MethodId M = Prog->findMethod(T, Prog->names().lookup(Method));
+    EXPECT_NE(M, ir::kNone);
+    Symbol N = Prog->names().lookup(Name);
+    for (const ir::Variable &V : Prog->variables())
+      if (!V.IsGlobal && V.Owner == M && V.Name == N)
+        return Built.Graph->nodeOfVar(V.Id);
+    ADD_FAILURE() << "no variable " << Name;
+    return 0;
+  }
+
+  /// Names of the classes of the allocation sites in \p Sites, sorted.
+  std::vector<std::string> typeNames(const std::vector<ir::AllocId> &Sites) {
+    std::vector<std::string> Names;
+    for (ir::AllocId A : Sites) {
+      const ir::AllocSite &Site = Prog->alloc(A);
+      Names.push_back(Site.IsNull
+                          ? "null"
+                          : std::string(Prog->names().text(
+                                Prog->classOf(Site.Type).Name)));
+    }
+    std::sort(Names.begin(), Names.end());
+    return Names;
+  }
+
+private:
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+};
+
+TEST(FrontendIntegrationTest, Figure2PointsToSetsAreContextSensitive) {
+  MiniJavaFixture F(kFigure2MiniJava);
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+
+  auto S1 = DynSum.query(F.varNode("Main", "main", "s1"));
+  auto S2 = DynSum.query(F.varNode("Main", "main", "s2"));
+  EXPECT_FALSE(S1.BudgetExceeded);
+  EXPECT_FALSE(S2.BudgetExceeded);
+  EXPECT_EQ(F.typeNames(S1.allocSites()),
+            (std::vector<std::string>{"Integer"}));
+  EXPECT_EQ(F.typeNames(S2.allocSites()),
+            (std::vector<std::string>{"String"}));
+}
+
+TEST(FrontendIntegrationTest, AllDemandAnalysesAgreeOnFigure2) {
+  MiniJavaFixture F(kFigure2MiniJava);
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+  analysis::RefinePtsAnalysis Refine(F.graph(), Opts);
+  analysis::RefinePtsAnalysis NoRefine(F.graph(), Opts, /*Refinement=*/false);
+
+  for (const char *Var : {"s1", "s2", "v1", "v2", "c1", "c2"}) {
+    pag::NodeId N = F.varNode("Main", "main", Var);
+    auto A = DynSum.query(N).allocSites();
+    auto B = Refine.query(N).allocSites();
+    auto C = NoRefine.query(N).allocSites();
+    EXPECT_EQ(A, B) << "DYNSUM vs REFINEPTS on " << Var;
+    EXPECT_EQ(A, C) << "DYNSUM vs NOREFINE on " << Var;
+  }
+}
+
+TEST(FrontendIntegrationTest, DemandResultsAreSubsetOfAndersen) {
+  MiniJavaFixture F(kFigure2MiniJava);
+  analysis::AndersenAnalysis Andersen(F.graph());
+  Andersen.solve();
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+
+  for (const char *Var : {"s1", "s2", "v1", "v2", "c1", "c2"}) {
+    pag::NodeId N = F.varNode("Main", "main", Var);
+    auto Demand = DynSum.query(N).allocSites();
+    auto Exhaustive = Andersen.allocSites(N);
+    EXPECT_TRUE(std::includes(Exhaustive.begin(), Exhaustive.end(),
+                              Demand.begin(), Demand.end()))
+        << "context-sensitive result must refine Andersen for " << Var;
+  }
+}
+
+TEST(FrontendIntegrationTest, VirtualDispatchRespectsReceiverSets) {
+  MiniJavaFixture F(R"(
+    class Animal { Object noise() { return null; } }
+    class Dog extends Animal {
+      Object bark;
+      Dog(Object b) { this.bark = b; }
+      Object noise() { return this.bark; }
+    }
+    class Cat extends Animal {
+      Object meow;
+      Cat(Object m) { this.meow = m; }
+      Object noise() { return this.meow; }
+    }
+    class Main {
+      static void main() {
+        Object woof = new Object();
+        Object miaow = new Object();
+        Animal d = new Dog(woof);
+        Animal c = new Cat(miaow);
+        Object fromDog = d.noise();
+        Object fromCat = c.noise();
+      }
+    }
+  )");
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+
+  // CHA wires both targets at each call site, but field-sensitive
+  // points-to keeps the stored barks/meows apart.
+  auto FromDog = DynSum.query(F.varNode("Main", "main", "fromDog"));
+  auto FromCat = DynSum.query(F.varNode("Main", "main", "fromCat"));
+  ASSERT_FALSE(FromDog.BudgetExceeded);
+  ASSERT_FALSE(FromCat.BudgetExceeded);
+
+  auto WoofSites = DynSum.query(F.varNode("Main", "main", "woof"));
+  ASSERT_EQ(WoofSites.Targets.size(), 1u);
+  ir::AllocId Woof = WoofSites.Targets[0].Alloc;
+
+  EXPECT_TRUE(FromDog.contains(Woof));
+  EXPECT_FALSE(FromCat.contains(Woof))
+      << "cat noise must not include the dog's bark";
+}
+
+TEST(FrontendIntegrationTest, StaticFieldsFlowContextInsensitively) {
+  MiniJavaFixture F(R"(
+    class Registry { static Object cache; }
+    class Writer { void put(Object o) { Registry.cache = o; } }
+    class Reader { Object get() { return Registry.cache; } }
+    class Main {
+      static void main() {
+        Writer w = new Writer();
+        w.put(new Main());
+        Reader r = new Reader();
+        Object got = r.get();
+      }
+    }
+  )");
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+  auto Got = DynSum.query(F.varNode("Main", "main", "got"));
+  ASSERT_FALSE(Got.BudgetExceeded);
+  ASSERT_EQ(Got.Targets.size(), 1u);
+  EXPECT_EQ(F.typeNames(Got.allocSites()),
+            (std::vector<std::string>{"Main"}));
+}
+
+TEST(FrontendIntegrationTest, RecursionTerminates) {
+  MiniJavaFixture F(R"(
+    class Node {
+      Node next;
+      Node(Node n) { this.next = n; }
+      Node last() {
+        Node n = this.next;
+        if (n == null) { return this; }
+        return n.last();
+      }
+    }
+    class Main {
+      static void main() {
+        Node tail = new Node(null);
+        Node head = new Node(tail);
+        Node l = head.last();
+      }
+    }
+  )");
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis DynSum(F.graph(), Opts);
+  auto L = DynSum.query(F.varNode("Main", "main", "l"));
+  // Recursive SCC edges are context-free; the query must terminate and
+  // include both nodes conservatively.
+  EXPECT_GE(L.Targets.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,230 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the RTA dispatch resolver and the CHA/RTA/Andersen
+/// call-graph precision ladder.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pag/Rta.h"
+
+#include "analysis/Andersen.h"
+#include "analysis/DynSum.h"
+#include "frontend/Frontend.h"
+#include "pag/PAGBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dynsum;
+using namespace dynsum::pag;
+
+namespace {
+
+/// Compiles MiniJava and exposes resolver plumbing.
+struct RtaFixture {
+  explicit RtaFixture(const char *Source) {
+    frontend::CompileResult R = frontend::compileMiniJava(Source);
+    EXPECT_TRUE(R.ok()) << R.Diags.str();
+    Prog = std::move(R.Prog);
+  }
+
+  ir::MethodId method(std::string_view Cls, std::string_view Name) const {
+    ir::TypeId T = Prog->findClass(Prog->names().lookup(Cls));
+    return Prog->findMethod(T, Prog->names().lookup(Name));
+  }
+
+  /// The single virtual call statement in \p M.
+  const ir::Statement &virtualCallIn(ir::MethodId M) const {
+    for (const ir::Statement &S : Prog->method(M).Stmts)
+      if (S.Kind == ir::StmtKind::Call && S.IsVirtual)
+        return S;
+    ADD_FAILURE() << "no virtual call in " << Prog->describeMethod(M);
+    static ir::Statement Dummy;
+    return Dummy;
+  }
+
+  std::unique_ptr<ir::Program> Prog;
+};
+
+const char *kHierarchySource = R"(
+  class Animal { Object noise() { return null; } }
+  class Dog extends Animal { Object noise() { return null; } }
+  class Cat extends Animal { Object noise() { return null; } }
+  class Main {
+    static void main() {
+      Animal a = new Dog();   // Cat is never instantiated
+      Object n = a.noise();
+    }
+  }
+)";
+
+TEST(RtaTest, FiltersUninstantiatedSubclasses) {
+  RtaFixture F(kHierarchySource);
+  RtaTargetResolver Rta(*F.Prog);
+
+  ir::MethodId Main = F.method("Main", "main");
+  const ir::Statement &Call = F.virtualCallIn(Main);
+
+  std::vector<ir::MethodId> RtaTargets = Rta.resolve(*F.Prog, Main, Call);
+  std::vector<ir::MethodId> ChaTargets =
+      TargetResolver().resolve(*F.Prog, Main, Call);
+
+  EXPECT_EQ(ChaTargets.size(), 3u) << "CHA: Animal, Dog and Cat overrides";
+  ASSERT_EQ(RtaTargets.size(), 1u) << "RTA: only Dog is instantiated";
+  EXPECT_EQ(RtaTargets[0], F.method("Dog", "noise"));
+}
+
+TEST(RtaTest, ReachabilityRootsPruneAllocations) {
+  RtaFixture F(R"(
+    class Animal { Object noise() { return null; } }
+    class Dog extends Animal { Object noise() { return null; } }
+    class Cat extends Animal { Object noise() { return null; } }
+    class Main {
+      static void main() {
+        Animal a = new Dog();
+        Object n = a.noise();
+      }
+      static void deadCode() {
+        Animal c = new Cat();   // never called from main
+        Object n = c.noise();
+      }
+    }
+  )");
+
+  // Rooted at main: Cat's allocation is unreachable.
+  RtaTargetResolver Rooted(*F.Prog, {F.method("Main", "main")});
+  EXPECT_TRUE(Rooted.isReachable(F.method("Main", "main")));
+  EXPECT_FALSE(Rooted.isReachable(F.method("Main", "deadCode")));
+  EXPECT_FALSE(
+      Rooted.isInstantiated(F.Prog->findClass(F.Prog->names().lookup("Cat"))));
+
+  // Rootless (all methods): Cat counts again.
+  RtaTargetResolver All(*F.Prog);
+  EXPECT_TRUE(
+      All.isInstantiated(F.Prog->findClass(F.Prog->names().lookup("Cat"))));
+}
+
+TEST(RtaTest, VirtualCallsExtendReachability) {
+  RtaFixture F(R"(
+    class Base { Object step() { return null; } }
+    class Impl extends Base {
+      Object step() { return Helper.make(); }
+    }
+    class Helper {
+      static Object make() { return new Helper(); }
+    }
+    class Main {
+      static void main() {
+        Base b = new Impl();
+        Object r = b.step();
+      }
+    }
+  )");
+  RtaTargetResolver Rta(*F.Prog, {F.method("Main", "main")});
+  // Helper.make is reached only through the virtual dispatch to
+  // Impl.step, which RTA must discover during its fixpoint.
+  EXPECT_TRUE(Rta.isReachable(F.method("Helper", "make")));
+  EXPECT_TRUE(Rta.isInstantiated(
+      F.Prog->findClass(F.Prog->names().lookup("Helper"))));
+}
+
+TEST(RtaTest, PagUnderRtaHasFewerCallEdges) {
+  RtaFixture F(kHierarchySource);
+  BuiltPAG Cha = buildPAG(*F.Prog);
+  RtaTargetResolver Rta(*F.Prog);
+  BuiltPAG RtaPag = buildPAG(*F.Prog, &Rta);
+
+  PAGStats ChaStats = Cha.Graph->stats();
+  PAGStats RtaStats = RtaPag.Graph->stats();
+  EXPECT_LT(RtaStats.EdgesByKind[unsigned(EdgeKind::Entry)],
+            ChaStats.EdgesByKind[unsigned(EdgeKind::Entry)]);
+}
+
+/// Precision ladder: Andersen-resolved targets ⊆ RTA targets ⊆ CHA
+/// targets for every virtual site.
+TEST(RtaTest, PrecisionLadderHolds) {
+  RtaFixture F(kHierarchySource);
+  BuiltPAG ChaPag = buildPAG(*F.Prog);
+  analysis::AndersenAnalysis Andersen(*ChaPag.Graph);
+  Andersen.solve();
+  analysis::AndersenTargetResolver AndersenRes(Andersen, *ChaPag.Graph);
+  RtaTargetResolver Rta(*F.Prog);
+  TargetResolver Cha;
+
+  for (const ir::Method &M : F.Prog->methods()) {
+    for (const ir::Statement &S : M.Stmts) {
+      if (S.Kind != ir::StmtKind::Call || !S.IsVirtual)
+        continue;
+      auto sorted = [](std::vector<ir::MethodId> V) {
+        std::sort(V.begin(), V.end());
+        return V;
+      };
+      auto A = sorted(AndersenRes.resolve(*F.Prog, M.Id, S));
+      auto R = sorted(Rta.resolve(*F.Prog, M.Id, S));
+      auto C = sorted(Cha.resolve(*F.Prog, M.Id, S));
+      EXPECT_TRUE(std::includes(R.begin(), R.end(), A.begin(), A.end()))
+          << "RTA must cover Andersen targets";
+      EXPECT_TRUE(std::includes(C.begin(), C.end(), R.begin(), R.end()))
+          << "CHA must cover RTA targets";
+    }
+  }
+}
+
+/// Demand results under the RTA call graph refine (are a subset of)
+/// results under CHA — fewer spurious entry edges, never extra ones.
+TEST(RtaTest, DynSumUnderRtaRefinesCha) {
+  RtaFixture F(R"(
+    class Animal {
+      Object tag;
+      Animal(Object t) { this.tag = t; }
+      Object noise() { return this.tag; }
+    }
+    class Dog extends Animal {
+      Dog(Object t) { this.tag = t; }
+      Object noise() { return this.tag; }
+    }
+    class Cat extends Animal {
+      Cat(Object t) { this.tag = t; }
+      Object noise() { return null; }
+    }
+    class Main {
+      static void main() {
+        Object bone = new Object();
+        Animal d = new Dog(bone);
+        Object got = d.noise();
+      }
+    }
+  )");
+  BuiltPAG ChaPag = buildPAG(*F.Prog);
+  RtaTargetResolver Rta(*F.Prog);
+  BuiltPAG RtaPag = buildPAG(*F.Prog, &Rta);
+
+  analysis::AnalysisOptions Opts;
+  analysis::DynSumAnalysis UnderCha(*ChaPag.Graph, Opts);
+  analysis::DynSumAnalysis UnderRta(*RtaPag.Graph, Opts);
+
+  for (const ir::Variable &V : F.Prog->variables()) {
+    if (V.IsGlobal)
+      continue;
+    auto Cha = UnderCha.query(ChaPag.Graph->nodeOfVar(V.Id)).allocSites();
+    auto RtaR = UnderRta.query(RtaPag.Graph->nodeOfVar(V.Id)).allocSites();
+    EXPECT_TRUE(std::includes(Cha.begin(), Cha.end(), RtaR.begin(),
+                              RtaR.end()))
+        << "RTA results must refine CHA for " << F.Prog->describeVar(V.Id);
+  }
+}
+
+TEST(RtaTest, CountsAreConsistent) {
+  RtaFixture F(kHierarchySource);
+  RtaTargetResolver Rta(*F.Prog);
+  // Dog, String (builtin, never allocated here) ... exactly the types
+  // with allocation statements: Dog plus the Object receivers? The
+  // source allocates Dog only.
+  EXPECT_EQ(Rta.numInstantiatedTypes(), 1u);
+  EXPECT_EQ(Rta.numReachableMethods(), F.Prog->methods().size())
+      << "rootless RTA reaches every method by definition";
+}
+
+} // namespace

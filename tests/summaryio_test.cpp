@@ -1,0 +1,212 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of summary-cache persistence: round trips, warm-start step
+/// savings, and rejection of mismatched or corrupt inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SummaryIO.h"
+
+#include "ir/Parser.h"
+#include "pag/PAGBuilder.h"
+#include "workload/Generator.h"
+
+#include "TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+
+namespace {
+
+/// Builds the Figure 2 program with its PAG and a DYNSUM instance.
+struct Instance {
+  explicit Instance(const char *Source) {
+    ir::ParseResult R = ir::parseProgram(Source);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    Prog = std::move(R.Prog);
+    Built = pag::buildPAG(*Prog);
+    DynSum = std::make_unique<DynSumAnalysis>(*Built.Graph, AnalysisOptions());
+  }
+
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+  std::unique_ptr<DynSumAnalysis> DynSum;
+};
+
+TEST(ProgramFingerprintTest, DeterministicAcrossRebuilds) {
+  Instance A(dynsum::testing::kFigure2Source);
+  Instance B(dynsum::testing::kFigure2Source);
+  EXPECT_EQ(programFingerprint(*A.Prog), programFingerprint(*B.Prog));
+}
+
+TEST(ProgramFingerprintTest, SensitiveToStatementEdits) {
+  Instance A(dynsum::testing::kFigure2Source);
+  Instance B(dynsum::testing::kFigure2Source);
+  uint64_t Before = programFingerprint(*B.Prog);
+  // Append one assignment to Main.main.
+  ir::Program &P = *B.Prog;
+  ir::TypeId Main = P.findClass(P.names().lookup("Main"));
+  ir::MethodId M = P.findMethod(Main, P.names().lookup("main"));
+  ir::Statement S;
+  S.Kind = ir::StmtKind::Assign;
+  S.Dst = P.method(M).Stmts.front().Dst;
+  S.Src = P.method(M).Stmts.front().Dst;
+  P.addStatement(M, std::move(S));
+  EXPECT_NE(programFingerprint(*B.Prog), Before);
+  EXPECT_EQ(programFingerprint(*A.Prog), Before);
+}
+
+TEST(SummaryIOTest, EmptyCacheRoundTrips) {
+  Instance A(dynsum::testing::kFigure2Source);
+  std::string Buf = serializeSummaries(*A.DynSum);
+  Instance B(dynsum::testing::kFigure2Source);
+  EXPECT_TRUE(deserializeSummaries(*B.DynSum, Buf));
+  EXPECT_EQ(B.DynSum->cacheSize(), 0u);
+}
+
+/// The central warm-start property: a fresh instance that loads another
+/// instance's summaries answers the same queries with the same results
+/// and strictly fewer traversal steps.
+TEST(SummaryIOTest, WarmStartMatchesResultsWithFewerSteps) {
+  Instance Cold(dynsum::testing::kFigure2Source);
+  ir::TypeId MainCls = Cold.Prog->findClass(Cold.Prog->names().lookup("Main"));
+  ir::MethodId Main =
+      Cold.Prog->findMethod(MainCls, Cold.Prog->names().lookup("main"));
+  std::vector<pag::NodeId> Queries;
+  for (const ir::Variable &V : Cold.Prog->variables())
+    if (!V.IsGlobal && V.Owner == Main)
+      Queries.push_back(Cold.Built.Graph->nodeOfVar(V.Id));
+  ASSERT_GT(Queries.size(), 3u);
+
+  uint64_t ColdSteps = 0;
+  std::vector<std::vector<ir::AllocId>> ColdResults;
+  for (pag::NodeId N : Queries) {
+    QueryResult R = Cold.DynSum->query(N);
+    ColdSteps += R.Steps;
+    ColdResults.push_back(R.allocSites());
+  }
+  ASSERT_GT(Cold.DynSum->cacheSize(), 0u);
+
+  std::string Buf = serializeSummaries(*Cold.DynSum);
+  Instance Warm(dynsum::testing::kFigure2Source);
+  ASSERT_TRUE(deserializeSummaries(*Warm.DynSum, Buf));
+  EXPECT_EQ(Warm.DynSum->cacheSize(), Cold.DynSum->cacheSize());
+
+  uint64_t WarmSteps = 0;
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    QueryResult R = Warm.DynSum->query(Queries[I]);
+    WarmSteps += R.Steps;
+    EXPECT_EQ(R.allocSites(), ColdResults[I]);
+  }
+  EXPECT_LT(WarmSteps, ColdSteps)
+      << "loaded summaries must replace PPTA traversals";
+}
+
+TEST(SummaryIOTest, FingerprintMismatchRejected) {
+  Instance Fig2(dynsum::testing::kFigure2Source);
+  std::string Buf = serializeSummaries(*Fig2.DynSum);
+
+  Instance Other(dynsum::testing::kStraightLineSource);
+  EXPECT_FALSE(deserializeSummaries(*Other.DynSum, Buf));
+  EXPECT_EQ(Other.DynSum->cacheSize(), 0u);
+}
+
+TEST(SummaryIOTest, TruncatedBufferRejectedAtomically) {
+  Instance A(dynsum::testing::kFigure2Source);
+  ir::TypeId MainCls = A.Prog->findClass(A.Prog->names().lookup("Main"));
+  ir::MethodId Main =
+      A.Prog->findMethod(MainCls, A.Prog->names().lookup("main"));
+  for (const ir::Variable &V : A.Prog->variables())
+    if (!V.IsGlobal && V.Owner == Main)
+      A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
+  std::string Buf = serializeSummaries(*A.DynSum);
+  ASSERT_GT(Buf.size(), 32u);
+
+  Instance B(dynsum::testing::kFigure2Source);
+  for (size_t Cut : {Buf.size() - 1, Buf.size() / 2, size_t(9), size_t(3)}) {
+    EXPECT_FALSE(
+        deserializeSummaries(*B.DynSum, std::string_view(Buf).substr(0, Cut)))
+        << "cut at " << Cut;
+    EXPECT_EQ(B.DynSum->cacheSize(), 0u) << "rejection must be atomic";
+  }
+}
+
+TEST(SummaryIOTest, CorruptMagicAndVersionRejected) {
+  Instance A(dynsum::testing::kFigure2Source);
+  std::string Buf = serializeSummaries(*A.DynSum);
+  Instance B(dynsum::testing::kFigure2Source);
+
+  std::string BadMagic = Buf;
+  BadMagic[0] = 'X';
+  EXPECT_FALSE(deserializeSummaries(*B.DynSum, BadMagic));
+
+  std::string BadVersion = Buf;
+  BadVersion[4] = char(0x7f);
+  EXPECT_FALSE(deserializeSummaries(*B.DynSum, BadVersion));
+
+  std::string Trailing = Buf + "junk";
+  EXPECT_FALSE(deserializeSummaries(*B.DynSum, Trailing));
+}
+
+TEST(SummaryIOTest, FileRoundTrip) {
+  Instance A(dynsum::testing::kFigure2Source);
+  ir::TypeId MainCls = A.Prog->findClass(A.Prog->names().lookup("Main"));
+  ir::MethodId Main =
+      A.Prog->findMethod(MainCls, A.Prog->names().lookup("main"));
+  for (const ir::Variable &V : A.Prog->variables())
+    if (!V.IsGlobal && V.Owner == Main)
+      A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
+
+  std::string Path = ::testing::TempDir() + "/dynsum_summaries.bin";
+  ASSERT_TRUE(saveSummariesFile(*A.DynSum, Path));
+
+  Instance B(dynsum::testing::kFigure2Source);
+  ASSERT_TRUE(loadSummariesFile(*B.DynSum, Path));
+  EXPECT_EQ(B.DynSum->cacheSize(), A.DynSum->cacheSize());
+  std::remove(Path.c_str());
+}
+
+TEST(SummaryIOTest, MissingFileRejected) {
+  Instance A(dynsum::testing::kFigure2Source);
+  EXPECT_FALSE(loadSummariesFile(*A.DynSum, "/nonexistent/dynsum.bin"));
+}
+
+/// Round trip over a generated program: every cached summary survives
+/// byte-for-byte (queries on the loaded instance produce identical
+/// results and the cache never grows past the donor's).
+TEST(SummaryIOTest, GeneratedProgramRoundTripIsExact) {
+  workload::GenOptions Gen;
+  Gen.Scale = 1.0 / 256;
+  auto P1 = generateProgram(workload::paperSuite()[0], Gen);
+  auto P2 = generateProgram(workload::paperSuite()[0], Gen);
+  ASSERT_EQ(programFingerprint(*P1), programFingerprint(*P2))
+      << "generator must be deterministic for persistence to apply";
+
+  pag::BuiltPAG G1 = pag::buildPAG(*P1);
+  pag::BuiltPAG G2 = pag::buildPAG(*P2);
+  DynSumAnalysis A1(*G1.Graph, AnalysisOptions());
+  DynSumAnalysis A2(*G2.Graph, AnalysisOptions());
+
+  std::vector<ir::VarId> Queries;
+  for (const ir::Variable &V : P1->variables())
+    if (!V.IsGlobal && V.Id % 83 == 0)
+      Queries.push_back(V.Id);
+  for (ir::VarId V : Queries)
+    A1.query(G1.Graph->nodeOfVar(V));
+
+  ASSERT_TRUE(deserializeSummaries(A2, serializeSummaries(A1)));
+  EXPECT_EQ(A1.cacheSize(), A2.cacheSize());
+
+  for (ir::VarId V : Queries) {
+    QueryResult R1 = A1.query(G1.Graph->nodeOfVar(V));
+    QueryResult R2 = A2.query(G2.Graph->nodeOfVar(V));
+    EXPECT_EQ(R1.allocSites(), R2.allocSites());
+  }
+  EXPECT_EQ(A1.cacheSize(), A2.cacheSize())
+      << "warm queries must not recompute anything";
+}
+
+} // namespace

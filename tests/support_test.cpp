@@ -1,0 +1,328 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support library.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Allocator.h"
+#include "support/BitVector.h"
+#include "support/CommandLine.h"
+#include "support/Hashing.h"
+#include "support/InternedStack.h"
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dynsum;
+
+//===----------------------------------------------------------------------===//
+// BumpPtrAllocator
+//===----------------------------------------------------------------------===//
+
+TEST(AllocatorTest, ReturnsAlignedChunks) {
+  BumpPtrAllocator A(/*SlabSize=*/128);
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u) << Align;
+  }
+}
+
+TEST(AllocatorTest, GrowsBeyondOneSlab) {
+  BumpPtrAllocator A(/*SlabSize=*/64);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_NE(A.allocate(32, 8), nullptr);
+  EXPECT_GT(A.numSlabs(), 1u);
+}
+
+TEST(AllocatorTest, OversizedRequestGetsOwnSlab) {
+  BumpPtrAllocator A(/*SlabSize=*/64);
+  void *Big = A.allocate(1024, 8);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesAllocated(), 1024u);
+}
+
+TEST(AllocatorTest, DistinctAllocationsDontOverlap) {
+  BumpPtrAllocator A;
+  char *P1 = A.allocateArray<char>(16);
+  char *P2 = A.allocateArray<char>(16);
+  EXPECT_TRUE(P2 >= P1 + 16 || P1 >= P2 + 16);
+}
+
+TEST(AllocatorTest, ResetDropsEverything) {
+  BumpPtrAllocator A;
+  (void)A.allocate(100, 8);
+  A.reset();
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInternerTest, EmptyStringIsSymbolZero) {
+  StringInterner SI;
+  EXPECT_EQ(SI.intern("").Id, 0u);
+  EXPECT_TRUE(SI.intern("").empty());
+}
+
+TEST(StringInternerTest, InternIsIdempotent) {
+  StringInterner SI;
+  Symbol A = SI.intern("hello");
+  Symbol B = SI.intern("hello");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(SI.text(A), "hello");
+}
+
+TEST(StringInternerTest, DistinctStringsGetDistinctSymbols) {
+  StringInterner SI;
+  EXPECT_NE(SI.intern("a"), SI.intern("b"));
+  EXPECT_EQ(SI.size(), 3u); // "", "a", "b"
+}
+
+TEST(StringInternerTest, LookupDoesNotCreate) {
+  StringInterner SI;
+  EXPECT_TRUE(SI.lookup("missing").empty());
+  EXPECT_EQ(SI.size(), 1u);
+  SI.intern("present");
+  EXPECT_FALSE(SI.lookup("present").empty());
+}
+
+TEST(StringInternerTest, TextSurvivesRehash) {
+  StringInterner SI;
+  Symbol First = SI.intern("first");
+  for (int I = 0; I < 1000; ++I)
+    SI.intern("k" + std::to_string(I));
+  EXPECT_EQ(SI.text(First), "first");
+}
+
+//===----------------------------------------------------------------------===//
+// StackPool
+//===----------------------------------------------------------------------===//
+
+TEST(StackPoolTest, EmptyStackProperties) {
+  StackPool P;
+  EXPECT_TRUE(StackPool::empty().isEmpty());
+  EXPECT_EQ(P.depth(StackPool::empty()), 0u);
+}
+
+TEST(StackPoolTest, PushPopPeekRoundTrip) {
+  StackPool P;
+  StackId S = P.push(StackPool::empty(), 42);
+  EXPECT_FALSE(S.isEmpty());
+  EXPECT_EQ(P.peek(S), 42u);
+  EXPECT_EQ(P.depth(S), 1u);
+  EXPECT_TRUE(P.pop(S).isEmpty());
+}
+
+TEST(StackPoolTest, HashConsingGivesIdenticalIds) {
+  StackPool P;
+  StackId A = P.push(P.push(StackPool::empty(), 1), 2);
+  StackId B = P.push(P.push(StackPool::empty(), 1), 2);
+  EXPECT_EQ(A, B);
+  StackId C = P.push(P.push(StackPool::empty(), 2), 1);
+  EXPECT_NE(A, C);
+}
+
+TEST(StackPoolTest, ElementsBottomToTop) {
+  StackPool P;
+  StackId S = P.make({10, 20, 30});
+  EXPECT_EQ(P.elements(S), (std::vector<uint32_t>{10, 20, 30}));
+  EXPECT_EQ(P.peek(S), 30u);
+}
+
+TEST(StackPoolTest, SharedTailsAreShared) {
+  StackPool P;
+  StackId Tail = P.make({1, 2, 3});
+  size_t Before = P.size();
+  StackId A = P.push(Tail, 4);
+  StackId B = P.push(Tail, 5);
+  EXPECT_EQ(P.size(), Before + 2); // only two new nodes
+  EXPECT_EQ(P.pop(A), Tail);
+  EXPECT_EQ(P.pop(B), Tail);
+}
+
+//===----------------------------------------------------------------------===//
+// BitVector
+//===----------------------------------------------------------------------===//
+
+TEST(BitVectorTest, SetTestReset) {
+  BitVector BV(130);
+  EXPECT_FALSE(BV.test(129));
+  EXPECT_TRUE(BV.set(129));
+  EXPECT_FALSE(BV.set(129)); // second set reports no change
+  EXPECT_TRUE(BV.test(129));
+  BV.reset(129);
+  EXPECT_FALSE(BV.test(129));
+}
+
+TEST(BitVectorTest, CountAcrossWords) {
+  BitVector BV(200);
+  for (size_t I = 0; I < 200; I += 7)
+    BV.set(I);
+  EXPECT_EQ(BV.count(), (200 + 6) / 7);
+}
+
+TEST(BitVectorTest, OrInPlaceReportsChange) {
+  BitVector A(64), B(64);
+  B.set(3);
+  EXPECT_TRUE(A.orInPlace(B));
+  EXPECT_FALSE(A.orInPlace(B)); // already subsumed
+  EXPECT_TRUE(A.test(3));
+}
+
+TEST(BitVectorTest, ClearKeepsSize) {
+  BitVector BV(77);
+  BV.set(76);
+  BV.clear();
+  EXPECT_EQ(BV.size(), 77u);
+  EXPECT_EQ(BV.count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng / ZipfSampler
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 16; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng R(7);
+  EXPECT_FALSE(R.nextBool(0.0));
+  EXPECT_TRUE(R.nextBool(1.0));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(99);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardsSmallIndices) {
+  Rng R(5);
+  ZipfSampler Z(100, 1.0);
+  size_t CountFirstTen = 0;
+  constexpr size_t kDraws = 10000;
+  for (size_t I = 0; I < kDraws; ++I)
+    if (Z.sample(R) < 10)
+      ++CountFirstTen;
+  // Under Zipf(1.0) the first decile carries roughly half the mass; a
+  // uniform sampler would give ~10%.
+  EXPECT_GT(CountFirstTen, kDraws / 3);
+}
+
+TEST(ZipfTest, AllIndicesReachable) {
+  Rng R(6);
+  ZipfSampler Z(4, 0.5);
+  std::set<size_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(Z.sample(R));
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// OStream / PrettyTable / Statistics / CommandLine / Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(OStreamTest, FormatsNumbers) {
+  StringOStream OS;
+  OS << uint64_t(42) << ' ' << int64_t(-7) << ' ';
+  OS.writeFixed(3.14159, 2);
+  EXPECT_EQ(OS.str(), "42 -7 3.14");
+}
+
+TEST(OStreamTest, PaddingAndRepetition) {
+  StringOStream OS;
+  OS.writePadded("ab", 5, /*LeftAlign=*/true);
+  OS << '|';
+  OS.writePadded("ab", 5, /*LeftAlign=*/false);
+  OS << '|';
+  OS.writeRepeated('-', 3);
+  EXPECT_EQ(OS.str(), "ab   |   ab|---");
+}
+
+TEST(PrettyTableTest, AlignsColumns) {
+  PrettyTable T;
+  T.row().cell("name").cell("v");
+  T.row().cell("x").cell(uint64_t(1000));
+  StringOStream OS;
+  T.print(OS);
+  std::string Text = OS.str();
+  EXPECT_NE(Text.find("name"), std::string::npos);
+  EXPECT_NE(Text.find("1000"), std::string::npos);
+  EXPECT_NE(Text.find("----"), std::string::npos);
+}
+
+TEST(StatisticsTest, AddAndQuery) {
+  Statistics S;
+  S.add("queries");
+  S.add("queries", 4);
+  EXPECT_EQ(S.get("queries"), 5u);
+  EXPECT_EQ(S.get("absent"), 0u);
+  S.clear();
+  EXPECT_EQ(S.get("queries"), 0u);
+}
+
+TEST(CommandLineTest, ParsesFlagsAndPositionals) {
+  const char *Argv[] = {"prog", "--scale=0.5", "--verbose", "input.ir",
+                        "--n=42"};
+  CommandLine CL(5, Argv);
+  EXPECT_DOUBLE_EQ(CL.getDouble("scale", 1.0), 0.5);
+  EXPECT_TRUE(CL.has("verbose"));
+  EXPECT_EQ(CL.getInt("n", 0), 42);
+  EXPECT_EQ(CL.getInt("missing", 9), 9);
+  ASSERT_EQ(CL.positional().size(), 1u);
+  EXPECT_EQ(CL.positional()[0], "input.ir");
+}
+
+TEST(CommandLineTest, RepeatedFlagsKeepEveryValueInOrder) {
+  const char *Argv[] = {"prog", "--query=a.b.c", "--other=1", "--query=d.e.f"};
+  CommandLine CL(4, Argv);
+  EXPECT_EQ(CL.getAll("query"),
+            (std::vector<std::string>{"a.b.c", "d.e.f"}));
+  EXPECT_TRUE(CL.getAll("missing").empty());
+  // The map accessor still answers with the first occurrence.
+  EXPECT_EQ(CL.getString("query", ""), "a.b.c");
+}
+
+TEST(HashingTest, PackPairIsInjectiveOnHalves) {
+  EXPECT_NE(packPair(1, 2), packPair(2, 1));
+  EXPECT_EQ(packPair(7, 9) >> 32, 7u);
+  EXPECT_EQ(packPair(7, 9) & 0xffffffffu, 9u);
+}
+
+TEST(TimerTest, MeasuresForwardTime) {
+  Timer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+  EXPECT_GE(A, 0.0);
+}

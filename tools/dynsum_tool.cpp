@@ -1,0 +1,322 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// dynsum — the command-line driver for the whole library.
+///
+/// Loads a program from a MiniJava source file (.mj/.minijava/.java) or
+/// a textual-IR file (anything else), builds the PAG, and either runs a
+/// client over it or answers individual points-to queries.
+///
+/// Usage:
+///   dynsum <file> [--analysis=dynsum|refine|norefine|andersen]
+///                 [--resolver=cha|rta|andersen]
+///                 [--client=safecast|nullderef|factorym|devirt|all]
+///                 [--query=Class.method.var]...  (repeatable flag, or
+///                                                 free.method.var for
+///                                                 ownerless methods)
+///                 [--budget=N] [--max-queries=N]
+///                 [--stats] [--dump-ir] [--dump-pag]
+///                 [--save-summaries=path] [--load-summaries=path]
+///
+/// Examples:
+///   dynsum prog.mj --client=all
+///   dynsum prog.ir --analysis=refine --client=nullderef --budget=10000
+///   dynsum prog.mj --query=Main.main.result --stats
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Andersen.h"
+#include "analysis/DynSum.h"
+#include "analysis/RefinePts.h"
+#include "analysis/SummaryIO.h"
+#include "clients/Client.h"
+#include "frontend/Frontend.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Validator.h"
+#include "pag/GraphViz.h"
+#include "pag/PAGBuilder.h"
+#include "pag/Rta.h"
+#include "support/CommandLine.h"
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+
+#include <cctype>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace dynsum;
+
+namespace {
+
+/// Reads a whole file; empty optional-style flag via Ok.
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Chunk[65536];
+  size_t N = 0;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Out.append(Chunk, N);
+  std::fclose(F);
+  return true;
+}
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// Loads \p Path as MiniJava or textual IR by extension.
+std::unique_ptr<ir::Program> loadProgram(const std::string &Path) {
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    errs() << "error: cannot read '" << Path << "'\n";
+    return nullptr;
+  }
+  if (endsWith(Path, ".mj") || endsWith(Path, ".minijava") ||
+      endsWith(Path, ".java")) {
+    frontend::CompileResult R = frontend::compileMiniJava(Source);
+    if (!R.ok()) {
+      errs() << Path << ": compilation failed\n" << R.Diags.str() << '\n';
+      return nullptr;
+    }
+    return std::move(R.Prog);
+  }
+  ir::ParseResult R = ir::parseProgram(Source);
+  if (!R.ok()) {
+    errs() << Path << ": " << R.Error << '\n';
+    return nullptr;
+  }
+  return std::move(R.Prog);
+}
+
+/// Resolves "Class.method.var" / "method.var" to a PAG variable node.
+bool findQueryNode(const ir::Program &P, const pag::PAG &G,
+                   const std::string &Spec, pag::NodeId &Node) {
+  size_t LastDot = Spec.rfind('.');
+  if (LastDot == std::string::npos) {
+    errs() << "error: query '" << Spec
+           << "' must be Class.method.var or method.var\n";
+    return false;
+  }
+  std::string VarName = Spec.substr(LastDot + 1);
+  std::string MethodPart = Spec.substr(0, LastDot);
+
+  ir::MethodId M = ir::kNone;
+  size_t Dot = MethodPart.find('.');
+  if (Dot == std::string::npos) {
+    M = P.findFreeMethod(P.names().lookup(MethodPart));
+  } else {
+    ir::TypeId Cls = P.findClass(P.names().lookup(MethodPart.substr(0, Dot)));
+    if (Cls != ir::kNone)
+      M = P.findMethod(Cls, P.names().lookup(MethodPart.substr(Dot + 1)));
+  }
+  if (M == ir::kNone) {
+    errs() << "error: no method '" << MethodPart << "'\n";
+    return false;
+  }
+  Symbol N = P.names().lookup(VarName);
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Owner == M && V.Name == N) {
+      Node = G.nodeOfVar(V.Id);
+      return true;
+    }
+  errs() << "error: no variable '" << VarName << "' in '" << MethodPart
+         << "'\n";
+  return false;
+}
+
+/// Creates the selected analysis; \p OutDynSum is set when it is a
+/// DynSumAnalysis so the summary save/load flags can reach it without
+/// RTTI.
+std::unique_ptr<analysis::DemandAnalysis>
+makeAnalysis(const std::string &Name, const pag::PAG &G,
+             const analysis::AnalysisOptions &Opts,
+             analysis::DynSumAnalysis *&OutDynSum) {
+  OutDynSum = nullptr;
+  if (Name == "dynsum") {
+    auto A = std::make_unique<analysis::DynSumAnalysis>(G, Opts);
+    OutDynSum = A.get();
+    return A;
+  }
+  if (Name == "refine")
+    return std::make_unique<analysis::RefinePtsAnalysis>(G, Opts);
+  if (Name == "norefine")
+    return std::make_unique<analysis::RefinePtsAnalysis>(G, Opts,
+                                                         /*Refinement=*/false);
+  return nullptr;
+}
+
+int usage() {
+  errs() << "usage: dynsum <file.{mj,ir}> [--analysis=dynsum|refine|"
+            "norefine] [--resolver=cha|rta|andersen]\n"
+            "              [--client=safecast|nullderef|factorym|devirt|all]"
+            " [--query=Class.method.var]\n"
+            "              [--budget=N] [--max-queries=N] [--stats]"
+            " [--dump-pag]\n"
+            "              [--save-summaries=path] [--load-summaries=path]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CommandLine Args(argc, argv);
+  if (Args.positional().empty())
+    return usage();
+
+  std::unique_ptr<ir::Program> Prog = loadProgram(Args.positional().front());
+  if (!Prog)
+    return 1;
+  std::vector<std::string> Problems = ir::validate(*Prog);
+  if (!Problems.empty()) {
+    errs() << "error: invalid program: " << Problems.front() << '\n';
+    return 1;
+  }
+
+  // Dispatch resolver.
+  std::string ResolverName = Args.getString("resolver", "cha");
+  std::unique_ptr<pag::RtaTargetResolver> Rta;
+  pag::BuiltPAG Built;
+  if (ResolverName == "cha") {
+    Built = pag::buildPAG(*Prog);
+  } else if (ResolverName == "rta") {
+    Rta = std::make_unique<pag::RtaTargetResolver>(*Prog);
+    Built = pag::buildPAG(*Prog, Rta.get());
+  } else if (ResolverName == "andersen") {
+    pag::BuiltPAG Cha = pag::buildPAG(*Prog);
+    analysis::AndersenAnalysis Andersen(*Cha.Graph);
+    Andersen.solve();
+    analysis::AndersenTargetResolver Refined(Andersen, *Cha.Graph);
+    Built = pag::buildPAG(*Prog, &Refined);
+  } else {
+    errs() << "error: unknown resolver '" << ResolverName << "'\n";
+    return usage();
+  }
+
+  if (Args.has("stats")) {
+    pag::PAGStats Stats = Built.Graph->stats();
+    outs() << "methods " << Stats.NumMethods << ", objects "
+           << Stats.NumObjects << ", locals " << Stats.NumLocals
+           << ", globals " << Stats.NumGlobals << ", edges "
+           << Stats.totalEdges() << " (locality ";
+    outs().writeFixed(Stats.locality() * 100.0, 1);
+    outs() << "%)\n";
+  }
+  if (Args.has("dump-ir")) {
+    ir::printProgram(*Prog, outs());
+    return 0;
+  }
+  if (Args.has("dump-pag")) {
+    pag::writeGraphViz(*Built.Graph, outs());
+    return 0;
+  }
+
+  analysis::AnalysisOptions Opts;
+  Opts.BudgetPerQuery = uint64_t(Args.getInt("budget", 75000));
+  std::string AnalysisName = Args.getString("analysis", "dynsum");
+  analysis::DynSumAnalysis *AsDynSum = nullptr;
+  std::unique_ptr<analysis::DemandAnalysis> Analysis =
+      makeAnalysis(AnalysisName, *Built.Graph, Opts, AsDynSum);
+  if (!Analysis) {
+    errs() << "error: unknown analysis '" << AnalysisName << "'\n";
+    return usage();
+  }
+
+  std::string LoadPath = Args.getString("load-summaries", "");
+  if (!LoadPath.empty()) {
+    if (!AsDynSum) {
+      errs() << "error: --load-summaries requires --analysis=dynsum\n";
+      return 1;
+    }
+    if (analysis::loadSummariesFile(*AsDynSum, LoadPath))
+      outs() << "loaded " << uint64_t(AsDynSum->cacheSize())
+             << " summaries from " << LoadPath << '\n';
+    else
+      outs() << "note: could not load summaries from " << LoadPath
+             << " (missing or different program); starting cold\n";
+  }
+
+  int Exit = 0;
+
+  // Individual queries.
+  for (const std::string &Value : Args.getAll("query")) {
+    pag::NodeId Node = 0;
+    if (!findQueryNode(*Prog, *Built.Graph, Value, Node)) {
+      Exit = 1;
+      continue;
+    }
+    analysis::QueryResult R = Analysis->query(Node);
+    outs() << "pts(" << Value << ") = {";
+    bool First = true;
+    for (ir::AllocId A : R.allocSites()) {
+      if (!First)
+        outs() << ", ";
+      First = false;
+      outs() << Prog->describeAlloc(A);
+    }
+    outs() << "}" << (R.BudgetExceeded ? " (budget exceeded: partial)" : "")
+           << "  [" << R.Steps << " steps]\n";
+  }
+
+  // Clients.
+  std::string ClientName = Args.getString("client", "");
+  if (!ClientName.empty()) {
+    size_t MaxQueries = size_t(Args.getInt("max-queries", 0));
+    std::vector<std::unique_ptr<clients::Client>> Selected;
+    for (auto &C : clients::makeAllClients()) {
+      std::string Lower = C->name();
+      for (char &Ch : Lower)
+        Ch = char(std::tolower(static_cast<unsigned char>(Ch)));
+      if (ClientName == "all" || ClientName == Lower)
+        Selected.push_back(std::move(C));
+    }
+    if (Selected.empty()) {
+      errs() << "error: unknown client '" << ClientName << "'\n";
+      return usage();
+    }
+    PrettyTable T;
+    T.row()
+        .cell("client")
+        .cell("queries")
+        .cell("proven")
+        .cell("refuted")
+        .cell("unknown")
+        .cell("steps")
+        .cell("seconds");
+    for (const auto &C : Selected) {
+      std::vector<clients::ClientQuery> Qs =
+          C->makeQueries(*Built.Graph, MaxQueries);
+      clients::ClientReport Rep = runClient(*C, *Analysis, Qs);
+      T.row()
+          .cell(Rep.ClientName)
+          .cell(Rep.NumQueries)
+          .cell(Rep.Proven)
+          .cell(Rep.Refuted)
+          .cell(Rep.Unknown)
+          .cell(Rep.TotalSteps)
+          .cell(Rep.Seconds, 3);
+    }
+    T.print(outs());
+  }
+
+  std::string SavePath = Args.getString("save-summaries", "");
+  if (!SavePath.empty()) {
+    if (!AsDynSum) {
+      errs() << "error: --save-summaries requires --analysis=dynsum\n";
+      return 1;
+    }
+    if (analysis::saveSummariesFile(*AsDynSum, SavePath))
+      outs() << "saved " << uint64_t(AsDynSum->cacheSize())
+             << " summaries to " << SavePath << '\n';
+    else {
+      errs() << "error: cannot write " << SavePath << '\n';
+      Exit = 1;
+    }
+  }
+
+  return Exit;
+}
