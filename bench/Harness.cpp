@@ -17,6 +17,7 @@ HarnessOptions HarnessOptions::parse(int Argc, const char *const *Argv) {
   O.Scale = CL.getDouble("scale", O.Scale);
   O.Budget = uint64_t(CL.getInt("budget", int64_t(O.Budget)));
   O.Seed = uint64_t(CL.getInt("seed", 0));
+  O.Threads = unsigned(CL.getInt("threads", int64_t(O.Threads)));
   O.Only = CL.getString("bench", "");
   return O;
 }

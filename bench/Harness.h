@@ -12,6 +12,7 @@
 #include "analysis/DynSum.h"
 #include "analysis/RefinePts.h"
 #include "clients/Client.h"
+#include "engine/QueryScheduler.h"
 #include "support/CommandLine.h"
 #include "workload/BenchmarkSpec.h"
 #include "workload/Generator.h"
@@ -35,10 +36,12 @@ struct BenchProgram {
 ///   --budget=<int>     per-query traversal budget (default 75000)
 ///   --seed=<int>       extra generator seed
 ///   --bench=<name>     restrict to one Table 3 program
+///   --threads=<int>    batch-engine worker threads (default 4)
 struct HarnessOptions {
   double Scale = 1.0 / 32;
   uint64_t Budget = 75000;
   uint64_t Seed = 0;
+  unsigned Threads = 4;
   std::string Only;
 
   static HarnessOptions parse(int Argc, const char *const *Argv);
@@ -46,6 +49,13 @@ struct HarnessOptions {
   analysis::AnalysisOptions analysisOptions() const {
     analysis::AnalysisOptions O;
     O.BudgetPerQuery = Budget;
+    return O;
+  }
+
+  engine::EngineOptions engineOptions(unsigned NumThreads) const {
+    engine::EngineOptions O;
+    O.NumThreads = NumThreads;
+    O.Analysis = analysisOptions();
     return O;
   }
 };

@@ -10,6 +10,7 @@
 #include "analysis/Andersen.h"
 #include "analysis/DynSum.h"
 #include "analysis/RefinePts.h"
+#include "engine/QueryScheduler.h"
 #include "ir/Parser.h"
 #include "pag/PAGBuilder.h"
 #include "support/InternedStack.h"
@@ -157,6 +158,32 @@ void BM_PAGBuild(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_PAGBuild);
+
+void BM_EngineBatch(benchmark::State &State) {
+  // The generated query stream as one batch, sharded over range(0)
+  // workers with a cold shared store each round.
+  GenProg &G = GenProg::get();
+  engine::EngineOptions EO;
+  EO.NumThreads = unsigned(State.range(0));
+  for (auto _ : State) {
+    engine::QueryScheduler S(*G.Built.Graph, EO);
+    benchmark::DoNotOptimize(S.run(G.QueryNodes).Stats.TotalSteps);
+  }
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EngineBatch_WarmStore(benchmark::State &State) {
+  // Same batch against a scheduler whose shared store was warmed by a
+  // prior run — the cross-batch reuse path.
+  GenProg &G = GenProg::get();
+  engine::EngineOptions EO;
+  EO.NumThreads = unsigned(State.range(0));
+  engine::QueryScheduler S(*G.Built.Graph, EO);
+  (void)S.run(G.QueryNodes);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.run(G.QueryNodes).Stats.TotalSteps);
+}
+BENCHMARK(BM_EngineBatch_WarmStore)->Arg(1)->Arg(4);
 
 void BM_StackPool_PushPop(benchmark::State &State) {
   StackPool Pool;

@@ -1,21 +1,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Example: persisting DYNSUM summaries across "compiler runs".
+/// Example: persisting batch-engine summaries across "compiler runs".
 ///
 /// A JIT or IDE restarts constantly; recomputing every summary each
 /// time wastes the work the previous run already did.  This example
 /// simulates two runs of a tool on the same program: the first answers
-/// a query batch cold and saves its summary cache to disk; the second
-/// loads the cache and answers the same batch with a fraction of the
-/// traversal steps.
+/// a query batch cold through the parallel batch engine and saves the
+/// engine's shared summary store to disk; the second loads the store
+/// back (warm start through SummaryIO) and answers the same batch with
+/// a fraction of the summary computations.
 ///
 /// Run: build/examples/warm_start
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/DynSum.h"
-#include "analysis/SummaryIO.h"
+#include "engine/QueryScheduler.h"
 #include "pag/PAGBuilder.h"
 #include "support/OStream.h"
 #include "workload/Generator.h"
@@ -23,12 +23,12 @@
 #include <cstdio>
 
 using namespace dynsum;
-using namespace dynsum::analysis;
+using namespace dynsum::engine;
 
 namespace {
 
-/// One "compiler run": build the program and PAG, optionally load a
-/// summary file, answer the batch, optionally save.  Returns the total
+/// One "compiler run": build the program and PAG, optionally load the
+/// summary store, answer the batch, optionally save.  Returns the total
 /// step count.
 uint64_t run(const char *Label, const std::string &CachePath, bool Load,
              bool Save) {
@@ -36,30 +36,36 @@ uint64_t run(const char *Label, const std::string &CachePath, bool Load,
   Gen.Scale = 1.0 / 64;
   auto Prog = workload::generateProgram(workload::specByName("jython"), Gen);
   pag::BuiltPAG Built = pag::buildPAG(*Prog);
-  DynSumAnalysis DynSum(*Built.Graph, AnalysisOptions());
+
+  EngineOptions Opts;
+  Opts.NumThreads = 4;
+  QueryScheduler Scheduler(*Built.Graph, Opts);
 
   if (Load) {
-    if (loadSummariesFile(DynSum, CachePath))
-      outs() << Label << ": loaded " << uint64_t(DynSum.cacheSize())
+    if (Scheduler.loadSummaries(CachePath))
+      outs() << Label << ": loaded " << uint64_t(Scheduler.store().size())
              << " summaries from " << CachePath << '\n';
     else
       outs() << Label << ": no usable summary file, starting cold\n";
   }
 
-  uint64_t Steps = 0;
-  unsigned Queries = 0;
+  QueryBatch Batch;
   for (const ir::Variable &V : Prog->variables()) {
     if (V.IsGlobal || V.Id % 101 != 0)
       continue;
-    Steps += DynSum.query(Built.Graph->nodeOfVar(V.Id)).Steps;
-    ++Queries;
+    Batch.add(Built.Graph->nodeOfVar(V.Id));
   }
-  outs() << Label << ": " << Queries << " queries, " << Steps << " steps, "
-         << uint64_t(DynSum.cacheSize()) << " summaries cached\n";
+  BatchResult R = Scheduler.run(Batch);
+  outs() << Label << ": " << uint64_t(Batch.size()) << " queries over "
+         << R.Stats.ThreadsUsed << " threads, " << R.Stats.TotalSteps
+         << " steps, " << R.Stats.SummariesComputed
+         << " summaries computed, " << R.Stats.SharedHits
+         << " shared-store hits, " << uint64_t(R.Stats.StoreSize)
+         << " summaries stored\n";
 
-  if (Save && saveSummariesFile(DynSum, CachePath))
-    outs() << Label << ": saved summaries to " << CachePath << '\n';
-  return Steps;
+  if (Save && Scheduler.saveSummaries(CachePath))
+    outs() << Label << ": saved summary store to " << CachePath << '\n';
+  return R.Stats.TotalSteps;
 }
 
 } // namespace

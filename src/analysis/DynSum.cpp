@@ -26,6 +26,8 @@ using namespace dynsum;
 using namespace dynsum::analysis;
 using namespace dynsum::pag;
 
+SummaryExchange::~SummaryExchange() = default;
+
 uint64_t dynsum::analysis::packSummaryKey(NodeId Node, StackId Fields,
                                           RsmState S) {
   assert(Fields.Id < (1u << 31) && "field-stack id overflow");
@@ -197,6 +199,26 @@ void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
 // Algorithm 4: the DYNSUM worklist
 //===----------------------------------------------------------------------===//
 
+PptaSummary DynSumAnalysis::internSummary(const PortableSummary &P) {
+  PptaSummary Out;
+  Out.Objects = P.Objects;
+  Out.Tuples.reserve(P.Tuples.size());
+  for (const PortableTuple &T : P.Tuples)
+    Out.Tuples.push_back(
+        PptaTuple{T.Node, FieldStacks.make(T.Fields), T.State});
+  return Out;
+}
+
+PortableSummary DynSumAnalysis::exportSummary(const PptaSummary &S) const {
+  PortableSummary Out;
+  Out.Objects = S.Objects;
+  Out.Tuples.reserve(S.Tuples.size());
+  for (const PptaTuple &T : S.Tuples)
+    Out.Tuples.push_back(
+        PortableTuple{T.Node, FieldStacks.elements(T.Fields), T.State});
+  return Out;
+}
+
 const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
                                               RsmState S, Budget &B,
                                               bool &UsedCache) {
@@ -221,6 +243,16 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
       Stats.add("dynsum.cacheHits");
       return &It->second;
     }
+    // Local miss: another instance on the same PAG may have published
+    // this summary already (summaries are context-free, hence shareable).
+    if (Exchange) {
+      PortableSummary Shared;
+      if (Exchange->fetch(U, FieldStacks.elements(F), S, Shared)) {
+        UsedCache = true;
+        Stats.add("dynsum.sharedHits");
+        return &Cache.emplace(Key, internSummary(Shared)).first->second;
+      }
+    }
   }
 
   // Lines 8-9: compute and (when complete) memoize the summary.
@@ -229,6 +261,8 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
   Stats.add("dynsum.pptaComputed");
   if (!IsComplete)
     return nullptr;
+  if (Opts.EnableCache && Exchange)
+    Exchange->publish(U, FieldStacks.elements(F), S, exportSummary(Fresh));
   if (!Opts.EnableCache) {
     // Uncached mode (ablation): stash in the trivial map keyed the same
     // way so the pointer stays valid for this query.

@@ -56,6 +56,44 @@ struct PptaSummary {
 /// bits 33..63 = field-stack id (field stacks stay well below 2^31).
 uint64_t packSummaryKey(pag::NodeId Node, StackId Fields, RsmState S);
 
+/// A PptaTuple with the field stack spelled out bottom-to-top instead of
+/// as a StackId.  StackIds only mean something inside the owning
+/// instance's StackPool; spelling the elements out makes a summary
+/// portable across instances (and across threads — see SummaryExchange).
+struct PortableTuple {
+  pag::NodeId Node = 0;
+  std::vector<uint32_t> Fields;
+  RsmState State = RsmState::S1;
+};
+
+/// A PptaSummary in pool-independent form.
+struct PortableSummary {
+  std::vector<ir::AllocId> Objects;
+  std::vector<PortableTuple> Tuples;
+};
+
+/// Cross-instance exchange of *complete* PPTA summaries.  A summary is a
+/// deterministic function of (node, field stack, state) and the PAG —
+/// never of the querying context or of who computed it — so any instance
+/// analyzing the same PAG may reuse any other instance's summaries (the
+/// paper's local reachability reuse, extended across analysis
+/// instances).  Implementations must be safe for concurrent fetch and
+/// publish; DynSumAnalysis itself stays single-threaded and only talks
+/// to the exchange on local cache misses.
+class SummaryExchange {
+public:
+  virtual ~SummaryExchange();
+
+  /// Looks up the summary for (\p Node, \p Fields bottom-to-top, \p S);
+  /// fills \p Out and returns true on a hit.
+  virtual bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+                     RsmState S, PortableSummary &Out) = 0;
+
+  /// Offers a freshly computed complete summary for reuse by others.
+  virtual void publish(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+                       RsmState S, PortableSummary Summary) = 0;
+};
+
 /// Pending-field stack entries are tagged with the sub-language that
 /// pushed them.  The LFT grammar pairs parentheses per sub-language:
 /// a load(f)-bar push (S1, "resolve an alias's .f") may only be closed
@@ -156,6 +194,19 @@ public:
     Cache[packSummaryKey(Node, Fields, S)] = std::move(Summary);
   }
 
+  /// Connects this instance to a cross-instance summary exchange (may be
+  /// null to disconnect).  On a local cache miss the exchange is
+  /// consulted before computing, and freshly computed complete summaries
+  /// are published back.  The exchange must describe the same PAG.
+  void setSummaryExchange(SummaryExchange *E) { Exchange = E; }
+  SummaryExchange *summaryExchange() const { return Exchange; }
+
+  /// Converts between the local (StackId) and portable (explicit field
+  /// vector) summary representations, re-interning through this
+  /// instance's field-stack pool.
+  PptaSummary internSummary(const PortableSummary &P);
+  PortableSummary exportSummary(const PptaSummary &S) const;
+
 private:
   /// Cache lookup/compute for one summary key.  Returns null when the
   /// summary could not be completed within budget (query turns
@@ -166,6 +217,7 @@ private:
   StackPool FieldStacks;
   StackPool Contexts;
   PptaEngine Engine;
+  SummaryExchange *Exchange = nullptr;
   std::unordered_map<uint64_t, PptaSummary> Cache;
   /// Summaries for boundary nodes without local edges (the Section 4.3
   /// shortcut) materialized once; not counted as real summaries.

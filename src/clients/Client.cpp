@@ -7,7 +7,9 @@
 
 #include "clients/Client.h"
 
+#include "engine/QueryScheduler.h"
 #include "pag/CallGraph.h"
+#include "support/StringExtras.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -68,6 +70,47 @@ ClientReport dynsum::clients::runClient(const Client &C, DemandAnalysis &A,
   }
   Report.Seconds = T.seconds();
   return Report;
+}
+
+ClientReport dynsum::clients::runClientBatched(
+    const Client &C, engine::QueryScheduler &S,
+    const std::vector<ClientQuery> &Qs, size_t Begin, size_t End) {
+  ClientReport Report;
+  Report.ClientName = C.name();
+  Report.AnalysisName = "DYNSUM";
+  End = std::min(End, Qs.size());
+  if (Begin >= End)
+    return Report;
+
+  engine::QueryBatch Batch;
+  for (size_t I = Begin; I < End; ++I)
+    Batch.add(Qs[I].Node);
+  engine::BatchResult R = S.run(Batch);
+
+  for (size_t I = Begin; I < End; ++I) {
+    const engine::QueryOutcome &Out = R.Outcomes[I - Begin];
+    ++Report.NumQueries;
+    Report.TotalSteps += Out.Steps;
+    switch (C.judge(S.graph(), Qs[I], Out.toQueryResult())) {
+    case Verdict::Proven:
+      ++Report.Proven;
+      break;
+    case Verdict::Refuted:
+      ++Report.Refuted;
+      break;
+    case Verdict::Unknown:
+      ++Report.Unknown;
+      break;
+    }
+  }
+  Report.Seconds = R.Stats.Seconds;
+  return Report;
+}
+
+ClientReport dynsum::clients::runClientBatched(
+    const Client &C, engine::QueryScheduler &S,
+    const std::vector<ClientQuery> &Qs) {
+  return runClientBatched(C, S, Qs, 0, Qs.size());
 }
 
 //===----------------------------------------------------------------------===//
@@ -155,7 +198,7 @@ Verdict NullDerefClient::judge(const pag::PAG &G, const ClientQuery &Q,
 //===----------------------------------------------------------------------===//
 
 bool FactoryMClient::isFactoryName(std::string_view Name) {
-  return Name.starts_with("create") || Name.starts_with("make");
+  return startsWith(Name, "create") || startsWith(Name, "make");
 }
 
 std::vector<ClientQuery>

@@ -17,6 +17,9 @@
 #include <vector>
 
 namespace dynsum {
+namespace engine {
+class QueryScheduler;
+}
 namespace clients {
 
 /// One demand issued by a client.
@@ -91,6 +94,18 @@ inline ClientReport runClient(const Client &C, analysis::DemandAnalysis &A,
                               const std::vector<ClientQuery> &Queries) {
   return runClient(C, A, Queries, 0, Queries.size());
 }
+
+/// Runs queries [\p Begin, \p End) of \p Queries through the parallel
+/// batch engine \p S and aggregates a report shaped like runClient's.
+/// Judging happens on the context-insensitive projection, which is all
+/// the shipped clients inspect, so verdicts match the sequential path.
+ClientReport runClientBatched(const Client &C, engine::QueryScheduler &S,
+                              const std::vector<ClientQuery> &Queries,
+                              size_t Begin, size_t End);
+
+/// Convenience: run the whole stream through the batch engine.
+ClientReport runClientBatched(const Client &C, engine::QueryScheduler &S,
+                              const std::vector<ClientQuery> &Queries);
 
 //===----------------------------------------------------------------------===//
 // The three paper clients

@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// QueryScheduler implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/QueryScheduler.h"
+
+#include "analysis/SummaryIO.h"
+#include "support/Timer.h"
+
+#include <thread>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::engine;
+
+unsigned QueryScheduler::effectiveThreads(size_t NumQueries) const {
+  // Each worker is an OS thread; cap requests (including unsigned
+  // wraparounds of negative inputs) at something the OS can deliver.
+  constexpr unsigned kMaxThreads = 256;
+  unsigned T = Opts.NumThreads;
+  if (T == 0) {
+    T = std::thread::hardware_concurrency();
+    if (T == 0)
+      T = 1;
+  }
+  if (T > kMaxThreads)
+    T = kMaxThreads;
+  // Never spawn more workers than there are queries to shard.
+  if (NumQueries < T)
+    T = unsigned(NumQueries);
+  return T == 0 ? 1 : T;
+}
+
+void QueryScheduler::runShard(const QueryBatch &B, size_t Shard,
+                              unsigned Stride,
+                              std::vector<QueryOutcome> &Outcomes,
+                              BatchStats &Stats) {
+  DynSumAnalysis A(Graph, Opts.Analysis);
+  if (Opts.ShareSummaries)
+    A.setSummaryExchange(&Store);
+
+  const std::vector<pag::NodeId> &Nodes = B.nodes();
+  for (size_t I = Shard; I < Nodes.size(); I += Stride) {
+    QueryResult R = A.query(Nodes[I]);
+    QueryOutcome &Out = Outcomes[I];
+    Out.AllocSites = R.allocSites();
+    Out.BudgetExceeded = R.BudgetExceeded;
+    Out.Steps = R.Steps;
+    Stats.TotalSteps += R.Steps;
+  }
+  Stats.SharedHits = A.stats().get("dynsum.sharedHits");
+  Stats.LocalHits = A.stats().get("dynsum.cacheHits");
+  Stats.SummariesComputed = A.stats().get("dynsum.pptaComputed");
+}
+
+BatchResult QueryScheduler::run(const QueryBatch &B) {
+  Timer T;
+  BatchResult Result;
+  Result.Outcomes.resize(B.size());
+
+  unsigned Threads = effectiveThreads(B.size());
+  Result.Stats.ThreadsUsed = Threads;
+  if (B.empty()) {
+    Result.Stats.StoreSize = Store.size();
+    Result.Stats.Seconds = T.seconds();
+    return Result;
+  }
+
+  std::vector<BatchStats> ShardStats(Threads);
+  if (Threads == 1) {
+    runShard(B, 0, 1, Result.Outcomes, ShardStats[0]);
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (unsigned W = 0; W < Threads; ++W)
+      Workers.emplace_back([this, &B, W, Threads, &Result, &ShardStats] {
+        runShard(B, W, Threads, Result.Outcomes, ShardStats[W]);
+      });
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  for (const BatchStats &S : ShardStats) {
+    Result.Stats.TotalSteps += S.TotalSteps;
+    Result.Stats.SharedHits += S.SharedHits;
+    Result.Stats.LocalHits += S.LocalHits;
+    Result.Stats.SummariesComputed += S.SummariesComputed;
+  }
+  Result.Stats.StoreSize = Store.size();
+  Result.Stats.Seconds = T.seconds();
+  return Result;
+}
+
+BatchResult QueryScheduler::run(const std::vector<pag::NodeId> &Nodes) {
+  QueryBatch B;
+  for (pag::NodeId N : Nodes)
+    B.add(N);
+  return run(B);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm start through SummaryIO
+//===----------------------------------------------------------------------===//
+//
+// SummaryIO speaks DynSumAnalysis, whose cache is the authoritative
+// on-disk schema (fingerprint checks included).  The engine goes through
+// a staging analysis in both directions rather than duplicating the
+// format: load = deserialize into staging, publish all; save = drain the
+// store into staging, serialize.
+
+bool QueryScheduler::loadSummariesBuffer(std::string_view Data) {
+  DynSumAnalysis Staging(Graph, Opts.Analysis);
+  if (!deserializeSummaries(Staging, Data))
+    return false;
+  Store.seedFrom(Staging);
+  return true;
+}
+
+bool QueryScheduler::loadSummaries(const std::string &Path) {
+  DynSumAnalysis Staging(Graph, Opts.Analysis);
+  if (!loadSummariesFile(Staging, Path))
+    return false;
+  Store.seedFrom(Staging);
+  return true;
+}
+
+std::string QueryScheduler::serializeSummaries() const {
+  DynSumAnalysis Staging(Graph, Opts.Analysis);
+  Store.drainInto(Staging);
+  return analysis::serializeSummaries(Staging);
+}
+
+bool QueryScheduler::saveSummaries(const std::string &Path) const {
+  DynSumAnalysis Staging(Graph, Opts.Analysis);
+  Store.drainInto(Staging);
+  return saveSummariesFile(Staging, Path);
+}

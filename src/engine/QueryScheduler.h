@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel batched query engine.
+///
+/// A QueryScheduler owns a shared summary store for one PAG and answers
+/// QueryBatches by sharding them round-robin over worker threads.  Each
+/// worker owns a private DynSumAnalysis — its own StackPools, summary
+/// cache and budget accounting — so the sequential algorithms run
+/// unmodified; the only cross-thread structure is the read-mostly
+/// SharedSummaryStore that lets workers reuse each other's
+/// context-independent PPTA summaries.
+///
+/// Because summaries are deterministic in (node, fields, state) and
+/// sharing only ever substitutes an identical summary for a
+/// recomputation, batched answers project onto exactly the same
+/// allocation sites as the sequential path for every query that
+/// completes within budget.
+///
+/// The store persists across batches (later batches warm-start on
+/// earlier ones) and round-trips through SummaryIO for cross-process
+/// warm starts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ENGINE_QUERYSCHEDULER_H
+#define DYNSUM_ENGINE_QUERYSCHEDULER_H
+
+#include "engine/QueryBatch.h"
+#include "engine/SummaryStore.h"
+
+#include <string>
+#include <string_view>
+
+namespace dynsum {
+namespace engine {
+
+class QueryScheduler {
+public:
+  explicit QueryScheduler(const pag::PAG &G, EngineOptions Opts = {})
+      : Graph(G), Opts(Opts) {}
+
+  /// Answers every query of \p B; outcome i answers query i.
+  BatchResult run(const QueryBatch &B);
+
+  /// Convenience: batch up \p Nodes and run.
+  BatchResult run(const std::vector<pag::NodeId> &Nodes);
+
+  /// Warm start: merges a SummaryIO file/buffer (saved by either this
+  /// engine or a sequential DynSumAnalysis on the same program) into the
+  /// shared store.  Returns false and leaves the store untouched on a
+  /// malformed buffer or a program-fingerprint mismatch.
+  bool loadSummaries(const std::string &Path);
+  bool loadSummariesBuffer(std::string_view Data);
+
+  /// Persists the shared store through SummaryIO for a later process
+  /// (loadable by this engine or by a sequential DynSumAnalysis).
+  bool saveSummaries(const std::string &Path) const;
+  std::string serializeSummaries() const;
+
+  /// Threads a batch of \p NumQueries would use under the options.
+  unsigned effectiveThreads(size_t NumQueries) const;
+
+  const pag::PAG &graph() const { return Graph; }
+  const EngineOptions &options() const { return Opts; }
+  SharedSummaryStore &store() { return Store; }
+  const SharedSummaryStore &store() const { return Store; }
+
+private:
+  /// Runs queries [\p Indices] of \p B on one private analysis instance,
+  /// writing outcomes straight into their slots of \p Outcomes.
+  void runShard(const QueryBatch &B, size_t Shard, unsigned Stride,
+                std::vector<QueryOutcome> &Outcomes, BatchStats &Stats);
+
+  const pag::PAG &Graph;
+  EngineOptions Opts;
+  SharedSummaryStore Store;
+};
+
+} // namespace engine
+} // namespace dynsum
+
+#endif // DYNSUM_ENGINE_QUERYSCHEDULER_H

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SharedSummaryStore implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/SummaryStore.h"
+
+#include <mutex>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::engine;
+
+bool SharedSummaryStore::fetch(pag::NodeId Node,
+                               const std::vector<uint32_t> &Fields,
+                               RsmState S, PortableSummary &Out) {
+  Key K{Node, Fields, S};
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  auto It = Map.find(K);
+  if (It == Map.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void SharedSummaryStore::publish(pag::NodeId Node,
+                                 const std::vector<uint32_t> &Fields,
+                                 RsmState S, PortableSummary Summary) {
+  Key K{Node, Fields, S};
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  // First writer wins; every writer computes the same summary for a key.
+  Map.emplace(std::move(K), std::move(Summary));
+}
+
+size_t SharedSummaryStore::size() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Map.size();
+}
+
+void SharedSummaryStore::clear() {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  Map.clear();
+}
+
+void SharedSummaryStore::seedFrom(const DynSumAnalysis &A) {
+  const StackPool &Fields = A.fieldStacks();
+  for (const auto &[PackedKey, Summary] : A.summaryCache()) {
+    // packSummaryKey layout: bit 0 = state, bits 1..32 = node,
+    // bits 33..63 = field-stack id.
+    pag::NodeId Node = pag::NodeId((PackedKey >> 1) & 0xffffffffu);
+    RsmState S = (PackedKey & 1) == 0 ? RsmState::S1 : RsmState::S2;
+    StackId F{uint32_t(PackedKey >> 33)};
+    publish(Node, Fields.elements(F), S, A.exportSummary(Summary));
+  }
+}
+
+void SharedSummaryStore::drainInto(DynSumAnalysis &A) const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  for (const auto &[K, Summary] : Map)
+    A.insertSummary(K.Node, A.fieldStacks().make(K.Fields), K.State,
+                    A.internSummary(Summary));
+}

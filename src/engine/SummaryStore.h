@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-mostly cross-thread store of complete PPTA summaries.
+///
+/// A PPTA summary depends only on the PAG and the (node, field-stack,
+/// state) key — never on the querying context or the computing thread —
+/// so every worker of a batch may reuse every other worker's summaries.
+/// Summaries are held in the pool-independent PortableSummary form
+/// (StackIds are private to each worker's StackPool) and re-interned by
+/// the fetching DynSumAnalysis.
+///
+/// The store is append-only within a batch: publish never overwrites
+/// (all writers compute identical summaries for a key), which keeps the
+/// fetch fast path a shared-lock hash lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_ENGINE_SUMMARYSTORE_H
+#define DYNSUM_ENGINE_SUMMARYSTORE_H
+
+#include "analysis/DynSum.h"
+#include "support/Hashing.h"
+
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace dynsum {
+namespace engine {
+
+/// Thread-safe SummaryExchange backed by a hash map under a
+/// shared_mutex.
+class SharedSummaryStore : public analysis::SummaryExchange {
+public:
+  bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+             analysis::RsmState S,
+             analysis::PortableSummary &Out) override;
+
+  void publish(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+               analysis::RsmState S,
+               analysis::PortableSummary Summary) override;
+
+  /// Number of summaries stored.
+  size_t size() const;
+
+  /// Drops every summary.  (Hit accounting lives in the per-worker
+  /// "dynsum.sharedHits" stat, aggregated into BatchStats.SharedHits.)
+  void clear();
+
+  /// Publishes every summary cached in \p A (bulk warm-up, e.g. after
+  /// SummaryIO deserialization into a staging analysis).
+  void seedFrom(const analysis::DynSumAnalysis &A);
+
+  /// Installs every stored summary into \p A's cache (bulk export, e.g.
+  /// before SummaryIO serialization from a staging analysis).
+  void drainInto(analysis::DynSumAnalysis &A) const;
+
+private:
+  struct Key {
+    pag::NodeId Node = 0;
+    std::vector<uint32_t> Fields;
+    analysis::RsmState State = analysis::RsmState::S1;
+
+    friend bool operator==(const Key &A, const Key &B) {
+      return A.Node == B.Node && A.State == B.State && A.Fields == B.Fields;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = hashMix(packPair(K.Node, uint32_t(K.State)));
+      for (uint32_t F : K.Fields)
+        H = hashCombine(H, F);
+      return size_t(H);
+    }
+  };
+
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<Key, analysis::PortableSummary, KeyHash> Map;
+};
+
+} // namespace engine
+} // namespace dynsum
+
+#endif // DYNSUM_ENGINE_SUMMARYSTORE_H

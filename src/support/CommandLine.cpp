@@ -7,6 +7,8 @@
 
 #include "support/CommandLine.h"
 
+#include "support/StringExtras.h"
+
 #include <cstdlib>
 #include <string_view>
 
@@ -15,7 +17,7 @@ using namespace dynsum;
 CommandLine::CommandLine(int Argc, const char *const *Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg(Argv[I]);
-    if (!Arg.starts_with("--")) {
+    if (!startsWith(Arg, "--")) {
       Positional.emplace_back(Arg);
       continue;
     }

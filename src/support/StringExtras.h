@@ -1,0 +1,30 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny string helpers the repo needs pre-C++20 (no
+/// string_view::starts_with/ends_with in C++17).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_STRINGEXTRAS_H
+#define DYNSUM_SUPPORT_STRINGEXTRAS_H
+
+#include <string_view>
+
+namespace dynsum {
+
+/// True when \p S begins with \p Prefix.
+inline bool startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+/// True when \p S ends with \p Suffix.
+inline bool endsWith(std::string_view S, std::string_view Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_STRINGEXTRAS_H

@@ -22,6 +22,7 @@
 #include "ir/Builder.h"
 #include "support/Hashing.h"
 #include "support/Random.h"
+#include "support/StringExtras.h"
 
 #include <algorithm>
 #include <cassert>
@@ -519,8 +520,7 @@ private:
     for (size_t I = 0; I < Callee.Params.size(); ++I)
       Args.push_back(R.pick(Vals));
     // boxput/boxget expect a Box receiver argument first.
-    if (!Args.empty() &&
-        std::string_view(Prog.names().text(Callee.Name)).starts_with("box"))
+    if (!Args.empty() && startsWith(Prog.names().text(Callee.Name), "box"))
       Args[0] = "box";
     B.call(Caller, Dst, qualifiedName(CalleeRank), Args);
     Vals.push_back(Dst);

@@ -179,8 +179,9 @@ TEST_P(GeneratedProgramTest, StaSumDominatesDynSumCache) {
   DynSumAnalysis Dyn(*Built.Graph, Opts);
   for (pag::NodeId N : sampleNodes(59))
     (void)Dyn.query(N);
-  if (!Static.Capped)
+  if (!Static.Capped) {
     EXPECT_LE(Dyn.cacheSize(), Static.NumSummaries);
+  }
   EXPECT_GT(Static.NumSummaries, 0u);
 }
 

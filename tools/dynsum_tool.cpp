@@ -14,14 +14,19 @@
 ///                 [--query=Class.method.var]...  (repeatable flag, or
 ///                                                 free.method.var for
 ///                                                 ownerless methods)
-///                 [--budget=N] [--max-queries=N]
+///                 [--budget=N] [--max-queries=N] [--threads=N]
 ///                 [--stats] [--dump-ir] [--dump-pag]
 ///                 [--save-summaries=path] [--load-summaries=path]
+///
+/// --threads routes queries and clients through the parallel batch
+/// engine (dynsum only; 0 = one worker per hardware thread); summary
+/// save/load then goes through the engine's shared store.
 ///
 /// Examples:
 ///   dynsum prog.mj --client=all
 ///   dynsum prog.ir --analysis=refine --client=nullderef --budget=10000
 ///   dynsum prog.mj --query=Main.main.result --stats
+///   dynsum prog.mj --client=all --threads=8
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +35,7 @@
 #include "analysis/RefinePts.h"
 #include "analysis/SummaryIO.h"
 #include "clients/Client.h"
+#include "engine/QueryScheduler.h"
 #include "frontend/Frontend.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
@@ -40,6 +46,7 @@
 #include "support/CommandLine.h"
 #include "support/OStream.h"
 #include "support/PrettyTable.h"
+#include "support/StringExtras.h"
 
 #include <cctype>
 #include <cstdio>
@@ -62,11 +69,6 @@ bool readFile(const std::string &Path, std::string &Out) {
     Out.append(Chunk, N);
   std::fclose(F);
   return true;
-}
-
-bool endsWith(const std::string &S, const std::string &Suffix) {
-  return S.size() >= Suffix.size() &&
-         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
 
 /// Loads \p Path as MiniJava or textual IR by extension.
@@ -155,8 +157,8 @@ int usage() {
             "norefine] [--resolver=cha|rta|andersen]\n"
             "              [--client=safecast|nullderef|factorym|devirt|all]"
             " [--query=Class.method.var]\n"
-            "              [--budget=N] [--max-queries=N] [--stats]"
-            " [--dump-pag]\n"
+            "              [--budget=N] [--max-queries=N] [--threads=N]"
+            " [--stats] [--dump-pag]\n"
             "              [--save-summaries=path] [--load-summaries=path]\n";
   return 2;
 }
@@ -226,14 +228,37 @@ int main(int argc, char **argv) {
     return usage();
   }
 
+  // The parallel batch engine: shards queries across worker threads
+  // with a shared summary store (dynsum only).
+  std::unique_ptr<engine::QueryScheduler> Scheduler;
+  if (Args.has("threads")) {
+    if (!AsDynSum) {
+      errs() << "error: --threads requires --analysis=dynsum\n";
+      return 1;
+    }
+    int64_t Threads = Args.getInt("threads", 0);
+    if (Threads < 0) {
+      errs() << "error: --threads must be >= 0 (0 = auto)\n";
+      return usage();
+    }
+    engine::EngineOptions EO;
+    EO.NumThreads = unsigned(Threads);
+    EO.Analysis = Opts;
+    Scheduler = std::make_unique<engine::QueryScheduler>(*Built.Graph, EO);
+  }
+
   std::string LoadPath = Args.getString("load-summaries", "");
   if (!LoadPath.empty()) {
     if (!AsDynSum) {
       errs() << "error: --load-summaries requires --analysis=dynsum\n";
       return 1;
     }
-    if (analysis::loadSummariesFile(*AsDynSum, LoadPath))
-      outs() << "loaded " << uint64_t(AsDynSum->cacheSize())
+    bool Loaded = Scheduler ? Scheduler->loadSummaries(LoadPath)
+                            : analysis::loadSummariesFile(*AsDynSum, LoadPath);
+    if (Loaded)
+      outs() << "loaded "
+             << uint64_t(Scheduler ? Scheduler->store().size()
+                                   : AsDynSum->cacheSize())
              << " summaries from " << LoadPath << '\n';
     else
       outs() << "note: could not load summaries from " << LoadPath
@@ -242,24 +267,45 @@ int main(int argc, char **argv) {
 
   int Exit = 0;
 
-  // Individual queries.
-  for (const std::string &Value : Args.getAll("query")) {
+  // Individual queries: resolve the specs, then answer them either as
+  // one engine batch or one at a time.
+  std::vector<std::string> QuerySpecs = Args.getAll("query");
+  std::vector<std::pair<std::string, pag::NodeId>> QueryNodes;
+  for (const std::string &Value : QuerySpecs) {
     pag::NodeId Node = 0;
     if (!findQueryNode(*Prog, *Built.Graph, Value, Node)) {
       Exit = 1;
       continue;
     }
-    analysis::QueryResult R = Analysis->query(Node);
+    QueryNodes.emplace_back(Value, Node);
+  }
+  auto PrintAnswer = [&](const std::string &Value,
+                         const std::vector<ir::AllocId> &Sites,
+                         bool BudgetExceeded, uint64_t Steps) {
     outs() << "pts(" << Value << ") = {";
     bool First = true;
-    for (ir::AllocId A : R.allocSites()) {
+    for (ir::AllocId A : Sites) {
       if (!First)
         outs() << ", ";
       First = false;
       outs() << Prog->describeAlloc(A);
     }
-    outs() << "}" << (R.BudgetExceeded ? " (budget exceeded: partial)" : "")
-           << "  [" << R.Steps << " steps]\n";
+    outs() << "}" << (BudgetExceeded ? " (budget exceeded: partial)" : "")
+           << "  [" << Steps << " steps]\n";
+  };
+  if (Scheduler && !QueryNodes.empty()) {
+    engine::QueryBatch Batch;
+    for (const auto &[Value, Node] : QueryNodes)
+      Batch.add(Node);
+    engine::BatchResult R = Scheduler->run(Batch);
+    for (size_t I = 0; I < QueryNodes.size(); ++I)
+      PrintAnswer(QueryNodes[I].first, R.Outcomes[I].AllocSites,
+                  R.Outcomes[I].BudgetExceeded, R.Outcomes[I].Steps);
+  } else {
+    for (const auto &[Value, Node] : QueryNodes) {
+      analysis::QueryResult R = Analysis->query(Node);
+      PrintAnswer(Value, R.allocSites(), R.BudgetExceeded, R.Steps);
+    }
   }
 
   // Clients.
@@ -290,7 +336,9 @@ int main(int argc, char **argv) {
     for (const auto &C : Selected) {
       std::vector<clients::ClientQuery> Qs =
           C->makeQueries(*Built.Graph, MaxQueries);
-      clients::ClientReport Rep = runClient(*C, *Analysis, Qs);
+      clients::ClientReport Rep =
+          Scheduler ? runClientBatched(*C, *Scheduler, Qs)
+                    : runClient(*C, *Analysis, Qs);
       T.row()
           .cell(Rep.ClientName)
           .cell(Rep.NumQueries)
@@ -309,8 +357,12 @@ int main(int argc, char **argv) {
       errs() << "error: --save-summaries requires --analysis=dynsum\n";
       return 1;
     }
-    if (analysis::saveSummariesFile(*AsDynSum, SavePath))
-      outs() << "saved " << uint64_t(AsDynSum->cacheSize())
+    bool Saved = Scheduler ? Scheduler->saveSummaries(SavePath)
+                           : analysis::saveSummariesFile(*AsDynSum, SavePath);
+    if (Saved)
+      outs() << "saved "
+             << uint64_t(Scheduler ? Scheduler->store().size()
+                                   : AsDynSum->cacheSize())
              << " summaries to " << SavePath << '\n';
     else {
       errs() << "error: cannot write " << SavePath << '\n';
