@@ -7,9 +7,68 @@
 
 #include "Harness.h"
 
+#include <cstdio>
+
 using namespace dynsum;
 using namespace dynsum::bench;
 using namespace dynsum::workload;
+
+namespace {
+
+/// Escapes a string for a double-quoted JSON literal.
+std::string jsonQuote(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+} // namespace
+
+void BenchJson::set(const std::string &Key, const std::string &Value) {
+  Entries.emplace_back(Key, jsonQuote(Value));
+}
+
+void BenchJson::set(const std::string &Key, const char *Value) {
+  set(Key, std::string(Value));
+}
+
+void BenchJson::set(const std::string &Key, double Value) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  Entries.emplace_back(Key, Buf);
+}
+
+void BenchJson::set(const std::string &Key, uint64_t Value) {
+  Entries.emplace_back(Key, std::to_string(Value));
+}
+
+std::string BenchJson::render() const {
+  std::string Out = "{\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    Out += "  " + jsonQuote(Entries[I].first) + ": " + Entries[I].second;
+    if (I + 1 < Entries.size())
+      Out += ",";
+    Out += "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+bool BenchJson::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  std::string Buf = render();
+  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
 
 HarnessOptions HarnessOptions::parse(int Argc, const char *const *Argv) {
   CommandLine CL(Argc, Argv);
@@ -19,6 +78,7 @@ HarnessOptions HarnessOptions::parse(int Argc, const char *const *Argv) {
   O.Seed = uint64_t(CL.getInt("seed", 0));
   O.Threads = unsigned(CL.getInt("threads", int64_t(O.Threads)));
   O.Only = CL.getString("bench", "");
+  O.JsonPath = CL.getString("json", "");
   return O;
 }
 

@@ -31,18 +31,43 @@ struct BenchProgram {
   pag::BuiltPAG Built;
 };
 
+/// Ordered flat JSON object of bench metrics.  Every bench can append
+/// string/number key-value pairs and write them to the path given by
+/// --json=<file>, so perf trajectories land in machine-readable
+/// BENCH_*.json files instead of scraped stdout.
+class BenchJson {
+public:
+  void set(const std::string &Key, const std::string &Value);
+  void set(const std::string &Key, const char *Value);
+  void set(const std::string &Key, double Value);
+  void set(const std::string &Key, uint64_t Value);
+  void set(const std::string &Key, unsigned Value) { set(Key, uint64_t(Value)); }
+
+  /// Renders the object ("{\n  \"k\": v, ...\n}\n").
+  std::string render() const;
+
+  /// Writes render() to \p Path; returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  /// Keys in insertion order with pre-rendered JSON values.
+  std::vector<std::pair<std::string, std::string>> Entries;
+};
+
 /// Harness-wide knobs parsed from the command line:
 ///   --scale=<double>   linear size factor vs the paper (default 1/32)
 ///   --budget=<int>     per-query traversal budget (default 75000)
 ///   --seed=<int>       extra generator seed
 ///   --bench=<name>     restrict to one Table 3 program
 ///   --threads=<int>    batch-engine worker threads (default 4)
+///   --json=<file>      write machine-readable metrics to <file>
 struct HarnessOptions {
   double Scale = 1.0 / 32;
   uint64_t Budget = 75000;
   uint64_t Seed = 0;
   unsigned Threads = 4;
   std::string Only;
+  std::string JsonPath;
 
   static HarnessOptions parse(int Argc, const char *const *Argv);
 

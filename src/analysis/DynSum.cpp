@@ -19,8 +19,8 @@
 #include "support/Debug.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
-#include <deque>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -45,14 +45,23 @@ bool PptaEngine::compute(NodeId V, StackId F, RsmState S, Budget &Bgt,
   Out = &Summary;
   Complete = true;
   Visited.clear();
-  visit(V, F, S);
+  Work.clear();
+  push(V, F, S);
+  // The recursion of the paper's listing is unrolled into an explicit
+  // stack: expansion order differs from call order, but the traversal
+  // is exhaustive under the visited set, so a complete run reaches the
+  // same states, consumes the same budget, and emits the same summary
+  // (as a set).  Incomplete runs are discarded by every caller.
+  while (!Work.empty() && Complete) {
+    Frame Fr = Work.back();
+    Work.pop_back();
+    expand(Fr.Node, Fr.Fields, Fr.State);
+  }
   return Complete;
 }
 
-void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
-  // Lines 1-3: visited check on (v, f, s).
-  if (!Visited.insert(packSummaryKey(V, F, S)).second)
-    return;
+void PptaEngine::expand(NodeId V, StackId F, RsmState S) {
+  // Lines 1-3: the visited check on (v, f, s) happened at push time.
   if (B->exceeded()) {
     Complete = false;
     return;
@@ -62,111 +71,99 @@ void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
 
   if (S == RsmState::S1) {
     // ---- S1: walking a flowsTo-bar path (lines 5-16). ----
-    for (EdgeId EId : Graph.inEdges(V)) {
-      const Edge &E = Graph.edge(EId);
-      switch (E.Kind) {
-      case EdgeKind::New:
-        // Lines 6-10.  o --new--> v.  With an empty field stack the
-        // object is a result; otherwise flip to S2 at v ("new new-bar")
-        // to look for aliases of v.
-        if (!B->consume()) {
-          Complete = false;
-          return;
-        }
-        if (F.isEmpty())
-          Out->Objects.push_back(Graph.allocOf(E.Src));
-        else
-          visit(V, F, RsmState::S2);
-        break;
-      case EdgeKind::Assign:
-        // Lines 11-12.  x --assign--> v: continue backwards at x.
-        if (!B->consume()) {
-          Complete = false;
-          return;
-        }
-        visit(E.Src, F, RsmState::S1);
-        break;
-      case EdgeKind::Load:
-        // Lines 13-14.  base --load(g)--> v (v = base.g): push g and
-        // continue backwards at the base.
-        if (!B->consume()) {
-          Complete = false;
-          return;
-        }
-        // k-limit the pending-field stack: cyclic stores/loads can grow
-        // it without bound (e.g. a circular list).  Pruning the branch
-        // is the same under-approximation as the visited-flag cycle
-        // cutting REFINEPTS inherits from [15]; access paths deeper
-        // than the cap do not occur in realistic code.
-        if (FieldStacks.depth(F) >= MaxFieldDepth) {
-          ++DepthPrunes;
-          break;
-        }
-        visit(E.Src, FieldStacks.push(F, encodeLoadBarField(E.Aux)),
-              RsmState::S1);
-        break;
-      default:
-        break; // global edges terminate PPTA below; stores irrelevant
-      }
-      if (B->exceeded()) {
+    for (EdgeId EId : Graph.inEdgesOfKind(V, EdgeKind::New)) {
+      // Lines 6-10.  o --new--> v.  With an empty field stack the
+      // object is a result; otherwise flip to S2 at v ("new new-bar")
+      // to look for aliases of v.
+      if (!B->consume()) {
         Complete = false;
         return;
       }
+      if (F.isEmpty())
+        Out->Objects.push_back(Graph.allocOf(Graph.edge(EId).Src));
+      else
+        push(V, F, RsmState::S2);
+    }
+    for (EdgeId EId : Graph.inEdgesOfKind(V, EdgeKind::Assign)) {
+      // Lines 11-12.  x --assign--> v: continue backwards at x.
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      push(Graph.edge(EId).Src, F, RsmState::S1);
+    }
+    for (EdgeId EId : Graph.inEdgesOfKind(V, EdgeKind::Load)) {
+      // Lines 13-14.  base --load(g)--> v (v = base.g): push g and
+      // continue backwards at the base.
+      const Edge &E = Graph.edge(EId);
+      if (!B->consume()) {
+        Complete = false;
+        return;
+      }
+      // k-limit the pending-field stack: cyclic stores/loads can grow
+      // it without bound (e.g. a circular list).  Pruning the branch
+      // is the same under-approximation as the visited-flag cycle
+      // cutting REFINEPTS inherits from [15]; access paths deeper
+      // than the cap do not occur in realistic code.
+      if (FieldStacks.depth(F) >= MaxFieldDepth) {
+        ++DepthPrunes;
+        continue;
+      }
+      push(E.Src, FieldStacks.push(F, encodeLoadBarField(E.Aux)),
+           RsmState::S1);
+    }
+    if (B->exceeded()) {
+      Complete = false;
+      return;
     }
     // Lines 15-16: a global edge flows into v — record the boundary
-    // state for Algorithm 4.
+    // state for Algorithm 4.  (Stores into v are irrelevant backwards.)
     if (Nd.HasGlobalIn)
       Out->Tuples.push_back(PptaTuple{V, F, RsmState::S1});
     return;
   }
 
   // ---- S2: walking a flowsTo path (lines 17-29). ----
-  for (EdgeId EId : Graph.outEdges(V)) {
-    const Edge &E = Graph.edge(EId);
-    switch (E.Kind) {
-    case EdgeKind::Load:
+  if (!F.isEmpty()) {
+    uint32_t Top = FieldStacks.peek(F);
+    for (EdgeId EId : Graph.outEdgesOfKind(V, EdgeKind::Load)) {
       // Lines 18-20.  v --load(g)--> x (x = v.g): the tracked object
       // sits in v's field g; the load transfers it to x.  Only a field
       // pushed by a *store* (the object really went into .g) may be
       // popped here; see encodeLoadBarField's comment.
-      if (F.isEmpty() || FieldStacks.peek(F) != encodeStoreField(E.Aux))
-        break;
+      const Edge &E = Graph.edge(EId);
+      if (Top != encodeStoreField(E.Aux))
+        continue;
       if (!B->consume()) {
         Complete = false;
         return;
       }
-      visit(E.Dst, FieldStacks.pop(F), RsmState::S2);
-      break;
-    case EdgeKind::Assign:
-      // Lines 21-22.  v --assign--> x: flow forwards.
-      if (!B->consume()) {
-        Complete = false;
-        return;
-      }
-      visit(E.Dst, F, RsmState::S2);
-      break;
-    case EdgeKind::Store:
-      // Lines 23-24.  v --store(g)--> base (base.g = v): the object is
-      // stored into base.g; push g and look for aliases of the base by
-      // walking flowsTo-bar (S1) from it.
-      if (!B->consume()) {
-        Complete = false;
-        return;
-      }
-      if (FieldStacks.depth(F) >= MaxFieldDepth) {
-        ++DepthPrunes; // see the S1 load case for the rationale
-        break;
-      }
-      visit(E.Dst, FieldStacks.push(F, encodeStoreField(E.Aux)),
-            RsmState::S1);
-      break;
-    default:
-      break;
+      push(E.Dst, FieldStacks.pop(F), RsmState::S2);
     }
-    if (B->exceeded()) {
+  }
+  for (EdgeId EId : Graph.outEdgesOfKind(V, EdgeKind::Assign)) {
+    // Lines 21-22.  v --assign--> x: flow forwards.
+    if (!B->consume()) {
       Complete = false;
       return;
     }
+    push(Graph.edge(EId).Dst, F, RsmState::S2);
+  }
+  for (EdgeId EId : Graph.outEdgesOfKind(V, EdgeKind::Store)) {
+    // Lines 23-24.  v --store(g)--> base (base.g = v): the object is
+    // stored into base.g; push g and look for aliases of the base by
+    // walking flowsTo-bar (S1) from it.
+    const Edge &E = Graph.edge(EId);
+    if (!B->consume()) {
+      Complete = false;
+      return;
+    }
+    if (FieldStacks.depth(F) >= MaxFieldDepth) {
+      ++DepthPrunes; // see the S1 load case for the rationale
+      continue;
+    }
+    push(E.Dst, FieldStacks.push(F, encodeStoreField(E.Aux)),
+         RsmState::S1);
   }
   // Lines 25-27.  value --store(g)--> v (v.g = value): v is the base of
   // a store matching the pending field g; the tracked alias's field g
@@ -174,21 +171,21 @@ void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
   // Only a field pushed by a load-bar (an unresolved ".g read") may be
   // popped by a store-bar; see encodeLoadBarField's comment.
   if (!F.isEmpty()) {
-    for (EdgeId EId : Graph.inEdges(V)) {
+    uint32_t Top = FieldStacks.peek(F);
+    for (EdgeId EId : Graph.inEdgesOfKind(V, EdgeKind::Store)) {
       const Edge &E = Graph.edge(EId);
-      if (E.Kind != EdgeKind::Store ||
-          encodeLoadBarField(E.Aux) != FieldStacks.peek(F))
+      if (encodeLoadBarField(E.Aux) != Top)
         continue;
       if (!B->consume()) {
         Complete = false;
         return;
       }
-      visit(E.Src, FieldStacks.pop(F), RsmState::S1);
-      if (B->exceeded()) {
-        Complete = false;
-        return;
-      }
+      push(E.Src, FieldStacks.pop(F), RsmState::S1);
     }
+  }
+  if (B->exceeded()) {
+    Complete = false;
+    return;
   }
   // Lines 28-29: a global edge flows out of v — boundary state.
   if (Nd.HasGlobalOut)
@@ -201,21 +198,37 @@ void PptaEngine::visit(NodeId V, StackId F, RsmState S) {
 
 PptaSummary DynSumAnalysis::internSummary(const PortableSummary &P) {
   PptaSummary Out;
-  Out.Objects = P.Objects;
+  Out.Objects.reserve(P.Objects.size());
+  for (ir::AllocId A : P.Objects)
+    Out.Objects.push_back(A);
   Out.Tuples.reserve(P.Tuples.size());
-  for (const PortableTuple &T : P.Tuples)
-    Out.Tuples.push_back(
-        PptaTuple{T.Node, FieldStacks.make(T.Fields), T.State});
+  const uint32_t *Run = P.FieldData.data();
+  for (const PortableSummary::Tuple &T : P.Tuples) {
+    StackId F = StackPool::empty();
+    for (uint32_t I = 0; I < T.FieldsLen; ++I)
+      F = FieldStacks.push(F, Run[I]);
+    Run += T.FieldsLen;
+    Out.Tuples.push_back(PptaTuple{T.Node, F, T.State});
+  }
   return Out;
 }
 
 PortableSummary DynSumAnalysis::exportSummary(const PptaSummary &S) const {
   PortableSummary Out;
-  Out.Objects = S.Objects;
+  Out.Objects.assign(S.Objects.begin(), S.Objects.end());
   Out.Tuples.reserve(S.Tuples.size());
-  for (const PptaTuple &T : S.Tuples)
-    Out.Tuples.push_back(
-        PortableTuple{T.Node, FieldStacks.elements(T.Fields), T.State});
+  for (const PptaTuple &T : S.Tuples) {
+    uint32_t Depth = FieldStacks.depth(T.Fields);
+    Out.Tuples.push_back(PortableSummary::Tuple{T.Node, T.State, Depth});
+    // Append the run bottom-to-top by writing backwards from the top.
+    size_t Start = Out.FieldData.size();
+    Out.FieldData.resize(Start + Depth);
+    StackId Cur = T.Fields;
+    for (size_t I = Depth; I > 0; --I) {
+      Out.FieldData[Start + I - 1] = FieldStacks.peek(Cur);
+      Cur = FieldStacks.pop(Cur);
+    }
+  }
   return Out;
 }
 
@@ -236,6 +249,10 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
     return &TrivialSummaries.emplace(Key, std::move(Trivial)).first->second;
   }
 
+  // Spelled-out field stack for the exchange round trip; built once and
+  // reused by the publish below (elements() allocates for non-empty
+  // stacks, and this path runs once per cold summary).
+  std::vector<uint32_t> FieldElems;
   if (Opts.EnableCache) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
@@ -246,8 +263,9 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
     // Local miss: another instance on the same PAG may have published
     // this summary already (summaries are context-free, hence shareable).
     if (Exchange) {
+      FieldElems = FieldStacks.elements(F);
       PortableSummary Shared;
-      if (Exchange->fetch(U, FieldStacks.elements(F), S, Shared)) {
+      if (Exchange->fetch(U, FieldElems, S, Shared)) {
         UsedCache = true;
         Stats.add("dynsum.sharedHits");
         return &Cache.emplace(Key, internSummary(Shared)).first->second;
@@ -255,14 +273,17 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
     }
   }
 
-  // Lines 8-9: compute and (when complete) memoize the summary.
+  // Lines 8-9: compute and (when complete) memoize the summary.  The
+  // summary is shrunk on publish: it lives in a long-lived cache, and
+  // growth slack across hundreds of thousands of entries adds up.
   PptaSummary Fresh;
   bool IsComplete = Engine.compute(U, F, S, B, Fresh);
   Stats.add("dynsum.pptaComputed");
   if (!IsComplete)
     return nullptr;
+  Fresh.shrinkToFit();
   if (Opts.EnableCache && Exchange)
-    Exchange->publish(U, FieldStacks.elements(F), S, exportSummary(Fresh));
+    Exchange->publish(U, std::move(FieldElems), S, exportSummary(Fresh));
   if (!Opts.EnableCache) {
     // Uncached mode (ablation): stash in the trivial map keyed the same
     // way so the pointer stays valid for this query.
@@ -280,29 +301,26 @@ QueryResult DynSumAnalysis::query(NodeId V,
 
   Budget B(Opts.BudgetPerQuery);
   QueryResult Result;
-  std::unordered_set<uint64_t> Pts; // packed (alloc, ctx)
 
-  // Worklist de-dup: summary key -> context ids already enqueued.
-  std::unordered_map<uint64_t, std::unordered_set<uint32_t>> Enqueued;
-  struct Item {
-    NodeId Node;
-    StackId Fields;
-    RsmState State;
-    StackId Ctx;
-  };
-  std::deque<Item> Work;
+  // Per-query scratch is reused across queries: the flat result set and
+  // the worklist stack keep their storage, the de-dup map its buckets.
+  QueryPts.clear();
+  Enqueued.clear();
+  Work.clear();
+  if (Work.capacity() == 0)
+    Work.reserve(std::min<size_t>(Graph.numNodes() + 1, 4096));
 
   auto Propagate = [&](NodeId N, StackId F, RsmState S, StackId C) {
-    if (Enqueued[packSummaryKey(N, F, S)].insert(C.Id).second)
-      Work.push_back(Item{N, F, S, C});
+    if (Enqueued.insert(packSummaryKey(N, F, S), C.Id))
+      Work.push_back(WorkItem{N, F, S, C});
   };
 
   // Line 2: initial state (v, empty fields, S1, empty context).
   Propagate(V, StackPool::empty(), RsmState::S1, StackPool::empty());
 
   while (!Work.empty() && !B.exceeded()) {
-    Item It = Work.front();
-    Work.pop_front();
+    WorkItem It = Work.back();
+    Work.pop_back();
     Stats.add("dynsum.worklistPops");
 
     bool UsedCache = false;
@@ -315,82 +333,77 @@ QueryResult DynSumAnalysis::query(NodeId V,
 
     // Lines 10-11: objects found by the summary materialize under the
     // *current* context — this is exactly why summaries are reusable
-    // across contexts.
+    // across contexts.  QueryPts only dedups; targets are collected as
+    // they first appear, so a query's cost tracks its own result size.
     for (ir::AllocId A : Summary->Objects)
-      Pts.insert(packPair(A, It.Ctx.Id));
+      if (QueryPts.insert(packPair(A, It.Ctx.Id)))
+        Result.Targets.push_back(PtsTarget{A, It.Ctx});
 
-    // Lines 12-28: cross global edges from every boundary tuple.
+    // Lines 12-28: cross global edges from every boundary tuple, one
+    // kind-partitioned CSR span per rule.
     for (const PptaTuple &T : Summary->Tuples) {
       if (T.State == RsmState::S1) {
-        for (EdgeId EId : Graph.inEdges(T.Node)) {
+        for (EdgeId EId : Graph.inEdgesOfKind(T.Node, EdgeKind::Exit)) {
+          // Lines 14-15: backwards into the callee pushes the site.
           const Edge &E = Graph.edge(EId);
-          switch (E.Kind) {
-          case EdgeKind::Exit:
-            // Lines 14-15: backwards into the callee pushes the site.
-            if (!B.consume())
-              break;
-            Propagate(E.Src, T.Fields, RsmState::S1,
-                      E.ContextFree ? It.Ctx : Contexts.push(It.Ctx, E.Aux));
+          if (!B.consume())
             break;
-          case EdgeKind::Entry:
-            // Lines 16-18: backwards to the caller pops on match or
-            // from the unbalanced empty stack.
-            if (E.ContextFree) {
-              if (B.consume())
-                Propagate(E.Src, T.Fields, RsmState::S1, It.Ctx);
-            } else if (It.Ctx.isEmpty()) {
-              if (B.consume())
-                Propagate(E.Src, T.Fields, RsmState::S1,
-                          StackPool::empty());
-            } else if (Contexts.peek(It.Ctx) == E.Aux) {
-              if (B.consume())
-                Propagate(E.Src, T.Fields, RsmState::S1,
-                          Contexts.pop(It.Ctx));
-            }
-            break;
-          case EdgeKind::AssignGlobal:
-            // Lines 19-20: globals clear the context.
+          Propagate(E.Src, T.Fields, RsmState::S1,
+                    E.ContextFree ? It.Ctx : Contexts.push(It.Ctx, E.Aux));
+        }
+        for (EdgeId EId : Graph.inEdgesOfKind(T.Node, EdgeKind::Entry)) {
+          // Lines 16-18: backwards to the caller pops on match or
+          // from the unbalanced empty stack.
+          const Edge &E = Graph.edge(EId);
+          if (E.ContextFree) {
+            if (B.consume())
+              Propagate(E.Src, T.Fields, RsmState::S1, It.Ctx);
+          } else if (It.Ctx.isEmpty()) {
             if (B.consume())
               Propagate(E.Src, T.Fields, RsmState::S1, StackPool::empty());
-            break;
-          default:
-            break;
+          } else if (Contexts.peek(It.Ctx) == E.Aux) {
+            if (B.consume())
+              Propagate(E.Src, T.Fields, RsmState::S1,
+                        Contexts.pop(It.Ctx));
           }
         }
+        for (EdgeId EId :
+             Graph.inEdgesOfKind(T.Node, EdgeKind::AssignGlobal)) {
+          // Lines 19-20: globals clear the context.
+          if (B.consume())
+            Propagate(Graph.edge(EId).Src, T.Fields, RsmState::S1,
+                      StackPool::empty());
+        }
       } else {
-        for (EdgeId EId : Graph.outEdges(T.Node)) {
+        for (EdgeId EId : Graph.outEdgesOfKind(T.Node, EdgeKind::Exit)) {
+          // Lines 22-24: forwards to the caller pops on match.
           const Edge &E = Graph.edge(EId);
-          switch (E.Kind) {
-          case EdgeKind::Exit:
-            // Lines 22-24: forwards to the caller pops on match.
-            if (E.ContextFree) {
-              if (B.consume())
-                Propagate(E.Dst, T.Fields, RsmState::S2, It.Ctx);
-            } else if (It.Ctx.isEmpty()) {
-              if (B.consume())
-                Propagate(E.Dst, T.Fields, RsmState::S2,
-                          StackPool::empty());
-            } else if (Contexts.peek(It.Ctx) == E.Aux) {
-              if (B.consume())
-                Propagate(E.Dst, T.Fields, RsmState::S2,
-                          Contexts.pop(It.Ctx));
-            }
-            break;
-          case EdgeKind::Entry:
-            // Lines 25-26: forwards into the callee pushes the site.
+          if (E.ContextFree) {
             if (B.consume())
-              Propagate(E.Dst, T.Fields, RsmState::S2,
-                        E.ContextFree ? It.Ctx
-                                      : Contexts.push(It.Ctx, E.Aux));
-            break;
-          case EdgeKind::AssignGlobal:
-            // Lines 27-28.
+              Propagate(E.Dst, T.Fields, RsmState::S2, It.Ctx);
+          } else if (It.Ctx.isEmpty()) {
             if (B.consume())
               Propagate(E.Dst, T.Fields, RsmState::S2, StackPool::empty());
-            break;
-          default:
-            break;
+          } else if (Contexts.peek(It.Ctx) == E.Aux) {
+            if (B.consume())
+              Propagate(E.Dst, T.Fields, RsmState::S2,
+                        Contexts.pop(It.Ctx));
           }
+        }
+        for (EdgeId EId : Graph.outEdgesOfKind(T.Node, EdgeKind::Entry)) {
+          // Lines 25-26: forwards into the callee pushes the site.
+          const Edge &E = Graph.edge(EId);
+          if (B.consume())
+            Propagate(E.Dst, T.Fields, RsmState::S2,
+                      E.ContextFree ? It.Ctx
+                                    : Contexts.push(It.Ctx, E.Aux));
+        }
+        for (EdgeId EId :
+             Graph.outEdgesOfKind(T.Node, EdgeKind::AssignGlobal)) {
+          // Lines 27-28.
+          if (B.consume())
+            Propagate(Graph.edge(EId).Dst, T.Fields, RsmState::S2,
+                      StackPool::empty());
         }
       }
       if (B.exceeded())
@@ -401,10 +414,6 @@ QueryResult DynSumAnalysis::query(NodeId V,
   if (B.exceeded())
     Result.BudgetExceeded = true;
   Result.Steps = B.used();
-  Result.Targets.reserve(Pts.size());
-  for (uint64_t Packed : Pts)
-    Result.Targets.push_back(
-        PtsTarget{ir::AllocId(Packed >> 32), StackId{uint32_t(Packed)}});
   Result.canonicalize();
   TrivialSummaries.clear(); // uncached-mode stash is per-query only
   return Result;

@@ -19,7 +19,9 @@
 #define DYNSUM_ANALYSIS_DYNSUM_H
 
 #include "analysis/DemandAnalysis.h"
+#include "support/FlatSet.h"
 #include "support/InternedStack.h"
+#include "support/SmallVector.h"
 
 #include <unordered_map>
 #include <unordered_set>
@@ -42,34 +44,48 @@ struct PptaTuple {
   RsmState State = RsmState::S1;
 };
 
-/// The dynamic summary for one (node, field-stack, state) key.
+/// The dynamic summary for one (node, field-stack, state) key.  Most
+/// summaries hold only a handful of entries, and caches hold hundreds
+/// of thousands of summaries, so both lists are small-size-optimized:
+/// up to 4 entries live inline with no heap allocation at all.
 struct PptaSummary {
   /// Objects whose new edge was reached with an empty field stack;
   /// their context is the *querying* context (supplied by Algorithm 4).
-  std::vector<ir::AllocId> Objects;
+  SmallVector<ir::AllocId, 4> Objects;
   /// States at method-boundary nodes (incident to global edges) where
   /// Algorithm 4 must take over.
-  std::vector<PptaTuple> Tuples;
+  SmallVector<PptaTuple, 4> Tuples;
+
+  /// Releases growth slack before the summary enters a long-lived cache.
+  void shrinkToFit() {
+    Objects.shrinkToFit();
+    Tuples.shrinkToFit();
+  }
 };
 
 /// Packs a summary key into 64 bits: bit 0 = state, bits 1..32 = node,
 /// bits 33..63 = field-stack id (field stacks stay well below 2^31).
 uint64_t packSummaryKey(pag::NodeId Node, StackId Fields, RsmState S);
 
-/// A PptaTuple with the field stack spelled out bottom-to-top instead of
-/// as a StackId.  StackIds only mean something inside the owning
-/// instance's StackPool; spelling the elements out makes a summary
-/// portable across instances (and across threads — see SummaryExchange).
-struct PortableTuple {
-  pag::NodeId Node = 0;
-  std::vector<uint32_t> Fields;
-  RsmState State = RsmState::S1;
-};
-
-/// A PptaSummary in pool-independent form.
+/// A PptaSummary in pool-independent form.  StackIds only mean
+/// something inside the owning instance's StackPool, so tuple field
+/// stacks are spelled out — flattened into one shared element array
+/// (bottom-to-top runs, one per tuple, in tuple order) so converting
+/// and copying a summary costs at most three allocations however many
+/// tuples it carries.  This is the shape that crosses threads (see
+/// SummaryExchange).
 struct PortableSummary {
+  /// One boundary tuple: its field run is the next \p FieldsLen
+  /// elements of FieldData.
+  struct Tuple {
+    pag::NodeId Node = 0;
+    RsmState State = RsmState::S1;
+    uint32_t FieldsLen = 0;
+  };
+
   std::vector<ir::AllocId> Objects;
-  std::vector<PortableTuple> Tuples;
+  std::vector<Tuple> Tuples;
+  std::vector<uint32_t> FieldData;
 };
 
 /// Cross-instance exchange of *complete* PPTA summaries.  A summary is a
@@ -85,12 +101,15 @@ public:
   virtual ~SummaryExchange();
 
   /// Looks up the summary for (\p Node, \p Fields bottom-to-top, \p S);
-  /// fills \p Out and returns true on a hit.
+  /// fills \p Out and returns true on a hit.  Misses are the hot case
+  /// during a cold batch: implementations must not allocate on a miss.
   virtual bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
                      RsmState S, PortableSummary &Out) = 0;
 
   /// Offers a freshly computed complete summary for reuse by others.
-  virtual void publish(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+  /// \p Fields is taken by value so callers can move a freshly built
+  /// vector straight into the store.
+  virtual void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
                        RsmState S, PortableSummary Summary) = 0;
 };
 
@@ -107,6 +126,13 @@ inline ir::FieldId decodeField(uint32_t Encoded) { return Encoded >> 1; }
 
 /// The reusable PPTA engine (Algorithm 3).  Shared by DYNSUM and by the
 /// STASUM static summary closure.
+///
+/// The traversal is an explicit worklist over (node, field-stack,
+/// state) frames — no recursion, so arbitrarily deep assign chains
+/// cannot overflow the call stack — with a flat open-addressing
+/// visited set that is epoch-cleared (not freed) between compute()
+/// calls.  Edge iteration uses the PAG's kind-partitioned CSR spans,
+/// one contiguous run per transition rule.
 class PptaEngine {
 public:
   PptaEngine(const pag::PAG &G, StackPool &FieldStacks,
@@ -124,18 +150,36 @@ public:
   uint64_t depthPrunes() const { return DepthPrunes; }
 
 private:
-  void visit(pag::NodeId V, StackId F, RsmState S);
+  /// One pending traversal state.
+  struct Frame {
+    pag::NodeId Node;
+    StackId Fields;
+    RsmState State;
+  };
+
+  /// Expands one frame: applies every Algorithm 3 rule at (V, F, S),
+  /// pushing successor states not yet visited.
+  void expand(pag::NodeId V, StackId F, RsmState S);
+
+  /// Pushes (N, F, S) unless already visited this compute().
+  void push(pag::NodeId N, StackId F, RsmState S) {
+    if (Visited.insert(packSummaryKey(N, F, S)))
+      Work.push_back(Frame{N, F, S});
+  }
 
   const pag::PAG &Graph;
   StackPool &FieldStacks;
   uint32_t MaxFieldDepth;
 
-  // Per-compute() state.
+  // Per-compute() state.  Work and Visited keep their storage across
+  // calls (Visited clears by epoch bump); a summary computation never
+  // allocates on the steady state.
   Budget *B = nullptr;
   PptaSummary *Out = nullptr;
   bool Complete = true;
   uint64_t DepthPrunes = 0;
-  std::unordered_set<uint64_t> Visited;
+  std::vector<Frame> Work;
+  FlatU64Set Visited;
 };
 
 /// Algorithm 4 plus the summary cache.
@@ -214,11 +258,27 @@ private:
   const PptaSummary *getSummary(pag::NodeId U, StackId F, RsmState S,
                                 Budget &B, bool &UsedCache);
 
+  /// One pending Algorithm 4 state: a summary key plus the RRP context
+  /// under which its boundary tuples are crossed.
+  struct WorkItem {
+    pag::NodeId Node;
+    StackId Fields;
+    RsmState State;
+    StackId Ctx;
+  };
+
   StackPool FieldStacks;
   StackPool Contexts;
   PptaEngine Engine;
   SummaryExchange *Exchange = nullptr;
   std::unordered_map<uint64_t, PptaSummary> Cache;
+  /// Per-query scratch, reused across queries so the steady-state query
+  /// path does not allocate: the vector-backed worklist stack, the
+  /// packed (alloc, ctx) result set, and the flat worklist de-dup set
+  /// over (summary key, context) pairs.
+  std::vector<WorkItem> Work;
+  FlatU64Set QueryPts;
+  FlatPairSet Enqueued;
   /// Summaries for boundary nodes without local edges (the Section 4.3
   /// shortcut) materialized once; not counted as real summaries.
   std::unordered_map<uint64_t, PptaSummary> TrivialSummaries;

@@ -177,10 +177,11 @@ RefinePtsAnalysis::ObjSet RefinePtsAnalysis::sbPointsTo(NodeId V, StackId Ctx,
         if (B.exceeded())
           break;
         // Stores q.f = p with q == R.Node: continue from the stored
-        // value under the alias's context (line 24).
-        for (EdgeId SId : Graph.inEdges(R.Node)) {
+        // value under the alias's context (line 24).  The CSR kind
+        // partition hands us exactly the store edges.
+        for (EdgeId SId : Graph.inEdgesOfKind(R.Node, EdgeKind::Store)) {
           const Edge &SE = Graph.edge(SId);
-          if (SE.Kind != EdgeKind::Store || SE.Aux != F)
+          if (SE.Aux != F)
             continue;
           if (!B.consume())
             break;

@@ -9,8 +9,8 @@
 
 #include "support/InternedStack.h"
 
-#include <deque>
 #include <unordered_set>
+#include <vector>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -25,7 +25,10 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
 
   std::unordered_set<uint64_t> Seen; // all keys ever enqueued
   std::unordered_set<uint64_t> NodeStates; // keys projected to (node, state)
-  std::deque<uint64_t> Work;
+  // Vector-backed stack (LIFO order is fine: the closure is exhaustive
+  // under Seen); sized for the boundary-node seeding pass up front.
+  std::vector<uint64_t> Work;
+  Work.reserve(G.numNodes() / 4 + 16);
   // Key decoding mirrors packSummaryKey.
   auto Push = [&](NodeId N, StackId F, RsmState S) {
     uint64_t Key = packSummaryKey(N, F, S);
@@ -48,8 +51,8 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
       Result.Capped = true;
       break;
     }
-    uint64_t Key = Work.front();
-    Work.pop_front();
+    uint64_t Key = Work.back();
+    Work.pop_back();
     NodeId N = NodeId((Key >> 1) & 0xffffffffu);
     StackId F{uint32_t(Key >> 33)};
     RsmState S = (Key & 1) ? RsmState::S2 : RsmState::S1;
@@ -65,21 +68,18 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
 
     // Close over every global edge (context-insensitively: a static
     // summary must serve all contexts, so no stack filtering applies).
+    // The three global kinds are contiguous CSR spans per node.
+    constexpr EdgeKind GlobalKinds[] = {EdgeKind::AssignGlobal,
+                                        EdgeKind::Entry, EdgeKind::Exit};
     for (const PptaTuple &T : Summary.Tuples) {
       if (T.State == RsmState::S1) {
-        for (EdgeId EId : G.inEdges(T.Node)) {
-          const Edge &E = G.edge(EId);
-          if (E.Kind == EdgeKind::Exit || E.Kind == EdgeKind::Entry ||
-              E.Kind == EdgeKind::AssignGlobal)
-            Push(E.Src, T.Fields, RsmState::S1);
-        }
+        for (EdgeKind K : GlobalKinds)
+          for (EdgeId EId : G.inEdgesOfKind(T.Node, K))
+            Push(G.edge(EId).Src, T.Fields, RsmState::S1);
       } else {
-        for (EdgeId EId : G.outEdges(T.Node)) {
-          const Edge &E = G.edge(EId);
-          if (E.Kind == EdgeKind::Exit || E.Kind == EdgeKind::Entry ||
-              E.Kind == EdgeKind::AssignGlobal)
-            Push(E.Dst, T.Fields, RsmState::S2);
-        }
+        for (EdgeKind K : GlobalKinds)
+          for (EdgeId EId : G.outEdgesOfKind(T.Node, K))
+            Push(G.edge(EId).Dst, T.Fields, RsmState::S2);
       }
     }
   }

@@ -16,32 +16,64 @@ using namespace dynsum::engine;
 bool SharedSummaryStore::fetch(pag::NodeId Node,
                                const std::vector<uint32_t> &Fields,
                                RsmState S, PortableSummary &Out) {
-  Key K{Node, Fields, S};
+  uint64_t D = digest(Node, Fields, S);
   std::shared_lock<std::shared_mutex> Lock(Mutex);
-  auto It = Map.find(K);
+  auto It = Map.find(D);
   if (It == Map.end())
     return false;
-  Out = It->second;
-  return true;
+  if (matches(It->second, Node, Fields, S)) {
+    Out = It->second.Summary;
+    return true;
+  }
+  for (const Entry &E : Overflow) {
+    if (matches(E, Node, Fields, S)) {
+      Out = E.Summary;
+      return true;
+    }
+  }
+  return false;
 }
 
 void SharedSummaryStore::publish(pag::NodeId Node,
-                                 const std::vector<uint32_t> &Fields,
-                                 RsmState S, PortableSummary Summary) {
-  Key K{Node, Fields, S};
+                                 std::vector<uint32_t> Fields, RsmState S,
+                                 PortableSummary Summary) {
+  uint64_t D = digest(Node, Fields, S);
+  // Trim growth slack outside the lock: the store holds summaries for
+  // the lifetime of the scheduler, and every worker publishes, so slack
+  // would accumulate across threads and batches.
+  Summary.Objects.shrink_to_fit();
+  Summary.Tuples.shrink_to_fit();
+  Summary.FieldData.shrink_to_fit();
   std::unique_lock<std::shared_mutex> Lock(Mutex);
-  // First writer wins; every writer computes the same summary for a key.
-  Map.emplace(std::move(K), std::move(Summary));
+  if (Map.empty())
+    Map.reserve(1024); // skip the early rehash cascade of a cold batch
+  auto It = Map.find(D);
+  if (It == Map.end()) {
+    Map.emplace(D, Entry{Node, S, std::move(Fields), std::move(Summary)});
+    ++Count;
+    return;
+  }
+  // Digest taken.  First writer wins for the same key; a different key
+  // with the same digest spills into the overflow list.
+  if (matches(It->second, Node, Fields, S))
+    return;
+  for (const Entry &E : Overflow)
+    if (matches(E, Node, Fields, S))
+      return;
+  Overflow.push_back(Entry{Node, S, std::move(Fields), std::move(Summary)});
+  ++Count;
 }
 
 size_t SharedSummaryStore::size() const {
   std::shared_lock<std::shared_mutex> Lock(Mutex);
-  return Map.size();
+  return Count;
 }
 
 void SharedSummaryStore::clear() {
   std::unique_lock<std::shared_mutex> Lock(Mutex);
   Map.clear();
+  Overflow.clear();
+  Count = 0;
 }
 
 void SharedSummaryStore::seedFrom(const DynSumAnalysis &A) {
@@ -58,7 +90,14 @@ void SharedSummaryStore::seedFrom(const DynSumAnalysis &A) {
 
 void SharedSummaryStore::drainInto(DynSumAnalysis &A) const {
   std::shared_lock<std::shared_mutex> Lock(Mutex);
-  for (const auto &[K, Summary] : Map)
-    A.insertSummary(K.Node, A.fieldStacks().make(K.Fields), K.State,
-                    A.internSummary(Summary));
+  auto Install = [&](const Entry &E) {
+    A.insertSummary(E.Node, A.fieldStacks().make(E.Fields), E.State,
+                    A.internSummary(E.Summary));
+  };
+  for (const auto &[D, E] : Map) {
+    (void)D;
+    Install(E);
+  }
+  for (const Entry &E : Overflow)
+    Install(E);
 }

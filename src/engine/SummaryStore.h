@@ -10,9 +10,16 @@
 /// (StackIds are private to each worker's StackPool) and re-interned by
 /// the fetching DynSumAnalysis.
 ///
+/// Layout: buckets are keyed by a 64-bit digest of (node, state,
+/// fields), computed by streaming over the key components without
+/// materializing a key object — the fetch-miss path (every cold-batch
+/// summary computation probes once before computing) is a hash, a
+/// shared-lock acquire and one table probe, with zero allocation.
+/// Digest collisions are resolved by exact comparison inside the
+/// bucket.
+///
 /// The store is append-only within a batch: publish never overwrites
-/// (all writers compute identical summaries for a key), which keeps the
-/// fetch fast path a shared-lock hash lookup.
+/// (all writers compute identical summaries for a key).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,15 +35,15 @@
 namespace dynsum {
 namespace engine {
 
-/// Thread-safe SummaryExchange backed by a hash map under a
-/// shared_mutex.
+/// Thread-safe SummaryExchange backed by a digest-keyed hash map under
+/// a shared_mutex.
 class SharedSummaryStore : public analysis::SummaryExchange {
 public:
   bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
              analysis::RsmState S,
              analysis::PortableSummary &Out) override;
 
-  void publish(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+  void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
                analysis::RsmState S,
                analysis::PortableSummary Summary) override;
 
@@ -56,27 +63,36 @@ public:
   void drainInto(analysis::DynSumAnalysis &A) const;
 
 private:
-  struct Key {
+  /// One stored summary with the exact key for collision resolution.
+  struct Entry {
     pag::NodeId Node = 0;
-    std::vector<uint32_t> Fields;
     analysis::RsmState State = analysis::RsmState::S1;
-
-    friend bool operator==(const Key &A, const Key &B) {
-      return A.Node == B.Node && A.State == B.State && A.Fields == B.Fields;
-    }
+    std::vector<uint32_t> Fields;
+    analysis::PortableSummary Summary;
   };
 
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = hashMix(packPair(K.Node, uint32_t(K.State)));
-      for (uint32_t F : K.Fields)
-        H = hashCombine(H, F);
-      return size_t(H);
-    }
-  };
+  static uint64_t digest(pag::NodeId Node,
+                         const std::vector<uint32_t> &Fields,
+                         analysis::RsmState S) {
+    uint64_t H = hashMix(packPair(Node, uint32_t(S)));
+    for (uint32_t F : Fields)
+      H = hashCombine(H, F);
+    return H;
+  }
+
+  static bool matches(const Entry &E, pag::NodeId Node,
+                      const std::vector<uint32_t> &Fields,
+                      analysis::RsmState S) {
+    return E.Node == Node && E.State == S && E.Fields == Fields;
+  }
 
   mutable std::shared_mutex Mutex;
-  std::unordered_map<Key, analysis::PortableSummary, KeyHash> Map;
+  /// Digest -> its (almost always unique) entry.  The rare digest
+  /// collision spills into Overflow, scanned only after a digest hit
+  /// with a key mismatch.
+  std::unordered_map<uint64_t, Entry> Map;
+  std::vector<Entry> Overflow;
+  size_t Count = 0;
 };
 
 } // namespace engine

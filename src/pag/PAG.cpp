@@ -74,10 +74,14 @@ NodeId PAG::addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method) {
 void PAG::reset() {
   Nodes.clear();
   Edges.clear();
-  In.clear();
-  Out.clear();
-  FieldStores.clear();
-  FieldLoads.clear();
+  InFlat.clear();
+  OutFlat.clear();
+  InOff.clear();
+  OutOff.clear();
+  FieldStoreFlat.clear();
+  FieldLoadFlat.clear();
+  FieldStoreOff.clear();
+  FieldLoadOff.clear();
   VarToNode.clear();
   AllocToNode.clear();
   Finalized = false;
@@ -107,30 +111,68 @@ EdgeId PAG::addEdge(NodeId Src, NodeId Dst, EdgeKind Kind, uint32_t Aux,
 
 void PAG::finalize() {
   assert(!Finalized && "finalize called twice");
-  In.assign(Nodes.size(), {});
-  Out.assign(Nodes.size(), {});
-  FieldStores.assign(Prog.fields().size(), {});
-  FieldLoads.assign(Prog.fields().size(), {});
+  size_t NumBuckets = Nodes.size() * kNumEdgeKinds;
+  size_t NumFields = Prog.fields().size();
+
+  // Counting sort of edge ids into (node, kind) buckets: one counting
+  // pass, one prefix-sum pass, one placement pass per direction.
+  // Placement iterates edges in id order, so each bucket keeps edge-id
+  // (i.e. insertion) order — rebuilds are bit-for-bit deterministic.
+  auto Bucket = [](NodeId N, EdgeKind K) {
+    return size_t(N) * kNumEdgeKinds + unsigned(K);
+  };
+  InOff.assign(NumBuckets + 1, 0);
+  OutOff.assign(NumBuckets + 1, 0);
+  FieldStoreOff.assign(NumFields + 1, 0);
+  FieldLoadOff.assign(NumFields + 1, 0);
+  for (const Edge &E : Edges) {
+    ++InOff[Bucket(E.Dst, E.Kind) + 1];
+    ++OutOff[Bucket(E.Src, E.Kind) + 1];
+    if (E.Kind == EdgeKind::Store)
+      ++FieldStoreOff[E.Aux + 1];
+    else if (E.Kind == EdgeKind::Load)
+      ++FieldLoadOff[E.Aux + 1];
+  }
+  for (size_t I = 1; I < InOff.size(); ++I) {
+    InOff[I] += InOff[I - 1];
+    OutOff[I] += OutOff[I - 1];
+  }
+  for (size_t I = 1; I <= NumFields; ++I) {
+    FieldStoreOff[I] += FieldStoreOff[I - 1];
+    FieldLoadOff[I] += FieldLoadOff[I - 1];
+  }
+  InFlat.resize(Edges.size());
+  OutFlat.resize(Edges.size());
+  FieldStoreFlat.resize(FieldStoreOff[NumFields]);
+  FieldLoadFlat.resize(FieldLoadOff[NumFields]);
+  std::vector<uint32_t> InCursor(InOff.begin(), InOff.end() - 1);
+  std::vector<uint32_t> OutCursor(OutOff.begin(), OutOff.end() - 1);
+  std::vector<uint32_t> StoreCursor(FieldStoreOff.begin(),
+                                    FieldStoreOff.end() - 1);
+  std::vector<uint32_t> LoadCursor(FieldLoadOff.begin(),
+                                   FieldLoadOff.end() - 1);
   for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
     const Edge &E = Edges[Id];
-    Out[E.Src].push_back(Id);
-    In[E.Dst].push_back(Id);
+    InFlat[InCursor[Bucket(E.Dst, E.Kind)]++] = Id;
+    OutFlat[OutCursor[Bucket(E.Src, E.Kind)]++] = Id;
     if (E.Kind == EdgeKind::Store)
-      FieldStores[E.Aux].push_back(Id);
+      FieldStoreFlat[StoreCursor[E.Aux]++] = Id;
     else if (E.Kind == EdgeKind::Load)
-      FieldLoads[E.Aux].push_back(Id);
+      FieldLoadFlat[LoadCursor[E.Aux]++] = Id;
   }
   Finalized = true;
 }
 
-const std::vector<EdgeId> &PAG::storesOfField(ir::FieldId F) const {
+EdgeSpan PAG::storesOfField(ir::FieldId F) const {
   assert(Finalized && "PAG not finalized");
-  return FieldStores.at(F);
+  assert(F < Prog.fields().size() && "field id out of range");
+  return spanOf(FieldStoreFlat, FieldStoreOff, F, F + 1);
 }
 
-const std::vector<EdgeId> &PAG::loadsOfField(ir::FieldId F) const {
+EdgeSpan PAG::loadsOfField(ir::FieldId F) const {
   assert(Finalized && "PAG not finalized");
-  return FieldLoads.at(F);
+  assert(F < Prog.fields().size() && "field id out of range");
+  return spanOf(FieldLoadFlat, FieldLoadOff, F, F + 1);
 }
 
 ir::AllocId PAG::allocOf(NodeId N) const {

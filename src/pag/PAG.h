@@ -22,6 +22,13 @@
 /// write every edge inverted; the implementation comments map each
 /// listing line to this storage orientation.
 ///
+/// Read-side storage is kind-partitioned CSR: finalize() packs all
+/// in/out edge ids into two flat arrays with per-(node, kind) offset
+/// tables, so the traversal hot paths iterate a contiguous span per
+/// kind (inEdgesOfKind) instead of switching on kind per edge.  The
+/// whole-node views (inEdges/outEdges) remain as spans over the same
+/// arrays for callers that still want every kind.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_PAG_PAG_H
@@ -58,6 +65,12 @@ enum class EdgeKind : uint8_t {
   Exit,
 };
 
+/// Number of EdgeKind values (the CSR kind-partition fan-out).
+constexpr unsigned kNumEdgeKinds = 7;
+static_assert(unsigned(EdgeKind::Exit) + 1 == kNumEdgeKinds,
+              "kNumEdgeKinds must cover every EdgeKind or the CSR "
+              "bucket arithmetic bleeds across nodes");
+
 /// True for the four context-independent edge kinds summarized by PPTA.
 inline bool isLocalEdgeKind(EdgeKind K) {
   return K == EdgeKind::New || K == EdgeKind::Assign ||
@@ -66,6 +79,26 @@ inline bool isLocalEdgeKind(EdgeKind K) {
 
 /// Printable label ("new", "entry", ...).
 const char *edgeKindName(EdgeKind K);
+
+/// A non-owning contiguous view over edge ids in the CSR arrays
+/// (std::span substitute; the repo is C++17).  Invalidated by
+/// finalize()/reset() like any index would be.
+class EdgeSpan {
+public:
+  EdgeSpan() = default;
+  EdgeSpan(const EdgeId *Begin, const EdgeId *End)
+      : BeginPtr(Begin), EndPtr(End) {}
+
+  const EdgeId *begin() const { return BeginPtr; }
+  const EdgeId *end() const { return EndPtr; }
+  size_t size() const { return size_t(EndPtr - BeginPtr); }
+  bool empty() const { return BeginPtr == EndPtr; }
+  EdgeId operator[](size_t I) const { return BeginPtr[I]; }
+
+private:
+  const EdgeId *BeginPtr = nullptr;
+  const EdgeId *EndPtr = nullptr;
+};
 
 struct Node {
   NodeKind Kind = NodeKind::Local;
@@ -119,14 +152,15 @@ public:
   EdgeId addEdge(NodeId Src, NodeId Dst, EdgeKind Kind,
                  uint32_t Aux = ir::kNone, bool ContextFree = false);
 
-  /// Builds the per-node in/out indices; call once after the last
-  /// addEdge.
+  /// Builds the kind-partitioned CSR in/out indices and the per-field
+  /// load/store indices; call once after the last addEdge.
   void finalize();
 
   /// Drops all nodes, edges and indices, returning the graph to its
   /// just-constructed state (the program reference is kept).  Used by
   /// rebuildPAG for in-place rebuilds after program edits so analyses
-  /// holding references to this graph stay valid.
+  /// holding references to this graph stay valid.  The rebuild's
+  /// populate() re-finalizes, rebuilding the CSR for the new edges.
   void reset();
 
   //===------------------------------------------------------------------===//
@@ -140,15 +174,33 @@ public:
   const Node &node(NodeId N) const { return Nodes[N]; }
   const Edge &edge(EdgeId E) const { return Edges[E]; }
 
-  /// Edge ids entering / leaving \p N (all kinds, callers filter).
-  const std::vector<EdgeId> &inEdges(NodeId N) const { return In[N]; }
-  const std::vector<EdgeId> &outEdges(NodeId N) const { return Out[N]; }
+  /// Edge ids entering / leaving \p N (all kinds; within the span,
+  /// edges are grouped by EdgeKind in enum order).
+  EdgeSpan inEdges(NodeId N) const {
+    return spanOf(InFlat, InOff, size_t(N) * kNumEdgeKinds,
+                  size_t(N + 1) * kNumEdgeKinds);
+  }
+  EdgeSpan outEdges(NodeId N) const {
+    return spanOf(OutFlat, OutOff, size_t(N) * kNumEdgeKinds,
+                  size_t(N + 1) * kNumEdgeKinds);
+  }
+
+  /// Edge ids of exactly kind \p K entering / leaving \p N — the hot
+  /// paths iterate these instead of filtering inEdges with a switch.
+  EdgeSpan inEdgesOfKind(NodeId N, EdgeKind K) const {
+    size_t Base = size_t(N) * kNumEdgeKinds + unsigned(K);
+    return spanOf(InFlat, InOff, Base, Base + 1);
+  }
+  EdgeSpan outEdgesOfKind(NodeId N, EdgeKind K) const {
+    size_t Base = size_t(N) * kNumEdgeKinds + unsigned(K);
+    return spanOf(OutFlat, OutOff, Base, Base + 1);
+  }
 
   /// All store edges labelled with \p F (REFINEPTS match-edge lookup).
-  const std::vector<EdgeId> &storesOfField(ir::FieldId F) const;
+  EdgeSpan storesOfField(ir::FieldId F) const;
 
   /// All load edges labelled with \p F.
-  const std::vector<EdgeId> &loadsOfField(ir::FieldId F) const;
+  EdgeSpan loadsOfField(ir::FieldId F) const;
 
   /// Node of a variable / allocation site.
   NodeId nodeOfVar(ir::VarId V) const { return VarToNode.at(V); }
@@ -172,11 +224,25 @@ public:
   void dump(OStream &OS) const;
 
 private:
+  EdgeSpan spanOf(const std::vector<EdgeId> &Flat,
+                  const std::vector<uint32_t> &Off, size_t From,
+                  size_t To) const {
+    return EdgeSpan(Flat.data() + Off[From], Flat.data() + Off[To]);
+  }
+
   const ir::Program &Prog;
   std::vector<Node> Nodes;
   std::vector<Edge> Edges;
-  std::vector<std::vector<EdgeId>> In, Out;
-  std::vector<std::vector<EdgeId>> FieldStores, FieldLoads;
+  /// CSR payloads: every edge id once per direction, grouped by
+  /// (node, kind); edge-id order is preserved within a group.
+  std::vector<EdgeId> InFlat, OutFlat;
+  /// CSR offsets, numNodes * kNumEdgeKinds + 1 entries.  The range of
+  /// (node N, kind K) is [Off[N*7 + K], Off[N*7 + K + 1]); node N's
+  /// whole range is [Off[N*7], Off[(N+1)*7]).
+  std::vector<uint32_t> InOff, OutOff;
+  /// Field-indexed CSR over store/load edges (numFields + 1 offsets).
+  std::vector<EdgeId> FieldStoreFlat, FieldLoadFlat;
+  std::vector<uint32_t> FieldStoreOff, FieldLoadOff;
   std::vector<NodeId> VarToNode;
   std::vector<NodeId> AllocToNode;
   bool Finalized = false;

@@ -1,0 +1,202 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat open-addressing set of 64-bit keys with O(1) epoch clearing.
+///
+/// The PPTA hot loop marks every traversal state (node, field-stack,
+/// state) exactly once per compute() call.  An std::unordered_set
+/// allocates a node per insert and chases a bucket pointer per probe;
+/// this table keeps all slots in one contiguous array (linear probing,
+/// power-of-two capacity) and clears by bumping an epoch counter instead
+/// of touching memory, so one table is reused across millions of
+/// compute() calls without ever freeing its storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_FLATSET_H
+#define DYNSUM_SUPPORT_FLATSET_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dynsum {
+
+/// Open-addressing hash set of uint64_t keys.  Any key value is valid
+/// (slot emptiness is tracked by a per-slot epoch, not a sentinel key).
+class FlatU64Set {
+public:
+  FlatU64Set() { rehash(kMinCapacity); }
+
+  /// Inserts \p Key; returns true when it was not present.  Duplicate
+  /// inserts (the common case in the PPTA visited check) never grow
+  /// the table.
+  bool insert(uint64_t Key) {
+    size_t I = probe(Key);
+    if (Epochs[I] == CurrentEpoch)
+      return false; // probe() stopped on a live slot holding Key
+    if ((NumEntries + 1) * 4 >= Capacity * 3) { // load factor 3/4
+      rehash(Capacity * 2);
+      I = probe(Key);
+    }
+    Keys[I] = Key;
+    Epochs[I] = CurrentEpoch;
+    ++NumEntries;
+    return true;
+  }
+
+  /// True when \p Key is in the set.
+  bool contains(uint64_t Key) const {
+    return Epochs[probe(Key)] == CurrentEpoch;
+  }
+
+  /// Empties the set in O(1) by invalidating every slot's epoch.  The
+  /// capacity (and therefore the absence of rehashes on refill) is kept.
+  void clear() {
+    NumEntries = 0;
+    if (++CurrentEpoch == 0) { // epoch wrapped: slots look live again
+      std::fill(Epochs.begin(), Epochs.end(), uint32_t(0));
+      CurrentEpoch = 1;
+    }
+  }
+
+  /// Grows the table so \p N keys fit without rehashing.
+  void reserve(size_t N) {
+    size_t Needed = kMinCapacity;
+    while (N * 4 >= Needed * 3)
+      Needed *= 2;
+    if (Needed > Capacity)
+      rehash(Needed);
+  }
+
+  size_t size() const { return NumEntries; }
+  bool empty() const { return NumEntries == 0; }
+  size_t capacity() const { return Capacity; }
+
+  /// Calls \p Fn(key) for every live key, in unspecified order.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I < Capacity; ++I)
+      if (Epochs[I] == CurrentEpoch)
+        F(Keys[I]);
+  }
+
+private:
+  static constexpr size_t kMinCapacity = 64; // power of two
+
+  /// Index of the slot holding \p Key, or of the first dead slot in its
+  /// probe sequence.  The load factor cap guarantees a dead slot exists.
+  size_t probe(uint64_t Key) const {
+    size_t Mask = Capacity - 1;
+    size_t I = size_t(hashMix(Key)) & Mask;
+    while (Epochs[I] == CurrentEpoch && Keys[I] != Key)
+      I = (I + 1) & Mask;
+    return I;
+  }
+
+  void rehash(size_t NewCapacity) {
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<uint32_t> OldEpochs = std::move(Epochs);
+    size_t OldCapacity = Capacity;
+    Capacity = NewCapacity;
+    Keys.assign(Capacity, 0);
+    Epochs.assign(Capacity, 0);
+    uint32_t OldEpoch = CurrentEpoch;
+    CurrentEpoch = 1;
+    NumEntries = 0;
+    for (size_t I = 0; I < OldCapacity; ++I)
+      if (OldEpochs[I] == OldEpoch)
+        insert(OldKeys[I]);
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<uint32_t> Epochs;
+  size_t Capacity = 0;
+  size_t NumEntries = 0;
+  uint32_t CurrentEpoch = 1;
+};
+
+/// Open-addressing set of (uint64_t, uint32_t) pairs with the same
+/// epoch-clearing discipline as FlatU64Set.  Used for the Algorithm 4
+/// worklist de-dup, whose key is a 64-bit summary key plus a 32-bit
+/// context id — one flat probe instead of a map-of-sets with a node
+/// allocation per state.
+class FlatPairSet {
+public:
+  FlatPairSet() { rehash(kMinCapacity); }
+
+  /// Inserts (\p Key, \p Ctx); returns true when it was not present.
+  /// Duplicate inserts never grow the table.
+  bool insert(uint64_t Key, uint32_t Ctx) {
+    size_t I = probe(Key, Ctx);
+    if (Epochs[I] == CurrentEpoch)
+      return false;
+    if ((NumEntries + 1) * 4 >= Capacity * 3) {
+      rehash(Capacity * 2);
+      I = probe(Key, Ctx);
+    }
+    Keys[I] = Key;
+    Ctxs[I] = Ctx;
+    Epochs[I] = CurrentEpoch;
+    ++NumEntries;
+    return true;
+  }
+
+  bool contains(uint64_t Key, uint32_t Ctx) const {
+    return Epochs[probe(Key, Ctx)] == CurrentEpoch;
+  }
+
+  /// Empties the set in O(1); keeps capacity.
+  void clear() {
+    NumEntries = 0;
+    if (++CurrentEpoch == 0) {
+      std::fill(Epochs.begin(), Epochs.end(), uint32_t(0));
+      CurrentEpoch = 1;
+    }
+  }
+
+  size_t size() const { return NumEntries; }
+  bool empty() const { return NumEntries == 0; }
+  size_t capacity() const { return Capacity; }
+
+private:
+  static constexpr size_t kMinCapacity = 64;
+
+  size_t probe(uint64_t Key, uint32_t Ctx) const {
+    size_t Mask = Capacity - 1;
+    size_t I = size_t(hashMix(Key + 0x9e3779b97f4a7c15ull * Ctx)) & Mask;
+    while (Epochs[I] == CurrentEpoch &&
+           (Keys[I] != Key || Ctxs[I] != Ctx))
+      I = (I + 1) & Mask;
+    return I;
+  }
+
+  void rehash(size_t NewCapacity) {
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<uint32_t> OldCtxs = std::move(Ctxs);
+    std::vector<uint32_t> OldEpochs = std::move(Epochs);
+    size_t OldCapacity = Capacity;
+    Capacity = NewCapacity;
+    Keys.assign(Capacity, 0);
+    Ctxs.assign(Capacity, 0);
+    Epochs.assign(Capacity, 0);
+    uint32_t OldEpoch = CurrentEpoch;
+    CurrentEpoch = 1;
+    NumEntries = 0;
+    for (size_t I = 0; I < OldCapacity; ++I)
+      if (OldEpochs[I] == OldEpoch)
+        insert(OldKeys[I], OldCtxs[I]);
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<uint32_t> Ctxs;
+  std::vector<uint32_t> Epochs;
+  size_t Capacity = 0;
+  size_t NumEntries = 0;
+  uint32_t CurrentEpoch = 1;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_FLATSET_H

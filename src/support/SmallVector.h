@@ -1,0 +1,239 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for its first N elements.
+///
+/// PPTA summaries are overwhelmingly tiny (a handful of objects and
+/// boundary tuples), yet the cache holds hundreds of thousands of them;
+/// with std::vector each summary costs two heap blocks plus growth
+/// slack.  SmallVector keeps up to N elements inside the object itself
+/// and only touches the heap past that, and shrinkToFit() releases
+/// growth slack when a summary is published into a long-lived cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_SMALLVECTOR_H
+#define DYNSUM_SUPPORT_SMALLVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace dynsum {
+
+template <typename T, unsigned N> class SmallVector {
+  // Heap growth allocates with plain ::operator new, which only
+  // guarantees max_align_t alignment; reject over-aligned types.
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "SmallVector does not support over-aligned types");
+
+public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector &Other) { appendAll(Other); }
+
+  SmallVector(SmallVector &&Other) noexcept { takeFrom(Other); }
+
+  SmallVector &operator=(const SmallVector &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    appendAll(Other);
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    destroy();
+    takeFrom(Other);
+    return *this;
+  }
+
+  ~SmallVector() { destroy(); }
+
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Cap; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+
+  T &back() {
+    assert(Size > 0 && "back of empty vector");
+    return Data[Size - 1];
+  }
+
+  // Like std::vector, appending must stay safe when the argument
+  // references an element of this vector: when growth is needed the
+  // value is secured in a temporary before the old storage dies.
+  void push_back(const T &V) {
+    if (Size == Cap) {
+      T Tmp(V);
+      grow(Size + 1);
+      new (Data + Size) T(std::move(Tmp));
+    } else {
+      new (Data + Size) T(V);
+    }
+    ++Size;
+  }
+
+  void push_back(T &&V) {
+    if (Size == Cap) {
+      T Tmp(std::move(V));
+      grow(Size + 1);
+      new (Data + Size) T(std::move(Tmp));
+    } else {
+      new (Data + Size) T(std::move(V));
+    }
+    ++Size;
+  }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Size == Cap) {
+      T Tmp(std::forward<Args>(A)...);
+      grow(Size + 1);
+      new (Data + Size) T(std::move(Tmp));
+    } else {
+      new (Data + Size) T(std::forward<Args>(A)...);
+    }
+    return Data[Size++];
+  }
+
+  void pop_back() {
+    assert(Size > 0 && "pop_back of empty vector");
+    Data[--Size].~T();
+  }
+
+  void clear() {
+    for (size_t I = 0; I < Size; ++I)
+      Data[I].~T();
+    Size = 0;
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      reallocate(NewCap);
+  }
+
+  void resize(size_t NewSize) {
+    if (NewSize < Size) {
+      for (size_t I = NewSize; I < Size; ++I)
+        Data[I].~T();
+    } else {
+      grow(NewSize);
+      for (size_t I = Size; I < NewSize; ++I)
+        new (Data + I) T();
+    }
+    Size = NewSize;
+  }
+
+  /// Releases growth slack: elements move back inline when they fit,
+  /// otherwise into a heap block of exactly size() elements.
+  void shrinkToFit() {
+    if (Data == inlineData() || Size == Cap)
+      return;
+    reallocate(Size);
+  }
+
+  friend bool operator==(const SmallVector &A, const SmallVector &B) {
+    if (A.Size != B.Size)
+      return false;
+    for (size_t I = 0; I < A.Size; ++I)
+      if (!(A.Data[I] == B.Data[I]))
+        return false;
+    return true;
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(InlineStorage); }
+
+  void grow(size_t MinCap) {
+    if (MinCap <= Cap)
+      return;
+    size_t NewCap = Cap * 2;
+    if (NewCap < MinCap)
+      NewCap = MinCap;
+    reallocate(NewCap);
+  }
+
+  /// Moves the elements into storage of capacity max(NewCap, N).
+  void reallocate(size_t NewCap) {
+    T *NewData;
+    size_t ActualCap;
+    if (NewCap <= N) {
+      NewData = inlineData();
+      ActualCap = N;
+    } else {
+      NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+      ActualCap = NewCap;
+    }
+    if (NewData == Data)
+      return;
+    for (size_t I = 0; I < Size; ++I) {
+      new (NewData + I) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    if (Data != inlineData())
+      ::operator delete(Data);
+    Data = NewData;
+    Cap = ActualCap;
+  }
+
+  void destroy() {
+    clear();
+    if (Data != inlineData())
+      ::operator delete(Data);
+  }
+
+  void appendAll(const SmallVector &Other) {
+    reserve(Other.Size);
+    for (size_t I = 0; I < Other.Size; ++I)
+      new (Data + I) T(Other.Data[I]);
+    Size = Other.Size;
+  }
+
+  /// Steals Other's heap block, or moves its inline elements; leaves
+  /// Other empty (inline, size 0).
+  void takeFrom(SmallVector &Other) {
+    if (Other.Data != Other.inlineData()) {
+      Data = Other.Data;
+      Size = Other.Size;
+      Cap = Other.Cap;
+    } else {
+      Data = inlineData();
+      Cap = N;
+      Size = Other.Size;
+      for (size_t I = 0; I < Size; ++I) {
+        new (Data + I) T(std::move(Other.Data[I]));
+        Other.Data[I].~T();
+      }
+    }
+    Other.Data = Other.inlineData();
+    Other.Size = 0;
+    Other.Cap = N;
+  }
+
+  alignas(T) unsigned char InlineStorage[N * sizeof(T)];
+  T *Data = reinterpret_cast<T *>(InlineStorage);
+  size_t Size = 0;
+  size_t Cap = N;
+};
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_SMALLVECTOR_H

@@ -126,6 +126,36 @@ TEST(AliasTest, BudgetExhaustionIsConservativelyTrue) {
       << "an unanswerable alias query must default to 'may alias'";
 }
 
+TEST(AliasTest, OneSidedBudgetExhaustionIsStillConservative) {
+  // One query completes, the other blows the budget: even though the
+  // completed side's objects are provably disjoint from everything the
+  // partial side found, the unanswered side forces "may alias" — in
+  // both argument orders.
+  AliasFixture F(R"(
+    class A {}
+    class Main {
+      static void main() {
+        A a0 = new A();
+        A a1 = a0; A a2 = a1; A a3 = a2; A a4 = a3;
+        A a5 = a4; A a6 = a5; A a7 = a6; A a8 = a7;
+        A deep = a8;
+        A cheap = new A();
+      }
+    }
+  )");
+  AnalysisOptions Opts;
+  Opts.BudgetPerQuery = 4; // enough for cheap's one edge, not the chain
+  DynSumAnalysis A(*F.Built.Graph, Opts);
+  pag::NodeId Deep = F.var("Main", "main", "deep");
+  pag::NodeId Cheap = F.var("Main", "main", "cheap");
+  ASSERT_TRUE(A.query(Deep).BudgetExceeded)
+      << "test premise: the chain query must exhaust the budget";
+  ASSERT_FALSE(A.query(Cheap).BudgetExceeded)
+      << "test premise: the single-new query must complete";
+  EXPECT_TRUE(A.mayAlias(Deep, Cheap));
+  EXPECT_TRUE(A.mayAlias(Cheap, Deep));
+}
+
 TEST(AliasTest, AgreesAcrossAnalyses) {
   AliasFixture F(kAliasSource);
   DynSumAnalysis Dyn(*F.Built.Graph, AnalysisOptions());

@@ -8,11 +8,13 @@
 #include "support/Allocator.h"
 #include "support/BitVector.h"
 #include "support/CommandLine.h"
+#include "support/FlatSet.h"
 #include "support/Hashing.h"
 #include "support/InternedStack.h"
 #include "support/OStream.h"
 #include "support/PrettyTable.h"
 #include "support/Random.h"
+#include "support/SmallVector.h"
 #include "support/Statistics.h"
 #include "support/StringInterner.h"
 #include "support/Timer.h"
@@ -20,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 using namespace dynsum;
 
@@ -325,4 +328,157 @@ TEST(TimerTest, MeasuresForwardTime) {
   double B = T.seconds();
   EXPECT_GE(B, A);
   EXPECT_GE(A, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// FlatU64Set
+//===----------------------------------------------------------------------===//
+
+TEST(FlatSetTest, InsertContainsAndDuplicates) {
+  FlatU64Set S;
+  EXPECT_TRUE(S.insert(42));
+  EXPECT_FALSE(S.insert(42));
+  EXPECT_TRUE(S.contains(42));
+  EXPECT_FALSE(S.contains(43));
+  EXPECT_EQ(S.size(), 1u);
+}
+
+TEST(FlatSetTest, ZeroIsAnOrdinaryKey) {
+  // packSummaryKey(0, empty, S1) == 0, so key 0 must be storable.
+  FlatU64Set S;
+  EXPECT_FALSE(S.contains(0));
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_TRUE(S.contains(0));
+  EXPECT_FALSE(S.insert(0));
+}
+
+TEST(FlatSetTest, EpochClearForgetsEverythingKeepsCapacity) {
+  FlatU64Set S;
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_TRUE(S.insert(I * 977));
+  size_t CapBefore = S.capacity();
+  S.clear();
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_EQ(S.capacity(), CapBefore);
+  for (uint64_t I = 0; I < 100; ++I)
+    EXPECT_FALSE(S.contains(I * 977));
+  // Reinsertion after clear behaves like a fresh set.
+  EXPECT_TRUE(S.insert(977));
+  EXPECT_TRUE(S.contains(977));
+}
+
+TEST(FlatSetTest, GrowthPreservesMembership) {
+  FlatU64Set S;
+  std::set<uint64_t> Reference;
+  Rng R(7);
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t K = (uint64_t(R.next()) << 32) | R.next();
+    EXPECT_EQ(S.insert(K), Reference.insert(K).second);
+  }
+  EXPECT_EQ(S.size(), Reference.size());
+  for (uint64_t K : Reference)
+    EXPECT_TRUE(S.contains(K));
+  size_t Count = 0;
+  S.forEach([&](uint64_t K) {
+    EXPECT_EQ(Reference.count(K), 1u);
+    ++Count;
+  });
+  EXPECT_EQ(Count, Reference.size());
+}
+
+TEST(FlatSetTest, ManyEpochsStayIndependent) {
+  FlatU64Set S;
+  for (uint64_t Epoch = 0; Epoch < 300; ++Epoch) {
+    EXPECT_TRUE(S.insert(Epoch));
+    EXPECT_TRUE(S.insert(1ull << 40));
+    EXPECT_EQ(S.size(), 2u);
+    S.clear();
+    EXPECT_TRUE(S.empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// SmallVector
+//===----------------------------------------------------------------------===//
+
+TEST(SmallVectorTest, StaysInlineUpToN) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u); // no heap growth yet
+  V.push_back(4);
+  EXPECT_GT(V.capacity(), 4u);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(V[size_t(I)], I);
+}
+
+TEST(SmallVectorTest, CopyAndMoveAcrossInlineAndHeap) {
+  for (size_t Len : {2u, 16u}) {
+    SmallVector<std::string, 4> V;
+    for (size_t I = 0; I < Len; ++I)
+      V.push_back("s" + std::to_string(I));
+
+    SmallVector<std::string, 4> Copy(V);
+    EXPECT_TRUE(Copy == V);
+
+    SmallVector<std::string, 4> Moved(std::move(Copy));
+    EXPECT_TRUE(Moved == V);
+    EXPECT_EQ(Copy.size(), 0u); // moved-from is empty and reusable
+    Copy.push_back("again");
+    EXPECT_EQ(Copy.size(), 1u);
+
+    SmallVector<std::string, 4> Assigned;
+    Assigned.push_back("overwritten");
+    Assigned = V;
+    EXPECT_TRUE(Assigned == V);
+    SmallVector<std::string, 4> MoveAssigned;
+    MoveAssigned = std::move(Assigned);
+    EXPECT_TRUE(MoveAssigned == V);
+  }
+}
+
+TEST(SmallVectorTest, ResizeGrowsAndShrinks) {
+  SmallVector<uint32_t, 4> V;
+  V.resize(10);
+  EXPECT_EQ(V.size(), 10u);
+  for (uint32_t X : V)
+    EXPECT_EQ(X, 0u);
+  V[9] = 99;
+  V.resize(3);
+  EXPECT_EQ(V.size(), 3u);
+  V.resize(6);
+  EXPECT_EQ(V[5], 0u);
+}
+
+TEST(SmallVectorTest, ShrinkToFitReleasesSlackAndReturnsInline) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I);
+  while (V.size() > 2)
+    V.pop_back();
+  V.shrinkToFit();
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.capacity(), 4u); // two elements fit inline again
+  EXPECT_EQ(V[0], 0);
+  EXPECT_EQ(V[1], 1);
+
+  // Heap case: shrink to the exact heap size.
+  SmallVector<int, 4> W;
+  for (int I = 0; I < 9; ++I)
+    W.push_back(I);
+  W.shrinkToFit();
+  EXPECT_EQ(W.capacity(), 9u);
+  for (int I = 0; I < 9; ++I)
+    EXPECT_EQ(W[size_t(I)], I);
+}
+
+TEST(SmallVectorTest, PushBackOfOwnElementSurvivesGrowth) {
+  SmallVector<std::string, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back("elem" + std::to_string(I));
+  V.push_back(V[0]); // triggers growth: the source must be secured first
+  EXPECT_EQ(V.size(), 5u);
+  EXPECT_EQ(V.back(), "elem0");
+  EXPECT_EQ(V[0], "elem0");
 }
