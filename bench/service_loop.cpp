@@ -1,0 +1,264 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The edit-while-querying service loop: the IDE/JIT serving scenario
+/// the AnalysisService exists for.
+///
+/// Part 1 replays an identical deterministic edit/re-query script under
+/// four configurations and compares *warm re-query throughput* (query
+/// time only; commit cost reported separately):
+///
+///   from-scratch            new PAG + cold engine per cycle
+///   clear-all               AnalysisService, store dropped per commit
+///   per-method              single-threaded EditSession (private cache)
+///   per-method+shared-store AnalysisService, per-method store
+///                           invalidation + parallel batches
+///
+/// Part 2 runs the real concurrent loop — reader threads stream query
+/// batches while the editor thread commits — and reports sustained
+/// throughput and how many batches drained against a superseded
+/// generation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "incremental/EditSession.h"
+#include "service/AnalysisService.h"
+#include "support/OStream.h"
+#include "support/PrettyTable.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace dynsum;
+using namespace dynsum::analysis;
+using namespace dynsum::bench;
+using namespace dynsum::engine;
+using namespace dynsum::incremental;
+using namespace dynsum::service;
+
+namespace {
+
+constexpr unsigned kCycles = 10;
+
+/// The edit script and probe picker are shared with the service tests
+/// (workload::applyScriptEdit / workload::probeVariables) so
+/// tests/service_test.cpp pins exactly the scenario measured here.
+using workload::probeVariables;
+
+std::vector<ir::MethodId> applyEdit(ir::Program &P, unsigned I) {
+  return workload::applyScriptEdit(P, I);
+}
+
+std::unique_ptr<ir::Program> makeProgram(const HarnessOptions &Opts) {
+  workload::GenOptions Gen;
+  Gen.Scale = Opts.Scale;
+  Gen.Seed = Opts.Seed;
+  return workload::generateProgram(workload::specByName("soot-c"), Gen);
+}
+
+/// Accumulated results of one configuration's script replay.
+struct LoopResult {
+  double QuerySeconds = 0.0; ///< warm re-query time only
+  double CommitSeconds = 0.0;
+  uint64_t Steps = 0;
+  uint64_t Computed = 0; ///< PPTA computations during re-queries
+  uint64_t Dropped = 0;
+
+  double qps(size_t QueriesPerCycle) const {
+    return QuerySeconds > 0.0 ? double(kCycles) * double(QueriesPerCycle) /
+                                    QuerySeconds
+                              : 0.0;
+  }
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts = HarnessOptions::parse(argc, argv);
+  BenchJson Json;
+  outs() << "=== Service loop: edit-while-querying (soot-c; " << kCycles
+         << " edit/re-query cycles; scale=" << Opts.Scale
+         << ", threads=" << Opts.Threads << ") ===\n\n";
+
+  size_t NumProbe = 0;
+
+  PrettyTable T;
+  T.row()
+      .cell("configuration")
+      .cell("warm qps")
+      .cell("steps/cycle")
+      .cell("computed/cycle")
+      .cell("dropped/commit")
+      .cell("sec/commit");
+
+  auto AddRow = [&](const char *Name, const LoopResult &R) {
+    T.row()
+        .cell(Name)
+        .cell(R.qps(NumProbe), 0)
+        .cell(R.Steps / kCycles)
+        .cell(R.Computed / kCycles)
+        .cell(R.Dropped / kCycles)
+        .cell(R.CommitSeconds / kCycles, 4);
+  };
+
+  // --- from-scratch: rebuild everything every cycle --------------------
+  LoopResult FromScratch;
+  {
+    auto P = makeProgram(Opts);
+    std::vector<ir::VarId> Probe = probeVariables(*P, 61);
+    NumProbe = Probe.size();
+    for (unsigned I = 0; I < kCycles; ++I) {
+      Timer Commit;
+      applyEdit(*P, I);
+      pag::BuiltPAG Built = pag::buildPAG(*P);
+      FromScratch.CommitSeconds += Commit.seconds();
+
+      QueryScheduler Fresh(*Built.Graph, Opts.engineOptions(Opts.Threads));
+      QueryBatch B;
+      for (ir::VarId V : Probe)
+        B.add(Built.Graph->nodeOfVar(V));
+      Timer Q;
+      BatchResult R = Fresh.run(B);
+      FromScratch.QuerySeconds += Q.seconds();
+      FromScratch.Steps += R.Stats.TotalSteps;
+      FromScratch.Computed += R.Stats.SummariesComputed;
+    }
+    AddRow("from-scratch", FromScratch);
+  }
+
+  // --- the two service policies ----------------------------------------
+  LoopResult ClearAllR, SharedR;
+  for (InvalidationPolicy Policy :
+       {InvalidationPolicy::ClearAll, InvalidationPolicy::PerMethod}) {
+    ServiceOptions SO;
+    SO.Engine = Opts.engineOptions(Opts.Threads);
+    SO.Policy = Policy;
+    AnalysisService S(makeProgram(Opts), SO);
+    std::vector<ir::VarId> Probe = probeVariables(S.program(), 61);
+    (void)S.queryVars(Probe); // warm start
+
+    LoopResult &R = Policy == InvalidationPolicy::ClearAll ? ClearAllR
+                                                           : SharedR;
+    for (unsigned I = 0; I < kCycles; ++I) {
+      Timer Commit;
+      S.editProgram([I](ir::Program &P) { return applyEdit(P, I); });
+      CommitStats CS = S.commit();
+      R.CommitSeconds += Commit.seconds();
+      R.Dropped += CS.SummariesDropped;
+
+      Timer Q;
+      ServiceBatchResult BR = S.queryVars(Probe);
+      R.QuerySeconds += Q.seconds();
+      R.Steps += BR.Stats.TotalSteps;
+      R.Computed += BR.Stats.SummariesComputed;
+    }
+    AddRow(Policy == InvalidationPolicy::ClearAll ? "clear-all (service)"
+                                                  : "per-method+shared-store",
+           R);
+  }
+
+  // --- per-method on the single-threaded EditSession -------------------
+  LoopResult PerMethodR;
+  {
+    auto P = makeProgram(Opts);
+    std::vector<ir::VarId> Probe = probeVariables(*P, 61);
+    EditSession S(std::move(P), Opts.analysisOptions(),
+                  InvalidationPolicy::PerMethod);
+    for (ir::VarId V : Probe)
+      S.queryVar(V); // warm start
+
+    for (unsigned I = 0; I < kCycles; ++I) {
+      Timer Commit;
+      for (ir::MethodId M : applyEdit(S.program(), I))
+        S.markDirty(M); // same script, via direct mutation + markDirty
+      CommitStats CS = S.commit();
+      PerMethodR.CommitSeconds += Commit.seconds();
+      PerMethodR.Dropped += CS.SummariesDropped;
+
+      Timer Q;
+      for (ir::VarId V : Probe)
+        PerMethodR.Steps += S.queryVar(V).Steps;
+      PerMethodR.QuerySeconds += Q.seconds();
+    }
+    AddRow("per-method (session)", PerMethodR);
+  }
+
+  T.print(outs());
+  outs() << "\nper-method+shared-store re-queries reuse every surviving\n"
+            "store entry across worker threads; clear-all recomputes the\n"
+            "world each commit, from-scratch additionally pays the PAG\n"
+            "rebuild into cold caches.\n";
+
+  //===--------------------------------------------------------------------===//
+  // Part 2: genuinely concurrent — readers stream batches over commits.
+  //===--------------------------------------------------------------------===//
+
+  outs() << "\n=== Concurrent serving (2 readers x batches vs "
+         << kCycles << " commits) ===\n";
+  uint64_t Drained = 0, Batches = 0;
+  double Seconds = 0.0;
+  {
+    ServiceOptions SO;
+    SO.Engine = Opts.engineOptions(Opts.Threads);
+    AnalysisService S(makeProgram(Opts), SO);
+    std::vector<ir::VarId> Probe = probeVariables(S.program(), 61);
+    (void)S.queryVars(Probe);
+
+    std::atomic<bool> Done{false};
+    std::atomic<uint64_t> BatchCount{0}, StaleCount{0};
+    Timer Clock;
+    std::vector<std::thread> Readers;
+    for (int W = 0; W < 2; ++W)
+      Readers.emplace_back([&] {
+        do {
+          ServiceBatchResult R = S.queryVars(Probe);
+          BatchCount.fetch_add(1, std::memory_order_relaxed);
+          if (R.Generation != S.generation())
+            StaleCount.fetch_add(1, std::memory_order_relaxed);
+        } while (!Done.load(std::memory_order_relaxed));
+      });
+    for (unsigned I = 0; I < kCycles; ++I) {
+      S.editProgram([I](ir::Program &P) { return applyEdit(P, I); });
+      S.commit();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    Done.store(true, std::memory_order_relaxed);
+    for (std::thread &W : Readers)
+      W.join();
+    Seconds = Clock.seconds();
+    Batches = BatchCount.load();
+    Drained = StaleCount.load();
+
+    outs() << "batches " << Batches << " (" << Drained
+           << " drained against a superseded generation), commits "
+           << uint64_t(kCycles) << ", sustained ";
+    outs().writeFixed(Seconds > 0 ? double(Batches) * double(Probe.size()) /
+                                        Seconds
+                                  : 0.0,
+                      0);
+    outs() << " queries/sec, final generation "
+           << S.generation() << ", store " << uint64_t(S.stats().StoreSize)
+           << " summaries\n";
+  }
+
+  Json.set("service.num_probe_queries", uint64_t(NumProbe));
+  Json.set("service.cycles", uint64_t(kCycles));
+  Json.set("service.from_scratch_qps", FromScratch.qps(NumProbe));
+  Json.set("service.clear_all_qps", ClearAllR.qps(NumProbe));
+  Json.set("service.per_method_qps", PerMethodR.qps(NumProbe));
+  Json.set("service.shared_store_qps", SharedR.qps(NumProbe));
+  Json.set("service.shared_over_clear_all",
+           ClearAllR.QuerySeconds > 0.0 && SharedR.QuerySeconds > 0.0
+               ? ClearAllR.QuerySeconds / SharedR.QuerySeconds
+               : 0.0);
+  Json.set("service.concurrent_batches", Batches);
+  Json.set("service.concurrent_stale_batches", Drained);
+  Json.set("service.concurrent_qps",
+           Seconds > 0.0 ? double(Batches) * double(NumProbe) / Seconds : 0.0);
+  if (!Opts.JsonPath.empty() && !Json.writeFile(Opts.JsonPath))
+    errs() << "warning: cannot write " << Opts.JsonPath << '\n';
+  return 0;
+}

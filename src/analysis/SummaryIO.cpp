@@ -15,8 +15,8 @@
 using namespace dynsum;
 using namespace dynsum::analysis;
 
-static constexpr uint32_t kMagic = 0x4d555344; // "DSUM" little-endian
-static constexpr uint32_t kVersion = 1;
+static constexpr uint32_t kMagic = kSummaryFileMagic;
+static constexpr uint32_t kVersion = kSummaryFileVersion;
 
 //===----------------------------------------------------------------------===//
 // Fingerprint

@@ -19,7 +19,11 @@
 /// Format (little-endian): magic "DSUM", u32 version, u64 fingerprint,
 /// u64 entry count, then per entry the key triple with the field stack
 /// spelled out element by element, the object list, and the boundary
-/// tuples (again with explicit stacks).
+/// tuples (again with explicit stacks).  The byte-exact layout — and
+/// the versioning rules, including why the engine's in-memory store
+/// generation is deliberately *not* a field — is specified in
+/// docs/SUMMARY_FORMAT.md; any layout change must bump
+/// kSummaryFileVersion in lockstep with that document.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +37,12 @@
 
 namespace dynsum {
 namespace analysis {
+
+/// On-disk format tag ("DSUM" little-endian) and version.  Bump the
+/// version for any layout change and record it in
+/// docs/SUMMARY_FORMAT.md.
+constexpr uint32_t kSummaryFileMagic = 0x4d555344;
+constexpr uint32_t kSummaryFileVersion = 1;
 
 /// A stable fingerprint of everything about \p P the analyses can
 /// observe: the class hierarchy, methods, variables, allocation/call

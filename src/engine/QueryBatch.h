@@ -85,6 +85,12 @@ private:
 struct BatchStats {
   /// Worker threads the batch actually used.
   unsigned ThreadsUsed = 0;
+  /// Summary-store generation the batch was pinned to.  For a scheduler
+  /// that owns its store this is simply the store's generation; under
+  /// an AnalysisService it identifies the program epoch the answers
+  /// describe (a commit racing the batch bumps the store, and the batch
+  /// drains against this older generation).
+  uint64_t Generation = 0;
   /// Sum of per-query traversal steps.
   uint64_t TotalSteps = 0;
   /// Summaries reused from the shared store instead of recomputed.

@@ -36,11 +36,12 @@ unsigned QueryScheduler::effectiveThreads(size_t NumQueries) const {
 
 void QueryScheduler::runShard(const QueryBatch &B, size_t Shard,
                               unsigned Stride,
+                              analysis::SummaryExchange *Exchange,
                               std::vector<QueryOutcome> &Outcomes,
                               BatchStats &Stats) {
   DynSumAnalysis A(Graph, Opts.Analysis);
-  if (Opts.ShareSummaries)
-    A.setSummaryExchange(&Store);
+  if (Exchange)
+    A.setSummaryExchange(Exchange);
 
   const std::vector<pag::NodeId> &Nodes = B.nodes();
   for (size_t I = Shard; I < Nodes.size(); I += Stride) {
@@ -61,24 +62,35 @@ BatchResult QueryScheduler::run(const QueryBatch &B) {
   BatchResult Result;
   Result.Outcomes.resize(B.size());
 
+  // Pin the batch's epoch: an external-store scheduler is pinned for
+  // life at the generation its PAG was built for; an own-store
+  // scheduler pins whatever the store holds now (nothing commits
+  // against an owned store mid-batch).
+  SummaryStoreEpoch Epoch(*StorePtr,
+                          HasPinnedGen ? PinnedGen : StorePtr->generation());
+  analysis::SummaryExchange *Exchange =
+      Opts.ShareSummaries ? &Epoch : nullptr;
+  Result.Stats.Generation = Epoch.generation();
+
   unsigned Threads = effectiveThreads(B.size());
   Result.Stats.ThreadsUsed = Threads;
   if (B.empty()) {
-    Result.Stats.StoreSize = Store.size();
+    Result.Stats.StoreSize = StorePtr->size();
     Result.Stats.Seconds = T.seconds();
     return Result;
   }
 
   std::vector<BatchStats> ShardStats(Threads);
   if (Threads == 1) {
-    runShard(B, 0, 1, Result.Outcomes, ShardStats[0]);
+    runShard(B, 0, 1, Exchange, Result.Outcomes, ShardStats[0]);
   } else {
     std::vector<std::thread> Workers;
     Workers.reserve(Threads);
     for (unsigned W = 0; W < Threads; ++W)
-      Workers.emplace_back([this, &B, W, Threads, &Result, &ShardStats] {
-        runShard(B, W, Threads, Result.Outcomes, ShardStats[W]);
-      });
+      Workers.emplace_back(
+          [this, &B, W, Threads, Exchange, &Result, &ShardStats] {
+            runShard(B, W, Threads, Exchange, Result.Outcomes, ShardStats[W]);
+          });
     for (std::thread &W : Workers)
       W.join();
   }
@@ -89,7 +101,7 @@ BatchResult QueryScheduler::run(const QueryBatch &B) {
     Result.Stats.LocalHits += S.LocalHits;
     Result.Stats.SummariesComputed += S.SummariesComputed;
   }
-  Result.Stats.StoreSize = Store.size();
+  Result.Stats.StoreSize = StorePtr->size();
   Result.Stats.Seconds = T.seconds();
   return Result;
 }
@@ -115,7 +127,7 @@ bool QueryScheduler::loadSummariesBuffer(std::string_view Data) {
   DynSumAnalysis Staging(Graph, Opts.Analysis);
   if (!deserializeSummaries(Staging, Data))
     return false;
-  Store.seedFrom(Staging);
+  StorePtr->seedFrom(Staging);
   return true;
 }
 
@@ -123,18 +135,18 @@ bool QueryScheduler::loadSummaries(const std::string &Path) {
   DynSumAnalysis Staging(Graph, Opts.Analysis);
   if (!loadSummariesFile(Staging, Path))
     return false;
-  Store.seedFrom(Staging);
+  StorePtr->seedFrom(Staging);
   return true;
 }
 
 std::string QueryScheduler::serializeSummaries() const {
   DynSumAnalysis Staging(Graph, Opts.Analysis);
-  Store.drainInto(Staging);
+  StorePtr->drainInto(Staging);
   return analysis::serializeSummaries(Staging);
 }
 
 bool QueryScheduler::saveSummaries(const std::string &Path) const {
   DynSumAnalysis Staging(Graph, Opts.Analysis);
-  Store.drainInto(Staging);
+  StorePtr->drainInto(Staging);
   return saveSummariesFile(Staging, Path);
 }

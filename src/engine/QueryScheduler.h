@@ -21,6 +21,14 @@
 /// earlier ones) and round-trips through SummaryIO for cross-process
 /// warm starts.
 ///
+/// Epoch handoff: a scheduler normally owns its store, but an
+/// AnalysisService hands every generation's scheduler one long-lived
+/// external store plus the generation number its PAG was built for.
+/// Each batch then runs behind a SummaryStoreEpoch pinned to that
+/// generation, so a commit that bumps the store mid-batch makes the
+/// draining batch's remaining probes miss (and its publishes drop)
+/// instead of mixing summaries across program versions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_ENGINE_QUERYSCHEDULER_H
@@ -38,7 +46,18 @@ namespace engine {
 class QueryScheduler {
 public:
   explicit QueryScheduler(const pag::PAG &G, EngineOptions Opts = {})
-      : Graph(G), Opts(Opts) {}
+      : Graph(G), Opts(Opts), StorePtr(&OwnStore) {}
+
+  /// Epoch handoff (AnalysisService): answer batches out of the
+  /// external \p Shared store, pinned to \p Generation — the store
+  /// generation \p G corresponds to.  \p Shared must outlive the
+  /// scheduler.  Once the store moves past \p Generation every batch
+  /// through this scheduler still answers correctly (against \p G) but
+  /// without shared reuse.
+  QueryScheduler(const pag::PAG &G, EngineOptions Opts,
+                 SharedSummaryStore &Shared, uint64_t Generation)
+      : Graph(G), Opts(Opts), StorePtr(&Shared), PinnedGen(Generation),
+        HasPinnedGen(true) {}
 
   /// Answers every query of \p B; outcome i answers query i.
   BatchResult run(const QueryBatch &B);
@@ -63,18 +82,26 @@ public:
 
   const pag::PAG &graph() const { return Graph; }
   const EngineOptions &options() const { return Opts; }
-  SharedSummaryStore &store() { return Store; }
-  const SharedSummaryStore &store() const { return Store; }
+  SharedSummaryStore &store() { return *StorePtr; }
+  const SharedSummaryStore &store() const { return *StorePtr; }
 
 private:
   /// Runs queries [\p Indices] of \p B on one private analysis instance,
   /// writing outcomes straight into their slots of \p Outcomes.
+  /// \p Exchange is the batch's pinned-epoch store view (null when
+  /// sharing is off).
   void runShard(const QueryBatch &B, size_t Shard, unsigned Stride,
+                analysis::SummaryExchange *Exchange,
                 std::vector<QueryOutcome> &Outcomes, BatchStats &Stats);
 
   const pag::PAG &Graph;
   EngineOptions Opts;
-  SharedSummaryStore Store;
+  SharedSummaryStore OwnStore;
+  SharedSummaryStore *StorePtr;
+  /// Epoch pin for external-store schedulers; own-store schedulers pin
+  /// each batch at the store's generation when the batch starts.
+  uint64_t PinnedGen = 0;
+  bool HasPinnedGen = false;
 };
 
 } // namespace engine

@@ -34,6 +34,31 @@ bool SharedSummaryStore::fetch(pag::NodeId Node,
   return false;
 }
 
+bool SharedSummaryStore::fetchAt(uint64_t AtGen, pag::NodeId Node,
+                                 const std::vector<uint32_t> &Fields,
+                                 RsmState S, PortableSummary &Out) {
+  uint64_t D = digest(Node, Fields, S);
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  // A stale epoch means the caller traverses a superseded PAG: current
+  // entries may only hold for the new graph, so every probe must miss.
+  if (AtGen != Gen)
+    return false;
+  auto It = Map.find(D);
+  if (It == Map.end())
+    return false;
+  if (matches(It->second, Node, Fields, S)) {
+    Out = It->second.Summary;
+    return true;
+  }
+  for (const Entry &E : Overflow) {
+    if (matches(E, Node, Fields, S)) {
+      Out = E.Summary;
+      return true;
+    }
+  }
+  return false;
+}
+
 void SharedSummaryStore::publish(pag::NodeId Node,
                                  std::vector<uint32_t> Fields, RsmState S,
                                  PortableSummary Summary) {
@@ -64,6 +89,129 @@ void SharedSummaryStore::publish(pag::NodeId Node,
   ++Count;
 }
 
+void SharedSummaryStore::publishAt(uint64_t AtGen, pag::NodeId Node,
+                                   std::vector<uint32_t> Fields, RsmState S,
+                                   PortableSummary Summary) {
+  {
+    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    // A summary computed against a superseded PAG must never enter the
+    // current generation.  The recheck under the publish lock below
+    // closes the gap between this probe and the insert.
+    if (AtGen != Gen)
+      return;
+  }
+  Summary.Objects.shrink_to_fit();
+  Summary.Tuples.shrink_to_fit();
+  Summary.FieldData.shrink_to_fit();
+  uint64_t D = digest(Node, Fields, S);
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  if (AtGen != Gen)
+    return;
+  if (Map.empty())
+    Map.reserve(1024);
+  auto It = Map.find(D);
+  if (It == Map.end()) {
+    Map.emplace(D, Entry{Node, S, std::move(Fields), std::move(Summary)});
+    ++Count;
+    return;
+  }
+  if (matches(It->second, Node, Fields, S))
+    return;
+  for (const Entry &E : Overflow)
+    if (matches(E, Node, Fields, S))
+      return;
+  Overflow.push_back(Entry{Node, S, std::move(Fields), std::move(Summary)});
+  ++Count;
+}
+
+uint64_t SharedSummaryStore::generation() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  return Gen;
+}
+
+void SharedSummaryStore::insertRebuilt(
+    std::unordered_map<uint64_t, Entry> &Map, std::vector<Entry> &Overflow,
+    Entry E) {
+  uint64_t D = digest(E.Node, E.Fields, E.State);
+  auto It = Map.find(D);
+  if (It == Map.end()) {
+    Map.emplace(D, std::move(E));
+    return;
+  }
+  if (matches(It->second, E.Node, E.Fields, E.State))
+    return; // duplicate key cannot happen after a remap, but stay safe
+  Overflow.push_back(std::move(E));
+}
+
+size_t SharedSummaryStore::beginGeneration(
+    const pag::PAG &NewGraph, const incremental::InvalidationPlan &Plan) {
+  std::unique_lock<std::shared_mutex> Lock(Mutex);
+
+  // True when \p E must be dropped under the (possibly remapped) new
+  // numbering: its node vanished (defensive; ids are append-only in
+  // practice) or its method is invalidated.
+  auto Drops = [&](const Entry &E) {
+    pag::NodeId N = Plan.remap(E.Node);
+    return N >= NewGraph.numNodes() ||
+           Plan.Methods.count(NewGraph.node(N).Method) != 0;
+  };
+
+  size_t Kept = 0;
+  if (!Plan.NodesRemapped) {
+    // Identity remap (the common commit: statements added to existing
+    // methods): digests are unchanged, so erase in place — no rehash,
+    // no entry moves, and the unique lock blocking reader batches is
+    // held for a plain scan.
+    for (auto It = Map.begin(); It != Map.end();) {
+      if (Drops(It->second)) {
+        It = Map.erase(It);
+      } else {
+        ++It;
+        ++Kept;
+      }
+    }
+    for (auto It = Overflow.begin(); It != Overflow.end();) {
+      if (Drops(*It)) {
+        It = Overflow.erase(It);
+      } else {
+        ++It;
+        ++Kept;
+      }
+    }
+  } else {
+    // Digests key node ids, so a real remap forces a table rebuild; the
+    // same pass applies the per-method drop.
+    std::unordered_map<uint64_t, Entry> NewMap;
+    NewMap.reserve(Map.size());
+    std::vector<Entry> NewOverflow;
+
+    auto Carry = [&](Entry &E) {
+      if (Drops(E))
+        return;
+      E.Node = Plan.remap(E.Node);
+      for (PortableSummary::Tuple &T : E.Summary.Tuples)
+        T.Node = Plan.remap(T.Node);
+      ++Kept;
+      insertRebuilt(NewMap, NewOverflow, std::move(E));
+    };
+
+    for (auto &[D, E] : Map) {
+      (void)D;
+      Carry(E);
+    }
+    for (Entry &E : Overflow)
+      Carry(E);
+
+    Map = std::move(NewMap);
+    Overflow = std::move(NewOverflow);
+  }
+
+  size_t Dropped = Count - Kept;
+  Count = Kept;
+  ++Gen;
+  return Dropped;
+}
+
 size_t SharedSummaryStore::size() const {
   std::shared_lock<std::shared_mutex> Lock(Mutex);
   return Count;
@@ -74,6 +222,7 @@ void SharedSummaryStore::clear() {
   Map.clear();
   Overflow.clear();
   Count = 0;
+  ++Gen; // everything a stale epoch might still publish is invalid now
 }
 
 void SharedSummaryStore::seedFrom(const DynSumAnalysis &A) {

@@ -1,7 +1,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Read-mostly cross-thread store of complete PPTA summaries.
+/// Read-mostly cross-thread store of complete PPTA summaries, versioned
+/// by generation for edit-while-querying services.
 ///
 /// A PPTA summary depends only on the PAG and the (node, field-stack,
 /// state) key — never on the querying context or the computing thread —
@@ -18,8 +19,16 @@
 /// Digest collisions are resolved by exact comparison inside the
 /// bucket.
 ///
-/// The store is append-only within a batch: publish never overwrites
-/// (all writers compute identical summaries for a key).
+/// Generations: every entry belongs to the store's current generation.
+/// A program commit calls beginGeneration() — remapping node ids,
+/// dropping the summaries an incremental::InvalidationPlan names, and
+/// bumping the counter — or clear(), which drops everything and also
+/// bumps.  Readers pin a generation through SummaryStoreEpoch: a fetch
+/// or publish from a stale epoch (a batch that started before the
+/// commit and is draining against the old PAG) misses / is dropped, so
+/// summaries computed against different graph versions can never mix.
+/// Within one generation the store is append-only: publish never
+/// overwrites (all writers compute identical summaries for a key).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +36,7 @@
 #define DYNSUM_ENGINE_SUMMARYSTORE_H
 
 #include "analysis/DynSum.h"
+#include "incremental/Invalidation.h"
 #include "support/Hashing.h"
 
 #include <shared_mutex>
@@ -36,26 +46,52 @@ namespace dynsum {
 namespace engine {
 
 /// Thread-safe SummaryExchange backed by a digest-keyed hash map under
-/// a shared_mutex.
+/// a shared_mutex.  The SummaryExchange overrides operate on the
+/// current generation; epoch-pinned access goes through fetchAt /
+/// publishAt (see SummaryStoreEpoch).
 class SharedSummaryStore : public analysis::SummaryExchange {
 public:
   bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
-             analysis::RsmState S,
-             analysis::PortableSummary &Out) override;
+             analysis::RsmState S, analysis::PortableSummary &Out) override;
 
   void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
                analysis::RsmState S,
                analysis::PortableSummary Summary) override;
 
+  /// Epoch-pinned variants: a \p Gen older than generation() always
+  /// misses (fetch) or is silently dropped (publish) — the calling
+  /// batch is draining against a PAG that a commit has superseded, and
+  /// its summaries are only valid there.
+  bool fetchAt(uint64_t Gen, pag::NodeId Node,
+               const std::vector<uint32_t> &Fields, analysis::RsmState S,
+               analysis::PortableSummary &Out);
+  void publishAt(uint64_t Gen, pag::NodeId Node,
+                 std::vector<uint32_t> Fields, analysis::RsmState S,
+                 analysis::PortableSummary Summary);
+
+  /// The current generation.  Starts at 0; bumped by beginGeneration()
+  /// and clear().
+  uint64_t generation() const;
+
+  /// Commit handoff: rewrites every stored node id through \p Remap,
+  /// drops the summaries keyed at nodes owned by any method in
+  /// \p Invalidate (looked up in the post-rebuild \p NewGraph; entries
+  /// remapped out of range are dropped too), and bumps the generation.
+  /// Returns how many summaries were dropped.
+  size_t beginGeneration(const pag::PAG &NewGraph,
+                         const incremental::InvalidationPlan &Plan);
+
   /// Number of summaries stored.
   size_t size() const;
 
-  /// Drops every summary.  (Hit accounting lives in the per-worker
+  /// Drops every summary and bumps the generation (the clear-all
+  /// invalidation policy).  (Hit accounting lives in the per-worker
   /// "dynsum.sharedHits" stat, aggregated into BatchStats.SharedHits.)
   void clear();
 
-  /// Publishes every summary cached in \p A (bulk warm-up, e.g. after
-  /// SummaryIO deserialization into a staging analysis).
+  /// Publishes every summary cached in \p A into the current generation
+  /// (bulk warm-up, e.g. after SummaryIO deserialization into a staging
+  /// analysis).
   void seedFrom(const analysis::DynSumAnalysis &A);
 
   /// Installs every stored summary into \p A's cache (bulk export, e.g.
@@ -86,6 +122,11 @@ private:
     return E.Node == Node && E.State == S && E.Fields == Fields;
   }
 
+  /// Re-inserts \p E into \p Map / \p Overflow (beginGeneration's
+  /// rebuild; digests change with node ids).
+  static void insertRebuilt(std::unordered_map<uint64_t, Entry> &Map,
+                            std::vector<Entry> &Overflow, Entry E);
+
   mutable std::shared_mutex Mutex;
   /// Digest -> its (almost always unique) entry.  The rare digest
   /// collision spills into Overflow, scanned only after a digest hit
@@ -93,6 +134,37 @@ private:
   std::unordered_map<uint64_t, Entry> Map;
   std::vector<Entry> Overflow;
   size_t Count = 0;
+  uint64_t Gen = 0;
+};
+
+/// A SummaryExchange view of a SharedSummaryStore pinned to one
+/// generation.  Batches hold one of these for their whole run: if a
+/// commit publishes a new generation mid-batch, the remaining fetches
+/// miss and publishes are dropped, so the draining batch keeps
+/// computing correct answers against its (still alive) old PAG without
+/// ever reading summaries that only hold for the new one.  Stateless
+/// beyond the pin — one instance may serve every worker of a batch.
+class SummaryStoreEpoch : public analysis::SummaryExchange {
+public:
+  SummaryStoreEpoch(SharedSummaryStore &Store, uint64_t Gen)
+      : Store(Store), Gen(Gen) {}
+
+  uint64_t generation() const { return Gen; }
+
+  bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
+             analysis::RsmState S, analysis::PortableSummary &Out) override {
+    return Store.fetchAt(Gen, Node, Fields, S, Out);
+  }
+
+  void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
+               analysis::RsmState S,
+               analysis::PortableSummary Summary) override {
+    Store.publishAt(Gen, Node, std::move(Fields), S, std::move(Summary));
+  }
+
+private:
+  SharedSummaryStore &Store;
+  uint64_t Gen;
 };
 
 } // namespace engine

@@ -7,6 +7,8 @@
 
 #include "incremental/EditSession.h"
 
+#include "engine/SummaryStore.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -19,17 +21,12 @@ EditSession::EditSession(std::unique_ptr<ir::Program> P,
                          InvalidationPolicy Policy)
     : Prog(std::move(P)), Graph(*Prog), DynSum(Graph, Opts), Policy(Policy) {
   Calls = pag::rebuildPAG(Graph);
-  snapshot();
+  LastBoundary = snapshotBoundary(Graph, Prog->variables().size());
 }
 
-void EditSession::snapshot() {
-  LastNumVars = Prog->variables().size();
-  LastFlags.resize(Graph.numNodes());
-  for (pag::NodeId N = 0; N < Graph.numNodes(); ++N) {
-    const pag::Node &Node = Graph.node(N);
-    LastFlags[N] = {Node.Method, Node.HasLocalEdge, Node.HasGlobalIn,
-                    Node.HasGlobalOut};
-  }
+void EditSession::attachStore(engine::SharedSummaryStore *S) {
+  Store = S;
+  DynSum.setSummaryExchange(S);
 }
 
 void EditSession::addStatement(ir::MethodId M, ir::Statement S) {
@@ -57,68 +54,46 @@ CommitStats EditSession::commit() {
   CommitStats Stats;
   Stats.SummariesBefore = DynSum.cacheSize();
 
-  size_t OldNumVars = LastNumVars;
-  size_t OldNumNodes = LastFlags.size();
   Calls = pag::rebuildPAG(Graph);
 
   if (Policy == InvalidationPolicy::ClearAll) {
     DynSum.clearCache();
     Stats.SummariesDropped = Stats.SummariesBefore;
+    if (Store) {
+      Stats.SharedSummariesDropped = Store->size();
+      Store->clear(); // bumps the store generation
+    }
     DirtyMethods.clear();
-    snapshot();
+    LastBoundary = snapshotBoundary(Graph, Prog->variables().size());
     LastCommit = Stats;
     return Stats;
   }
 
-  // Object nodes shift when variables were added (variables are always
-  // numbered first).  Variables and allocation sites are append-only,
-  // so the remap is a single offset on the object suffix.
   size_t NewNumVars = Prog->variables().size();
-  if (NewNumVars != OldNumVars) {
-    assert(NewNumVars > OldNumVars && "variables are append-only");
-    uint32_t Offset = uint32_t(NewNumVars - OldNumVars);
-    DynSum.remapCache([OldNumVars, Offset](pag::NodeId N) {
-      return N < OldNumVars ? N : N + Offset;
-    });
-    Stats.NodesRemapped = true;
-  } else {
-    // Even without a remap the trivial-summary memo keys boundary flags
-    // that the rebuild may have changed; an identity remap clears it.
-    DynSum.remapCache([](pag::NodeId N) { return N; });
-  }
+  InvalidationPlan Plan =
+      planInvalidation(LastBoundary, Graph, NewNumVars, DirtyMethods);
 
-  // The methods to invalidate: those edited directly plus those whose
-  // node flags changed across the rebuild (their summaries' boundary
-  // tuples may be stale).  Summaries keyed at unowned nodes (globals,
-  // the null object) sit outside any method; drop them whenever a flag
-  // changed anywhere, since global edges are what connects them.
-  std::unordered_set<ir::MethodId> Invalidate(DirtyMethods);
-  bool AnyFlagChanged = false;
-  for (pag::NodeId Old = 0; Old < OldNumNodes; ++Old) {
-    pag::NodeId New =
-        Old < OldNumVars ? Old
-                         : pag::NodeId(Old + (NewNumVars - OldNumVars));
-    assert(New < Graph.numNodes() && "append-only ids stay in range");
-    const pag::Node &Node = Graph.node(New);
-    const NodeFlags &Was = LastFlags[Old];
-    assert(Node.Method == Was.Method && "node/method mapping is stable");
-    if (Node.HasLocalEdge != Was.HasLocalEdge ||
-        Node.HasGlobalIn != Was.HasGlobalIn ||
-        Node.HasGlobalOut != Was.HasGlobalOut) {
-      Invalidate.insert(Node.Method);
-      AnyFlagChanged = true;
-    }
-  }
-  if (AnyFlagChanged || !DirtyMethods.empty())
-    Invalidate.insert(ir::kNone); // global/null-object-keyed summaries
+  // Object nodes shift when variables were added (variables are always
+  // numbered first; both are append-only, so the remap is one offset on
+  // the object suffix).  Even without a remap the trivial-summary memo
+  // keys boundary flags the rebuild may have changed; an identity remap
+  // clears it.
+  DynSum.remapCache([&Plan](pag::NodeId N) { return Plan.remap(N); });
+  Stats.NodesRemapped = Plan.NodesRemapped;
 
-  for (ir::MethodId M : Invalidate)
+  for (ir::MethodId M : Plan.Methods)
     DynSum.invalidateMethod(M);
 
-  Stats.MethodsInvalidated = Invalidate.size();
+  // The attached cross-thread store holds the same summaries under the
+  // same node keying; one beginGeneration applies the identical remap +
+  // drop and moves the store to the post-edit generation.
+  if (Store)
+    Stats.SharedSummariesDropped = Store->beginGeneration(Graph, Plan);
+
+  Stats.MethodsInvalidated = Plan.Methods.size();
   Stats.SummariesDropped = Stats.SummariesBefore - DynSum.cacheSize();
   DirtyMethods.clear();
-  snapshot();
+  LastBoundary = snapshotBoundary(Graph, NewNumVars);
   LastCommit = Stats;
   return Stats;
 }

@@ -19,7 +19,17 @@
 /// m flips HasGlobalIn on m's formals, which decides whether Algorithm 3
 /// records a boundary tuple there.  commit() therefore invalidates the
 /// directly edited methods plus every method whose node flags changed,
-/// which it finds by diffing flags across the rebuild.
+/// which it finds by diffing flags across the rebuild (the shared
+/// incremental::planInvalidation).
+///
+/// A session may additionally be wired to a cross-thread
+/// engine::SharedSummaryStore via attachStore(): its analysis then
+/// fetches/publishes summaries through the store, and commit() applies
+/// the same remap + per-method invalidation to the store (bumping its
+/// generation) that it applies to the private cache — so warm summaries
+/// shared with other sessions, batch workers or a later warm start are
+/// never left stale.  Sessions stay single-threaded; for concurrent
+/// queries over an editable program use service::AnalysisService.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +37,7 @@
 #define DYNSUM_INCREMENTAL_EDITSESSION_H
 
 #include "analysis/DynSum.h"
+#include "incremental/Invalidation.h"
 #include "pag/PAGBuilder.h"
 
 #include <functional>
@@ -35,6 +46,11 @@
 #include <vector>
 
 namespace dynsum {
+
+namespace engine {
+class SharedSummaryStore;
+} // namespace engine
+
 namespace incremental {
 
 /// What commit() drops from the summary cache.
@@ -47,6 +63,9 @@ enum class InvalidationPolicy : uint8_t {
 struct CommitStats {
   uint64_t SummariesBefore = 0;
   uint64_t SummariesDropped = 0;
+  /// Summaries dropped from the attached SharedSummaryStore (0 when no
+  /// store is attached).
+  uint64_t SharedSummariesDropped = 0;
   uint64_t MethodsInvalidated = 0;
   bool NodesRemapped = false;
 };
@@ -69,6 +88,16 @@ public:
   const pag::CallGraph &callGraph() const { return Calls; }
   analysis::DynSumAnalysis &analysis() { return DynSum; }
 
+  /// Connects \p S (may be null to disconnect) as the session's summary
+  /// exchange: queries fetch warm summaries from — and publish fresh
+  /// ones into — the store, and every commit() applies its invalidation
+  /// to the store as well, bumping the store's generation.  The store
+  /// must describe the same program as this session (same PAG shape);
+  /// it may be shared with engine batches or other sessions between
+  /// commits.
+  void attachStore(engine::SharedSummaryStore *S);
+  engine::SharedSummaryStore *attachedStore() const { return Store; }
+
   //===------------------------------------------------------------------===//
   // Edits
   //===------------------------------------------------------------------===//
@@ -77,8 +106,9 @@ public:
   void addStatement(ir::MethodId M, ir::Statement S);
 
   /// Removes every statement of \p M matching \p Pred; returns how many.
-  size_t removeStatements(ir::MethodId M,
-                          const std::function<bool(const ir::Statement &)> &Pred);
+  size_t
+  removeStatements(ir::MethodId M,
+                   const std::function<bool(const ir::Statement &)> &Pred);
 
   /// Marks \p M edited after direct program() mutation.
   void markDirty(ir::MethodId M);
@@ -87,7 +117,8 @@ public:
   bool dirty() const { return !DirtyMethods.empty(); }
 
   /// Applies pending edits: rebuilds the PAG in place and invalidates
-  /// summaries per the session policy.  No-op when clean.
+  /// summaries (private cache and attached store) per the session
+  /// policy.  No-op when clean.
   CommitStats commit();
 
   /// Statistics of the most recent non-trivial commit.
@@ -101,28 +132,20 @@ public:
   analysis::QueryResult queryVar(ir::VarId V);
 
 private:
-  /// Records the per-node boundary flags the next commit diffs against.
-  void snapshot();
-
   std::unique_ptr<ir::Program> Prog;
   pag::PAG Graph;
   pag::CallGraph Calls;
   analysis::DynSumAnalysis DynSum;
   InvalidationPolicy Policy;
+  engine::SharedSummaryStore *Store = nullptr;
 
   std::unordered_set<ir::MethodId> DirtyMethods;
   CommitStats LastCommit;
 
-  /// Snapshot of the last build: node count of the variable prefix and
-  /// per-node (method, flags) for the boundary diff.
-  struct NodeFlags {
-    ir::MethodId Method = ir::kNone;
-    bool HasLocalEdge = false;
-    bool HasGlobalIn = false;
-    bool HasGlobalOut = false;
-  };
-  size_t LastNumVars = 0;
-  std::vector<NodeFlags> LastFlags;
+  /// Boundary flags of the last build, diffed by the next commit
+  /// (the in-place rebuild destroys the old graph, so the flags are
+  /// snapshotted eagerly).
+  BoundarySnapshot LastBoundary;
 };
 
 } // namespace incremental

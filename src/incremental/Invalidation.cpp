@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invalidation-plan computation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Invalidation.h"
+
+#include <cassert>
+
+using namespace dynsum;
+using namespace dynsum::incremental;
+
+BoundarySnapshot dynsum::incremental::snapshotBoundary(const pag::PAG &G,
+                                                       size_t NumVars) {
+  BoundarySnapshot S;
+  S.NumVars = NumVars;
+  S.Flags.resize(G.numNodes());
+  for (pag::NodeId N = 0; N < G.numNodes(); ++N) {
+    const pag::Node &Node = G.node(N);
+    S.Flags[N] = {Node.Method, Node.HasLocalEdge, Node.HasGlobalIn,
+                  Node.HasGlobalOut};
+  }
+  return S;
+}
+
+InvalidationPlan dynsum::incremental::planInvalidation(
+    const BoundarySnapshot &Old, const pag::PAG &NewGraph, size_t NewNumVars,
+    const std::unordered_set<ir::MethodId> &Dirty) {
+  InvalidationPlan Plan;
+  Plan.OldNumVars = Old.NumVars;
+  if (NewNumVars != Old.NumVars) {
+    assert(NewNumVars > Old.NumVars && "variables are append-only");
+    Plan.NodesRemapped = true;
+    Plan.VarOffset = uint32_t(NewNumVars - Old.NumVars);
+  }
+  Plan.Methods = Dirty;
+
+  // The methods to invalidate: those edited directly plus those whose
+  // node flags changed across the rebuild (their summaries' boundary
+  // tuples may be stale).  Summaries keyed at unowned nodes (globals,
+  // the null object) sit outside any method; drop them whenever a flag
+  // changed anywhere, since global edges are what connects them.
+  bool AnyFlagChanged = false;
+  for (pag::NodeId N = 0; N < Old.Flags.size(); ++N) {
+    pag::NodeId New = Plan.remap(N);
+    assert(New < NewGraph.numNodes() && "append-only ids stay in range");
+    const pag::Node &Node = NewGraph.node(New);
+    const BoundaryFlags &Was = Old.Flags[N];
+    assert(Node.Method == Was.Method && "node/method mapping is stable");
+    if (Node.HasLocalEdge != Was.HasLocalEdge ||
+        Node.HasGlobalIn != Was.HasGlobalIn ||
+        Node.HasGlobalOut != Was.HasGlobalOut) {
+      Plan.Methods.insert(Node.Method);
+      AnyFlagChanged = true;
+    }
+  }
+  if (AnyFlagChanged || !Dirty.empty())
+    Plan.Methods.insert(ir::kNone); // global/null-object-keyed summaries
+  return Plan;
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Commit-time invalidation planning, shared by every warm summary
+/// cache.
+///
+/// A PPTA summary keyed at a node of method m depends on (a) m's local
+/// edges and (b) the global-edge boundary flags of m's nodes.  Editing
+/// m changes (a) only for m; edits elsewhere can only change (b) — e.g.
+/// adding the first call to m flips HasGlobalIn on m's formals, which
+/// decides whether Algorithm 3 records a boundary tuple there.  An
+/// exact commit therefore invalidates the directly edited methods plus
+/// every method whose node flags changed across the rebuild.
+///
+/// This module computes that plan from a pre-rebuild BoundarySnapshot
+/// and the post-rebuild graph, so the identical rule is applied to
+/// every cache that outlives a commit: the private DynSumAnalysis cache
+/// of an EditSession, and the cross-thread SharedSummaryStore behind an
+/// AnalysisService (src/engine/SummaryStore.h consumes the plan through
+/// beginGeneration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_INCREMENTAL_INVALIDATION_H
+#define DYNSUM_INCREMENTAL_INVALIDATION_H
+
+#include "pag/PAG.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dynsum {
+namespace incremental {
+
+/// Per-node boundary state recorded before a rebuild, diffed after.
+struct BoundaryFlags {
+  ir::MethodId Method = ir::kNone;
+  bool HasLocalEdge = false;
+  bool HasGlobalIn = false;
+  bool HasGlobalOut = false;
+};
+
+/// Everything the invalidation diff needs from the pre-edit build: the
+/// variable-prefix length of the node numbering and every node's flags.
+struct BoundarySnapshot {
+  size_t NumVars = 0;
+  std::vector<BoundaryFlags> Flags;
+};
+
+/// Records \p G's boundary flags; \p NumVars is the variable count of
+/// the program \p G was built from (variables are always numbered
+/// first, so it is also the length of the variable node prefix).
+BoundarySnapshot snapshotBoundary(const pag::PAG &G, size_t NumVars);
+
+/// What one commit must do to every summary cache built on the old
+/// graph before it can serve the new one.
+struct InvalidationPlan {
+  /// Variables were added, shifting every object node up by VarOffset.
+  bool NodesRemapped = false;
+  size_t OldNumVars = 0;
+  uint32_t VarOffset = 0;
+  /// Methods whose summaries must be dropped (edited directly or with a
+  /// changed boundary flag).  Contains ir::kNone when the summaries
+  /// keyed at unowned nodes (globals, the null object) must go too.
+  std::unordered_set<ir::MethodId> Methods;
+
+  /// Old-graph node id -> new-graph node id.  Variables and allocation
+  /// sites are append-only, so the remap is a single offset on the
+  /// object suffix.
+  pag::NodeId remap(pag::NodeId N) const {
+    return N < OldNumVars ? N : pag::NodeId(N + VarOffset);
+  }
+};
+
+/// Diffs \p Old against the rebuilt \p NewGraph (whose program now has
+/// \p NewNumVars variables) and folds in the directly edited \p Dirty
+/// methods.
+InvalidationPlan
+planInvalidation(const BoundarySnapshot &Old, const pag::PAG &NewGraph,
+                 size_t NewNumVars,
+                 const std::unordered_set<ir::MethodId> &Dirty);
+
+} // namespace incremental
+} // namespace dynsum
+
+#endif // DYNSUM_INCREMENTAL_INVALIDATION_H

@@ -1,0 +1,224 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnalysisService implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "analysis/SummaryIO.h"
+
+#include <algorithm>
+
+using namespace dynsum;
+using namespace dynsum::service;
+using incremental::CommitStats;
+using incremental::InvalidationPlan;
+using incremental::InvalidationPolicy;
+
+AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
+                                 ServiceOptions Opts)
+    : Opts(Opts), Prog(std::move(P)) {
+  publish(buildGeneration()); // generation 0, store is empty
+}
+
+std::shared_ptr<const AnalysisService::Generation>
+AnalysisService::buildGeneration() {
+  auto G = std::make_shared<Generation>();
+  G->Number = Store.generation();
+  G->NumVars = Prog->variables().size();
+  G->Built = pag::buildPAG(*Prog);
+  G->Engine = std::make_unique<engine::QueryScheduler>(
+      *G->Built.Graph, Opts.Engine, Store, G->Number);
+  return G;
+}
+
+void AnalysisService::publish(std::shared_ptr<const Generation> G) {
+  std::lock_guard<std::mutex> Lock(GenMutex);
+  Current = std::move(G);
+}
+
+std::shared_ptr<const AnalysisService::Generation>
+AnalysisService::current() const {
+  std::lock_guard<std::mutex> Lock(GenMutex);
+  return Current;
+}
+
+//===----------------------------------------------------------------------===//
+// Edits
+//===----------------------------------------------------------------------===//
+
+void AnalysisService::addStatement(ir::MethodId M, ir::Statement S) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  Prog->addStatement(M, std::move(S));
+  DirtyMethods.insert(M);
+}
+
+size_t AnalysisService::removeStatements(
+    ir::MethodId M, const std::function<bool(const ir::Statement &)> &Pred) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  std::vector<ir::Statement> &Stmts = Prog->method(M).Stmts;
+  size_t Before = Stmts.size();
+  Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
+  size_t Removed = Before - Stmts.size();
+  if (Removed > 0)
+    DirtyMethods.insert(M);
+  return Removed;
+}
+
+void AnalysisService::markDirty(ir::MethodId M) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  DirtyMethods.insert(M);
+}
+
+void AnalysisService::editProgram(
+    const std::function<std::vector<ir::MethodId>(ir::Program &)> &Edit) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  for (ir::MethodId M : Edit(*Prog))
+    DirtyMethods.insert(M);
+}
+
+bool AnalysisService::dirty() const {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  return !DirtyMethods.empty();
+}
+
+CommitStats AnalysisService::commitLocked() {
+  if (DirtyMethods.empty())
+    return {};
+
+  CommitStats Stats;
+  Stats.SummariesBefore = Store.size();
+
+  std::shared_ptr<const Generation> Old = current();
+  incremental::BoundarySnapshot OldBoundary =
+      incremental::snapshotBoundary(*Old->Built.Graph, Old->NumVars);
+
+  // Build the next epoch's graph first; the old generation keeps
+  // serving in-flight batches untouched the whole time.
+  pag::BuiltPAG NewBuilt = pag::buildPAG(*Prog);
+  size_t NewNumVars = Prog->variables().size();
+
+  if (Opts.Policy == InvalidationPolicy::ClearAll) {
+    Stats.SummariesDropped = Store.size();
+    Store.clear(); // bumps the store generation
+  } else {
+    InvalidationPlan Plan = incremental::planInvalidation(
+        OldBoundary, *NewBuilt.Graph, NewNumVars, DirtyMethods);
+    Stats.NodesRemapped = Plan.NodesRemapped;
+    Stats.MethodsInvalidated = Plan.Methods.size();
+    Stats.SummariesDropped = Store.beginGeneration(*NewBuilt.Graph, Plan);
+  }
+  Stats.SharedSummariesDropped = Stats.SummariesDropped;
+
+  // Publish: from here on new batches pin the new generation; batches
+  // that already grabbed Old keep it alive and drain against it (their
+  // store epoch went stale with the bump above, so they compute
+  // privately and never cross-contaminate).
+  auto NewGen = std::make_shared<Generation>();
+  NewGen->Number = Store.generation();
+  NewGen->NumVars = NewNumVars;
+  NewGen->Built = std::move(NewBuilt);
+  NewGen->Engine = std::make_unique<engine::QueryScheduler>(
+      *NewGen->Built.Graph, Opts.Engine, Store, NewGen->Number);
+  publish(std::move(NewGen));
+
+  DirtyMethods.clear();
+  Commits.fetch_add(1, std::memory_order_relaxed);
+  SharedDropped.fetch_add(Stats.SummariesDropped, std::memory_order_relaxed);
+  return Stats;
+}
+
+CommitStats AnalysisService::commit() {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  return commitLocked();
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+ServiceBatchResult AnalysisService::queryVars(
+    const std::vector<ir::VarId> &Vars) {
+  std::shared_ptr<const Generation> Gen = current();
+
+  // Variables are append-only with dense ids, so id < NumVars decides
+  // whether the pinned generation knows the variable.  Unknown ones
+  // (created after this generation's commit) keep a default (empty)
+  // outcome.
+  engine::QueryBatch Batch;
+  std::vector<size_t> Slot; // batch index -> Vars index
+  Slot.reserve(Vars.size());
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (Vars[I] < Gen->NumVars) {
+      Batch.add(Gen->Built.Graph->nodeOfVar(Vars[I]));
+      Slot.push_back(I);
+    }
+  }
+
+  engine::BatchResult R = Gen->Engine->run(Batch);
+
+  ServiceBatchResult Out;
+  Out.Generation = Gen->Number;
+  Out.Stats = R.Stats;
+  Out.Outcomes.resize(Vars.size());
+  for (size_t B = 0; B < Slot.size(); ++B)
+    Out.Outcomes[Slot[B]] = std::move(R.Outcomes[B]);
+
+  Batches.fetch_add(1, std::memory_order_relaxed);
+  Queries.fetch_add(Vars.size(), std::memory_order_relaxed);
+  return Out;
+}
+
+engine::QueryOutcome AnalysisService::queryVar(ir::VarId V) {
+  ServiceBatchResult R = queryVars({V});
+  return std::move(R.Outcomes.front());
+}
+
+//===----------------------------------------------------------------------===//
+// Persistence
+//===----------------------------------------------------------------------===//
+//
+// Both directions stage through a DynSumAnalysis over the current
+// generation's graph, exactly like QueryScheduler's warm-start path:
+// SummaryIO's DynSum cache is the authoritative on-disk schema.
+// Pending edits are committed first so the file's program fingerprint
+// always describes the summaries actually saved/loaded.
+
+bool AnalysisService::saveSummaries(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  commitLocked();
+  std::shared_ptr<const Generation> Gen = current();
+  analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
+  Store.drainInto(Staging);
+  return analysis::saveSummariesFile(Staging, Path);
+}
+
+bool AnalysisService::loadSummaries(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  commitLocked();
+  std::shared_ptr<const Generation> Gen = current();
+  analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
+  if (!analysis::loadSummariesFile(Staging, Path))
+    return false;
+  Store.seedFrom(Staging); // publishes at the current generation
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+uint64_t AnalysisService::generation() const { return current()->Number; }
+
+ServiceStats AnalysisService::stats() const {
+  ServiceStats S;
+  S.Generation = generation();
+  S.Commits = Commits.load(std::memory_order_relaxed);
+  S.Batches = Batches.load(std::memory_order_relaxed);
+  S.Queries = Queries.load(std::memory_order_relaxed);
+  S.SharedSummariesDropped = SharedDropped.load(std::memory_order_relaxed);
+  S.StoreSize = Store.size();
+  return S;
+}

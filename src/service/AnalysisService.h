@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AnalysisService: a long-lived analysis server that owns an editable
+/// program and serves concurrent query batches through the parallel
+/// engine while edits are committed.
+///
+/// This is the layer the paper's motivating environments (JIT
+/// compilers, IDEs — Sections 1 and 7) sit on: clients on any thread
+/// submit query batches; an editor thread buffers program edits and
+/// publishes them with commit().  The two interleave through versioned
+/// epochs ("generations"):
+///
+///   * Every generation is an immutable snapshot — a freshly built PAG
+///     plus a QueryScheduler pinned to the SharedSummaryStore
+///     generation the PAG corresponds to.  Queries grab the current
+///     generation (one shared_ptr copy under a mutex) and run entirely
+///     against it, without ever touching the editable program.  A
+///     finalized PAG never reads its ir::Program on the query path, so
+///     concurrent edits to the program are invisible to running
+///     batches.
+///
+///   * commit() (serialized on the edit lock) builds the next PAG from
+///     the edited program, applies the shared
+///     incremental::planInvalidation to the service-owned
+///     SharedSummaryStore — remapping node ids, dropping exactly the
+///     summaries the edit can invalidate, bumping the store generation
+///     — and swaps the current-generation pointer.  In-flight batches
+///     keep their old generation alive through the shared_ptr and
+///     drain against the old PAG; their store probes miss from then on
+///     (stale epoch), so answers stay correct for the epoch they
+///     report, and their publishes are dropped rather than poisoning
+///     the new generation.
+///
+/// Warm summaries survive commits per the invalidation policy, and
+/// survive restarts through saveSummaries()/loadSummaries() (SummaryIO;
+/// fingerprint-checked against the current program), so a reopened
+/// service starts warm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SERVICE_ANALYSISSERVICE_H
+#define DYNSUM_SERVICE_ANALYSISSERVICE_H
+
+#include "engine/QueryScheduler.h"
+#include "incremental/EditSession.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace dynsum {
+namespace service {
+
+/// Service tunables: the engine configuration every generation's
+/// scheduler runs with, and the commit invalidation policy.
+struct ServiceOptions {
+  engine::EngineOptions Engine;
+  incremental::InvalidationPolicy Policy =
+      incremental::InvalidationPolicy::PerMethod;
+};
+
+/// Outcomes of one service batch plus the generation they were answered
+/// against.  A batch racing a commit reports the generation it actually
+/// drained on — its answers are exact for that program version.
+struct ServiceBatchResult {
+  std::vector<engine::QueryOutcome> Outcomes;
+  engine::BatchStats Stats;
+  uint64_t Generation = 0;
+};
+
+/// Lifetime counters (monotonic; readable from any thread).
+struct ServiceStats {
+  uint64_t Generation = 0;
+  uint64_t Commits = 0;
+  uint64_t Batches = 0;
+  uint64_t Queries = 0;
+  uint64_t SharedSummariesDropped = 0;
+  size_t StoreSize = 0;
+};
+
+/// The concurrent incremental analysis server.
+///
+/// Thread-safety contract: queryVars/queryVar/generation/stats may be
+/// called from any number of threads concurrently with each other and
+/// with edits.  Edit entry points (addStatement, removeStatements,
+/// markDirty, editProgram, commit, saveSummaries, loadSummaries) are
+/// serialized internally on the edit lock and may also be called from
+/// any thread.  program() returns the live editable program and is only
+/// safe to read on a thread that is not racing edits (typically the
+/// editor thread itself).
+class AnalysisService {
+public:
+  /// Takes ownership of \p P and eagerly publishes generation 0.
+  explicit AnalysisService(std::unique_ptr<ir::Program> P,
+                           ServiceOptions Opts = ServiceOptions());
+
+  //===------------------------------------------------------------------===//
+  // Edits (buffered; invisible to queries until commit())
+  //===------------------------------------------------------------------===//
+
+  /// Appends \p S to method \p M.
+  void addStatement(ir::MethodId M, ir::Statement S);
+
+  /// Removes every statement of \p M matching \p Pred; returns how many.
+  size_t
+  removeStatements(ir::MethodId M,
+                   const std::function<bool(const ir::Statement &)> &Pred);
+
+  /// Marks \p M edited (pair with editProgram for direct mutation).
+  void markDirty(ir::MethodId M);
+
+  /// Runs \p Edit on the program under the edit lock; it returns the
+  /// methods it touched, which are marked dirty.  Use this for
+  /// multi-step mutations (createLocal + addStatement + ...) that must
+  /// appear atomic to other editors.
+  void editProgram(
+      const std::function<std::vector<ir::MethodId>(ir::Program &)> &Edit);
+
+  /// True when edits are pending (racy by nature; advisory only).
+  bool dirty() const;
+
+  /// Publishes pending edits as a new generation: builds the next PAG,
+  /// invalidates the shared store per the policy (SummariesBefore /
+  /// SummariesDropped count store entries), and swaps the current
+  /// generation.  In-flight batches drain against the previous one.
+  /// No-op when clean.
+  incremental::CommitStats commit();
+
+  //===------------------------------------------------------------------===//
+  // Queries (any thread, lock-free after the snapshot grab)
+  //===------------------------------------------------------------------===//
+
+  /// Answers a batch of points-to queries on program variables against
+  /// the current generation.  Outcome i answers Vars[i]; a variable the
+  /// pinned generation does not know yet (created after its commit)
+  /// gets an empty outcome.
+  ServiceBatchResult queryVars(const std::vector<ir::VarId> &Vars);
+
+  /// Single-query convenience over queryVars.
+  engine::QueryOutcome queryVar(ir::VarId V);
+
+  //===------------------------------------------------------------------===//
+  // Persistence (warm restarts)
+  //===------------------------------------------------------------------===//
+
+  /// Commits pending edits, then saves the shared store through
+  /// SummaryIO (fingerprinted against the committed program).  A later
+  /// service constructed over an identical program loads it to start
+  /// warm.  Returns false on I/O failure.
+  bool saveSummaries(const std::string &Path);
+
+  /// Commits pending edits, then merges a SummaryIO file into the
+  /// shared store at the current generation.  Returns false — leaving
+  /// the store untouched — on a malformed file or a program-fingerprint
+  /// mismatch.
+  bool loadSummaries(const std::string &Path);
+
+  //===------------------------------------------------------------------===//
+  // Introspection
+  //===------------------------------------------------------------------===//
+
+  /// The generation queries are currently answered against.
+  uint64_t generation() const;
+
+  ServiceStats stats() const;
+
+  const ServiceOptions &options() const { return Opts; }
+
+  /// The live editable program (see the thread-safety contract).
+  ir::Program &program() { return *Prog; }
+  const ir::Program &program() const { return *Prog; }
+
+private:
+  /// One published epoch.  Engine is declared after Built so it is
+  /// destroyed first (it references Built.Graph).
+  struct Generation {
+    uint64_t Number = 0;
+    /// Variables the program had when this generation was built; vars
+    /// with ids >= NumVars were created later and are unknown here.
+    size_t NumVars = 0;
+    pag::BuiltPAG Built;
+    std::unique_ptr<engine::QueryScheduler> Engine;
+  };
+
+  /// Builds a generation from the current program state and the store's
+  /// current generation number.  Caller holds the edit lock.
+  std::shared_ptr<const Generation> buildGeneration();
+
+  /// Swaps the published generation pointer.
+  void publish(std::shared_ptr<const Generation> G);
+
+  /// Current generation snapshot (any thread).
+  std::shared_ptr<const Generation> current() const;
+
+  /// commit() body; caller holds the edit lock.
+  incremental::CommitStats commitLocked();
+
+  ServiceOptions Opts;
+  std::unique_ptr<ir::Program> Prog;
+
+  /// Serializes program mutation, commits and persistence.
+  mutable std::mutex EditMutex;
+  std::unordered_set<ir::MethodId> DirtyMethods; // guarded by EditMutex
+
+  /// The cross-generation summary store; generations are the store's.
+  engine::SharedSummaryStore Store;
+
+  /// Guards only the Current pointer swap/copy.
+  mutable std::mutex GenMutex;
+  std::shared_ptr<const Generation> Current;
+
+  std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> Queries{0};
+  std::atomic<uint64_t> SharedDropped{0};
+};
+
+} // namespace service
+} // namespace dynsum
+
+#endif // DYNSUM_SERVICE_ANALYSISSERVICE_H

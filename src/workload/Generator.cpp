@@ -595,3 +595,35 @@ size_t dynsum::workload::scaledQueryCount(const BenchmarkSpec &Spec,
   size_t N = size_t(std::llround(double(Total) * Scale));
   return std::max<size_t>(8, N);
 }
+
+std::vector<ir::VarId>
+dynsum::workload::probeVariables(const ir::Program &P, size_t Stride) {
+  std::vector<ir::VarId> Out;
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Id % Stride == 0)
+      Out.push_back(V.Id);
+  return Out;
+}
+
+std::vector<ir::MethodId> dynsum::workload::applyScriptEdit(ir::Program &P,
+                                                            unsigned I) {
+  ir::MethodId M = P.methods()[(I * 37 + 11) % P.methods().size()].Id;
+  ir::TypeId T = P.classes().back().Id;
+  ir::VarId Fresh = P.createLocal(P.name("svc$" + std::to_string(I)), M, T);
+  ir::Statement New;
+  New.Kind = ir::StmtKind::Alloc;
+  New.Dst = Fresh;
+  New.Type = T;
+  New.Alloc = P.createAllocSite(T, M, Symbol{});
+  P.addStatement(M, std::move(New));
+  for (const ir::Statement &St : P.method(M).Stmts)
+    if (St.Kind == ir::StmtKind::Assign) {
+      ir::Statement Copy;
+      Copy.Kind = ir::StmtKind::Assign;
+      Copy.Src = Fresh;
+      Copy.Dst = St.Dst;
+      P.addStatement(M, std::move(Copy));
+      break;
+    }
+  return {M};
+}

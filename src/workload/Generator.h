@@ -50,6 +50,17 @@ std::unique_ptr<ir::Program> generateProgram(const BenchmarkSpec &Spec,
 size_t scaledQueryCount(const BenchmarkSpec &Spec, unsigned ClientIndex,
                         double Scale);
 
+/// A deterministic probe query set: every \p Stride-th local variable.
+std::vector<ir::VarId> probeVariables(const ir::Program &P, size_t Stride);
+
+/// The canonical deterministic edit script of the incremental benches
+/// and their pinning tests: step \p I appends a fresh local + allocation
+/// to a pseudo-random method, plus an assign into an existing variable
+/// when possible.  Returns the methods touched.  Shared so the
+/// TSan-covered service tests exercise exactly the pattern
+/// bench/service_loop measures.
+std::vector<ir::MethodId> applyScriptEdit(ir::Program &P, unsigned I);
+
 } // namespace workload
 } // namespace dynsum
 

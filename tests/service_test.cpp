@@ -1,0 +1,514 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the concurrent incremental layer: SharedSummaryStore
+/// generations (stale-epoch fetches must miss, stale publishes must
+/// drop), EditSession's shared-store wiring, and the AnalysisService —
+/// including a commit-while-querying run at 4 reader threads whose
+/// every batch must match a cold serial rerun of the generation it
+/// reports.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "analysis/SummaryIO.h"
+#include "ir/Parser.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace dynsum;
+using namespace dynsum::engine;
+using namespace dynsum::service;
+using analysis::AnalysisOptions;
+using analysis::PortableSummary;
+using analysis::RsmState;
+using incremental::CommitStats;
+using incremental::InvalidationPlan;
+using incremental::InvalidationPolicy;
+
+namespace {
+
+std::unique_ptr<ir::Program> parse(const char *Source) {
+  ir::ParseResult R = ir::parseProgram(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.Prog);
+}
+
+ir::VarId varOf(const ir::Program &P, std::string_view Method,
+                std::string_view Name) {
+  ir::MethodId M = P.findFreeMethod(P.names().lookup(Method));
+  EXPECT_NE(M, ir::kNone) << "no free method " << Method;
+  Symbol N = P.names().lookup(Name);
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Owner == M && V.Name == N)
+      return V.Id;
+  ADD_FAILURE() << "no variable " << Name << " in " << Method;
+  return ir::kNone;
+}
+
+ir::AllocId allocOf(const ir::Program &P, std::string_view Label) {
+  Symbol L = P.names().lookup(Label);
+  for (const ir::AllocSite &A : P.allocs())
+    if (A.Label == L)
+      return A.Id;
+  ADD_FAILURE() << "no alloc " << Label;
+  return ir::kNone;
+}
+
+const char *kTwoMethodSource = R"(
+class A {}
+class Box { fields f }
+method helper(b) {
+  t = b.f
+  return t
+}
+method main() {
+  box = new Box @obox
+  a = new A @oa
+  box.f = a
+  r = call helper(box)
+  other = new A @oother
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SharedSummaryStore generations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A parsed two-method program with its PAG, for direct store tests.
+struct StoreFixture {
+  StoreFixture() : Prog(parse(kTwoMethodSource)), Built(pag::buildPAG(*Prog)) {}
+
+  pag::NodeId nodeOf(std::string_view Method, std::string_view Var) const {
+    return Built.Graph->nodeOfVar(varOf(*Prog, Method, Var));
+  }
+
+  /// An identity-remap plan invalidating \p Methods.
+  InvalidationPlan identityPlan(
+      std::unordered_set<ir::MethodId> Methods = {}) const {
+    InvalidationPlan Plan;
+    Plan.OldNumVars = Prog->variables().size();
+    Plan.Methods = std::move(Methods);
+    return Plan;
+  }
+
+  std::unique_ptr<ir::Program> Prog;
+  pag::BuiltPAG Built;
+};
+
+PortableSummary summaryWithObject(ir::AllocId A) {
+  PortableSummary S;
+  S.Objects.push_back(A);
+  return S;
+}
+
+} // namespace
+
+TEST(SummaryStoreGenerationTest, StaleFetchMissesAndStalePublishDrops) {
+  StoreFixture F;
+  SharedSummaryStore Store;
+  EXPECT_EQ(Store.generation(), 0u);
+
+  pag::NodeId N = F.nodeOf("main", "a");
+  Store.publishAt(0, N, {}, RsmState::S1, summaryWithObject(1));
+  ASSERT_EQ(Store.size(), 1u);
+
+  PortableSummary Out;
+  EXPECT_TRUE(Store.fetchAt(0, N, {}, RsmState::S1, Out));
+
+  // Bump to generation 1 without dropping anything.
+  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.identityPlan()), 0u);
+  EXPECT_EQ(Store.generation(), 1u);
+  EXPECT_EQ(Store.size(), 1u);
+
+  // The pinned-epoch probe from a draining batch must miss...
+  EXPECT_FALSE(Store.fetchAt(0, N, {}, RsmState::S1, Out));
+  // ...while the new epoch still sees the surviving entry.
+  EXPECT_TRUE(Store.fetchAt(1, N, {}, RsmState::S1, Out));
+
+  // A stale publish is dropped, not installed.
+  pag::NodeId M = F.nodeOf("main", "other");
+  Store.publishAt(0, M, {}, RsmState::S1, summaryWithObject(2));
+  EXPECT_EQ(Store.size(), 1u);
+  EXPECT_FALSE(Store.fetchAt(1, M, {}, RsmState::S1, Out));
+
+  // clear() also bumps: epoch 1 is stale afterwards.
+  Store.clear();
+  EXPECT_EQ(Store.generation(), 2u);
+  EXPECT_EQ(Store.size(), 0u);
+  Store.publishAt(1, N, {}, RsmState::S1, summaryWithObject(1));
+  EXPECT_EQ(Store.size(), 0u);
+}
+
+TEST(SummaryStoreGenerationTest, BeginGenerationDropsInvalidatedMethods) {
+  StoreFixture F;
+  ir::MethodId Helper =
+      F.Prog->findFreeMethod(F.Prog->names().lookup("helper"));
+  ir::MethodId Main = F.Prog->findFreeMethod(F.Prog->names().lookup("main"));
+  ASSERT_NE(Helper, Main);
+
+  SharedSummaryStore Store;
+  pag::NodeId InHelper = F.nodeOf("helper", "t");
+  pag::NodeId InMain = F.nodeOf("main", "box");
+  Store.publish(InHelper, {}, RsmState::S1, summaryWithObject(1));
+  Store.publish(InMain, {}, RsmState::S2, summaryWithObject(2));
+  ASSERT_EQ(Store.size(), 2u);
+
+  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.identityPlan({Helper})),
+            1u);
+  EXPECT_EQ(Store.size(), 1u);
+
+  PortableSummary Out;
+  uint64_t Gen = Store.generation();
+  EXPECT_FALSE(Store.fetchAt(Gen, InHelper, {}, RsmState::S1, Out));
+  EXPECT_TRUE(Store.fetchAt(Gen, InMain, {}, RsmState::S2, Out));
+}
+
+TEST(SummaryStoreGenerationTest, BeginGenerationRemapsKeysAndTuples) {
+  StoreFixture F;
+  SharedSummaryStore Store;
+
+  // Key a summary at an object node (they sit above the variable
+  // prefix, so they shift on remap) with a tuple at another object.
+  size_t NumVars = F.Prog->variables().size();
+  pag::NodeId Obj = F.Built.Graph->nodeOfAlloc(allocOf(*F.Prog, "oa"));
+  ASSERT_GE(Obj, NumVars);
+  PortableSummary S = summaryWithObject(3);
+  S.Tuples.push_back(PortableSummary::Tuple{Obj, RsmState::S2, 0});
+  Store.publish(Obj, {}, RsmState::S1, std::move(S));
+
+  // Simulate adding one variable: grow the program the same way the
+  // session would, rebuild, and remap with offset 1.
+  ir::MethodId Main = F.Prog->findFreeMethod(F.Prog->names().lookup("main"));
+  F.Prog->createLocal(F.Prog->name("fresh"), Main, ir::kObjectType);
+  pag::BuiltPAG NewBuilt = pag::buildPAG(*F.Prog);
+
+  InvalidationPlan Plan;
+  Plan.OldNumVars = NumVars;
+  Plan.NodesRemapped = true;
+  Plan.VarOffset = 1;
+  EXPECT_EQ(Store.beginGeneration(*NewBuilt.Graph, Plan), 0u);
+
+  PortableSummary Out;
+  uint64_t Gen = Store.generation();
+  EXPECT_FALSE(Store.fetchAt(Gen, Obj, {}, RsmState::S1, Out));
+  ASSERT_TRUE(Store.fetchAt(Gen, Obj + 1, {}, RsmState::S1, Out));
+  ASSERT_EQ(Out.Tuples.size(), 1u);
+  EXPECT_EQ(Out.Tuples[0].Node, Obj + 1);
+  EXPECT_EQ(Out.Objects, std::vector<ir::AllocId>{3});
+}
+
+//===----------------------------------------------------------------------===//
+// EditSession <-> SharedSummaryStore wiring
+//===----------------------------------------------------------------------===//
+
+/// The boundary-flag regression, through the *store*: session A warms
+/// the shared store while helper() is uncalled; adding the first call
+/// must drop helper's store entries so a second reader never reuses the
+/// stale (boundary-tuple-free) summary.
+TEST(EditSessionStoreTest, CommitInvalidatesAttachedStore) {
+  auto P = parse(R"(
+    class A {}
+    class Box { fields f }
+    method helper(b) {
+      t = b.f
+      return t
+    }
+    method main() {
+      box = new Box @obox
+      a = new A @oa
+      box.f = a
+    }
+  )");
+  ir::Program &Prog = *P;
+  ir::MethodId Main = Prog.findFreeMethod(Prog.names().lookup("main"));
+  ir::MethodId Helper = Prog.findFreeMethod(Prog.names().lookup("helper"));
+  ir::VarId T = varOf(Prog, "helper", "t");
+  ir::VarId Box = varOf(Prog, "main", "box");
+
+  SharedSummaryStore Store;
+  incremental::EditSession S(std::move(P), AnalysisOptions());
+  S.attachStore(&Store);
+
+  // Warm both the private cache and the store while helper is uncalled.
+  EXPECT_TRUE(S.queryVar(T).Targets.empty());
+  ASSERT_GT(Store.size(), 0u);
+  uint64_t GenBefore = Store.generation();
+
+  // Add "r = call helper(box)" to main.
+  ir::Program &Q = S.program();
+  ir::VarId R = Q.createLocal(Q.name("r"), Main, ir::kObjectType);
+  ir::Statement Call;
+  Call.Kind = ir::StmtKind::Call;
+  Call.Dst = R;
+  Call.Callee = Helper;
+  Call.Call = Q.createCallSite(Main, 99);
+  Call.Args.push_back(Box);
+  S.addStatement(Main, std::move(Call));
+  CommitStats Stats = S.commit();
+  EXPECT_GT(Stats.SharedSummariesDropped, 0u);
+  EXPECT_GT(Store.generation(), GenBefore);
+
+  // The session's own warm answer must see the new flow...
+  analysis::QueryResult RT = S.queryVar(T);
+  EXPECT_EQ(RT.Targets.size(), 1u);
+  EXPECT_TRUE(RT.contains(allocOf(S.program(), "oa")));
+
+  // ...and so must a second, cold reader that trusts only the store.
+  analysis::DynSumAnalysis Reader(S.graph(), AnalysisOptions());
+  Reader.setSummaryExchange(&Store);
+  analysis::QueryResult RR = Reader.query(S.graph().nodeOfVar(T));
+  EXPECT_EQ(RR.allocSites(), RT.allocSites());
+}
+
+TEST(EditSessionStoreTest, ClearAllPolicyClearsAttachedStore) {
+  auto P = parse(kTwoMethodSource);
+  ir::VarId R = varOf(*P, "main", "r");
+  ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
+
+  SharedSummaryStore Store;
+  incremental::EditSession S(std::move(P), AnalysisOptions(),
+                             InvalidationPolicy::ClearAll);
+  S.attachStore(&Store);
+  S.queryVar(R);
+  ASSERT_GT(Store.size(), 0u);
+
+  S.markDirty(Main);
+  CommitStats Stats = S.commit();
+  EXPECT_EQ(Stats.SharedSummariesDropped, Stats.SummariesBefore);
+  EXPECT_EQ(Store.size(), 0u);
+  EXPECT_EQ(Store.generation(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// AnalysisService basics
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisServiceTest, EditsInvisibleUntilCommit) {
+  auto P = parse(kTwoMethodSource);
+  ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
+  ir::VarId Other = varOf(*P, "main", "other");
+
+  AnalysisService S(std::move(P));
+  EXPECT_EQ(S.generation(), 0u);
+  EXPECT_EQ(S.queryVar(Other).AllocSites.size(), 1u);
+
+  S.editProgram([Main](ir::Program &Q) {
+    ir::Statement New;
+    New.Kind = ir::StmtKind::Alloc;
+    New.Dst = ir::kNone;
+    Symbol Other = Q.names().lookup("other");
+    for (const ir::Variable &V : Q.variables())
+      if (!V.IsGlobal && V.Name == Other)
+        New.Dst = V.Id;
+    New.Type = Q.findClass(Q.names().lookup("A"));
+    New.Alloc = Q.createAllocSite(New.Type, Main, Q.name("onew"));
+    Q.addStatement(Main, std::move(New));
+    return std::vector<ir::MethodId>{Main};
+  });
+  ASSERT_TRUE(S.dirty());
+
+  // Buffered edits are invisible: still generation 0, still one target.
+  EXPECT_EQ(S.queryVar(Other).AllocSites.size(), 1u);
+  EXPECT_EQ(S.generation(), 0u);
+
+  CommitStats Stats = S.commit();
+  EXPECT_EQ(S.generation(), 1u);
+  (void)Stats;
+  EXPECT_EQ(S.queryVar(Other).AllocSites.size(), 2u);
+}
+
+TEST(AnalysisServiceTest, UnknownVariableGetsEmptyOutcome) {
+  auto P = parse(kTwoMethodSource);
+  ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
+
+  AnalysisService S(std::move(P));
+  ir::VarId Fresh = ir::kNone;
+  S.editProgram([&Fresh, Main](ir::Program &Q) {
+    Fresh = Q.createLocal(Q.name("fresh"), Main, ir::kObjectType);
+    ir::Statement New;
+    New.Kind = ir::StmtKind::Alloc;
+    New.Dst = Fresh;
+    New.Type = Q.findClass(Q.names().lookup("A"));
+    New.Alloc = Q.createAllocSite(New.Type, Main, Q.name("ofresh"));
+    Q.addStatement(Main, std::move(New));
+    return std::vector<ir::MethodId>{Main};
+  });
+
+  // Generation 0 does not know the variable yet: empty, not a crash.
+  engine::QueryOutcome Unknown = S.queryVar(Fresh);
+  EXPECT_TRUE(Unknown.AllocSites.empty());
+
+  CommitStats Stats = S.commit();
+  EXPECT_TRUE(Stats.NodesRemapped);
+  engine::QueryOutcome Known = S.queryVar(Fresh);
+  ASSERT_EQ(Known.AllocSites.size(), 1u);
+  EXPECT_EQ(Known.AllocSites[0], allocOf(S.program(), "ofresh"));
+}
+
+//===----------------------------------------------------------------------===//
+// Warm reuse and persistence over a generated workload
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::unique_ptr<ir::Program> makeWorkload(uint64_t Seed = 7) {
+  workload::GenOptions GO;
+  GO.Scale = 1.0 / 256;
+  GO.Seed = Seed;
+  return workload::generateProgram(workload::specByName("soot-c"), GO);
+}
+
+// The probe picker and the deterministic edit script are
+// workload::probeVariables / workload::applyScriptEdit — shared with
+// bench/service_loop so these tests pin exactly the scenario the bench
+// measures.
+using workload::applyScriptEdit;
+using workload::probeVariables;
+
+/// Cold ground truth for \p Probe on \p P: fresh PAG, fresh DYNSUM.
+std::vector<std::vector<ir::AllocId>>
+coldAnswers(const ir::Program &P, const std::vector<ir::VarId> &Probe) {
+  pag::BuiltPAG Built = pag::buildPAG(P);
+  analysis::DynSumAnalysis A(*Built.Graph, AnalysisOptions());
+  std::vector<std::vector<ir::AllocId>> Out;
+  Out.reserve(Probe.size());
+  for (ir::VarId V : Probe)
+    Out.push_back(A.query(Built.Graph->nodeOfVar(V)).allocSites());
+  return Out;
+}
+
+} // namespace
+
+TEST(AnalysisServiceTest, PerMethodCommitKeepsStoreWarm) {
+  auto P = makeWorkload();
+  std::vector<ir::VarId> Probe = probeVariables(*P, 61);
+  ASSERT_GT(Probe.size(), 8u);
+
+  ServiceOptions SO;
+  SO.Engine.NumThreads = 2;
+  AnalysisService S(makeWorkload(), SO);
+
+  ServiceBatchResult Cold = S.queryVars(Probe);
+  ASSERT_GT(Cold.Stats.SummariesComputed, 0u);
+  ASSERT_GT(S.stats().StoreSize, 0u);
+
+  S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
+  CommitStats Stats = S.commit();
+  EXPECT_LT(Stats.SummariesDropped, Stats.SummariesBefore)
+      << "per-method invalidation must not clear the whole store";
+
+  applyScriptEdit(*P, 0); // mirror the edit on the reference program
+  std::vector<std::vector<ir::AllocId>> Expected = coldAnswers(*P, Probe);
+
+  ServiceBatchResult Warm = S.queryVars(Probe);
+  EXPECT_EQ(Warm.Generation, 1u);
+  EXPECT_LT(Warm.Stats.SummariesComputed, Cold.Stats.SummariesComputed)
+      << "surviving store entries must be reused after the commit";
+  ASSERT_EQ(Warm.Outcomes.size(), Probe.size());
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(Warm.Outcomes[I].AllocSites, Expected[I]) << "probe " << I;
+}
+
+TEST(AnalysisServiceTest, SummariesPersistAcrossRestart) {
+  std::vector<ir::VarId> Probe;
+  std::string Path = ::testing::TempDir() + "/dynsum_service_warm.bin";
+
+  {
+    AnalysisService S(makeWorkload());
+    Probe = probeVariables(S.program(), 61);
+    ASSERT_GT(Probe.size(), 8u);
+    ServiceBatchResult Cold = S.queryVars(Probe);
+    ASSERT_GT(Cold.Stats.SummariesComputed, 0u);
+    ASSERT_TRUE(S.saveSummaries(Path));
+  }
+
+  // A "restarted" service over an identical program starts warm.
+  AnalysisService S(makeWorkload());
+  ASSERT_TRUE(S.loadSummaries(Path));
+  ASSERT_GT(S.stats().StoreSize, 0u);
+  ServiceBatchResult Warm = S.queryVars(Probe);
+  EXPECT_EQ(Warm.Stats.SummariesComputed, 0u)
+      << "every summary must come from the warm-start file";
+
+  // A different program rejects the file.
+  AnalysisService Other(makeWorkload(/*Seed=*/8));
+  EXPECT_FALSE(Other.loadSummaries(Path));
+  EXPECT_EQ(Other.stats().StoreSize, 0u);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Commit-while-querying: every batch matches a serial rerun of the
+// generation it reports
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisServiceTest, ConcurrentCommitsMatchSerialRerun) {
+  constexpr unsigned kEdits = 5;
+  constexpr unsigned kReaders = 4;
+
+  auto Reference = makeWorkload();
+  std::vector<ir::VarId> Probe = probeVariables(*Reference, 149);
+  ASSERT_GT(Probe.size(), 4u);
+
+  // Serial pass: cold answers for every generation 0..kEdits.
+  std::vector<std::vector<std::vector<ir::AllocId>>> Expected;
+  Expected.push_back(coldAnswers(*Reference, Probe));
+  for (unsigned I = 0; I < kEdits; ++I) {
+    applyScriptEdit(*Reference, I);
+    Expected.push_back(coldAnswers(*Reference, Probe));
+  }
+
+  // Concurrent pass: kReaders query threads interleave with commits.
+  ServiceOptions SO;
+  SO.Engine.NumThreads = 2;
+  AnalysisService S(makeWorkload(), SO);
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> BatchesChecked{0};
+  std::vector<std::thread> Readers;
+  Readers.reserve(kReaders);
+  for (unsigned T = 0; T < kReaders; ++T)
+    Readers.emplace_back([&] {
+      do {
+        ServiceBatchResult R = S.queryVars(Probe);
+        ASSERT_LT(R.Generation, Expected.size());
+        const std::vector<std::vector<ir::AllocId>> &Want =
+            Expected[R.Generation];
+        for (size_t I = 0; I < Probe.size(); ++I)
+          EXPECT_EQ(R.Outcomes[I].AllocSites, Want[I])
+              << "probe " << I << " at generation " << R.Generation;
+        BatchesChecked.fetch_add(1, std::memory_order_relaxed);
+      } while (!Done.load(std::memory_order_relaxed));
+    });
+
+  for (unsigned I = 0; I < kEdits; ++I) {
+    S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
+    S.commit();
+    // Give the readers a chance to drain batches on this generation.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  Done.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Readers)
+    T.join();
+
+  EXPECT_EQ(S.generation(), kEdits);
+  EXPECT_GE(BatchesChecked.load(), uint64_t(kReaders));
+
+  // Steady state after the dust settles: warm answers == final serial.
+  ServiceBatchResult Final = S.queryVars(Probe);
+  EXPECT_EQ(Final.Generation, kEdits);
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(Final.Outcomes[I].AllocSites, Expected[kEdits][I]);
+}

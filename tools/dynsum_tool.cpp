@@ -15,18 +15,25 @@
 ///                                                 free.method.var for
 ///                                                 ownerless methods)
 ///                 [--budget=N] [--max-queries=N] [--threads=N]
-///                 [--stats] [--dump-ir] [--dump-pag]
+///                 [--stats] [--dump-ir] [--dump-pag] [--serve]
 ///                 [--save-summaries=path] [--load-summaries=path]
 ///
 /// --threads routes queries and clients through the parallel batch
 /// engine (dynsum only; 0 = one worker per hardware thread); summary
 /// save/load then goes through the engine's shared store.
 ///
+/// --serve starts an interactive AnalysisService session on stdin: a
+/// line-oriented edit/query loop over the loaded program ("help" lists
+/// the commands).  Queries run through the parallel engine against the
+/// current generation; edits buffer until "commit" publishes the next
+/// one; "save"/"load" persist warm summaries across serve sessions.
+///
 /// Examples:
 ///   dynsum prog.mj --client=all
 ///   dynsum prog.ir --analysis=refine --client=nullderef --budget=10000
 ///   dynsum prog.mj --query=Main.main.result --stats
 ///   dynsum prog.mj --client=all --threads=8
+///   dynsum prog.ir --serve --threads=4
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +50,7 @@
 #include "pag/GraphViz.h"
 #include "pag/PAGBuilder.h"
 #include "pag/Rta.h"
+#include "service/AnalysisService.h"
 #include "support/CommandLine.h"
 #include "support/OStream.h"
 #include "support/PrettyTable.h"
@@ -95,40 +103,44 @@ std::unique_ptr<ir::Program> loadProgram(const std::string &Path) {
   return std::move(R.Prog);
 }
 
-/// Resolves "Class.method.var" / "method.var" to a PAG variable node.
+/// Resolves "Class.method" or "method" (free methods) to a MethodId.
+ir::MethodId resolveMethod(const ir::Program &P, const std::string &Spec) {
+  size_t Dot = Spec.find('.');
+  if (Dot == std::string::npos)
+    return P.findFreeMethod(P.names().lookup(Spec));
+  ir::TypeId Cls = P.findClass(P.names().lookup(Spec.substr(0, Dot)));
+  if (Cls == ir::kNone)
+    return ir::kNone;
+  return P.findMethod(Cls, P.names().lookup(Spec.substr(Dot + 1)));
+}
+
+/// Resolves "Class.method.var" / "method.var" to a VarId.
+ir::VarId resolveVar(const ir::Program &P, const std::string &Spec) {
+  size_t LastDot = Spec.rfind('.');
+  if (LastDot == std::string::npos)
+    return ir::kNone;
+  ir::MethodId M = resolveMethod(P, Spec.substr(0, LastDot));
+  if (M == ir::kNone)
+    return ir::kNone;
+  Symbol N = P.names().lookup(Spec.substr(LastDot + 1));
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Owner == M && V.Name == N)
+      return V.Id;
+  return ir::kNone;
+}
+
+/// Resolves "Class.method.var" / "method.var" to a PAG variable node,
+/// reporting what part failed to resolve.
 bool findQueryNode(const ir::Program &P, const pag::PAG &G,
                    const std::string &Spec, pag::NodeId &Node) {
-  size_t LastDot = Spec.rfind('.');
-  if (LastDot == std::string::npos) {
-    errs() << "error: query '" << Spec
-           << "' must be Class.method.var or method.var\n";
+  ir::VarId V = resolveVar(P, Spec);
+  if (V == ir::kNone) {
+    errs() << "error: cannot resolve '" << Spec
+           << "' (expected Class.method.var or method.var)\n";
     return false;
   }
-  std::string VarName = Spec.substr(LastDot + 1);
-  std::string MethodPart = Spec.substr(0, LastDot);
-
-  ir::MethodId M = ir::kNone;
-  size_t Dot = MethodPart.find('.');
-  if (Dot == std::string::npos) {
-    M = P.findFreeMethod(P.names().lookup(MethodPart));
-  } else {
-    ir::TypeId Cls = P.findClass(P.names().lookup(MethodPart.substr(0, Dot)));
-    if (Cls != ir::kNone)
-      M = P.findMethod(Cls, P.names().lookup(MethodPart.substr(Dot + 1)));
-  }
-  if (M == ir::kNone) {
-    errs() << "error: no method '" << MethodPart << "'\n";
-    return false;
-  }
-  Symbol N = P.names().lookup(VarName);
-  for (const ir::Variable &V : P.variables())
-    if (!V.IsGlobal && V.Owner == M && V.Name == N) {
-      Node = G.nodeOfVar(V.Id);
-      return true;
-    }
-  errs() << "error: no variable '" << VarName << "' in '" << MethodPart
-         << "'\n";
-  return false;
+  Node = G.nodeOfVar(V);
+  return true;
 }
 
 /// Creates the selected analysis; \p OutDynSum is set when it is a
@@ -158,9 +170,186 @@ int usage() {
             "              [--client=safecast|nullderef|factorym|devirt|all]"
             " [--query=Class.method.var]\n"
             "              [--budget=N] [--max-queries=N] [--threads=N]"
-            " [--stats] [--dump-pag]\n"
+            " [--stats] [--dump-pag] [--serve]\n"
             "              [--save-summaries=path] [--load-summaries=path]\n";
   return 2;
+}
+
+//===----------------------------------------------------------------------===//
+// --serve: an interactive AnalysisService session on stdin
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> splitWords(const char *Line) {
+  std::vector<std::string> Words;
+  std::string Cur;
+  for (const char *C = Line; *C; ++C) {
+    if (std::isspace(static_cast<unsigned char>(*C))) {
+      if (!Cur.empty()) {
+        Words.push_back(std::move(Cur));
+        Cur.clear();
+      }
+    } else {
+      Cur.push_back(*C);
+    }
+  }
+  if (!Cur.empty())
+    Words.push_back(std::move(Cur));
+  return Words;
+}
+
+void serveHelp() {
+  outs() << "commands:\n"
+            "  query <m.var>...        batched points-to queries (current "
+            "generation)\n"
+            "  alloc <method> <var> <Class>   buffer: var = new Class "
+            "(creates var if new)\n"
+            "  assign <method> <dst> <src>    buffer: dst = src\n"
+            "  touch <method>          mark a method edited\n"
+            "  commit                  publish buffered edits as the next "
+            "generation\n"
+            "  save <path> | load <path>      persist / warm-start "
+            "summaries\n"
+            "  stats                   generation, store size, counters\n"
+            "  quit\n"
+            "method spec: Class.method or method (free); var spec appends "
+            ".var\n";
+}
+
+int runServe(std::unique_ptr<ir::Program> Prog,
+             const analysis::AnalysisOptions &AO, unsigned Threads) {
+  service::ServiceOptions SO;
+  SO.Engine.NumThreads = Threads;
+  SO.Engine.Analysis = AO;
+  service::AnalysisService S(std::move(Prog), SO);
+  outs() << "dynsum serve: " << uint64_t(S.program().methods().size())
+         << " methods, " << uint64_t(S.program().variables().size())
+         << " variables; \"help\" lists commands\n";
+
+  char Line[4096];
+  for (;;) {
+    outs() << "dynsum> ";
+    outs().flush();
+    if (!std::fgets(Line, sizeof(Line), stdin))
+      break;
+    std::vector<std::string> W = splitWords(Line);
+    if (W.empty())
+      continue;
+    const std::string &Cmd = W[0];
+
+    if (Cmd == "quit" || Cmd == "exit")
+      break;
+    if (Cmd == "help") {
+      serveHelp();
+      continue;
+    }
+    if (Cmd == "query" && W.size() > 1) {
+      std::vector<ir::VarId> Vars;
+      bool Ok = true;
+      for (size_t I = 1; I < W.size(); ++I) {
+        ir::VarId V = resolveVar(S.program(), W[I]);
+        if (V == ir::kNone) {
+          errs() << "error: no variable '" << W[I] << "'\n";
+          Ok = false;
+          break;
+        }
+        Vars.push_back(V);
+      }
+      if (!Ok)
+        continue;
+      service::ServiceBatchResult R = S.queryVars(Vars);
+      for (size_t I = 0; I < Vars.size(); ++I) {
+        const engine::QueryOutcome &O = R.Outcomes[I];
+        outs() << "pts(" << W[I + 1] << ") = {";
+        for (size_t A = 0; A < O.AllocSites.size(); ++A)
+          outs() << (A ? ", " : "")
+                 << S.program().describeAlloc(O.AllocSites[A]);
+        outs() << "}" << (O.BudgetExceeded ? " (budget exceeded)" : "")
+               << "  [" << O.Steps << " steps]\n";
+      }
+      outs() << "[generation " << R.Generation << ": "
+             << R.Stats.SharedHits << " shared hits, "
+             << R.Stats.SummariesComputed << " computed]\n";
+      continue;
+    }
+    if (Cmd == "alloc" && W.size() == 4) {
+      ir::MethodId M = resolveMethod(S.program(), W[1]);
+      ir::TypeId T = S.program().findClass(S.program().names().lookup(W[3]));
+      if (M == ir::kNone || T == ir::kNone) {
+        errs() << "error: unknown method or class\n";
+        continue;
+      }
+      S.editProgram([&](ir::Program &P) {
+        ir::VarId Dst = resolveVar(P, W[1] + "." + W[2]);
+        if (Dst == ir::kNone)
+          Dst = P.createLocal(P.name(W[2]), M, T);
+        ir::Statement New;
+        New.Kind = ir::StmtKind::Alloc;
+        New.Dst = Dst;
+        New.Type = T;
+        New.Alloc = P.createAllocSite(T, M, P.name(W[2] + "@serve"));
+        P.addStatement(M, std::move(New));
+        return std::vector<ir::MethodId>{M};
+      });
+      outs() << "buffered: " << W[2] << " = new " << W[3] << " in " << W[1]
+             << '\n';
+      continue;
+    }
+    if (Cmd == "assign" && W.size() == 4) {
+      ir::VarId Dst = resolveVar(S.program(), W[1] + "." + W[2]);
+      ir::VarId Src = resolveVar(S.program(), W[1] + "." + W[3]);
+      ir::MethodId M = resolveMethod(S.program(), W[1]);
+      if (Dst == ir::kNone || Src == ir::kNone) {
+        errs() << "error: unknown variable\n";
+        continue;
+      }
+      ir::Statement St;
+      St.Kind = ir::StmtKind::Assign;
+      St.Dst = Dst;
+      St.Src = Src;
+      S.addStatement(M, std::move(St));
+      outs() << "buffered: " << W[2] << " = " << W[3] << " in " << W[1]
+             << '\n';
+      continue;
+    }
+    if (Cmd == "touch" && W.size() == 2) {
+      ir::MethodId M = resolveMethod(S.program(), W[1]);
+      if (M == ir::kNone) {
+        errs() << "error: no method '" << W[1] << "'\n";
+        continue;
+      }
+      S.markDirty(M);
+      continue;
+    }
+    if (Cmd == "commit") {
+      incremental::CommitStats CS = S.commit();
+      outs() << "generation " << S.generation() << ": dropped "
+             << CS.SummariesDropped << "/" << CS.SummariesBefore
+             << " store summaries, " << CS.MethodsInvalidated
+             << " methods invalidated"
+             << (CS.NodesRemapped ? ", nodes remapped" : "") << '\n';
+      continue;
+    }
+    if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
+      bool Ok = Cmd == "save" ? S.saveSummaries(W[1]) : S.loadSummaries(W[1]);
+      if (Ok)
+        outs() << Cmd << ": " << uint64_t(S.stats().StoreSize)
+               << " summaries (" << W[1] << ")\n";
+      else
+        errs() << "error: cannot " << Cmd << " " << W[1] << '\n';
+      continue;
+    }
+    if (Cmd == "stats") {
+      service::ServiceStats SS = S.stats();
+      outs() << "generation " << SS.Generation << ", store "
+             << uint64_t(SS.StoreSize) << " summaries, " << SS.Commits
+             << " commits, " << SS.Batches << " batches, " << SS.Queries
+             << " queries, " << SS.SharedSummariesDropped
+             << " summaries dropped\n";
+      continue;
+    }
+    errs() << "error: bad command (try \"help\")\n";
+  }
+  return 0;
 }
 
 } // namespace
@@ -177,6 +366,16 @@ int main(int argc, char **argv) {
   if (!Problems.empty()) {
     errs() << "error: invalid program: " << Problems.front() << '\n';
     return 1;
+  }
+
+  // Interactive service session: the AnalysisService builds and rebuilds
+  // its own PAG per generation, so it takes over right here.
+  if (Args.has("serve")) {
+    analysis::AnalysisOptions ServeOpts;
+    ServeOpts.BudgetPerQuery = uint64_t(Args.getInt("budget", 75000));
+    int64_t ServeThreads = Args.getInt("threads", 4);
+    return runServe(std::move(Prog), ServeOpts,
+                    ServeThreads < 0 ? 0u : unsigned(ServeThreads));
   }
 
   // Dispatch resolver.
