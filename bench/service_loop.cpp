@@ -19,16 +19,26 @@
 /// throughput and how many batches drained against a superseded
 /// generation.
 ///
+/// Part 3 measures commit latency itself: p50/p95 of delta commits
+/// (single-method edits, per-method re-lower over the cloned previous
+/// generation) against from-scratch commits (forced full re-lower) at
+/// 1k/10k/100k-method generated programs.  `--commit-max-methods=N`
+/// skips the sizes above N (the CI smoke gate runs up to 10k).  The
+/// `BENCH_pr4.json` keys commit.<size>.* feed the CI assertion that the
+/// 10k delta p50 beats the from-scratch row.
+///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
 
 #include "incremental/EditSession.h"
 #include "service/AnalysisService.h"
+#include "support/CommandLine.h"
 #include "support/OStream.h"
 #include "support/PrettyTable.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
@@ -242,6 +252,103 @@ int main(int argc, char **argv) {
     outs() << " queries/sec, final generation "
            << S.generation() << ", store " << uint64_t(S.stats().StoreSize)
            << " summaries\n";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Part 3: commit latency — delta vs from-scratch at 1k/10k/100k
+  // methods (soot-c is 3.4k methods at scale 1).
+  //===--------------------------------------------------------------------===//
+
+  outs() << "\n=== Commit latency: delta vs from-scratch (single-method "
+            "edits) ===\n\n";
+  {
+    CommandLine CL(argc, argv);
+    uint64_t MaxMethods =
+        uint64_t(CL.getInt("commit-max-methods", 100000));
+
+    struct SizeRow {
+      const char *Label;
+      size_t Methods;
+      double Scale;
+      unsigned DeltaSamples;
+      unsigned ScratchSamples;
+    };
+    const SizeRow Rows[] = {
+        {"1k", 1000, 1000.0 / 3400.0, 9, 5},
+        {"10k", 10000, 10000.0 / 3400.0, 9, 3},
+        {"100k", 100000, 100000.0 / 3400.0, 7, 3},
+    };
+
+    auto Percentile = [](std::vector<double> Samples, double P) {
+      std::sort(Samples.begin(), Samples.end());
+      size_t I = size_t(P * double(Samples.size() - 1) + 0.5);
+      return Samples[I];
+    };
+
+    PrettyTable CT;
+    CT.row()
+        .cell("methods")
+        .cell("delta p50 ms")
+        .cell("delta p95 ms")
+        .cell("scratch p50 ms")
+        .cell("scratch p95 ms")
+        .cell("speedup p50")
+        .cell("relowered");
+
+    for (const SizeRow &Row : Rows) {
+      if (Row.Methods > MaxMethods)
+        continue;
+      workload::GenOptions Gen;
+      Gen.Scale = Row.Scale;
+      Gen.Seed = Opts.Seed;
+      ServiceOptions SO;
+      SO.Engine = Opts.engineOptions(Opts.Threads);
+      AnalysisService S(
+          workload::generateProgram(workload::specByName("soot-c"), Gen),
+          SO);
+
+      unsigned Step = 0;
+      auto CommitOnce = [&](CommitMode Mode) {
+        S.editProgram(
+            [&](ir::Program &P) { return workload::applyScriptEdit(P, Step); });
+        ++Step;
+        return S.commit(Mode).Seconds * 1e3;
+      };
+
+      (void)CommitOnce(CommitMode::Delta); // warm-up: first-edit paths
+      std::vector<double> DeltaMs, ScratchMs;
+      uint64_t Relowered = 0;
+      for (unsigned I = 0; I < Row.DeltaSamples; ++I) {
+        DeltaMs.push_back(CommitOnce(CommitMode::Delta));
+        Relowered += S.stats().LastCommitRelowered;
+      }
+      for (unsigned I = 0; I < Row.ScratchSamples; ++I)
+        ScratchMs.push_back(CommitOnce(CommitMode::Scratch));
+
+      double DP50 = Percentile(DeltaMs, 0.5), DP95 = Percentile(DeltaMs, 0.95);
+      double SP50 = Percentile(ScratchMs, 0.5),
+             SP95 = Percentile(ScratchMs, 0.95);
+      CT.row()
+          .cell(Row.Label)
+          .cell(DP50, 2)
+          .cell(DP95, 2)
+          .cell(SP50, 2)
+          .cell(SP95, 2)
+          .cell(DP50 > 0.0 ? SP50 / DP50 : 0.0, 1)
+          .cell(Relowered / Row.DeltaSamples);
+
+      std::string Prefix = std::string("commit.") + Row.Label;
+      Json.set(Prefix + ".methods", uint64_t(Row.Methods));
+      Json.set(Prefix + ".delta_p50_ms", DP50);
+      Json.set(Prefix + ".delta_p95_ms", DP95);
+      Json.set(Prefix + ".scratch_p50_ms", SP50);
+      Json.set(Prefix + ".scratch_p95_ms", SP95);
+      Json.set(Prefix + ".speedup_p50", DP50 > 0.0 ? SP50 / DP50 : 0.0);
+    }
+    CT.print(outs());
+    outs() << "\ndelta commits clone the previous generation's graph and\n"
+              "re-lower only the edited method; from-scratch forces every\n"
+              "method through lowering again (the pre-delta commit path).\n";
   }
 
   Json.set("service.num_probe_queries", uint64_t(NumProbe));

@@ -80,7 +80,9 @@ void AndersenAnalysis::solve() {
     Worklist.push_back(N);
   };
 
-  for (EdgeId Id = 0; Id < Graph.numEdges(); ++Id) {
+  for (EdgeId Id = 0; Id < Graph.numEdgeSlots(); ++Id) {
+    if (!Graph.edgeAlive(Id))
+      continue;
     const Edge &E = Graph.edge(Id);
     switch (E.Kind) {
     case EdgeKind::New:

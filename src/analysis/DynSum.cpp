@@ -446,21 +446,4 @@ void DynSumAnalysis::invalidateMethod(ir::MethodId M) {
   }
 }
 
-void DynSumAnalysis::remapCache(
-    const std::function<NodeId(NodeId)> &Remap) {
-  std::unordered_map<uint64_t, PptaSummary> NewCache;
-  NewCache.reserve(Cache.size());
-  for (auto &[Key, Summary] : Cache) {
-    NodeId OldNode = NodeId((Key >> 1) & 0xffffffffu);
-    RsmState S = (Key & 1) == 0 ? RsmState::S1 : RsmState::S2;
-    StackId Fields{uint32_t(Key >> 33)};
-    for (PptaTuple &T : Summary.Tuples)
-      T.Node = Remap(T.Node);
-    NewCache.emplace(packSummaryKey(Remap(OldNode), Fields, S),
-                     std::move(Summary));
-  }
-  Cache = std::move(NewCache);
-  // Trivial summaries are cheap to rebuild and their boundary flags may
-  // have changed; drop them wholesale.
-  TrivialSummaries.clear();
-}
+void DynSumAnalysis::clearTrivialMemo() { TrivialSummaries.clear(); }

@@ -215,11 +215,13 @@ public:
   /// (globals and the null object).
   void invalidateMethod(ir::MethodId M);
 
-  /// Rewrites every cached node id through \p Remap after an in-place
-  /// PAG rebuild changed the numbering (object nodes shift when
-  /// variables are added; see pag::rebuildPAG).  Also drops the
-  /// trivial-summary memo, whose boundary flags may be stale.
-  void remapCache(const std::function<pag::NodeId(pag::NodeId)> &Remap);
+  /// Drops the trivial-summary memo (Section 4.3 shortcut summaries for
+  /// boundary nodes without local edges).  Commits call this: the memo
+  /// keys boundary flags a rebuild may have changed, and unlike the
+  /// real cache it carries no per-method ownership to diff against.
+  /// PAG node ids themselves are stable across delta builds, so the
+  /// summary cache proper never needs rewriting.
+  void clearTrivialMemo();
 
   /// Access to the interned field-stack pool (tests, SummaryIO).
   StackPool &fieldStacks() { return FieldStacks; }

@@ -107,10 +107,39 @@ private:
   size_t Pos = 0;
 };
 
-/// Serializes one (node, stack, state) triple with the stack expanded.
-void putTriple(std::string &Buf, const StackPool &Stacks, pag::NodeId Node,
-               StackId Fields, RsmState S) {
-  put32(Buf, Node);
+/// On-disk node references are canonical — VarId for variable nodes,
+/// numVars + AllocId for object nodes — because in-memory numbering
+/// depends on the graph's delta-build history while the canonical form
+/// depends only on the (fingerprinted) program.
+uint32_t canonicalNode(const pag::PAG &G, pag::NodeId Node) {
+  const pag::Node &N = G.node(Node);
+  if (N.Kind == pag::NodeKind::Object)
+    return uint32_t(G.program().variables().size()) + N.IrId;
+  return N.IrId;
+}
+
+/// Resolves a canonical reference against \p G; false when out of
+/// range.
+bool resolveCanonicalNode(const pag::PAG &G, uint32_t Canonical,
+                          pag::NodeId &Node) {
+  size_t NumVars = G.program().variables().size();
+  size_t NumAllocs = G.program().allocs().size();
+  if (Canonical < NumVars) {
+    Node = G.nodeOfVar(Canonical);
+    return true;
+  }
+  if (Canonical - NumVars < NumAllocs) {
+    Node = G.nodeOfAlloc(uint32_t(Canonical - NumVars));
+    return true;
+  }
+  return false;
+}
+
+/// Serializes one (node, stack, state) triple with the stack expanded
+/// and the node canonicalized.
+void putTriple(std::string &Buf, const pag::PAG &G, const StackPool &Stacks,
+               pag::NodeId Node, StackId Fields, RsmState S) {
+  put32(Buf, canonicalNode(G, Node));
   put32(Buf, uint32_t(S));
   std::vector<uint32_t> Elems = Stacks.elements(Fields);
   put32(Buf, uint32_t(Elems.size()));
@@ -118,14 +147,17 @@ void putTriple(std::string &Buf, const StackPool &Stacks, pag::NodeId Node,
     put32(Buf, E);
 }
 
-/// Reads a triple back, re-interning the stack in \p Stacks.  A sanity
-/// bound on node ids and stack length guards against corrupt input.
-bool readTriple(Reader &R, StackPool &Stacks, size_t NumNodes,
+/// Reads a triple back, re-interning the stack in \p Stacks and
+/// resolving the canonical node against \p G.  Bounds checks guard
+/// against corrupt input.
+bool readTriple(Reader &R, const pag::PAG &G, StackPool &Stacks,
                 pag::NodeId &Node, StackId &Fields, RsmState &S) {
-  uint32_t StateRaw = 0, Len = 0;
-  if (!R.read32(Node) || !R.read32(StateRaw) || !R.read32(Len))
+  uint32_t Canonical = 0, StateRaw = 0, Len = 0;
+  if (!R.read32(Canonical) || !R.read32(StateRaw) || !R.read32(Len))
     return false;
-  if (Node >= NumNodes || StateRaw > 1 || Len > (1u << 20))
+  if (StateRaw > 1 || Len > (1u << 20))
+    return false;
+  if (!resolveCanonicalNode(G, Canonical, Node))
     return false;
   StackId Stack = StackPool::empty();
   for (uint32_t I = 0; I < Len; ++I) {
@@ -152,18 +184,19 @@ std::string dynsum::analysis::serializeSummaries(const DynSumAnalysis &A) {
   put64(Buf, programFingerprint(A.graph().program()));
   put64(Buf, A.summaryCache().size());
 
+  const pag::PAG &G = A.graph();
   const StackPool &Stacks = A.fieldStacks();
   for (const auto &[Key, Summary] : A.summaryCache()) {
     pag::NodeId Node = pag::NodeId((Key >> 1) & 0xffffffffu);
     RsmState S = (Key & 1) == 0 ? RsmState::S1 : RsmState::S2;
     StackId Fields{uint32_t(Key >> 33)};
-    putTriple(Buf, Stacks, Node, Fields, S);
+    putTriple(Buf, G, Stacks, Node, Fields, S);
     put32(Buf, uint32_t(Summary.Objects.size()));
     for (ir::AllocId O : Summary.Objects)
       put32(Buf, O);
     put32(Buf, uint32_t(Summary.Tuples.size()));
     for (const PptaTuple &T : Summary.Tuples)
-      putTriple(Buf, Stacks, T.Node, T.Fields, T.State);
+      putTriple(Buf, G, Stacks, T.Node, T.Fields, T.State);
   }
   return Buf;
 }
@@ -183,8 +216,8 @@ bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
   if (!R.read64(NumEntries))
     return false;
 
-  size_t NumNodes = A.graph().numNodes();
-  size_t NumAllocs = A.graph().program().allocs().size();
+  const pag::PAG &G = A.graph();
+  size_t NumAllocs = G.program().allocs().size();
   StackPool &Stacks = A.fieldStacks();
 
   // Parse into a staging vector first so a truncated buffer never
@@ -199,7 +232,7 @@ bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
   Staged.reserve(size_t(NumEntries));
   for (uint64_t I = 0; I < NumEntries; ++I) {
     Entry E;
-    if (!readTriple(R, Stacks, NumNodes, E.Node, E.Fields, E.S))
+    if (!readTriple(R, G, Stacks, E.Node, E.Fields, E.S))
       return false;
     uint32_t NumObjects = 0;
     if (!R.read32(NumObjects) || NumObjects > NumAllocs)
@@ -216,8 +249,7 @@ bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
     E.Summary.Tuples.resize(NumTuples);
     for (uint32_t T = 0; T < NumTuples; ++T) {
       PptaTuple &Tuple = E.Summary.Tuples[T];
-      if (!readTriple(R, Stacks, NumNodes, Tuple.Node, Tuple.Fields,
-                      Tuple.State))
+      if (!readTriple(R, G, Stacks, Tuple.Node, Tuple.Fields, Tuple.State))
         return false;
     }
     Staged.push_back(std::move(E));

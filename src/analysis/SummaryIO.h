@@ -8,13 +8,17 @@
 /// and a later session on the *same program* load them back, skipping
 /// every PPTA recomputation for previously queried code.
 ///
-/// Summaries are keyed by PAG node ids and field-stack ids; both are
-/// deterministic functions of the program (node numbering) and of the
-/// stack contents (re-interned on load), so the only safety requirement
-/// is that the loading session analyzes an identical program.  That is
-/// enforced with a fingerprint of the program's analysis-relevant shape
-/// embedded in the byte stream: loads onto a different program are
-/// rejected, never silently wrong.
+/// Summaries are keyed by PAG nodes and field-stack ids.  On disk
+/// (format v2) node references are CANONICAL: a variable node is its
+/// VarId, an object node is numVars + AllocId.  In-memory numbering
+/// depends on build history — a graph evolved through delta builds
+/// interleaves late-created variables after object nodes — so raw node
+/// ids would silently mean different nodes in the saving and loading
+/// process even for byte-identical programs.  The canonical form
+/// depends only on the program, whose analysis-relevant shape is
+/// fingerprinted into the byte stream: loads onto a different program
+/// are rejected, never silently wrong.  (Field stacks are spelled out
+/// and re-interned on load for the same reason.)
 ///
 /// Format (little-endian): magic "DSUM", u32 version, u64 fingerprint,
 /// u64 entry count, then per entry the key triple with the field stack
@@ -42,7 +46,10 @@ namespace analysis {
 /// version for any layout change and record it in
 /// docs/SUMMARY_FORMAT.md.
 constexpr uint32_t kSummaryFileMagic = 0x4d555344;
-constexpr uint32_t kSummaryFileVersion = 1;
+/// v2: node references are canonical (VarId | numVars + AllocId)
+/// instead of raw in-memory node ids, which stopped being a pure
+/// function of the program when delta builds arrived.
+constexpr uint32_t kSummaryFileVersion = 2;
 
 /// A stable fingerprint of everything about \p P the analyses can
 /// observe: the class hierarchy, methods, variables, allocation/call

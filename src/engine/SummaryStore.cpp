@@ -129,81 +129,37 @@ uint64_t SharedSummaryStore::generation() const {
   return Gen;
 }
 
-void SharedSummaryStore::insertRebuilt(
-    std::unordered_map<uint64_t, Entry> &Map, std::vector<Entry> &Overflow,
-    Entry E) {
-  uint64_t D = digest(E.Node, E.Fields, E.State);
-  auto It = Map.find(D);
-  if (It == Map.end()) {
-    Map.emplace(D, std::move(E));
-    return;
-  }
-  if (matches(It->second, E.Node, E.Fields, E.State))
-    return; // duplicate key cannot happen after a remap, but stay safe
-  Overflow.push_back(std::move(E));
-}
-
 size_t SharedSummaryStore::beginGeneration(
     const pag::PAG &NewGraph, const incremental::InvalidationPlan &Plan) {
   std::unique_lock<std::shared_mutex> Lock(Mutex);
 
-  // True when \p E must be dropped under the (possibly remapped) new
-  // numbering: its node vanished (defensive; ids are append-only in
-  // practice) or its method is invalidated.
+  // Node ids are stable across delta builds, so surviving entries carry
+  // over verbatim: digests unchanged, erase in place — no rehash, no
+  // entry moves, and the unique lock blocking reader batches is held
+  // for a plain scan.  An entry drops when its node vanished
+  // (defensive; ids are append-only in practice) or its method is
+  // invalidated.
   auto Drops = [&](const Entry &E) {
-    pag::NodeId N = Plan.remap(E.Node);
-    return N >= NewGraph.numNodes() ||
-           Plan.Methods.count(NewGraph.node(N).Method) != 0;
+    return E.Node >= NewGraph.numNodes() ||
+           Plan.Methods.count(NewGraph.node(E.Node).Method) != 0;
   };
 
   size_t Kept = 0;
-  if (!Plan.NodesRemapped) {
-    // Identity remap (the common commit: statements added to existing
-    // methods): digests are unchanged, so erase in place — no rehash,
-    // no entry moves, and the unique lock blocking reader batches is
-    // held for a plain scan.
-    for (auto It = Map.begin(); It != Map.end();) {
-      if (Drops(It->second)) {
-        It = Map.erase(It);
-      } else {
-        ++It;
-        ++Kept;
-      }
-    }
-    for (auto It = Overflow.begin(); It != Overflow.end();) {
-      if (Drops(*It)) {
-        It = Overflow.erase(It);
-      } else {
-        ++It;
-        ++Kept;
-      }
-    }
-  } else {
-    // Digests key node ids, so a real remap forces a table rebuild; the
-    // same pass applies the per-method drop.
-    std::unordered_map<uint64_t, Entry> NewMap;
-    NewMap.reserve(Map.size());
-    std::vector<Entry> NewOverflow;
-
-    auto Carry = [&](Entry &E) {
-      if (Drops(E))
-        return;
-      E.Node = Plan.remap(E.Node);
-      for (PortableSummary::Tuple &T : E.Summary.Tuples)
-        T.Node = Plan.remap(T.Node);
+  for (auto It = Map.begin(); It != Map.end();) {
+    if (Drops(It->second)) {
+      It = Map.erase(It);
+    } else {
+      ++It;
       ++Kept;
-      insertRebuilt(NewMap, NewOverflow, std::move(E));
-    };
-
-    for (auto &[D, E] : Map) {
-      (void)D;
-      Carry(E);
     }
-    for (Entry &E : Overflow)
-      Carry(E);
-
-    Map = std::move(NewMap);
-    Overflow = std::move(NewOverflow);
+  }
+  for (auto It = Overflow.begin(); It != Overflow.end();) {
+    if (Drops(*It)) {
+      It = Overflow.erase(It);
+    } else {
+      ++It;
+      ++Kept;
+    }
   }
 
   size_t Dropped = Count - Kept;

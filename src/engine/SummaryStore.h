@@ -20,15 +20,17 @@
 /// bucket.
 ///
 /// Generations: every entry belongs to the store's current generation.
-/// A program commit calls beginGeneration() — remapping node ids,
-/// dropping the summaries an incremental::InvalidationPlan names, and
-/// bumping the counter — or clear(), which drops everything and also
-/// bumps.  Readers pin a generation through SummaryStoreEpoch: a fetch
-/// or publish from a stale epoch (a batch that started before the
-/// commit and is draining against the old PAG) misses / is dropped, so
-/// summaries computed against different graph versions can never mix.
-/// Within one generation the store is append-only: publish never
-/// overwrites (all writers compute identical summaries for a key).
+/// A program commit calls beginGeneration() — dropping the summaries an
+/// incremental::InvalidationPlan names and bumping the counter — or
+/// clear(), which drops everything and also bumps.  Node ids are stable
+/// across delta builds, so surviving entries carry over verbatim: no
+/// key rewrite, no table rebuild, digests unchanged.  Readers pin a
+/// generation through SummaryStoreEpoch: a fetch or publish from a
+/// stale epoch (a batch that started before the commit and is draining
+/// against the old PAG) misses / is dropped, so summaries computed
+/// against different graph versions can never mix.  Within one
+/// generation the store is append-only: publish never overwrites (all
+/// writers compute identical summaries for a key).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -73,11 +75,11 @@ public:
   /// and clear().
   uint64_t generation() const;
 
-  /// Commit handoff: rewrites every stored node id through \p Remap,
-  /// drops the summaries keyed at nodes owned by any method in
-  /// \p Invalidate (looked up in the post-rebuild \p NewGraph; entries
-  /// remapped out of range are dropped too), and bumps the generation.
-  /// Returns how many summaries were dropped.
+  /// Commit handoff: drops the summaries keyed at nodes owned by any
+  /// method the plan names (looked up in the post-rebuild \p NewGraph —
+  /// node ids are stable, so every surviving key stays valid verbatim)
+  /// and bumps the generation.  Returns how many summaries were
+  /// dropped.
   size_t beginGeneration(const pag::PAG &NewGraph,
                          const incremental::InvalidationPlan &Plan);
 
@@ -121,11 +123,6 @@ private:
                       analysis::RsmState S) {
     return E.Node == Node && E.State == S && E.Fields == Fields;
   }
-
-  /// Re-inserts \p E into \p Map / \p Overflow (beginGeneration's
-  /// rebuild; digests change with node ids).
-  static void insertRebuilt(std::unordered_map<uint64_t, Entry> &Map,
-                            std::vector<Entry> &Overflow, Entry E);
 
   mutable std::shared_mutex Mutex;
   /// Digest -> its (almost always unique) entry.  The rare digest

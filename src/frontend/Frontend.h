@@ -8,6 +8,15 @@
 /// IR.  The pipeline is lex -> parse -> sema -> lower; the IR program it
 /// produces feeds pag::buildPAG and every analysis unchanged.
 ///
+/// Identity contract: lowering assigns variable/allocation-site/method
+/// ids deterministically in source order, and the produced Program
+/// carries the per-method edit clock and fingerprints (see "Edit
+/// tracking" in ir/Program.h) that the incremental layers key on.
+/// Those append-only ids are what the PAG's persistent node table is
+/// keyed by, so identity is stable from source symbol to PAG node to
+/// service summary — edits after compilation (EditSession,
+/// AnalysisService) patch per method instead of rebuilding.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_FRONTEND_FRONTEND_H

@@ -25,6 +25,11 @@
 ///  * every reference cast records a cast site (the SafeCast client
 ///    filters statically-safe upcasts itself).
 ///
+/// Lowering is deterministic: identical source yields identical IR ids
+/// statement for statement.  Ids are handed out in source order and are
+/// append-only, which is what lets the delta PAG builder treat them as
+/// stable node identities across later edits.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_FRONTEND_LOWER_H

@@ -20,8 +20,8 @@ EditSession::EditSession(std::unique_ptr<ir::Program> P,
                          const analysis::AnalysisOptions &Opts,
                          InvalidationPolicy Policy)
     : Prog(std::move(P)), Graph(*Prog), DynSum(Graph, Opts), Policy(Policy) {
-  Calls = pag::rebuildPAG(Graph);
-  LastBoundary = snapshotBoundary(Graph, Prog->variables().size());
+  pag::buildPAGDelta(Graph, Calls); // first build: lowers everything
+  CommittedClock = Prog->modClock();
 }
 
 void EditSession::attachStore(engine::SharedSummaryStore *S) {
@@ -30,8 +30,7 @@ void EditSession::attachStore(engine::SharedSummaryStore *S) {
 }
 
 void EditSession::addStatement(ir::MethodId M, ir::Statement S) {
-  Prog->addStatement(M, std::move(S));
-  markDirty(M);
+  Prog->addStatement(M, std::move(S)); // addStatement touches M
 }
 
 size_t EditSession::removeStatements(
@@ -41,59 +40,66 @@ size_t EditSession::removeStatements(
   Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
   size_t Removed = Before - Stmts.size();
   if (Removed > 0)
-    markDirty(M);
+    Prog->touchMethod(M);
   return Removed;
 }
 
-void EditSession::markDirty(ir::MethodId M) { DirtyMethods.insert(M); }
+void EditSession::markDirty(ir::MethodId M) { Prog->touchMethod(M); }
+
+bool EditSession::dirty() const {
+  return Prog->modClock() != CommittedClock;
+}
 
 CommitStats EditSession::commit() {
-  if (DirtyMethods.empty())
+  if (!dirty())
     return {};
 
   CommitStats Stats;
   Stats.SummariesBefore = DynSum.cacheSize();
 
-  Calls = pag::rebuildPAG(Graph);
+  // Snapshot the boundary flags, then patch the graph in place: only
+  // the edited methods' segments are re-lowered and node ids never
+  // move, so analyses holding references stay valid and summary keys
+  // stay meaningful.
+  BoundarySnapshot OldBoundary = snapshotBoundary(Graph);
+  pag::DeltaStats Delta = pag::buildPAGDelta(Graph, Calls);
+  Stats.MethodsRelowered = Delta.Relowered.size();
 
   if (Policy == InvalidationPolicy::ClearAll) {
     DynSum.clearCache();
+    DynSum.clearTrivialMemo();
     Stats.SummariesDropped = Stats.SummariesBefore;
     if (Store) {
       Stats.SharedSummariesDropped = Store->size();
       Store->clear(); // bumps the store generation
     }
-    DirtyMethods.clear();
-    LastBoundary = snapshotBoundary(Graph, Prog->variables().size());
+    CommittedClock = Prog->modClock();
     LastCommit = Stats;
     return Stats;
   }
 
-  size_t NewNumVars = Prog->variables().size();
-  InvalidationPlan Plan =
-      planInvalidation(LastBoundary, Graph, NewNumVars, DirtyMethods);
-
-  // Object nodes shift when variables were added (variables are always
-  // numbered first; both are append-only, so the remap is one offset on
-  // the object suffix).  Even without a remap the trivial-summary memo
-  // keys boundary flags the rebuild may have changed; an identity remap
-  // clears it.
-  DynSum.remapCache([&Plan](pag::NodeId N) { return Plan.remap(N); });
-  Stats.NodesRemapped = Plan.NodesRemapped;
+  // Invalidation plan: every touched method (a forced markDirty must
+  // drop summaries even when the graph proved unchanged) plus the
+  // boundary-flag diff.
+  std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
+                                         Delta.Touched.end());
+  InvalidationPlan Plan = planInvalidation(OldBoundary, Graph, Dirty);
 
   for (ir::MethodId M : Plan.Methods)
     DynSum.invalidateMethod(M);
+  // The trivial-summary memo keys boundary flags; cheap to rebuild, so
+  // drop it wholesale rather than diffing.
+  DynSum.clearTrivialMemo();
 
   // The attached cross-thread store holds the same summaries under the
-  // same node keying; one beginGeneration applies the identical remap +
+  // same (stable) node keying; one beginGeneration applies the same
   // drop and moves the store to the post-edit generation.
   if (Store)
     Stats.SharedSummariesDropped = Store->beginGeneration(Graph, Plan);
 
   Stats.MethodsInvalidated = Plan.Methods.size();
   Stats.SummariesDropped = Stats.SummariesBefore - DynSum.cacheSize();
-  DirtyMethods.clear();
-  LastBoundary = snapshotBoundary(Graph, NewNumVars);
+  CommittedClock = Prog->modClock();
   LastCommit = Stats;
   return Stats;
 }

@@ -8,9 +8,10 @@
 /// and IDEs, particularly when the program constantly undergoes a lot
 /// of edits" (Sections 1 and 7).  This module implements that scenario
 /// end to end: an EditSession owns a program, its PAG and a DYNSUM
-/// instance; edits are buffered, committed with an in-place PAG rebuild,
-/// and the summary cache is kept warm by dropping only what an edit can
-/// invalidate.
+/// instance; edits are buffered and committed with a *delta* PAG build
+/// (pag::buildPAGDelta) that re-lowers only the edited methods and
+/// keeps every node id stable, and the summary cache is kept warm by
+/// dropping only what an edit can invalidate.
 ///
 /// Why per-method invalidation is exact: a PPTA summary keyed at a node
 /// of method m depends on (a) m's local edges and (b) the global-edge
@@ -20,16 +21,21 @@
 /// records a boundary tuple there.  commit() therefore invalidates the
 /// directly edited methods plus every method whose node flags changed,
 /// which it finds by diffing flags across the rebuild (the shared
-/// incremental::planInvalidation).
+/// incremental::planInvalidation).  Stable node ids make every other
+/// summary valid verbatim — there is no remapping step.
 ///
 /// A session may additionally be wired to a cross-thread
 /// engine::SharedSummaryStore via attachStore(): its analysis then
 /// fetches/publishes summaries through the store, and commit() applies
-/// the same remap + per-method invalidation to the store (bumping its
+/// the same per-method invalidation to the store (bumping its
 /// generation) that it applies to the private cache — so warm summaries
 /// shared with other sessions, batch workers or a later warm start are
 /// never left stale.  Sessions stay single-threaded; for concurrent
 /// queries over an editable program use service::AnalysisService.
+///
+/// Dirty tracking lives in the ir::Program itself (per-method edit
+/// clock): addStatement stamps automatically, direct mutations go
+/// through markDirty, and commit() asks the program what moved.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,7 +48,6 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 namespace dynsum {
@@ -67,7 +72,10 @@ struct CommitStats {
   /// store is attached).
   uint64_t SharedSummariesDropped = 0;
   uint64_t MethodsInvalidated = 0;
-  bool NodesRemapped = false;
+  /// Methods whose PAG segments the delta build re-lowered.
+  uint64_t MethodsRelowered = 0;
+  /// Wall-clock cost of the commit (filled by AnalysisService).
+  double Seconds = 0.0;
 };
 
 /// An editable program with an always-warm DYNSUM analysis.
@@ -114,11 +122,12 @@ public:
   void markDirty(ir::MethodId M);
 
   /// True when edits are pending.
-  bool dirty() const { return !DirtyMethods.empty(); }
+  bool dirty() const;
 
-  /// Applies pending edits: rebuilds the PAG in place and invalidates
-  /// summaries (private cache and attached store) per the session
-  /// policy.  No-op when clean.
+  /// Applies pending edits: patches the PAG in place (delta build —
+  /// only edited methods re-lower, node ids stay stable) and
+  /// invalidates summaries (private cache and attached store) per the
+  /// session policy.  No-op when clean.
   CommitStats commit();
 
   /// Statistics of the most recent non-trivial commit.
@@ -139,13 +148,10 @@ private:
   InvalidationPolicy Policy;
   engine::SharedSummaryStore *Store = nullptr;
 
-  std::unordered_set<ir::MethodId> DirtyMethods;
+  /// Program edit clock at the last commit; the program names the
+  /// methods that moved past it.
+  uint64_t CommittedClock = 0;
   CommitStats LastCommit;
-
-  /// Boundary flags of the last build, diffed by the next commit
-  /// (the in-place rebuild destroys the old graph, so the flags are
-  /// snapshotted eagerly).
-  BoundarySnapshot LastBoundary;
 };
 
 } // namespace incremental

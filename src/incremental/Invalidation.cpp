@@ -12,10 +12,8 @@
 using namespace dynsum;
 using namespace dynsum::incremental;
 
-BoundarySnapshot dynsum::incremental::snapshotBoundary(const pag::PAG &G,
-                                                       size_t NumVars) {
+BoundarySnapshot dynsum::incremental::snapshotBoundary(const pag::PAG &G) {
   BoundarySnapshot S;
-  S.NumVars = NumVars;
   S.Flags.resize(G.numNodes());
   for (pag::NodeId N = 0; N < G.numNodes(); ++N) {
     const pag::Node &Node = G.node(N);
@@ -26,27 +24,24 @@ BoundarySnapshot dynsum::incremental::snapshotBoundary(const pag::PAG &G,
 }
 
 InvalidationPlan dynsum::incremental::planInvalidation(
-    const BoundarySnapshot &Old, const pag::PAG &NewGraph, size_t NewNumVars,
+    const BoundarySnapshot &Old, const pag::PAG &NewGraph,
     const std::unordered_set<ir::MethodId> &Dirty) {
   InvalidationPlan Plan;
-  Plan.OldNumVars = Old.NumVars;
-  if (NewNumVars != Old.NumVars) {
-    assert(NewNumVars > Old.NumVars && "variables are append-only");
-    Plan.NodesRemapped = true;
-    Plan.VarOffset = uint32_t(NewNumVars - Old.NumVars);
-  }
   Plan.Methods = Dirty;
 
   // The methods to invalidate: those edited directly plus those whose
   // node flags changed across the rebuild (their summaries' boundary
-  // tuples may be stale).  Summaries keyed at unowned nodes (globals,
-  // the null object) sit outside any method; drop them whenever a flag
-  // changed anywhere, since global edges are what connects them.
+  // tuples may be stale).  Node ids are stable, so the diff is
+  // position-for-position; nodes appended by the rebuild have no old
+  // flags and cannot have stale summaries.  Summaries keyed at unowned
+  // nodes (globals, the null object) sit outside any method; drop them
+  // whenever anything changed, since global edges are what connects
+  // them.
+  assert(Old.Flags.size() <= NewGraph.numNodes() &&
+         "stable node ids are append-only");
   bool AnyFlagChanged = false;
   for (pag::NodeId N = 0; N < Old.Flags.size(); ++N) {
-    pag::NodeId New = Plan.remap(N);
-    assert(New < NewGraph.numNodes() && "append-only ids stay in range");
-    const pag::Node &Node = NewGraph.node(New);
+    const pag::Node &Node = NewGraph.node(N);
     const BoundaryFlags &Was = Old.Flags[N];
     assert(Node.Method == Was.Method && "node/method mapping is stable");
     if (Node.HasLocalEdge != Was.HasLocalEdge ||

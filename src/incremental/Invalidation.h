@@ -12,12 +12,16 @@
 /// exact commit therefore invalidates the directly edited methods plus
 /// every method whose node flags changed across the rebuild.
 ///
-/// This module computes that plan from a pre-rebuild BoundarySnapshot
-/// and the post-rebuild graph, so the identical rule is applied to
-/// every cache that outlives a commit: the private DynSumAnalysis cache
-/// of an EditSession, and the cross-thread SharedSummaryStore behind an
-/// AnalysisService (src/engine/SummaryStore.h consumes the plan through
-/// beginGeneration).
+/// Since PAG node ids are stable across delta builds (PR 4), the plan
+/// is a pure boundary-flag diff: snapshot the flags before the rebuild,
+/// compare per node afterwards — node N is the same node in both
+/// graphs, no remapping of any kind.  Nodes appended by the rebuild are
+/// new; nothing can hold a stale summary for them.
+///
+/// The same plan is applied to every cache that outlives a commit: the
+/// private DynSumAnalysis cache of an EditSession, and the cross-thread
+/// SharedSummaryStore behind an AnalysisService (consumed through
+/// SharedSummaryStore::beginGeneration).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,44 +44,29 @@ struct BoundaryFlags {
   bool HasGlobalOut = false;
 };
 
-/// Everything the invalidation diff needs from the pre-edit build: the
-/// variable-prefix length of the node numbering and every node's flags.
+/// The pre-edit boundary flags, indexed by (stable) node id.
 struct BoundarySnapshot {
-  size_t NumVars = 0;
   std::vector<BoundaryFlags> Flags;
 };
 
-/// Records \p G's boundary flags; \p NumVars is the variable count of
-/// the program \p G was built from (variables are always numbered
-/// first, so it is also the length of the variable node prefix).
-BoundarySnapshot snapshotBoundary(const pag::PAG &G, size_t NumVars);
+/// Records \p G's boundary flags.
+BoundarySnapshot snapshotBoundary(const pag::PAG &G);
 
 /// What one commit must do to every summary cache built on the old
 /// graph before it can serve the new one.
 struct InvalidationPlan {
-  /// Variables were added, shifting every object node up by VarOffset.
-  bool NodesRemapped = false;
-  size_t OldNumVars = 0;
-  uint32_t VarOffset = 0;
   /// Methods whose summaries must be dropped (edited directly or with a
   /// changed boundary flag).  Contains ir::kNone when the summaries
   /// keyed at unowned nodes (globals, the null object) must go too.
   std::unordered_set<ir::MethodId> Methods;
-
-  /// Old-graph node id -> new-graph node id.  Variables and allocation
-  /// sites are append-only, so the remap is a single offset on the
-  /// object suffix.
-  pag::NodeId remap(pag::NodeId N) const {
-    return N < OldNumVars ? N : pag::NodeId(N + VarOffset);
-  }
 };
 
-/// Diffs \p Old against the rebuilt \p NewGraph (whose program now has
-/// \p NewNumVars variables) and folds in the directly edited \p Dirty
-/// methods.
+/// Diffs \p Old against the rebuilt \p NewGraph and folds in the
+/// directly edited \p Dirty methods.  Node ids are stable, so the diff
+/// compares position for position; nodes beyond the snapshot are new
+/// and need no invalidation.
 InvalidationPlan
 planInvalidation(const BoundarySnapshot &Old, const pag::PAG &NewGraph,
-                 size_t NewNumVars,
                  const std::unordered_set<ir::MethodId> &Dirty);
 
 } // namespace incremental

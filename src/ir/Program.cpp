@@ -8,6 +8,7 @@
 #include "ir/Program.h"
 
 #include "support/Debug.h"
+#include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
@@ -22,6 +23,7 @@ Program::Program() {
   Root.Id = kObjectType;
   Root.Super = kNone;
   Classes.push_back(Root);
+  ClassByName.emplace(Root.Name.Id, kObjectType);
 }
 
 TypeId Program::createClass(Symbol ClassName, TypeId Super) {
@@ -34,6 +36,8 @@ TypeId Program::createClass(Symbol ClassName, TypeId Super) {
   C.Super = Super;
   Classes.push_back(C);
   Classes[Super].Subclasses.push_back(Id);
+  ClassByName.emplace(ClassName.Id, Id);
+  ++StructureVersion;
   return Id;
 }
 
@@ -55,9 +59,16 @@ MethodId Program::createMethod(Symbol MethodName, TypeId Owner) {
   M.Id = MethodId(Methods.size());
   M.Owner = Owner;
   Methods.push_back(std::move(M));
-  if (Owner != kNone)
-    Classes[Owner].Methods.push_back(Methods.back().Id);
-  return Methods.back().Id;
+  MethodId Id = Methods.back().Id;
+  if (Owner != kNone) {
+    Classes[Owner].Methods.push_back(Id);
+    MethodByOwnerName.emplace(packPair(Owner, MethodName.Id), Id);
+  } else {
+    FreeMethodByName.emplace(MethodName.Id, Id);
+  }
+  MethodModCounts.push_back(++ModClock); // a fresh method starts dirty
+  ++StructureVersion;
+  return Id;
 }
 
 VarId Program::createLocal(Symbol VarName, MethodId Owner,
@@ -82,6 +93,7 @@ VarId Program::createGlobal(Symbol VarName, TypeId DeclaredType) {
   V.DeclaredType = DeclaredType;
   V.IsGlobal = true;
   Variables.push_back(V);
+  GlobalByName.emplace(VarName.Id, V.Id);
   return V.Id;
 }
 
@@ -129,36 +141,74 @@ AllocId Program::createNullAlloc(MethodId Owner) {
 void Program::addStatement(MethodId M, Statement S) {
   assert(M < Methods.size() && "statement outside any method");
   Methods[M].Stmts.push_back(std::move(S));
+  touchMethod(M);
+}
+
+void Program::touchMethod(MethodId M) {
+  assert(M < Methods.size() && "touch of unknown method");
+  MethodModCounts[M] = ++ModClock;
+}
+
+std::vector<MethodId> Program::methodsTouchedSince(uint64_t Clock) const {
+  std::vector<MethodId> Out;
+  for (MethodId M = 0; M < MethodModCounts.size(); ++M)
+    if (MethodModCounts[M] > Clock)
+      Out.push_back(M);
+  return Out;
+}
+
+uint64_t Program::methodFingerprint(MethodId Id) const {
+  const Method &M = method(Id);
+  uint64_t H = 0xa3c59ac2f1e0d4b7ull;
+  H = hashCombine(H, packPair(uint32_t(M.Params.size()),
+                              uint32_t(M.Stmts.size())));
+  for (VarId V : M.Params)
+    H = hashCombine(H, V);
+  for (const Statement &S : M.Stmts) {
+    H = hashCombine(H, packPair(uint32_t(S.Kind), S.Dst));
+    H = hashCombine(H, packPair(S.Src, S.Base));
+    H = hashCombine(H, packPair(S.FieldLabel, S.Type));
+    H = hashCombine(H, packPair(S.Alloc, S.Call));
+    H = hashCombine(H, packPair(S.Callee, S.VirtualName.Id));
+    H = hashCombine(H, uint64_t(S.IsVirtual));
+    for (VarId V : S.Args)
+      H = hashCombine(H, V);
+  }
+  return H;
+}
+
+uint64_t Program::methodInterfaceFingerprint(MethodId Id) const {
+  const Method &M = method(Id);
+  uint64_t H = 0x51f8b0d9ce72a681ull;
+  for (VarId V : M.Params)
+    H = hashCombine(H, V);
+  H = hashCombine(H, 0xffffffffull); // params/returns separator
+  for (const Statement &S : M.Stmts)
+    if (S.Kind == StmtKind::Return)
+      H = hashCombine(H, S.Src);
+  return H;
 }
 
 TypeId Program::findClass(Symbol ClassName) const {
-  for (const ClassType &C : Classes)
-    if (C.Name == ClassName)
-      return C.Id;
-  return kNone;
+  auto It = ClassByName.find(ClassName.Id);
+  return It == ClassByName.end() ? kNone : It->second;
 }
 
 MethodId Program::findMethod(TypeId Owner, Symbol MethodName) const {
   if (Owner == kNone || Owner >= Classes.size())
     return kNone;
-  for (MethodId M : Classes[Owner].Methods)
-    if (Methods[M].Name == MethodName)
-      return M;
-  return kNone;
+  auto It = MethodByOwnerName.find(packPair(Owner, MethodName.Id));
+  return It == MethodByOwnerName.end() ? kNone : It->second;
 }
 
 MethodId Program::findFreeMethod(Symbol MethodName) const {
-  for (const Method &M : Methods)
-    if (M.Owner == kNone && M.Name == MethodName)
-      return M.Id;
-  return kNone;
+  auto It = FreeMethodByName.find(MethodName.Id);
+  return It == FreeMethodByName.end() ? kNone : It->second;
 }
 
 VarId Program::findGlobal(Symbol VarName) const {
-  for (const Variable &V : Variables)
-    if (V.IsGlobal && V.Name == VarName)
-      return V.Id;
-  return kNone;
+  auto It = GlobalByName.find(VarName.Id);
+  return It == GlobalByName.end() ? kNone : It->second;
 }
 
 MethodId Program::dispatch(TypeId Receiver, Symbol MethodName) const {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace dynsum {
@@ -185,8 +186,56 @@ public:
   /// on); sites are marked IsNull for the NullDeref client.
   AllocId createNullAlloc(MethodId Owner);
 
-  /// Appends \p S to \p M's statement bag.
+  /// Appends \p S to \p M's statement bag.  Touches \p M (see
+  /// touchMethod), so the common edit path is tracked automatically.
   void addStatement(MethodId M, Statement S);
+
+  //===------------------------------------------------------------------===//
+  // Edit tracking
+  //
+  // The incremental layers (EditSession, AnalysisService, the delta PAG
+  // builder) need to name exactly which methods changed between two
+  // builds.  The program keeps a monotonic edit clock: every mutation of
+  // a method stamps that method with the next tick.  A consumer records
+  // the clock at build time and later asks which methods moved past it —
+  // an O(#methods) integer scan, no statement hashing.
+  //
+  // Content fingerprints complement the clock: a stamp says "possibly
+  // changed" (markDirty with no real edit also stamps), the fingerprint
+  // says whether the method's analysis-visible content actually
+  // differs.  The delta builder uses stamps to find candidates and
+  // fingerprints to skip spurious re-lowers.
+  //===------------------------------------------------------------------===//
+
+  /// Stamps \p M as edited at the next clock tick.  addStatement calls
+  /// this; direct mutation through method(M) must call it explicitly
+  /// (EditSession::markDirty and friends forward here).
+  void touchMethod(MethodId M);
+
+  /// The current edit clock (starts at 0; bumped by every touch).
+  uint64_t modClock() const { return ModClock; }
+
+  /// The clock value of \p M's most recent touch.  Methods are stamped
+  /// at creation, so this is never 0.
+  uint64_t methodModCount(MethodId M) const { return MethodModCounts.at(M); }
+
+  /// Every method touched strictly after \p Clock, in id order.
+  std::vector<MethodId> methodsTouchedSince(uint64_t Clock) const;
+
+  /// Bumped whenever the class hierarchy or method set grows
+  /// (createClass/createMethod): CHA dispatch of *unedited* methods can
+  /// only change when this does.
+  uint64_t structureVersion() const { return StructureVersion; }
+
+  /// Content hash of everything PAG construction reads from \p M's
+  /// body: its statements, in order, with every analysis-visible field.
+  uint64_t methodFingerprint(MethodId M) const;
+
+  /// Hash of \p M's call-boundary interface: parameter variable ids and
+  /// returned variable ids.  Callers' entry/exit edges depend on
+  /// exactly this, so a caller must be re-lowered iff some callee's
+  /// interface fingerprint changed (or its own body did).
+  uint64_t methodInterfaceFingerprint(MethodId M) const;
 
   //===------------------------------------------------------------------===//
   // Lookup
@@ -261,6 +310,20 @@ private:
   std::vector<AllocSite> Allocs;
   std::vector<CallSite> CallSites;
   std::vector<CastSite> CastSites;
+
+  /// Edit tracking (see "Edit tracking" above).
+  uint64_t ModClock = 0;
+  uint64_t StructureVersion = 0;
+  std::vector<uint64_t> MethodModCounts; // by MethodId
+
+  /// Name indexes so find*/dispatch stay O(1) as programs grow to 100k+
+  /// methods (the workload generator and the frontend resolve every
+  /// reference by name).  First declaration wins, matching the linear
+  /// scans these replaced.
+  std::unordered_map<uint32_t, TypeId> ClassByName;     // Symbol.Id
+  std::unordered_map<uint32_t, VarId> GlobalByName;     // Symbol.Id
+  std::unordered_map<uint32_t, MethodId> FreeMethodByName; // Symbol.Id
+  std::unordered_map<uint64_t, MethodId> MethodByOwnerName; // Owner<<32|Name
 };
 
 } // namespace ir

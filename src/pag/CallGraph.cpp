@@ -133,6 +133,52 @@ private:
 
 } // namespace
 
+void CallGraph::resolveMethod(const Program &P, const TargetResolver &R,
+                              MethodId Id) {
+  const Method &M = P.method(Id);
+  // Drop the method's previous resolution (SiteTargets of sites it no
+  // longer issues stay behind but are unreachable through the edges).
+  Callees[Id].clear();
+  HasVirtualSite[Id] = 0;
+  for (const Statement &S : M.Stmts) {
+    if (S.Kind != StmtKind::Call)
+      continue;
+    std::vector<MethodId> Targets;
+    if (S.IsVirtual) {
+      HasVirtualSite[Id] = 1;
+      Targets = R.resolve(P, Id, S);
+    } else {
+      Targets.push_back(S.Callee);
+    }
+    for (MethodId T : Targets)
+      Callees[Id].emplace_back(S.Call, T);
+    SiteTargets[S.Call] = std::move(Targets);
+  }
+}
+
+void CallGraph::recomputeSccs() {
+  SccFinder Finder(Callees.size(), Callees);
+  Finder.run();
+  SccIds = Finder.takeSccIds();
+  SccRecursive.assign(Finder.numSccs(), false);
+
+  // An SCC is recursive when it has more than one member or a self call.
+  std::vector<uint32_t> SccSize(Finder.numSccs(), 0);
+  for (uint32_t Scc : SccIds)
+    ++SccSize[Scc];
+  for (MethodId M = 0; M < Callees.size(); ++M) {
+    if (SccSize[SccIds[M]] > 1) {
+      SccRecursive[SccIds[M]] = true;
+      continue;
+    }
+    for (const auto &[Site, Callee] : Callees[M]) {
+      (void)Site;
+      if (Callee == M)
+        SccRecursive[SccIds[M]] = true;
+    }
+  }
+}
+
 CallGraph dynsum::pag::buildCallGraph(const Program &P,
                                       const TargetResolver *Resolver) {
   TargetResolver Default;
@@ -142,41 +188,43 @@ CallGraph dynsum::pag::buildCallGraph(const Program &P,
   CallGraph CG;
   CG.SiteTargets.assign(P.callSites().size(), {});
   CG.Callees.assign(P.methods().size(), {});
+  CG.HasVirtualSite.assign(P.methods().size(), 0);
 
-  for (const Method &M : P.methods()) {
-    for (const Statement &S : M.Stmts) {
-      if (S.Kind != StmtKind::Call)
-        continue;
-      std::vector<MethodId> Targets;
-      if (S.IsVirtual)
-        Targets = Resolver->resolve(P, M.Id, S);
-      else
-        Targets.push_back(S.Callee);
-      for (MethodId T : Targets)
-        CG.Callees[M.Id].emplace_back(S.Call, T);
-      CG.SiteTargets[S.Call] = std::move(Targets);
-    }
-  }
-
-  SccFinder Finder(P.methods().size(), CG.Callees);
-  Finder.run();
-  CG.SccIds = Finder.takeSccIds();
-  CG.SccRecursive.assign(Finder.numSccs(), false);
-
-  // An SCC is recursive when it has more than one member or a self call.
-  std::vector<uint32_t> SccSize(Finder.numSccs(), 0);
-  for (uint32_t Scc : CG.SccIds)
-    ++SccSize[Scc];
-  for (MethodId M = 0; M < P.methods().size(); ++M) {
-    if (SccSize[CG.SccIds[M]] > 1) {
-      CG.SccRecursive[CG.SccIds[M]] = true;
-      continue;
-    }
-    for (const auto &[Site, Callee] : CG.Callees[M]) {
-      (void)Site;
-      if (Callee == M)
-        CG.SccRecursive[CG.SccIds[M]] = true;
-    }
-  }
+  for (const Method &M : P.methods())
+    CG.resolveMethod(P, *Resolver, M.Id);
+  CG.recomputeSccs();
   return CG;
+}
+
+void dynsum::pag::updateCallGraph(CallGraph &CG, const Program &P,
+                                  const TargetResolver *Resolver,
+                                  const std::vector<MethodId> &BodyChanged,
+                                  bool HierarchyChanged) {
+  TargetResolver Default;
+  if (Resolver == nullptr)
+    Resolver = &Default;
+
+  size_t OldNumMethods = CG.Callees.size();
+  CG.SiteTargets.resize(P.callSites().size());
+  CG.Callees.resize(P.methods().size());
+  CG.HasVirtualSite.resize(P.methods().size(), 0);
+
+  std::vector<char> Done(P.methods().size(), 0);
+  for (MethodId M : BodyChanged) {
+    CG.resolveMethod(P, *Resolver, M);
+    Done[M] = 1;
+  }
+  // New methods (beyond the previous table) are body-changed by
+  // definition; re-resolve any the caller did not already name.
+  for (MethodId M = MethodId(OldNumMethods); M < P.methods().size(); ++M)
+    if (!Done[M]) {
+      CG.resolveMethod(P, *Resolver, M);
+      Done[M] = 1;
+    }
+  if (HierarchyChanged)
+    for (MethodId M = 0; M < P.methods().size(); ++M)
+      if (!Done[M] && CG.HasVirtualSite[M])
+        CG.resolveMethod(P, *Resolver, M);
+
+  CG.recomputeSccs();
 }

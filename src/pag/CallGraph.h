@@ -30,6 +30,19 @@ class CallGraph;
 CallGraph buildCallGraph(const ir::Program &P,
                          const TargetResolver *Resolver = nullptr);
 
+/// Incrementally refreshes \p CG after program edits: re-resolves the
+/// call sites of the \p BodyChanged methods (and, when
+/// \p HierarchyChanged, of every method with a virtual site — CHA
+/// dispatch of unedited methods can only move when the hierarchy does),
+/// sizes the tables for methods/sites created since the last build, and
+/// reruns Tarjan over the whole method graph (recursion is a global
+/// property, but the SCC pass is linear in the call graph and cheap
+/// next to re-lowering).  \p CG must describe an earlier state of \p P.
+void updateCallGraph(CallGraph &CG, const ir::Program &P,
+                     const TargetResolver *Resolver,
+                     const std::vector<ir::MethodId> &BodyChanged,
+                     bool HierarchyChanged);
+
 /// Resolves the possible targets of every call site.
 class CallGraph {
 public:
@@ -66,12 +79,31 @@ public:
   /// including \p Root itself.
   std::vector<ir::MethodId> reachableFrom(ir::MethodId Root) const;
 
+  /// True when \p M contains a virtual call site (the set a hierarchy
+  /// change can silently retarget).
+  bool hasVirtualSite(ir::MethodId M) const {
+    return HasVirtualSite.at(M) != 0;
+  }
+
 private:
   friend CallGraph buildCallGraph(const ir::Program &P,
                                   const TargetResolver *Resolver);
+  friend void updateCallGraph(CallGraph &CG, const ir::Program &P,
+                              const TargetResolver *Resolver,
+                              const std::vector<ir::MethodId> &BodyChanged,
+                              bool HierarchyChanged);
+
+  /// Rebuilds Callees[M]/SiteTargets for \p M from its statements.
+  void resolveMethod(const ir::Program &P, const TargetResolver &R,
+                     ir::MethodId M);
+
+  /// Reruns Tarjan + recursion flagging over the current Callees.
+  void recomputeSccs();
+
   std::vector<std::vector<ir::MethodId>> SiteTargets; // by CallSiteId
   std::vector<std::vector<std::pair<ir::CallSiteId, ir::MethodId>>>
       Callees;                      // by MethodId
+  std::vector<char> HasVirtualSite; // by MethodId
   std::vector<uint32_t> SccIds;     // by MethodId
   std::vector<bool> SccRecursive;   // by SCC id
 };

@@ -50,7 +50,9 @@ void dynsum::pag::writeGraphViz(const PAG &G, OStream &OS,
   OS << "  rankdir=BT;\n  node [fontsize=10];\n  edge [fontsize=9];\n";
 
   std::vector<bool> HasEdge(G.numNodes(), !Opts.HideIsolatedNodes);
-  for (EdgeId E = 0; E < G.numEdges(); ++E) {
+  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    if (!G.edgeAlive(E))
+      continue;
     HasEdge[G.edge(E).Src] = true;
     HasEdge[G.edge(E).Dst] = true;
   }
@@ -84,7 +86,9 @@ void dynsum::pag::writeGraphViz(const PAG &G, OStream &OS,
   for (NodeId N : Unowned)
     EmitNode(N, "  ");
 
-  for (EdgeId EId = 0; EId < G.numEdges(); ++EId) {
+  for (EdgeId EId = 0; EId < G.numEdgeSlots(); ++EId) {
+    if (!G.edgeAlive(EId))
+      continue;
     const Edge &E = G.edge(EId);
     OS << "  n" << E.Src << " -> n" << E.Dst << " [label=\""
        << edgeKindName(E.Kind);

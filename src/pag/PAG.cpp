@@ -3,6 +3,18 @@
 /// \file
 /// PAG storage, indexing and statistics.
 ///
+/// Two packing paths share the CSR invariants:
+///
+///   finalize()       full counting-sort pack (first build, compaction)
+///   finalizeDelta()  per-node region rewrite for the nodes incident to
+///                    freed/added edges only — O(edit), not O(graph)
+///
+/// The delta path relies on per-node offset stride 8 (each node carries
+/// its own end boundary), so a grown region can relocate to the array
+/// tail without shifting any other node's region.  Accumulated slack
+/// (dead edge slots + relocation holes) above half the live size
+/// triggers a compacting full pack.
+///
 //===----------------------------------------------------------------------===//
 
 #include "pag/PAG.h"
@@ -10,6 +22,7 @@
 #include "support/Debug.h"
 #include "support/OStream.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace dynsum;
@@ -51,8 +64,11 @@ uint64_t PAGStats::totalEdges() const {
   return Total;
 }
 
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
 NodeId PAG::addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method) {
-  assert(!Finalized && "adding node after finalize");
   NodeId Id = NodeId(Nodes.size());
   Node N;
   N.Kind = Kind;
@@ -62,117 +78,470 @@ NodeId PAG::addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method) {
   if (Kind == NodeKind::Object) {
     if (AllocToNode.size() <= IrId)
       AllocToNode.resize(IrId + 1, ir::kNone);
+    assert(AllocToNode[IrId] == ir::kNone && "allocation site re-added");
     AllocToNode[IrId] = Id;
+    if (NumBuiltAllocs <= IrId)
+      NumBuiltAllocs = IrId + 1;
   } else {
     if (VarToNode.size() <= IrId)
       VarToNode.resize(IrId + 1, ir::kNone);
+    assert(VarToNode[IrId] == ir::kNone && "variable re-added");
     VarToNode[IrId] = Id;
+    if (NumBuiltVars <= IrId)
+      NumBuiltVars = IrId + 1;
   }
   return Id;
 }
 
-void PAG::reset() {
-  Nodes.clear();
-  Edges.clear();
-  InFlat.clear();
-  OutFlat.clear();
-  InOff.clear();
-  OutOff.clear();
-  FieldStoreFlat.clear();
-  FieldLoadFlat.clear();
-  FieldStoreOff.clear();
-  FieldLoadOff.clear();
-  VarToNode.clear();
-  AllocToNode.clear();
-  Finalized = false;
+void PAG::beginSegment(ir::MethodId M) {
+  assert(OpenSegment == ir::kNone && "nested beginSegment");
+  if (Segments.size() <= M)
+    Segments.resize(M + 1);
+  // Free the segment's previous edges.  Their bucket membership is
+  // captured into the pending scratch *now*, before slot reuse can
+  // overwrite the edge payloads.
+  for (EdgeId E : Segments[M]) {
+    assert(!EdgeDead[E] && "segment edge already dead");
+    EdgeDead[E] = true;
+    FreeSlots.push_back(E);
+    PendingDead.push_back(E);
+    PendingDeadMeta.push_back(Edges[E]);
+    --NumAliveEdges;
+  }
+  Segments[M].clear();
+  OpenSegment = M;
+}
+
+void PAG::endSegment() {
+  assert(OpenSegment != ir::kNone && "endSegment without beginSegment");
+  OpenSegment = ir::kNone;
+}
+
+EdgeId PAG::allocEdgeSlot(const Edge &E) {
+  if (!FreeSlots.empty()) {
+    EdgeId Id = FreeSlots.back();
+    FreeSlots.pop_back();
+    Edges[Id] = E;
+    EdgeDead[Id] = false;
+    return Id;
+  }
+  EdgeId Id = EdgeId(Edges.size());
+  Edges.push_back(E);
+  EdgeDead.push_back(false);
+  return Id;
 }
 
 EdgeId PAG::addEdge(NodeId Src, NodeId Dst, EdgeKind Kind, uint32_t Aux,
                     bool ContextFree) {
-  assert(!Finalized && "adding edge after finalize");
+  assert(OpenSegment != ir::kNone && "addEdge outside a segment");
   assert(Src < Nodes.size() && Dst < Nodes.size() && "edge endpoint range");
-  EdgeId Id = EdgeId(Edges.size());
   Edge E;
   E.Src = Src;
   E.Dst = Dst;
   E.Kind = Kind;
   E.Aux = Aux;
   E.ContextFree = ContextFree;
-  Edges.push_back(E);
-  if (isLocalEdgeKind(Kind)) {
-    Nodes[Src].HasLocalEdge = true;
-    Nodes[Dst].HasLocalEdge = true;
-  } else {
-    Nodes[Dst].HasGlobalIn = true;
-    Nodes[Src].HasGlobalOut = true;
-  }
+  EdgeId Id = allocEdgeSlot(E);
+  ++NumAliveEdges;
+  Segments[OpenSegment].push_back(Id);
+  PendingNew.push_back(Id);
   return Id;
 }
 
-void PAG::finalize() {
-  assert(!Finalized && "finalize called twice");
-  size_t NumBuckets = Nodes.size() * kNumEdgeKinds;
-  size_t NumFields = Prog.fields().size();
+//===----------------------------------------------------------------------===//
+// Full pack
+//===----------------------------------------------------------------------===//
+
+void PAG::compactEdgeSlots() {
+  if (FreeSlots.empty())
+    return;
+  std::vector<EdgeId> Remap(Edges.size(), ir::kNone);
+  size_t Next = 0;
+  for (EdgeId E = 0; E < Edges.size(); ++E) {
+    if (EdgeDead[E])
+      continue;
+    Remap[E] = EdgeId(Next);
+    if (Next != E)
+      Edges[Next] = Edges[E];
+    ++Next;
+  }
+  Edges.resize(Next);
+  EdgeDead.assign(Next, false);
+  FreeSlots.clear();
+  for (std::vector<EdgeId> &Seg : Segments)
+    for (EdgeId &E : Seg)
+      E = Remap[E];
+}
+
+void PAG::packDirection(bool In) {
+  std::vector<EdgeId> &Flat = In ? InFlat : OutFlat;
+  std::vector<uint32_t> &Off = In ? InOff : OutOff;
+  size_t NumSlots = Nodes.size() * kOffsetStride;
 
   // Counting sort of edge ids into (node, kind) buckets: one counting
-  // pass, one prefix-sum pass, one placement pass per direction.
-  // Placement iterates edges in id order, so each bucket keeps edge-id
-  // (i.e. insertion) order — rebuilds are bit-for-bit deterministic.
-  auto Bucket = [](NodeId N, EdgeKind K) {
-    return size_t(N) * kNumEdgeKinds + unsigned(K);
-  };
-  InOff.assign(NumBuckets + 1, 0);
-  OutOff.assign(NumBuckets + 1, 0);
-  FieldStoreOff.assign(NumFields + 1, 0);
-  FieldLoadOff.assign(NumFields + 1, 0);
-  for (const Edge &E : Edges) {
-    ++InOff[Bucket(E.Dst, E.Kind) + 1];
-    ++OutOff[Bucket(E.Src, E.Kind) + 1];
-    if (E.Kind == EdgeKind::Store)
-      ++FieldStoreOff[E.Aux + 1];
-    else if (E.Kind == EdgeKind::Load)
-      ++FieldLoadOff[E.Aux + 1];
+  // pass, one prefix-sum pass, one placement pass.  Placement iterates
+  // edges in id order, so each bucket keeps edge-id (i.e. insertion)
+  // order — full rebuilds are bit-for-bit deterministic.
+  std::vector<uint32_t> Count(Nodes.size() * kNumEdgeKinds, 0);
+  for (const Edge &E : Edges)
+    ++Count[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds + unsigned(E.Kind)];
+
+  Off.assign(NumSlots, 0);
+  uint32_t Run = 0;
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
+      Off[N * kOffsetStride + K] = Run;
+      Run += Count[N * kNumEdgeKinds + K];
+    }
+    Off[N * kOffsetStride + kNumEdgeKinds] = Run;
   }
-  for (size_t I = 1; I < InOff.size(); ++I) {
-    InOff[I] += InOff[I - 1];
-    OutOff[I] += OutOff[I - 1];
-  }
-  for (size_t I = 1; I <= NumFields; ++I) {
-    FieldStoreOff[I] += FieldStoreOff[I - 1];
-    FieldLoadOff[I] += FieldLoadOff[I - 1];
-  }
-  InFlat.resize(Edges.size());
-  OutFlat.resize(Edges.size());
-  FieldStoreFlat.resize(FieldStoreOff[NumFields]);
-  FieldLoadFlat.resize(FieldLoadOff[NumFields]);
-  std::vector<uint32_t> InCursor(InOff.begin(), InOff.end() - 1);
-  std::vector<uint32_t> OutCursor(OutOff.begin(), OutOff.end() - 1);
-  std::vector<uint32_t> StoreCursor(FieldStoreOff.begin(),
-                                    FieldStoreOff.end() - 1);
-  std::vector<uint32_t> LoadCursor(FieldLoadOff.begin(),
-                                   FieldLoadOff.end() - 1);
+
+  Flat.resize(Edges.size());
+  std::vector<uint32_t> Cursor(Count.size());
+  for (size_t N = 0; N < Nodes.size(); ++N)
+    for (unsigned K = 0; K < kNumEdgeKinds; ++K)
+      Cursor[N * kNumEdgeKinds + K] = Off[N * kOffsetStride + K];
   for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
     const Edge &E = Edges[Id];
-    InFlat[InCursor[Bucket(E.Dst, E.Kind)]++] = Id;
-    OutFlat[OutCursor[Bucket(E.Src, E.Kind)]++] = Id;
+    Flat[Cursor[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds +
+                unsigned(E.Kind)]++] = Id;
+  }
+}
+
+void PAG::ensureOffsetCoverage() {
+  InOff.resize(Nodes.size() * kOffsetStride, 0);
+  OutOff.resize(Nodes.size() * kOffsetStride, 0);
+  FieldStoreOff.resize(Prog.fields().size() * 2, 0);
+  FieldLoadOff.resize(Prog.fields().size() * 2, 0);
+}
+
+void PAG::finalize() {
+  assert(OpenSegment == ir::kNone &&
+         "finalize with an open segment (partial populate)");
+  if (Finalized && PendingDead.empty() && PendingNew.empty() &&
+      FreeSlots.empty() && FlatHoles + FieldHoles == 0) {
+    // Idempotent: nothing changed since the last pack and the arrays
+    // are already dense; at most extend coverage over freshly added
+    // (still edgeless) nodes.  With dead slots or relocation holes
+    // present the full pack below runs, honoring the contract that
+    // finalize() always leaves a compact, densely numbered graph.
+    ensureOffsetCoverage();
+    return;
+  }
+
+  compactEdgeSlots();
+  packDirection(/*In=*/true);
+  packDirection(/*In=*/false);
+
+  // Field-indexed CSR over store/load edges.
+  size_t NumFields = Prog.fields().size();
+  FieldStoreOff.assign(NumFields * 2, 0);
+  FieldLoadOff.assign(NumFields * 2, 0);
+  std::vector<uint32_t> StoreCount(NumFields, 0), LoadCount(NumFields, 0);
+  for (const Edge &E : Edges) {
+    if (E.Kind == EdgeKind::Store)
+      ++StoreCount[E.Aux];
+    else if (E.Kind == EdgeKind::Load)
+      ++LoadCount[E.Aux];
+  }
+  uint32_t StoreRun = 0, LoadRun = 0;
+  for (size_t F = 0; F < NumFields; ++F) {
+    FieldStoreOff[F * 2] = StoreRun;
+    StoreRun += StoreCount[F];
+    FieldStoreOff[F * 2 + 1] = StoreRun;
+    FieldLoadOff[F * 2] = LoadRun;
+    LoadRun += LoadCount[F];
+    FieldLoadOff[F * 2 + 1] = LoadRun;
+  }
+  FieldStoreFlat.resize(StoreRun);
+  FieldLoadFlat.resize(LoadRun);
+  std::vector<uint32_t> StoreCursor(NumFields), LoadCursor(NumFields);
+  for (size_t F = 0; F < NumFields; ++F) {
+    StoreCursor[F] = FieldStoreOff[F * 2];
+    LoadCursor[F] = FieldLoadOff[F * 2];
+  }
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    const Edge &E = Edges[Id];
     if (E.Kind == EdgeKind::Store)
       FieldStoreFlat[StoreCursor[E.Aux]++] = Id;
     else if (E.Kind == EdgeKind::Load)
       FieldLoadFlat[LoadCursor[E.Aux]++] = Id;
   }
+
+  // Rederive every node's boundary flags from the live edge set.
+  for (Node &N : Nodes)
+    N.HasLocalEdge = N.HasGlobalIn = N.HasGlobalOut = false;
+  for (const Edge &E : Edges) {
+    if (isLocalEdgeKind(E.Kind)) {
+      Nodes[E.Src].HasLocalEdge = true;
+      Nodes[E.Dst].HasLocalEdge = true;
+    } else {
+      Nodes[E.Dst].HasGlobalIn = true;
+      Nodes[E.Src].HasGlobalOut = true;
+    }
+  }
+
+  FlatHoles = FieldHoles = 0;
+  PendingDead.clear();
+  PendingDeadMeta.clear();
+  PendingNew.clear();
   Finalized = true;
 }
+
+//===----------------------------------------------------------------------===//
+// Incremental repack
+//===----------------------------------------------------------------------===//
+
+void PAG::rederiveFlags(NodeId N) {
+  Node &Nd = Nodes[N];
+  Nd.HasLocalEdge = Nd.HasGlobalIn = Nd.HasGlobalOut = false;
+  for (EdgeId E : inEdges(N)) {
+    if (isLocalEdgeKind(Edges[E].Kind))
+      Nd.HasLocalEdge = true;
+    else
+      Nd.HasGlobalIn = true;
+  }
+  for (EdgeId E : outEdges(N)) {
+    if (isLocalEdgeKind(Edges[E].Kind))
+      Nd.HasLocalEdge = true;
+    else
+      Nd.HasGlobalOut = true;
+  }
+}
+
+namespace {
+
+/// (node*kinds + kind, edge) pairs sorted by bucket: the per-bucket
+/// addition lists of one repack, range-scanned per affected node.
+struct BucketAdds {
+  std::vector<std::pair<uint64_t, EdgeId>> Pairs;
+
+  void add(NodeId N, EdgeKind K, EdgeId E) {
+    Pairs.emplace_back(uint64_t(N) * kNumEdgeKinds + unsigned(K), E);
+  }
+  void sort() {
+    std::stable_sort(
+        Pairs.begin(), Pairs.end(),
+        [](const auto &A, const auto &B) { return A.first < B.first; });
+  }
+  /// Appends the additions of bucket (N, K) to \p Out.
+  void appendTo(NodeId N, EdgeKind K, std::vector<EdgeId> &Out) const {
+    uint64_t Key = uint64_t(N) * kNumEdgeKinds + unsigned(K);
+    auto It = std::lower_bound(Pairs.begin(), Pairs.end(), Key,
+                               [](const auto &P, uint64_t K2) {
+                                 return P.first < K2;
+                               });
+    for (; It != Pairs.end() && It->first == Key; ++It)
+      Out.push_back(It->second);
+  }
+};
+
+} // namespace
+
+void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
+                      const std::vector<char> &Freed) {
+  BucketAdds InAdds, OutAdds;
+  for (EdgeId E : PendingNew) {
+    const Edge &Ed = Edges[E];
+    InAdds.add(Ed.Dst, Ed.Kind, E);
+    OutAdds.add(Ed.Src, Ed.Kind, E);
+  }
+  InAdds.sort();
+  OutAdds.sort();
+
+  // Offset tables may be short when nodes were added since the last
+  // pack: new nodes get empty regions at offset 0.
+  InOff.resize(Nodes.size() * kOffsetStride, 0);
+  OutOff.resize(Nodes.size() * kOffsetStride, 0);
+
+  std::vector<EdgeId> Region; // rebuilt region of one node, one direction
+  std::vector<uint32_t> Bounds(kOffsetStride);
+  auto RebuildDirection = [&](NodeId N, bool In) {
+    std::vector<EdgeId> &Flat = In ? InFlat : OutFlat;
+    std::vector<uint32_t> &Off = In ? InOff : OutOff;
+    const BucketAdds &Adds = In ? InAdds : OutAdds;
+    size_t Base = size_t(N) * kOffsetStride;
+
+    Region.clear();
+    for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
+      Bounds[K] = uint32_t(Region.size());
+      for (uint32_t I = Off[Base + K]; I < Off[Base + K + 1]; ++I) {
+        EdgeId E = Flat[I];
+        if (!Freed[E])
+          Region.push_back(E);
+      }
+      Adds.appendTo(N, EdgeKind(K), Region);
+    }
+    Bounds[kNumEdgeKinds] = uint32_t(Region.size());
+
+    size_t OldBegin = Off[Base];
+    size_t OldSize = Off[Base + kNumEdgeKinds] - OldBegin;
+    size_t Begin;
+    if (Region.size() <= OldSize) {
+      Begin = OldBegin; // rewrite in place; trailing slack becomes a hole
+      FlatHoles += OldSize - Region.size();
+    } else {
+      Begin = Flat.size(); // relocate to the tail
+      Flat.resize(Flat.size() + Region.size());
+      FlatHoles += OldSize;
+    }
+    std::copy(Region.begin(), Region.end(), Flat.begin() + Begin);
+    for (unsigned K = 0; K < kOffsetStride; ++K)
+      Off[Base + K] = uint32_t(Begin + Bounds[K]);
+  };
+
+  for (NodeId N : AffectedNodes) {
+    RebuildDirection(N, /*In=*/true);
+    RebuildDirection(N, /*In=*/false);
+  }
+  for (NodeId N : AffectedNodes)
+    rederiveFlags(N);
+}
+
+void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
+                       const std::vector<char> &Freed) {
+  size_t NumFields = Prog.fields().size();
+  FieldStoreOff.resize(NumFields * 2, 0);
+  FieldLoadOff.resize(NumFields * 2, 0);
+
+  // Per-field addition lists from the new edges.
+  std::vector<std::pair<ir::FieldId, EdgeId>> StoreAdds, LoadAdds;
+  for (EdgeId E : PendingNew) {
+    const Edge &Ed = Edges[E];
+    if (Ed.Kind == EdgeKind::Store)
+      StoreAdds.emplace_back(Ed.Aux, E);
+    else if (Ed.Kind == EdgeKind::Load)
+      LoadAdds.emplace_back(Ed.Aux, E);
+  }
+  auto ByField = [](const auto &A, const auto &B) {
+    return A.first < B.first;
+  };
+  std::stable_sort(StoreAdds.begin(), StoreAdds.end(), ByField);
+  std::stable_sort(LoadAdds.begin(), LoadAdds.end(), ByField);
+
+  std::vector<EdgeId> Region;
+  auto Rebuild = [&](ir::FieldId F, bool IsStore) {
+    std::vector<EdgeId> &Flat = IsStore ? FieldStoreFlat : FieldLoadFlat;
+    std::vector<uint32_t> &Off = IsStore ? FieldStoreOff : FieldLoadOff;
+    const auto &Adds = IsStore ? StoreAdds : LoadAdds;
+
+    Region.clear();
+    for (uint32_t I = Off[F * 2]; I < Off[F * 2 + 1]; ++I)
+      if (!Freed[Flat[I]])
+        Region.push_back(Flat[I]);
+    auto It = std::lower_bound(Adds.begin(), Adds.end(), F,
+                               [](const auto &P, ir::FieldId F2) {
+                                 return P.first < F2;
+                               });
+    for (; It != Adds.end() && It->first == F; ++It)
+      Region.push_back(It->second);
+
+    size_t OldBegin = Off[F * 2];
+    size_t OldSize = Off[F * 2 + 1] - OldBegin;
+    size_t Begin;
+    if (Region.size() <= OldSize) {
+      Begin = OldBegin;
+      FieldHoles += OldSize - Region.size();
+    } else {
+      Begin = Flat.size();
+      Flat.resize(Flat.size() + Region.size());
+      FieldHoles += OldSize;
+    }
+    std::copy(Region.begin(), Region.end(), Flat.begin() + Begin);
+    Off[F * 2] = uint32_t(Begin);
+    Off[F * 2 + 1] = uint32_t(Begin + Region.size());
+  };
+
+  for (ir::FieldId F : AffectedFields) {
+    Rebuild(F, /*IsStore=*/true);
+    Rebuild(F, /*IsStore=*/false);
+  }
+}
+
+void PAG::finalizeDelta() {
+  assert(OpenSegment == ir::kNone &&
+         "finalizeDelta with an open segment (partial populate)");
+  if (!Finalized) {
+    finalize();
+    LastRepackCompacted = true;
+    return;
+  }
+  ensureOffsetCoverage();
+  if (PendingDead.empty() && PendingNew.empty()) {
+    LastRepackCompacted = false;
+    return;
+  }
+
+  // Compaction policy: when dead slots + relocation holes exceed half
+  // the live size, a full pack is both cheaper long-term and keeps the
+  // arrays cache-dense.
+  size_t Slack = deadEdgeSlots() + FlatHoles + FieldHoles;
+  if (Slack > NumAliveEdges / 2 + 1024) {
+    finalize();
+    LastRepackCompacted = true;
+    return;
+  }
+
+  // Affected nodes/fields: endpoints and labels of every freed or added
+  // edge.  Freed endpoints come from PendingDeadMeta — the payload
+  // snapshot taken at free time — because a freed slot may since have
+  // been reused and overwritten by a new edge.
+  std::vector<NodeId> AffectedNodes;
+  std::vector<ir::FieldId> AffectedFields;
+  auto Touch = [&](const Edge &E) {
+    AffectedNodes.push_back(E.Src);
+    AffectedNodes.push_back(E.Dst);
+    if (E.Kind == EdgeKind::Store || E.Kind == EdgeKind::Load)
+      AffectedFields.push_back(E.Aux);
+  };
+  for (const Edge &E : PendingDeadMeta)
+    Touch(E);
+  for (EdgeId E : PendingNew)
+    Touch(Edges[E]);
+  std::sort(AffectedNodes.begin(), AffectedNodes.end());
+  AffectedNodes.erase(
+      std::unique(AffectedNodes.begin(), AffectedNodes.end()),
+      AffectedNodes.end());
+  std::sort(AffectedFields.begin(), AffectedFields.end());
+  AffectedFields.erase(
+      std::unique(AffectedFields.begin(), AffectedFields.end()),
+      AffectedFields.end());
+
+  // Freed-this-round marks: a slot freed by beginSegment this round is
+  // filtered out of every surviving bucket, even if the slot was
+  // immediately reused (its new incarnation arrives via the add
+  // lists).  Built once, shared by both repack passes.
+  std::vector<char> Freed(Edges.size(), 0);
+  for (EdgeId E : PendingDead)
+    Freed[E] = 1;
+
+  repackNodes(AffectedNodes, Freed);
+  repackFields(AffectedFields, Freed);
+
+  PendingDead.clear();
+  PendingDeadMeta.clear();
+  PendingNew.clear();
+  LastRepackCompacted = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Reading
+//===----------------------------------------------------------------------===//
 
 EdgeSpan PAG::storesOfField(ir::FieldId F) const {
   assert(Finalized && "PAG not finalized");
   assert(F < Prog.fields().size() && "field id out of range");
-  return spanOf(FieldStoreFlat, FieldStoreOff, F, F + 1);
+  if (F * 2 >= FieldStoreOff.size())
+    return EdgeSpan(); // field created after the last pack, no edges yet
+  return spanOf(FieldStoreFlat, FieldStoreOff, F * 2, F * 2 + 1);
 }
 
 EdgeSpan PAG::loadsOfField(ir::FieldId F) const {
   assert(Finalized && "PAG not finalized");
   assert(F < Prog.fields().size() && "field id out of range");
-  return spanOf(FieldLoadFlat, FieldLoadOff, F, F + 1);
+  if (F * 2 >= FieldLoadOff.size())
+    return EdgeSpan();
+  return spanOf(FieldLoadFlat, FieldLoadOff, F * 2, F * 2 + 1);
 }
 
 ir::AllocId PAG::allocOf(NodeId N) const {
@@ -203,15 +572,19 @@ PAGStats PAG::stats() const {
       break;
     }
   }
-  for (const Edge &E : Edges)
-    ++S.EdgesByKind[unsigned(E.Kind)];
+  for (EdgeId E = 0; E < Edges.size(); ++E)
+    if (!EdgeDead[E])
+      ++S.EdgesByKind[unsigned(Edges[E].Kind)];
   return S;
 }
 
 void PAG::dump(OStream &OS) const {
   OS << "PAG: " << uint64_t(Nodes.size()) << " nodes, "
-     << uint64_t(Edges.size()) << " edges\n";
-  for (const Edge &E : Edges) {
+     << uint64_t(NumAliveEdges) << " edges\n";
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    if (EdgeDead[Id])
+      continue;
+    const Edge &E = Edges[Id];
     OS << "  " << describe(E.Src) << " --" << edgeKindName(E.Kind);
     if (E.Kind == EdgeKind::Load || E.Kind == EdgeKind::Store)
       OS << '(' << Prog.names().text(Prog.fields()[E.Aux].Name) << ')';

@@ -22,12 +22,29 @@
 /// write every edge inverted; the implementation comments map each
 /// listing line to this storage orientation.
 ///
+/// Identity and deltas: node ids are STABLE ACROSS EDITS.  The node
+/// table is keyed by the program's append-only variable/allocation-site
+/// ids (which the IR keys by (method, symbol/site)); a node is created
+/// the first time its variable or site is seen and keeps its id for the
+/// graph's lifetime.  Edges are owned by per-method SEGMENTS: every
+/// edge originates from lowering one method's statements, and a delta
+/// build (PAGBuilder::buildPAGDelta) re-lowers only the edited methods'
+/// segments, leaving every other segment — and every node id — alone.
+/// Edge slot ids of untouched segments are stable too; only the edited
+/// segments' slots are freed and reused.  (EdgeIds are an internal
+/// addressing scheme, not an API contract across commits.)
+///
 /// Read-side storage is kind-partitioned CSR: finalize() packs all
 /// in/out edge ids into two flat arrays with per-(node, kind) offset
 /// tables, so the traversal hot paths iterate a contiguous span per
-/// kind (inEdgesOfKind) instead of switching on kind per edge.  The
-/// whole-node views (inEdges/outEdges) remain as spans over the same
-/// arrays for callers that still want every kind.
+/// kind (inEdgesOfKind) instead of switching on kind per edge.  Each
+/// node stores its own eight bucket boundaries (7 kinds + its end), so
+/// a node's region can be relocated independently: the incremental
+/// repack after a delta build rewrites only the regions of nodes
+/// incident to re-lowered segments (growing regions move to the array
+/// tail, leaving holes that a slack-triggered compaction reclaims).
+/// The whole-node views (inEdges/outEdges) remain as spans over the
+/// same arrays for callers that still want every kind.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +62,16 @@ namespace dynsum {
 class OStream;
 
 namespace pag {
+
+class PAG;
+class CallGraph;
+class TargetResolver;
+struct DeltaStats;
+
+/// Defined in PAGBuilder.h; declared here so the delta builder can be
+/// befriended without an include cycle.
+DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
+                         const TargetResolver *Resolver, bool ForceFull);
 
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
@@ -71,6 +98,13 @@ static_assert(unsigned(EdgeKind::Exit) + 1 == kNumEdgeKinds,
               "kNumEdgeKinds must cover every EdgeKind or the CSR "
               "bucket arithmetic bleeds across nodes");
 
+/// Offset-table stride per node: seven kind boundaries plus the node's
+/// own end boundary.  Keeping the end per node (instead of borrowing
+/// the next node's first boundary, as a classical prefix-sum CSR does)
+/// is what lets the incremental repack relocate one node's region
+/// without shifting every node after it.
+constexpr unsigned kOffsetStride = kNumEdgeKinds + 1;
+
 /// True for the four context-independent edge kinds summarized by PPTA.
 inline bool isLocalEdgeKind(EdgeKind K) {
   return K == EdgeKind::New || K == EdgeKind::Assign ||
@@ -81,8 +115,8 @@ inline bool isLocalEdgeKind(EdgeKind K) {
 const char *edgeKindName(EdgeKind K);
 
 /// A non-owning contiguous view over edge ids in the CSR arrays
-/// (std::span substitute; the repo is C++17).  Invalidated by
-/// finalize()/reset() like any index would be.
+/// (std::span substitute; the repo is C++17).  Invalidated by the next
+/// finalize()/finalizeDelta() like any index would be.
 class EdgeSpan {
 public:
   EdgeSpan() = default;
@@ -107,7 +141,8 @@ struct Node {
   /// Owning method; kNone for globals and the null object.
   ir::MethodId Method = ir::kNone;
   /// True when some local-kind edge touches this node (PPTA shortcut,
-  /// paper section 4.3).
+  /// paper section 4.3).  Derived from the live edge set by
+  /// finalize()/finalizeDelta().
   bool HasLocalEdge = false;
   /// True when a global-kind edge flows into / out of this node
   /// (Algorithm 3 lines 15-16 / 28-29 record boundary tuples on these).
@@ -139,7 +174,10 @@ struct PAGStats {
 };
 
 /// The graph.  Construction happens through PAGBuilder; the analyses
-/// only read.
+/// only read.  Copyable: a copy is an independent graph over the same
+/// program, sharing nothing — AnalysisService clones the previous
+/// generation's graph and patches the clone while in-flight batches
+/// keep draining against the original.
 class PAG {
 public:
   explicit PAG(const ir::Program &P) : Prog(P) {}
@@ -148,20 +186,36 @@ public:
   // Construction (PAGBuilder only)
   //===------------------------------------------------------------------===//
 
+  /// Creates the node of a variable/allocation site.  Ids are assigned
+  /// in call order and never change afterwards.
   NodeId addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method);
+
+  /// Opens method \p M's edge segment for (re-)population: the
+  /// segment's previous edges (if any) are freed for slot reuse and
+  /// subsequent addEdge calls land in the segment.  Only PAGBuilder
+  /// drives this; finalizeDelta requires every opened segment to have
+  /// been closed by endSegment().
+  void beginSegment(ir::MethodId M);
+  void endSegment();
+
+  /// Adds an edge to the open segment.  Returns the edge's slot id
+  /// (stable until this segment is next re-lowered).
   EdgeId addEdge(NodeId Src, NodeId Dst, EdgeKind Kind,
                  uint32_t Aux = ir::kNone, bool ContextFree = false);
 
-  /// Builds the kind-partitioned CSR in/out indices and the per-field
-  /// load/store indices; call once after the last addEdge.
+  /// Packs the full kind-partitioned CSR from scratch (first build, or
+  /// compaction after deltas accumulated too much slack).  Dead edge
+  /// slots are compacted away — edge ids are renumbered densely — and
+  /// node flags are rederived.  Idempotent: calling it again without
+  /// intervening edits is a no-op.
   void finalize();
 
-  /// Drops all nodes, edges and indices, returning the graph to its
-  /// just-constructed state (the program reference is kept).  Used by
-  /// rebuildPAG for in-place rebuilds after program edits so analyses
-  /// holding references to this graph stay valid.  The rebuild's
-  /// populate() re-finalizes, rebuilding the CSR for the new edges.
-  void reset();
+  /// Incremental repack after a delta build: rewrites only the CSR
+  /// regions of nodes incident to freed or added edges, rederives those
+  /// nodes' flags, and falls back to finalize() when accumulated slack
+  /// (dead slots + relocation holes) exceeds half the live size.
+  /// Requires finalize() to have run once before.
+  void finalizeDelta();
 
   //===------------------------------------------------------------------===//
   // Reading
@@ -170,29 +224,36 @@ public:
   const ir::Program &program() const { return Prog; }
 
   size_t numNodes() const { return Nodes.size(); }
-  size_t numEdges() const { return Edges.size(); }
+
+  /// Number of LIVE edges.  Edge slot ids range over [0, numEdgeSlots())
+  /// and may include dead slots after delta builds; iterate slots and
+  /// filter with edgeAlive() to visit every live edge.
+  size_t numEdges() const { return NumAliveEdges; }
+  size_t numEdgeSlots() const { return Edges.size(); }
+  bool edgeAlive(EdgeId E) const { return !EdgeDead[E]; }
+
   const Node &node(NodeId N) const { return Nodes[N]; }
   const Edge &edge(EdgeId E) const { return Edges[E]; }
 
   /// Edge ids entering / leaving \p N (all kinds; within the span,
   /// edges are grouped by EdgeKind in enum order).
   EdgeSpan inEdges(NodeId N) const {
-    return spanOf(InFlat, InOff, size_t(N) * kNumEdgeKinds,
-                  size_t(N + 1) * kNumEdgeKinds);
+    size_t Base = size_t(N) * kOffsetStride;
+    return spanOf(InFlat, InOff, Base, Base + kNumEdgeKinds);
   }
   EdgeSpan outEdges(NodeId N) const {
-    return spanOf(OutFlat, OutOff, size_t(N) * kNumEdgeKinds,
-                  size_t(N + 1) * kNumEdgeKinds);
+    size_t Base = size_t(N) * kOffsetStride;
+    return spanOf(OutFlat, OutOff, Base, Base + kNumEdgeKinds);
   }
 
   /// Edge ids of exactly kind \p K entering / leaving \p N — the hot
   /// paths iterate these instead of filtering inEdges with a switch.
   EdgeSpan inEdgesOfKind(NodeId N, EdgeKind K) const {
-    size_t Base = size_t(N) * kNumEdgeKinds + unsigned(K);
+    size_t Base = size_t(N) * kOffsetStride + unsigned(K);
     return spanOf(InFlat, InOff, Base, Base + 1);
   }
   EdgeSpan outEdgesOfKind(NodeId N, EdgeKind K) const {
-    size_t Base = size_t(N) * kNumEdgeKinds + unsigned(K);
+    size_t Base = size_t(N) * kOffsetStride + unsigned(K);
     return spanOf(OutFlat, OutOff, Base, Base + 1);
   }
 
@@ -223,6 +284,28 @@ public:
   /// Writes a readable edge dump (tests and debugging).
   void dump(OStream &OS) const;
 
+  //===------------------------------------------------------------------===//
+  // Delta-build bookkeeping (PAGBuilder reads/writes; tests may read)
+  //===------------------------------------------------------------------===//
+
+  /// Variables/allocation sites already materialized as nodes; the
+  /// delta builder appends nodes for program ids beyond these.
+  size_t numBuiltVars() const { return NumBuiltVars; }
+  size_t numBuiltAllocs() const { return NumBuiltAllocs; }
+
+  /// Live edge slots of method \p M's segment (empty when the method
+  /// has no pointer-relevant statements or predates its segment).
+  const std::vector<EdgeId> &segmentEdges(ir::MethodId M) const {
+    static const std::vector<EdgeId> Empty;
+    return M < Segments.size() ? Segments[M] : Empty;
+  }
+
+  /// CSR slack diagnostics: dead slots plus relocation holes, and
+  /// whether the last finalizeDelta() compacted.
+  size_t deadEdgeSlots() const { return Edges.size() - NumAliveEdges; }
+  size_t csrHoleSlots() const { return FlatHoles + FieldHoles; }
+  bool lastRepackCompacted() const { return LastRepackCompacted; }
+
 private:
   EdgeSpan spanOf(const std::vector<EdgeId> &Flat,
                   const std::vector<uint32_t> &Off, size_t From,
@@ -230,24 +313,93 @@ private:
     return EdgeSpan(Flat.data() + Off[From], Flat.data() + Off[To]);
   }
 
+  /// Allocates an edge slot (reusing a freed one when possible).
+  EdgeId allocEdgeSlot(const Edge &E);
+
+  /// Extends the offset tables over nodes added since the last pack
+  /// (their regions start empty).
+  void ensureOffsetCoverage();
+
+  /// Recomputes \p N's boundary flags from its current CSR spans.
+  void rederiveFlags(NodeId N);
+
+  /// Renumbers edge slots densely, dropping dead ones (stable order).
+  void compactEdgeSlots();
+
+  /// Full counting-sort pack of one direction's CSR.
+  void packDirection(bool In);
+
+  /// Rewrites the CSR regions of \p AffectedNodes (sorted, unique) in
+  /// both directions, appending grown regions at the array tails.
+  /// \p Freed marks the slots freed this round (shared with
+  /// repackFields so the O(slots) bitmap is built once per repack).
+  void repackNodes(const std::vector<NodeId> &AffectedNodes,
+                   const std::vector<char> &Freed);
+
+  /// Rebuilds the per-field load/store CSR regions of \p AffectedFields.
+  void repackFields(const std::vector<ir::FieldId> &AffectedFields,
+                    const std::vector<char> &Freed);
+
   const ir::Program &Prog;
   std::vector<Node> Nodes;
-  std::vector<Edge> Edges;
-  /// CSR payloads: every edge id once per direction, grouped by
-  /// (node, kind); edge-id order is preserved within a group.
+  std::vector<Edge> Edges;      ///< slot-addressed; may contain dead slots
+  std::vector<char> EdgeDead;   ///< parallel to Edges
+  std::vector<EdgeId> FreeSlots;
+  size_t NumAliveEdges = 0;
+
+  /// Per-method segments: the live slot ids emitted while lowering that
+  /// method, in emission order.
+  std::vector<std::vector<EdgeId>> Segments;
+  ir::MethodId OpenSegment = ir::kNone;
+
+  /// Delta scratch, consumed by finalizeDelta(): slots freed and edges
+  /// added since the last (full or delta) pack.  Freed payloads are
+  /// snapshotted (PendingDeadMeta) because the slot may be reused — and
+  /// its Edge overwritten — before the repack runs.
+  std::vector<EdgeId> PendingDead;
+  std::vector<Edge> PendingDeadMeta;
+  std::vector<EdgeId> PendingNew;
+
+  /// CSR payloads: every live edge id once per direction, grouped by
+  /// (node, kind); within a group, survivors keep their relative order
+  /// and re-lowered edges append in emission order.
   std::vector<EdgeId> InFlat, OutFlat;
-  /// CSR offsets, numNodes * kNumEdgeKinds + 1 entries.  The range of
-  /// (node N, kind K) is [Off[N*7 + K], Off[N*7 + K + 1]); node N's
-  /// whole range is [Off[N*7], Off[(N+1)*7]).
+  /// CSR offsets, numNodes * kOffsetStride entries.  Node N's kind-K
+  /// bucket is [Off[N*8 + K], Off[N*8 + K + 1]); its whole region is
+  /// [Off[N*8], Off[N*8 + 7]].  Regions of different nodes need not be
+  /// adjacent (relocation leaves holes), only internally contiguous.
   std::vector<uint32_t> InOff, OutOff;
-  /// Field-indexed CSR over store/load edges (numFields + 1 offsets).
+  /// Bytes of InFlat/OutFlat occupied by relocation holes.
+  size_t FlatHoles = 0;
+
+  /// Field-indexed CSR over store/load edges: per-field [begin, end)
+  /// pairs (2 entries per field), same relocation scheme.
   std::vector<EdgeId> FieldStoreFlat, FieldLoadFlat;
   std::vector<uint32_t> FieldStoreOff, FieldLoadOff;
+  size_t FieldHoles = 0;
+
   std::vector<NodeId> VarToNode;
   std::vector<NodeId> AllocToNode;
+  size_t NumBuiltVars = 0;
+  size_t NumBuiltAllocs = 0;
   bool Finalized = false;
+  bool LastRepackCompacted = false;
+
+  /// Persistent delta-build state (written by pag::buildPAGDelta): the
+  /// program edit clock, structure version and per-method fingerprints
+  /// captured at the last build.  Copies of the graph carry it along,
+  /// so a clone can be delta-patched independently.
+  uint64_t BuiltModClock = 0;
+  uint64_t BuiltStructureVersion = 0;
+  bool BuiltOnce = false;
+  std::vector<uint64_t> BuiltBodyFp;  // by MethodId
+  std::vector<uint64_t> BuiltIfaceFp; // by MethodId
+  std::vector<uint64_t> BuiltShapeFp; // by MethodId
 
   friend class PAGBuilder;
+  friend DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
+                                  const TargetResolver *Resolver,
+                                  bool ForceFull);
 };
 
 } // namespace pag

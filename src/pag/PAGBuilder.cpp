@@ -1,13 +1,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// PAG builder implementation.
+/// PAG builder implementation: full builds and per-method delta builds
+/// over the persistent node table.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "pag/PAGBuilder.h"
 
+#include "support/Hashing.h"
+
+#include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 using namespace dynsum;
 using namespace dynsum::ir;
@@ -22,88 +27,206 @@ EdgeKind copyKind(const Program &P, VarId Src, VarId Dst) {
   return EdgeKind::Assign;
 }
 
+/// Lazily computed returned-variable lists: exit edges fan out from the
+/// callee's returns, so lowering a caller needs its callees' returns —
+/// but only those, never the whole program's.
+class ReturnsCache {
+public:
+  explicit ReturnsCache(const Program &P) : P(P) {}
+
+  const std::vector<VarId> &of(MethodId M) {
+    auto It = Cache.find(M);
+    if (It != Cache.end())
+      return It->second;
+    std::vector<VarId> &Rets = Cache[M];
+    for (const Statement &S : P.method(M).Stmts)
+      if (S.Kind == StmtKind::Return)
+        Rets.push_back(S.Src);
+    return Rets;
+  }
+
+private:
+  const Program &P;
+  std::unordered_map<MethodId, std::vector<VarId>> Cache;
+};
+
+/// Re-lowers method \p M's statements into its (freshly opened)
+/// segment.
+void lowerMethod(PAG &G, const Program &P, const CallGraph &CG,
+                 ReturnsCache &Returns, MethodId Id) {
+  const Method &M = P.method(Id);
+  G.beginSegment(Id);
+  for (const Statement &S : M.Stmts) {
+    switch (S.Kind) {
+    case StmtKind::Alloc:
+    case StmtKind::Null:
+      G.addEdge(G.nodeOfAlloc(S.Alloc), G.nodeOfVar(S.Dst), EdgeKind::New);
+      break;
+    case StmtKind::Assign:
+    case StmtKind::Cast:
+      // A cast is an assignment to the PAG; the cast site only matters
+      // to the SafeCast client.
+      G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Dst),
+                copyKind(P, S.Src, S.Dst));
+      break;
+    case StmtKind::Load:
+      // dst = base.f  =>  base --load(f)--> dst
+      G.addEdge(G.nodeOfVar(S.Base), G.nodeOfVar(S.Dst), EdgeKind::Load,
+                S.FieldLabel);
+      break;
+    case StmtKind::Store:
+      // base.f = src  =>  src --store(f)--> base
+      G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Base), EdgeKind::Store,
+                S.FieldLabel);
+      break;
+    case StmtKind::Call: {
+      for (MethodId Target : CG.targets(S.Call)) {
+        const Method &Callee = P.method(Target);
+        bool ContextFree = CG.inSameRecursion(Id, Target);
+        size_t NumArgs = S.Args.size() < Callee.Params.size()
+                             ? S.Args.size()
+                             : Callee.Params.size();
+        for (size_t I = 0; I < NumArgs; ++I)
+          G.addEdge(G.nodeOfVar(S.Args[I]), G.nodeOfVar(Callee.Params[I]),
+                    EdgeKind::Entry, S.Call, ContextFree);
+        if (S.Dst != kNone)
+          for (VarId Ret : Returns.of(Target))
+            G.addEdge(G.nodeOfVar(Ret), G.nodeOfVar(S.Dst), EdgeKind::Exit,
+                      S.Call, ContextFree);
+      }
+      break;
+    }
+    case StmtKind::Return:
+      break; // handled from the call side
+    }
+  }
+  G.endSegment();
+}
+
+/// Everything a caller's lowered call edges depend on beyond its own
+/// statements: per (site, callee) pair the target, the recursion
+/// collapse bit, and the callee's params/returns interface.  A clean
+/// method is re-lowered iff this fingerprint moved.
+uint64_t calleeShape(const CallGraph &CG, MethodId M,
+                     const std::vector<uint64_t> &IfaceFp) {
+  uint64_t H = 0x8f2d1c7b6a59e043ull;
+  for (const auto &[Site, Callee] : CG.calleesOf(M)) {
+    H = hashCombine(H, packPair(Site, Callee));
+    H = hashCombine(H, uint64_t(CG.inSameRecursion(M, Callee)));
+    H = hashCombine(H, IfaceFp[Callee]);
+  }
+  return H;
+}
+
 } // namespace
 
-/// Fills \p G (which must be empty) with the nodes and edges of \p P,
-/// using \p CG for call targets and recursion information.
-static void populate(PAG &G, const Program &P, const CallGraph &CG) {
-  // Nodes: all variables first, then all allocation sites.
-  for (const Variable &V : P.variables())
-    G.addNode(V.IsGlobal ? NodeKind::Global : NodeKind::Local, V.Id, V.Owner);
-  for (const AllocSite &A : P.allocs())
-    G.addNode(NodeKind::Object, A.Id, A.Owner);
+DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
+                                      const TargetResolver *Resolver,
+                                      bool ForceFull) {
+  const Program &P = G.program();
+  DeltaStats DS;
+  const bool First = !G.BuiltOnce;
+  const size_t NumMethods = P.methods().size();
 
-  // Collect each method's returned variables once; exit edges fan out
-  // from them.
-  std::vector<std::vector<VarId>> Returns(P.methods().size());
-  for (const Method &M : P.methods())
-    for (const Statement &S : M.Stmts)
-      if (S.Kind == StmtKind::Return)
-        Returns[M.Id].push_back(S.Src);
+  // --- Nodes: append for program ids created since the last build.
+  // Variables before allocation sites, matching the classic full-build
+  // numbering on the first call; afterwards ids just keep appending.
+  size_t FirstNewVar = G.numBuiltVars();
+  size_t FirstNewAlloc = G.numBuiltAllocs();
+  for (VarId V = VarId(FirstNewVar); V < P.variables().size(); ++V) {
+    const Variable &Var = P.variable(V);
+    G.addNode(Var.IsGlobal ? NodeKind::Global : NodeKind::Local, V,
+              Var.Owner);
+    ++DS.NodesAdded;
+  }
+  for (AllocId A = AllocId(FirstNewAlloc); A < P.allocs().size(); ++A) {
+    G.addNode(NodeKind::Object, A, P.alloc(A).Owner);
+    ++DS.NodesAdded;
+  }
 
-  for (const Method &M : P.methods()) {
-    for (const Statement &S : M.Stmts) {
-      switch (S.Kind) {
-      case StmtKind::Alloc:
-      case StmtKind::Null:
-        G.addEdge(G.nodeOfAlloc(S.Alloc), G.nodeOfVar(S.Dst), EdgeKind::New);
-        break;
-      case StmtKind::Assign:
-      case StmtKind::Cast:
-        // A cast is an assignment to the PAG; the cast site only matters
-        // to the SafeCast client.
-        G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Dst),
-                  copyKind(P, S.Src, S.Dst));
-        break;
-      case StmtKind::Load:
-        // dst = base.f  =>  base --load(f)--> dst
-        G.addEdge(G.nodeOfVar(S.Base), G.nodeOfVar(S.Dst), EdgeKind::Load,
-                  S.FieldLabel);
-        break;
-      case StmtKind::Store:
-        // base.f = src  =>  src --store(f)--> base
-        G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Base), EdgeKind::Store,
-                  S.FieldLabel);
-        break;
-      case StmtKind::Call: {
-        for (MethodId Target : CG.targets(S.Call)) {
-          const Method &Callee = P.method(Target);
-          bool ContextFree = CG.inSameRecursion(M.Id, Target);
-          size_t NumArgs = S.Args.size() < Callee.Params.size()
-                               ? S.Args.size()
-                               : Callee.Params.size();
-          for (size_t I = 0; I < NumArgs; ++I)
-            G.addEdge(G.nodeOfVar(S.Args[I]), G.nodeOfVar(Callee.Params[I]),
-                      EdgeKind::Entry, S.Call, ContextFree);
-          if (S.Dst != kNone)
-            for (VarId Ret : Returns[Target])
-              G.addEdge(G.nodeOfVar(Ret), G.nodeOfVar(S.Dst), EdgeKind::Exit,
-                        S.Call, ContextFree);
-        }
-        break;
-      }
-      case StmtKind::Return:
-        break; // handled from the call side
-      }
+  // --- Candidates: methods stamped by the edit clock since the last
+  // build; their body/interface fingerprints decide what really moved.
+  size_t OldNumMethods = G.BuiltBodyFp.size();
+  G.BuiltBodyFp.resize(NumMethods, 0);
+  G.BuiltIfaceFp.resize(NumMethods, 0);
+  G.BuiltShapeFp.resize(NumMethods, 0);
+
+  std::vector<MethodId> BodyChanged;
+  if (First) {
+    DS.Touched.reserve(NumMethods);
+    BodyChanged.reserve(NumMethods);
+    for (MethodId M = 0; M < NumMethods; ++M) {
+      DS.Touched.push_back(M);
+      BodyChanged.push_back(M);
+      G.BuiltBodyFp[M] = P.methodFingerprint(M);
+      G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
+    }
+  } else {
+    DS.Touched = P.methodsTouchedSince(G.BuiltModClock);
+    for (MethodId M : DS.Touched) {
+      uint64_t BodyFp = P.methodFingerprint(M);
+      bool IsNew = M >= OldNumMethods;
+      if (ForceFull || IsNew || BodyFp != G.BuiltBodyFp[M])
+        BodyChanged.push_back(M);
+      G.BuiltBodyFp[M] = BodyFp;
+      G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
     }
   }
 
-  G.finalize();
+  // --- Call graph refresh.  The default CHA resolver updates
+  // incrementally; a stateful resolver (RTA/Andersen) is re-run whole —
+  // its answers can move anywhere — while lowering stays delta.
+  bool HierarchyChanged = P.structureVersion() != G.BuiltStructureVersion;
+  if (First || Resolver != nullptr) {
+    Calls = buildCallGraph(P, Resolver);
+  } else {
+    updateCallGraph(Calls, P, nullptr, BodyChanged, HierarchyChanged);
+  }
+
+  // --- Re-lower set: body-changed plus shape-changed.  The shape pass
+  // is one hash per call edge over the whole graph — linear in the call
+  // graph, independent of statement counts.
+  std::vector<char> Relower(NumMethods, 0);
+  for (MethodId M : BodyChanged)
+    Relower[M] = 1;
+  if (ForceFull || First) {
+    for (MethodId M = 0; M < NumMethods; ++M) {
+      Relower[M] = 1;
+      G.BuiltShapeFp[M] = calleeShape(Calls, M, G.BuiltIfaceFp);
+    }
+  } else {
+    for (MethodId M = 0; M < NumMethods; ++M) {
+      uint64_t Shape = calleeShape(Calls, M, G.BuiltIfaceFp);
+      if (Shape != G.BuiltShapeFp[M])
+        Relower[M] = 1;
+      G.BuiltShapeFp[M] = Shape;
+    }
+  }
+
+  // --- Re-lower and repack.
+  ReturnsCache Returns(P);
+  for (MethodId M = 0; M < NumMethods; ++M) {
+    if (!Relower[M])
+      continue;
+    lowerMethod(G, P, Calls, Returns, M);
+    DS.Relowered.push_back(M);
+  }
+  if (First)
+    G.finalize();
+  else
+    G.finalizeDelta();
+  DS.Compacted = G.lastRepackCompacted();
+
+  G.BuiltModClock = P.modClock();
+  G.BuiltStructureVersion = P.structureVersion();
+  G.BuiltOnce = true;
+  return DS;
 }
 
 BuiltPAG dynsum::pag::buildPAG(const Program &P,
                                const TargetResolver *Resolver) {
   BuiltPAG Result;
-  Result.Calls = buildCallGraph(P, Resolver);
   Result.Graph = std::make_unique<PAG>(P);
-  populate(*Result.Graph, P, Result.Calls);
+  buildPAGDelta(*Result.Graph, Result.Calls, Resolver);
   return Result;
-}
-
-CallGraph dynsum::pag::rebuildPAG(PAG &G, const TargetResolver *Resolver) {
-  const Program &P = G.program();
-  CallGraph Calls = buildCallGraph(P, Resolver);
-  G.reset();
-  populate(G, P, Calls);
-  return Calls;
 }

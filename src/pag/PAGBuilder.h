@@ -1,7 +1,29 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Builds a PAG (and its call graph) from an IR program.
+/// Builds a PAG (and its call graph) from an IR program — from scratch
+/// or as a per-method delta after edits.
+///
+/// Node identity is persistent: a variable/allocation site keeps its
+/// PAG node id across every subsequent delta build (the IR ids are
+/// append-only, and the PAG's node table is keyed by them).  Edges are
+/// owned by per-method segments; a delta build re-lowers exactly the
+/// methods whose lowered edges can differ:
+///
+///   * methods whose statement bodies changed (found by the program's
+///     per-method edit clock, confirmed by content fingerprint — a
+///     markDirty with no real edit does not force a re-lower);
+///   * methods whose callee shape changed: some call site's target set,
+///     a target's recursion-collapse status, or a callee's
+///     params/returns interface moved (entry/exit edges embed all
+///     three), detected by fingerprint against the updated call graph.
+///
+/// The call graph itself is refreshed incrementally for the default CHA
+/// resolver (re-resolving only changed methods, plus all virtual sites
+/// when the class hierarchy grew); a custom resolver (RTA/Andersen
+/// answers depend on whole-program state) forces a full re-resolution,
+/// while edge lowering stays delta — the shape fingerprints absorb
+/// whatever the resolver moved.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,6 +34,7 @@
 #include "pag/PAG.h"
 
 #include <memory>
+#include <unordered_set>
 
 namespace dynsum {
 namespace pag {
@@ -20,6 +43,20 @@ namespace pag {
 struct BuiltPAG {
   std::unique_ptr<PAG> Graph;
   CallGraph Calls;
+};
+
+/// What one delta build did, for invalidation planning and diagnostics.
+struct DeltaStats {
+  /// Methods whose segments were re-lowered (body- or shape-changed).
+  std::vector<ir::MethodId> Relowered;
+  /// Methods stamped by the edit clock since the last build (superset
+  /// candidates for Relowered; summary invalidation keys off these even
+  /// when the fingerprint proved the graph unchanged — a forced
+  /// markDirty must still drop summaries).
+  std::vector<ir::MethodId> Touched;
+  size_t NodesAdded = 0;
+  /// True when slack forced the CSR repack to compact fully.
+  bool Compacted = false;
 };
 
 /// Translates \p P into PAG edges per Figure 1:
@@ -39,13 +76,16 @@ struct BuiltPAG {
 BuiltPAG buildPAG(const ir::Program &P,
                   const TargetResolver *Resolver = nullptr);
 
-/// Rebuilds \p G *in place* from its (edited) program and returns the
-/// fresh call graph.  References to \p G held by analyses remain valid;
-/// node numbering follows the same deterministic scheme as buildPAG
-/// (variables in id order, then allocation sites), so nodes of
-/// pre-existing variables keep their ids and object nodes shift by the
-/// number of added variables.
-CallGraph rebuildPAG(PAG &G, const TargetResolver *Resolver = nullptr);
+/// Patches \p G and \p Calls in place to match \p G's (edited) program:
+/// appends nodes for new variables/allocation sites, re-lowers only the
+/// changed methods' segments, and repacks the CSR incrementally.  Every
+/// pre-existing node id is preserved.  \p G must have been produced by
+/// buildPAG/earlier buildPAGDelta calls over the same program instance.
+/// \p ForceFull re-lowers every method regardless of fingerprints (the
+/// commit --scratch escape hatch; identical result, O(program) cost).
+DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
+                         const TargetResolver *Resolver = nullptr,
+                         bool ForceFull = false);
 
 } // namespace pag
 } // namespace dynsum

@@ -8,6 +8,7 @@
 #include "service/AnalysisService.h"
 
 #include "analysis/SummaryIO.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 
@@ -20,11 +21,12 @@ using incremental::InvalidationPolicy;
 AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
                                  ServiceOptions Opts)
     : Opts(Opts), Prog(std::move(P)) {
-  publish(buildGeneration()); // generation 0, store is empty
+  publish(buildFirstGeneration()); // generation 0, store is empty
+  CommittedClock = Prog->modClock();
 }
 
 std::shared_ptr<const AnalysisService::Generation>
-AnalysisService::buildGeneration() {
+AnalysisService::buildFirstGeneration() {
   auto G = std::make_shared<Generation>();
   G->Number = Store.generation();
   G->NumVars = Prog->variables().size();
@@ -51,8 +53,7 @@ AnalysisService::current() const {
 
 void AnalysisService::addStatement(ir::MethodId M, ir::Statement S) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  Prog->addStatement(M, std::move(S));
-  DirtyMethods.insert(M);
+  Prog->addStatement(M, std::move(S)); // stamps M on the edit clock
 }
 
 size_t AnalysisService::removeStatements(
@@ -63,52 +64,60 @@ size_t AnalysisService::removeStatements(
   Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
   size_t Removed = Before - Stmts.size();
   if (Removed > 0)
-    DirtyMethods.insert(M);
+    Prog->touchMethod(M);
   return Removed;
 }
 
 void AnalysisService::markDirty(ir::MethodId M) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  DirtyMethods.insert(M);
+  Prog->touchMethod(M);
 }
 
 void AnalysisService::editProgram(
     const std::function<std::vector<ir::MethodId>(ir::Program &)> &Edit) {
   std::lock_guard<std::mutex> Lock(EditMutex);
   for (ir::MethodId M : Edit(*Prog))
-    DirtyMethods.insert(M);
+    Prog->touchMethod(M);
 }
 
 bool AnalysisService::dirty() const {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  return !DirtyMethods.empty();
+  return Prog->modClock() != CommittedClock;
 }
 
-CommitStats AnalysisService::commitLocked() {
-  if (DirtyMethods.empty())
+CommitStats AnalysisService::commitLocked(CommitMode Mode) {
+  if (Prog->modClock() == CommittedClock)
     return {};
 
+  Timer Clock;
   CommitStats Stats;
   Stats.SummariesBefore = Store.size();
 
   std::shared_ptr<const Generation> Old = current();
   incremental::BoundarySnapshot OldBoundary =
-      incremental::snapshotBoundary(*Old->Built.Graph, Old->NumVars);
+      incremental::snapshotBoundary(*Old->Built.Graph);
 
-  // Build the next epoch's graph first; the old generation keeps
-  // serving in-flight batches untouched the whole time.
-  pag::BuiltPAG NewBuilt = pag::buildPAG(*Prog);
-  size_t NewNumVars = Prog->variables().size();
+  // Build the next epoch's graph as a delta of the previous one: clone
+  // the old graph (flat array copies) and patch the clone.  The old
+  // generation keeps serving in-flight batches untouched the whole
+  // time; node ids are shared between the two graphs by construction.
+  auto NewGraph = std::make_unique<pag::PAG>(*Old->Built.Graph);
+  pag::CallGraph NewCalls = Old->Built.Calls;
+  pag::DeltaStats Delta = pag::buildPAGDelta(
+      *NewGraph, NewCalls, nullptr,
+      /*ForceFull=*/Mode == CommitMode::Scratch);
+  Stats.MethodsRelowered = Delta.Relowered.size();
 
   if (Opts.Policy == InvalidationPolicy::ClearAll) {
     Stats.SummariesDropped = Store.size();
     Store.clear(); // bumps the store generation
   } else {
-    InvalidationPlan Plan = incremental::planInvalidation(
-        OldBoundary, *NewBuilt.Graph, NewNumVars, DirtyMethods);
-    Stats.NodesRemapped = Plan.NodesRemapped;
+    std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
+                                           Delta.Touched.end());
+    InvalidationPlan Plan =
+        incremental::planInvalidation(OldBoundary, *NewGraph, Dirty);
     Stats.MethodsInvalidated = Plan.Methods.size();
-    Stats.SummariesDropped = Store.beginGeneration(*NewBuilt.Graph, Plan);
+    Stats.SummariesDropped = Store.beginGeneration(*NewGraph, Plan);
   }
   Stats.SharedSummariesDropped = Stats.SummariesDropped;
 
@@ -118,21 +127,28 @@ CommitStats AnalysisService::commitLocked() {
   // privately and never cross-contaminate).
   auto NewGen = std::make_shared<Generation>();
   NewGen->Number = Store.generation();
-  NewGen->NumVars = NewNumVars;
-  NewGen->Built = std::move(NewBuilt);
+  NewGen->NumVars = Prog->variables().size();
+  NewGen->Built.Graph = std::move(NewGraph);
+  NewGen->Built.Calls = std::move(NewCalls);
   NewGen->Engine = std::make_unique<engine::QueryScheduler>(
       *NewGen->Built.Graph, Opts.Engine, Store, NewGen->Number);
   publish(std::move(NewGen));
 
-  DirtyMethods.clear();
+  CommittedClock = Prog->modClock();
+  Stats.Seconds = Clock.seconds();
   Commits.fetch_add(1, std::memory_order_relaxed);
   SharedDropped.fetch_add(Stats.SummariesDropped, std::memory_order_relaxed);
+  uint64_t Micros = uint64_t(Stats.Seconds * 1e6);
+  LastCommitMicros.store(Micros, std::memory_order_relaxed);
+  TotalCommitMicros.fetch_add(Micros, std::memory_order_relaxed);
+  LastCommitRelowered.store(Stats.MethodsRelowered,
+                            std::memory_order_relaxed);
   return Stats;
 }
 
-CommitStats AnalysisService::commit() {
+CommitStats AnalysisService::commit(CommitMode Mode) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  return commitLocked();
+  return commitLocked(Mode);
 }
 
 //===----------------------------------------------------------------------===//
@@ -188,7 +204,7 @@ engine::QueryOutcome AnalysisService::queryVar(ir::VarId V) {
 
 bool AnalysisService::saveSummaries(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  commitLocked();
+  commitLocked(CommitMode::Delta);
   std::shared_ptr<const Generation> Gen = current();
   analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
   Store.drainInto(Staging);
@@ -197,7 +213,7 @@ bool AnalysisService::saveSummaries(const std::string &Path) {
 
 bool AnalysisService::loadSummaries(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  commitLocked();
+  commitLocked(CommitMode::Delta);
   std::shared_ptr<const Generation> Gen = current();
   analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
   if (!analysis::loadSummariesFile(Staging, Path))
@@ -220,5 +236,11 @@ ServiceStats AnalysisService::stats() const {
   S.Queries = Queries.load(std::memory_order_relaxed);
   S.SharedSummariesDropped = SharedDropped.load(std::memory_order_relaxed);
   S.StoreSize = Store.size();
+  S.LastCommitSeconds =
+      double(LastCommitMicros.load(std::memory_order_relaxed)) / 1e6;
+  S.TotalCommitSeconds =
+      double(TotalCommitMicros.load(std::memory_order_relaxed)) / 1e6;
+  S.LastCommitRelowered =
+      LastCommitRelowered.load(std::memory_order_relaxed);
   return S;
 }

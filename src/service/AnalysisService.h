@@ -20,17 +20,23 @@
 ///     concurrent edits to the program are invisible to running
 ///     batches.
 ///
-///   * commit() (serialized on the edit lock) builds the next PAG from
-///     the edited program, applies the shared
-///     incremental::planInvalidation to the service-owned
-///     SharedSummaryStore — remapping node ids, dropping exactly the
-///     summaries the edit can invalidate, bumping the store generation
-///     — and swaps the current-generation pointer.  In-flight batches
-///     keep their old generation alive through the shared_ptr and
-///     drain against the old PAG; their store probes miss from then on
+///   * commit() (serialized on the edit lock) builds the next PAG *as a
+///     delta of the previous generation's graph*: the old PAG is cloned
+///     (a flat memcpy of its arrays), the clone is patched by
+///     pag::buildPAGDelta — only the edited methods' segments re-lower,
+///     call graph and recursion info refresh incrementally, node ids
+///     never move — and the shared incremental::planInvalidation drops
+///     exactly the summaries the edit can invalidate from the
+///     service-owned SharedSummaryStore (stable ids mean surviving
+///     store keys carry over verbatim), bumps the store generation, and
+///     swaps the current-generation pointer.  In-flight batches keep
+///     their old generation alive through the shared_ptr and drain
+///     against the old PAG; their store probes miss from then on
 ///     (stale epoch), so answers stay correct for the epoch they
 ///     report, and their publishes are dropped rather than poisoning
-///     the new generation.
+///     the new generation.  commit(CommitMode::Scratch) is the A/B
+///     escape hatch: it force-re-lowers every method (same stable ids,
+///     O(program) cost) so delta builds can be cross-checked live.
 ///
 /// Warm summaries survive commits per the invalidation policy, and
 /// survive restarts through saveSummaries()/loadSummaries() (SummaryIO;
@@ -69,6 +75,12 @@ struct ServiceBatchResult {
   uint64_t Generation = 0;
 };
 
+/// How commit() rebuilds the generation's graph.
+enum class CommitMode : uint8_t {
+  Delta,   ///< re-lower edited methods only (the hot path)
+  Scratch, ///< force-re-lower every method (A/B cross-check)
+};
+
 /// Lifetime counters (monotonic; readable from any thread).
 struct ServiceStats {
   uint64_t Generation = 0;
@@ -77,6 +89,12 @@ struct ServiceStats {
   uint64_t Queries = 0;
   uint64_t SharedSummariesDropped = 0;
   size_t StoreSize = 0;
+  /// Wall-clock seconds of the most recent / all commits, and how many
+  /// methods the most recent one re-lowered (the --serve "stats"
+  /// commit-time readout).
+  double LastCommitSeconds = 0.0;
+  double TotalCommitSeconds = 0.0;
+  uint64_t LastCommitRelowered = 0;
 };
 
 /// The concurrent incremental analysis server.
@@ -120,12 +138,13 @@ public:
   /// True when edits are pending (racy by nature; advisory only).
   bool dirty() const;
 
-  /// Publishes pending edits as a new generation: builds the next PAG,
-  /// invalidates the shared store per the policy (SummariesBefore /
-  /// SummariesDropped count store entries), and swaps the current
-  /// generation.  In-flight batches drain against the previous one.
-  /// No-op when clean.
-  incremental::CommitStats commit();
+  /// Publishes pending edits as a new generation: clones the previous
+  /// generation's PAG, patches it with a delta build (or a forced full
+  /// re-lower under CommitMode::Scratch), invalidates the shared store
+  /// per the policy (SummariesBefore / SummariesDropped count store
+  /// entries), and swaps the current generation.  In-flight batches
+  /// drain against the previous one.  No-op when clean.
+  incremental::CommitStats commit(CommitMode Mode = CommitMode::Delta);
 
   //===------------------------------------------------------------------===//
   // Queries (any thread, lock-free after the snapshot grab)
@@ -183,9 +202,8 @@ private:
     std::unique_ptr<engine::QueryScheduler> Engine;
   };
 
-  /// Builds a generation from the current program state and the store's
-  /// current generation number.  Caller holds the edit lock.
-  std::shared_ptr<const Generation> buildGeneration();
+  /// Builds generation 0 from scratch.  Caller holds the edit lock.
+  std::shared_ptr<const Generation> buildFirstGeneration();
 
   /// Swaps the published generation pointer.
   void publish(std::shared_ptr<const Generation> G);
@@ -194,14 +212,17 @@ private:
   std::shared_ptr<const Generation> current() const;
 
   /// commit() body; caller holds the edit lock.
-  incremental::CommitStats commitLocked();
+  incremental::CommitStats commitLocked(CommitMode Mode);
 
   ServiceOptions Opts;
   std::unique_ptr<ir::Program> Prog;
 
   /// Serializes program mutation, commits and persistence.
   mutable std::mutex EditMutex;
-  std::unordered_set<ir::MethodId> DirtyMethods; // guarded by EditMutex
+  /// Program edit clock at the last published generation (guarded by
+  /// EditMutex); dirtiness and the touched-method set come from the
+  /// program itself.
+  uint64_t CommittedClock = 0;
 
   /// The cross-generation summary store; generations are the store's.
   engine::SharedSummaryStore Store;
@@ -214,6 +235,11 @@ private:
   std::atomic<uint64_t> Batches{0};
   std::atomic<uint64_t> Queries{0};
   std::atomic<uint64_t> SharedDropped{0};
+  /// Commit-time readouts (microseconds; atomics so stats() needs no
+  /// lock).
+  std::atomic<uint64_t> LastCommitMicros{0};
+  std::atomic<uint64_t> TotalCommitMicros{0};
+  std::atomic<uint64_t> LastCommitRelowered{0};
 };
 
 } // namespace service

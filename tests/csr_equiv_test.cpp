@@ -206,6 +206,143 @@ TEST(CsrStructureTest, FieldSpansHoldExactlyTheLabelledAccesses) {
 }
 
 //===----------------------------------------------------------------------===//
+// Dirty-partition repacks: the incremental CSR keeps its invariants
+// through growth (region relocation), shrink (holes) and slot reuse
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Re-checks every CSR invariant on \p G, tolerating the relocation
+/// holes and dead slots a delta repack leaves behind.
+void expectCsrInvariants(const pag::PAG &G) {
+  std::vector<unsigned> InSeen(G.numEdgeSlots(), 0),
+      OutSeen(G.numEdgeSlots(), 0);
+  for (pag::NodeId N = 0; N < G.numNodes(); ++N) {
+    size_t InTotal = 0, OutTotal = 0;
+    for (unsigned K = 0; K < pag::kNumEdgeKinds; ++K) {
+      pag::EdgeKind Kind = pag::EdgeKind(K);
+      for (pag::EdgeId E : G.inEdgesOfKind(N, Kind)) {
+        ASSERT_TRUE(G.edgeAlive(E));
+        EXPECT_EQ(G.edge(E).Kind, Kind);
+        EXPECT_EQ(G.edge(E).Dst, N);
+        ++InSeen[E];
+        ++InTotal;
+      }
+      for (pag::EdgeId E : G.outEdgesOfKind(N, Kind)) {
+        ASSERT_TRUE(G.edgeAlive(E));
+        EXPECT_EQ(G.edge(E).Kind, Kind);
+        EXPECT_EQ(G.edge(E).Src, N);
+        ++OutSeen[E];
+        ++OutTotal;
+      }
+    }
+    EXPECT_EQ(InTotal, G.inEdges(N).size()) << "node " << N;
+    EXPECT_EQ(OutTotal, G.outEdges(N).size()) << "node " << N;
+  }
+  for (pag::EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    unsigned Want = G.edgeAlive(E) ? 1 : 0;
+    EXPECT_EQ(InSeen[E], Want) << "edge " << E;
+    EXPECT_EQ(OutSeen[E], Want) << "edge " << E;
+  }
+}
+
+/// Appends \p Count alloc+assign pairs to \p M, each assigning into
+/// \p M's first local: that node's in-bucket grows every round, so its
+/// CSR region must relocate (leaving a hole) on every delta repack.
+void growMethod(ir::Program &P, ir::MethodId M, unsigned Count) {
+  ir::VarId Base = ir::kNone;
+  for (const ir::Variable &V : P.variables())
+    if (!V.IsGlobal && V.Owner == M) {
+      Base = V.Id;
+      break;
+    }
+  for (unsigned I = 0; I < Count; ++I) {
+    ir::VarId V = P.createLocal(
+        P.name("grow" + std::to_string(P.variables().size())), M,
+        ir::kObjectType);
+    ir::Statement S;
+    S.Kind = ir::StmtKind::Alloc;
+    S.Dst = V;
+    S.Type = ir::kObjectType;
+    S.Alloc = P.createAllocSite(ir::kObjectType, M, Symbol{});
+    P.addStatement(M, std::move(S));
+    if (Base != ir::kNone) {
+      ir::Statement A;
+      A.Kind = ir::StmtKind::Assign;
+      A.Src = V;
+      A.Dst = Base;
+      P.addStatement(M, std::move(A));
+    }
+  }
+}
+
+} // namespace
+
+TEST(CsrDeltaRepackTest, GrowShrinkAndReuseKeepInvariants) {
+  workload::GenOptions GO;
+  GO.Scale = 1.0 / 128;
+  auto Prog = workload::generateProgram(workload::specByName("soot-c"), GO);
+  pag::BuiltPAG Built = pag::buildPAG(*Prog);
+  pag::PAG &G = *Built.Graph;
+
+  // Grow one method hard: its nodes' regions outgrow their slots and
+  // must relocate to the array tail.
+  ir::MethodId M0 = Prog->methods()[3].Id;
+  growMethod(*Prog, M0, 40);
+  pag::DeltaStats DS = pag::buildPAGDelta(G, Built.Calls);
+  EXPECT_FALSE(DS.Compacted);
+  EXPECT_EQ(DS.Relowered.size(), 1u);
+  expectCsrInvariants(G);
+
+  // Shrink another method to nothing: dead slots + in-place holes.
+  ir::MethodId M1 = Prog->methods()[5].Id;
+  size_t Before = G.numEdges();
+  size_t SegmentSize = G.segmentEdges(M1).size();
+  ASSERT_GT(SegmentSize, 0u);
+  Prog->method(M1).Stmts.clear();
+  Prog->touchMethod(M1);
+  pag::buildPAGDelta(G, Built.Calls);
+  EXPECT_LT(G.numEdges(), Before);
+  EXPECT_TRUE(G.segmentEdges(M1).empty());
+  EXPECT_GT(G.deadEdgeSlots(), 0u);
+  expectCsrInvariants(G);
+
+  // Refill it: freed slots are reused, buckets rebuilt once more.
+  growMethod(*Prog, M1, unsigned(SegmentSize));
+  pag::buildPAGDelta(G, Built.Calls);
+  expectCsrInvariants(G);
+}
+
+TEST(CsrDeltaRepackTest, AccumulatedSlackTriggersCompaction) {
+  workload::GenOptions GO;
+  GO.Scale = 1.0 / 256;
+  auto Prog = workload::generateProgram(workload::specByName("soot-c"), GO);
+  pag::BuiltPAG Built = pag::buildPAG(*Prog);
+  pag::PAG &G = *Built.Graph;
+
+  // Hammer one method: its first local's in-bucket grows every round,
+  // so the region relocates each repack and the abandoned copies pile
+  // up quadratically until the slack policy forces a compacting full
+  // pack; invariants must hold before and after.
+  ir::MethodId M = Prog->methods()[1].Id;
+  bool SawCompaction = false;
+  for (unsigned Round = 0; Round < 80 && !SawCompaction; ++Round) {
+    growMethod(*Prog, M, 16);
+    pag::DeltaStats DS = pag::buildPAGDelta(G, Built.Calls);
+    SawCompaction |= DS.Compacted;
+    if (Round % 10 == 0)
+      expectCsrInvariants(G);
+  }
+  EXPECT_TRUE(SawCompaction) << "slack never crossed the compaction bar";
+  EXPECT_EQ(G.deadEdgeSlots(), 0u) << "compaction must reclaim dead slots";
+  expectCsrInvariants(G);
+
+  // After compaction the full pack is dense again: every slot is live
+  // and the classic seed invariant (edge ids 0..numEdges) holds.
+  EXPECT_EQ(G.numEdges(), G.numEdgeSlots());
+}
+
+//===----------------------------------------------------------------------===//
 // Deep chains: the worklist engine cannot overflow the call stack
 //===----------------------------------------------------------------------===//
 

@@ -130,12 +130,11 @@ TEST(EditSessionTest, UntouchedMethodSummariesSurvive) {
 
   EXPECT_LT(Stats.SummariesDropped, Warm)
       << "per-method invalidation must not clear everything";
-  // Only *variable* additions shift node ids (objects are numbered
-  // after variables); a new allocation site alone appends at the end.
-  EXPECT_FALSE(Stats.NodesRemapped);
+  // Only the edited method's segment is re-lowered.
+  EXPECT_EQ(Stats.MethodsRelowered, 1u);
 }
 
-TEST(EditSessionTest, AddingAVariableRemapsObjectNodes) {
+TEST(EditSessionTest, AddingAVariableKeepsNodeIdsStable) {
   auto P = parse(kTwoMethodSource);
   ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
   ir::VarId R = varOf(*P, "main", "r");
@@ -144,7 +143,14 @@ TEST(EditSessionTest, AddingAVariableRemapsObjectNodes) {
   QueryResult Before = S.queryVar(R);
   ASSERT_GT(S.analysis().cacheSize(), 0u);
 
-  // A new local + alloc: object nodes shift by one.
+  // Record every pre-edit node id; the delta build must not move any.
+  std::vector<pag::NodeId> VarNodes, AllocNodes;
+  for (const ir::Variable &V : S.program().variables())
+    VarNodes.push_back(S.graph().nodeOfVar(V.Id));
+  for (const ir::AllocSite &A : S.program().allocs())
+    AllocNodes.push_back(S.graph().nodeOfAlloc(A.Id));
+
+  // A new local + alloc: both append fresh node ids at the end.
   ir::Program &Q = S.program();
   ir::VarId Fresh = Q.createLocal(Q.name("fresh"), Main, ir::kObjectType);
   ir::Statement New;
@@ -154,9 +160,18 @@ TEST(EditSessionTest, AddingAVariableRemapsObjectNodes) {
   New.Alloc = Q.createAllocSite(New.Type, Main, Q.name("ofresh"));
   S.addStatement(Main, std::move(New));
   CommitStats Stats = S.commit();
-  EXPECT_TRUE(Stats.NodesRemapped);
+  EXPECT_EQ(Stats.MethodsRelowered, 1u);
 
-  // Queries through remapped summaries still answer correctly.
+  for (size_t I = 0; I < VarNodes.size(); ++I)
+    EXPECT_EQ(S.graph().nodeOfVar(ir::VarId(I)), VarNodes[I])
+        << "variable node id moved";
+  for (size_t I = 0; I < AllocNodes.size(); ++I)
+    EXPECT_EQ(S.graph().nodeOfAlloc(ir::AllocId(I)), AllocNodes[I])
+        << "object node id moved";
+  EXPECT_GE(S.graph().nodeOfVar(Fresh), VarNodes.size() + AllocNodes.size())
+      << "new nodes append after every existing id";
+
+  // Warm summaries keep answering correctly over the patched graph.
   QueryResult After = S.queryVar(R);
   EXPECT_EQ(Before.allocSites(), After.allocSites());
   QueryResult FreshR = S.queryVar(Fresh);

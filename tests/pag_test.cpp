@@ -16,6 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 using namespace dynsum;
 using namespace dynsum::pag;
 
@@ -225,18 +228,20 @@ TEST(GraphVizTest, EscapesQuotes) {
 }
 
 //===----------------------------------------------------------------------===//
-// In-place rebuild (the EditSession substrate)
+// Delta rebuild (the EditSession/AnalysisService substrate)
 //===----------------------------------------------------------------------===//
 
-TEST(RebuildTest, RebuildReproducesBuildExactly) {
+TEST(RebuildTest, ForcedFullRelowerReproducesBuildExactly) {
   ir::ParseResult R = ir::parseProgram(dynsum::testing::kFigure2Source);
   ASSERT_TRUE(R.ok()) << R.Error;
   BuiltPAG Fresh = buildPAG(*R.Prog);
 
   PAG InPlace(*R.Prog);
-  rebuildPAG(InPlace);
-  // Rebuild once more: reset() must return to a truly clean slate.
-  rebuildPAG(InPlace);
+  CallGraph Calls;
+  buildPAGDelta(InPlace, Calls);
+  // Force-re-lower everything: identical graph, same node ids, and the
+  // segment slots recycle without leaking.
+  buildPAGDelta(InPlace, Calls, nullptr, /*ForceFull=*/true);
 
   ASSERT_EQ(InPlace.numNodes(), Fresh.Graph->numNodes());
   ASSERT_EQ(InPlace.numEdges(), Fresh.Graph->numEdges());
@@ -249,17 +254,26 @@ TEST(RebuildTest, RebuildReproducesBuildExactly) {
     EXPECT_EQ(InPlace.node(N).HasGlobalOut,
               Fresh.Graph->node(N).HasGlobalOut);
   }
-  for (EdgeId E = 0; E < InPlace.numEdges(); ++E) {
-    EXPECT_EQ(InPlace.edge(E).Src, Fresh.Graph->edge(E).Src);
-    EXPECT_EQ(InPlace.edge(E).Dst, Fresh.Graph->edge(E).Dst);
-    EXPECT_EQ(InPlace.edge(E).Kind, Fresh.Graph->edge(E).Kind);
-    EXPECT_EQ(InPlace.edge(E).Aux, Fresh.Graph->edge(E).Aux);
-  }
+  // Same live multiset of edges per (src, dst, kind, aux); slot order
+  // may differ after the in-place re-lower.
+  auto EdgeKeys = [](const PAG &G) {
+    std::vector<std::tuple<NodeId, NodeId, unsigned, uint32_t>> Keys;
+    for (EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+      if (!G.edgeAlive(E))
+        continue;
+      const Edge &Ed = G.edge(E);
+      Keys.emplace_back(Ed.Src, Ed.Dst, unsigned(Ed.Kind), Ed.Aux);
+    }
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+  EXPECT_EQ(EdgeKeys(InPlace), EdgeKeys(*Fresh.Graph));
 }
 
-TEST(RebuildTest, VariableNodeIdsEqualVariableIds) {
-  // EditSession's cache remap relies on this numbering contract:
-  // variables occupy the node-id prefix in id order, objects follow.
+TEST(RebuildTest, VariableNodeIdsEqualVariableIdsOnFirstBuild) {
+  // The canonical on-disk summary numbering relies on this contract for
+  // fresh builds: variables occupy the node-id prefix in id order,
+  // objects follow.  (Delta builds append later ids in creation order.)
   ir::ParseResult R = ir::parseProgram(dynsum::testing::kFigure2Source);
   ASSERT_TRUE(R.ok()) << R.Error;
   BuiltPAG Built = buildPAG(*R.Prog);
@@ -270,12 +284,13 @@ TEST(RebuildTest, VariableNodeIdsEqualVariableIds) {
     EXPECT_EQ(Built.Graph->nodeOfAlloc(A.Id), NumVars + A.Id);
 }
 
-TEST(RebuildTest, RebuildSeesAppendedStatements) {
+TEST(RebuildTest, DeltaBuildSeesAppendedStatements) {
   ir::ParseResult R = ir::parseProgram(dynsum::testing::kStraightLineSource);
   ASSERT_TRUE(R.ok()) << R.Error;
   ir::Program &P = *R.Prog;
   PAG G(P);
-  rebuildPAG(G);
+  CallGraph Calls;
+  buildPAGDelta(G, Calls);
   size_t EdgesBefore = G.numEdges();
 
   ir::MethodId Main = P.findFreeMethod(P.names().lookup("main"));
@@ -284,6 +299,36 @@ TEST(RebuildTest, RebuildSeesAppendedStatements) {
   S.Dst = P.method(Main).Stmts[0].Dst;
   S.Src = P.method(Main).Stmts[1].Dst;
   P.addStatement(Main, std::move(S));
-  rebuildPAG(G);
+  pag::DeltaStats DS = buildPAGDelta(G, Calls);
   EXPECT_EQ(G.numEdges(), EdgesBefore + 1);
+  EXPECT_EQ(DS.Relowered.size(), 1u);
+  EXPECT_EQ(DS.Relowered[0], Main);
+}
+
+TEST(RebuildTest, FinalizeIsIdempotentAndGuardsPartialPopulate) {
+  // Satellite regression: double-finalize must be a no-op, not a crash
+  // or a corrupted CSR.
+  ir::ParseResult R = ir::parseProgram(dynsum::testing::kFigure2Source);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  BuiltPAG Built = buildPAG(*R.Prog);
+  PAG &G = *Built.Graph;
+  size_t Nodes = G.numNodes(), Edges = G.numEdges();
+  std::vector<size_t> InSizes;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    InSizes.push_back(G.inEdges(N).size());
+
+  G.finalize(); // second finalize: idempotent
+  G.finalize(); // and a third
+  EXPECT_EQ(G.numNodes(), Nodes);
+  EXPECT_EQ(G.numEdges(), Edges);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    EXPECT_EQ(G.inEdges(N).size(), InSizes[N]) << "node " << N;
+
+#ifndef NDEBUG
+  // Finalize with an open segment (partial populate) must be rejected.
+  G.beginSegment(0);
+  EXPECT_DEATH(G.finalize(), "open segment");
+  G.endSegment();
+  G.finalize();
+#endif
 }

@@ -94,11 +94,11 @@ struct StoreFixture {
     return Built.Graph->nodeOfVar(varOf(*Prog, Method, Var));
   }
 
-  /// An identity-remap plan invalidating \p Methods.
-  InvalidationPlan identityPlan(
+  /// A plan invalidating exactly \p Methods (node ids are stable, so
+  /// plans carry nothing else).
+  InvalidationPlan planFor(
       std::unordered_set<ir::MethodId> Methods = {}) const {
     InvalidationPlan Plan;
-    Plan.OldNumVars = Prog->variables().size();
     Plan.Methods = std::move(Methods);
     return Plan;
   }
@@ -128,7 +128,7 @@ TEST(SummaryStoreGenerationTest, StaleFetchMissesAndStalePublishDrops) {
   EXPECT_TRUE(Store.fetchAt(0, N, {}, RsmState::S1, Out));
 
   // Bump to generation 1 without dropping anything.
-  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.identityPlan()), 0u);
+  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.planFor()), 0u);
   EXPECT_EQ(Store.generation(), 1u);
   EXPECT_EQ(Store.size(), 1u);
 
@@ -165,7 +165,7 @@ TEST(SummaryStoreGenerationTest, BeginGenerationDropsInvalidatedMethods) {
   Store.publish(InMain, {}, RsmState::S2, summaryWithObject(2));
   ASSERT_EQ(Store.size(), 2u);
 
-  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.identityPlan({Helper})),
+  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.planFor({Helper})),
             1u);
   EXPECT_EQ(Store.size(), 1u);
 
@@ -175,37 +175,34 @@ TEST(SummaryStoreGenerationTest, BeginGenerationDropsInvalidatedMethods) {
   EXPECT_TRUE(Store.fetchAt(Gen, InMain, {}, RsmState::S2, Out));
 }
 
-TEST(SummaryStoreGenerationTest, BeginGenerationRemapsKeysAndTuples) {
+TEST(SummaryStoreGenerationTest, StableIdsKeepObjectKeysAcrossVarAddition) {
   StoreFixture F;
   SharedSummaryStore Store;
 
-  // Key a summary at an object node (they sit above the variable
-  // prefix, so they shift on remap) with a tuple at another object.
-  size_t NumVars = F.Prog->variables().size();
+  // Key a summary at an object node with a tuple at the same object.
+  // Under the pre-delta design, adding a variable shifted every object
+  // node and beginGeneration had to rewrite keys; with stable ids the
+  // entry must survive a variable-adding commit verbatim.
   pag::NodeId Obj = F.Built.Graph->nodeOfAlloc(allocOf(*F.Prog, "oa"));
-  ASSERT_GE(Obj, NumVars);
   PortableSummary S = summaryWithObject(3);
   S.Tuples.push_back(PortableSummary::Tuple{Obj, RsmState::S2, 0});
   Store.publish(Obj, {}, RsmState::S1, std::move(S));
 
-  // Simulate adding one variable: grow the program the same way the
-  // session would, rebuild, and remap with offset 1.
+  // Add one variable to an untouched helper-free method and delta-patch
+  // the same graph: node ids must not move.
   ir::MethodId Main = F.Prog->findFreeMethod(F.Prog->names().lookup("main"));
   F.Prog->createLocal(F.Prog->name("fresh"), Main, ir::kObjectType);
-  pag::BuiltPAG NewBuilt = pag::buildPAG(*F.Prog);
+  pag::DeltaStats DS = pag::buildPAGDelta(*F.Built.Graph, F.Built.Calls);
+  EXPECT_EQ(DS.NodesAdded, 1u);
+  EXPECT_EQ(F.Built.Graph->nodeOfAlloc(allocOf(*F.Prog, "oa")), Obj);
 
-  InvalidationPlan Plan;
-  Plan.OldNumVars = NumVars;
-  Plan.NodesRemapped = true;
-  Plan.VarOffset = 1;
-  EXPECT_EQ(Store.beginGeneration(*NewBuilt.Graph, Plan), 0u);
+  EXPECT_EQ(Store.beginGeneration(*F.Built.Graph, F.planFor()), 0u);
 
   PortableSummary Out;
   uint64_t Gen = Store.generation();
-  EXPECT_FALSE(Store.fetchAt(Gen, Obj, {}, RsmState::S1, Out));
-  ASSERT_TRUE(Store.fetchAt(Gen, Obj + 1, {}, RsmState::S1, Out));
+  ASSERT_TRUE(Store.fetchAt(Gen, Obj, {}, RsmState::S1, Out));
   ASSERT_EQ(Out.Tuples.size(), 1u);
-  EXPECT_EQ(Out.Tuples[0].Node, Obj + 1);
+  EXPECT_EQ(Out.Tuples[0].Node, Obj);
   EXPECT_EQ(Out.Objects, std::vector<ir::AllocId>{3});
 }
 
@@ -351,7 +348,7 @@ TEST(AnalysisServiceTest, UnknownVariableGetsEmptyOutcome) {
   EXPECT_TRUE(Unknown.AllocSites.empty());
 
   CommitStats Stats = S.commit();
-  EXPECT_TRUE(Stats.NodesRemapped);
+  EXPECT_EQ(Stats.MethodsRelowered, 1u);
   engine::QueryOutcome Known = S.queryVar(Fresh);
   ASSERT_EQ(Known.AllocSites.size(), 1u);
   EXPECT_EQ(Known.AllocSites[0], allocOf(S.program(), "ofresh"));
@@ -446,6 +443,44 @@ TEST(AnalysisServiceTest, SummariesPersistAcrossRestart) {
   AnalysisService Other(makeWorkload(/*Seed=*/8));
   EXPECT_FALSE(Other.loadSummaries(Path));
   EXPECT_EQ(Other.stats().StoreSize, 0u);
+  std::remove(Path.c_str());
+}
+
+/// The DSUM v2 canonical-node regression: a service that lived through
+/// delta commits numbers late-created variables *after* object nodes,
+/// while a fresh service over the byte-identical program numbers all
+/// variables first.  Saving from the evolved lineage and loading into
+/// the fresh one must still resolve every summary to the right node.
+TEST(AnalysisServiceTest, SummariesPersistAcrossDivergentGraphLineages) {
+  std::string Path = ::testing::TempDir() + "/dynsum_service_lineage.bin";
+
+  // Evolve a service through commits (applyScriptEdit creates new
+  // locals, so the lineage's node numbering interleaves), then save.
+  std::vector<ir::VarId> Probe;
+  {
+    AnalysisService S(makeWorkload());
+    for (unsigned I = 0; I < 3; ++I) {
+      S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
+      S.commit();
+    }
+    Probe = probeVariables(S.program(), 61);
+    ServiceBatchResult Warm = S.queryVars(Probe);
+    ASSERT_GT(Warm.Stats.SummariesComputed, 0u);
+    ASSERT_TRUE(S.saveSummaries(Path));
+  }
+
+  // A fresh service over the identical program (same edits replayed
+  // before construction → same fingerprint, different node numbering)
+  // must load the file and start fully warm.
+  auto Replayed = makeWorkload();
+  for (unsigned I = 0; I < 3; ++I)
+    applyScriptEdit(*Replayed, I);
+  AnalysisService Fresh(std::move(Replayed));
+  ASSERT_TRUE(Fresh.loadSummaries(Path));
+  ASSERT_GT(Fresh.stats().StoreSize, 0u);
+  ServiceBatchResult Warm = Fresh.queryVars(Probe);
+  EXPECT_EQ(Warm.Stats.SummariesComputed, 0u)
+      << "canonical node ids must resolve across lineages";
   std::remove(Path.c_str());
 }
 

@@ -205,11 +205,16 @@ void serveHelp() {
             "(creates var if new)\n"
             "  assign <method> <dst> <src>    buffer: dst = src\n"
             "  touch <method>          mark a method edited\n"
-            "  commit                  publish buffered edits as the next "
+            "  commit [--scratch]      publish buffered edits as the next "
             "generation\n"
+            "                          (--scratch force-re-lowers every "
+            "method: A/B check\n"
+            "                          against the delta build; same result, "
+            "O(program) cost)\n"
             "  save <path> | load <path>      persist / warm-start "
             "summaries\n"
-            "  stats                   generation, store size, counters\n"
+            "  stats                   generation, store size, counters, "
+            "commit times\n"
             "  quit\n"
             "method spec: Class.method or method (free); var spec appends "
             ".var\n";
@@ -320,13 +325,26 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       S.markDirty(M);
       continue;
     }
-    if (Cmd == "commit") {
-      incremental::CommitStats CS = S.commit();
+    if (Cmd == "commit" && W.size() <= 2) {
+      service::CommitMode Mode = service::CommitMode::Delta;
+      if (W.size() == 2) {
+        if (W[1] != "--scratch") {
+          errs() << "error: bad commit flag '" << W[1]
+                 << "' (only --scratch)\n";
+          continue;
+        }
+        Mode = service::CommitMode::Scratch;
+      }
+      incremental::CommitStats CS = S.commit(Mode);
       outs() << "generation " << S.generation() << ": dropped "
              << CS.SummariesDropped << "/" << CS.SummariesBefore
              << " store summaries, " << CS.MethodsInvalidated
-             << " methods invalidated"
-             << (CS.NodesRemapped ? ", nodes remapped" : "") << '\n';
+             << " methods invalidated, " << CS.MethodsRelowered
+             << " re-lowered"
+             << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
+             << " in ";
+      outs().writeFixed(CS.Seconds * 1e3, 2);
+      outs() << " ms\n";
       continue;
     }
     if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
@@ -345,6 +363,15 @@ int runServe(std::unique_ptr<ir::Program> Prog,
              << " commits, " << SS.Batches << " batches, " << SS.Queries
              << " queries, " << SS.SharedSummariesDropped
              << " summaries dropped\n";
+      if (SS.Commits > 0) {
+        outs() << "last commit ";
+        outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
+        outs() << " ms (" << SS.LastCommitRelowered
+               << " methods re-lowered), mean ";
+        outs().writeFixed(SS.TotalCommitSeconds * 1e3 / double(SS.Commits),
+                          2);
+        outs() << " ms over " << SS.Commits << " commits\n";
+      }
       continue;
     }
     errs() << "error: bad command (try \"help\")\n";
