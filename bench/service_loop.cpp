@@ -27,6 +27,14 @@
 /// `BENCH_pr4.json` keys commit.<size>.* feed the CI assertion that the
 /// 10k delta p50 beats the from-scratch row.
 ///
+/// Part 4 measures the PARALLEL commit pipeline: the same delta
+/// commits at 1/2/8 commit threads on the 10k and 100k programs
+/// (sharded clone, shape sweep, staged lowering, partitioned repack,
+/// boundary diff), plus the async path — how long commitAsync() holds
+/// the calling thread versus a blocking commit.  The pcommit.* keys in
+/// `BENCH_pr5.json` feed the CI gate that 8-thread delta commits beat
+/// single-thread on the 10k program.
+///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
@@ -67,6 +75,14 @@ std::unique_ptr<ir::Program> makeProgram(const HarnessOptions &Opts) {
   Gen.Scale = Opts.Scale;
   Gen.Seed = Opts.Seed;
   return workload::generateProgram(workload::specByName("soot-c"), Gen);
+}
+
+/// Nearest-rank percentile over a sample copy (shared by the commit
+/// latency sections).
+double percentile(std::vector<double> Samples, double P) {
+  std::sort(Samples.begin(), Samples.end());
+  size_t I = size_t(P * double(Samples.size() - 1) + 0.5);
+  return Samples[I];
 }
 
 /// Accumulated results of one configuration's script replay.
@@ -279,12 +295,6 @@ int main(int argc, char **argv) {
         {"100k", 100000, 100000.0 / 3400.0, 7, 3},
     };
 
-    auto Percentile = [](std::vector<double> Samples, double P) {
-      std::sort(Samples.begin(), Samples.end());
-      size_t I = size_t(P * double(Samples.size() - 1) + 0.5);
-      return Samples[I];
-    };
-
     PrettyTable CT;
     CT.row()
         .cell("methods")
@@ -325,9 +335,9 @@ int main(int argc, char **argv) {
       for (unsigned I = 0; I < Row.ScratchSamples; ++I)
         ScratchMs.push_back(CommitOnce(CommitMode::Scratch));
 
-      double DP50 = Percentile(DeltaMs, 0.5), DP95 = Percentile(DeltaMs, 0.95);
-      double SP50 = Percentile(ScratchMs, 0.5),
-             SP95 = Percentile(ScratchMs, 0.95);
+      double DP50 = percentile(DeltaMs, 0.5), DP95 = percentile(DeltaMs, 0.95);
+      double SP50 = percentile(ScratchMs, 0.5),
+             SP95 = percentile(ScratchMs, 0.95);
       CT.row()
           .cell(Row.Label)
           .cell(DP50, 2)
@@ -349,6 +359,155 @@ int main(int argc, char **argv) {
     outs() << "\ndelta commits clone the previous generation's graph and\n"
               "re-lower only the edited method; from-scratch forces every\n"
               "method through lowering again (the pre-delta commit path).\n";
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Part 4: the parallel commit pipeline — delta commits at 1/2/8
+  // commit threads, and the async enqueue cost.
+  //===--------------------------------------------------------------------===//
+
+  outs() << "\n=== Parallel commit pipeline: delta commits at 1/2/8 "
+            "commit threads ===\n\n";
+  {
+    CommandLine CL(argc, argv);
+    uint64_t MaxMethods = uint64_t(CL.getInt("commit-max-methods", 100000));
+
+    struct PSizeRow {
+      const char *Label;
+      size_t Methods;
+      double Scale;
+      unsigned Samples;
+    };
+    const PSizeRow Rows[] = {
+        {"10k", 10000, 10000.0 / 3400.0, 15},
+        {"100k", 100000, 100000.0 / 3400.0, 5},
+    };
+    const unsigned ThreadCounts[] = {1, 2, 8};
+
+    PrettyTable PT;
+    PT.row()
+        .cell("methods")
+        .cell("threads")
+        .cell("delta p50 ms")
+        .cell("delta p95 ms")
+        .cell("clone p50")
+        .cell("shape p50")
+        .cell("repack p50")
+        .cell("speedup vs 1t");
+
+    for (const PSizeRow &Row : Rows) {
+      if (Row.Methods > MaxMethods)
+        continue;
+      double P50ByThreads[3] = {};
+      for (unsigned TI = 0; TI < 3; ++TI) {
+        unsigned CT = ThreadCounts[TI];
+        workload::GenOptions Gen;
+        Gen.Scale = Row.Scale;
+        Gen.Seed = Opts.Seed;
+        ServiceOptions SO;
+        SO.Engine = Opts.engineOptions(Opts.Threads);
+        SO.CommitThreads = CT;
+        AnalysisService S(
+            workload::generateProgram(workload::specByName("soot-c"), Gen),
+            SO);
+
+        unsigned Step = 0;
+        auto CommitOnce = [&] {
+          S.editProgram([&](ir::Program &P) {
+            return workload::applyScriptEdit(P, Step);
+          });
+          ++Step;
+          return S.commit();
+        };
+        CommitOnce(); // warm-up: first-edit paths
+        std::vector<double> Ms, CloneMs, ShapeMs, RepackMs;
+        for (unsigned I = 0; I < Row.Samples; ++I) {
+          CommitStats CS = CommitOnce();
+          Ms.push_back(CS.Seconds * 1e3);
+          CloneMs.push_back(CS.CloneSeconds * 1e3);
+          ShapeMs.push_back(CS.ShapeSeconds * 1e3);
+          RepackMs.push_back(CS.RepackSeconds * 1e3);
+        }
+
+        double P50 = percentile(Ms, 0.5), P95 = percentile(Ms, 0.95);
+        double CloneP50 = percentile(CloneMs, 0.5);
+        double ShapeP50 = percentile(ShapeMs, 0.5);
+        double RepackP50 = percentile(RepackMs, 0.5);
+        P50ByThreads[TI] = P50;
+        PT.row()
+            .cell(Row.Label)
+            .cell(uint64_t(CT))
+            .cell(P50, 2)
+            .cell(P95, 2)
+            .cell(CloneP50, 2)
+            .cell(ShapeP50, 2)
+            .cell(RepackP50, 2)
+            .cell(P50 > 0.0 ? P50ByThreads[0] / P50 : 0.0, 2);
+
+        std::string Prefix = std::string("pcommit.") + Row.Label + ".t" +
+                             std::to_string(CT);
+        Json.set(Prefix + ".p50_ms", P50);
+        Json.set(Prefix + ".p95_ms", P95);
+        Json.set(Prefix + ".clone_p50_ms", CloneP50);
+        Json.set(Prefix + ".shape_p50_ms", ShapeP50);
+        Json.set(Prefix + ".repack_p50_ms", RepackP50);
+      }
+      Json.set(std::string("pcommit.") + Row.Label + ".methods",
+               uint64_t(Row.Methods));
+      Json.set(std::string("pcommit.") + Row.Label + ".speedup_8v1",
+               P50ByThreads[2] > 0.0 ? P50ByThreads[0] / P50ByThreads[2]
+                                     : 0.0);
+    }
+    PT.print(outs());
+
+    // Async enqueue cost: how long the serving thread is held.  A
+    // blocking commit pays the whole pipeline; commitAsync returns as
+    // soon as the request is queued, and the committer publishes in the
+    // background (waitForCommits fences each sample so commits never
+    // pile up).
+    if (10000 <= MaxMethods) {
+      workload::GenOptions Gen;
+      Gen.Scale = 10000.0 / 3400.0;
+      Gen.Seed = Opts.Seed;
+      ServiceOptions SO;
+      SO.Engine = Opts.engineOptions(Opts.Threads);
+      SO.CommitThreads = 8;
+      AnalysisService S(
+          workload::generateProgram(workload::specByName("soot-c"), Gen),
+          SO);
+
+      unsigned Step = 0;
+      auto Edit = [&] {
+        S.editProgram([&](ir::Program &P) {
+          return workload::applyScriptEdit(P, Step);
+        });
+        ++Step;
+      };
+      Edit();
+      S.commit(); // warm-up
+      std::vector<double> EnqueueMs, BlockingMs;
+      for (unsigned I = 0; I < 7; ++I) {
+        Edit();
+        Timer TA;
+        S.commitAsync();
+        EnqueueMs.push_back(TA.seconds() * 1e3);
+        S.waitForCommits();
+        Edit();
+        Timer TB;
+        S.commit();
+        BlockingMs.push_back(TB.seconds() * 1e3);
+      }
+      double EnqueueP50 = percentile(EnqueueMs, 0.5);
+      double BlockingP50 = percentile(BlockingMs, 0.5);
+      outs() << "\nasync commit enqueue p50 ";
+      outs().writeFixed(EnqueueP50, 4);
+      outs() << " ms vs blocking commit p50 ";
+      outs().writeFixed(BlockingP50, 2);
+      outs() << " ms (10k methods, 8 commit threads): the serving "
+                "thread no longer pays the pipeline\n";
+      Json.set("pcommit.async.enqueue_p50_ms", EnqueueP50);
+      Json.set("pcommit.async.blocking_p50_ms", BlockingP50);
+    }
   }
 
   Json.set("service.num_probe_queries", uint64_t(NumProbe));

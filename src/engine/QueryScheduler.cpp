@@ -8,6 +8,7 @@
 #include "engine/QueryScheduler.h"
 
 #include "analysis/SummaryIO.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <thread>
@@ -17,17 +18,10 @@ using namespace dynsum::analysis;
 using namespace dynsum::engine;
 
 unsigned QueryScheduler::effectiveThreads(size_t NumQueries) const {
-  // Each worker is an OS thread; cap requests (including unsigned
-  // wraparounds of negative inputs) at something the OS can deliver.
-  constexpr unsigned kMaxThreads = 256;
-  unsigned T = Opts.NumThreads;
-  if (T == 0) {
-    T = std::thread::hardware_concurrency();
-    if (T == 0)
-      T = 1;
-  }
-  if (T > kMaxThreads)
-    T = kMaxThreads;
+  // Each worker is an OS thread; clampThreads caps requests (including
+  // unsigned wraparounds of negative inputs) at something the OS can
+  // deliver — the same clamp the commit pipeline uses.
+  unsigned T = clampThreads(Opts.NumThreads);
   // Never spawn more workers than there are queries to shard.
   if (NumQueries < T)
     T = unsigned(NumQueries);

@@ -35,13 +35,7 @@ void EditSession::addStatement(ir::MethodId M, ir::Statement S) {
 
 size_t EditSession::removeStatements(
     ir::MethodId M, const std::function<bool(const ir::Statement &)> &Pred) {
-  std::vector<ir::Statement> &Stmts = Prog->method(M).Stmts;
-  size_t Before = Stmts.size();
-  Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
-  size_t Removed = Before - Stmts.size();
-  if (Removed > 0)
-    Prog->touchMethod(M);
-  return Removed;
+  return Prog->removeStatements(M, Pred); // stamps M on the edit clock
 }
 
 void EditSession::markDirty(ir::MethodId M) { Prog->touchMethod(M); }
@@ -64,6 +58,10 @@ CommitStats EditSession::commit() {
   BoundarySnapshot OldBoundary = snapshotBoundary(Graph);
   pag::DeltaStats Delta = pag::buildPAGDelta(Graph, Calls);
   Stats.MethodsRelowered = Delta.Relowered.size();
+  Stats.ShapeSeconds = Delta.ShapeSeconds;
+  Stats.LowerSeconds = Delta.LowerSeconds;
+  Stats.ApplySeconds = Delta.ApplySeconds;
+  Stats.RepackSeconds = Delta.RepackSeconds;
 
   if (Policy == InvalidationPolicy::ClearAll) {
     DynSum.clearCache();

@@ -76,6 +76,14 @@ struct CommitStats {
   uint64_t MethodsRelowered = 0;
   /// Wall-clock cost of the commit (filled by AnalysisService).
   double Seconds = 0.0;
+  /// Pipeline phase breakdown, carried up from pag::DeltaStats (and,
+  /// for service commits, the generation clone): where a slow commit
+  /// actually spent its time, per stage.
+  double CloneSeconds = 0.0;
+  double ShapeSeconds = 0.0;
+  double LowerSeconds = 0.0;
+  double ApplySeconds = 0.0;
+  double RepackSeconds = 0.0;
 };
 
 /// An editable program with an always-warm DYNSUM analysis.

@@ -7,25 +7,31 @@
 
 #include "incremental/Invalidation.h"
 
+#include "support/Parallel.h"
+
 #include <cassert>
 
 using namespace dynsum;
 using namespace dynsum::incremental;
 
-BoundarySnapshot dynsum::incremental::snapshotBoundary(const pag::PAG &G) {
+BoundarySnapshot
+dynsum::incremental::snapshotBoundary(const pag::PAG &G, unsigned Threads) {
   BoundarySnapshot S;
   S.Flags.resize(G.numNodes());
-  for (pag::NodeId N = 0; N < G.numNodes(); ++N) {
-    const pag::Node &Node = G.node(N);
-    S.Flags[N] = {Node.Method, Node.HasLocalEdge, Node.HasGlobalIn,
-                  Node.HasGlobalOut};
-  }
+  parallelChunks(G.numNodes(), Threads,
+                 [&](size_t Begin, size_t End, unsigned) {
+                   for (pag::NodeId N = pag::NodeId(Begin); N < End; ++N) {
+                     const pag::Node &Node = G.node(N);
+                     S.Flags[N] = {Node.Method, Node.HasLocalEdge,
+                                   Node.HasGlobalIn, Node.HasGlobalOut};
+                   }
+                 });
   return S;
 }
 
 InvalidationPlan dynsum::incremental::planInvalidation(
     const BoundarySnapshot &Old, const pag::PAG &NewGraph,
-    const std::unordered_set<ir::MethodId> &Dirty) {
+    const std::unordered_set<ir::MethodId> &Dirty, unsigned Threads) {
   InvalidationPlan Plan;
   Plan.Methods = Dirty;
 
@@ -37,19 +43,37 @@ InvalidationPlan dynsum::incremental::planInvalidation(
   // nodes (globals, the null object) sit outside any method; drop them
   // whenever anything changed, since global edges are what connects
   // them.
+  //
+  // The diff shards into per-worker changed-method lists (duplicates
+  // are fine — the merge below goes through a set), merged serially so
+  // the resulting plan is thread-count independent.
   assert(Old.Flags.size() <= NewGraph.numNodes() &&
          "stable node ids are append-only");
+  Threads = clampThreads(Threads);
+  std::vector<std::vector<ir::MethodId>> Changed(Threads);
+  parallelChunks(Old.Flags.size(), Threads,
+                 [&](size_t Begin, size_t End, unsigned Worker) {
+                   std::vector<ir::MethodId> &Out = Changed[Worker];
+                   ir::MethodId Last = ir::kNone - 1; // dedup runs cheaply
+                   for (pag::NodeId N = pag::NodeId(Begin); N < End; ++N) {
+                     const pag::Node &Node = NewGraph.node(N);
+                     const BoundaryFlags &Was = Old.Flags[N];
+                     assert(Node.Method == Was.Method &&
+                            "node/method mapping is stable");
+                     if (Node.HasLocalEdge != Was.HasLocalEdge ||
+                         Node.HasGlobalIn != Was.HasGlobalIn ||
+                         Node.HasGlobalOut != Was.HasGlobalOut) {
+                       if (Node.Method != Last) {
+                         Out.push_back(Node.Method);
+                         Last = Node.Method;
+                       }
+                     }
+                   }
+                 });
   bool AnyFlagChanged = false;
-  for (pag::NodeId N = 0; N < Old.Flags.size(); ++N) {
-    const pag::Node &Node = NewGraph.node(N);
-    const BoundaryFlags &Was = Old.Flags[N];
-    assert(Node.Method == Was.Method && "node/method mapping is stable");
-    if (Node.HasLocalEdge != Was.HasLocalEdge ||
-        Node.HasGlobalIn != Was.HasGlobalIn ||
-        Node.HasGlobalOut != Was.HasGlobalOut) {
-      Plan.Methods.insert(Node.Method);
-      AnyFlagChanged = true;
-    }
+  for (const std::vector<ir::MethodId> &Out : Changed) {
+    AnyFlagChanged |= !Out.empty();
+    Plan.Methods.insert(Out.begin(), Out.end());
   }
   if (AnyFlagChanged || !Dirty.empty())
     Plan.Methods.insert(ir::kNone); // global/null-object-keyed summaries

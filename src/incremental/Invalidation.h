@@ -49,8 +49,10 @@ struct BoundarySnapshot {
   std::vector<BoundaryFlags> Flags;
 };
 
-/// Records \p G's boundary flags.
-BoundarySnapshot snapshotBoundary(const pag::PAG &G);
+/// Records \p G's boundary flags.  \p Threads shards the node sweep
+/// (the commit pipeline runs this off the serving thread and fans it
+/// out with the rest of the pipeline).
+BoundarySnapshot snapshotBoundary(const pag::PAG &G, unsigned Threads = 1);
 
 /// What one commit must do to every summary cache built on the old
 /// graph before it can serve the new one.
@@ -64,10 +66,12 @@ struct InvalidationPlan {
 /// Diffs \p Old against the rebuilt \p NewGraph and folds in the
 /// directly edited \p Dirty methods.  Node ids are stable, so the diff
 /// compares position for position; nodes beyond the snapshot are new
-/// and need no invalidation.
+/// and need no invalidation.  \p Threads shards the position-for-
+/// position diff; the result is identical at every thread count.
 InvalidationPlan
 planInvalidation(const BoundarySnapshot &Old, const pag::PAG &NewGraph,
-                 const std::unordered_set<ir::MethodId> &Dirty);
+                 const std::unordered_set<ir::MethodId> &Dirty,
+                 unsigned Threads = 1);
 
 } // namespace incremental
 } // namespace dynsum

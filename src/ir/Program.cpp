@@ -144,6 +144,18 @@ void Program::addStatement(MethodId M, Statement S) {
   touchMethod(M);
 }
 
+size_t Program::removeStatements(
+    MethodId M, const std::function<bool(const Statement &)> &Pred) {
+  assert(M < Methods.size() && "removal outside any method");
+  std::vector<Statement> &Stmts = Methods[M].Stmts;
+  size_t Before = Stmts.size();
+  Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
+  size_t Removed = Before - Stmts.size();
+  if (Removed > 0)
+    touchMethod(M);
+  return Removed;
+}
+
 void Program::touchMethod(MethodId M) {
   assert(M < Methods.size() && "touch of unknown method");
   MethodModCounts[M] = ++ModClock;

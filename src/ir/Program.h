@@ -18,6 +18,7 @@
 #include "support/StringInterner.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -189,6 +190,14 @@ public:
   /// Appends \p S to \p M's statement bag.  Touches \p M (see
   /// touchMethod), so the common edit path is tracked automatically.
   void addStatement(MethodId M, Statement S);
+
+  /// Removes every statement of \p M matching \p Pred; returns how
+  /// many.  Touches \p M when anything was removed, so remove-only
+  /// edits stamp the edit clock exactly like addStatement does — the
+  /// edit layers (EditSession, AnalysisService) forward here instead of
+  /// erasing by hand precisely so the stamp cannot be forgotten.
+  size_t removeStatements(MethodId M,
+                          const std::function<bool(const Statement &)> &Pred);
 
   //===------------------------------------------------------------------===//
   // Edit tracking

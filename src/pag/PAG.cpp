@@ -21,9 +21,11 @@
 
 #include "support/Debug.h"
 #include "support/OStream.h"
+#include "support/Parallel.h"
 
 #include <algorithm>
 #include <cassert>
+#include <functional>
 
 using namespace dynsum;
 using namespace dynsum::pag;
@@ -62,6 +64,98 @@ uint64_t PAGStats::totalEdges() const {
   for (uint64_t N : EdgesByKind)
     Total += N;
   return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning (the commit pipeline's generation copy)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One-pass copy with growth headroom: a single allocation sized
+/// size + slack, then one memcpy-style append — no value-initializing
+/// resize, no later reallocation when the delta build appends a few
+/// elements.
+template <typename T>
+void copyWithHeadroom(std::vector<T> &Dst, const std::vector<T> &Src) {
+  Dst.reserve(Src.size() + Src.size() / 8 + 1024);
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+}
+
+} // namespace
+
+PAG::PAG(const PAG &Other, unsigned Threads) : Prog(Other.Prog) {
+  // Scalar state first (cheap, single-writer).
+  NumAliveEdges = Other.NumAliveEdges;
+  OpenSegment = Other.OpenSegment;
+  FlatHoles = Other.FlatHoles;
+  FieldHoles = Other.FieldHoles;
+  NumBuiltVars = Other.NumBuiltVars;
+  NumBuiltAllocs = Other.NumBuiltAllocs;
+  Finalized = Other.Finalized;
+  LastRepackCompacted = Other.LastRepackCompacted;
+  BuiltModClock = Other.BuiltModClock;
+  BuiltStructureVersion = Other.BuiltStructureVersion;
+  BuiltOnce = Other.BuiltOnce;
+
+  // The member arrays are copied as independent jobs claimed by a
+  // worker pool; the per-method segment table — many small vectors, the
+  // allocation-heaviest member — is split into range jobs of its own so
+  // it does not serialize the pool.  Every array the next delta build
+  // can grow gets headroom (see copyWithHeadroom); the pure scratch
+  // vectors (Pending*, FreeSlots) are copied verbatim.
+  constexpr size_t kSegmentJobs = 16;
+  Segments.resize(Other.Segments.size());
+  std::vector<std::function<void()>> Jobs;
+  Jobs.reserve(20 + kSegmentJobs);
+  // Biggest members first: the dynamic job claim then packs them
+  // against the long pole instead of behind it.
+  Jobs.push_back([this, &Other] { copyWithHeadroom(InOff, Other.InOff); });
+  Jobs.push_back([this, &Other] { copyWithHeadroom(OutOff, Other.OutOff); });
+  Jobs.push_back([this, &Other] { copyWithHeadroom(Edges, Other.Edges); });
+  Jobs.push_back([this, &Other] { copyWithHeadroom(Nodes, Other.Nodes); });
+  Jobs.push_back([this, &Other] { copyWithHeadroom(InFlat, Other.InFlat); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(OutFlat, Other.OutFlat); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(EdgeDead, Other.EdgeDead); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(VarToNode, Other.VarToNode); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(AllocToNode, Other.AllocToNode); });
+  Jobs.push_back([this, &Other] {
+    copyWithHeadroom(FieldStoreFlat, Other.FieldStoreFlat);
+  });
+  Jobs.push_back([this, &Other] {
+    copyWithHeadroom(FieldLoadFlat, Other.FieldLoadFlat);
+  });
+  Jobs.push_back([this, &Other] {
+    copyWithHeadroom(FieldStoreOff, Other.FieldStoreOff);
+  });
+  Jobs.push_back([this, &Other] {
+    copyWithHeadroom(FieldLoadOff, Other.FieldLoadOff);
+  });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(BuiltBodyFp, Other.BuiltBodyFp); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(BuiltIfaceFp, Other.BuiltIfaceFp); });
+  Jobs.push_back(
+      [this, &Other] { copyWithHeadroom(BuiltShapeFp, Other.BuiltShapeFp); });
+  Jobs.push_back([this, &Other] { FreeSlots = Other.FreeSlots; });
+  Jobs.push_back([this, &Other] { PendingDead = Other.PendingDead; });
+  Jobs.push_back(
+      [this, &Other] { PendingDeadMeta = Other.PendingDeadMeta; });
+  Jobs.push_back([this, &Other] { PendingNew = Other.PendingNew; });
+  size_t NumSegs = Other.Segments.size();
+  size_t SegChunk = (NumSegs + kSegmentJobs - 1) / kSegmentJobs;
+  for (size_t Begin = 0; Begin < NumSegs; Begin += SegChunk) {
+    size_t End = Begin + SegChunk < NumSegs ? Begin + SegChunk : NumSegs;
+    Jobs.push_back([this, &Other, Begin, End] {
+      for (size_t I = Begin; I < End; ++I)
+        Segments[I] = Other.Segments[I];
+    });
+  }
+  parallelJobs(Jobs.size(), Threads, [&Jobs](size_t I) { Jobs[I](); });
 }
 
 //===----------------------------------------------------------------------===//
@@ -339,7 +433,7 @@ struct BucketAdds {
 } // namespace
 
 void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
-                      const std::vector<char> &Freed) {
+                      const std::vector<char> &Freed, unsigned Threads) {
   BucketAdds InAdds, OutAdds;
   for (EdgeId E : PendingNew) {
     const Edge &Ed = Edges[E];
@@ -354,52 +448,98 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
   InOff.resize(Nodes.size() * kOffsetStride, 0);
   OutOff.resize(Nodes.size() * kOffsetStride, 0);
 
-  std::vector<EdgeId> Region; // rebuilt region of one node, one direction
-  std::vector<uint32_t> Bounds(kOffsetStride);
-  auto RebuildDirection = [&](NodeId N, bool In) {
+  // Three phases per direction, bit-identical to the old serial loop at
+  // every thread count:
+  //
+  //   gather   (parallel)  workers own disjoint ranges of the sorted
+  //                        dirty node list and compute each node's new
+  //                        region contents + kind bounds from the old
+  //                        CSR, the freed marks and the add lists;
+  //   place    (serial)    one pass over the nodes in order replays the
+  //                        serial placement policy exactly — rewrite in
+  //                        place when the region still fits, otherwise
+  //                        relocate to the array tail — and sizes the
+  //                        tail with ONE resize instead of one per
+  //                        relocation (the old loop re-allocated the
+  //                        whole flat array on every growth);
+  //   scatter  (parallel)  workers copy their regions into their now
+  //                        disjoint destination ranges and write the
+  //                        offset entries.
+  size_t NumAffected = AffectedNodes.size();
+  std::vector<std::vector<EdgeId>> Regions(NumAffected);
+  std::vector<uint32_t> Bounds(NumAffected * kOffsetStride);
+  std::vector<uint32_t> Begins(NumAffected);
+
+  auto RebuildDirection = [&](bool In) {
     std::vector<EdgeId> &Flat = In ? InFlat : OutFlat;
     std::vector<uint32_t> &Off = In ? InOff : OutOff;
     const BucketAdds &Adds = In ? InAdds : OutAdds;
-    size_t Base = size_t(N) * kOffsetStride;
 
-    Region.clear();
-    for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
-      Bounds[K] = uint32_t(Region.size());
-      for (uint32_t I = Off[Base + K]; I < Off[Base + K + 1]; ++I) {
-        EdgeId E = Flat[I];
-        if (!Freed[E])
-          Region.push_back(E);
+    parallelChunks(NumAffected, Threads,
+                   [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
+                     for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
+                       NodeId N = AffectedNodes[I];
+                       size_t Base = size_t(N) * kOffsetStride;
+                       std::vector<EdgeId> &Region = Regions[I];
+                       Region.clear();
+                       for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
+                         Bounds[I * kOffsetStride + K] =
+                             uint32_t(Region.size());
+                         for (uint32_t P = Off[Base + K];
+                              P < Off[Base + K + 1]; ++P) {
+                           EdgeId E = Flat[P];
+                           if (!Freed[E])
+                             Region.push_back(E);
+                         }
+                         Adds.appendTo(N, EdgeKind(K), Region);
+                       }
+                       Bounds[I * kOffsetStride + kNumEdgeKinds] =
+                           uint32_t(Region.size());
+                     }
+                   });
+
+    size_t Tail = Flat.size();
+    for (size_t I = 0; I < NumAffected; ++I) {
+      size_t Base = size_t(AffectedNodes[I]) * kOffsetStride;
+      size_t OldBegin = Off[Base];
+      size_t OldSize = Off[Base + kNumEdgeKinds] - OldBegin;
+      if (Regions[I].size() <= OldSize) {
+        Begins[I] = uint32_t(OldBegin); // in place; trailing slack holes
+        FlatHoles += OldSize - Regions[I].size();
+      } else {
+        Begins[I] = uint32_t(Tail); // relocate to the tail
+        Tail += Regions[I].size();
+        FlatHoles += OldSize;
       }
-      Adds.appendTo(N, EdgeKind(K), Region);
     }
-    Bounds[kNumEdgeKinds] = uint32_t(Region.size());
+    Flat.resize(Tail);
 
-    size_t OldBegin = Off[Base];
-    size_t OldSize = Off[Base + kNumEdgeKinds] - OldBegin;
-    size_t Begin;
-    if (Region.size() <= OldSize) {
-      Begin = OldBegin; // rewrite in place; trailing slack becomes a hole
-      FlatHoles += OldSize - Region.size();
-    } else {
-      Begin = Flat.size(); // relocate to the tail
-      Flat.resize(Flat.size() + Region.size());
-      FlatHoles += OldSize;
-    }
-    std::copy(Region.begin(), Region.end(), Flat.begin() + Begin);
-    for (unsigned K = 0; K < kOffsetStride; ++K)
-      Off[Base + K] = uint32_t(Begin + Bounds[K]);
+    parallelChunks(NumAffected, Threads,
+                   [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
+                     for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
+                       size_t Base =
+                           size_t(AffectedNodes[I]) * kOffsetStride;
+                       std::copy(Regions[I].begin(), Regions[I].end(),
+                                 Flat.begin() + Begins[I]);
+                       for (unsigned K = 0; K < kOffsetStride; ++K)
+                         Off[Base + K] = Begins[I] +
+                                         Bounds[I * kOffsetStride + K];
+                     }
+                   });
   };
 
-  for (NodeId N : AffectedNodes) {
-    RebuildDirection(N, /*In=*/true);
-    RebuildDirection(N, /*In=*/false);
-  }
-  for (NodeId N : AffectedNodes)
-    rederiveFlags(N);
+  RebuildDirection(/*In=*/true);
+  RebuildDirection(/*In=*/false);
+
+  parallelChunks(NumAffected, Threads,
+                 [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
+                   for (size_t I = ChunkBegin; I < ChunkEnd; ++I)
+                     rederiveFlags(AffectedNodes[I]);
+                 });
 }
 
 void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
-                       const std::vector<char> &Freed) {
+                       const std::vector<char> &Freed, unsigned Threads) {
   size_t NumFields = Prog.fields().size();
   FieldStoreOff.resize(NumFields * 2, 0);
   FieldLoadOff.resize(NumFields * 2, 0);
@@ -419,46 +559,71 @@ void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
   std::stable_sort(StoreAdds.begin(), StoreAdds.end(), ByField);
   std::stable_sort(LoadAdds.begin(), LoadAdds.end(), ByField);
 
-  std::vector<EdgeId> Region;
-  auto Rebuild = [&](ir::FieldId F, bool IsStore) {
+  // Same gather / place / scatter structure as repackNodes, over the
+  // affected field list.
+  size_t NumAffected = AffectedFields.size();
+  std::vector<std::vector<EdgeId>> Regions(NumAffected);
+  std::vector<uint32_t> Begins(NumAffected);
+
+  auto RebuildDirection = [&](bool IsStore) {
     std::vector<EdgeId> &Flat = IsStore ? FieldStoreFlat : FieldLoadFlat;
     std::vector<uint32_t> &Off = IsStore ? FieldStoreOff : FieldLoadOff;
     const auto &Adds = IsStore ? StoreAdds : LoadAdds;
 
-    Region.clear();
-    for (uint32_t I = Off[F * 2]; I < Off[F * 2 + 1]; ++I)
-      if (!Freed[Flat[I]])
-        Region.push_back(Flat[I]);
-    auto It = std::lower_bound(Adds.begin(), Adds.end(), F,
-                               [](const auto &P, ir::FieldId F2) {
-                                 return P.first < F2;
-                               });
-    for (; It != Adds.end() && It->first == F; ++It)
-      Region.push_back(It->second);
+    parallelChunks(NumAffected, Threads,
+                   [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
+                     for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
+                       ir::FieldId F = AffectedFields[I];
+                       std::vector<EdgeId> &Region = Regions[I];
+                       Region.clear();
+                       for (uint32_t P = Off[F * 2]; P < Off[F * 2 + 1];
+                            ++P)
+                         if (!Freed[Flat[P]])
+                           Region.push_back(Flat[P]);
+                       auto It = std::lower_bound(
+                           Adds.begin(), Adds.end(), F,
+                           [](const auto &P, ir::FieldId F2) {
+                             return P.first < F2;
+                           });
+                       for (; It != Adds.end() && It->first == F; ++It)
+                         Region.push_back(It->second);
+                     }
+                   });
 
-    size_t OldBegin = Off[F * 2];
-    size_t OldSize = Off[F * 2 + 1] - OldBegin;
-    size_t Begin;
-    if (Region.size() <= OldSize) {
-      Begin = OldBegin;
-      FieldHoles += OldSize - Region.size();
-    } else {
-      Begin = Flat.size();
-      Flat.resize(Flat.size() + Region.size());
-      FieldHoles += OldSize;
+    size_t Tail = Flat.size();
+    for (size_t I = 0; I < NumAffected; ++I) {
+      ir::FieldId F = AffectedFields[I];
+      size_t OldBegin = Off[F * 2];
+      size_t OldSize = Off[F * 2 + 1] - OldBegin;
+      if (Regions[I].size() <= OldSize) {
+        Begins[I] = uint32_t(OldBegin);
+        FieldHoles += OldSize - Regions[I].size();
+      } else {
+        Begins[I] = uint32_t(Tail);
+        Tail += Regions[I].size();
+        FieldHoles += OldSize;
+      }
     }
-    std::copy(Region.begin(), Region.end(), Flat.begin() + Begin);
-    Off[F * 2] = uint32_t(Begin);
-    Off[F * 2 + 1] = uint32_t(Begin + Region.size());
+    Flat.resize(Tail);
+
+    parallelChunks(NumAffected, Threads,
+                   [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
+                     for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
+                       ir::FieldId F = AffectedFields[I];
+                       std::copy(Regions[I].begin(), Regions[I].end(),
+                                 Flat.begin() + Begins[I]);
+                       Off[F * 2] = Begins[I];
+                       Off[F * 2 + 1] =
+                           uint32_t(Begins[I] + Regions[I].size());
+                     }
+                   });
   };
 
-  for (ir::FieldId F : AffectedFields) {
-    Rebuild(F, /*IsStore=*/true);
-    Rebuild(F, /*IsStore=*/false);
-  }
+  RebuildDirection(/*IsStore=*/true);
+  RebuildDirection(/*IsStore=*/false);
 }
 
-void PAG::finalizeDelta() {
+void PAG::finalizeDelta(unsigned Threads) {
   assert(OpenSegment == ir::kNone &&
          "finalizeDelta with an open segment (partial populate)");
   if (!Finalized) {
@@ -515,8 +680,8 @@ void PAG::finalizeDelta() {
   for (EdgeId E : PendingDead)
     Freed[E] = 1;
 
-  repackNodes(AffectedNodes, Freed);
-  repackFields(AffectedFields, Freed);
+  repackNodes(AffectedNodes, Freed, Threads);
+  repackFields(AffectedFields, Freed, Threads);
 
   PendingDead.clear();
   PendingDeadMeta.clear();

@@ -71,7 +71,8 @@ struct DeltaStats;
 /// Defined in PAGBuilder.h; declared here so the delta builder can be
 /// befriended without an include cycle.
 DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
-                         const TargetResolver *Resolver, bool ForceFull);
+                         const TargetResolver *Resolver, bool ForceFull,
+                         unsigned Threads);
 
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
@@ -182,6 +183,19 @@ class PAG {
 public:
   explicit PAG(const ir::Program &P) : Prog(P) {}
 
+  /// Cloning constructor for the commit pipeline: copies \p Other
+  /// sharding the big member arrays across \p Threads workers, and
+  /// reserves growth headroom in every array the next delta build
+  /// appends to — a tight-capacity clone pays a full reallocation copy
+  /// the moment the delta adds one node or relocates one CSR region.
+  PAG(const PAG &Other, unsigned Threads);
+
+  /// Plain copies delegate to the cloning constructor so the member
+  /// list is audited in exactly one place — a member added to the
+  /// class but forgotten there would otherwise be silently dropped
+  /// from every commit's generation clone.
+  PAG(const PAG &Other) : PAG(Other, 1) {}
+
   //===------------------------------------------------------------------===//
   // Construction (PAGBuilder only)
   //===------------------------------------------------------------------===//
@@ -215,7 +229,14 @@ public:
   /// nodes' flags, and falls back to finalize() when accumulated slack
   /// (dead slots + relocation holes) exceeds half the live size.
   /// Requires finalize() to have run once before.
-  void finalizeDelta();
+  ///
+  /// \p Threads > 1 partitions the repack: workers own disjoint ranges
+  /// of the (sorted) dirty node list, region contents are computed in
+  /// parallel, placements are assigned in one serial pass that
+  /// replicates the serial policy exactly, and the region copies fan
+  /// out again — so the resulting layout is bit-identical at every
+  /// thread count.
+  void finalizeDelta(unsigned Threads = 1);
 
   //===------------------------------------------------------------------===//
   // Reading
@@ -333,12 +354,13 @@ private:
   /// both directions, appending grown regions at the array tails.
   /// \p Freed marks the slots freed this round (shared with
   /// repackFields so the O(slots) bitmap is built once per repack).
+  /// Workers repack disjoint node ranges; see finalizeDelta(Threads).
   void repackNodes(const std::vector<NodeId> &AffectedNodes,
-                   const std::vector<char> &Freed);
+                   const std::vector<char> &Freed, unsigned Threads);
 
   /// Rebuilds the per-field load/store CSR regions of \p AffectedFields.
   void repackFields(const std::vector<ir::FieldId> &AffectedFields,
-                    const std::vector<char> &Freed);
+                    const std::vector<char> &Freed, unsigned Threads);
 
   const ir::Program &Prog;
   std::vector<Node> Nodes;
@@ -399,7 +421,7 @@ private:
   friend class PAGBuilder;
   friend DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
                                   const TargetResolver *Resolver,
-                                  bool ForceFull);
+                                  bool ForceFull, unsigned Threads);
 };
 
 } // namespace pag

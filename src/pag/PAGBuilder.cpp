@@ -9,6 +9,8 @@
 #include "pag/PAGBuilder.h"
 
 #include "support/Hashing.h"
+#include "support/Parallel.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
@@ -50,34 +52,66 @@ private:
   std::unordered_map<MethodId, std::vector<VarId>> Cache;
 };
 
-/// Re-lowers method \p M's statements into its (freshly opened)
-/// segment.
-void lowerMethod(PAG &G, const Program &P, const CallGraph &CG,
-                 ReturnsCache &Returns, MethodId Id) {
+/// One worker's private staging buffers: the edges of its share of the
+/// re-lower set, lowered without touching the shared graph.  A
+/// single-writer apply phase later replays them through
+/// beginSegment/addEdge in method-id order, so edge slot assignment is
+/// identical to a fully serial build.
+struct StagedLowering {
+  /// All staged edges of this worker, in emission order.
+  std::vector<Edge> Edges;
+  /// (method, [begin, end) into Edges) per lowered method, in the order
+  /// the worker lowered them (ascending method id within a worker).
+  struct MethodRange {
+    MethodId M;
+    uint32_t Begin;
+    uint32_t End;
+  };
+  std::vector<MethodRange> Methods;
+};
+
+/// Lowers method \p Id's statements into \p Out — the staging-buffer
+/// form of the classic per-method lowering.  Reads the graph's node
+/// table (read-only: every node was appended in the single-writer node
+/// phase before lowering fans out) and the refreshed call graph.
+void lowerMethodInto(StagedLowering &Out, const PAG &G, const Program &P,
+                     const CallGraph &CG, ReturnsCache &Returns,
+                     MethodId Id) {
+  uint32_t Begin = uint32_t(Out.Edges.size());
+  auto Emit = [&Out](NodeId Src, NodeId Dst, EdgeKind Kind,
+                     uint32_t Aux = ir::kNone, bool ContextFree = false) {
+    Edge E;
+    E.Src = Src;
+    E.Dst = Dst;
+    E.Kind = Kind;
+    E.Aux = Aux;
+    E.ContextFree = ContextFree;
+    Out.Edges.push_back(E);
+  };
+
   const Method &M = P.method(Id);
-  G.beginSegment(Id);
   for (const Statement &S : M.Stmts) {
     switch (S.Kind) {
     case StmtKind::Alloc:
     case StmtKind::Null:
-      G.addEdge(G.nodeOfAlloc(S.Alloc), G.nodeOfVar(S.Dst), EdgeKind::New);
+      Emit(G.nodeOfAlloc(S.Alloc), G.nodeOfVar(S.Dst), EdgeKind::New);
       break;
     case StmtKind::Assign:
     case StmtKind::Cast:
       // A cast is an assignment to the PAG; the cast site only matters
       // to the SafeCast client.
-      G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Dst),
-                copyKind(P, S.Src, S.Dst));
+      Emit(G.nodeOfVar(S.Src), G.nodeOfVar(S.Dst),
+           copyKind(P, S.Src, S.Dst));
       break;
     case StmtKind::Load:
       // dst = base.f  =>  base --load(f)--> dst
-      G.addEdge(G.nodeOfVar(S.Base), G.nodeOfVar(S.Dst), EdgeKind::Load,
-                S.FieldLabel);
+      Emit(G.nodeOfVar(S.Base), G.nodeOfVar(S.Dst), EdgeKind::Load,
+           S.FieldLabel);
       break;
     case StmtKind::Store:
       // base.f = src  =>  src --store(f)--> base
-      G.addEdge(G.nodeOfVar(S.Src), G.nodeOfVar(S.Base), EdgeKind::Store,
-                S.FieldLabel);
+      Emit(G.nodeOfVar(S.Src), G.nodeOfVar(S.Base), EdgeKind::Store,
+           S.FieldLabel);
       break;
     case StmtKind::Call: {
       for (MethodId Target : CG.targets(S.Call)) {
@@ -87,12 +121,12 @@ void lowerMethod(PAG &G, const Program &P, const CallGraph &CG,
                              ? S.Args.size()
                              : Callee.Params.size();
         for (size_t I = 0; I < NumArgs; ++I)
-          G.addEdge(G.nodeOfVar(S.Args[I]), G.nodeOfVar(Callee.Params[I]),
-                    EdgeKind::Entry, S.Call, ContextFree);
+          Emit(G.nodeOfVar(S.Args[I]), G.nodeOfVar(Callee.Params[I]),
+               EdgeKind::Entry, S.Call, ContextFree);
         if (S.Dst != kNone)
           for (VarId Ret : Returns.of(Target))
-            G.addEdge(G.nodeOfVar(Ret), G.nodeOfVar(S.Dst), EdgeKind::Exit,
-                      S.Call, ContextFree);
+            Emit(G.nodeOfVar(Ret), G.nodeOfVar(S.Dst), EdgeKind::Exit,
+                 S.Call, ContextFree);
       }
       break;
     }
@@ -100,7 +134,7 @@ void lowerMethod(PAG &G, const Program &P, const CallGraph &CG,
       break; // handled from the call side
     }
   }
-  G.endSegment();
+  Out.Methods.push_back({Id, Begin, uint32_t(Out.Edges.size())});
 }
 
 /// Everything a caller's lowered call edges depend on beyond its own
@@ -122,9 +156,11 @@ uint64_t calleeShape(const CallGraph &CG, MethodId M,
 
 DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
                                       const TargetResolver *Resolver,
-                                      bool ForceFull) {
+                                      bool ForceFull, unsigned Threads) {
   const Program &P = G.program();
   DeltaStats DS;
+  Threads = clampThreads(Threads);
+  DS.ThreadsUsed = Threads;
   const bool First = !G.BuiltOnce;
   const size_t NumMethods = P.methods().size();
 
@@ -158,9 +194,16 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
     for (MethodId M = 0; M < NumMethods; ++M) {
       DS.Touched.push_back(M);
       BodyChanged.push_back(M);
-      G.BuiltBodyFp[M] = P.methodFingerprint(M);
-      G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
     }
+    // Fingerprinting every method hashes every statement once; shard
+    // it (each worker writes a disjoint slot range).
+    parallelChunks(NumMethods, Threads,
+                   [&](size_t Begin, size_t End, unsigned) {
+                     for (MethodId M = MethodId(Begin); M < End; ++M) {
+                       G.BuiltBodyFp[M] = P.methodFingerprint(M);
+                       G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
+                     }
+                   });
   } else {
     DS.Touched = P.methodsTouchedSince(G.BuiltModClock);
     for (MethodId M : DS.Touched) {
@@ -185,36 +228,74 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
 
   // --- Re-lower set: body-changed plus shape-changed.  The shape pass
   // is one hash per call edge over the whole graph — linear in the call
-  // graph, independent of statement counts.
+  // graph, independent of statement counts — and partitions perfectly:
+  // workers own disjoint method ranges, reading the (frozen) call graph
+  // and writing disjoint Relower/shape slots.
+  Timer ShapeClock;
   std::vector<char> Relower(NumMethods, 0);
   for (MethodId M : BodyChanged)
     Relower[M] = 1;
-  if (ForceFull || First) {
-    for (MethodId M = 0; M < NumMethods; ++M) {
-      Relower[M] = 1;
-      G.BuiltShapeFp[M] = calleeShape(Calls, M, G.BuiltIfaceFp);
-    }
-  } else {
-    for (MethodId M = 0; M < NumMethods; ++M) {
-      uint64_t Shape = calleeShape(Calls, M, G.BuiltIfaceFp);
-      if (Shape != G.BuiltShapeFp[M])
-        Relower[M] = 1;
-      G.BuiltShapeFp[M] = Shape;
-    }
-  }
+  const bool RelowerAll = ForceFull || First;
+  parallelChunks(NumMethods, Threads,
+                 [&](size_t Begin, size_t End, unsigned) {
+                   for (MethodId M = MethodId(Begin); M < End; ++M) {
+                     uint64_t Shape =
+                         calleeShape(Calls, M, G.BuiltIfaceFp);
+                     if (RelowerAll || Shape != G.BuiltShapeFp[M])
+                       Relower[M] = 1;
+                     G.BuiltShapeFp[M] = Shape;
+                   }
+                 });
+  DS.ShapeSeconds = ShapeClock.seconds();
 
-  // --- Re-lower and repack.
-  ReturnsCache Returns(P);
-  for (MethodId M = 0; M < NumMethods; ++M) {
-    if (!Relower[M])
-      continue;
-    lowerMethod(G, P, Calls, Returns, M);
-    DS.Relowered.push_back(M);
+  // --- Re-lower: shard the re-lower set across the worker pool, each
+  // worker lowering its (contiguous, ascending) share into private
+  // staging buffers...
+  Timer LowerClock;
+  for (MethodId M = 0; M < NumMethods; ++M)
+    if (Relower[M])
+      DS.Relowered.push_back(M);
+
+  unsigned LowerWorkers = Threads;
+  if (LowerWorkers > DS.Relowered.size())
+    LowerWorkers = unsigned(DS.Relowered.size());
+  if (LowerWorkers == 0)
+    LowerWorkers = 1;
+  std::vector<StagedLowering> Staged(LowerWorkers);
+  parallelChunks(DS.Relowered.size(), LowerWorkers,
+                 [&](size_t Begin, size_t End, unsigned Worker) {
+                   StagedLowering &Out = Staged[Worker];
+                   Out.Edges.reserve((End - Begin) * 8);
+                   ReturnsCache Returns(P);
+                   for (size_t I = Begin; I < End; ++I)
+                     lowerMethodInto(Out, G, P, Calls, Returns,
+                                     DS.Relowered[I]);
+                 });
+  DS.LowerSeconds = LowerClock.seconds();
+
+  // ...then a single-writer apply phase replays the staged segments in
+  // ascending method order.  Slot allocation (including free-slot
+  // reuse) happens here only, in exactly the order a serial build would
+  // have used, so edge slot ids are identical at every thread count.
+  Timer ApplyClock;
+  for (const StagedLowering &Out : Staged) {
+    for (const StagedLowering::MethodRange &R : Out.Methods) {
+      G.beginSegment(R.M);
+      for (uint32_t I = R.Begin; I < R.End; ++I) {
+        const Edge &E = Out.Edges[I];
+        G.addEdge(E.Src, E.Dst, E.Kind, E.Aux, E.ContextFree);
+      }
+      G.endSegment();
+    }
   }
+  DS.ApplySeconds = ApplyClock.seconds();
+
+  Timer RepackClock;
   if (First)
     G.finalize();
   else
-    G.finalizeDelta();
+    G.finalizeDelta(Threads);
+  DS.RepackSeconds = RepackClock.seconds();
   DS.Compacted = G.lastRepackCompacted();
 
   G.BuiltModClock = P.modClock();
@@ -224,9 +305,11 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
 }
 
 BuiltPAG dynsum::pag::buildPAG(const Program &P,
-                               const TargetResolver *Resolver) {
+                               const TargetResolver *Resolver,
+                               unsigned Threads) {
   BuiltPAG Result;
   Result.Graph = std::make_unique<PAG>(P);
-  buildPAGDelta(*Result.Graph, Result.Calls, Resolver);
+  buildPAGDelta(*Result.Graph, Result.Calls, Resolver, /*ForceFull=*/false,
+                Threads);
   return Result;
 }

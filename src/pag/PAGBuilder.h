@@ -57,6 +57,15 @@ struct DeltaStats {
   size_t NodesAdded = 0;
   /// True when slack forced the CSR repack to compact fully.
   bool Compacted = false;
+  /// Worker count the build actually ran with (requests are clamped).
+  unsigned ThreadsUsed = 1;
+  /// Phase timings (seconds) of the pipeline stages worth watching:
+  /// the shape-fingerprint sweep, the sharded statement lowering, the
+  /// single-writer segment apply, and the CSR repack.
+  double ShapeSeconds = 0.0;
+  double LowerSeconds = 0.0;
+  double ApplySeconds = 0.0;
+  double RepackSeconds = 0.0;
 };
 
 /// Translates \p P into PAG edges per Figure 1:
@@ -73,8 +82,10 @@ struct DeltaStats {
 ///     are marked ContextFree.
 ///
 /// \p Resolver selects virtual-call targets (CHA when null).
+/// \p Threads shards statement lowering as in buildPAGDelta.
 BuiltPAG buildPAG(const ir::Program &P,
-                  const TargetResolver *Resolver = nullptr);
+                  const TargetResolver *Resolver = nullptr,
+                  unsigned Threads = 1);
 
 /// Patches \p G and \p Calls in place to match \p G's (edited) program:
 /// appends nodes for new variables/allocation sites, re-lowers only the
@@ -83,9 +94,18 @@ BuiltPAG buildPAG(const ir::Program &P,
 /// buildPAG/earlier buildPAGDelta calls over the same program instance.
 /// \p ForceFull re-lowers every method regardless of fingerprints (the
 /// commit --scratch escape hatch; identical result, O(program) cost).
+///
+/// \p Threads shards the pipeline (0 = one worker per hardware
+/// thread): the shape-fingerprint sweep partitions the method table,
+/// the re-lower set is lowered into per-worker private edge staging
+/// buffers, and the CSR repack partitions the dirty node buckets.
+/// Everything that assigns ids — node appends, edge slot allocation,
+/// segment bookkeeping — stays in single-writer phases, so the
+/// resulting graph is BIT-IDENTICAL to a 1-thread build: same node
+/// ids, same edge slot ids, same CSR layout.
 DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
                          const TargetResolver *Resolver = nullptr,
-                         bool ForceFull = false);
+                         bool ForceFull = false, unsigned Threads = 1);
 
 } // namespace pag
 } // namespace dynsum

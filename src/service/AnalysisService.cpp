@@ -8,6 +8,7 @@
 #include "service/AnalysisService.h"
 
 #include "analysis/SummaryIO.h"
+#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -25,12 +26,22 @@ AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
   CommittedClock = Prog->modClock();
 }
 
+AnalysisService::~AnalysisService() {
+  {
+    std::lock_guard<std::mutex> Lock(AsyncMutex);
+    AsyncStop = true;
+    WorkCv.notify_all();
+  }
+  if (Committer.joinable())
+    Committer.join();
+}
+
 std::shared_ptr<const AnalysisService::Generation>
 AnalysisService::buildFirstGeneration() {
   auto G = std::make_shared<Generation>();
   G->Number = Store.generation();
   G->NumVars = Prog->variables().size();
-  G->Built = pag::buildPAG(*Prog);
+  G->Built = pag::buildPAG(*Prog, nullptr, Opts.CommitThreads);
   G->Engine = std::make_unique<engine::QueryScheduler>(
       *G->Built.Graph, Opts.Engine, Store, G->Number);
   return G;
@@ -59,13 +70,7 @@ void AnalysisService::addStatement(ir::MethodId M, ir::Statement S) {
 size_t AnalysisService::removeStatements(
     ir::MethodId M, const std::function<bool(const ir::Statement &)> &Pred) {
   std::lock_guard<std::mutex> Lock(EditMutex);
-  std::vector<ir::Statement> &Stmts = Prog->method(M).Stmts;
-  size_t Before = Stmts.size();
-  Stmts.erase(std::remove_if(Stmts.begin(), Stmts.end(), Pred), Stmts.end());
-  size_t Removed = Before - Stmts.size();
-  if (Removed > 0)
-    Prog->touchMethod(M);
-  return Removed;
+  return Prog->removeStatements(M, Pred); // stamps M on the edit clock
 }
 
 void AnalysisService::markDirty(ir::MethodId M) {
@@ -92,21 +97,29 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   Timer Clock;
   CommitStats Stats;
   Stats.SummariesBefore = Store.size();
+  unsigned Threads = clampThreads(Opts.CommitThreads);
 
   std::shared_ptr<const Generation> Old = current();
   incremental::BoundarySnapshot OldBoundary =
-      incremental::snapshotBoundary(*Old->Built.Graph);
+      incremental::snapshotBoundary(*Old->Built.Graph, Threads);
 
   // Build the next epoch's graph as a delta of the previous one: clone
-  // the old graph (flat array copies) and patch the clone.  The old
-  // generation keeps serving in-flight batches untouched the whole
-  // time; node ids are shared between the two graphs by construction.
-  auto NewGraph = std::make_unique<pag::PAG>(*Old->Built.Graph);
+  // the old graph (flat array copies, sharded across the commit
+  // workers) and patch the clone.  The old generation keeps serving
+  // in-flight batches untouched the whole time; node ids are shared
+  // between the two graphs by construction.
+  Timer CloneClock;
+  auto NewGraph = std::make_unique<pag::PAG>(*Old->Built.Graph, Threads);
   pag::CallGraph NewCalls = Old->Built.Calls;
+  Stats.CloneSeconds = CloneClock.seconds();
   pag::DeltaStats Delta = pag::buildPAGDelta(
       *NewGraph, NewCalls, nullptr,
-      /*ForceFull=*/Mode == CommitMode::Scratch);
+      /*ForceFull=*/Mode == CommitMode::Scratch, Threads);
   Stats.MethodsRelowered = Delta.Relowered.size();
+  Stats.ShapeSeconds = Delta.ShapeSeconds;
+  Stats.LowerSeconds = Delta.LowerSeconds;
+  Stats.ApplySeconds = Delta.ApplySeconds;
+  Stats.RepackSeconds = Delta.RepackSeconds;
 
   if (Opts.Policy == InvalidationPolicy::ClearAll) {
     Stats.SummariesDropped = Store.size();
@@ -114,8 +127,8 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   } else {
     std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
                                            Delta.Touched.end());
-    InvalidationPlan Plan =
-        incremental::planInvalidation(OldBoundary, *NewGraph, Dirty);
+    InvalidationPlan Plan = incremental::planInvalidation(
+        OldBoundary, *NewGraph, Dirty, Threads);
     Stats.MethodsInvalidated = Plan.Methods.size();
     Stats.SummariesDropped = Store.beginGeneration(*NewGraph, Plan);
   }
@@ -149,6 +162,57 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
 CommitStats AnalysisService::commit(CommitMode Mode) {
   std::lock_guard<std::mutex> Lock(EditMutex);
   return commitLocked(Mode);
+}
+
+//===----------------------------------------------------------------------===//
+// Async commits
+//===----------------------------------------------------------------------===//
+//
+// One background committer drains a single coalesced request slot: a
+// commit covers every edit buffered before it grabs the edit lock, so
+// any number of requests queued while one is in flight collapse into
+// one follow-up commit without losing anything.  The committer publishes
+// through the same epoch handoff as blocking commits — readers never see
+// a half-built generation, they just keep draining the previous
+// snapshot until the atomic pointer swap.
+
+void AnalysisService::committerLoop() {
+  std::unique_lock<std::mutex> Lock(AsyncMutex);
+  for (;;) {
+    WorkCv.wait(Lock, [this] { return AsyncPending || AsyncStop; });
+    if (!AsyncPending) // stop requested and queue drained
+      return;
+    CommitMode Mode = AsyncMode;
+    AsyncPending = false;
+    AsyncMode = CommitMode::Delta;
+    AsyncInFlight = true;
+    Lock.unlock();
+    {
+      std::lock_guard<std::mutex> Edit(EditMutex);
+      commitLocked(Mode);
+    }
+    Lock.lock();
+    AsyncInFlight = false;
+    IdleCv.notify_all();
+  }
+}
+
+void AnalysisService::commitAsync(CommitMode Mode) {
+  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  AsyncRequested.fetch_add(1, std::memory_order_relaxed);
+  if (AsyncPending || AsyncInFlight)
+    AsyncCoalesced.fetch_add(1, std::memory_order_relaxed);
+  AsyncPending = true;
+  if (Mode == CommitMode::Scratch)
+    AsyncMode = CommitMode::Scratch; // scratch wins when modes mix
+  if (!Committer.joinable())
+    Committer = std::thread([this] { committerLoop(); });
+  WorkCv.notify_one();
+}
+
+void AnalysisService::waitForCommits() {
+  std::unique_lock<std::mutex> Lock(AsyncMutex);
+  IdleCv.wait(Lock, [this] { return !AsyncPending && !AsyncInFlight; });
 }
 
 //===----------------------------------------------------------------------===//
@@ -242,5 +306,11 @@ ServiceStats AnalysisService::stats() const {
       double(TotalCommitMicros.load(std::memory_order_relaxed)) / 1e6;
   S.LastCommitRelowered =
       LastCommitRelowered.load(std::memory_order_relaxed);
+  S.AsyncCommitsRequested = AsyncRequested.load(std::memory_order_relaxed);
+  S.AsyncCommitsCoalesced = AsyncCoalesced.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(AsyncMutex);
+    S.CommitInFlight = AsyncPending || AsyncInFlight;
+  }
   return S;
 }

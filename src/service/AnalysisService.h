@@ -38,6 +38,18 @@
 ///     escape hatch: it force-re-lowers every method (same stable ids,
 ///     O(program) cost) so delta builds can be cross-checked live.
 ///
+///   * The commit pipeline itself shards across
+///     ServiceOptions::CommitThreads workers (generation clone, shape
+///     fingerprints, staged re-lowering, partitioned CSR repack,
+///     boundary diff — see pag::buildPAGDelta), and commitAsync() moves
+///     the whole pipeline onto a background committer thread: the
+///     serving threads keep draining batches against the live snapshot
+///     (double-buffered generations) and the new generation is
+///     published through the same atomic epoch handoff.  Requests that
+///     arrive while a commit is in flight coalesce into one follow-up
+///     commit — safe because any commit covers every edit buffered
+///     before it grabbed the edit lock.
+///
 /// Warm summaries survive commits per the invalidation policy, and
 /// survive restarts through saveSummaries()/loadSummaries() (SummaryIO;
 /// fingerprint-checked against the current program), so a reopened
@@ -52,18 +64,26 @@
 #include "incremental/EditSession.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 namespace dynsum {
 namespace service {
 
 /// Service tunables: the engine configuration every generation's
-/// scheduler runs with, and the commit invalidation policy.
+/// scheduler runs with, the commit invalidation policy, and the commit
+/// pipeline's worker count.
 struct ServiceOptions {
   engine::EngineOptions Engine;
   incremental::InvalidationPolicy Policy =
       incremental::InvalidationPolicy::PerMethod;
+  /// Workers the commit pipeline shards across (0 = one per hardware
+  /// thread): the generation clone, the shape-fingerprint sweep, the
+  /// staged re-lowering, the partitioned CSR repack and the boundary
+  /// diff all partition over this pool.  1 = the classic serial commit.
+  unsigned CommitThreads = 1;
 };
 
 /// Outcomes of one service batch plus the generation they were answered
@@ -95,6 +115,13 @@ struct ServiceStats {
   double LastCommitSeconds = 0.0;
   double TotalCommitSeconds = 0.0;
   uint64_t LastCommitRelowered = 0;
+  /// Async pipeline counters: commitAsync() calls accepted, of which
+  /// how many were coalesced into an already-queued commit, and whether
+  /// a background commit is queued or running right now (racy;
+  /// advisory).
+  uint64_t AsyncCommitsRequested = 0;
+  uint64_t AsyncCommitsCoalesced = 0;
+  bool CommitInFlight = false;
 };
 
 /// The concurrent incremental analysis server.
@@ -104,7 +131,9 @@ struct ServiceStats {
 /// with edits.  Edit entry points (addStatement, removeStatements,
 /// markDirty, editProgram, commit, saveSummaries, loadSummaries) are
 /// serialized internally on the edit lock and may also be called from
-/// any thread.  program() returns the live editable program and is only
+/// any thread; commitAsync/waitForCommits may be called from any
+/// thread and hand the same serialized pipeline to the background
+/// committer.  program() returns the live editable program and is only
 /// safe to read on a thread that is not racing edits (typically the
 /// editor thread itself).
 class AnalysisService {
@@ -112,6 +141,11 @@ public:
   /// Takes ownership of \p P and eagerly publishes generation 0.
   explicit AnalysisService(std::unique_ptr<ir::Program> P,
                            ServiceOptions Opts = ServiceOptions());
+
+  /// Drains the async commit queue (queued commits still run — edits
+  /// whose commit was requested are never silently dropped) and joins
+  /// the background committer.
+  ~AnalysisService();
 
   //===------------------------------------------------------------------===//
   // Edits (buffered; invisible to queries until commit())
@@ -132,6 +166,13 @@ public:
   /// methods it touched, which are marked dirty.  Use this for
   /// multi-step mutations (createLocal + addStatement + ...) that must
   /// appear atomic to other editors.
+  ///
+  /// Edit-clock contract: Program::addStatement and
+  /// Program::removeStatements stamp the clock themselves, so a closure
+  /// built from them may return {}.  Only direct mutations that bypass
+  /// those APIs (e.g. rewriting a Statement in place) must name the
+  /// method in the returned vector — otherwise the next commit will not
+  /// see the edit.
   void editProgram(
       const std::function<std::vector<ir::MethodId>(ir::Program &)> &Edit);
 
@@ -143,8 +184,27 @@ public:
   /// re-lower under CommitMode::Scratch), invalidates the shared store
   /// per the policy (SummariesBefore / SummariesDropped count store
   /// entries), and swaps the current generation.  In-flight batches
-  /// drain against the previous one.  No-op when clean.
+  /// drain against the previous one.  No-op when clean.  The whole
+  /// pipeline shards across options().CommitThreads workers.
   incremental::CommitStats commit(CommitMode Mode = CommitMode::Delta);
+
+  /// Queues the commit instead of running it on the calling thread: a
+  /// background committer performs the identical pipeline (same locks,
+  /// same epoch handoff) while query batches keep draining against the
+  /// live snapshot, and the new generation is published atomically
+  /// exactly as a blocking commit would.  Requests arriving while a
+  /// commit is in flight coalesce into ONE follow-up commit — the edit
+  /// clock makes any later commit cover every edit buffered before it,
+  /// so coalescing loses nothing (Scratch wins when modes mix).  The
+  /// committed state therefore converges to what blocking commit()
+  /// calls would produce, though coalescing may publish fewer
+  /// generations.  Serialized with commit()/edits on the edit lock.
+  void commitAsync(CommitMode Mode = CommitMode::Delta);
+
+  /// Blocks until the async queue is empty and no background commit is
+  /// running.  After it returns, every edit made before the last
+  /// commitAsync() call is published.
+  void waitForCommits();
 
   //===------------------------------------------------------------------===//
   // Queries (any thread, lock-free after the snapshot grab)
@@ -214,6 +274,10 @@ private:
   /// commit() body; caller holds the edit lock.
   incremental::CommitStats commitLocked(CommitMode Mode);
 
+  /// Body of the background committer thread (started lazily by the
+  /// first commitAsync).
+  void committerLoop();
+
   ServiceOptions Opts;
   std::unique_ptr<ir::Program> Prog;
 
@@ -231,6 +295,19 @@ private:
   mutable std::mutex GenMutex;
   std::shared_ptr<const Generation> Current;
 
+  /// Async commit queue.  AsyncMutex guards the queue state below (one
+  /// coalesced pending request plus the in-flight marker); the commits
+  /// themselves run under EditMutex like blocking ones.  WorkCv wakes
+  /// the committer, IdleCv wakes waitForCommits.
+  mutable std::mutex AsyncMutex;
+  std::condition_variable WorkCv;
+  std::condition_variable IdleCv;
+  std::thread Committer;
+  bool AsyncPending = false;
+  CommitMode AsyncMode = CommitMode::Delta;
+  bool AsyncInFlight = false;
+  bool AsyncStop = false;
+
   std::atomic<uint64_t> Commits{0};
   std::atomic<uint64_t> Batches{0};
   std::atomic<uint64_t> Queries{0};
@@ -240,6 +317,8 @@ private:
   std::atomic<uint64_t> LastCommitMicros{0};
   std::atomic<uint64_t> TotalCommitMicros{0};
   std::atomic<uint64_t> LastCommitRelowered{0};
+  std::atomic<uint64_t> AsyncRequested{0};
+  std::atomic<uint64_t> AsyncCoalesced{0};
 };
 
 } // namespace service

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork-join helpers for the commit pipeline and other data-parallel
+/// phases.
+///
+/// The model is deliberately minimal: a phase splits a dense index
+/// range into one contiguous chunk per worker, spawns plain
+/// std::threads for the extra workers, runs the first chunk inline and
+/// joins.  Thread spawn cost (~tens of microseconds) is negligible
+/// against the millisecond-scale phases these shard (graph clones,
+/// fingerprint sweeps, partitioned CSR repacks); keeping no persistent
+/// pool keeps every call-site self-contained and trivially
+/// exception/lifetime-safe.
+///
+/// Determinism contract: chunking depends only on (N, Threads), never
+/// on scheduling, so any phase whose chunks write disjoint state
+/// produces identical results at every thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_PARALLEL_H
+#define DYNSUM_SUPPORT_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace dynsum {
+
+/// Clamps a worker-count request to something the OS can deliver
+/// (0 = one per hardware thread; negative inputs arrive as huge
+/// unsigneds and are capped too).
+inline unsigned clampThreads(unsigned Requested) {
+  constexpr unsigned kMaxThreads = 256;
+  unsigned T = Requested;
+  if (T == 0) {
+    T = std::thread::hardware_concurrency();
+    if (T == 0)
+      T = 1;
+  }
+  return T > kMaxThreads ? kMaxThreads : T;
+}
+
+/// Runs \p F(Begin, End, Worker) over [0, N) split into at most
+/// \p Threads contiguous chunks.  Worker indices are dense in
+/// [0, workers-used); chunk boundaries depend only on (N, Threads).
+/// With one thread (or N <= 1) everything runs inline on the caller.
+template <typename Fn>
+void parallelChunks(size_t N, unsigned Threads, Fn &&F) {
+  Threads = clampThreads(Threads);
+  if (N == 0)
+    return;
+  if (Threads > N)
+    Threads = unsigned(N);
+  size_t Chunk = (N + Threads - 1) / Threads;
+  if (Threads <= 1) {
+    F(size_t(0), N, 0u);
+    return;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W) {
+    size_t Begin = size_t(W) * Chunk;
+    if (Begin >= N)
+      break;
+    size_t End = Begin + Chunk < N ? Begin + Chunk : N;
+    Workers.emplace_back([&F, Begin, End, W] { F(Begin, End, W); });
+  }
+  F(size_t(0), Chunk < N ? Chunk : N, 0u);
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+/// Runs a small fixed set of independent jobs (e.g. "copy this member
+/// array") across up to \p Threads workers.  Unlike parallelChunks,
+/// jobs are claimed dynamically (an atomic cursor), because job costs
+/// are typically lopsided; each job runs exactly once.  Jobs must write
+/// disjoint state.
+template <typename JobFn>
+void parallelJobs(size_t NumJobs, unsigned Threads, JobFn &&Job) {
+  Threads = clampThreads(Threads);
+  if (Threads > NumJobs)
+    Threads = unsigned(NumJobs);
+  if (Threads <= 1) {
+    for (size_t I = 0; I < NumJobs; ++I)
+      Job(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Drain = [&Next, &Job, NumJobs] {
+    for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
+                   NumJobs;)
+      Job(I);
+  };
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Workers.emplace_back(Drain);
+  Drain();
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_PARALLEL_H

@@ -22,6 +22,8 @@
 #include "pag/PAGBuilder.h"
 #include "workload/Generator.h"
 
+#include "RepackCorpus.h"
+
 #include <gtest/gtest.h>
 
 #include <fstream>
@@ -340,6 +342,58 @@ TEST(CsrDeltaRepackTest, AccumulatedSlackTriggersCompaction) {
   // After compaction the full pack is dense again: every slot is live
   // and the classic seed invariant (edge ids 0..numEdges) holds.
   EXPECT_EQ(G.numEdges(), G.numEdgeSlots());
+}
+
+//===----------------------------------------------------------------------===//
+// Partitioned repack boundaries: the repack corpus drives dirty buckets
+// adjacent across worker ranges, tail relocations, slot reuse and a
+// slack-triggered compaction mid-sequence; answers must match the
+// golden "repack-r<N>" sections captured from the serial seed build, at
+// every repack worker count.
+//===----------------------------------------------------------------------===//
+
+TEST(CsrRepackGoldenTest, PartitionedRepackMatchesSeedGoldenAtAllThreads) {
+  auto Golden = loadGolden();
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    auto Prog = dynsum::testing::buildRepackCorpusProgram();
+    ir::Program &P = *Prog;
+    pag::PAG G(P);
+    pag::CallGraph Calls;
+    pag::buildPAGDelta(G, Calls, nullptr, false, Threads);
+
+    bool SawCompaction = false, SawIncremental = false;
+    for (unsigned Round = 0; Round < dynsum::testing::kRepackRounds;
+         ++Round) {
+      dynsum::testing::applyRepackRound(P, Round);
+      pag::DeltaStats DS =
+          pag::buildPAGDelta(G, Calls, nullptr, false, Threads);
+      SawCompaction |= DS.Compacted;
+      SawIncremental |= !DS.Compacted;
+      expectCsrInvariants(G);
+
+      const std::vector<GoldenEntry> &Gold =
+          Golden["repack-r" + std::to_string(Round)];
+      std::vector<ir::VarId> Probe =
+          dynsum::testing::repackProbeVariables(P);
+      ASSERT_EQ(Probe.size(), Gold.size())
+          << "round " << Round << ": corpus drifted from its golden";
+
+      DynSumAnalysis A(G, AnalysisOptions());
+      for (size_t I = 0; I < Probe.size(); ++I) {
+        QueryResult R = A.query(G.nodeOfVar(Probe[I]));
+        EXPECT_EQ(R.BudgetExceeded, Gold[I].BudgetExceeded)
+            << "threads " << Threads << ", round " << Round << ", probe "
+            << I;
+        EXPECT_EQ(R.allocSites(), Gold[I].AllocSites)
+            << "threads " << Threads << ", round " << Round << ", probe "
+            << I;
+      }
+    }
+    EXPECT_TRUE(SawCompaction)
+        << "the hammer rounds must cross the compaction bar";
+    EXPECT_TRUE(SawIncremental)
+        << "the structured rounds must exercise the partitioned repack";
+  }
 }
 
 //===----------------------------------------------------------------------===//

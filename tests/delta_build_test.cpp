@@ -3,15 +3,18 @@
 /// \file
 /// Randomized delta-vs-scratch equivalence for the PAG layer.
 ///
-/// MiniJavaFuzzer generates a well-typed program; a deterministic edit
-/// fuzzer then drives N edit/commit rounds of IR-level mutations (new
-/// allocations, assigns, loads/stores, direct calls, statement
+/// MiniJavaFuzzer generates a well-typed program; the shared
+/// IrEditFuzzer then drives N edit/commit rounds of IR-level mutations
+/// (new allocations, assigns, loads/stores, direct calls, statement
 /// removals, fresh locals and whole new methods).  After every round
 /// the delta-patched graph must be isomorphic to a cold buildPAG of the
 /// same program: identical node flags, identical live edge multiset
 /// (modulo slot numbering), clean CSR invariants despite holes and slot
 /// reuse, and identical DYNSUM answers.  A parallel EditSession replays
 /// the same rounds and must stay warm-equal to cold throughout.
+///
+/// The sharded (multi-worker) delta builds and the async service
+/// commits run the same oracle in tests/parallel_commit_test.cpp.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,308 +24,18 @@
 #include "ir/Validator.h"
 #include "pag/PAGBuilder.h"
 
+#include "IrEditFuzzer.h"
 #include "MiniJavaFuzzer.h"
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <tuple>
-
 using namespace dynsum;
 using analysis::AnalysisOptions;
 using analysis::QueryResult;
-
-namespace {
-
-//===----------------------------------------------------------------------===//
-// Deterministic IR-level edit fuzzer
-//===----------------------------------------------------------------------===//
-
-class EditFuzzer {
-public:
-  explicit EditFuzzer(uint64_t Seed)
-      : State(Seed * 0x9e3779b97f4a7c15ull + 1) {}
-
-  /// Applies \p Count random (but deterministic) edits to \p P, keeping
-  /// it validator-clean.  Touch tracking rides on the program itself.
-  void apply(ir::Program &P, unsigned Count) {
-    for (unsigned I = 0; I < Count; ++I) {
-      ir::MethodId M = pick(unsigned(P.methods().size()));
-      switch (pick(8)) {
-      case 0:
-      case 1:
-        addAlloc(P, M);
-        break;
-      case 2:
-        addAssign(P, M);
-        break;
-      case 3:
-        addLoad(P, M);
-        break;
-      case 4:
-        addStore(P, M);
-        break;
-      case 5:
-        addCall(P, M);
-        break;
-      case 6:
-        removeStatement(P, M);
-        break;
-      case 7:
-        if (pick(4) == 0)
-          addMethod(P); // rarer: hierarchy/structure growth
-        else
-          addAlloc(P, M);
-        break;
-      }
-    }
-  }
-
-private:
-  uint64_t next() {
-    State += 0x9e3779b97f4a7c15ull;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
-    return Z ^ (Z >> 31);
-  }
-  unsigned pick(unsigned Bound) { return unsigned(next() % Bound); }
-
-  std::vector<ir::VarId> localsOf(const ir::Program &P, ir::MethodId M) {
-    std::vector<ir::VarId> Out;
-    for (const ir::Variable &V : P.variables())
-      if (!V.IsGlobal && V.Owner == M)
-        Out.push_back(V.Id);
-    return Out;
-  }
-
-  ir::VarId someLocal(ir::Program &P, ir::MethodId M) {
-    std::vector<ir::VarId> Locals = localsOf(P, M);
-    if (!Locals.empty() && pick(3) != 0)
-      return Locals[pick(unsigned(Locals.size()))];
-    return P.createLocal(P.name("fz" + std::to_string(NextLocal++)), M,
-                         ir::kObjectType);
-  }
-
-  ir::FieldId someField(ir::Program &P) {
-    if (!P.fields().empty() && pick(4) != 0)
-      return P.fields()[pick(unsigned(P.fields().size()))].Id;
-    return P.getOrCreateField(
-        P.name("fzf" + std::to_string(NextField++)));
-  }
-
-  void addAlloc(ir::Program &P, ir::MethodId M) {
-    ir::Statement S;
-    S.Kind = ir::StmtKind::Alloc;
-    S.Dst = someLocal(P, M);
-    S.Type = ir::TypeId(pick(unsigned(P.classes().size())));
-    S.Alloc = P.createAllocSite(S.Type, M, Symbol{});
-    P.addStatement(M, std::move(S));
-  }
-
-  void addAssign(ir::Program &P, ir::MethodId M) {
-    ir::Statement S;
-    S.Kind = ir::StmtKind::Assign;
-    S.Src = someLocal(P, M);
-    S.Dst = someLocal(P, M);
-    P.addStatement(M, std::move(S));
-  }
-
-  void addLoad(ir::Program &P, ir::MethodId M) {
-    ir::Statement S;
-    S.Kind = ir::StmtKind::Load;
-    S.Base = someLocal(P, M);
-    S.Dst = someLocal(P, M);
-    S.FieldLabel = someField(P);
-    P.addStatement(M, std::move(S));
-  }
-
-  void addStore(ir::Program &P, ir::MethodId M) {
-    ir::Statement S;
-    S.Kind = ir::StmtKind::Store;
-    S.Base = someLocal(P, M);
-    S.Src = someLocal(P, M);
-    S.FieldLabel = someField(P);
-    P.addStatement(M, std::move(S));
-  }
-
-  void addCall(ir::Program &P, ir::MethodId M) {
-    // Direct call to an arbitrary method with arity-correct arguments;
-    // randomly hitting an uncalled method exercises the boundary-flag
-    // flip, a self or mutual call exercises recursion collapsing.
-    ir::MethodId Callee = ir::MethodId(pick(unsigned(P.methods().size())));
-    ir::Statement S;
-    S.Kind = ir::StmtKind::Call;
-    S.Callee = Callee;
-    S.Call = P.createCallSite(M, ir::kNone);
-    for (size_t A = 0; A < P.method(Callee).Params.size(); ++A)
-      S.Args.push_back(someLocal(P, M));
-    if (pick(2) == 0)
-      S.Dst = someLocal(P, M);
-    P.addStatement(M, std::move(S));
-  }
-
-  void removeStatement(ir::Program &P, ir::MethodId M) {
-    std::vector<ir::Statement> &Stmts = P.method(M).Stmts;
-    if (Stmts.empty())
-      return;
-    // Removing a Return changes the method's boundary interface and
-    // must ripple to its callers' exit edges — keep those in the pool.
-    Stmts.erase(Stmts.begin() + pick(unsigned(Stmts.size())));
-    P.touchMethod(M);
-  }
-
-  void addMethod(ir::Program &P) {
-    ir::MethodId M = P.createMethod(
-        P.name("fzm" + std::to_string(NextMethod++)), ir::kNone);
-    ir::VarId Param = P.createLocal(P.name("p"), M, ir::kObjectType);
-    P.method(M).Params.push_back(Param);
-    addAlloc(P, M);
-    ir::Statement Ret;
-    Ret.Kind = ir::StmtKind::Return;
-    Ret.Src = someLocal(P, M);
-    P.addStatement(M, std::move(Ret));
-  }
-
-  uint64_t State;
-  unsigned NextLocal = 0;
-  unsigned NextField = 0;
-  unsigned NextMethod = 0;
-};
-
-//===----------------------------------------------------------------------===//
-// Isomorphism checks
-//===----------------------------------------------------------------------===//
-
-/// Canonical node name independent of numbering: variables by VarId,
-/// objects by numVars + AllocId.
-uint64_t canonical(const pag::PAG &G, pag::NodeId N) {
-  const pag::Node &Node = G.node(N);
-  if (Node.Kind == pag::NodeKind::Object)
-    return uint64_t(G.program().variables().size()) + Node.IrId;
-  return Node.IrId;
-}
-
-using EdgeKey = std::tuple<uint64_t, uint64_t, unsigned, uint32_t, bool>;
-
-std::vector<EdgeKey> liveEdgeKeys(const pag::PAG &G) {
-  std::vector<EdgeKey> Keys;
-  Keys.reserve(G.numEdges());
-  for (pag::EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
-    if (!G.edgeAlive(E))
-      continue;
-    const pag::Edge &Ed = G.edge(E);
-    Keys.emplace_back(canonical(G, Ed.Src), canonical(G, Ed.Dst),
-                      unsigned(Ed.Kind), Ed.Aux, Ed.ContextFree);
-  }
-  std::sort(Keys.begin(), Keys.end());
-  return Keys;
-}
-
-/// Structural CSR invariants on \p G — valid for dense and hole-y
-/// (delta-repacked) layouts alike.
-void checkCsrInvariants(const pag::PAG &G) {
-  std::vector<unsigned> InSeen(G.numEdgeSlots(), 0),
-      OutSeen(G.numEdgeSlots(), 0);
-  for (pag::NodeId N = 0; N < G.numNodes(); ++N) {
-    size_t InTotal = 0, OutTotal = 0;
-    for (unsigned K = 0; K < pag::kNumEdgeKinds; ++K) {
-      pag::EdgeKind Kind = pag::EdgeKind(K);
-      for (pag::EdgeId E : G.inEdgesOfKind(N, Kind)) {
-        ASSERT_TRUE(G.edgeAlive(E));
-        EXPECT_EQ(G.edge(E).Kind, Kind);
-        EXPECT_EQ(G.edge(E).Dst, N);
-        ++InSeen[E];
-        ++InTotal;
-      }
-      for (pag::EdgeId E : G.outEdgesOfKind(N, Kind)) {
-        ASSERT_TRUE(G.edgeAlive(E));
-        EXPECT_EQ(G.edge(E).Kind, Kind);
-        EXPECT_EQ(G.edge(E).Src, N);
-        ++OutSeen[E];
-        ++OutTotal;
-      }
-    }
-    EXPECT_EQ(InTotal, G.inEdges(N).size()) << "node " << N;
-    EXPECT_EQ(OutTotal, G.outEdges(N).size()) << "node " << N;
-  }
-  size_t InLive = 0, OutLive = 0;
-  for (pag::EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
-    if (!G.edgeAlive(E)) {
-      EXPECT_EQ(InSeen[E], 0u) << "dead slot in CSR, edge " << E;
-      EXPECT_EQ(OutSeen[E], 0u) << "dead slot in CSR, edge " << E;
-      continue;
-    }
-    EXPECT_EQ(InSeen[E], 1u) << "edge " << E;
-    EXPECT_EQ(OutSeen[E], 1u) << "edge " << E;
-    InLive += InSeen[E];
-    OutLive += OutSeen[E];
-  }
-  EXPECT_EQ(InLive, G.numEdges());
-  EXPECT_EQ(OutLive, G.numEdges());
-
-  // Field CSR holds exactly the labelled accesses.
-  std::vector<size_t> Stores(G.program().fields().size(), 0);
-  std::vector<size_t> Loads(G.program().fields().size(), 0);
-  for (pag::EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
-    if (!G.edgeAlive(E))
-      continue;
-    if (G.edge(E).Kind == pag::EdgeKind::Store)
-      ++Stores[G.edge(E).Aux];
-    else if (G.edge(E).Kind == pag::EdgeKind::Load)
-      ++Loads[G.edge(E).Aux];
-  }
-  for (ir::FieldId F = 0; F < G.program().fields().size(); ++F) {
-    EXPECT_EQ(G.storesOfField(F).size(), Stores[F]) << "field " << F;
-    EXPECT_EQ(G.loadsOfField(F).size(), Loads[F]) << "field " << F;
-    for (pag::EdgeId E : G.storesOfField(F)) {
-      ASSERT_TRUE(G.edgeAlive(E));
-      EXPECT_EQ(G.edge(E).Kind, pag::EdgeKind::Store);
-      EXPECT_EQ(G.edge(E).Aux, F);
-    }
-    for (pag::EdgeId E : G.loadsOfField(F)) {
-      ASSERT_TRUE(G.edgeAlive(E));
-      EXPECT_EQ(G.edge(E).Kind, pag::EdgeKind::Load);
-      EXPECT_EQ(G.edge(E).Aux, F);
-    }
-  }
-}
-
-/// Full isomorphism of the delta-evolved \p Delta against a cold
-/// \p Cold of the same program: flags per IR entity, live edge
-/// multiset under canonical node naming.
-void checkIsomorphic(const pag::PAG &Delta, const pag::PAG &Cold) {
-  const ir::Program &P = Delta.program();
-  ASSERT_EQ(Delta.numNodes(), Cold.numNodes());
-  ASSERT_EQ(Delta.numEdges(), Cold.numEdges());
-  for (const ir::Variable &V : P.variables()) {
-    const pag::Node &D = Delta.node(Delta.nodeOfVar(V.Id));
-    const pag::Node &C = Cold.node(Cold.nodeOfVar(V.Id));
-    EXPECT_EQ(D.Kind, C.Kind) << P.describeVar(V.Id);
-    EXPECT_EQ(D.Method, C.Method) << P.describeVar(V.Id);
-    EXPECT_EQ(D.HasLocalEdge, C.HasLocalEdge) << P.describeVar(V.Id);
-    EXPECT_EQ(D.HasGlobalIn, C.HasGlobalIn) << P.describeVar(V.Id);
-    EXPECT_EQ(D.HasGlobalOut, C.HasGlobalOut) << P.describeVar(V.Id);
-  }
-  for (const ir::AllocSite &A : P.allocs()) {
-    const pag::Node &D = Delta.node(Delta.nodeOfAlloc(A.Id));
-    const pag::Node &C = Cold.node(Cold.nodeOfAlloc(A.Id));
-    EXPECT_EQ(D.HasLocalEdge, C.HasLocalEdge) << P.describeAlloc(A.Id);
-    EXPECT_EQ(D.HasGlobalIn, C.HasGlobalIn) << P.describeAlloc(A.Id);
-    EXPECT_EQ(D.HasGlobalOut, C.HasGlobalOut) << P.describeAlloc(A.Id);
-  }
-  EXPECT_EQ(liveEdgeKeys(Delta), liveEdgeKeys(Cold));
-}
-
-std::vector<ir::VarId> sampleVars(const ir::Program &P, size_t Stride) {
-  std::vector<ir::VarId> Out;
-  for (const ir::Variable &V : P.variables())
-    if (!V.IsGlobal && V.Id % Stride == 0)
-      Out.push_back(V.Id);
-  return Out;
-}
-
-} // namespace
+using dynsum::testing::checkCsrInvariants;
+using dynsum::testing::checkIsomorphic;
+using dynsum::testing::IrEditFuzzer;
+using dynsum::testing::sampleVars;
 
 //===----------------------------------------------------------------------===//
 // The fuzz equivalence drive
@@ -344,7 +57,7 @@ TEST_P(DeltaFuzzTest, DeltaBuildsStayIsomorphicToScratchAcrossEditRounds) {
   pag::CallGraph Calls;
   pag::buildPAGDelta(Delta, Calls);
 
-  EditFuzzer Edits(GetParam() ^ 0xfeedbeef);
+  IrEditFuzzer Edits(GetParam() ^ 0xfeedbeef);
   for (unsigned Round = 0; Round < kRounds; ++Round) {
     Edits.apply(P, kEditsPerRound);
     ASSERT_TRUE(ir::validate(P).empty()) << "edit fuzzer broke the program";
@@ -397,7 +110,7 @@ TEST_P(DeltaFuzzTest, WarmSessionMatchesColdAcrossFuzzedEditRounds) {
   for (ir::VarId V : sampleVars(P, 5))
     S.queryVar(V);
 
-  EditFuzzer Edits(GetParam() * 31 + 7);
+  IrEditFuzzer Edits(GetParam() * 31 + 7);
   for (unsigned Round = 0; Round < kRounds; ++Round) {
     Edits.apply(P, kEditsPerRound);
     // The edit fuzzer mutates the program directly; the program's own

@@ -489,6 +489,154 @@ TEST(AnalysisServiceTest, SummariesPersistAcrossDivergentGraphLineages) {
 // generation it reports
 //===----------------------------------------------------------------------===//
 
+/// The async-commit stress: 4 reader threads stream batches while every
+/// commit runs on the background committer.  Phase 1 waits for each
+/// async commit, so published generations map 1:1 onto edit prefixes
+/// and every racing batch can be validated exactly against its
+/// generation's serial rerun (stale-epoch fetch/publish semantics must
+/// hold while the committer is mid-pipeline).  Phase 2 fires a burst of
+/// commitAsync calls without waiting — requests coalesce against the
+/// in-flight commit — and the final steady state must equal the serial
+/// reference of ALL edits: queue coalescing may skip generations but
+/// must never lose edits.  Runs under the CI TSan job with the rest of
+/// this suite.
+TEST(AnalysisServiceTest, AsyncCommitsRaceConcurrentReaders) {
+  constexpr unsigned kWaitedEdits = 4;
+  constexpr unsigned kBurstEdits = 3;
+  constexpr unsigned kReaders = 4;
+
+  auto Reference = makeWorkload();
+  std::vector<ir::VarId> Probe = probeVariables(*Reference, 149);
+  ASSERT_GT(Probe.size(), 4u);
+
+  // Serial pass: cold answers for every edit prefix 0..kWaitedEdits,
+  // plus the final state after the burst.
+  std::vector<std::vector<std::vector<ir::AllocId>>> Expected;
+  Expected.push_back(coldAnswers(*Reference, Probe));
+  for (unsigned I = 0; I < kWaitedEdits + kBurstEdits; ++I) {
+    applyScriptEdit(*Reference, I);
+    Expected.push_back(coldAnswers(*Reference, Probe));
+  }
+
+  ServiceOptions SO;
+  SO.Engine.NumThreads = 2;
+  SO.CommitThreads = 2;
+  AnalysisService S(makeWorkload(), SO);
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> BatchesChecked{0};
+  std::vector<std::thread> Readers;
+  Readers.reserve(kReaders);
+  for (unsigned T = 0; T < kReaders; ++T)
+    Readers.emplace_back([&] {
+      do {
+        ServiceBatchResult R = S.queryVars(Probe);
+        // Waited-phase generations correspond to edit prefixes; burst
+        // generations may coalesce several edits and are only checked
+        // at the end, in steady state.
+        if (R.Generation <= kWaitedEdits) {
+          const std::vector<std::vector<ir::AllocId>> &Want =
+              Expected[R.Generation];
+          for (size_t I = 0; I < Probe.size(); ++I)
+            EXPECT_EQ(R.Outcomes[I].AllocSites, Want[I])
+                << "probe " << I << " at generation " << R.Generation;
+        }
+        BatchesChecked.fetch_add(1, std::memory_order_relaxed);
+      } while (!Done.load(std::memory_order_relaxed));
+    });
+
+  // Phase 1: one waited async commit per edit.
+  for (unsigned I = 0; I < kWaitedEdits; ++I) {
+    S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
+    S.commitAsync();
+    S.waitForCommits();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(S.generation(), kWaitedEdits);
+
+  // Phase 2: fire-and-forget burst; racing requests coalesce.
+  for (unsigned I = 0; I < kBurstEdits; ++I) {
+    S.editProgram([I](ir::Program &Q) {
+      return applyScriptEdit(Q, kWaitedEdits + I);
+    });
+    S.commitAsync();
+  }
+  S.waitForCommits();
+  Done.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Readers)
+    T.join();
+
+  EXPECT_FALSE(S.dirty()) << "coalescing lost edits";
+  EXPECT_GE(BatchesChecked.load(), uint64_t(kReaders));
+  ServiceStats SS = S.stats();
+  EXPECT_EQ(SS.AsyncCommitsRequested, uint64_t(kWaitedEdits + kBurstEdits));
+  EXPECT_LE(SS.Commits, uint64_t(kWaitedEdits + kBurstEdits));
+
+  // Steady state: the final generation answers the full edit script.
+  ServiceBatchResult Final = S.queryVars(Probe);
+  const std::vector<std::vector<ir::AllocId>> &Want = Expected.back();
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(Final.Outcomes[I].AllocSites, Want[I]) << "probe " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Edit-clock stamping: remove-only edits invalidate like additions
+//===----------------------------------------------------------------------===//
+
+/// The PR-4 regression this locks down: addStatement auto-stamps the
+/// edit clock, but a remove-only edit must stamp too — dropping the
+/// store that fed helper's summary has to invalidate it, with no
+/// markDirty call anywhere.
+TEST(EditClockTest, RemoveOnlyEditInvalidatesSummariesInService) {
+  auto P = parse(kTwoMethodSource);
+  ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
+  ir::VarId T = varOf(*P, "helper", "t");
+  ir::AllocId Oa = allocOf(*P, "oa");
+
+  AnalysisService S(std::move(P));
+  engine::QueryOutcome Before = S.queryVar(T);
+  ASSERT_EQ(Before.AllocSites, std::vector<ir::AllocId>{Oa});
+
+  // Remove main's "box.f = a" store.  No markDirty, no addStatement:
+  // the stamp must come from removeStatements itself.
+  ASSERT_FALSE(S.dirty());
+  size_t Removed = S.removeStatements(Main, [](const ir::Statement &St) {
+    return St.Kind == ir::StmtKind::Store;
+  });
+  ASSERT_EQ(Removed, 1u);
+  EXPECT_TRUE(S.dirty()) << "remove-only edit must stamp the edit clock";
+
+  CommitStats Stats = S.commit();
+  EXPECT_GE(Stats.MethodsRelowered, 1u);
+  EXPECT_TRUE(S.queryVar(T).AllocSites.empty())
+      << "stale summary survived a remove-only edit";
+
+  // A no-match removal stays clean: nothing to invalidate.
+  size_t None = S.removeStatements(Main, [](const ir::Statement &) {
+    return false;
+  });
+  EXPECT_EQ(None, 0u);
+  EXPECT_FALSE(S.dirty());
+}
+
+TEST(EditClockTest, RemoveOnlyEditInvalidatesSummariesInSession) {
+  auto P = parse(kTwoMethodSource);
+  ir::MethodId Main = P->findFreeMethod(P->names().lookup("main"));
+  ir::VarId T = varOf(*P, "helper", "t");
+  ir::AllocId Oa = allocOf(*P, "oa");
+
+  incremental::EditSession S(std::move(P), AnalysisOptions());
+  ASSERT_EQ(S.queryVar(T).allocSites(), std::vector<ir::AllocId>{Oa});
+
+  size_t Removed = S.removeStatements(Main, [](const ir::Statement &St) {
+    return St.Kind == ir::StmtKind::Store;
+  });
+  ASSERT_EQ(Removed, 1u);
+  EXPECT_TRUE(S.dirty()) << "remove-only edit must stamp the edit clock";
+  EXPECT_TRUE(S.queryVar(T).allocSites().empty()) // auto-commits
+      << "stale summary survived a remove-only edit";
+}
+
 TEST(AnalysisServiceTest, ConcurrentCommitsMatchSerialRerun) {
   constexpr unsigned kEdits = 5;
   constexpr unsigned kReaders = 4;

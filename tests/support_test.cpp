@@ -12,6 +12,7 @@
 #include "support/Hashing.h"
 #include "support/InternedStack.h"
 #include "support/OStream.h"
+#include "support/Parallel.h"
 #include "support/PrettyTable.h"
 #include "support/Random.h"
 #include "support/SmallVector.h"
@@ -21,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -481,4 +484,64 @@ TEST(SmallVectorTest, PushBackOfOwnElementSurvivesGrowth) {
   EXPECT_EQ(V.size(), 5u);
   EXPECT_EQ(V.back(), "elem0");
   EXPECT_EQ(V[0], "elem0");
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel (the commit pipeline's fork-join helpers)
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelTest, ClampThreadsResolvesZeroAndCapsWraparounds) {
+  EXPECT_GE(clampThreads(0), 1u); // 0 = hardware concurrency, at least 1
+  EXPECT_EQ(clampThreads(1), 1u);
+  EXPECT_EQ(clampThreads(8), 8u);
+  // A negative request arrives as a huge unsigned and must be capped.
+  EXPECT_EQ(clampThreads(unsigned(-1)), 256u);
+}
+
+TEST(ParallelTest, ChunksCoverTheRangeExactlyOnce) {
+  for (size_t N : {0u, 1u, 3u, 7u, 64u, 1000u}) {
+    for (unsigned Threads : {1u, 2u, 3u, 8u, 64u}) {
+      std::vector<std::atomic<unsigned>> Seen(N);
+      for (auto &S : Seen)
+        S.store(0);
+      parallelChunks(N, Threads, [&](size_t Begin, size_t End, unsigned) {
+        EXPECT_LE(Begin, End);
+        EXPECT_LE(End, N);
+        for (size_t I = Begin; I < End; ++I)
+          Seen[I].fetch_add(1);
+      });
+      for (size_t I = 0; I < N; ++I)
+        EXPECT_EQ(Seen[I].load(), 1u)
+            << "index " << I << " at N=" << N << " threads=" << Threads;
+    }
+  }
+}
+
+TEST(ParallelTest, ChunkBoundariesAreSchedulingIndependent) {
+  // Determinism contract: the (Begin, End) set depends only on
+  // (N, Threads) — collect it twice and compare.
+  auto Boundaries = [](size_t N, unsigned Threads) {
+    std::mutex M;
+    std::set<std::pair<size_t, size_t>> Out;
+    parallelChunks(N, Threads, [&](size_t Begin, size_t End, unsigned) {
+      std::lock_guard<std::mutex> Lock(M);
+      Out.emplace(Begin, End);
+    });
+    return Out;
+  };
+  for (size_t N : {5u, 100u})
+    for (unsigned Threads : {2u, 8u})
+      EXPECT_EQ(Boundaries(N, Threads), Boundaries(N, Threads));
+}
+
+TEST(ParallelTest, JobsEachRunExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 8u}) {
+    constexpr size_t kJobs = 23;
+    std::vector<std::atomic<unsigned>> Ran(kJobs);
+    for (auto &R : Ran)
+      R.store(0);
+    parallelJobs(kJobs, Threads, [&](size_t I) { Ran[I].fetch_add(1); });
+    for (size_t I = 0; I < kJobs; ++I)
+      EXPECT_EQ(Ran[I].load(), 1u) << "job " << I;
+  }
 }

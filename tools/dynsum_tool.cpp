@@ -15,8 +15,8 @@
 ///                                                 free.method.var for
 ///                                                 ownerless methods)
 ///                 [--budget=N] [--max-queries=N] [--threads=N]
-///                 [--stats] [--dump-ir] [--dump-pag] [--serve]
-///                 [--save-summaries=path] [--load-summaries=path]
+///                 [--commit-threads=N] [--stats] [--dump-ir] [--dump-pag]
+///                 [--serve] [--save-summaries=path] [--load-summaries=path]
 ///
 /// --threads routes queries and clients through the parallel batch
 /// engine (dynsum only; 0 = one worker per hardware thread); summary
@@ -26,14 +26,16 @@
 /// line-oriented edit/query loop over the loaded program ("help" lists
 /// the commands).  Queries run through the parallel engine against the
 /// current generation; edits buffer until "commit" publishes the next
-/// one; "save"/"load" persist warm summaries across serve sessions.
+/// one ("commit --async" queues it on the background committer instead
+/// of blocking the REPL; --commit-threads=N shards the commit pipeline
+/// itself); "save"/"load" persist warm summaries across serve sessions.
 ///
 /// Examples:
 ///   dynsum prog.mj --client=all
 ///   dynsum prog.ir --analysis=refine --client=nullderef --budget=10000
 ///   dynsum prog.mj --query=Main.main.result --stats
 ///   dynsum prog.mj --client=all --threads=8
-///   dynsum prog.ir --serve --threads=4
+///   dynsum prog.ir --serve --threads=4 --commit-threads=8
 ///
 //===----------------------------------------------------------------------===//
 
@@ -170,7 +172,7 @@ int usage() {
             "              [--client=safecast|nullderef|factorym|devirt|all]"
             " [--query=Class.method.var]\n"
             "              [--budget=N] [--max-queries=N] [--threads=N]"
-            " [--stats] [--dump-pag] [--serve]\n"
+            " [--commit-threads=N] [--stats] [--dump-pag] [--serve]\n"
             "              [--save-summaries=path] [--load-summaries=path]\n";
   return 2;
 }
@@ -205,26 +207,36 @@ void serveHelp() {
             "(creates var if new)\n"
             "  assign <method> <dst> <src>    buffer: dst = src\n"
             "  touch <method>          mark a method edited\n"
-            "  commit [--scratch]      publish buffered edits as the next "
-            "generation\n"
+            "  commit [--scratch] [--async]   publish buffered edits as the "
+            "next generation\n"
             "                          (--scratch force-re-lowers every "
             "method: A/B check\n"
-            "                          against the delta build; same result, "
-            "O(program) cost)\n"
+            "                          against the delta build; --async "
+            "queues the commit on\n"
+            "                          the background committer and returns "
+            "immediately;\n"
+            "                          requests racing an in-flight commit "
+            "coalesce)\n"
+            "  wait                    block until queued async commits are "
+            "published\n"
             "  save <path> | load <path>      persist / warm-start "
             "summaries\n"
             "  stats                   generation, store size, counters, "
             "commit times\n"
             "  quit\n"
             "method spec: Class.method or method (free); var spec appends "
-            ".var\n";
+            ".var\n"
+            "(--commit-threads=N shards the commit pipeline; 0 = one worker "
+            "per hardware thread)\n";
 }
 
 int runServe(std::unique_ptr<ir::Program> Prog,
-             const analysis::AnalysisOptions &AO, unsigned Threads) {
+             const analysis::AnalysisOptions &AO, unsigned Threads,
+             unsigned CommitThreads) {
   service::ServiceOptions SO;
   SO.Engine.NumThreads = Threads;
   SO.Engine.Analysis = AO;
+  SO.CommitThreads = CommitThreads;
   service::AnalysisService S(std::move(Prog), SO);
   outs() << "dynsum serve: " << uint64_t(S.program().methods().size())
          << " methods, " << uint64_t(S.program().variables().size())
@@ -325,15 +337,31 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       S.markDirty(M);
       continue;
     }
-    if (Cmd == "commit" && W.size() <= 2) {
+    if (Cmd == "commit" && W.size() <= 3) {
       service::CommitMode Mode = service::CommitMode::Delta;
-      if (W.size() == 2) {
-        if (W[1] != "--scratch") {
-          errs() << "error: bad commit flag '" << W[1]
-                 << "' (only --scratch)\n";
-          continue;
+      bool Async = false;
+      bool Bad = false;
+      for (size_t I = 1; I < W.size(); ++I) {
+        if (W[I] == "--scratch") {
+          Mode = service::CommitMode::Scratch;
+        } else if (W[I] == "--async") {
+          Async = true;
+        } else {
+          errs() << "error: bad commit flag '" << W[I]
+                 << "' (only --scratch / --async)\n";
+          Bad = true;
+          break;
         }
-        Mode = service::CommitMode::Scratch;
+      }
+      if (Bad)
+        continue;
+      if (Async) {
+        S.commitAsync(Mode);
+        outs() << "queued async commit"
+               << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
+               << "; \"wait\" blocks until published, \"stats\" shows "
+                  "progress\n";
+        continue;
       }
       incremental::CommitStats CS = S.commit(Mode);
       outs() << "generation " << S.generation() << ": dropped "
@@ -344,7 +372,22 @@ int runServe(std::unique_ptr<ir::Program> Prog,
              << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
              << " in ";
       outs().writeFixed(CS.Seconds * 1e3, 2);
-      outs() << " ms\n";
+      outs() << " ms (clone ";
+      outs().writeFixed(CS.CloneSeconds * 1e3, 2);
+      outs() << ", shape ";
+      outs().writeFixed(CS.ShapeSeconds * 1e3, 2);
+      outs() << ", lower ";
+      outs().writeFixed(CS.LowerSeconds * 1e3, 2);
+      outs() << ", apply ";
+      outs().writeFixed(CS.ApplySeconds * 1e3, 2);
+      outs() << ", repack ";
+      outs().writeFixed(CS.RepackSeconds * 1e3, 2);
+      outs() << ")\n";
+      continue;
+    }
+    if (Cmd == "wait" && W.size() == 1) {
+      S.waitForCommits();
+      outs() << "generation " << S.generation() << " (async queue drained)\n";
       continue;
     }
     if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
@@ -363,6 +406,11 @@ int runServe(std::unique_ptr<ir::Program> Prog,
              << " commits, " << SS.Batches << " batches, " << SS.Queries
              << " queries, " << SS.SharedSummariesDropped
              << " summaries dropped\n";
+      if (SS.AsyncCommitsRequested > 0 || SS.CommitInFlight)
+        outs() << "async: " << SS.AsyncCommitsRequested << " requested, "
+               << SS.AsyncCommitsCoalesced << " coalesced, "
+               << (SS.CommitInFlight ? "commit in flight\n"
+                                     : "queue idle\n");
       if (SS.Commits > 0) {
         outs() << "last commit ";
         outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
@@ -401,8 +449,10 @@ int main(int argc, char **argv) {
     analysis::AnalysisOptions ServeOpts;
     ServeOpts.BudgetPerQuery = uint64_t(Args.getInt("budget", 75000));
     int64_t ServeThreads = Args.getInt("threads", 4);
+    int64_t CommitThreads = Args.getInt("commit-threads", 1);
     return runServe(std::move(Prog), ServeOpts,
-                    ServeThreads < 0 ? 0u : unsigned(ServeThreads));
+                    ServeThreads < 0 ? 0u : unsigned(ServeThreads),
+                    CommitThreads < 0 ? 0u : unsigned(CommitThreads));
   }
 
   // Dispatch resolver.
