@@ -29,8 +29,8 @@
 ///
 /// Part 4 measures the PARALLEL commit pipeline: the same delta
 /// commits at 1/2/8 commit threads on the 10k and 100k programs
-/// (sharded clone, shape sweep, staged lowering, partitioned repack,
-/// boundary diff), plus the async path — how long commitAsync() holds
+/// (copy-on-write snapshot, shape sweep, staged lowering, partitioned repack,
+/// boundary diff), plus the async path — how long a background submitCommit holds
 /// the calling thread versus a blocking commit.  The pcommit.* keys in
 /// `BENCH_pr5.json` feed the CI gate that 8-thread delta commits beat
 /// single-thread on the 10k program.
@@ -157,6 +157,7 @@ int main(int argc, char **argv) {
 
   // --- the two service policies ----------------------------------------
   LoopResult ClearAllR, SharedR;
+  engine::StoreCounters SharedCounters;
   for (InvalidationPolicy Policy :
        {InvalidationPolicy::ClearAll, InvalidationPolicy::PerMethod}) {
     ServiceOptions SO;
@@ -171,7 +172,7 @@ int main(int argc, char **argv) {
     for (unsigned I = 0; I < kCycles; ++I) {
       Timer Commit;
       S.editProgram([I](ir::Program &P) { return applyEdit(P, I); });
-      CommitStats CS = S.commit();
+      CommitStats CS = S.submitCommit().wait();
       R.CommitSeconds += Commit.seconds();
       R.Dropped += CS.SummariesDropped;
 
@@ -181,6 +182,8 @@ int main(int argc, char **argv) {
       R.Steps += BR.Stats.TotalSteps;
       R.Computed += BR.Stats.SummariesComputed;
     }
+    if (Policy == InvalidationPolicy::PerMethod)
+      SharedCounters = S.stats().Store;
     AddRow(Policy == InvalidationPolicy::ClearAll ? "clear-all (service)"
                                                   : "per-method+shared-store",
            R);
@@ -248,7 +251,7 @@ int main(int argc, char **argv) {
       });
     for (unsigned I = 0; I < kCycles; ++I) {
       S.editProgram([I](ir::Program &P) { return applyEdit(P, I); });
-      S.commit();
+      S.submitCommit().wait();
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     Done.store(true, std::memory_order_relaxed);
@@ -322,7 +325,7 @@ int main(int argc, char **argv) {
         S.editProgram(
             [&](ir::Program &P) { return workload::applyScriptEdit(P, Step); });
         ++Step;
-        return S.commit(Mode).Seconds * 1e3;
+        return S.submitCommit({Mode, /*Background=*/false}).wait().Seconds * 1e3;
       };
 
       (void)CommitOnce(CommitMode::Delta); // warm-up: first-edit paths
@@ -406,7 +409,7 @@ int main(int argc, char **argv) {
         Gen.Seed = Opts.Seed;
         ServiceOptions SO;
         SO.Engine = Opts.engineOptions(Opts.Threads);
-        SO.CommitThreads = CT;
+        SO.Commit = CT;
         AnalysisService S(
             workload::generateProgram(workload::specByName("soot-c"), Gen),
             SO);
@@ -417,7 +420,7 @@ int main(int argc, char **argv) {
             return workload::applyScriptEdit(P, Step);
           });
           ++Step;
-          return S.commit();
+          return S.submitCommit().wait();
         };
         CommitOnce(); // warm-up: first-edit paths
         std::vector<double> Ms, CloneMs, ShapeMs, RepackMs;
@@ -461,7 +464,7 @@ int main(int argc, char **argv) {
     PT.print(outs());
 
     // Async enqueue cost: how long the serving thread is held.  A
-    // blocking commit pays the whole pipeline; commitAsync returns as
+    // blocking commit pays the whole pipeline; a background submitCommit returns as
     // soon as the request is queued, and the committer publishes in the
     // background (waitForCommits fences each sample so commits never
     // pile up).
@@ -471,7 +474,7 @@ int main(int argc, char **argv) {
       Gen.Seed = Opts.Seed;
       ServiceOptions SO;
       SO.Engine = Opts.engineOptions(Opts.Threads);
-      SO.CommitThreads = 8;
+      SO.Commit = 8;
       AnalysisService S(
           workload::generateProgram(workload::specByName("soot-c"), Gen),
           SO);
@@ -484,17 +487,17 @@ int main(int argc, char **argv) {
         ++Step;
       };
       Edit();
-      S.commit(); // warm-up
+      S.submitCommit().wait(); // warm-up
       std::vector<double> EnqueueMs, BlockingMs;
       for (unsigned I = 0; I < 7; ++I) {
         Edit();
         Timer TA;
-        S.commitAsync();
+        S.submitCommit({service::CommitMode::Delta, /*Background=*/true});
         EnqueueMs.push_back(TA.seconds() * 1e3);
         S.waitForCommits();
         Edit();
         Timer TB;
-        S.commit();
+        S.submitCommit().wait();
         BlockingMs.push_back(TB.seconds() * 1e3);
       }
       double EnqueueP50 = percentile(EnqueueMs, 0.5);
@@ -508,6 +511,117 @@ int main(int argc, char **argv) {
       Json.set("pcommit.async.enqueue_p50_ms", EnqueueP50);
       Json.set("pcommit.async.blocking_p50_ms", BlockingP50);
     }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Part 5: generation retention — the copy-on-write snapshot replaced
+  // the commit-time deep clone, so a commit's snapshot step is a chunk-
+  // table copy and a retained generation holds only the chunks later
+  // deltas split away from it.  gen.<size>.* records the snapshot cost
+  // and the retained fraction; the CI gate pins both so the clone
+  // cannot creep back in.
+  //===--------------------------------------------------------------------===//
+
+  outs() << "\n=== Generation retention: CoW snapshot cost and retained "
+            "bytes ===\n\n";
+  {
+    CommandLine CL(argc, argv);
+    uint64_t MaxMethods = uint64_t(CL.getInt("commit-max-methods", 100000));
+
+    struct GSizeRow {
+      const char *Label;
+      size_t Methods;
+      double Scale;
+      unsigned Samples;
+    };
+    const GSizeRow Rows[] = {
+        {"10k", 10000, 10000.0 / 3400.0, 9},
+        {"100k", 100000, 100000.0 / 3400.0, 5},
+    };
+
+    PrettyTable GT;
+    GT.row()
+        .cell("methods")
+        .cell("commit p50 ms")
+        .cell("snapshot p50 ms")
+        .cell("retained KB")
+        .cell("graph KB")
+        .cell("retained frac");
+
+    for (const GSizeRow &Row : Rows) {
+      if (Row.Methods > MaxMethods)
+        continue;
+      workload::GenOptions Gen;
+      Gen.Scale = Row.Scale;
+      Gen.Seed = Opts.Seed;
+      ServiceOptions SO;
+      SO.Engine = Opts.engineOptions(Opts.Threads);
+      SO.Commit = 1; // retention is about sharing, not sharding
+      SO.KeepGenerations = 4;
+      AnalysisService S(
+          workload::generateProgram(workload::specByName("soot-c"), Gen),
+          SO);
+
+      unsigned Step = 0;
+      auto CommitOnce = [&] {
+        S.editProgram([&](ir::Program &P) {
+          return workload::applyScriptEdit(P, Step);
+        });
+        ++Step;
+        return S.submitCommit().wait();
+      };
+      CommitOnce(); // warm-up: first-edit paths
+      std::vector<double> Ms, SnapMs;
+      for (unsigned I = 0; I < Row.Samples; ++I) {
+        CommitStats CS = CommitOnce();
+        Ms.push_back(CS.Seconds * 1e3);
+        SnapMs.push_back(CS.CloneSeconds * 1e3);
+      }
+
+      // The youngest retained generation sits one single-method delta
+      // behind the head: its exclusive bytes are the cost of keeping
+      // it, and must stay a sliver of the full graph footprint.
+      std::vector<GenerationInfo> Gens = S.generations();
+      const GenerationInfo &Retained = Gens[Gens.size() - 2];
+      double Frac = Retained.TotalBytes > 0
+                        ? double(Retained.RetainedBytes) /
+                              double(Retained.TotalBytes)
+                        : 0.0;
+
+      double P50 = percentile(Ms, 0.5);
+      double SnapP50 = percentile(SnapMs, 0.5);
+      GT.row()
+          .cell(Row.Label)
+          .cell(P50, 2)
+          .cell(SnapP50, 3)
+          .cell(double(Retained.RetainedBytes) / 1024.0, 1)
+          .cell(double(Retained.TotalBytes) / 1024.0, 1)
+          .cell(Frac, 4);
+
+      std::string Prefix = std::string("gen.") + Row.Label;
+      Json.set(Prefix + ".methods", uint64_t(Row.Methods));
+      Json.set(Prefix + ".commit_p50_ms", P50);
+      Json.set(Prefix + ".snapshot_p50_ms", SnapP50);
+      Json.set(Prefix + ".retained_bytes", uint64_t(Retained.RetainedBytes));
+      Json.set(Prefix + ".total_bytes", uint64_t(Retained.TotalBytes));
+      Json.set(Prefix + ".retained_fraction", Frac);
+    }
+    GT.print(outs());
+  }
+
+  // The shared store's operation counters from the Part 1 shared-store
+  // run: the hit/invalidation mix behind service.shared_over_clear_all.
+  {
+    engine::StoreCounters C = SharedCounters;
+    Json.set("service.store.fetches", C.Fetches);
+    Json.set("service.store.hits", C.Hits);
+    Json.set("service.store.stale_fetches", C.StaleFetches);
+    Json.set("service.store.publishes", C.Publishes);
+    Json.set("service.store.stale_publishes", C.StalePublishes);
+    Json.set("service.store.invalidated", C.Invalidated);
+    Json.set("service.store.lock_contended", C.LockContended);
+    Json.set("service.store.hit_rate",
+             C.Fetches > 0 ? double(C.Hits) / double(C.Fetches) : 0.0);
   }
 
   Json.set("service.num_probe_queries", uint64_t(NumProbe));

@@ -13,21 +13,49 @@ using namespace dynsum;
 using namespace dynsum::analysis;
 using namespace dynsum::engine;
 
+// Contended acquires are counted with a try-lock probe first: the probe
+// failing means a writer (or, for the writer path, anyone) held the
+// lock at that instant, which is exactly the serialization the
+// LockContended counter is meant to expose.
+
+std::shared_lock<std::shared_mutex>
+SharedSummaryStore::lockShared() const {
+  std::shared_lock<std::shared_mutex> Lock(Mutex, std::try_to_lock);
+  if (!Lock.owns_lock()) {
+    NumLockContended.fetch_add(1, std::memory_order_relaxed);
+    Lock.lock();
+  }
+  return Lock;
+}
+
+std::unique_lock<std::shared_mutex>
+SharedSummaryStore::lockUnique() const {
+  std::unique_lock<std::shared_mutex> Lock(Mutex, std::try_to_lock);
+  if (!Lock.owns_lock()) {
+    NumLockContended.fetch_add(1, std::memory_order_relaxed);
+    Lock.lock();
+  }
+  return Lock;
+}
+
 bool SharedSummaryStore::fetch(pag::NodeId Node,
                                const std::vector<uint32_t> &Fields,
                                RsmState S, PortableSummary &Out) {
+  NumFetches.fetch_add(1, std::memory_order_relaxed);
   uint64_t D = digest(Node, Fields, S);
-  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  std::shared_lock<std::shared_mutex> Lock = lockShared();
   auto It = Map.find(D);
   if (It == Map.end())
     return false;
   if (matches(It->second, Node, Fields, S)) {
     Out = It->second.Summary;
+    NumHits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   for (const Entry &E : Overflow) {
     if (matches(E, Node, Fields, S)) {
       Out = E.Summary;
+      NumHits.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -37,22 +65,27 @@ bool SharedSummaryStore::fetch(pag::NodeId Node,
 bool SharedSummaryStore::fetchAt(uint64_t AtGen, pag::NodeId Node,
                                  const std::vector<uint32_t> &Fields,
                                  RsmState S, PortableSummary &Out) {
+  NumFetches.fetch_add(1, std::memory_order_relaxed);
   uint64_t D = digest(Node, Fields, S);
-  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  std::shared_lock<std::shared_mutex> Lock = lockShared();
   // A stale epoch means the caller traverses a superseded PAG: current
   // entries may only hold for the new graph, so every probe must miss.
-  if (AtGen != Gen)
+  if (AtGen != Gen) {
+    NumStaleFetches.fetch_add(1, std::memory_order_relaxed);
     return false;
+  }
   auto It = Map.find(D);
   if (It == Map.end())
     return false;
   if (matches(It->second, Node, Fields, S)) {
     Out = It->second.Summary;
+    NumHits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   for (const Entry &E : Overflow) {
     if (matches(E, Node, Fields, S)) {
       Out = E.Summary;
+      NumHits.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -69,13 +102,14 @@ void SharedSummaryStore::publish(pag::NodeId Node,
   Summary.Objects.shrink_to_fit();
   Summary.Tuples.shrink_to_fit();
   Summary.FieldData.shrink_to_fit();
-  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  std::unique_lock<std::shared_mutex> Lock = lockUnique();
   if (Map.empty())
     Map.reserve(1024); // skip the early rehash cascade of a cold batch
   auto It = Map.find(D);
   if (It == Map.end()) {
     Map.emplace(D, Entry{Node, S, std::move(Fields), std::move(Summary)});
     ++Count;
+    NumPublishes.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Digest taken.  First writer wins for the same key; a different key
@@ -87,32 +121,38 @@ void SharedSummaryStore::publish(pag::NodeId Node,
       return;
   Overflow.push_back(Entry{Node, S, std::move(Fields), std::move(Summary)});
   ++Count;
+  NumPublishes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SharedSummaryStore::publishAt(uint64_t AtGen, pag::NodeId Node,
                                    std::vector<uint32_t> Fields, RsmState S,
                                    PortableSummary Summary) {
   {
-    std::shared_lock<std::shared_mutex> Lock(Mutex);
+    std::shared_lock<std::shared_mutex> Lock = lockShared();
     // A summary computed against a superseded PAG must never enter the
     // current generation.  The recheck under the publish lock below
     // closes the gap between this probe and the insert.
-    if (AtGen != Gen)
+    if (AtGen != Gen) {
+      NumStalePublishes.fetch_add(1, std::memory_order_relaxed);
       return;
+    }
   }
   Summary.Objects.shrink_to_fit();
   Summary.Tuples.shrink_to_fit();
   Summary.FieldData.shrink_to_fit();
   uint64_t D = digest(Node, Fields, S);
-  std::unique_lock<std::shared_mutex> Lock(Mutex);
-  if (AtGen != Gen)
+  std::unique_lock<std::shared_mutex> Lock = lockUnique();
+  if (AtGen != Gen) {
+    NumStalePublishes.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
   if (Map.empty())
     Map.reserve(1024);
   auto It = Map.find(D);
   if (It == Map.end()) {
     Map.emplace(D, Entry{Node, S, std::move(Fields), std::move(Summary)});
     ++Count;
+    NumPublishes.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (matches(It->second, Node, Fields, S))
@@ -122,16 +162,17 @@ void SharedSummaryStore::publishAt(uint64_t AtGen, pag::NodeId Node,
       return;
   Overflow.push_back(Entry{Node, S, std::move(Fields), std::move(Summary)});
   ++Count;
+  NumPublishes.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t SharedSummaryStore::generation() const {
-  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  std::shared_lock<std::shared_mutex> Lock = lockShared();
   return Gen;
 }
 
 size_t SharedSummaryStore::beginGeneration(
     const pag::PAG &NewGraph, const incremental::InvalidationPlan &Plan) {
-  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  std::unique_lock<std::shared_mutex> Lock = lockUnique();
 
   // Node ids are stable across delta builds, so surviving entries carry
   // over verbatim: digests unchanged, erase in place — no rehash, no
@@ -165,16 +206,18 @@ size_t SharedSummaryStore::beginGeneration(
   size_t Dropped = Count - Kept;
   Count = Kept;
   ++Gen;
+  NumInvalidated.fetch_add(Dropped, std::memory_order_relaxed);
   return Dropped;
 }
 
 size_t SharedSummaryStore::size() const {
-  std::shared_lock<std::shared_mutex> Lock(Mutex);
+  std::shared_lock<std::shared_mutex> Lock = lockShared();
   return Count;
 }
 
 void SharedSummaryStore::clear() {
-  std::unique_lock<std::shared_mutex> Lock(Mutex);
+  std::unique_lock<std::shared_mutex> Lock = lockUnique();
+  NumInvalidated.fetch_add(Count, std::memory_order_relaxed);
   Map.clear();
   Overflow.clear();
   Count = 0;
@@ -191,6 +234,18 @@ void SharedSummaryStore::seedFrom(const DynSumAnalysis &A) {
     StackId F{uint32_t(PackedKey >> 33)};
     publish(Node, Fields.elements(F), S, A.exportSummary(Summary));
   }
+}
+
+StoreCounters SharedSummaryStore::counters() const {
+  StoreCounters C;
+  C.Fetches = NumFetches.load(std::memory_order_relaxed);
+  C.Hits = NumHits.load(std::memory_order_relaxed);
+  C.StaleFetches = NumStaleFetches.load(std::memory_order_relaxed);
+  C.Publishes = NumPublishes.load(std::memory_order_relaxed);
+  C.StalePublishes = NumStalePublishes.load(std::memory_order_relaxed);
+  C.Invalidated = NumInvalidated.load(std::memory_order_relaxed);
+  C.LockContended = NumLockContended.load(std::memory_order_relaxed);
+  return C;
 }
 
 void SharedSummaryStore::drainInto(DynSumAnalysis &A) const {

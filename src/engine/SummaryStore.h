@@ -41,11 +41,29 @@
 #include "incremental/Invalidation.h"
 #include "support/Hashing.h"
 
+#include <atomic>
 #include <shared_mutex>
 #include <unordered_map>
 
 namespace dynsum {
 namespace engine {
+
+/// Monotonic operation counters of one SharedSummaryStore (readable
+/// from any thread; each counter is updated with relaxed atomics, so a
+/// snapshot is approximate while writers race but exact once quiescent).
+/// These are the store-side observability the invalidation-policy
+/// benchmarks key off: a policy that over-invalidates shows up as
+/// Invalidated spikes and a collapsing Hits/Fetches ratio, and
+/// cross-thread serialization shows up in LockContended.
+struct StoreCounters {
+  uint64_t Fetches = 0;        ///< fetch/fetchAt probes issued
+  uint64_t Hits = 0;           ///< probes that returned a summary
+  uint64_t StaleFetches = 0;   ///< fetchAt probes refused (stale epoch)
+  uint64_t Publishes = 0;      ///< summaries accepted into the table
+  uint64_t StalePublishes = 0; ///< publishes dropped (stale epoch)
+  uint64_t Invalidated = 0;    ///< entries dropped by commits/clears
+  uint64_t LockContended = 0;  ///< lock acquisitions that had to wait
+};
 
 /// Thread-safe SummaryExchange backed by a digest-keyed hash map under
 /// a shared_mutex.  The SummaryExchange overrides operate on the
@@ -100,6 +118,9 @@ public:
   /// before SummaryIO serialization from a staging analysis).
   void drainInto(analysis::DynSumAnalysis &A) const;
 
+  /// Snapshot of the lifetime operation counters.
+  StoreCounters counters() const;
+
 private:
   /// One stored summary with the exact key for collision resolution.
   struct Entry {
@@ -124,6 +145,11 @@ private:
     return E.Node == Node && E.State == S && E.Fields == Fields;
   }
 
+  /// Takes the shared (reader) lock, counting a contended acquire.
+  std::shared_lock<std::shared_mutex> lockShared() const;
+  /// Takes the exclusive (writer) lock, counting a contended acquire.
+  std::unique_lock<std::shared_mutex> lockUnique() const;
+
   mutable std::shared_mutex Mutex;
   /// Digest -> its (almost always unique) entry.  The rare digest
   /// collision spills into Overflow, scanned only after a digest hit
@@ -132,6 +158,15 @@ private:
   std::vector<Entry> Overflow;
   size_t Count = 0;
   uint64_t Gen = 0;
+
+  /// StoreCounters fields (relaxed; see StoreCounters for semantics).
+  mutable std::atomic<uint64_t> NumFetches{0};
+  mutable std::atomic<uint64_t> NumHits{0};
+  mutable std::atomic<uint64_t> NumStaleFetches{0};
+  mutable std::atomic<uint64_t> NumPublishes{0};
+  mutable std::atomic<uint64_t> NumStalePublishes{0};
+  mutable std::atomic<uint64_t> NumInvalidated{0};
+  mutable std::atomic<uint64_t> NumLockContended{0};
 };
 
 /// A SummaryExchange view of a SharedSummaryStore pinned to one

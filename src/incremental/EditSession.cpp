@@ -54,8 +54,13 @@ CommitStats EditSession::commit() {
   // Snapshot the boundary flags, then patch the graph in place: only
   // the edited methods' segments are re-lowered and node ids never
   // move, so analyses holding references stay valid and summary keys
-  // stay meaningful.
-  BoundarySnapshot OldBoundary = snapshotBoundary(Graph);
+  // stay meaningful.  The snapshot is usually carried forward from the
+  // previous commit (Boundary); without one it must be taken now —
+  // the delta build mutates this graph in place, so the pre-edit
+  // flags are about to disappear.
+  BoundarySnapshot OldBoundary;
+  if (!BoundaryValid)
+    OldBoundary = snapshotBoundary(Graph);
   pag::DeltaStats Delta = pag::buildPAGDelta(Graph, Calls);
   Stats.MethodsRelowered = Delta.Relowered.size();
   Stats.ShapeSeconds = Delta.ShapeSeconds;
@@ -64,6 +69,9 @@ CommitStats EditSession::commit() {
   Stats.RepackSeconds = Delta.RepackSeconds;
 
   if (Policy == InvalidationPolicy::ClearAll) {
+    // The rebuild moved flags the carried snapshot doesn't reflect,
+    // and no diff runs under this policy to repair it.
+    BoundaryValid = false;
     DynSum.clearCache();
     DynSum.clearTrivialMemo();
     Stats.SummariesDropped = Stats.SummariesBefore;
@@ -81,7 +89,20 @@ CommitStats EditSession::commit() {
   // boundary-flag diff.
   std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
                                          Delta.Touched.end());
-  InvalidationPlan Plan = planInvalidation(OldBoundary, Graph, Dirty);
+  InvalidationPlan Plan;
+  if (BoundaryValid && !Graph.lastRepackCompacted()) {
+    // O(delta): patch the carried snapshot along the repack's own
+    // dirty-node list.
+    Plan = patchInvalidation(Boundary, Graph,
+                             Graph.lastRepackAffectedNodes(), Dirty);
+  } else {
+    if (BoundaryValid)
+      OldBoundary = std::move(Boundary);
+    BoundarySnapshot NewBoundary;
+    Plan = planInvalidation(OldBoundary, Graph, Dirty, {}, &NewBoundary);
+    Boundary = std::move(NewBoundary);
+  }
+  BoundaryValid = true;
 
   for (ir::MethodId M : Plan.Methods)
     DynSum.invalidateMethod(M);

@@ -160,6 +160,13 @@ private:
   /// methods that moved past it.
   uint64_t CommittedClock = 0;
   CommitStats LastCommit;
+
+  /// Post-commit boundary flags carried forward from the invalidation
+  /// diff so the next commit skips the full pre-edit node sweep.
+  /// Empty until the first per-method commit; a ClearAll commit leaves
+  /// it invalid (the diff never runs under that policy).
+  BoundarySnapshot Boundary;
+  bool BoundaryValid = false;
 };
 
 } // namespace incremental

@@ -49,10 +49,11 @@ struct BoundarySnapshot {
   std::vector<BoundaryFlags> Flags;
 };
 
-/// Records \p G's boundary flags.  \p Threads shards the node sweep
-/// (the commit pipeline runs this off the serving thread and fans it
-/// out with the rest of the pipeline).
-BoundarySnapshot snapshotBoundary(const pag::PAG &G, unsigned Threads = 1);
+/// Records \p G's boundary flags.  \p Exec shards the node sweep (the
+/// commit pipeline runs this off the serving thread and fans it out on
+/// the same pool as the rest of the pipeline).
+BoundarySnapshot snapshotBoundary(const pag::PAG &G,
+                                  const support::ExecContext &Exec = {});
 
 /// What one commit must do to every summary cache built on the old
 /// graph before it can serve the new one.
@@ -66,12 +67,33 @@ struct InvalidationPlan {
 /// Diffs \p Old against the rebuilt \p NewGraph and folds in the
 /// directly edited \p Dirty methods.  Node ids are stable, so the diff
 /// compares position for position; nodes beyond the snapshot are new
-/// and need no invalidation.  \p Threads shards the position-for-
-/// position diff; the result is identical at every thread count.
+/// and need no invalidation.  \p Exec shards the position-for-position
+/// diff; the result is identical at every thread count.
+///
+/// When \p CaptureNew is non-null it is filled with \p NewGraph's
+/// boundary flags as a side effect of the diff — the same result
+/// snapshotBoundary(NewGraph) would produce, for one extra write
+/// stream instead of a second full node sweep.  Callers that commit
+/// repeatedly carry it forward as the next commit's \p Old, dropping
+/// the per-commit snapshot from O(graph) to O(appended nodes).
 InvalidationPlan
 planInvalidation(const BoundarySnapshot &Old, const pag::PAG &NewGraph,
                  const std::unordered_set<ir::MethodId> &Dirty,
-                 unsigned Threads = 1);
+                 const support::ExecContext &Exec = {},
+                 BoundarySnapshot *CaptureNew = nullptr);
+
+/// O(delta) variant of planInvalidation for a snapshot carried forward
+/// from the previous commit.  \p ChangedNodes must be every node whose
+/// flags the rebuild may have touched — PAG::lastRepackAffectedNodes()
+/// after a non-compacting finalizeDelta (a compaction rederives every
+/// flag; fall back to the full diff then).  \p Carried is the pre-edit
+/// snapshot; it is patched in place into the post-edit snapshot, ready
+/// to be carried into the next commit.  The plan is identical to what
+/// the full diff would have produced.
+InvalidationPlan
+patchInvalidation(BoundarySnapshot &Carried, const pag::PAG &NewGraph,
+                  const std::vector<pag::NodeId> &ChangedNodes,
+                  const std::unordered_set<ir::MethodId> &Dirty);
 
 } // namespace incremental
 } // namespace dynsum

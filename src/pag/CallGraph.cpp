@@ -51,9 +51,7 @@ namespace {
 /// Iterative Tarjan SCC over the method graph.
 class SccFinder {
 public:
-  SccFinder(size_t NumMethods,
-            const std::vector<std::vector<std::pair<CallSiteId, MethodId>>>
-                &Callees)
+  SccFinder(size_t NumMethods, const CallGraph::CalleeTable &Callees)
       : Callees(Callees) {
     Index.assign(NumMethods, kUnvisited);
     Lowlink.assign(NumMethods, 0);
@@ -123,7 +121,7 @@ private:
     OnStack[M] = true;
   }
 
-  const std::vector<std::vector<std::pair<CallSiteId, MethodId>>> &Callees;
+  const CallGraph::CalleeTable &Callees;
   std::vector<uint32_t> Index, Lowlink, SccIds;
   std::vector<char> OnStack;
   std::vector<MethodId> TarjanStack;
@@ -138,22 +136,28 @@ void CallGraph::resolveMethod(const Program &P, const TargetResolver &R,
   const Method &M = P.method(Id);
   // Drop the method's previous resolution (SiteTargets of sites it no
   // longer issues stay behind but are unreachable through the edges).
-  Callees[Id].clear();
-  HasVirtualSite[Id] = 0;
+  // The mutableAt calls split only the chunks this method's rows live
+  // in; every other chunk stays shared with retained generations.
+  std::vector<std::pair<CallSiteId, MethodId>> &MethodCallees =
+      Callees.mutableAt(Id);
+  MethodCallees.clear();
+  char HasVirtual = 0;
   for (const Statement &S : M.Stmts) {
     if (S.Kind != StmtKind::Call)
       continue;
     std::vector<MethodId> Targets;
     if (S.IsVirtual) {
-      HasVirtualSite[Id] = 1;
+      HasVirtual = 1;
       Targets = R.resolve(P, Id, S);
     } else {
       Targets.push_back(S.Callee);
     }
     for (MethodId T : Targets)
-      Callees[Id].emplace_back(S.Call, T);
-    SiteTargets[S.Call] = std::move(Targets);
+      MethodCallees.emplace_back(S.Call, T);
+    SiteTargets.mutableAt(S.Call) = std::move(Targets);
   }
+  if (HasVirtualSite[Id] != HasVirtual)
+    HasVirtualSite.mutableAt(Id) = HasVirtual;
 }
 
 void CallGraph::recomputeSccs() {

@@ -15,7 +15,9 @@
 #define DYNSUM_PAG_CALLGRAPH_H
 
 #include "ir/Program.h"
+#include "support/ChunkedStorage.h"
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -44,17 +46,26 @@ void updateCallGraph(CallGraph &CG, const ir::Program &P,
                      bool HierarchyChanged);
 
 /// Resolves the possible targets of every call site.
+///
+/// The per-site and per-method tables live on CoW chunked storage: a
+/// retained generation's CallGraph copy shares every chunk an
+/// incremental update did not touch, so the commit-time copy is a
+/// chunk-table memcpy instead of a deep copy of every target vector.
+/// (SccIds/SccRecursive stay plain vectors — recomputeSccs rewrites
+/// them wholesale each update, so there is nothing to share.)
 class CallGraph {
 public:
   /// Targets of call site \p Site.
   const std::vector<ir::MethodId> &targets(ir::CallSiteId Site) const {
-    return SiteTargets.at(Site);
+    assert(Site < SiteTargets.size() && "call site out of range");
+    return SiteTargets[Site];
   }
 
   /// All (site, callee) pairs made from \p Caller.
   const std::vector<std::pair<ir::CallSiteId, ir::MethodId>> &
   calleesOf(ir::MethodId Caller) const {
-    return Callees.at(Caller);
+    assert(Caller < Callees.size() && "method out of range");
+    return Callees[Caller];
   }
 
   /// SCC index of \p M in the method graph.
@@ -82,7 +93,21 @@ public:
   /// True when \p M contains a virtual call site (the set a hierarchy
   /// change can silently retarget).
   bool hasVirtualSite(ir::MethodId M) const {
-    return HasVirtualSite.at(M) != 0;
+    assert(M < HasVirtualSite.size() && "method out of range");
+    return HasVirtualSite[M] != 0;
+  }
+
+  /// Per-callee-edge table type (also consumed by the SCC pass).
+  using CalleeTable = support::ChunkedVector<
+      std::vector<std::pair<ir::CallSiteId, ir::MethodId>>, 7>;
+
+  /// Chunked-storage footprint of the sharable tables (memoryStats
+  /// plumbing for the retained-generation budget).
+  support::ChunkMemoryStats memory() const {
+    support::ChunkMemoryStats S = SiteTargets.memory();
+    S += Callees.memory();
+    S += HasVirtualSite.memory();
+    return S;
   }
 
 private:
@@ -100,10 +125,10 @@ private:
   /// Reruns Tarjan + recursion flagging over the current Callees.
   void recomputeSccs();
 
-  std::vector<std::vector<ir::MethodId>> SiteTargets; // by CallSiteId
-  std::vector<std::vector<std::pair<ir::CallSiteId, ir::MethodId>>>
-      Callees;                      // by MethodId
-  std::vector<char> HasVirtualSite; // by MethodId
+  support::ChunkedVector<std::vector<ir::MethodId>, 7>
+      SiteTargets;                  // by CallSiteId
+  CalleeTable Callees;              // by MethodId
+  support::ChunkedVector<char, 12> HasVirtualSite; // by MethodId
   std::vector<uint32_t> SccIds;     // by MethodId
   std::vector<bool> SccRecursive;   // by SCC id
 };

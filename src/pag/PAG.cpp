@@ -15,13 +15,18 @@
 /// (dead edge slots + relocation holes) above half the live size
 /// triggers a compacting full pack.
 ///
+/// All persistent storage is copy-on-write chunked (see PAG.h): serial
+/// mutation goes through the CoW accessors, and each parallel write
+/// phase is preceded by a serial pass that uniquifies its destination
+/// chunks, so workers only ever write chunks this graph owns
+/// exclusively.
+///
 //===----------------------------------------------------------------------===//
 
 #include "pag/PAG.h"
 
 #include "support/Debug.h"
 #include "support/OStream.h"
-#include "support/Parallel.h"
 
 #include <algorithm>
 #include <cassert>
@@ -67,98 +72,6 @@ uint64_t PAGStats::totalEdges() const {
 }
 
 //===----------------------------------------------------------------------===//
-// Cloning (the commit pipeline's generation copy)
-//===----------------------------------------------------------------------===//
-
-namespace {
-
-/// One-pass copy with growth headroom: a single allocation sized
-/// size + slack, then one memcpy-style append — no value-initializing
-/// resize, no later reallocation when the delta build appends a few
-/// elements.
-template <typename T>
-void copyWithHeadroom(std::vector<T> &Dst, const std::vector<T> &Src) {
-  Dst.reserve(Src.size() + Src.size() / 8 + 1024);
-  Dst.insert(Dst.end(), Src.begin(), Src.end());
-}
-
-} // namespace
-
-PAG::PAG(const PAG &Other, unsigned Threads) : Prog(Other.Prog) {
-  // Scalar state first (cheap, single-writer).
-  NumAliveEdges = Other.NumAliveEdges;
-  OpenSegment = Other.OpenSegment;
-  FlatHoles = Other.FlatHoles;
-  FieldHoles = Other.FieldHoles;
-  NumBuiltVars = Other.NumBuiltVars;
-  NumBuiltAllocs = Other.NumBuiltAllocs;
-  Finalized = Other.Finalized;
-  LastRepackCompacted = Other.LastRepackCompacted;
-  BuiltModClock = Other.BuiltModClock;
-  BuiltStructureVersion = Other.BuiltStructureVersion;
-  BuiltOnce = Other.BuiltOnce;
-
-  // The member arrays are copied as independent jobs claimed by a
-  // worker pool; the per-method segment table — many small vectors, the
-  // allocation-heaviest member — is split into range jobs of its own so
-  // it does not serialize the pool.  Every array the next delta build
-  // can grow gets headroom (see copyWithHeadroom); the pure scratch
-  // vectors (Pending*, FreeSlots) are copied verbatim.
-  constexpr size_t kSegmentJobs = 16;
-  Segments.resize(Other.Segments.size());
-  std::vector<std::function<void()>> Jobs;
-  Jobs.reserve(20 + kSegmentJobs);
-  // Biggest members first: the dynamic job claim then packs them
-  // against the long pole instead of behind it.
-  Jobs.push_back([this, &Other] { copyWithHeadroom(InOff, Other.InOff); });
-  Jobs.push_back([this, &Other] { copyWithHeadroom(OutOff, Other.OutOff); });
-  Jobs.push_back([this, &Other] { copyWithHeadroom(Edges, Other.Edges); });
-  Jobs.push_back([this, &Other] { copyWithHeadroom(Nodes, Other.Nodes); });
-  Jobs.push_back([this, &Other] { copyWithHeadroom(InFlat, Other.InFlat); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(OutFlat, Other.OutFlat); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(EdgeDead, Other.EdgeDead); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(VarToNode, Other.VarToNode); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(AllocToNode, Other.AllocToNode); });
-  Jobs.push_back([this, &Other] {
-    copyWithHeadroom(FieldStoreFlat, Other.FieldStoreFlat);
-  });
-  Jobs.push_back([this, &Other] {
-    copyWithHeadroom(FieldLoadFlat, Other.FieldLoadFlat);
-  });
-  Jobs.push_back([this, &Other] {
-    copyWithHeadroom(FieldStoreOff, Other.FieldStoreOff);
-  });
-  Jobs.push_back([this, &Other] {
-    copyWithHeadroom(FieldLoadOff, Other.FieldLoadOff);
-  });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(BuiltBodyFp, Other.BuiltBodyFp); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(BuiltIfaceFp, Other.BuiltIfaceFp); });
-  Jobs.push_back(
-      [this, &Other] { copyWithHeadroom(BuiltShapeFp, Other.BuiltShapeFp); });
-  Jobs.push_back([this, &Other] { FreeSlots = Other.FreeSlots; });
-  Jobs.push_back([this, &Other] { PendingDead = Other.PendingDead; });
-  Jobs.push_back(
-      [this, &Other] { PendingDeadMeta = Other.PendingDeadMeta; });
-  Jobs.push_back([this, &Other] { PendingNew = Other.PendingNew; });
-  size_t NumSegs = Other.Segments.size();
-  size_t SegChunk = (NumSegs + kSegmentJobs - 1) / kSegmentJobs;
-  for (size_t Begin = 0; Begin < NumSegs; Begin += SegChunk) {
-    size_t End = Begin + SegChunk < NumSegs ? Begin + SegChunk : NumSegs;
-    Jobs.push_back([this, &Other, Begin, End] {
-      for (size_t I = Begin; I < End; ++I)
-        Segments[I] = Other.Segments[I];
-    });
-  }
-  parallelJobs(Jobs.size(), Threads, [&Jobs](size_t I) { Jobs[I](); });
-}
-
-//===----------------------------------------------------------------------===//
 // Construction
 //===----------------------------------------------------------------------===//
 
@@ -173,14 +86,14 @@ NodeId PAG::addNode(NodeKind Kind, uint32_t IrId, ir::MethodId Method) {
     if (AllocToNode.size() <= IrId)
       AllocToNode.resize(IrId + 1, ir::kNone);
     assert(AllocToNode[IrId] == ir::kNone && "allocation site re-added");
-    AllocToNode[IrId] = Id;
+    AllocToNode.mutableAt(IrId) = Id;
     if (NumBuiltAllocs <= IrId)
       NumBuiltAllocs = IrId + 1;
   } else {
     if (VarToNode.size() <= IrId)
       VarToNode.resize(IrId + 1, ir::kNone);
     assert(VarToNode[IrId] == ir::kNone && "variable re-added");
-    VarToNode[IrId] = Id;
+    VarToNode.mutableAt(IrId) = Id;
     if (NumBuiltVars <= IrId)
       NumBuiltVars = IrId + 1;
   }
@@ -194,15 +107,16 @@ void PAG::beginSegment(ir::MethodId M) {
   // Free the segment's previous edges.  Their bucket membership is
   // captured into the pending scratch *now*, before slot reuse can
   // overwrite the edge payloads.
-  for (EdgeId E : Segments[M]) {
+  std::vector<EdgeId> &Seg = Segments.mutableAt(M);
+  for (EdgeId E : Seg) {
     assert(!EdgeDead[E] && "segment edge already dead");
-    EdgeDead[E] = true;
+    EdgeDead.mutableAt(E) = true;
     FreeSlots.push_back(E);
     PendingDead.push_back(E);
     PendingDeadMeta.push_back(Edges[E]);
     --NumAliveEdges;
   }
-  Segments[M].clear();
+  Seg.clear();
   OpenSegment = M;
 }
 
@@ -215,8 +129,8 @@ EdgeId PAG::allocEdgeSlot(const Edge &E) {
   if (!FreeSlots.empty()) {
     EdgeId Id = FreeSlots.back();
     FreeSlots.pop_back();
-    Edges[Id] = E;
-    EdgeDead[Id] = false;
+    Edges.mutableAt(Id) = E;
+    EdgeDead.mutableAt(Id) = false;
     return Id;
   }
   EdgeId Id = EdgeId(Edges.size());
@@ -237,7 +151,7 @@ EdgeId PAG::addEdge(NodeId Src, NodeId Dst, EdgeKind Kind, uint32_t Aux,
   E.ContextFree = ContextFree;
   EdgeId Id = allocEdgeSlot(E);
   ++NumAliveEdges;
-  Segments[OpenSegment].push_back(Id);
+  Segments.mutableAt(OpenSegment).push_back(Id);
   PendingNew.push_back(Id);
   return Id;
 }
@@ -255,50 +169,60 @@ void PAG::compactEdgeSlots() {
     if (EdgeDead[E])
       continue;
     Remap[E] = EdgeId(Next);
-    if (Next != E)
-      Edges[Next] = Edges[E];
+    if (Next != E) {
+      Edge Tmp = Edges[E]; // copy first: mutableAt may replace E's chunk
+      Edges.mutableAt(Next) = Tmp;
+    }
     ++Next;
   }
   Edges.resize(Next);
   EdgeDead.assign(Next, false);
   FreeSlots.clear();
-  for (std::vector<EdgeId> &Seg : Segments)
-    for (EdgeId &E : Seg)
+  for (size_t M = 0; M < Segments.size(); ++M) {
+    if (Segments[M].empty())
+      continue;
+    for (EdgeId &E : Segments.mutableAt(M))
       E = Remap[E];
+  }
 }
 
 void PAG::packDirection(bool In) {
-  std::vector<EdgeId> &Flat = In ? InFlat : OutFlat;
-  std::vector<uint32_t> &Off = In ? InOff : OutOff;
+  FlatTable &Flat = In ? InFlat : OutFlat;
+  OffsetTable &Off = In ? InOff : OutOff;
   size_t NumSlots = Nodes.size() * kOffsetStride;
 
   // Counting sort of edge ids into (node, kind) buckets: one counting
-  // pass, one prefix-sum pass, one placement pass.  Placement iterates
-  // edges in id order, so each bucket keeps edge-id (i.e. insertion)
-  // order — full rebuilds are bit-for-bit deterministic.
+  // pass, one placement-assignment pass, one scatter pass.  The
+  // scatter iterates edges in id order, so each bucket keeps edge-id
+  // (i.e. insertion) order — full rebuilds are bit-for-bit
+  // deterministic.  Placement goes through placeRegion so no node's
+  // region straddles a chunk boundary (pads to the next chunk instead).
   std::vector<uint32_t> Count(Nodes.size() * kNumEdgeKinds, 0);
-  for (const Edge &E : Edges)
-    ++Count[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds + unsigned(E.Kind)];
-
-  Off.assign(NumSlots, 0);
-  uint32_t Run = 0;
-  for (size_t N = 0; N < Nodes.size(); ++N) {
-    for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
-      Off[N * kOffsetStride + K] = Run;
-      Run += Count[N * kNumEdgeKinds + K];
-    }
-    Off[N * kOffsetStride + kNumEdgeKinds] = Run;
-  }
-
-  Flat.resize(Edges.size());
-  std::vector<uint32_t> Cursor(Count.size());
-  for (size_t N = 0; N < Nodes.size(); ++N)
-    for (unsigned K = 0; K < kNumEdgeKinds; ++K)
-      Cursor[N * kNumEdgeKinds + K] = Off[N * kOffsetStride + K];
   for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
     const Edge &E = Edges[Id];
-    Flat[Cursor[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds +
-                unsigned(E.Kind)]++] = Id;
+    ++Count[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds + unsigned(E.Kind)];
+  }
+
+  Flat.reset();
+  Off.assign(NumSlots, 0);
+  std::vector<uint32_t> Cursor(Count.size());
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    size_t RegionSize = 0;
+    for (unsigned K = 0; K < kNumEdgeKinds; ++K)
+      RegionSize += Count[N * kNumEdgeKinds + K];
+    uint32_t Run = uint32_t(Flat.placeRegion(RegionSize));
+    for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
+      Off.rawAt(N * kOffsetStride + K) = Run;
+      Cursor[N * kNumEdgeKinds + K] = Run;
+      Run += Count[N * kNumEdgeKinds + K];
+    }
+    Off.rawAt(N * kOffsetStride + kNumEdgeKinds) = Run;
+  }
+
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    const Edge &E = Edges[Id];
+    Flat.rawAt(Cursor[size_t(In ? E.Dst : E.Src) * kNumEdgeKinds +
+                      unsigned(E.Kind)]++) = Id;
   }
 }
 
@@ -332,46 +256,47 @@ void PAG::finalize() {
   FieldStoreOff.assign(NumFields * 2, 0);
   FieldLoadOff.assign(NumFields * 2, 0);
   std::vector<uint32_t> StoreCount(NumFields, 0), LoadCount(NumFields, 0);
-  for (const Edge &E : Edges) {
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    const Edge &E = Edges[Id];
     if (E.Kind == EdgeKind::Store)
       ++StoreCount[E.Aux];
     else if (E.Kind == EdgeKind::Load)
       ++LoadCount[E.Aux];
   }
-  uint32_t StoreRun = 0, LoadRun = 0;
-  for (size_t F = 0; F < NumFields; ++F) {
-    FieldStoreOff[F * 2] = StoreRun;
-    StoreRun += StoreCount[F];
-    FieldStoreOff[F * 2 + 1] = StoreRun;
-    FieldLoadOff[F * 2] = LoadRun;
-    LoadRun += LoadCount[F];
-    FieldLoadOff[F * 2 + 1] = LoadRun;
-  }
-  FieldStoreFlat.resize(StoreRun);
-  FieldLoadFlat.resize(LoadRun);
+  FieldStoreFlat.reset();
+  FieldLoadFlat.reset();
   std::vector<uint32_t> StoreCursor(NumFields), LoadCursor(NumFields);
   for (size_t F = 0; F < NumFields; ++F) {
-    StoreCursor[F] = FieldStoreOff[F * 2];
-    LoadCursor[F] = FieldLoadOff[F * 2];
+    uint32_t SB = uint32_t(FieldStoreFlat.placeRegion(StoreCount[F]));
+    FieldStoreOff.rawAt(F * 2) = SB;
+    FieldStoreOff.rawAt(F * 2 + 1) = SB + StoreCount[F];
+    StoreCursor[F] = SB;
+    uint32_t LB = uint32_t(FieldLoadFlat.placeRegion(LoadCount[F]));
+    FieldLoadOff.rawAt(F * 2) = LB;
+    FieldLoadOff.rawAt(F * 2 + 1) = LB + LoadCount[F];
+    LoadCursor[F] = LB;
   }
   for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
     const Edge &E = Edges[Id];
     if (E.Kind == EdgeKind::Store)
-      FieldStoreFlat[StoreCursor[E.Aux]++] = Id;
+      FieldStoreFlat.rawAt(StoreCursor[E.Aux]++) = Id;
     else if (E.Kind == EdgeKind::Load)
-      FieldLoadFlat[LoadCursor[E.Aux]++] = Id;
+      FieldLoadFlat.rawAt(LoadCursor[E.Aux]++) = Id;
   }
 
   // Rederive every node's boundary flags from the live edge set.
-  for (Node &N : Nodes)
-    N.HasLocalEdge = N.HasGlobalIn = N.HasGlobalOut = false;
-  for (const Edge &E : Edges) {
+  for (size_t N = 0; N < Nodes.size(); ++N) {
+    Node &Nd = Nodes.mutableAt(N);
+    Nd.HasLocalEdge = Nd.HasGlobalIn = Nd.HasGlobalOut = false;
+  }
+  for (EdgeId Id = 0; Id < Edges.size(); ++Id) {
+    const Edge E = Edges[Id]; // by value: mutableAt may move chunks
     if (isLocalEdgeKind(E.Kind)) {
-      Nodes[E.Src].HasLocalEdge = true;
-      Nodes[E.Dst].HasLocalEdge = true;
+      Nodes.mutableAt(E.Src).HasLocalEdge = true;
+      Nodes.mutableAt(E.Dst).HasLocalEdge = true;
     } else {
-      Nodes[E.Dst].HasGlobalIn = true;
-      Nodes[E.Src].HasGlobalOut = true;
+      Nodes.mutableAt(E.Dst).HasGlobalIn = true;
+      Nodes.mutableAt(E.Src).HasGlobalOut = true;
     }
   }
 
@@ -387,7 +312,7 @@ void PAG::finalize() {
 //===----------------------------------------------------------------------===//
 
 void PAG::rederiveFlags(NodeId N) {
-  Node &Nd = Nodes[N];
+  Node &Nd = Nodes.rawAt(N);
   Nd.HasLocalEdge = Nd.HasGlobalIn = Nd.HasGlobalOut = false;
   for (EdgeId E : inEdges(N)) {
     if (isLocalEdgeKind(Edges[E].Kind))
@@ -433,7 +358,8 @@ struct BucketAdds {
 } // namespace
 
 void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
-                      const std::vector<char> &Freed, unsigned Threads) {
+                      const std::vector<char> &Freed,
+                      const support::ExecContext &Exec) {
   BucketAdds InAdds, OutAdds;
   for (EdgeId E : PendingNew) {
     const Edge &Ed = Edges[E];
@@ -458,24 +384,23 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
   //   place    (serial)    one pass over the nodes in order replays the
   //                        serial placement policy exactly — rewrite in
   //                        place when the region still fits, otherwise
-  //                        relocate to the array tail — and sizes the
-  //                        tail with ONE resize instead of one per
-  //                        relocation (the old loop re-allocated the
-  //                        whole flat array on every growth);
+  //                        relocate via placeRegion — and uniquifies
+  //                        every destination chunk (flat regions and
+  //                        offset entries) while still serial;
   //   scatter  (parallel)  workers copy their regions into their now
-  //                        disjoint destination ranges and write the
-  //                        offset entries.
+  //                        disjoint, exclusively owned destination
+  //                        ranges and write the offset entries raw.
   size_t NumAffected = AffectedNodes.size();
   std::vector<std::vector<EdgeId>> Regions(NumAffected);
   std::vector<uint32_t> Bounds(NumAffected * kOffsetStride);
   std::vector<uint32_t> Begins(NumAffected);
 
   auto RebuildDirection = [&](bool In) {
-    std::vector<EdgeId> &Flat = In ? InFlat : OutFlat;
-    std::vector<uint32_t> &Off = In ? InOff : OutOff;
+    FlatTable &Flat = In ? InFlat : OutFlat;
+    OffsetTable &Off = In ? InOff : OutOff;
     const BucketAdds &Adds = In ? InAdds : OutAdds;
 
-    parallelChunks(NumAffected, Threads,
+    parallelChunks(NumAffected, Exec,
                    [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
                      for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
                        NodeId N = AffectedNodes[I];
@@ -485,11 +410,15 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
                        for (unsigned K = 0; K < kNumEdgeKinds; ++K) {
                          Bounds[I * kOffsetStride + K] =
                              uint32_t(Region.size());
-                         for (uint32_t P = Off[Base + K];
-                              P < Off[Base + K + 1]; ++P) {
-                           EdgeId E = Flat[P];
-                           if (!Freed[E])
-                             Region.push_back(E);
+                         uint32_t BB = Off[Base + K];
+                         uint32_t BE = Off[Base + K + 1];
+                         if (BB != BE) {
+                           const EdgeId *P = Flat.addr(BB);
+                           for (uint32_t X = 0; X < BE - BB; ++X) {
+                             EdgeId E = P[X];
+                             if (!Freed[E])
+                               Region.push_back(E);
+                           }
                          }
                          Adds.appendTo(N, EdgeKind(K), Region);
                        }
@@ -498,7 +427,6 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
                      }
                    });
 
-    size_t Tail = Flat.size();
     for (size_t I = 0; I < NumAffected; ++I) {
       size_t Base = size_t(AffectedNodes[I]) * kOffsetStride;
       size_t OldBegin = Off[Base];
@@ -506,24 +434,28 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
       if (Regions[I].size() <= OldSize) {
         Begins[I] = uint32_t(OldBegin); // in place; trailing slack holes
         FlatHoles += OldSize - Regions[I].size();
+        if (!Regions[I].empty())
+          Flat.ensureUniqueRegion(OldBegin);
       } else {
-        Begins[I] = uint32_t(Tail); // relocate to the tail
-        Tail += Regions[I].size();
+        Begins[I] = uint32_t(Flat.placeRegion(Regions[I].size()));
         FlatHoles += OldSize;
       }
+      // A node's eight offsets share a chunk (stride divides the chunk
+      // size); uniquify it here so the scatter may write raw.
+      Off.ensureWritable(Base);
     }
-    Flat.resize(Tail);
 
-    parallelChunks(NumAffected, Threads,
+    parallelChunks(NumAffected, Exec,
                    [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
                      for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
                        size_t Base =
                            size_t(AffectedNodes[I]) * kOffsetStride;
-                       std::copy(Regions[I].begin(), Regions[I].end(),
-                                 Flat.begin() + Begins[I]);
+                       if (!Regions[I].empty())
+                         std::copy(Regions[I].begin(), Regions[I].end(),
+                                   Flat.regionPtr(Begins[I]));
                        for (unsigned K = 0; K < kOffsetStride; ++K)
-                         Off[Base + K] = Begins[I] +
-                                         Bounds[I * kOffsetStride + K];
+                         Off.rawAt(Base + K) =
+                             Begins[I] + Bounds[I * kOffsetStride + K];
                      }
                    });
   };
@@ -531,7 +463,9 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
   RebuildDirection(/*In=*/true);
   RebuildDirection(/*In=*/false);
 
-  parallelChunks(NumAffected, Threads,
+  for (NodeId N : AffectedNodes)
+    Nodes.ensureWritable(N);
+  parallelChunks(NumAffected, Exec,
                  [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
                    for (size_t I = ChunkBegin; I < ChunkEnd; ++I)
                      rederiveFlags(AffectedNodes[I]);
@@ -539,7 +473,8 @@ void PAG::repackNodes(const std::vector<NodeId> &AffectedNodes,
 }
 
 void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
-                       const std::vector<char> &Freed, unsigned Threads) {
+                       const std::vector<char> &Freed,
+                       const support::ExecContext &Exec) {
   size_t NumFields = Prog.fields().size();
   FieldStoreOff.resize(NumFields * 2, 0);
   FieldLoadOff.resize(NumFields * 2, 0);
@@ -566,31 +501,34 @@ void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
   std::vector<uint32_t> Begins(NumAffected);
 
   auto RebuildDirection = [&](bool IsStore) {
-    std::vector<EdgeId> &Flat = IsStore ? FieldStoreFlat : FieldLoadFlat;
-    std::vector<uint32_t> &Off = IsStore ? FieldStoreOff : FieldLoadOff;
+    FlatTable &Flat = IsStore ? FieldStoreFlat : FieldLoadFlat;
+    OffsetTable &Off = IsStore ? FieldStoreOff : FieldLoadOff;
     const auto &Adds = IsStore ? StoreAdds : LoadAdds;
 
-    parallelChunks(NumAffected, Threads,
+    parallelChunks(NumAffected, Exec,
                    [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
                      for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
                        ir::FieldId F = AffectedFields[I];
                        std::vector<EdgeId> &Region = Regions[I];
                        Region.clear();
-                       for (uint32_t P = Off[F * 2]; P < Off[F * 2 + 1];
-                            ++P)
-                         if (!Freed[Flat[P]])
-                           Region.push_back(Flat[P]);
+                       uint32_t BB = Off[F * 2];
+                       uint32_t BE = Off[F * 2 + 1];
+                       if (BB != BE) {
+                         const EdgeId *P = Flat.addr(BB);
+                         for (uint32_t X = 0; X < BE - BB; ++X)
+                           if (!Freed[P[X]])
+                             Region.push_back(P[X]);
+                       }
                        auto It = std::lower_bound(
                            Adds.begin(), Adds.end(), F,
-                           [](const auto &P, ir::FieldId F2) {
-                             return P.first < F2;
+                           [](const auto &P2, ir::FieldId F2) {
+                             return P2.first < F2;
                            });
                        for (; It != Adds.end() && It->first == F; ++It)
                          Region.push_back(It->second);
                      }
                    });
 
-    size_t Tail = Flat.size();
     for (size_t I = 0; I < NumAffected; ++I) {
       ir::FieldId F = AffectedFields[I];
       size_t OldBegin = Off[F * 2];
@@ -598,22 +536,26 @@ void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
       if (Regions[I].size() <= OldSize) {
         Begins[I] = uint32_t(OldBegin);
         FieldHoles += OldSize - Regions[I].size();
+        if (!Regions[I].empty())
+          Flat.ensureUniqueRegion(OldBegin);
       } else {
-        Begins[I] = uint32_t(Tail);
-        Tail += Regions[I].size();
+        Begins[I] = uint32_t(Flat.placeRegion(Regions[I].size()));
         FieldHoles += OldSize;
       }
+      // A field's [begin, end) pair shares a chunk (2 divides the
+      // chunk size).
+      Off.ensureWritable(F * 2);
     }
-    Flat.resize(Tail);
 
-    parallelChunks(NumAffected, Threads,
+    parallelChunks(NumAffected, Exec,
                    [&](size_t ChunkBegin, size_t ChunkEnd, unsigned) {
                      for (size_t I = ChunkBegin; I < ChunkEnd; ++I) {
                        ir::FieldId F = AffectedFields[I];
-                       std::copy(Regions[I].begin(), Regions[I].end(),
-                                 Flat.begin() + Begins[I]);
-                       Off[F * 2] = Begins[I];
-                       Off[F * 2 + 1] =
+                       if (!Regions[I].empty())
+                         std::copy(Regions[I].begin(), Regions[I].end(),
+                                   Flat.regionPtr(Begins[I]));
+                       Off.rawAt(F * 2) = Begins[I];
+                       Off.rawAt(F * 2 + 1) =
                            uint32_t(Begins[I] + Regions[I].size());
                      }
                    });
@@ -623,9 +565,10 @@ void PAG::repackFields(const std::vector<ir::FieldId> &AffectedFields,
   RebuildDirection(/*IsStore=*/false);
 }
 
-void PAG::finalizeDelta(unsigned Threads) {
+void PAG::finalizeDelta(const support::ExecContext &Exec) {
   assert(OpenSegment == ir::kNone &&
          "finalizeDelta with an open segment (partial populate)");
+  LastRepackAffected.clear();
   if (!Finalized) {
     finalize();
     LastRepackCompacted = true;
@@ -639,7 +582,9 @@ void PAG::finalizeDelta(unsigned Threads) {
 
   // Compaction policy: when dead slots + relocation holes exceed half
   // the live size, a full pack is both cheaper long-term and keeps the
-  // arrays cache-dense.
+  // arrays cache-dense.  (Chunk-alignment padding is excluded: a full
+  // pack would re-pad, so counting it could trigger compaction every
+  // round without reducing it.)
   size_t Slack = deadEdgeSlots() + FlatHoles + FieldHoles;
   if (Slack > NumAliveEdges / 2 + 1024) {
     finalize();
@@ -680,13 +625,14 @@ void PAG::finalizeDelta(unsigned Threads) {
   for (EdgeId E : PendingDead)
     Freed[E] = 1;
 
-  repackNodes(AffectedNodes, Freed, Threads);
-  repackFields(AffectedFields, Freed, Threads);
+  repackNodes(AffectedNodes, Freed, Exec);
+  repackFields(AffectedFields, Freed, Exec);
 
   PendingDead.clear();
   PendingDeadMeta.clear();
   PendingNew.clear();
   LastRepackCompacted = false;
+  LastRepackAffected = std::move(AffectedNodes);
 }
 
 //===----------------------------------------------------------------------===//
@@ -724,8 +670,8 @@ std::string PAG::describe(NodeId N) const {
 PAGStats PAG::stats() const {
   PAGStats S;
   S.NumMethods = Prog.methods().size();
-  for (const Node &N : Nodes) {
-    switch (N.Kind) {
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    switch (Nodes[I].Kind) {
     case NodeKind::Object:
       ++S.NumObjects;
       break;
@@ -740,6 +686,50 @@ PAGStats PAG::stats() const {
   for (EdgeId E = 0; E < Edges.size(); ++E)
     if (!EdgeDead[E])
       ++S.EdgesByKind[unsigned(Edges[E].Kind)];
+  return S;
+}
+
+PAGMemoryStats PAG::memoryStats() const {
+  support::ChunkMemoryStats C;
+  C += Nodes.memory();
+  C += Edges.memory();
+  C += EdgeDead.memory();
+  C += Segments.memory();
+  C += InFlat.memory();
+  C += OutFlat.memory();
+  C += InOff.memory();
+  C += OutOff.memory();
+  C += FieldStoreFlat.memory();
+  C += FieldLoadFlat.memory();
+  C += FieldStoreOff.memory();
+  C += FieldLoadOff.memory();
+  C += VarToNode.memory();
+  C += AllocToNode.memory();
+  C += BuiltBodyFp.memory();
+  C += BuiltIfaceFp.memory();
+  C += BuiltShapeFp.memory();
+
+  PAGMemoryStats S;
+  S.Chunks = C.Chunks;
+  S.SharedChunks = C.SharedChunks;
+  S.TotalBytes = C.TotalBytes + C.TableBytes;
+  S.SharedBytes = C.SharedBytes;
+
+  // The segment table's chunks hold vector objects whose heap blocks
+  // the generic accounting cannot see; attribute each segment's heap
+  // to the sharing state of its chunk.
+  for (size_t M = 0; M < Segments.size(); ++M) {
+    size_t Heap = Segments[M].capacity() * sizeof(EdgeId);
+    S.TotalBytes += Heap;
+    if (Segments.sharedAt(M))
+      S.SharedBytes += Heap;
+  }
+
+  S.RetainedBytes = S.TotalBytes - S.SharedBytes;
+  S.ScratchBytes = FreeSlots.capacity() * sizeof(EdgeId) +
+                   PendingDead.capacity() * sizeof(EdgeId) +
+                   PendingDeadMeta.capacity() * sizeof(Edge) +
+                   PendingNew.capacity() * sizeof(EdgeId);
   return S;
 }
 

@@ -46,12 +46,25 @@
 /// The whole-node views (inEdges/outEdges) remain as spans over the
 /// same arrays for callers that still want every kind.
 ///
+/// Generation storage: every persistent member lives on copy-on-write
+/// chunk tables (support/ChunkedStorage.h).  Copying a PAG copies the
+/// tables — O(#chunks) refcount bumps, no element copies — and the copy
+/// shares every chunk with its parent until one of them writes, so the
+/// commit pipeline's generation snapshot costs O(delta), not O(graph),
+/// and a retained generation's exclusive footprint is proportional to
+/// the edits made since it was captured (memoryStats() reports it).
+/// The CSR flat arrays additionally guarantee that a node's region
+/// never straddles a chunk boundary, keeping EdgeSpan a plain pointer
+/// pair.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_PAG_PAG_H
 #define DYNSUM_PAG_PAG_H
 
 #include "ir/Program.h"
+#include "support/ChunkedStorage.h"
+#include "support/ExecContext.h"
 
 #include <cstdint>
 #include <string>
@@ -72,7 +85,7 @@ struct DeltaStats;
 /// befriended without an include cycle.
 DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
                          const TargetResolver *Resolver, bool ForceFull,
-                         unsigned Threads);
+                         const support::ExecContext &Exec);
 
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
@@ -114,6 +127,11 @@ inline bool isLocalEdgeKind(EdgeKind K) {
 
 /// Printable label ("new", "entry", ...).
 const char *edgeKindName(EdgeKind K);
+
+/// Per-method fingerprint storage (body/interface/shape), chunked like
+/// every other generation-persistent table.  Named at namespace scope
+/// so the delta builder's helpers can take it by reference.
+using MethodFpTable = support::ChunkedVector<uint64_t, 12>;
 
 /// A non-owning contiguous view over edge ids in the CSR arrays
 /// (std::span substitute; the repo is C++17).  Invalidated by the next
@@ -174,27 +192,37 @@ struct PAGStats {
   uint64_t totalEdges() const;
 };
 
+/// Chunk-table footprint of one graph, split by ownership.
+/// RetainedBytes is what destroying this graph would actually free —
+/// for a generation retained behind the current one it is proportional
+/// to the edits committed since its capture, not to the graph size.
+struct PAGMemoryStats {
+  size_t TotalBytes = 0;    ///< chunk + table bytes reachable from here
+  size_t SharedBytes = 0;   ///< subset co-owned by other generations
+  size_t RetainedBytes = 0; ///< TotalBytes - SharedBytes (exclusive)
+  size_t ScratchBytes = 0;  ///< plain-vector scratch (Pending*, frees)
+  size_t Chunks = 0;
+  size_t SharedChunks = 0;
+};
+
 /// The graph.  Construction happens through PAGBuilder; the analyses
 /// only read.  Copyable: a copy is an independent graph over the same
-/// program, sharing nothing — AnalysisService clones the previous
-/// generation's graph and patches the clone while in-flight batches
-/// keep draining against the original.
+/// program — AnalysisService snapshots the previous generation's graph
+/// and patches the snapshot while in-flight batches keep draining
+/// against the original.  Since all persistent storage sits on CoW
+/// chunk tables, the copy is an O(#chunks) table duplication; mutated
+/// chunks are split off lazily, so the two graphs share every byte
+/// neither side has touched.
 class PAG {
 public:
   explicit PAG(const ir::Program &P) : Prog(P) {}
 
-  /// Cloning constructor for the commit pipeline: copies \p Other
-  /// sharding the big member arrays across \p Threads workers, and
-  /// reserves growth headroom in every array the next delta build
-  /// appends to — a tight-capacity clone pays a full reallocation copy
-  /// the moment the delta adds one node or relocates one CSR region.
-  PAG(const PAG &Other, unsigned Threads);
-
-  /// Plain copies delegate to the cloning constructor so the member
-  /// list is audited in exactly one place — a member added to the
-  /// class but forgotten there would otherwise be silently dropped
-  /// from every commit's generation clone.
-  PAG(const PAG &Other) : PAG(Other, 1) {}
+  /// Generation snapshot: the default memberwise copy IS the cheap
+  /// chunk-table copy (every persistent member is a chunked container
+  /// whose copy constructor bumps refcounts instead of copying
+  /// elements), and memberwise copying cannot silently drop a member
+  /// the way a hand-written clone could.
+  PAG(const PAG &Other) = default;
 
   //===------------------------------------------------------------------===//
   // Construction (PAGBuilder only)
@@ -230,13 +258,13 @@ public:
   /// (dead slots + relocation holes) exceeds half the live size.
   /// Requires finalize() to have run once before.
   ///
-  /// \p Threads > 1 partitions the repack: workers own disjoint ranges
-  /// of the (sorted) dirty node list, region contents are computed in
-  /// parallel, placements are assigned in one serial pass that
-  /// replicates the serial policy exactly, and the region copies fan
-  /// out again — so the resulting layout is bit-identical at every
-  /// thread count.
-  void finalizeDelta(unsigned Threads = 1);
+  /// A multi-threaded \p Exec partitions the repack: workers own
+  /// disjoint ranges of the (sorted) dirty node list, region contents
+  /// are computed in parallel, placements are assigned in one serial
+  /// pass that replicates the serial policy exactly — and uniquifies
+  /// every destination chunk, so the parallel copy fan-out writes raw —
+  /// making the resulting layout bit-identical at every thread count.
+  void finalizeDelta(const support::ExecContext &Exec = {});
 
   //===------------------------------------------------------------------===//
   // Reading
@@ -285,8 +313,14 @@ public:
   EdgeSpan loadsOfField(ir::FieldId F) const;
 
   /// Node of a variable / allocation site.
-  NodeId nodeOfVar(ir::VarId V) const { return VarToNode.at(V); }
-  NodeId nodeOfAlloc(ir::AllocId A) const { return AllocToNode.at(A); }
+  NodeId nodeOfVar(ir::VarId V) const {
+    assert(V < VarToNode.size() && "variable id out of range");
+    return VarToNode[V];
+  }
+  NodeId nodeOfAlloc(ir::AllocId A) const {
+    assert(A < AllocToNode.size() && "allocation id out of range");
+    return AllocToNode[A];
+  }
 
   /// True when \p N is an object node.
   bool isObject(NodeId N) const {
@@ -301,6 +335,13 @@ public:
 
   /// Computes the Table 3 statistics of this graph.
   PAGStats stats() const;
+
+  /// Chunk-table footprint: how many bytes this graph reaches, how
+  /// many of them are shared with other generations, and how many are
+  /// exclusively its own.  The per-element accounting of the segment
+  /// table counts the inline vector objects only (their heap blocks
+  /// follow the same sharing, chunk for chunk).
+  PAGMemoryStats memoryStats() const;
 
   /// Writes a readable edge dump (tests and debugging).
   void dump(OStream &OS) const;
@@ -321,17 +362,51 @@ public:
     return M < Segments.size() ? Segments[M] : Empty;
   }
 
+  /// The program edit clock captured at this graph's last (full or
+  /// delta) build: edits up to this clock are reflected in the graph.
+  /// AnalysisService::rollback uses it to rewind its committed clock
+  /// to a retained generation.
+  uint64_t builtModClock() const { return BuiltModClock; }
+
   /// CSR slack diagnostics: dead slots plus relocation holes, and
-  /// whether the last finalizeDelta() compacted.
+  /// whether the last finalizeDelta() compacted.  Chunk-alignment
+  /// padding in the flat arrays is NOT slack (a compaction would
+  /// re-pad), so it never triggers one.
   size_t deadEdgeSlots() const { return Edges.size() - NumAliveEdges; }
   size_t csrHoleSlots() const { return FlatHoles + FieldHoles; }
   bool lastRepackCompacted() const { return LastRepackCompacted; }
 
+  /// The (sorted, deduped) nodes whose CSR regions — and therefore
+  /// boundary flags — the last finalizeDelta() rewrote.  Every other
+  /// node's flags are bit-identical to before the repack, which is
+  /// what lets incremental::patchInvalidation diff O(delta) nodes
+  /// instead of the whole graph.  Meaningless after a compaction or a
+  /// full finalize() (every flag was rederived); check
+  /// lastRepackCompacted() first.
+  const std::vector<NodeId> &lastRepackAffectedNodes() const {
+    return LastRepackAffected;
+  }
+
 private:
-  EdgeSpan spanOf(const std::vector<EdgeId> &Flat,
-                  const std::vector<uint32_t> &Off, size_t From,
-                  size_t To) const {
-    return EdgeSpan(Flat.data() + Off[From], Flat.data() + Off[To]);
+  using NodeTable = support::ChunkedVector<Node, 12>;
+  using EdgeTable = support::ChunkedVector<Edge, 12>;
+  using ByteTable = support::ChunkedVector<char, 15>;
+  using SegmentTable = support::ChunkedVector<std::vector<EdgeId>, 7>;
+  /// 8192 offsets per chunk: kOffsetStride (8) divides the chunk size,
+  /// so one node's eight boundaries always share a chunk — the serial
+  /// placement pass uniquifies one chunk per touched node.
+  using OffsetTable = support::ChunkedVector<uint32_t, 13>;
+  using IdTable = support::ChunkedVector<NodeId, 13>;
+  using FpTable = MethodFpTable;
+  using FlatTable = support::ChunkedFlatArray<EdgeId, 14>;
+
+  EdgeSpan spanOf(const FlatTable &Flat, const OffsetTable &Off,
+                  size_t From, size_t To) const {
+    uint32_t B = Off[From], E = Off[To];
+    if (B == E)
+      return EdgeSpan();
+    const EdgeId *P = Flat.addr(B);
+    return EdgeSpan(P, P + (E - B));
   }
 
   /// Allocates an edge slot (reusing a freed one when possible).
@@ -342,6 +417,7 @@ private:
   void ensureOffsetCoverage();
 
   /// Recomputes \p N's boundary flags from its current CSR spans.
+  /// The node's chunk must already be writable (raw write path).
   void rederiveFlags(NodeId N);
 
   /// Renumbers edge slots densely, dropping dead ones (stable order).
@@ -354,30 +430,34 @@ private:
   /// both directions, appending grown regions at the array tails.
   /// \p Freed marks the slots freed this round (shared with
   /// repackFields so the O(slots) bitmap is built once per repack).
-  /// Workers repack disjoint node ranges; see finalizeDelta(Threads).
+  /// Workers repack disjoint node ranges; see finalizeDelta(Exec).
   void repackNodes(const std::vector<NodeId> &AffectedNodes,
-                   const std::vector<char> &Freed, unsigned Threads);
+                   const std::vector<char> &Freed,
+                   const support::ExecContext &Exec);
 
   /// Rebuilds the per-field load/store CSR regions of \p AffectedFields.
   void repackFields(const std::vector<ir::FieldId> &AffectedFields,
-                    const std::vector<char> &Freed, unsigned Threads);
+                    const std::vector<char> &Freed,
+                    const support::ExecContext &Exec);
 
   const ir::Program &Prog;
-  std::vector<Node> Nodes;
-  std::vector<Edge> Edges;      ///< slot-addressed; may contain dead slots
-  std::vector<char> EdgeDead;   ///< parallel to Edges
+  NodeTable Nodes;
+  EdgeTable Edges;    ///< slot-addressed; may contain dead slots
+  ByteTable EdgeDead; ///< parallel to Edges
   std::vector<EdgeId> FreeSlots;
   size_t NumAliveEdges = 0;
 
   /// Per-method segments: the live slot ids emitted while lowering that
   /// method, in emission order.
-  std::vector<std::vector<EdgeId>> Segments;
+  SegmentTable Segments;
   ir::MethodId OpenSegment = ir::kNone;
 
   /// Delta scratch, consumed by finalizeDelta(): slots freed and edges
   /// added since the last (full or delta) pack.  Freed payloads are
   /// snapshotted (PendingDeadMeta) because the slot may be reused — and
-  /// its Edge overwritten — before the repack runs.
+  /// its Edge overwritten — before the repack runs.  Plain vectors:
+  /// they are empty in any finalized graph, so generation snapshots
+  /// copy nothing.
   std::vector<EdgeId> PendingDead;
   std::vector<Edge> PendingDeadMeta;
   std::vector<EdgeId> PendingNew;
@@ -385,43 +465,50 @@ private:
   /// CSR payloads: every live edge id once per direction, grouped by
   /// (node, kind); within a group, survivors keep their relative order
   /// and re-lowered edges append in emission order.
-  std::vector<EdgeId> InFlat, OutFlat;
+  FlatTable InFlat, OutFlat;
   /// CSR offsets, numNodes * kOffsetStride entries.  Node N's kind-K
   /// bucket is [Off[N*8 + K], Off[N*8 + K + 1]); its whole region is
   /// [Off[N*8], Off[N*8 + 7]].  Regions of different nodes need not be
-  /// adjacent (relocation leaves holes), only internally contiguous.
-  std::vector<uint32_t> InOff, OutOff;
-  /// Bytes of InFlat/OutFlat occupied by relocation holes.
+  /// adjacent (relocation leaves holes), only internally contiguous —
+  /// and a region never straddles a chunk boundary of the flat table.
+  OffsetTable InOff, OutOff;
+  /// Elements of InFlat/OutFlat occupied by relocation holes.
   size_t FlatHoles = 0;
 
   /// Field-indexed CSR over store/load edges: per-field [begin, end)
   /// pairs (2 entries per field), same relocation scheme.
-  std::vector<EdgeId> FieldStoreFlat, FieldLoadFlat;
-  std::vector<uint32_t> FieldStoreOff, FieldLoadOff;
+  FlatTable FieldStoreFlat, FieldLoadFlat;
+  OffsetTable FieldStoreOff, FieldLoadOff;
   size_t FieldHoles = 0;
 
-  std::vector<NodeId> VarToNode;
-  std::vector<NodeId> AllocToNode;
+  IdTable VarToNode;
+  IdTable AllocToNode;
   size_t NumBuiltVars = 0;
   size_t NumBuiltAllocs = 0;
   bool Finalized = false;
   bool LastRepackCompacted = false;
+  /// Nodes the last finalizeDelta() rederived flags for (see
+  /// lastRepackAffectedNodes()).  A generation copy inherits the
+  /// source's list, but every consumer reads it right after running
+  /// finalizeDelta on the copy, which overwrites it first.
+  std::vector<NodeId> LastRepackAffected;
 
   /// Persistent delta-build state (written by pag::buildPAGDelta): the
   /// program edit clock, structure version and per-method fingerprints
   /// captured at the last build.  Copies of the graph carry it along,
-  /// so a clone can be delta-patched independently.
+  /// so a generation snapshot can be delta-patched independently.
   uint64_t BuiltModClock = 0;
   uint64_t BuiltStructureVersion = 0;
   bool BuiltOnce = false;
-  std::vector<uint64_t> BuiltBodyFp;  // by MethodId
-  std::vector<uint64_t> BuiltIfaceFp; // by MethodId
-  std::vector<uint64_t> BuiltShapeFp; // by MethodId
+  FpTable BuiltBodyFp;  // by MethodId
+  FpTable BuiltIfaceFp; // by MethodId
+  FpTable BuiltShapeFp; // by MethodId
 
   friend class PAGBuilder;
   friend DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
                                   const TargetResolver *Resolver,
-                                  bool ForceFull, unsigned Threads);
+                                  bool ForceFull,
+                                  const support::ExecContext &Exec);
 };
 
 } // namespace pag

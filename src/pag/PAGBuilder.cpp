@@ -8,8 +8,8 @@
 
 #include "pag/PAGBuilder.h"
 
+#include "support/ExecContext.h"
 #include "support/Hashing.h"
-#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -142,7 +142,7 @@ void lowerMethodInto(StagedLowering &Out, const PAG &G, const Program &P,
 /// collapse bit, and the callee's params/returns interface.  A clean
 /// method is re-lowered iff this fingerprint moved.
 uint64_t calleeShape(const CallGraph &CG, MethodId M,
-                     const std::vector<uint64_t> &IfaceFp) {
+                     const MethodFpTable &IfaceFp) {
   uint64_t H = 0x8f2d1c7b6a59e043ull;
   for (const auto &[Site, Callee] : CG.calleesOf(M)) {
     H = hashCombine(H, packPair(Site, Callee));
@@ -156,10 +156,11 @@ uint64_t calleeShape(const CallGraph &CG, MethodId M,
 
 DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
                                       const TargetResolver *Resolver,
-                                      bool ForceFull, unsigned Threads) {
+                                      bool ForceFull,
+                                      const support::ExecContext &Exec) {
   const Program &P = G.program();
   DeltaStats DS;
-  Threads = clampThreads(Threads);
+  unsigned Threads = Exec.threads();
   DS.ThreadsUsed = Threads;
   const bool First = !G.BuiltOnce;
   const size_t NumMethods = P.methods().size();
@@ -196,12 +197,14 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
       BodyChanged.push_back(M);
     }
     // Fingerprinting every method hashes every statement once; shard
-    // it (each worker writes a disjoint slot range).
-    parallelChunks(NumMethods, Threads,
+    // it (each worker writes a disjoint slot range of the freshly
+    // allocated — hence exclusively owned — fingerprint chunks).
+    parallelChunks(NumMethods, Exec,
                    [&](size_t Begin, size_t End, unsigned) {
                      for (MethodId M = MethodId(Begin); M < End; ++M) {
-                       G.BuiltBodyFp[M] = P.methodFingerprint(M);
-                       G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
+                       G.BuiltBodyFp.rawAt(M) = P.methodFingerprint(M);
+                       G.BuiltIfaceFp.rawAt(M) =
+                           P.methodInterfaceFingerprint(M);
                      }
                    });
   } else {
@@ -211,8 +214,11 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
       bool IsNew = M >= OldNumMethods;
       if (ForceFull || IsNew || BodyFp != G.BuiltBodyFp[M])
         BodyChanged.push_back(M);
-      G.BuiltBodyFp[M] = BodyFp;
-      G.BuiltIfaceFp[M] = P.methodInterfaceFingerprint(M);
+      if (G.BuiltBodyFp[M] != BodyFp)
+        G.BuiltBodyFp.mutableAt(M) = BodyFp;
+      uint64_t IfaceFp = P.methodInterfaceFingerprint(M);
+      if (G.BuiltIfaceFp[M] != IfaceFp)
+        G.BuiltIfaceFp.mutableAt(M) = IfaceFp;
     }
   }
 
@@ -230,22 +236,36 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
   // is one hash per call edge over the whole graph — linear in the call
   // graph, independent of statement counts — and partitions perfectly:
   // workers own disjoint method ranges, reading the (frozen) call graph
-  // and writing disjoint Relower/shape slots.
+  // and writing disjoint Relower slots.  Shape fingerprints that moved
+  // are collected per worker and applied serially afterwards: most
+  // methods re-hash to their stored value, so the CoW fingerprint
+  // chunks shared with the previous generation are never split for an
+  // unchanged method — and never written from two workers at once.
   Timer ShapeClock;
   std::vector<char> Relower(NumMethods, 0);
   for (MethodId M : BodyChanged)
     Relower[M] = 1;
   const bool RelowerAll = ForceFull || First;
-  parallelChunks(NumMethods, Threads,
-                 [&](size_t Begin, size_t End, unsigned) {
+  unsigned ShapeWorkers = Threads > 0 ? Threads : 1;
+  std::vector<std::vector<std::pair<MethodId, uint64_t>>> ShapeChanged(
+      ShapeWorkers);
+  parallelChunks(NumMethods, Exec,
+                 [&](size_t Begin, size_t End, unsigned Worker) {
+                   auto &Changed = ShapeChanged[Worker];
                    for (MethodId M = MethodId(Begin); M < End; ++M) {
                      uint64_t Shape =
                          calleeShape(Calls, M, G.BuiltIfaceFp);
-                     if (RelowerAll || Shape != G.BuiltShapeFp[M])
+                     if (Shape != G.BuiltShapeFp[M]) {
                        Relower[M] = 1;
-                     G.BuiltShapeFp[M] = Shape;
+                       Changed.emplace_back(M, Shape);
+                     } else if (RelowerAll) {
+                       Relower[M] = 1;
+                     }
                    }
                  });
+  for (const auto &Changed : ShapeChanged)
+    for (const auto &[M, Shape] : Changed)
+      G.BuiltShapeFp.mutableAt(M) = Shape;
   DS.ShapeSeconds = ShapeClock.seconds();
 
   // --- Re-lower: shard the re-lower set across the worker pool, each
@@ -261,8 +281,10 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
     LowerWorkers = unsigned(DS.Relowered.size());
   if (LowerWorkers == 0)
     LowerWorkers = 1;
+  support::ExecContext LowerExec = Exec;
+  LowerExec.Budget = LowerWorkers;
   std::vector<StagedLowering> Staged(LowerWorkers);
-  parallelChunks(DS.Relowered.size(), LowerWorkers,
+  parallelChunks(DS.Relowered.size(), LowerExec,
                  [&](size_t Begin, size_t End, unsigned Worker) {
                    StagedLowering &Out = Staged[Worker];
                    Out.Edges.reserve((End - Begin) * 8);
@@ -294,7 +316,7 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
   if (First)
     G.finalize();
   else
-    G.finalizeDelta(Threads);
+    G.finalizeDelta(Exec);
   DS.RepackSeconds = RepackClock.seconds();
   DS.Compacted = G.lastRepackCompacted();
 
@@ -306,10 +328,10 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
 
 BuiltPAG dynsum::pag::buildPAG(const Program &P,
                                const TargetResolver *Resolver,
-                               unsigned Threads) {
+                               const support::ExecContext &Exec) {
   BuiltPAG Result;
   Result.Graph = std::make_unique<PAG>(P);
   buildPAGDelta(*Result.Graph, Result.Calls, Resolver, /*ForceFull=*/false,
-                Threads);
+                Exec);
   return Result;
 }

@@ -82,10 +82,10 @@ struct DeltaStats {
 ///     are marked ContextFree.
 ///
 /// \p Resolver selects virtual-call targets (CHA when null).
-/// \p Threads shards statement lowering as in buildPAGDelta.
+/// \p Exec shards statement lowering as in buildPAGDelta.
 BuiltPAG buildPAG(const ir::Program &P,
                   const TargetResolver *Resolver = nullptr,
-                  unsigned Threads = 1);
+                  const support::ExecContext &Exec = {});
 
 /// Patches \p G and \p Calls in place to match \p G's (edited) program:
 /// appends nodes for new variables/allocation sites, re-lowers only the
@@ -95,17 +95,20 @@ BuiltPAG buildPAG(const ir::Program &P,
 /// \p ForceFull re-lowers every method regardless of fingerprints (the
 /// commit --scratch escape hatch; identical result, O(program) cost).
 ///
-/// \p Threads shards the pipeline (0 = one worker per hardware
-/// thread): the shape-fingerprint sweep partitions the method table,
-/// the re-lower set is lowered into per-worker private edge staging
+/// \p Exec shards the pipeline (its thread budget; 0 = one worker per
+/// hardware thread, and phases reuse its pool when it carries one):
+/// the shape-fingerprint sweep partitions the method table, the
+/// re-lower set is lowered into per-worker private edge staging
 /// buffers, and the CSR repack partitions the dirty node buckets.
 /// Everything that assigns ids — node appends, edge slot allocation,
-/// segment bookkeeping — stays in single-writer phases, so the
-/// resulting graph is BIT-IDENTICAL to a 1-thread build: same node
+/// segment bookkeeping — stays in single-writer phases, and every
+/// parallel phase writes only chunks this graph owns exclusively, so
+/// the resulting graph is BIT-IDENTICAL to a 1-thread build: same node
 /// ids, same edge slot ids, same CSR layout.
 DeltaStats buildPAGDelta(PAG &G, CallGraph &Calls,
                          const TargetResolver *Resolver = nullptr,
-                         bool ForceFull = false, unsigned Threads = 1);
+                         bool ForceFull = false,
+                         const support::ExecContext &Exec = {});
 
 } // namespace pag
 } // namespace dynsum

@@ -8,10 +8,10 @@
 #include "service/AnalysisService.h"
 
 #include "analysis/SummaryIO.h"
-#include "support/Parallel.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace dynsum;
 using namespace dynsum::service;
@@ -19,9 +19,44 @@ using incremental::CommitStats;
 using incremental::InvalidationPlan;
 using incremental::InvalidationPolicy;
 
+//===----------------------------------------------------------------------===//
+// CommitTicket
+//===----------------------------------------------------------------------===//
+
+bool CommitTicket::done() const {
+  if (!S)
+    return false;
+  std::lock_guard<std::mutex> Lock(S->M);
+  return S->Done;
+}
+
+CommitStats CommitTicket::wait() const {
+  assert(S && "waiting on an invalid ticket");
+  std::unique_lock<std::mutex> Lock(S->M);
+  S->Cv.wait(Lock, [this] { return S->Done; });
+  return S->Stats;
+}
+
+uint64_t CommitTicket::generation() const {
+  assert(S && "waiting on an invalid ticket");
+  std::unique_lock<std::mutex> Lock(S->M);
+  S->Cv.wait(Lock, [this] { return S->Done; });
+  return S->Generation;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction
+//===----------------------------------------------------------------------===//
+
 AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
                                  ServiceOptions Opts)
-    : Opts(Opts), Prog(std::move(P)) {
+    : Opts(std::move(Opts)), Prog(std::move(P)) {
+  // Parallel commit budgets get a persistent pool once, here, so every
+  // phase of every commit reuses the same threads instead of spawning
+  // fresh ones per phase.
+  if (!this->Opts.Commit.Pool && this->Opts.Commit.threads() > 1)
+    this->Opts.Commit.Pool =
+        std::make_shared<support::WorkerPool>(this->Opts.Commit.Budget);
   publish(buildFirstGeneration()); // generation 0, store is empty
   CommittedClock = Prog->modClock();
 }
@@ -41,14 +76,20 @@ AnalysisService::buildFirstGeneration() {
   auto G = std::make_shared<Generation>();
   G->Number = Store.generation();
   G->NumVars = Prog->variables().size();
-  G->Built = pag::buildPAG(*Prog, nullptr, Opts.CommitThreads);
+  G->Built = std::make_shared<pag::BuiltPAG>(
+      pag::buildPAG(*Prog, nullptr, Opts.Commit));
   G->Engine = std::make_unique<engine::QueryScheduler>(
-      *G->Built.Graph, Opts.Engine, Store, G->Number);
+      *G->Built->Graph, Opts.Engine, Store, G->Number);
   return G;
 }
 
 void AnalysisService::publish(std::shared_ptr<const Generation> G) {
   std::lock_guard<std::mutex> Lock(GenMutex);
+  if (Current) {
+    History.push_back(std::move(Current));
+    while (History.size() > Opts.KeepGenerations)
+      History.pop_front();
+  }
   Current = std::move(G);
 }
 
@@ -56,6 +97,17 @@ std::shared_ptr<const AnalysisService::Generation>
 AnalysisService::current() const {
   std::lock_guard<std::mutex> Lock(GenMutex);
   return Current;
+}
+
+std::shared_ptr<const AnalysisService::Generation>
+AnalysisService::findGeneration(uint64_t Number) const {
+  std::lock_guard<std::mutex> Lock(GenMutex);
+  if (Current && Current->Number == Number)
+    return Current;
+  for (const std::shared_ptr<const Generation> &G : History)
+    if (G->Number == Number)
+      return G;
+  return nullptr;
 }
 
 //===----------------------------------------------------------------------===//
@@ -90,6 +142,10 @@ bool AnalysisService::dirty() const {
   return Prog->modClock() != CommittedClock;
 }
 
+//===----------------------------------------------------------------------===//
+// Commits
+//===----------------------------------------------------------------------===//
+
 CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   if (Prog->modClock() == CommittedClock)
     return {};
@@ -97,24 +153,33 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   Timer Clock;
   CommitStats Stats;
   Stats.SummariesBefore = Store.size();
-  unsigned Threads = clampThreads(Opts.CommitThreads);
+  const support::ExecContext &Exec = Opts.Commit;
 
+  // The pre-edit boundary flags are usually carried forward from the
+  // previous commit (CachedBoundary); whether they can be patched in
+  // O(delta) or must be re-diffed in full is decided after the delta
+  // build below.  The old generation's graph is immutable, so a full
+  // sweep — needed only on the first commit and after rollback or a
+  // ClearAll commit — can equally run after the build.
   std::shared_ptr<const Generation> Old = current();
-  incremental::BoundarySnapshot OldBoundary =
-      incremental::snapshotBoundary(*Old->Built.Graph, Threads);
+  const bool CarriedValid = CachedBoundaryGen == Old->Number;
+  CachedBoundaryGen = kNoBoundaryGen;
 
-  // Build the next epoch's graph as a delta of the previous one: clone
-  // the old graph (flat array copies, sharded across the commit
-  // workers) and patch the clone.  The old generation keeps serving
-  // in-flight batches untouched the whole time; node ids are shared
-  // between the two graphs by construction.
+  // Snapshot the previous epoch's graph.  Storage is chunked and
+  // copy-on-write, so this "clone" is a chunk-table copy plus refcount
+  // bumps — O(tables), independent of graph size — and the delta build
+  // below splits only the chunks the edit touches.  The old generation
+  // keeps serving in-flight batches untouched the whole time (its
+  // chunks are immutable while shared); node ids are shared between the
+  // two graphs by construction.
   Timer CloneClock;
-  auto NewGraph = std::make_unique<pag::PAG>(*Old->Built.Graph, Threads);
-  pag::CallGraph NewCalls = Old->Built.Calls;
+  auto NewBuilt = std::make_shared<pag::BuiltPAG>();
+  NewBuilt->Graph = std::make_unique<pag::PAG>(*Old->Built->Graph);
+  NewBuilt->Calls = Old->Built->Calls;
   Stats.CloneSeconds = CloneClock.seconds();
   pag::DeltaStats Delta = pag::buildPAGDelta(
-      *NewGraph, NewCalls, nullptr,
-      /*ForceFull=*/Mode == CommitMode::Scratch, Threads);
+      *NewBuilt->Graph, NewBuilt->Calls, nullptr,
+      /*ForceFull=*/Mode == CommitMode::Scratch, Exec);
   Stats.MethodsRelowered = Delta.Relowered.size();
   Stats.ShapeSeconds = Delta.ShapeSeconds;
   Stats.LowerSeconds = Delta.LowerSeconds;
@@ -127,10 +192,27 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   } else {
     std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
                                            Delta.Touched.end());
-    InvalidationPlan Plan = incremental::planInvalidation(
-        OldBoundary, *NewGraph, Dirty, Threads);
+    // Fast path: the carried snapshot plus the repack's own dirty-node
+    // list give an O(delta) plan.  A compaction (or an invalidated
+    // carry) rederived every flag, so fall back to the full
+    // position-for-position diff and recapture the snapshot from it.
+    InvalidationPlan Plan;
+    if (CarriedValid && !NewBuilt->Graph->lastRepackCompacted()) {
+      Plan = incremental::patchInvalidation(
+          CachedBoundary, *NewBuilt->Graph,
+          NewBuilt->Graph->lastRepackAffectedNodes(), Dirty);
+    } else {
+      incremental::BoundarySnapshot OldBoundary =
+          CarriedValid
+              ? std::move(CachedBoundary)
+              : incremental::snapshotBoundary(*Old->Built->Graph, Exec);
+      incremental::BoundarySnapshot NewBoundary;
+      Plan = incremental::planInvalidation(OldBoundary, *NewBuilt->Graph,
+                                           Dirty, Exec, &NewBoundary);
+      CachedBoundary = std::move(NewBoundary);
+    }
     Stats.MethodsInvalidated = Plan.Methods.size();
-    Stats.SummariesDropped = Store.beginGeneration(*NewGraph, Plan);
+    Stats.SummariesDropped = Store.beginGeneration(*NewBuilt->Graph, Plan);
   }
   Stats.SharedSummariesDropped = Stats.SummariesDropped;
 
@@ -141,10 +223,14 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   auto NewGen = std::make_shared<Generation>();
   NewGen->Number = Store.generation();
   NewGen->NumVars = Prog->variables().size();
-  NewGen->Built.Graph = std::move(NewGraph);
-  NewGen->Built.Calls = std::move(NewCalls);
+  NewGen->Built = std::move(NewBuilt);
   NewGen->Engine = std::make_unique<engine::QueryScheduler>(
-      *NewGen->Built.Graph, Opts.Engine, Store, NewGen->Number);
+      *NewGen->Built->Graph, Opts.Engine, Store, NewGen->Number);
+  // The invalidation diff captured the new graph's boundary flags into
+  // CachedBoundary; stamp them with the generation they describe.  A
+  // ClearAll commit skipped the diff, so its next commit re-sweeps.
+  if (Opts.Policy != InvalidationPolicy::ClearAll)
+    CachedBoundaryGen = NewGen->Number;
   publish(std::move(NewGen));
 
   CommittedClock = Prog->modClock();
@@ -159,70 +245,176 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   return Stats;
 }
 
-CommitStats AnalysisService::commit(CommitMode Mode) {
-  std::lock_guard<std::mutex> Lock(EditMutex);
-  return commitLocked(Mode);
+void AnalysisService::completeTicket(
+    const std::shared_ptr<CommitTicket::State> &S, const CommitStats &Stats,
+    uint64_t Generation) {
+  std::lock_guard<std::mutex> Lock(S->M);
+  S->Stats = Stats;
+  S->Generation = Generation;
+  S->Done = true;
+  S->Cv.notify_all();
+}
+
+CommitTicket AnalysisService::submitCommit(const CommitRequest &Req) {
+  if (!Req.Background) {
+    auto S = std::make_shared<CommitTicket::State>();
+    CommitStats Stats;
+    uint64_t Gen = 0;
+    {
+      std::lock_guard<std::mutex> Lock(EditMutex);
+      Stats = commitLocked(Req.Mode);
+      Gen = current()->Number;
+    }
+    completeTicket(S, Stats, Gen);
+    return CommitTicket(std::move(S));
+  }
+
+  // Background: attach to the coalesced pending slot.  A request
+  // arriving while a commit is queued shares that commit's ticket state
+  // — the covering commit publishes every edit buffered before it grabs
+  // the edit lock, so one completion answers them all (Scratch wins
+  // when modes mix).  A request arriving while a commit is only *in
+  // flight* starts a fresh pending slot: its edits may have missed that
+  // commit's cutoff, so it must be covered by a follow-up.
+  std::lock_guard<std::mutex> Lock(AsyncMutex);
+  AsyncRequested.fetch_add(1, std::memory_order_relaxed);
+  if (PendingTicket || AsyncInFlight)
+    AsyncCoalesced.fetch_add(1, std::memory_order_relaxed);
+  if (!PendingTicket) {
+    PendingTicket = std::make_shared<CommitTicket::State>();
+    PendingMode = CommitMode::Delta;
+  }
+  if (Req.Mode == CommitMode::Scratch)
+    PendingMode = CommitMode::Scratch; // scratch wins when modes mix
+  if (!Committer.joinable())
+    Committer = std::thread([this] { committerLoop(); });
+  WorkCv.notify_one();
+  return CommitTicket(PendingTicket);
 }
 
 //===----------------------------------------------------------------------===//
-// Async commits
+// Background committer
 //===----------------------------------------------------------------------===//
 //
 // One background committer drains a single coalesced request slot: a
 // commit covers every edit buffered before it grabs the edit lock, so
 // any number of requests queued while one is in flight collapse into
 // one follow-up commit without losing anything.  The committer publishes
-// through the same epoch handoff as blocking commits — readers never see
-// a half-built generation, they just keep draining the previous
+// through the same epoch handoff as foreground commits — readers never
+// see a half-built generation, they just keep draining the previous
 // snapshot until the atomic pointer swap.
 
 void AnalysisService::committerLoop() {
   std::unique_lock<std::mutex> Lock(AsyncMutex);
   for (;;) {
-    WorkCv.wait(Lock, [this] { return AsyncPending || AsyncStop; });
-    if (!AsyncPending) // stop requested and queue drained
+    WorkCv.wait(Lock, [this] { return PendingTicket != nullptr || AsyncStop; });
+    if (!PendingTicket) // stop requested and queue drained
       return;
-    CommitMode Mode = AsyncMode;
-    AsyncPending = false;
-    AsyncMode = CommitMode::Delta;
+    CommitMode Mode = PendingMode;
+    std::shared_ptr<CommitTicket::State> Ticket = std::move(PendingTicket);
+    PendingTicket = nullptr;
+    PendingMode = CommitMode::Delta;
     AsyncInFlight = true;
     Lock.unlock();
+    CommitStats Stats;
+    uint64_t Gen = 0;
     {
       std::lock_guard<std::mutex> Edit(EditMutex);
-      commitLocked(Mode);
+      Stats = commitLocked(Mode);
+      Gen = current()->Number;
     }
+    completeTicket(Ticket, Stats, Gen);
     Lock.lock();
     AsyncInFlight = false;
     IdleCv.notify_all();
   }
 }
 
-void AnalysisService::commitAsync(CommitMode Mode) {
-  std::lock_guard<std::mutex> Lock(AsyncMutex);
-  AsyncRequested.fetch_add(1, std::memory_order_relaxed);
-  if (AsyncPending || AsyncInFlight)
-    AsyncCoalesced.fetch_add(1, std::memory_order_relaxed);
-  AsyncPending = true;
-  if (Mode == CommitMode::Scratch)
-    AsyncMode = CommitMode::Scratch; // scratch wins when modes mix
-  if (!Committer.joinable())
-    Committer = std::thread([this] { committerLoop(); });
-  WorkCv.notify_one();
-}
-
 void AnalysisService::waitForCommits() {
   std::unique_lock<std::mutex> Lock(AsyncMutex);
-  IdleCv.wait(Lock, [this] { return !AsyncPending && !AsyncInFlight; });
+  IdleCv.wait(Lock, [this] { return !PendingTicket && !AsyncInFlight; });
+}
+
+//===----------------------------------------------------------------------===//
+// Generation history
+//===----------------------------------------------------------------------===//
+
+std::vector<GenerationInfo> AnalysisService::generations() const {
+  std::vector<std::shared_ptr<const Generation>> Gens;
+  {
+    std::lock_guard<std::mutex> Lock(GenMutex);
+    Gens.assign(History.begin(), History.end());
+    if (Current)
+      Gens.push_back(Current);
+  }
+  std::vector<GenerationInfo> Out;
+  Out.reserve(Gens.size());
+  for (size_t I = 0; I < Gens.size(); ++I) {
+    const Generation &G = *Gens[I];
+    GenerationInfo Info;
+    Info.Number = G.Number;
+    Info.NumVars = G.NumVars;
+    Info.IsCurrent = I + 1 == Gens.size();
+    pag::PAGMemoryStats GraphMem = G.Built->Graph->memoryStats();
+    support::ChunkMemoryStats CallMem = G.Built->Calls.memory();
+    Info.TotalBytes = GraphMem.TotalBytes + CallMem.TotalBytes;
+    Info.RetainedBytes =
+        GraphMem.RetainedBytes + (CallMem.TotalBytes - CallMem.SharedBytes);
+    Out.push_back(Info);
+  }
+  return Out;
+}
+
+std::optional<ServiceBatchResult>
+AnalysisService::queryVarsAt(uint64_t Generation,
+                             const std::vector<ir::VarId> &Vars) {
+  std::shared_ptr<const AnalysisService::Generation> Gen =
+      findGeneration(Generation);
+  if (!Gen)
+    return std::nullopt;
+  return runBatch(Gen, Vars);
+}
+
+bool AnalysisService::rollback(uint64_t Generation) {
+  std::lock_guard<std::mutex> Lock(EditMutex);
+  std::shared_ptr<const AnalysisService::Generation> R =
+      findGeneration(Generation);
+  if (!R)
+    return false;
+
+  // Summaries are validated by per-method diffs along the generation
+  // lineage; republishing an older snapshot branches that lineage, so
+  // entries validated on the abandoned branch cannot be trusted by any
+  // future diff.  Drop them (the graphs themselves share chunks safely
+  // across the branch — refcounts are lineage-blind).
+  Store.clear();
+
+  auto NewGen = std::make_shared<AnalysisService::Generation>();
+  NewGen->Number = Store.generation();
+  NewGen->NumVars = R->NumVars;
+  NewGen->Built = R->Built; // O(1): the snapshot is shared, not rebuilt
+  NewGen->Engine = std::make_unique<engine::QueryScheduler>(
+      *NewGen->Built->Graph, Opts.Engine, Store, NewGen->Number);
+  publish(std::move(NewGen));
+
+  // Rewind the committed clock to the snapshot's build clock: program
+  // edits made after its capture count as pending again, and the next
+  // commit re-applies them as an ordinary delta of the restored graph.
+  CommittedClock = R->Built->Graph->builtModClock();
+  // The carried boundary snapshot described the abandoned head; the
+  // next commit re-sweeps the restored graph.
+  CachedBoundaryGen = kNoBoundaryGen;
+  Rollbacks.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
 // Queries
 //===----------------------------------------------------------------------===//
 
-ServiceBatchResult AnalysisService::queryVars(
-    const std::vector<ir::VarId> &Vars) {
-  std::shared_ptr<const Generation> Gen = current();
-
+ServiceBatchResult
+AnalysisService::runBatch(const std::shared_ptr<const Generation> &Gen,
+                          const std::vector<ir::VarId> &Vars) {
   // Variables are append-only with dense ids, so id < NumVars decides
   // whether the pinned generation knows the variable.  Unknown ones
   // (created after this generation's commit) keep a default (empty)
@@ -232,7 +424,7 @@ ServiceBatchResult AnalysisService::queryVars(
   Slot.reserve(Vars.size());
   for (size_t I = 0; I < Vars.size(); ++I) {
     if (Vars[I] < Gen->NumVars) {
-      Batch.add(Gen->Built.Graph->nodeOfVar(Vars[I]));
+      Batch.add(Gen->Built->Graph->nodeOfVar(Vars[I]));
       Slot.push_back(I);
     }
   }
@@ -249,6 +441,11 @@ ServiceBatchResult AnalysisService::queryVars(
   Batches.fetch_add(1, std::memory_order_relaxed);
   Queries.fetch_add(Vars.size(), std::memory_order_relaxed);
   return Out;
+}
+
+ServiceBatchResult AnalysisService::queryVars(
+    const std::vector<ir::VarId> &Vars) {
+  return runBatch(current(), Vars);
 }
 
 engine::QueryOutcome AnalysisService::queryVar(ir::VarId V) {
@@ -270,7 +467,7 @@ bool AnalysisService::saveSummaries(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(EditMutex);
   commitLocked(CommitMode::Delta);
   std::shared_ptr<const Generation> Gen = current();
-  analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
+  analysis::DynSumAnalysis Staging(*Gen->Built->Graph, Opts.Engine.Analysis);
   Store.drainInto(Staging);
   return analysis::saveSummariesFile(Staging, Path);
 }
@@ -279,7 +476,7 @@ bool AnalysisService::loadSummaries(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(EditMutex);
   commitLocked(CommitMode::Delta);
   std::shared_ptr<const Generation> Gen = current();
-  analysis::DynSumAnalysis Staging(*Gen->Built.Graph, Opts.Engine.Analysis);
+  analysis::DynSumAnalysis Staging(*Gen->Built->Graph, Opts.Engine.Analysis);
   if (!analysis::loadSummariesFile(Staging, Path))
     return false;
   Store.seedFrom(Staging); // publishes at the current generation
@@ -296,6 +493,7 @@ ServiceStats AnalysisService::stats() const {
   ServiceStats S;
   S.Generation = generation();
   S.Commits = Commits.load(std::memory_order_relaxed);
+  S.Rollbacks = Rollbacks.load(std::memory_order_relaxed);
   S.Batches = Batches.load(std::memory_order_relaxed);
   S.Queries = Queries.load(std::memory_order_relaxed);
   S.SharedSummariesDropped = SharedDropped.load(std::memory_order_relaxed);
@@ -308,9 +506,14 @@ ServiceStats AnalysisService::stats() const {
       LastCommitRelowered.load(std::memory_order_relaxed);
   S.AsyncCommitsRequested = AsyncRequested.load(std::memory_order_relaxed);
   S.AsyncCommitsCoalesced = AsyncCoalesced.load(std::memory_order_relaxed);
+  S.Store = Store.counters();
+  {
+    std::lock_guard<std::mutex> Lock(GenMutex);
+    S.RetainedGenerations = History.size();
+  }
   {
     std::lock_guard<std::mutex> Lock(AsyncMutex);
-    S.CommitInFlight = AsyncPending || AsyncInFlight;
+    S.CommitInFlight = PendingTicket != nullptr || AsyncInFlight;
   }
   return S;
 }

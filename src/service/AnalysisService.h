@@ -8,47 +8,70 @@
 /// This is the layer the paper's motivating environments (JIT
 /// compilers, IDEs — Sections 1 and 7) sit on: clients on any thread
 /// submit query batches; an editor thread buffers program edits and
-/// publishes them with commit().  The two interleave through versioned
-/// epochs ("generations"):
+/// publishes them through the commit API.  The two interleave through
+/// versioned epochs ("generations"):
 ///
-///   * Every generation is an immutable snapshot — a freshly built PAG
-///     plus a QueryScheduler pinned to the SharedSummaryStore
-///     generation the PAG corresponds to.  Queries grab the current
-///     generation (one shared_ptr copy under a mutex) and run entirely
-///     against it, without ever touching the editable program.  A
-///     finalized PAG never reads its ir::Program on the query path, so
-///     concurrent edits to the program are invisible to running
-///     batches.
+///   * Every generation is an immutable snapshot — a built PAG plus a
+///     QueryScheduler pinned to the SharedSummaryStore generation the
+///     PAG corresponds to.  Queries grab the current generation (one
+///     shared_ptr copy under a mutex) and run entirely against it,
+///     without ever touching the editable program.  A finalized PAG
+///     never reads its ir::Program on the query path, so concurrent
+///     edits to the program are invisible to running batches.
 ///
-///   * commit() (serialized on the edit lock) builds the next PAG *as a
-///     delta of the previous generation's graph*: the old PAG is cloned
-///     (a flat memcpy of its arrays), the clone is patched by
-///     pag::buildPAGDelta — only the edited methods' segments re-lower,
-///     call graph and recursion info refresh incrementally, node ids
-///     never move — and the shared incremental::planInvalidation drops
-///     exactly the summaries the edit can invalidate from the
-///     service-owned SharedSummaryStore (stable ids mean surviving
-///     store keys carry over verbatim), bumps the store generation, and
-///     swaps the current-generation pointer.  In-flight batches keep
-///     their old generation alive through the shared_ptr and drain
-///     against the old PAG; their store probes miss from then on
-///     (stale epoch), so answers stay correct for the epoch they
-///     report, and their publishes are dropped rather than poisoning
-///     the new generation.  commit(CommitMode::Scratch) is the A/B
-///     escape hatch: it force-re-lowers every method (same stable ids,
-///     O(program) cost) so delta builds can be cross-checked live.
+///   * A commit (serialized on the edit lock) builds the next PAG *as a
+///     delta of the previous generation's graph*.  Generations share
+///     storage structurally: the PAG's node/edge/CSR tables live on
+///     copy-on-write chunked arenas (support/ChunkedStorage.h), so
+///     "cloning" the previous graph is a chunk-table copy — O(tables),
+///     not O(graph) — and the delta build then splits only the chunks
+///     the edit actually touches.  Untouched chunks stay shared,
+///     immutably, with every retained generation.  The patched graph is
+///     produced by pag::buildPAGDelta (only the edited methods'
+///     segments re-lower, node ids never move), the shared
+///     incremental::planInvalidation drops exactly the summaries the
+///     edit can invalidate from the service-owned SharedSummaryStore,
+///     the store generation bumps and the current-generation pointer
+///     swaps.  In-flight batches keep their old generation alive
+///     through the shared_ptr and drain against the old PAG; their
+///     store probes miss from then on (stale epoch), so answers stay
+///     correct for the epoch they report.  CommitMode::Scratch is the
+///     A/B escape hatch: it force-re-lowers every method (same stable
+///     ids, O(program) cost) so delta builds can be cross-checked live.
 ///
-///   * The commit pipeline itself shards across
-///     ServiceOptions::CommitThreads workers (generation clone, shape
-///     fingerprints, staged re-lowering, partitioned CSR repack,
-///     boundary diff — see pag::buildPAGDelta), and commitAsync() moves
-///     the whole pipeline onto a background committer thread: the
-///     serving threads keep draining batches against the live snapshot
-///     (double-buffered generations) and the new generation is
-///     published through the same atomic epoch handoff.  Requests that
-///     arrive while a commit is in flight coalesce into one follow-up
-///     commit — safe because any commit covers every edit buffered
-///     before it grabbed the edit lock.
+///   * All commits go through ONE entry point: submitCommit() takes a
+///     CommitRequest (mode + foreground/background) and returns a
+///     waitable CommitTicket.  A foreground request runs the pipeline
+///     on the calling thread and returns an already-completed ticket; a
+///     background request queues it to the committer thread and the
+///     ticket completes when the covering commit publishes.  Background
+///     requests arriving while a commit is in flight coalesce into one
+///     follow-up commit (safe because any commit covers every edit
+///     buffered before it grabbed the edit lock — Scratch wins when
+///     modes mix), and every coalesced ticket shares the covering
+///     commit's ticket state: they all complete together, with the same
+///     stats.  The legacy commit()/commitAsync()/waitForCommits()
+///     surface survives as thin deprecated wrappers.
+///
+///   * The commit pipeline shards across ServiceOptions::Commit — a
+///     support::ExecContext carrying the thread budget and, for budgets
+///     above one, a persistent WorkerPool every phase of every commit
+///     reuses (shape fingerprints, staged re-lowering, partitioned CSR
+///     repack, boundary snapshot/diff — see pag::buildPAGDelta).
+///
+/// Because snapshots share chunks, retaining generations is cheap — a
+/// retained generation holds only the chunks its successors have since
+/// rewritten (see pag::PAG::memoryStats).  ServiceOptions::
+/// KeepGenerations keeps the N most recent superseded generations
+/// queryable: generations() lists them (with per-generation retained
+/// bytes), queryVarsAt() answers batches against any retained snapshot
+/// exactly as of its capture, and rollback() republishes one in O(1) —
+/// no graph is rebuilt, the retained snapshot simply becomes current
+/// again.  Rollback clears the summary store: summaries are validated
+/// by per-method diffs along the generation lineage, and rolling back
+/// branches that lineage, so entries validated on the abandoned branch
+/// can no longer be trusted (the graphs themselves share chunks safely
+/// regardless — chunk refcounts do not care about lineage).
 ///
 /// Warm summaries survive commits per the invalidation policy, and
 /// survive restarts through saveSummaries()/loadSummaries() (SummaryIO;
@@ -62,28 +85,42 @@
 
 #include "engine/QueryScheduler.h"
 #include "incremental/EditSession.h"
+#include "incremental/Invalidation.h"
+#include "support/ExecContext.h"
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 namespace dynsum {
 namespace service {
 
 /// Service tunables: the engine configuration every generation's
-/// scheduler runs with, the commit invalidation policy, and the commit
-/// pipeline's worker count.
+/// scheduler runs with, the commit invalidation policy, the commit
+/// pipeline's execution context, and the generation-history depth.
 struct ServiceOptions {
   engine::EngineOptions Engine;
   incremental::InvalidationPolicy Policy =
       incremental::InvalidationPolicy::PerMethod;
-  /// Workers the commit pipeline shards across (0 = one per hardware
-  /// thread): the generation clone, the shape-fingerprint sweep, the
-  /// staged re-lowering, the partitioned CSR repack and the boundary
-  /// diff all partition over this pool.  1 = the classic serial commit.
-  unsigned CommitThreads = 1;
+  /// Execution context the commit pipeline runs on: the shape-
+  /// fingerprint sweep, the staged re-lowering, the partitioned CSR
+  /// repack and the boundary snapshot/diff all partition over its
+  /// thread budget (0 = one per hardware thread; converts implicitly
+  /// from a plain thread count).  Budgets above one get a persistent
+  /// WorkerPool attached at construction so commits reuse threads
+  /// instead of spawning per phase.  Default: the classic serial
+  /// commit.
+  support::ExecContext Commit;
+  /// How many superseded generations stay retained (queryable through
+  /// queryVarsAt, restorable through rollback) after a commit publishes
+  /// a newer one.  Retention is cheap: snapshots share storage chunks,
+  /// so a retained generation costs only the chunks later commits
+  /// rewrote.  0 = history off (exactly the pre-history behavior).
+  unsigned KeepGenerations = 0;
 };
 
 /// Outcomes of one service batch plus the generation they were answered
@@ -95,60 +132,128 @@ struct ServiceBatchResult {
   uint64_t Generation = 0;
 };
 
-/// How commit() rebuilds the generation's graph.
+/// How a commit rebuilds the generation's graph.
 enum class CommitMode : uint8_t {
   Delta,   ///< re-lower edited methods only (the hot path)
   Scratch, ///< force-re-lower every method (A/B cross-check)
+};
+
+/// One commit submission: what to build and where to run it.
+struct CommitRequest {
+  CommitMode Mode = CommitMode::Delta;
+  /// false: run the pipeline on the calling thread (the ticket returns
+  /// already completed).  true: queue it to the background committer;
+  /// requests queued while a commit is in flight coalesce into one
+  /// follow-up commit and their tickets all complete with it.
+  bool Background = false;
+};
+
+/// A waitable handle on one submitted commit.  Copyable; all copies —
+/// and every ticket coalesced into the same covering commit — share one
+/// completion state.  A default-constructed ticket is invalid.
+class CommitTicket {
+public:
+  CommitTicket() = default;
+
+  bool valid() const { return S != nullptr; }
+
+  /// True once the covering commit has published (never blocks).
+  bool done() const;
+
+  /// Blocks until the covering commit publishes; returns its stats.  A
+  /// clean (no-op) commit completes immediately with empty stats.
+  incremental::CommitStats wait() const;
+
+  /// The generation the commit published (the current generation at
+  /// completion for a no-op).  Blocks like wait().
+  uint64_t generation() const;
+
+private:
+  friend class AnalysisService;
+
+  struct State {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Done = false;
+    incremental::CommitStats Stats;
+    uint64_t Generation = 0;
+  };
+
+  explicit CommitTicket(std::shared_ptr<State> S) : S(std::move(S)) {}
+
+  std::shared_ptr<State> S;
+};
+
+/// One retained (or current) generation, as reported by generations().
+struct GenerationInfo {
+  uint64_t Number = 0;
+  /// Variables the program had at capture.
+  size_t NumVars = 0;
+  bool IsCurrent = false;
+  /// Chunked-storage footprint of the generation's PAG + call graph.
+  uint64_t TotalBytes = 0;
+  /// Bytes of that footprint this generation holds exclusively — what
+  /// retaining it actually costs next to the generations it shares
+  /// chunks with.  Proportional to the deltas committed since capture,
+  /// not to program size.
+  uint64_t RetainedBytes = 0;
 };
 
 /// Lifetime counters (monotonic; readable from any thread).
 struct ServiceStats {
   uint64_t Generation = 0;
   uint64_t Commits = 0;
+  uint64_t Rollbacks = 0;
   uint64_t Batches = 0;
   uint64_t Queries = 0;
   uint64_t SharedSummariesDropped = 0;
   size_t StoreSize = 0;
+  /// Generations currently retained besides the current one.
+  uint64_t RetainedGenerations = 0;
   /// Wall-clock seconds of the most recent / all commits, and how many
   /// methods the most recent one re-lowered (the --serve "stats"
   /// commit-time readout).
   double LastCommitSeconds = 0.0;
   double TotalCommitSeconds = 0.0;
   uint64_t LastCommitRelowered = 0;
-  /// Async pipeline counters: commitAsync() calls accepted, of which
-  /// how many were coalesced into an already-queued commit, and whether
-  /// a background commit is queued or running right now (racy;
-  /// advisory).
+  /// Background pipeline counters: background submitCommit() requests
+  /// accepted, of which how many were coalesced into an already-queued
+  /// commit, and whether a background commit is queued or running right
+  /// now (racy; advisory).
   uint64_t AsyncCommitsRequested = 0;
   uint64_t AsyncCommitsCoalesced = 0;
   bool CommitInFlight = false;
+  /// The shared summary store's operation counters (fetch/hit/stale/
+  /// publish/invalidation/lock-contention) — the per-store view behind
+  /// the invalidation-policy benchmarks.
+  engine::StoreCounters Store;
 };
 
 /// The concurrent incremental analysis server.
 ///
-/// Thread-safety contract: queryVars/queryVar/generation/stats may be
-/// called from any number of threads concurrently with each other and
-/// with edits.  Edit entry points (addStatement, removeStatements,
-/// markDirty, editProgram, commit, saveSummaries, loadSummaries) are
-/// serialized internally on the edit lock and may also be called from
-/// any thread; commitAsync/waitForCommits may be called from any
-/// thread and hand the same serialized pipeline to the background
-/// committer.  program() returns the live editable program and is only
-/// safe to read on a thread that is not racing edits (typically the
-/// editor thread itself).
+/// Thread-safety contract: queryVars/queryVar/queryVarsAt/generation/
+/// generations/stats may be called from any number of threads
+/// concurrently with each other and with edits.  Edit entry points
+/// (addStatement, removeStatements, markDirty, editProgram,
+/// submitCommit, rollback, saveSummaries, loadSummaries) are serialized
+/// internally on the edit lock and may also be called from any thread;
+/// background submissions hand the same serialized pipeline to the
+/// committer thread.  program() returns the live editable program and
+/// is only safe to read on a thread that is not racing edits (typically
+/// the editor thread itself).
 class AnalysisService {
 public:
   /// Takes ownership of \p P and eagerly publishes generation 0.
   explicit AnalysisService(std::unique_ptr<ir::Program> P,
                            ServiceOptions Opts = ServiceOptions());
 
-  /// Drains the async commit queue (queued commits still run — edits
-  /// whose commit was requested are never silently dropped) and joins
-  /// the background committer.
+  /// Drains the background commit queue (queued commits still run —
+  /// edits whose commit was requested are never silently dropped) and
+  /// joins the committer.
   ~AnalysisService();
 
   //===------------------------------------------------------------------===//
-  // Edits (buffered; invisible to queries until commit())
+  // Edits (buffered; invisible to queries until a commit)
   //===------------------------------------------------------------------===//
 
   /// Appends \p S to method \p M.
@@ -179,32 +284,65 @@ public:
   /// True when edits are pending (racy by nature; advisory only).
   bool dirty() const;
 
-  /// Publishes pending edits as a new generation: clones the previous
-  /// generation's PAG, patches it with a delta build (or a forced full
+  //===------------------------------------------------------------------===//
+  // Commits (the one entry point; see the file comment)
+  //===------------------------------------------------------------------===//
+
+  /// Publishes pending edits as a new generation per \p Req: snapshots
+  /// the previous generation's graph (a copy-on-write chunk-table copy,
+  /// not a clone), patches it with a delta build (or a forced full
   /// re-lower under CommitMode::Scratch), invalidates the shared store
-  /// per the policy (SummariesBefore / SummariesDropped count store
-  /// entries), and swaps the current generation.  In-flight batches
-  /// drain against the previous one.  No-op when clean.  The whole
-  /// pipeline shards across options().CommitThreads workers.
-  incremental::CommitStats commit(CommitMode Mode = CommitMode::Delta);
+  /// per the policy, and swaps the current generation — on the calling
+  /// thread, or on the background committer when Req.Background.
+  /// In-flight batches drain against the previous generation.  A clean
+  /// commit is a no-op whose ticket completes with empty stats.
+  CommitTicket submitCommit(const CommitRequest &Req = CommitRequest());
 
-  /// Queues the commit instead of running it on the calling thread: a
-  /// background committer performs the identical pipeline (same locks,
-  /// same epoch handoff) while query batches keep draining against the
-  /// live snapshot, and the new generation is published atomically
-  /// exactly as a blocking commit would.  Requests arriving while a
-  /// commit is in flight coalesce into ONE follow-up commit — the edit
-  /// clock makes any later commit cover every edit buffered before it,
-  /// so coalescing loses nothing (Scratch wins when modes mix).  The
-  /// committed state therefore converges to what blocking commit()
-  /// calls would produce, though coalescing may publish fewer
-  /// generations.  Serialized with commit()/edits on the edit lock.
-  void commitAsync(CommitMode Mode = CommitMode::Delta);
+  /// Deprecated pre-ticket surface: blocking commit.
+  /// Equivalent to submitCommit({Mode, false}).wait().
+  [[deprecated("use submitCommit")]] incremental::CommitStats
+  commit(CommitMode Mode = CommitMode::Delta) {
+    return submitCommit(CommitRequest{Mode, false}).wait();
+  }
 
-  /// Blocks until the async queue is empty and no background commit is
-  /// running.  After it returns, every edit made before the last
-  /// commitAsync() call is published.
+  /// Deprecated pre-ticket surface: fire-and-forget background commit.
+  /// Equivalent to submitCommit({Mode, true}) with the ticket dropped.
+  [[deprecated("use submitCommit")]] void
+  commitAsync(CommitMode Mode = CommitMode::Delta) {
+    submitCommit(CommitRequest{Mode, true});
+  }
+
+  /// Blocks until the background queue is empty and no background
+  /// commit is running.  After it returns, every edit made before the
+  /// last background submission is published.  (Not deprecated — it is
+  /// still the fence for tickets that were dropped — but new code
+  /// should prefer waiting on the ticket itself.)
   void waitForCommits();
+
+  //===------------------------------------------------------------------===//
+  // Generation history
+  //===------------------------------------------------------------------===//
+
+  /// The retained generations plus the current one, oldest first, with
+  /// their structural-sharing memory footprint.
+  std::vector<GenerationInfo> generations() const;
+
+  /// Answers a batch against retained generation \p Generation exactly
+  /// as queryVars would have at its capture time (its store epoch is
+  /// stale by then, so summaries are computed privately — answers stay
+  /// bit-identical to capture).  nullopt when that generation is
+  /// neither current nor retained.
+  std::optional<ServiceBatchResult>
+  queryVarsAt(uint64_t Generation, const std::vector<ir::VarId> &Vars);
+
+  /// Republishes retained generation \p Generation as the current one —
+  /// O(1): the snapshot is shared, nothing is rebuilt.  Program edits
+  /// made after its capture become pending again (the next commit
+  /// re-applies them as a delta).  Clears the summary store (see the
+  /// file comment: rollback branches the generation lineage, which the
+  /// per-method diff-chain validation cannot cross).  False when the
+  /// generation is not retained.
+  bool rollback(uint64_t Generation);
 
   //===------------------------------------------------------------------===//
   // Queries (any thread, lock-free after the snapshot grab)
@@ -251,64 +389,94 @@ public:
   const ir::Program &program() const { return *Prog; }
 
 private:
-  /// One published epoch.  Engine is declared after Built so it is
-  /// destroyed first (it references Built.Graph).
+  /// One published epoch.  Built is shared so rollback can republish a
+  /// retained snapshot without copying anything; Engine is declared
+  /// after Built so it is destroyed first (it references Built->Graph).
   struct Generation {
     uint64_t Number = 0;
     /// Variables the program had when this generation was built; vars
     /// with ids >= NumVars were created later and are unknown here.
     size_t NumVars = 0;
-    pag::BuiltPAG Built;
+    std::shared_ptr<const pag::BuiltPAG> Built;
     std::unique_ptr<engine::QueryScheduler> Engine;
   };
 
   /// Builds generation 0 from scratch.  Caller holds the edit lock.
   std::shared_ptr<const Generation> buildFirstGeneration();
 
-  /// Swaps the published generation pointer.
+  /// Swaps the published generation pointer, retiring the previous one
+  /// into the history ring (trimmed to Opts.KeepGenerations).
   void publish(std::shared_ptr<const Generation> G);
 
   /// Current generation snapshot (any thread).
   std::shared_ptr<const Generation> current() const;
 
-  /// commit() body; caller holds the edit lock.
+  /// The generation numbered \p Number among current + retained, or
+  /// null.
+  std::shared_ptr<const Generation> findGeneration(uint64_t Number) const;
+
+  /// Runs one batch against \p Gen (shared by queryVars/queryVarsAt).
+  ServiceBatchResult runBatch(const std::shared_ptr<const Generation> &Gen,
+                              const std::vector<ir::VarId> &Vars);
+
+  /// submitCommit body; caller holds the edit lock.
   incremental::CommitStats commitLocked(CommitMode Mode);
 
+  /// Completes a ticket state (stats + published generation).
+  static void completeTicket(const std::shared_ptr<CommitTicket::State> &S,
+                             const incremental::CommitStats &Stats,
+                             uint64_t Generation);
+
   /// Body of the background committer thread (started lazily by the
-  /// first commitAsync).
+  /// first background submission).
   void committerLoop();
 
   ServiceOptions Opts;
   std::unique_ptr<ir::Program> Prog;
 
-  /// Serializes program mutation, commits and persistence.
+  /// Serializes program mutation, commits, rollback and persistence.
   mutable std::mutex EditMutex;
   /// Program edit clock at the last published generation (guarded by
   /// EditMutex); dirtiness and the touched-method set come from the
-  /// program itself.
+  /// program itself.  Rollback rewinds it to the retained generation's
+  /// build clock so later edits re-commit.
   uint64_t CommittedClock = 0;
+
+  /// Boundary snapshot of the current generation's graph, carried
+  /// forward from the previous commit's invalidation diff (guarded by
+  /// EditMutex).  Valid only while CachedBoundaryGen matches the
+  /// current generation number; a commit consumes it instead of
+  /// re-sweeping the whole graph, and rollback / ClearAll commits
+  /// invalidate it so the next commit falls back to snapshotBoundary.
+  incremental::BoundarySnapshot CachedBoundary;
+  static constexpr uint64_t kNoBoundaryGen = ~uint64_t(0);
+  uint64_t CachedBoundaryGen = kNoBoundaryGen;
 
   /// The cross-generation summary store; generations are the store's.
   engine::SharedSummaryStore Store;
 
-  /// Guards only the Current pointer swap/copy.
+  /// Guards the Current pointer swap/copy and the history ring.
   mutable std::mutex GenMutex;
   std::shared_ptr<const Generation> Current;
+  /// Superseded generations, oldest first, at most KeepGenerations.
+  std::deque<std::shared_ptr<const Generation>> History;
 
-  /// Async commit queue.  AsyncMutex guards the queue state below (one
-  /// coalesced pending request plus the in-flight marker); the commits
-  /// themselves run under EditMutex like blocking ones.  WorkCv wakes
-  /// the committer, IdleCv wakes waitForCommits.
+  /// Background commit queue.  AsyncMutex guards the queue state below
+  /// (one coalesced pending request — mode, ticket state — plus the
+  /// in-flight marker); the commits themselves run under EditMutex like
+  /// foreground ones.  WorkCv wakes the committer, IdleCv wakes
+  /// waitForCommits.
   mutable std::mutex AsyncMutex;
   std::condition_variable WorkCv;
   std::condition_variable IdleCv;
   std::thread Committer;
-  bool AsyncPending = false;
-  CommitMode AsyncMode = CommitMode::Delta;
+  CommitMode PendingMode = CommitMode::Delta;
+  std::shared_ptr<CommitTicket::State> PendingTicket;
   bool AsyncInFlight = false;
   bool AsyncStop = false;
 
   std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> Rollbacks{0};
   std::atomic<uint64_t> Batches{0};
   std::atomic<uint64_t> Queries{0};
   std::atomic<uint64_t> SharedDropped{0};

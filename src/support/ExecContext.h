@@ -1,0 +1,211 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's execution context: one value that carries the thread
+/// budget (and optionally a persistent worker pool) through every
+/// parallel phase, replacing the `unsigned Threads` parameter that used
+/// to be threaded through PAG cloning, delta finalization, the delta
+/// builder, boundary snapshots and invalidation planning separately.
+///
+/// An ExecContext converts implicitly from a thread count, so
+/// `buildPAGDelta(G, Calls, R, false, 8)` keeps reading naturally; a
+/// long-lived caller (AnalysisService) attaches a WorkerPool once and
+/// every phase of every commit reuses the same threads instead of
+/// spawning fresh ones per phase.
+///
+/// Determinism contract: identical to support/Parallel.h — chunking
+/// depends only on (N, threads()), never on pool scheduling, so results
+/// are bit-identical with and without a pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_EXECCONTEXT_H
+#define DYNSUM_SUPPORT_EXECCONTEXT_H
+
+#include "support/Parallel.h"
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynsum {
+namespace support {
+
+/// A persistent fork-join pool: N-1 parked worker threads plus the
+/// caller.  run() is a barrier — it returns when every worker has
+/// finished the job — and is internally serialized, so one pool can be
+/// shared by callers that never overlap phases (the commit pipeline
+/// runs one phase at a time).
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned Threads) {
+    unsigned T = clampThreads(Threads);
+    NumWorkers = T > 0 ? T - 1 : 0;
+    Workers.reserve(NumWorkers);
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Workers.emplace_back([this, W] { workerLoop(W + 1); });
+  }
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    WorkCv.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  /// Workers this pool can field per run, including the caller.
+  unsigned maxWorkers() const { return NumWorkers + 1; }
+
+  /// Runs Body(W) once for each W in [0, Used): the caller executes
+  /// worker 0 inline, parked threads take 1..Used-1.  Used must not
+  /// exceed maxWorkers().
+  void run(unsigned Used, const std::function<void(unsigned)> &Body) {
+    if (Used <= 1 || NumWorkers == 0) {
+      for (unsigned W = 0; W < Used; ++W)
+        Body(W);
+      return;
+    }
+    std::lock_guard<std::mutex> RL(RunM);
+    {
+      std::lock_guard<std::mutex> L(M);
+      Job = &Body;
+      UsedCount = Used;
+      DoneCount = 0;
+      ++Epoch;
+    }
+    WorkCv.notify_all();
+    Body(0);
+    std::unique_lock<std::mutex> L(M);
+    DoneCv.wait(L, [this] { return DoneCount == NumWorkers; });
+    Job = nullptr;
+  }
+
+private:
+  void workerLoop(unsigned Index) {
+    uint64_t Seen = 0;
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      WorkCv.wait(L, [this, Seen] { return Stop || Epoch != Seen; });
+      if (Stop)
+        return;
+      Seen = Epoch;
+      if (Index < UsedCount) {
+        const std::function<void(unsigned)> *J = Job;
+        L.unlock();
+        (*J)(Index);
+        L.lock();
+      }
+      if (++DoneCount == NumWorkers)
+        DoneCv.notify_one();
+    }
+  }
+
+  std::mutex RunM; ///< serializes run() callers
+  std::mutex M;
+  std::condition_variable WorkCv, DoneCv;
+  const std::function<void(unsigned)> *Job = nullptr;
+  uint64_t Epoch = 0;
+  unsigned UsedCount = 0;
+  unsigned DoneCount = 0;
+  bool Stop = false;
+  unsigned NumWorkers = 0;
+  std::vector<std::thread> Workers;
+};
+
+/// Thread budget + optional pool handle, passed by const reference
+/// through the commit pipeline.  Copyable (the pool is shared).
+struct ExecContext {
+  /// 0 = one thread per hardware core (clamped like clampThreads).
+  unsigned Budget = 1;
+  /// When set, parallel phases reuse these threads instead of spawning.
+  std::shared_ptr<WorkerPool> Pool;
+
+  ExecContext() = default;
+  /// Implicit bridge from the old `unsigned Threads` call sites.
+  ExecContext(unsigned Threads) : Budget(Threads) {}
+
+  static ExecContext serial() { return ExecContext(1); }
+  static ExecContext hardware() { return ExecContext(0); }
+
+  /// A context whose phases run on a persistent pool of
+  /// clampThreads(Threads) workers.
+  static ExecContext pooled(unsigned Threads) {
+    ExecContext Ctx(Threads);
+    Ctx.Pool = std::make_shared<WorkerPool>(Threads);
+    return Ctx;
+  }
+
+  /// Effective worker count for a phase.
+  unsigned threads() const {
+    unsigned T = clampThreads(Budget);
+    if (Pool && T > Pool->maxWorkers())
+      T = Pool->maxWorkers();
+    return T;
+  }
+};
+
+} // namespace support
+
+/// ExecContext-aware overloads of the fork-join helpers: same chunk
+/// math as the `unsigned Threads` versions in support/Parallel.h, but
+/// the extra workers come from the context's pool when it has one.
+template <typename Fn>
+void parallelChunks(size_t N, const support::ExecContext &Ctx, Fn &&F) {
+  unsigned Threads = Ctx.threads();
+  if (!Ctx.Pool || Threads <= 1) {
+    parallelChunks(N, Threads, std::forward<Fn>(F));
+    return;
+  }
+  if (N == 0)
+    return;
+  if (Threads > N)
+    Threads = unsigned(N);
+  size_t Chunk = (N + Threads - 1) / Threads;
+  if (Threads <= 1) {
+    F(size_t(0), N, 0u);
+    return;
+  }
+  Ctx.Pool->run(Threads, [&F, N, Chunk](unsigned W) {
+    size_t Begin = size_t(W) * Chunk;
+    if (Begin >= N)
+      return;
+    size_t End = Begin + Chunk < N ? Begin + Chunk : N;
+    F(Begin, End, W);
+  });
+}
+
+template <typename JobFn>
+void parallelJobs(size_t NumJobs, const support::ExecContext &Ctx,
+                  JobFn &&Job) {
+  unsigned Threads = Ctx.threads();
+  if (!Ctx.Pool || Threads <= 1) {
+    parallelJobs(NumJobs, Threads, std::forward<JobFn>(Job));
+    return;
+  }
+  if (Threads > NumJobs)
+    Threads = unsigned(NumJobs);
+  if (Threads <= 1) {
+    for (size_t I = 0; I < NumJobs; ++I)
+      Job(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  Ctx.Pool->run(Threads, [&Next, &Job, NumJobs](unsigned) {
+    for (size_t I;
+         (I = Next.fetch_add(1, std::memory_order_relaxed)) < NumJobs;)
+      Job(I);
+  });
+}
+
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_EXECCONTEXT_H

@@ -15,10 +15,10 @@
 ///     lists, same CSR span order), because every id-assigning phase of
 ///     the pipeline is single-writer by design.
 ///
-///   * Service level: a service committing through commitAsync() (the
-///     background committer) must converge to the same answers as a
-///     blocking-commit twin and as a cold scratch build after every
-///     round, at every commit thread count.
+///   * Service level: a service committing through background
+///     submitCommit() tickets (the background committer) must converge
+///     to the same answers as a foreground-commit twin and as a cold
+///     scratch build after every round, at every commit thread count.
 ///
 /// The TSan CI job runs this test alongside the service/engine suites;
 /// the ASan job runs it with the full ctest batch.
@@ -172,7 +172,7 @@ TEST_P(ParallelCommitFuzzTest, AsyncCommitsConvergeToBlockingCommits) {
 
     ServiceOptions SO;
     SO.Engine.NumThreads = 2;
-    SO.CommitThreads = Threads;
+    SO.Commit = Threads;
     AnalysisService Async(std::move(AsyncProg), SO);
     AnalysisService Block(std::move(BlockProg), SO);
 
@@ -191,12 +191,16 @@ TEST_P(ParallelCommitFuzzTest, AsyncCommitsConvergeToBlockingCommits) {
       });
       RefEdits.apply(*RefProg, kEditsPerRound);
 
-      Async.commitAsync(Round % 3 == 2 ? CommitMode::Scratch
-                                       : CommitMode::Delta);
-      Async.waitForCommits();
-      Block.commit(Round % 3 == 2 ? CommitMode::Scratch
-                                  : CommitMode::Delta);
+      CommitMode Mode =
+          Round % 3 == 2 ? CommitMode::Scratch : CommitMode::Delta;
+      service::CommitTicket Ticket =
+          Async.submitCommit({Mode, /*Background=*/true});
+      Ticket.wait();
+      ASSERT_TRUE(Ticket.done());
+      Block.submitCommit({Mode, /*Background=*/false}).wait();
       ASSERT_FALSE(Async.dirty()) << "async commit lost edits";
+      EXPECT_EQ(Ticket.generation(), Async.generation())
+          << "the ticket must report the generation its commit published";
       EXPECT_EQ(Async.generation(), Block.generation())
           << "one waited-for async commit per round must track blocking "
            "generations";
@@ -233,7 +237,7 @@ TEST(ParallelCommitQueueTest, CoalescedAsyncCommitsLoseNothing) {
   ASSERT_TRUE(Prog && RefProg);
 
   ServiceOptions SO;
-  SO.CommitThreads = 2;
+  SO.Commit = 2;
   AnalysisService S(std::move(Prog), SO);
 
   IrEditFuzzer Edits(4242);
@@ -245,8 +249,9 @@ TEST(ParallelCommitQueueTest, CoalescedAsyncCommitsLoseNothing) {
       return std::vector<ir::MethodId>{};
     });
     RefEdits.apply(*RefProg, 3);
-    // Fire-and-forget: requests racing the in-flight commit coalesce.
-    S.commitAsync();
+    // Fire-and-forget: requests racing the in-flight commit coalesce
+    // (their dropped tickets share the covering commit's state).
+    S.submitCommit({CommitMode::Delta, /*Background=*/true});
   }
   S.waitForCommits();
   ASSERT_FALSE(S.dirty()) << "queued edits must all be committed";

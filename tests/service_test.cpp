@@ -320,7 +320,7 @@ TEST(AnalysisServiceTest, EditsInvisibleUntilCommit) {
   EXPECT_EQ(S.queryVar(Other).AllocSites.size(), 1u);
   EXPECT_EQ(S.generation(), 0u);
 
-  CommitStats Stats = S.commit();
+  CommitStats Stats = S.submitCommit().wait();
   EXPECT_EQ(S.generation(), 1u);
   (void)Stats;
   EXPECT_EQ(S.queryVar(Other).AllocSites.size(), 2u);
@@ -347,7 +347,7 @@ TEST(AnalysisServiceTest, UnknownVariableGetsEmptyOutcome) {
   engine::QueryOutcome Unknown = S.queryVar(Fresh);
   EXPECT_TRUE(Unknown.AllocSites.empty());
 
-  CommitStats Stats = S.commit();
+  CommitStats Stats = S.submitCommit().wait();
   EXPECT_EQ(Stats.MethodsRelowered, 1u);
   engine::QueryOutcome Known = S.queryVar(Fresh);
   ASSERT_EQ(Known.AllocSites.size(), 1u);
@@ -402,7 +402,7 @@ TEST(AnalysisServiceTest, PerMethodCommitKeepsStoreWarm) {
   ASSERT_GT(S.stats().StoreSize, 0u);
 
   S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
-  CommitStats Stats = S.commit();
+  CommitStats Stats = S.submitCommit().wait();
   EXPECT_LT(Stats.SummariesDropped, Stats.SummariesBefore)
       << "per-method invalidation must not clear the whole store";
 
@@ -461,7 +461,7 @@ TEST(AnalysisServiceTest, SummariesPersistAcrossDivergentGraphLineages) {
     AnalysisService S(makeWorkload());
     for (unsigned I = 0; I < 3; ++I) {
       S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
-      S.commit();
+      S.submitCommit().wait();
     }
     Probe = probeVariables(S.program(), 61);
     ServiceBatchResult Warm = S.queryVars(Probe);
@@ -495,7 +495,7 @@ TEST(AnalysisServiceTest, SummariesPersistAcrossDivergentGraphLineages) {
 /// and every racing batch can be validated exactly against its
 /// generation's serial rerun (stale-epoch fetch/publish semantics must
 /// hold while the committer is mid-pipeline).  Phase 2 fires a burst of
-/// commitAsync calls without waiting — requests coalesce against the
+/// background submitCommit requests without waiting — they coalesce with the
 /// in-flight commit — and the final steady state must equal the serial
 /// reference of ALL edits: queue coalescing may skip generations but
 /// must never lose edits.  Runs under the CI TSan job with the rest of
@@ -520,7 +520,7 @@ TEST(AnalysisServiceTest, AsyncCommitsRaceConcurrentReaders) {
 
   ServiceOptions SO;
   SO.Engine.NumThreads = 2;
-  SO.CommitThreads = 2;
+  SO.Commit = 2;
   AnalysisService S(makeWorkload(), SO);
 
   std::atomic<bool> Done{false};
@@ -548,7 +548,7 @@ TEST(AnalysisServiceTest, AsyncCommitsRaceConcurrentReaders) {
   // Phase 1: one waited async commit per edit.
   for (unsigned I = 0; I < kWaitedEdits; ++I) {
     S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
-    S.commitAsync();
+    S.submitCommit({CommitMode::Delta, /*Background=*/true});
     S.waitForCommits();
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -559,7 +559,7 @@ TEST(AnalysisServiceTest, AsyncCommitsRaceConcurrentReaders) {
     S.editProgram([I](ir::Program &Q) {
       return applyScriptEdit(Q, kWaitedEdits + I);
     });
-    S.commitAsync();
+    S.submitCommit({CommitMode::Delta, /*Background=*/true});
   }
   S.waitForCommits();
   Done.store(true, std::memory_order_relaxed);
@@ -606,7 +606,7 @@ TEST(EditClockTest, RemoveOnlyEditInvalidatesSummariesInService) {
   ASSERT_EQ(Removed, 1u);
   EXPECT_TRUE(S.dirty()) << "remove-only edit must stamp the edit clock";
 
-  CommitStats Stats = S.commit();
+  CommitStats Stats = S.submitCommit().wait();
   EXPECT_GE(Stats.MethodsRelowered, 1u);
   EXPECT_TRUE(S.queryVar(T).AllocSites.empty())
       << "stale summary survived a remove-only edit";
@@ -678,7 +678,7 @@ TEST(AnalysisServiceTest, ConcurrentCommitsMatchSerialRerun) {
 
   for (unsigned I = 0; I < kEdits; ++I) {
     S.editProgram([I](ir::Program &Q) { return applyScriptEdit(Q, I); });
-    S.commit();
+    S.submitCommit().wait();
     // Give the readers a chance to drain batches on this generation.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }

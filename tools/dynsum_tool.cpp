@@ -15,7 +15,8 @@
 ///                                                 free.method.var for
 ///                                                 ownerless methods)
 ///                 [--budget=N] [--max-queries=N] [--threads=N]
-///                 [--commit-threads=N] [--stats] [--dump-ir] [--dump-pag]
+///                 [--commit-threads=N] [--keep-generations=N]
+///                 [--stats] [--dump-ir] [--dump-pag]
 ///                 [--serve] [--save-summaries=path] [--load-summaries=path]
 ///
 /// --threads routes queries and clients through the parallel batch
@@ -28,7 +29,10 @@
 /// current generation; edits buffer until "commit" publishes the next
 /// one ("commit --async" queues it on the background committer instead
 /// of blocking the REPL; --commit-threads=N shards the commit pipeline
-/// itself); "save"/"load" persist warm summaries across serve sessions.
+/// itself).  --keep-generations=N retains superseded snapshots: the
+/// "generations" command lists them with their structural-sharing cost
+/// and "rollback <gen>" republishes one in O(1).  "save"/"load" persist
+/// warm summaries across serve sessions.
 ///
 /// Examples:
 ///   dynsum prog.mj --client=all
@@ -60,6 +64,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -219,6 +224,11 @@ void serveHelp() {
             "coalesce)\n"
             "  wait                    block until queued async commits are "
             "published\n"
+            "  generations             list retained snapshots (number, "
+            "vars, retained bytes)\n"
+            "  rollback <generation>   republish a retained snapshot (O(1); "
+            "later edits\n"
+            "                          become pending again)\n"
             "  save <path> | load <path>      persist / warm-start "
             "summaries\n"
             "  stats                   generation, store size, counters, "
@@ -227,16 +237,19 @@ void serveHelp() {
             "method spec: Class.method or method (free); var spec appends "
             ".var\n"
             "(--commit-threads=N shards the commit pipeline; 0 = one worker "
-            "per hardware thread)\n";
+            "per hardware thread;\n"
+            " --keep-generations=N retains N superseded snapshots for "
+            "generations/rollback)\n";
 }
 
 int runServe(std::unique_ptr<ir::Program> Prog,
              const analysis::AnalysisOptions &AO, unsigned Threads,
-             unsigned CommitThreads) {
+             unsigned CommitThreads, unsigned KeepGenerations) {
   service::ServiceOptions SO;
   SO.Engine.NumThreads = Threads;
   SO.Engine.Analysis = AO;
-  SO.CommitThreads = CommitThreads;
+  SO.Commit = CommitThreads;
+  SO.KeepGenerations = KeepGenerations;
   service::AnalysisService S(std::move(Prog), SO);
   outs() << "dynsum serve: " << uint64_t(S.program().methods().size())
          << " methods, " << uint64_t(S.program().variables().size())
@@ -355,15 +368,18 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       }
       if (Bad)
         continue;
+      service::CommitRequest Req;
+      Req.Mode = Mode;
+      Req.Background = Async;
+      service::CommitTicket Ticket = S.submitCommit(Req);
       if (Async) {
-        S.commitAsync(Mode);
         outs() << "queued async commit"
                << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
                << "; \"wait\" blocks until published, \"stats\" shows "
                   "progress\n";
         continue;
       }
-      incremental::CommitStats CS = S.commit(Mode);
+      incremental::CommitStats CS = Ticket.wait();
       outs() << "generation " << S.generation() << ": dropped "
              << CS.SummariesDropped << "/" << CS.SummariesBefore
              << " store summaries, " << CS.MethodsInvalidated
@@ -390,6 +406,26 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       outs() << "generation " << S.generation() << " (async queue drained)\n";
       continue;
     }
+    if (Cmd == "generations" && W.size() == 1) {
+      for (const service::GenerationInfo &G : S.generations()) {
+        outs() << "  generation " << G.Number << ": " << uint64_t(G.NumVars)
+               << " vars, " << G.RetainedBytes << " / " << G.TotalBytes
+               << " bytes exclusive" << (G.IsCurrent ? " (current)" : "")
+               << '\n';
+      }
+      continue;
+    }
+    if (Cmd == "rollback" && W.size() == 2) {
+      uint64_t Gen = uint64_t(std::atoll(W[1].c_str()));
+      if (S.rollback(Gen))
+        outs() << "rolled back to snapshot " << Gen << "; now serving "
+               << "generation " << S.generation()
+               << " (edits after its capture are pending again)\n";
+      else
+        errs() << "error: generation " << Gen
+               << " is not retained (see \"generations\")\n";
+      continue;
+    }
     if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
       bool Ok = Cmd == "save" ? S.saveSummaries(W[1]) : S.loadSummaries(W[1]);
       if (Ok)
@@ -411,6 +447,15 @@ int runServe(std::unique_ptr<ir::Program> Prog,
                << SS.AsyncCommitsCoalesced << " coalesced, "
                << (SS.CommitInFlight ? "commit in flight\n"
                                      : "queue idle\n");
+      if (SS.RetainedGenerations > 0 || SS.Rollbacks > 0)
+        outs() << "history: " << SS.RetainedGenerations
+               << " retained generations, " << SS.Rollbacks << " rollbacks\n";
+      outs() << "store: " << SS.Store.Hits << "/" << SS.Store.Fetches
+             << " fetches hit (" << SS.Store.StaleFetches << " stale), "
+             << SS.Store.Publishes << " published ("
+             << SS.Store.StalePublishes << " stale), " << SS.Store.Invalidated
+             << " invalidated, " << SS.Store.LockContended
+             << " contended locks\n";
       if (SS.Commits > 0) {
         outs() << "last commit ";
         outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
@@ -450,9 +495,11 @@ int main(int argc, char **argv) {
     ServeOpts.BudgetPerQuery = uint64_t(Args.getInt("budget", 75000));
     int64_t ServeThreads = Args.getInt("threads", 4);
     int64_t CommitThreads = Args.getInt("commit-threads", 1);
+    int64_t KeepGenerations = Args.getInt("keep-generations", 0);
     return runServe(std::move(Prog), ServeOpts,
                     ServeThreads < 0 ? 0u : unsigned(ServeThreads),
-                    CommitThreads < 0 ? 0u : unsigned(CommitThreads));
+                    CommitThreads < 0 ? 0u : unsigned(CommitThreads),
+                    KeepGenerations < 0 ? 0u : unsigned(KeepGenerations));
   }
 
   // Dispatch resolver.
