@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: kill -9 a serve session that is saving its
+# summary snapshot in a tight loop, then assert the snapshot on disk
+# still loads — it must be either the previous save or the new one,
+# never a torn mix.  This exercises the atomic save path in
+# SummaryIO::saveSummariesFile (temp file + fsync + rename): a crash at
+# ANY instant may strand a *.tmp file, but the target path is only ever
+# touched by rename(2).
+#
+# Usage: scripts/crash_recovery_smoke.sh [build-dir] [iterations]
+#
+# Exits nonzero on the first iteration whose snapshot fails to load.
+set -u
+
+BUILD=${1:-build}
+ITERS=${2:-25}
+TOOL=$BUILD/dynsum_tool
+IR=tests/golden/dsum_corpus/figure2.ir
+WORK=$(mktemp -d)
+STORE=$WORK/store.dsum
+trap 'rm -rf "$WORK"' EXIT
+
+if [ ! -x "$TOOL" ]; then
+  echo "error: $TOOL is not built (run: cmake --build $BUILD --target dynsum_tool)" >&2
+  exit 1
+fi
+if [ ! -f "$IR" ]; then
+  echo "error: $IR not found (run from the repository root)" >&2
+  exit 1
+fi
+
+# Warm a couple of summaries, then save: the REPL script every serve
+# session below replays before its save loop.
+WARMUP=$(printf 'query Main.main.s1\nquery Main.main.s2\nquery Vector.get.ret\n')
+
+# The snapshot must parse as a well-formed DSUM file AND yield warm
+# summaries; "starting cold" means the load was rejected.
+load_ok() {
+  "$TOOL" "$IR" --analysis=dynsum --load-summaries="$STORE" \
+    --query=Vector.get.ret 2>/dev/null | grep -q 'loaded .* summaries'
+}
+
+# Seed the "old" snapshot with one clean save.
+{ printf '%s\nsave %s\nquit\n' "$WARMUP" "$STORE"; } \
+  | "$TOOL" "$IR" --analysis=dynsum --serve >/dev/null 2>&1
+if ! load_ok; then
+  echo "error: the seed save did not produce a loadable snapshot" >&2
+  exit 1
+fi
+
+FAILED=0
+for I in $(seq 1 "$ITERS"); do
+  # A serve session saving over the same target as fast as it can...
+  { printf '%s\n' "$WARMUP"; yes "save $STORE"; } 2>/dev/null \
+    | "$TOOL" "$IR" --analysis=dynsum --serve >/dev/null 2>&1 &
+  PID=$!
+  # ...killed -9 after a delay swept across the save window (5-105 ms)
+  # so the shot lands at a different byte offset every iteration.
+  sleep "0.$(printf '%03d' $((5 + (I * 37) % 100)))"
+  kill -9 "$PID" 2>/dev/null
+  wait "$PID" 2>/dev/null
+  # A stranded temp file is the expected crash debris; clear it so the
+  # next iteration starts clean.  The TARGET must still load.
+  rm -f "$STORE.tmp"
+  if ! load_ok; then
+    echo "FAIL: iteration $I left an unloadable snapshot at $STORE" >&2
+    FAILED=1
+    break
+  fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  exit 1
+fi
+echo "crash-recovery smoke: $ITERS kill -9 shots, snapshot loadable every time"

@@ -17,6 +17,7 @@
 #include "analysis/DynSum.h"
 
 #include "support/Debug.h"
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -276,6 +277,14 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
   // Lines 8-9: compute and (when complete) memoize the summary.  The
   // summary is shrunk on publish: it lives in a long-lived cache, and
   // growth slack across hundreds of thousands of entries adds up.
+  // A summary computation is the query's coarsest unit of work, so
+  // poll the deadline here (off the strided path) BEFORE starting one —
+  // an already-expired query must not pay for one more summary.  The
+  // fault point models a slow/failing summary in the chaos tests, so it
+  // sits after the poll, where the real computation starts.
+  if (!B.poll())
+    return nullptr;
+  support::faultPoint("query.summary");
   PptaSummary Fresh;
   bool IsComplete = Engine.compute(U, F, S, B, Fresh);
   Stats.add("dynsum.pptaComputed");
@@ -299,7 +308,7 @@ QueryResult DynSumAnalysis::query(NodeId V,
   (void)SatisfyClient; // DYNSUM computes full precision directly
   assert(!Graph.isObject(V) && "points-to query on an object node");
 
-  Budget B(Opts.BudgetPerQuery);
+  Budget B(Opts.BudgetPerQuery, Opts.Deadline);
   QueryResult Result;
 
   // Per-query scratch is reused across queries: the flat result set and
@@ -413,6 +422,7 @@ QueryResult DynSumAnalysis::query(NodeId V,
 
   if (B.exceeded())
     Result.BudgetExceeded = true;
+  Result.Status = B.status();
   Result.Steps = B.used();
   Result.canonicalize();
   TrivialSummaries.clear(); // uncached-mode stash is per-query only

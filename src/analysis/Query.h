@@ -10,6 +10,7 @@
 
 #include "ir/Program.h"
 #include "pag/PAG.h"
+#include "support/Deadline.h"
 #include "support/InternedStack.h"
 
 #include <algorithm>
@@ -19,29 +20,94 @@
 namespace dynsum {
 namespace analysis {
 
+/// How a query ended.  Anything other than Ok means Targets is a
+/// partial under-approximation and clients must treat the answer as
+/// "unknown" — the same sound-fallback contract the step budget has
+/// always had, extended to wall-clock and admission-control failures.
+enum class QueryStatus : uint8_t {
+  Ok,         ///< completed (possibly by exhausting the step budget)
+  Timeout,    ///< the deadline expired mid-traversal
+  Cancelled,  ///< the caller's CancelToken fired mid-traversal
+  Overloaded, ///< shed by admission control before running at all
+};
+
+inline const char *toString(QueryStatus S) {
+  switch (S) {
+  case QueryStatus::Ok:
+    return "ok";
+  case QueryStatus::Timeout:
+    return "timeout";
+  case QueryStatus::Cancelled:
+    return "cancelled";
+  case QueryStatus::Overloaded:
+    return "overloaded";
+  }
+  return "?";
+}
+
 /// Per-query traversal budget, counted in PAG edge traversals exactly as
 /// the paper's Section 5.2 (default limit 75,000 edges per query).  Once
 /// exhausted, every later consume() fails and the analysis unwinds with
 /// a conservative "budget exceeded" answer.
+///
+/// The budget also carries the query's deadline/cancel token: the
+/// wall clock is polled every kDeadlineStride traversals (and at
+/// explicit poll() points before blocking work), so an expired
+/// deadline trips the same exceeded() unwind path the step budget
+/// uses.  An unlimited deadline costs one dead branch per consume.
 class Budget {
 public:
   explicit Budget(uint64_t Limit) : Limit(Limit) {}
+  Budget(uint64_t Limit, const support::Deadline &D)
+      : Limit(Limit), DL(D), CheckDeadline(D.hasLimit()) {}
 
-  /// Accounts one edge traversal; returns false when over budget.
+  /// Accounts one edge traversal; returns false when over budget,
+  /// past the deadline, or cancelled.
   bool consume() {
-    if (Used >= Limit)
+    if (exceeded())
       return false;
     ++Used;
-    return true;
+    if (CheckDeadline && (Used & (kDeadlineStride - 1)) == 0)
+      pollDeadline();
+    return Interrupt == QueryStatus::Ok;
   }
 
-  bool exceeded() const { return Used >= Limit; }
+  /// Forces an immediate deadline/cancel check, off the strided path;
+  /// analyses call it before starting a coarse unit of work (e.g. one
+  /// summary computation).  Returns false when the query must unwind.
+  bool poll() {
+    if (CheckDeadline)
+      pollDeadline();
+    return !exceeded();
+  }
+
+  bool exceeded() const {
+    return Used >= Limit || Interrupt != QueryStatus::Ok;
+  }
+
+  /// Why the traversal was interrupted: Ok covers both "not exceeded"
+  /// and "step budget ran out" (the classic sound fallback); Timeout /
+  /// Cancelled mark wall-clock interruptions.
+  QueryStatus status() const { return Interrupt; }
+
   uint64_t used() const { return Used; }
   uint64_t limit() const { return Limit; }
 
 private:
+  static constexpr uint64_t kDeadlineStride = 256;
+
+  void pollDeadline() {
+    if (DL.cancelled())
+      Interrupt = QueryStatus::Cancelled;
+    else if (DL.expired())
+      Interrupt = QueryStatus::Timeout;
+  }
+
   uint64_t Limit;
   uint64_t Used = 0;
+  support::Deadline DL;
+  bool CheckDeadline = false;
+  QueryStatus Interrupt = QueryStatus::Ok;
 };
 
 /// One context-tagged points-to target: (allocation site, context stack).
@@ -65,9 +131,12 @@ struct PtsTarget {
 struct QueryResult {
   /// Sorted, deduplicated context-tagged targets.
   std::vector<PtsTarget> Targets;
-  /// True when the traversal budget ran out: Targets is then a partial
+  /// True when the traversal budget ran out (or the query was
+  /// interrupted — see Status): Targets is then a partial
   /// under-approximation and clients must treat the answer as "unknown".
   bool BudgetExceeded = false;
+  /// How the query ended; anything but Ok implies BudgetExceeded.
+  QueryStatus Status = QueryStatus::Ok;
   /// Edge traversals spent answering this query (the paper's
   /// machine-independent cost unit).
   uint64_t Steps = 0;
@@ -111,6 +180,10 @@ struct AnalysisOptions {
   /// REFINEPTS: enable its per-query (v, context) memoization.
   /// DYNSUM: enable the cross-query summary cache.
   bool EnableCache = true;
+  /// Wall-clock deadline / cancellation for each query; unlimited by
+  /// default.  Trips the same sound-fallback unwind as the step budget
+  /// and is reported via QueryResult::Status.
+  support::Deadline Deadline;
 };
 
 } // namespace analysis

@@ -47,7 +47,7 @@ QueryResult RefinePtsAnalysis::query(NodeId V,
 
   // One traversal budget for the whole query, spanning every refinement
   // pass (Section 5.2: at most 75,000 edges per points-to query).
-  Budget B(Opts.BudgetPerQuery);
+  Budget B(Opts.BudgetPerQuery, Opts.Deadline);
   QueryResult Result;
   for (unsigned Iter = 0; Iter < Opts.MaxRefineIterations; ++Iter) {
     ++LastIterations;
@@ -59,6 +59,7 @@ QueryResult RefinePtsAnalysis::query(NodeId V,
     Result = QueryResult();
     Result.Targets = std::move(Pts);
     Result.BudgetExceeded = B.exceeded();
+    Result.Status = B.status();
     Result.Steps = TotalSteps;
     Result.canonicalize();
 

@@ -7,10 +7,16 @@
 
 #include "analysis/SummaryIO.h"
 
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -77,6 +83,18 @@ void put64(std::string &Buf, uint64_t V) {
   put32(Buf, uint32_t(V >> 32));
 }
 
+/// FNV-1a over a byte range: the per-section checksum.  Not
+/// cryptographic — it guards against torn writes and bit rot, not
+/// adversaries.
+uint64_t fnv64(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : Bytes) {
+    H ^= uint8_t(C);
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
 /// Bounds-checked little-endian reader over the input buffer.
 class Reader {
 public:
@@ -100,6 +118,17 @@ public:
     return true;
   }
 
+  /// Takes the next \p Len bytes as a sub-view; false when fewer
+  /// remain.
+  bool readBytes(size_t Len, std::string_view &Out) {
+    if (Pos + Len > Data.size())
+      return false;
+    Out = Data.substr(Pos, Len);
+    Pos += Len;
+    return true;
+  }
+
+  size_t remaining() const { return Data.size() - Pos; }
   bool atEnd() const { return Pos == Data.size(); }
 
 private:
@@ -171,6 +200,167 @@ bool readTriple(Reader &R, const pag::PAG &G, StackPool &Stacks,
   return true;
 }
 
+/// One decoded summary entry, staged before merging so a failed load
+/// never leaves a half-merged cache.
+struct Entry {
+  pag::NodeId Node;
+  StackId Fields;
+  RsmState S;
+  PptaSummary Summary;
+};
+
+/// Parses one entry body (key triple, objects, tuples) from \p R.
+/// Shared by the v2 stream parse and the v3 per-record parse.
+bool parseEntry(Reader &R, const pag::PAG &G, StackPool &Stacks,
+                size_t NumAllocs, Entry &E) {
+  if (!readTriple(R, G, Stacks, E.Node, E.Fields, E.S))
+    return false;
+  uint32_t NumObjects = 0;
+  if (!R.read32(NumObjects) || NumObjects > NumAllocs)
+    return false;
+  E.Summary.Objects.resize(NumObjects);
+  for (uint32_t O = 0; O < NumObjects; ++O) {
+    if (!R.read32(E.Summary.Objects[O]) || E.Summary.Objects[O] >= NumAllocs)
+      return false;
+  }
+  uint32_t NumTuples = 0;
+  if (!R.read32(NumTuples) || NumTuples > (1u << 22))
+    return false;
+  E.Summary.Tuples.resize(NumTuples);
+  for (uint32_t T = 0; T < NumTuples; ++T) {
+    PptaTuple &Tuple = E.Summary.Tuples[T];
+    if (!readTriple(R, G, Stacks, Tuple.Node, Tuple.Fields, Tuple.State))
+      return false;
+  }
+  return true;
+}
+
+/// Best-effort method attribution for a damaged record: the payload
+/// leads with the entry's canonical node, whose owner usually survives
+/// single-bit damage elsewhere in the record.
+std::string describeRecord(const ir::Program &P, std::string_view Payload) {
+  if (Payload.size() < 4)
+    return "unattributable (payload too short)";
+  Reader R(Payload);
+  uint32_t Canonical = 0;
+  R.read32(Canonical);
+  size_t NumVars = P.variables().size();
+  if (Canonical < NumVars)
+    return "method " + P.describeMethod(P.variable(Canonical).Owner);
+  if (Canonical - NumVars < P.allocs().size())
+    return "method " + P.describeMethod(P.alloc(Canonical - NumVars).Owner);
+  return "unattributable (key node out of range)";
+}
+
+/// The strict all-or-nothing v2 body parse (post-version field).
+void deserializeV2(DynSumAnalysis &A, Reader &R, SummaryLoadReport &Report) {
+  uint64_t Fingerprint = 0, NumEntries = 0;
+  if (!R.read64(Fingerprint) ||
+      Fingerprint != programFingerprint(A.graph().program())) {
+    Report.Error = "program fingerprint mismatch";
+    return;
+  }
+  if (!R.read64(NumEntries)) {
+    Report.Error = "truncated v2 header";
+    return;
+  }
+  const pag::PAG &G = A.graph();
+  size_t NumAllocs = G.program().allocs().size();
+  StackPool &Stacks = A.fieldStacks();
+  std::vector<Entry> Staged;
+  Staged.reserve(size_t(NumEntries));
+  for (uint64_t I = 0; I < NumEntries; ++I) {
+    Entry E;
+    if (!parseEntry(R, G, Stacks, NumAllocs, E)) {
+      Report.Error =
+          "truncated or corrupt v2 entry " + std::to_string(I) +
+          " (v2 has no per-record framing; nothing was loaded)";
+      return;
+    }
+    Staged.push_back(std::move(E));
+  }
+  if (!R.atEnd()) {
+    Report.Error = "trailing bytes after the last v2 entry";
+    return;
+  }
+  for (Entry &E : Staged)
+    A.insertSummary(E.Node, E.Fields, E.S, std::move(E.Summary));
+  Report.Ok = true;
+  Report.EntriesLoaded = Staged.size();
+}
+
+/// The corruption-tolerant v3 body parse: checksummed header, then
+/// length/checksum-framed records skipped independently on damage.
+void deserializeV3(DynSumAnalysis &A, Reader &R, std::string_view Data,
+                   SummaryLoadReport &Report) {
+  uint64_t Fingerprint = 0, NumEntries = 0, HeaderCrc = 0;
+  if (!R.read64(Fingerprint) || !R.read64(NumEntries) ||
+      !R.read64(HeaderCrc)) {
+    Report.Error = "truncated v3 header";
+    return;
+  }
+  // The checksum covers everything before it: magic, version,
+  // fingerprint, entry count.
+  if (fnv64(Data.substr(0, 24)) != HeaderCrc) {
+    Report.Error = "v3 header checksum mismatch";
+    return;
+  }
+  if (Fingerprint != programFingerprint(A.graph().program())) {
+    Report.Error = "program fingerprint mismatch";
+    return;
+  }
+
+  const pag::PAG &G = A.graph();
+  const ir::Program &P = G.program();
+  size_t NumAllocs = P.allocs().size();
+  StackPool &Stacks = A.fieldStacks();
+  constexpr size_t kMaxReportedSkips = 16;
+
+  std::vector<Entry> Staged;
+  Staged.reserve(size_t(NumEntries));
+  for (uint64_t I = 0; I < NumEntries; ++I) {
+    uint32_t Len = 0;
+    uint64_t Crc = 0;
+    std::string_view Payload;
+    if (!R.read32(Len) || !R.read64(Crc) || !R.readBytes(Len, Payload)) {
+      // A tear (crash mid-write, truncated copy): everything before it
+      // is intact and loads; the tail is gone.
+      Report.Truncated = true;
+      Report.Error = "truncated at record " + std::to_string(I) + " of " +
+                     std::to_string(NumEntries);
+      break;
+    }
+    const char *Damage = nullptr;
+    Entry E;
+    if (fnv64(Payload) != Crc) {
+      Damage = "checksum mismatch";
+    } else {
+      Reader Body(Payload);
+      if (!parseEntry(Body, G, Stacks, NumAllocs, E) || !Body.atEnd())
+        Damage = "malformed payload";
+    }
+    if (Damage) {
+      ++Report.RecordsSkipped;
+      if (Report.SkippedRecords.size() < kMaxReportedSkips)
+        Report.SkippedRecords.push_back("record " + std::to_string(I) + " (" +
+                                        describeRecord(P, Payload) + "): " +
+                                        Damage);
+      continue;
+    }
+    Staged.push_back(std::move(E));
+  }
+
+  // Summaries are independent cache entries, so the intact subset is
+  // sound on its own — merge it even when records were lost.
+  for (Entry &E : Staged)
+    A.insertSummary(E.Node, E.Fields, E.S, std::move(E.Summary));
+  Report.Ok = true;
+  Report.EntriesLoaded = Staged.size();
+  if (Report.RecordsSkipped && Report.Error.empty())
+    Report.Error = std::to_string(Report.RecordsSkipped) +
+                   " damaged record(s) skipped";
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -183,83 +373,57 @@ std::string dynsum::analysis::serializeSummaries(const DynSumAnalysis &A) {
   put32(Buf, kVersion);
   put64(Buf, programFingerprint(A.graph().program()));
   put64(Buf, A.summaryCache().size());
+  put64(Buf, fnv64(Buf)); // header checksum over the 24 bytes above
 
   const pag::PAG &G = A.graph();
   const StackPool &Stacks = A.fieldStacks();
+  std::string Payload;
   for (const auto &[Key, Summary] : A.summaryCache()) {
     pag::NodeId Node = pag::NodeId((Key >> 1) & 0xffffffffu);
     RsmState S = (Key & 1) == 0 ? RsmState::S1 : RsmState::S2;
     StackId Fields{uint32_t(Key >> 33)};
-    putTriple(Buf, G, Stacks, Node, Fields, S);
-    put32(Buf, uint32_t(Summary.Objects.size()));
+    Payload.clear();
+    putTriple(Payload, G, Stacks, Node, Fields, S);
+    put32(Payload, uint32_t(Summary.Objects.size()));
     for (ir::AllocId O : Summary.Objects)
-      put32(Buf, O);
-    put32(Buf, uint32_t(Summary.Tuples.size()));
+      put32(Payload, O);
+    put32(Payload, uint32_t(Summary.Tuples.size()));
     for (const PptaTuple &T : Summary.Tuples)
-      putTriple(Buf, G, Stacks, T.Node, T.Fields, T.State);
+      putTriple(Payload, G, Stacks, T.Node, T.Fields, T.State);
+    put32(Buf, uint32_t(Payload.size()));
+    put64(Buf, fnv64(Payload));
+    Buf += Payload;
   }
   return Buf;
 }
 
-bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
-                                            std::string_view Data) {
+SummaryLoadReport
+dynsum::analysis::deserializeSummariesReport(DynSumAnalysis &A,
+                                             std::string_view Data) {
+  SummaryLoadReport Report;
   Reader R(Data);
   uint32_t Magic = 0, Version = 0;
-  uint64_t Fingerprint = 0, NumEntries = 0;
-  if (!R.read32(Magic) || Magic != kMagic)
-    return false;
-  if (!R.read32(Version) || Version != kVersion)
-    return false;
-  if (!R.read64(Fingerprint) ||
-      Fingerprint != programFingerprint(A.graph().program()))
-    return false;
-  if (!R.read64(NumEntries))
-    return false;
-
-  const pag::PAG &G = A.graph();
-  size_t NumAllocs = G.program().allocs().size();
-  StackPool &Stacks = A.fieldStacks();
-
-  // Parse into a staging vector first so a truncated buffer never
-  // leaves a half-merged cache.
-  struct Entry {
-    pag::NodeId Node;
-    StackId Fields;
-    RsmState S;
-    PptaSummary Summary;
-  };
-  std::vector<Entry> Staged;
-  Staged.reserve(size_t(NumEntries));
-  for (uint64_t I = 0; I < NumEntries; ++I) {
-    Entry E;
-    if (!readTriple(R, G, Stacks, E.Node, E.Fields, E.S))
-      return false;
-    uint32_t NumObjects = 0;
-    if (!R.read32(NumObjects) || NumObjects > NumAllocs)
-      return false;
-    E.Summary.Objects.resize(NumObjects);
-    for (uint32_t O = 0; O < NumObjects; ++O) {
-      if (!R.read32(E.Summary.Objects[O]) ||
-          E.Summary.Objects[O] >= NumAllocs)
-        return false;
-    }
-    uint32_t NumTuples = 0;
-    if (!R.read32(NumTuples) || NumTuples > (1u << 22))
-      return false;
-    E.Summary.Tuples.resize(NumTuples);
-    for (uint32_t T = 0; T < NumTuples; ++T) {
-      PptaTuple &Tuple = E.Summary.Tuples[T];
-      if (!readTriple(R, G, Stacks, Tuple.Node, Tuple.Fields, Tuple.State))
-        return false;
-    }
-    Staged.push_back(std::move(E));
+  if (!R.read32(Magic) || Magic != kMagic) {
+    Report.Error = "not a DSUM summary file (bad magic)";
+    return Report;
   }
-  if (!R.atEnd())
-    return false;
+  if (!R.read32(Version)) {
+    Report.Error = "truncated before the version field";
+    return Report;
+  }
+  if (Version == 2)
+    deserializeV2(A, R, Report);
+  else if (Version == 3)
+    deserializeV3(A, R, Data, Report);
+  else
+    Report.Error = "unsupported DSUM version " + std::to_string(Version) +
+                   " (this build reads v2 and v3)";
+  return Report;
+}
 
-  for (Entry &E : Staged)
-    A.insertSummary(E.Node, E.Fields, E.S, std::move(E.Summary));
-  return true;
+bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
+                                            std::string_view Data) {
+  return deserializeSummariesReport(A, Data).Ok;
 }
 
 //===----------------------------------------------------------------------===//
@@ -269,25 +433,59 @@ bool dynsum::analysis::deserializeSummaries(DynSumAnalysis &A,
 bool dynsum::analysis::saveSummariesFile(const DynSumAnalysis &A,
                                          const std::string &Path) {
   std::string Buf = serializeSummaries(A);
-  std::FILE *F = std::fopen(Path.c_str(), "wb");
+
+  // Crash-safe sequence: write a sibling temp file, flush it all the
+  // way to disk, then atomically rename over the target.  A crash (or
+  // kill -9) at any instant leaves either the complete old file or the
+  // complete new one — the torn temp file is garbage with a different
+  // name, and the v3 loader would reject or degrade on it anyway.
+  std::string Tmp = Path + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F)
     return false;
-  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size();
+  // Fault point: a torn write truncates the stream at byte N and skips
+  // the publish rename, modeling power loss mid-save.
+  size_t Limit = support::tornWriteLimit("save.write");
+  size_t Want = std::min(Buf.size(), Limit);
+  bool Ok = std::fwrite(Buf.data(), 1, Want, F) == Want && Want == Buf.size();
+  if (Ok && std::fflush(F) != 0)
+    Ok = false;
+#ifndef _WIN32
+  if (Ok && fsync(fileno(F)) != 0)
+    Ok = false;
+#endif
   if (std::fclose(F) != 0)
     Ok = false;
-  return Ok;
+  if (!Ok) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
-bool dynsum::analysis::loadSummariesFile(DynSumAnalysis &A,
-                                         const std::string &Path) {
+SummaryLoadReport
+dynsum::analysis::loadSummariesFileReport(DynSumAnalysis &A,
+                                          const std::string &Path) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return false;
+  if (!F) {
+    SummaryLoadReport Report;
+    Report.Error = "cannot open " + Path;
+    return Report;
+  }
   std::string Buf;
   char Chunk[65536];
   size_t N = 0;
   while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
     Buf.append(Chunk, N);
   std::fclose(F);
-  return deserializeSummaries(A, Buf);
+  return deserializeSummariesReport(A, Buf);
+}
+
+bool dynsum::analysis::loadSummariesFile(DynSumAnalysis &A,
+                                         const std::string &Path) {
+  return loadSummariesFileReport(A, Path).Ok;
 }

@@ -21,13 +21,23 @@
 /// and re-interned on load for the same reason.)
 ///
 /// Format (little-endian): magic "DSUM", u32 version, u64 fingerprint,
-/// u64 entry count, then per entry the key triple with the field stack
+/// u64 entry count, u64 header checksum, then per entry a length- and
+/// checksum-framed record holding the key triple with the field stack
 /// spelled out element by element, the object list, and the boundary
-/// tuples (again with explicit stacks).  The byte-exact layout — and
-/// the versioning rules, including why the engine's in-memory store
-/// generation is deliberately *not* a field — is specified in
-/// docs/SUMMARY_FORMAT.md; any layout change must bump
+/// tuples (again with explicit stacks).  The framing (new in v3) makes
+/// loads corruption-tolerant: a record whose checksum fails is skipped
+/// and reported, a truncated tail stops the scan — everything before
+/// the damage still loads.  Since every summary is an independent
+/// cache entry, a partial load is sound; it just warms less.  The
+/// byte-exact layout — and the versioning rules, including why the
+/// engine's in-memory store generation is deliberately *not* a field —
+/// is specified in docs/SUMMARY_FORMAT.md; any layout change must bump
 /// kSummaryFileVersion in lockstep with that document.
+///
+/// saveSummariesFile is crash-safe: the bytes go to a temp file that is
+/// fsync'd and atomically renamed over the target, so a crash (or
+/// kill -9) at any instant leaves either the old file or the new one,
+/// never a torn mix.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +48,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dynsum {
 namespace analysis {
@@ -49,7 +60,32 @@ constexpr uint32_t kSummaryFileMagic = 0x4d555344;
 /// v2: node references are canonical (VarId | numVars + AllocId)
 /// instead of raw in-memory node ids, which stopped being a pure
 /// function of the program when delta builds arrived.
-constexpr uint32_t kSummaryFileVersion = 2;
+/// v3: header checksum plus per-entry length/checksum framing so loads
+/// degrade per record instead of all-or-nothing.  v2 files still load
+/// (with v2's strict all-or-nothing semantics).
+constexpr uint32_t kSummaryFileVersion = 3;
+
+/// What a load actually did.  Header-level damage (bad magic, unknown
+/// version, wrong fingerprint, corrupt header) fails the whole load:
+/// Ok is false, Error says why, nothing was merged.  Record-level
+/// damage degrades instead: Ok stays true, the intact prefix/suffix of
+/// records is merged, and RecordsSkipped / Truncated / SkippedRecords
+/// describe what was lost.
+struct SummaryLoadReport {
+  bool Ok = false;
+  /// Summary entries merged into the analysis.
+  uint64_t EntriesLoaded = 0;
+  /// v3 records dropped for a checksum or payload-parse failure.
+  uint64_t RecordsSkipped = 0;
+  /// The file ended mid-record; everything before the tear loaded.
+  bool Truncated = false;
+  /// Why Ok is false, or a note about partial damage.
+  std::string Error;
+  /// Human-readable description of each skipped record (best-effort
+  /// method attribution from the damaged payload), capped to the first
+  /// few for bounded reports.
+  std::vector<std::string> SkippedRecords;
+};
 
 /// A stable fingerprint of everything about \p P the analyses can
 /// observe: the class hierarchy, methods, variables, allocation/call
@@ -62,16 +98,28 @@ uint64_t programFingerprint(const ir::Program &P);
 std::string serializeSummaries(const DynSumAnalysis &A);
 
 /// Loads summaries serialized by serializeSummaries into \p A, merging
-/// over its current cache.  Returns false — leaving \p A untouched — on
-/// a malformed buffer, a version mismatch, or a fingerprint mismatch
-/// with \p A's program.
+/// over its current cache, and reports exactly what happened.  Header
+/// damage merges nothing (Ok false, Error set); v3 record damage is
+/// skipped per record (Ok true, counters set).  v2 buffers keep their
+/// historical all-or-nothing contract.
+SummaryLoadReport deserializeSummariesReport(DynSumAnalysis &A,
+                                             std::string_view Data);
+
+/// Boolean convenience over deserializeSummariesReport: true iff the
+/// header was accepted (a degraded-but-partial v3 load still counts).
 bool deserializeSummaries(DynSumAnalysis &A, std::string_view Data);
 
 /// Convenience file wrappers over the buffer API.  saveSummariesFile
-/// returns false on I/O failure; loadSummariesFile on I/O failure or
-/// any deserializeSummaries rejection.
+/// writes atomically (temp file + fsync + rename) and returns false on
+/// I/O failure with the previous file intact; loadSummariesFile
+/// returns false on I/O failure or a header rejection.
 bool saveSummariesFile(const DynSumAnalysis &A, const std::string &Path);
 bool loadSummariesFile(DynSumAnalysis &A, const std::string &Path);
+
+/// File wrapper that surfaces the full per-record load report; an
+/// unreadable file reports Ok false with Error set.
+SummaryLoadReport loadSummariesFileReport(DynSumAnalysis &A,
+                                          const std::string &Path);
 
 } // namespace analysis
 } // namespace dynsum

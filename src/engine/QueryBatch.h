@@ -42,8 +42,13 @@ struct QueryOutcome {
   /// Sorted, deduplicated allocation sites the queried variable may
   /// point to.
   std::vector<ir::AllocId> AllocSites;
-  /// The traversal budget ran out; AllocSites is partial.
+  /// The traversal budget ran out (or the query was interrupted — see
+  /// Status); AllocSites is partial.
   bool BudgetExceeded = false;
+  /// How the query ended: Ok, Timeout, Cancelled, or Overloaded (shed
+  /// by admission control — AllocSites is then empty, never partial
+  /// garbage).  Anything but Ok implies BudgetExceeded.
+  analysis::QueryStatus Status = analysis::QueryStatus::Ok;
   /// PAG edge traversals spent on this query.
   uint64_t Steps = 0;
 
@@ -56,6 +61,7 @@ struct QueryOutcome {
     for (ir::AllocId A : AllocSites)
       R.Targets.push_back(analysis::PtsTarget{A, StackPool::empty()});
     R.BudgetExceeded = BudgetExceeded;
+    R.Status = Status;
     R.Steps = Steps;
     return R;
   }
@@ -101,6 +107,10 @@ struct BatchStats {
   uint64_t SummariesComputed = 0;
   /// Entries in the shared store after the batch.
   size_t StoreSize = 0;
+  /// Queries that ended Timeout / Cancelled (deadline or CancelToken
+  /// tripped mid-traversal).
+  uint64_t TimedOut = 0;
+  uint64_t Cancelled = 0;
   /// Wall-clock seconds for the whole batch.
   double Seconds = 0.0;
 };

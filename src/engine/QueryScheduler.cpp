@@ -30,21 +30,45 @@ unsigned QueryScheduler::effectiveThreads(size_t NumQueries) const {
 
 void QueryScheduler::runShard(const QueryBatch &B, size_t Shard,
                               unsigned Stride,
+                              const analysis::AnalysisOptions &AnalysisOpts,
                               analysis::SummaryExchange *Exchange,
                               std::vector<QueryOutcome> &Outcomes,
                               BatchStats &Stats) {
-  DynSumAnalysis A(Graph, Opts.Analysis);
+  DynSumAnalysis A(Graph, AnalysisOpts);
   if (Exchange)
     A.setSummaryExchange(Exchange);
 
   const std::vector<pag::NodeId> &Nodes = B.nodes();
   for (size_t I = Shard; I < Nodes.size(); I += Stride) {
+    // A tripped deadline fails the REST of the shard fast: queries that
+    // have not started yet get an empty Timeout/Cancelled outcome
+    // instead of each burning one more summary computation before their
+    // first poll.  Overshoot past the deadline is thus bounded by the
+    // one query in flight per worker.
+    if (AnalysisOpts.Deadline.hasLimit() &&
+        (AnalysisOpts.Deadline.expired() ||
+         AnalysisOpts.Deadline.cancelled())) {
+      QueryOutcome &Out = Outcomes[I];
+      Out.BudgetExceeded = true;
+      Out.Status = AnalysisOpts.Deadline.cancelled() ? QueryStatus::Cancelled
+                                                     : QueryStatus::Timeout;
+      if (Out.Status == QueryStatus::Timeout)
+        ++Stats.TimedOut;
+      else
+        ++Stats.Cancelled;
+      continue;
+    }
     QueryResult R = A.query(Nodes[I]);
     QueryOutcome &Out = Outcomes[I];
     Out.AllocSites = R.allocSites();
     Out.BudgetExceeded = R.BudgetExceeded;
+    Out.Status = R.Status;
     Out.Steps = R.Steps;
     Stats.TotalSteps += R.Steps;
+    if (R.Status == QueryStatus::Timeout)
+      ++Stats.TimedOut;
+    else if (R.Status == QueryStatus::Cancelled)
+      ++Stats.Cancelled;
   }
   Stats.SharedHits = A.stats().get("dynsum.sharedHits");
   Stats.LocalHits = A.stats().get("dynsum.cacheHits");
@@ -52,7 +76,14 @@ void QueryScheduler::runShard(const QueryBatch &B, size_t Shard,
 }
 
 BatchResult QueryScheduler::run(const QueryBatch &B) {
+  return run(B, Opts.Analysis.Deadline);
+}
+
+BatchResult QueryScheduler::run(const QueryBatch &B,
+                                const support::Deadline &DL) {
   Timer T;
+  analysis::AnalysisOptions AnalysisOpts = Opts.Analysis;
+  AnalysisOpts.Deadline = DL;
   BatchResult Result;
   Result.Outcomes.resize(B.size());
 
@@ -76,15 +107,17 @@ BatchResult QueryScheduler::run(const QueryBatch &B) {
 
   std::vector<BatchStats> ShardStats(Threads);
   if (Threads == 1) {
-    runShard(B, 0, 1, Exchange, Result.Outcomes, ShardStats[0]);
+    runShard(B, 0, 1, AnalysisOpts, Exchange, Result.Outcomes,
+             ShardStats[0]);
   } else {
     std::vector<std::thread> Workers;
     Workers.reserve(Threads);
     for (unsigned W = 0; W < Threads; ++W)
-      Workers.emplace_back(
-          [this, &B, W, Threads, Exchange, &Result, &ShardStats] {
-            runShard(B, W, Threads, Exchange, Result.Outcomes, ShardStats[W]);
-          });
+      Workers.emplace_back([this, &B, W, Threads, &AnalysisOpts, Exchange,
+                            &Result, &ShardStats] {
+        runShard(B, W, Threads, AnalysisOpts, Exchange, Result.Outcomes,
+                 ShardStats[W]);
+      });
     for (std::thread &W : Workers)
       W.join();
   }
@@ -94,6 +127,8 @@ BatchResult QueryScheduler::run(const QueryBatch &B) {
     Result.Stats.SharedHits += S.SharedHits;
     Result.Stats.LocalHits += S.LocalHits;
     Result.Stats.SummariesComputed += S.SummariesComputed;
+    Result.Stats.TimedOut += S.TimedOut;
+    Result.Stats.Cancelled += S.Cancelled;
   }
   Result.Stats.StoreSize = StorePtr->size();
   Result.Stats.Seconds = T.seconds();

@@ -62,6 +62,13 @@ public:
   /// Answers every query of \p B; outcome i answers query i.
   BatchResult run(const QueryBatch &B);
 
+  /// Same, but every query of the batch shares \p DL: a query that
+  /// trips the deadline (or its CancelToken) unwinds with a partial
+  /// sound-fallback outcome whose Status is Timeout / Cancelled.  The
+  /// deadline overrides any Deadline already in the engine's
+  /// AnalysisOptions for this batch only.
+  BatchResult run(const QueryBatch &B, const support::Deadline &DL);
+
   /// Convenience: batch up \p Nodes and run.
   BatchResult run(const std::vector<pag::NodeId> &Nodes);
 
@@ -91,6 +98,7 @@ private:
   /// \p Exchange is the batch's pinned-epoch store view (null when
   /// sharing is off).
   void runShard(const QueryBatch &B, size_t Shard, unsigned Stride,
+                const analysis::AnalysisOptions &AnalysisOpts,
                 analysis::SummaryExchange *Exchange,
                 std::vector<QueryOutcome> &Outcomes, BatchStats &Stats);
 

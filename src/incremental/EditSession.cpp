@@ -49,6 +49,7 @@ CommitStats EditSession::commit() {
     return {};
 
   CommitStats Stats;
+  Stats.Outcome = CommitOutcome::Committed;
   Stats.SummariesBefore = DynSum.cacheSize();
 
   // Snapshot the boundary flags, then patch the graph in place: only

@@ -48,6 +48,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace dynsum {
@@ -64,8 +65,44 @@ enum class InvalidationPolicy : uint8_t {
   PerMethod, ///< drop edited + boundary-changed methods only
 };
 
+/// How a commit ended.  Everything except Committed/NoOp leaves the
+/// generation chain and the summary store exactly as they were: the
+/// edits stay buffered and a later commit (after the bad edit is fixed
+/// or the transient fault passes) covers them.
+enum class CommitOutcome : uint8_t {
+  Committed,          ///< a new generation was published
+  NoOp,               ///< nothing was dirty
+  ValidationRejected, ///< the pre-commit IR gate found invalid edits
+  BuildFailed,        ///< the build pipeline threw (fault, bad_alloc...)
+  Quarantined,        ///< poison-edit quarantine failed the request fast
+  Shed,               ///< admission control refused the request
+};
+
+inline const char *toString(CommitOutcome O) {
+  switch (O) {
+  case CommitOutcome::Committed:
+    return "committed";
+  case CommitOutcome::NoOp:
+    return "noop";
+  case CommitOutcome::ValidationRejected:
+    return "validation-rejected";
+  case CommitOutcome::BuildFailed:
+    return "build-failed";
+  case CommitOutcome::Quarantined:
+    return "quarantined";
+  case CommitOutcome::Shed:
+    return "shed";
+  }
+  return "?";
+}
+
 /// Outcome of one commit, for reporting and the ablation bench.
 struct CommitStats {
+  /// How the commit ended; on anything but Committed the remaining
+  /// counters describe work done before the failure (usually none).
+  CommitOutcome Outcome = CommitOutcome::NoOp;
+  /// Diagnostic for ValidationRejected / BuildFailed / Quarantined.
+  std::string Error;
   uint64_t SummariesBefore = 0;
   uint64_t SummariesDropped = 0;
   /// Summaries dropped from the attached SharedSummaryStore (0 when no

@@ -25,6 +25,13 @@ public:
     return std::move(Problems);
   }
 
+  std::vector<std::string> runOn(const std::vector<MethodId> &Methods) {
+    for (MethodId M : Methods)
+      if (M < P.methods().size())
+        checkMethod(P.method(M));
+    return std::move(Problems);
+  }
+
 private:
   void problem(const std::string &Message) { Problems.push_back(Message); }
 
@@ -162,4 +169,10 @@ private:
 
 std::vector<std::string> dynsum::ir::validate(const Program &P) {
   return ValidatorImpl(P).run();
+}
+
+std::vector<std::string>
+dynsum::ir::validateMethods(const Program &P,
+                            const std::vector<MethodId> &Methods) {
+  return ValidatorImpl(P).runOn(Methods);
 }

@@ -31,6 +31,14 @@ namespace ir {
 ///    defensively).
 std::vector<std::string> validate(const Program &P);
 
+/// Same statement-level checks restricted to \p Methods — the commit
+/// pipeline's pre-commit gate, O(dirty methods) instead of O(program).
+/// Skips the whole-program hierarchy walk (edits cannot create class
+/// cycles; the hierarchy is append-only) and ignores out-of-range
+/// method ids in \p Methods.
+std::vector<std::string> validateMethods(const Program &P,
+                                         const std::vector<MethodId> &Methods);
+
 } // namespace ir
 } // namespace dynsum
 

@@ -9,6 +9,7 @@
 #include "pag/PAGBuilder.h"
 
 #include "support/ExecContext.h"
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Timer.h"
 
@@ -289,9 +290,11 @@ DeltaStats dynsum::pag::buildPAGDelta(PAG &G, CallGraph &Calls,
                    StagedLowering &Out = Staged[Worker];
                    Out.Edges.reserve((End - Begin) * 8);
                    ReturnsCache Returns(P);
-                   for (size_t I = Begin; I < End; ++I)
+                   for (size_t I = Begin; I < End; ++I) {
+                     support::faultPoint("commit.lower");
                      lowerMethodInto(Out, G, P, Calls, Returns,
                                      DS.Relowered[I]);
+                   }
                  });
   DS.LowerSeconds = LowerClock.seconds();
 

@@ -8,13 +8,17 @@
 #include "service/AnalysisService.h"
 
 #include "analysis/SummaryIO.h"
+#include "ir/Validator.h"
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace dynsum;
 using namespace dynsum::service;
+using incremental::CommitOutcome;
 using incremental::CommitStats;
 using incremental::InvalidationPlan;
 using incremental::InvalidationPolicy;
@@ -69,6 +73,15 @@ AnalysisService::~AnalysisService() {
   }
   if (Committer.joinable())
     Committer.join();
+  // Graceful snapshot-to-disk: best effort, after the committer has
+  // drained so the snapshot covers every accepted commit.  Shutdown
+  // must never throw; a failed save just means a cold next start.
+  if (!Opts.SnapshotOnShutdownPath.empty()) {
+    try {
+      saveSummaries(Opts.SnapshotOnShutdownPath);
+    } catch (...) {
+    }
+  }
 }
 
 std::shared_ptr<const AnalysisService::Generation>
@@ -152,8 +165,28 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
 
   Timer Clock;
   CommitStats Stats;
+  Stats.Outcome = CommitOutcome::Committed;
   Stats.SummariesBefore = Store.size();
   const support::ExecContext &Exec = Opts.Commit;
+
+  // Pre-commit gate: validate exactly the methods this commit would
+  // re-lower (O(dirty), not O(program)).  A rejected commit leaves
+  // everything — generation chain, store, boundary cache, committed
+  // clock — untouched; the edits stay buffered until fixed.
+  if (Opts.ValidateCommits) {
+    std::vector<std::string> Problems = ir::validateMethods(
+        *Prog, Prog->methodsTouchedSince(CommittedClock));
+    if (!Problems.empty()) {
+      Stats.Outcome = CommitOutcome::ValidationRejected;
+      Stats.Error = Problems.front();
+      if (Problems.size() > 1)
+        Stats.Error +=
+            " (+" + std::to_string(Problems.size() - 1) + " more)";
+      Stats.Seconds = Clock.seconds();
+      CommitValidationRejects.fetch_add(1, std::memory_order_relaxed);
+      return Stats;
+    }
+  }
 
   // The pre-edit boundary flags are usually carried forward from the
   // previous commit (CachedBoundary); whether they can be patched in
@@ -165,75 +198,97 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   const bool CarriedValid = CachedBoundaryGen == Old->Number;
   CachedBoundaryGen = kNoBoundaryGen;
 
-  // Snapshot the previous epoch's graph.  Storage is chunked and
-  // copy-on-write, so this "clone" is a chunk-table copy plus refcount
-  // bumps — O(tables), independent of graph size — and the delta build
-  // below splits only the chunks the edit touches.  The old generation
-  // keeps serving in-flight batches untouched the whole time (its
-  // chunks are immutable while shared); node ids are shared between the
-  // two graphs by construction.
-  Timer CloneClock;
-  auto NewBuilt = std::make_shared<pag::BuiltPAG>();
-  NewBuilt->Graph = std::make_unique<pag::PAG>(*Old->Built->Graph);
-  NewBuilt->Calls = Old->Built->Calls;
-  Stats.CloneSeconds = CloneClock.seconds();
-  pag::DeltaStats Delta = pag::buildPAGDelta(
-      *NewBuilt->Graph, NewBuilt->Calls, nullptr,
-      /*ForceFull=*/Mode == CommitMode::Scratch, Exec);
-  Stats.MethodsRelowered = Delta.Relowered.size();
-  Stats.ShapeSeconds = Delta.ShapeSeconds;
-  Stats.LowerSeconds = Delta.LowerSeconds;
-  Stats.ApplySeconds = Delta.ApplySeconds;
-  Stats.RepackSeconds = Delta.RepackSeconds;
+  // Everything below, up to the publish, is failure-isolated: the new
+  // generation is built on a private copy-on-write snapshot, so a
+  // throw anywhere in the pipeline (a lowering worker, an allocation
+  // failure) just abandons that snapshot — the old generation's chunks
+  // are immutable while shared, the committed clock has not advanced,
+  // and no store invalidation has run yet.  The boundary carry was
+  // invalidated above, so the next commit re-sweeps; that costs one
+  // full diff, never correctness.
+  try {
+    // Snapshot the previous epoch's graph.  Storage is chunked and
+    // copy-on-write, so this "clone" is a chunk-table copy plus
+    // refcount bumps — O(tables), independent of graph size — and the
+    // delta build below splits only the chunks the edit touches.  The
+    // old generation keeps serving in-flight batches untouched the
+    // whole time (its chunks are immutable while shared); node ids are
+    // shared between the two graphs by construction.
+    Timer CloneClock;
+    support::faultPoint("commit.snapshot");
+    auto NewBuilt = std::make_shared<pag::BuiltPAG>();
+    NewBuilt->Graph = std::make_unique<pag::PAG>(*Old->Built->Graph);
+    NewBuilt->Calls = Old->Built->Calls;
+    Stats.CloneSeconds = CloneClock.seconds();
+    pag::DeltaStats Delta = pag::buildPAGDelta(
+        *NewBuilt->Graph, NewBuilt->Calls, nullptr,
+        /*ForceFull=*/Mode == CommitMode::Scratch, Exec);
+    Stats.MethodsRelowered = Delta.Relowered.size();
+    Stats.ShapeSeconds = Delta.ShapeSeconds;
+    Stats.LowerSeconds = Delta.LowerSeconds;
+    Stats.ApplySeconds = Delta.ApplySeconds;
+    Stats.RepackSeconds = Delta.RepackSeconds;
 
-  if (Opts.Policy == InvalidationPolicy::ClearAll) {
-    Stats.SummariesDropped = Store.size();
-    Store.clear(); // bumps the store generation
-  } else {
-    std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
-                                           Delta.Touched.end());
-    // Fast path: the carried snapshot plus the repack's own dirty-node
-    // list give an O(delta) plan.  A compaction (or an invalidated
-    // carry) rederived every flag, so fall back to the full
-    // position-for-position diff and recapture the snapshot from it.
-    InvalidationPlan Plan;
-    if (CarriedValid && !NewBuilt->Graph->lastRepackCompacted()) {
-      Plan = incremental::patchInvalidation(
-          CachedBoundary, *NewBuilt->Graph,
-          NewBuilt->Graph->lastRepackAffectedNodes(), Dirty);
+    if (Opts.Policy == InvalidationPolicy::ClearAll) {
+      Stats.SummariesDropped = Store.size();
+      Store.clear(); // bumps the store generation
     } else {
-      incremental::BoundarySnapshot OldBoundary =
-          CarriedValid
-              ? std::move(CachedBoundary)
-              : incremental::snapshotBoundary(*Old->Built->Graph, Exec);
-      incremental::BoundarySnapshot NewBoundary;
-      Plan = incremental::planInvalidation(OldBoundary, *NewBuilt->Graph,
-                                           Dirty, Exec, &NewBoundary);
-      CachedBoundary = std::move(NewBoundary);
+      std::unordered_set<ir::MethodId> Dirty(Delta.Touched.begin(),
+                                             Delta.Touched.end());
+      // Fast path: the carried snapshot plus the repack's own
+      // dirty-node list give an O(delta) plan.  A compaction (or an
+      // invalidated carry) rederived every flag, so fall back to the
+      // full position-for-position diff and recapture the snapshot
+      // from it.
+      InvalidationPlan Plan;
+      if (CarriedValid && !NewBuilt->Graph->lastRepackCompacted()) {
+        Plan = incremental::patchInvalidation(
+            CachedBoundary, *NewBuilt->Graph,
+            NewBuilt->Graph->lastRepackAffectedNodes(), Dirty);
+      } else {
+        incremental::BoundarySnapshot OldBoundary =
+            CarriedValid
+                ? std::move(CachedBoundary)
+                : incremental::snapshotBoundary(*Old->Built->Graph, Exec);
+        incremental::BoundarySnapshot NewBoundary;
+        Plan = incremental::planInvalidation(OldBoundary, *NewBuilt->Graph,
+                                             Dirty, Exec, &NewBoundary);
+        CachedBoundary = std::move(NewBoundary);
+      }
+      Stats.MethodsInvalidated = Plan.Methods.size();
+      Stats.SummariesDropped = Store.beginGeneration(*NewBuilt->Graph, Plan);
     }
-    Stats.MethodsInvalidated = Plan.Methods.size();
-    Stats.SummariesDropped = Store.beginGeneration(*NewBuilt->Graph, Plan);
-  }
-  Stats.SharedSummariesDropped = Stats.SummariesDropped;
+    Stats.SharedSummariesDropped = Stats.SummariesDropped;
 
-  // Publish: from here on new batches pin the new generation; batches
-  // that already grabbed Old keep it alive and drain against it (their
-  // store epoch went stale with the bump above, so they compute
-  // privately and never cross-contaminate).
-  auto NewGen = std::make_shared<Generation>();
-  NewGen->Number = Store.generation();
-  NewGen->NumVars = Prog->variables().size();
-  NewGen->Built = std::move(NewBuilt);
-  NewGen->Engine = std::make_unique<engine::QueryScheduler>(
-      *NewGen->Built->Graph, Opts.Engine, Store, NewGen->Number);
-  // The invalidation diff captured the new graph's boundary flags into
-  // CachedBoundary; stamp them with the generation they describe.  A
-  // ClearAll commit skipped the diff, so its next commit re-sweeps.
-  if (Opts.Policy != InvalidationPolicy::ClearAll)
-    CachedBoundaryGen = NewGen->Number;
-  publish(std::move(NewGen));
+    // Publish: from here on new batches pin the new generation;
+    // batches that already grabbed Old keep it alive and drain against
+    // it (their store epoch went stale with the bump above, so they
+    // compute privately and never cross-contaminate).
+    auto NewGen = std::make_shared<Generation>();
+    NewGen->Number = Store.generation();
+    NewGen->NumVars = Prog->variables().size();
+    NewGen->Built = std::move(NewBuilt);
+    NewGen->Engine = std::make_unique<engine::QueryScheduler>(
+        *NewGen->Built->Graph, Opts.Engine, Store, NewGen->Number);
+    // The invalidation diff captured the new graph's boundary flags
+    // into CachedBoundary; stamp them with the generation they
+    // describe.  A ClearAll commit skipped the diff, so its next
+    // commit re-sweeps.
+    if (Opts.Policy != InvalidationPolicy::ClearAll)
+      CachedBoundaryGen = NewGen->Number;
+    publish(std::move(NewGen));
+  } catch (const std::exception &E) {
+    Stats.Outcome = CommitOutcome::BuildFailed;
+    Stats.Error = E.what();
+    Stats.Seconds = Clock.seconds();
+    CommitFailures.fetch_add(1, std::memory_order_relaxed);
+    return Stats;
+  }
 
   CommittedClock = Prog->modClock();
+  // A published commit proves the buffered edits are good again: lift
+  // any poison-edit quarantine (see committerLoop).
+  QuarantineActive = false;
   Stats.Seconds = Clock.seconds();
   Commits.fetch_add(1, std::memory_order_relaxed);
   SharedDropped.fetch_add(Stats.SummariesDropped, std::memory_order_relaxed);
@@ -278,12 +333,28 @@ CommitTicket AnalysisService::submitCommit(const CommitRequest &Req) {
   // commit's cutoff, so it must be covered by a follow-up.
   std::lock_guard<std::mutex> Lock(AsyncMutex);
   AsyncRequested.fetch_add(1, std::memory_order_relaxed);
+  // Backlog watermark: when the pending slot has already absorbed
+  // MaxCommitBacklog requests, shed this one instead of queueing more.
+  // Shedding loses nothing — the edits stay buffered and the pending
+  // commit covers them — it only tells the submitter to back off.
+  if (Opts.Overload.MaxCommitBacklog != 0 && PendingTicket &&
+      PendingCoalesced >= Opts.Overload.MaxCommitBacklog) {
+    CommitsShed.fetch_add(1, std::memory_order_relaxed);
+    auto S = std::make_shared<CommitTicket::State>();
+    CommitStats Shed;
+    Shed.Outcome = CommitOutcome::Shed;
+    Shed.Error = "background commit backlog over watermark";
+    completeTicket(S, Shed, current()->Number);
+    return CommitTicket(std::move(S));
+  }
   if (PendingTicket || AsyncInFlight)
     AsyncCoalesced.fetch_add(1, std::memory_order_relaxed);
   if (!PendingTicket) {
     PendingTicket = std::make_shared<CommitTicket::State>();
     PendingMode = CommitMode::Delta;
+    PendingCoalesced = 0;
   }
+  ++PendingCoalesced;
   if (Req.Mode == CommitMode::Scratch)
     PendingMode = CommitMode::Scratch; // scratch wins when modes mix
   if (!Committer.joinable())
@@ -314,14 +385,49 @@ void AnalysisService::committerLoop() {
     std::shared_ptr<CommitTicket::State> Ticket = std::move(PendingTicket);
     PendingTicket = nullptr;
     PendingMode = CommitMode::Delta;
+    PendingCoalesced = 0;
     AsyncInFlight = true;
     Lock.unlock();
+
+    // Failure policy: a commit whose build threw (a transient fault)
+    // is retried with capped exponential backoff; a validation
+    // rejection is deterministic and never retried.  Either way a
+    // commit that stays bad arms the poison-edit quarantine — further
+    // background requests fail fast until the edit clock moves (new
+    // edits arrive) or a commit succeeds (foreground commits always
+    // run and lift the quarantine on success).
     CommitStats Stats;
     uint64_t Gen = 0;
-    {
-      std::lock_guard<std::mutex> Edit(EditMutex);
-      Stats = commitLocked(Mode);
-      Gen = current()->Number;
+    unsigned Attempt = 0;
+    for (;;) {
+      bool Retry = false;
+      {
+        std::lock_guard<std::mutex> Edit(EditMutex);
+        if (QuarantineActive && Prog->modClock() == QuarantineClock) {
+          Stats = CommitStats();
+          Stats.Outcome = CommitOutcome::Quarantined;
+          Stats.Error =
+              "edit set quarantined after repeated commit failures";
+          CommitsQuarantined.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          Stats = commitLocked(Mode);
+          if (Stats.Outcome == CommitOutcome::BuildFailed &&
+              Attempt < Opts.BackgroundCommitRetries) {
+            Retry = true;
+          } else if (Stats.Outcome == CommitOutcome::BuildFailed ||
+                     Stats.Outcome == CommitOutcome::ValidationRejected) {
+            QuarantineActive = true;
+            QuarantineClock = Prog->modClock();
+          }
+        }
+        Gen = current()->Number;
+      }
+      if (!Retry)
+        break;
+      ++Attempt;
+      CommitRetries.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(1u << (Attempt - 1), 50u)));
     }
     completeTicket(Ticket, Stats, Gen);
     Lock.lock();
@@ -372,7 +478,7 @@ AnalysisService::queryVarsAt(uint64_t Generation,
       findGeneration(Generation);
   if (!Gen)
     return std::nullopt;
-  return runBatch(Gen, Vars);
+  return runBatch(Gen, Vars, nullptr);
 }
 
 bool AnalysisService::rollback(uint64_t Generation) {
@@ -412,9 +518,50 @@ bool AnalysisService::rollback(uint64_t Generation) {
 // Queries
 //===----------------------------------------------------------------------===//
 
+bool AnalysisService::admitBatch() {
+  unsigned Max = Opts.Overload.MaxActiveBatches;
+  if (Max == 0)
+    return true;
+  unsigned Low = Opts.Overload.ResumeActiveBatches != 0
+                     ? Opts.Overload.ResumeActiveBatches
+                     : Max / 2;
+  unsigned Active = ActiveBatches.load(std::memory_order_relaxed);
+  if (SheddingState.load(std::memory_order_relaxed)) {
+    // Shedding: stay closed until the in-flight count drains to the
+    // low watermark (hysteresis — no flapping at the edge).
+    if (Active > Low)
+      return false;
+    SheddingState.store(false, std::memory_order_relaxed);
+    return true;
+  }
+  if (Active >= Max) {
+    SheddingState.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+ServiceBatchResult AnalysisService::shedBatch(size_t NumQueries) {
+  ServiceBatchResult Out;
+  Out.Generation = current()->Number;
+  Out.Outcomes.resize(NumQueries);
+  for (engine::QueryOutcome &O : Out.Outcomes) {
+    O.Status = analysis::QueryStatus::Overloaded;
+    O.BudgetExceeded = true; // "unknown", same contract as over-budget
+  }
+  ShedBatches.fetch_add(1, std::memory_order_relaxed);
+  ShedQueries.fetch_add(NumQueries, std::memory_order_relaxed);
+  return Out;
+}
+
 ServiceBatchResult
 AnalysisService::runBatch(const std::shared_ptr<const Generation> &Gen,
-                          const std::vector<ir::VarId> &Vars) {
+                          const std::vector<ir::VarId> &Vars,
+                          const support::Deadline *DL) {
+  if (!admitBatch())
+    return shedBatch(Vars.size());
+  ActiveBatches.fetch_add(1, std::memory_order_relaxed);
+
   // Variables are append-only with dense ids, so id < NumVars decides
   // whether the pinned generation knows the variable.  Unknown ones
   // (created after this generation's commit) keep a default (empty)
@@ -429,7 +576,9 @@ AnalysisService::runBatch(const std::shared_ptr<const Generation> &Gen,
     }
   }
 
-  engine::BatchResult R = Gen->Engine->run(Batch);
+  engine::BatchResult R =
+      DL ? Gen->Engine->run(Batch, *DL) : Gen->Engine->run(Batch);
+  ActiveBatches.fetch_sub(1, std::memory_order_relaxed);
 
   ServiceBatchResult Out;
   Out.Generation = Gen->Number;
@@ -440,16 +589,33 @@ AnalysisService::runBatch(const std::shared_ptr<const Generation> &Gen,
 
   Batches.fetch_add(1, std::memory_order_relaxed);
   Queries.fetch_add(Vars.size(), std::memory_order_relaxed);
+  if (R.Stats.TimedOut)
+    TimedOutQueries.fetch_add(R.Stats.TimedOut, std::memory_order_relaxed);
+  if (R.Stats.Cancelled)
+    CancelledQueries.fetch_add(R.Stats.Cancelled,
+                               std::memory_order_relaxed);
   return Out;
 }
 
 ServiceBatchResult AnalysisService::queryVars(
     const std::vector<ir::VarId> &Vars) {
-  return runBatch(current(), Vars);
+  return runBatch(current(), Vars, nullptr);
+}
+
+ServiceBatchResult
+AnalysisService::queryVars(const std::vector<ir::VarId> &Vars,
+                           const support::Deadline &DL) {
+  return runBatch(current(), Vars, &DL);
 }
 
 engine::QueryOutcome AnalysisService::queryVar(ir::VarId V) {
   ServiceBatchResult R = queryVars({V});
+  return std::move(R.Outcomes.front());
+}
+
+engine::QueryOutcome AnalysisService::queryVar(ir::VarId V,
+                                               const support::Deadline &DL) {
+  ServiceBatchResult R = queryVars({V}, DL);
   return std::move(R.Outcomes.front());
 }
 
@@ -506,6 +672,17 @@ ServiceStats AnalysisService::stats() const {
       LastCommitRelowered.load(std::memory_order_relaxed);
   S.AsyncCommitsRequested = AsyncRequested.load(std::memory_order_relaxed);
   S.AsyncCommitsCoalesced = AsyncCoalesced.load(std::memory_order_relaxed);
+  S.CommitFailures = CommitFailures.load(std::memory_order_relaxed);
+  S.CommitValidationRejects =
+      CommitValidationRejects.load(std::memory_order_relaxed);
+  S.CommitRetries = CommitRetries.load(std::memory_order_relaxed);
+  S.CommitsQuarantined = CommitsQuarantined.load(std::memory_order_relaxed);
+  S.CommitsShed = CommitsShed.load(std::memory_order_relaxed);
+  S.ShedBatches = ShedBatches.load(std::memory_order_relaxed);
+  S.ShedQueries = ShedQueries.load(std::memory_order_relaxed);
+  S.TimedOutQueries = TimedOutQueries.load(std::memory_order_relaxed);
+  S.CancelledQueries = CancelledQueries.load(std::memory_order_relaxed);
+  S.Shedding = SheddingState.load(std::memory_order_relaxed);
   S.Store = Store.counters();
   {
     std::lock_guard<std::mutex> Lock(GenMutex);
@@ -514,6 +691,10 @@ ServiceStats AnalysisService::stats() const {
   {
     std::lock_guard<std::mutex> Lock(AsyncMutex);
     S.CommitInFlight = PendingTicket != nullptr || AsyncInFlight;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(EditMutex);
+    S.Quarantined = QuarantineActive && Prog->modClock() == QuarantineClock;
   }
   return S;
 }

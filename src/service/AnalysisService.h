@@ -99,6 +99,27 @@
 namespace dynsum {
 namespace service {
 
+/// Admission-control watermarks.  All zero (the default) disables
+/// shedding entirely — the pre-hardening behavior.
+struct OverloadPolicy {
+  /// High watermark on concurrently running query batches: when this
+  /// many batches are in flight, new batches are shed (every outcome
+  /// returns Status == Overloaded with no targets — never partial
+  /// garbage).  0 = never shed queries.
+  unsigned MaxActiveBatches = 0;
+  /// Low watermark: once shedding has started, batches are admitted
+  /// again only when the in-flight count falls back to this level
+  /// (hysteresis, so the service does not flap at the edge).
+  /// 0 = MaxActiveBatches / 2.
+  unsigned ResumeActiveBatches = 0;
+  /// High watermark on the background commit backlog: when this many
+  /// background requests have coalesced into the pending slot, further
+  /// background submitCommit() calls are shed (the ticket completes
+  /// immediately with CommitOutcome::Shed; the edits stay buffered and
+  /// the next accepted commit covers them).  0 = never shed commits.
+  unsigned MaxCommitBacklog = 0;
+};
+
 /// Service tunables: the engine configuration every generation's
 /// scheduler runs with, the commit invalidation policy, the commit
 /// pipeline's execution context, and the generation-history depth.
@@ -121,6 +142,22 @@ struct ServiceOptions {
   /// so a retained generation costs only the chunks later commits
   /// rewrote.  0 = history off (exactly the pre-history behavior).
   unsigned KeepGenerations = 0;
+  /// Load-shedding watermarks (see OverloadPolicy; defaults disable).
+  OverloadPolicy Overload;
+  /// Run the ir::Validator over the dirty methods before every commit
+  /// and reject the commit (CommitOutcome::ValidationRejected, edits
+  /// kept buffered, generation chain untouched) when they are invalid.
+  /// O(dirty methods), not O(program).
+  bool ValidateCommits = true;
+  /// How many times the background committer retries a commit whose
+  /// build threw (transient faults) before quarantining the edit.
+  /// Retries back off exponentially from 1 ms, capped at 50 ms.
+  /// Validation rejections are deterministic and never retried.
+  unsigned BackgroundCommitRetries = 2;
+  /// When nonempty, the destructor saves the summary store here
+  /// (graceful snapshot-to-disk on shutdown; failures are swallowed —
+  /// shutdown must not throw).
+  std::string SnapshotOnShutdownPath;
 };
 
 /// Outcomes of one service batch plus the generation they were answered
@@ -223,6 +260,26 @@ struct ServiceStats {
   uint64_t AsyncCommitsRequested = 0;
   uint64_t AsyncCommitsCoalesced = 0;
   bool CommitInFlight = false;
+  /// Failure/degradation counters (the robustness substrate).
+  /// Commits whose build pipeline threw (each attempt counts).
+  uint64_t CommitFailures = 0;
+  /// Commits rejected by the pre-commit IR validation gate.
+  uint64_t CommitValidationRejects = 0;
+  /// Background retry attempts after a failed build.
+  uint64_t CommitRetries = 0;
+  /// Background requests failed fast by the poison-edit quarantine.
+  uint64_t CommitsQuarantined = 0;
+  /// Background commit requests shed by the backlog watermark.
+  uint64_t CommitsShed = 0;
+  /// Query batches / individual queries shed by admission control.
+  uint64_t ShedBatches = 0;
+  uint64_t ShedQueries = 0;
+  /// Queries that ended Timeout / Cancelled.
+  uint64_t TimedOutQueries = 0;
+  uint64_t CancelledQueries = 0;
+  /// Advisory live flags: quarantine armed / currently shedding.
+  bool Quarantined = false;
+  bool Shedding = false;
   /// The shared summary store's operation counters (fetch/hit/stale/
   /// publish/invalidation/lock-contention) — the per-store view behind
   /// the invalidation-policy benchmarks.
@@ -351,11 +408,20 @@ public:
   /// Answers a batch of points-to queries on program variables against
   /// the current generation.  Outcome i answers Vars[i]; a variable the
   /// pinned generation does not know yet (created after its commit)
-  /// gets an empty outcome.
+  /// gets an empty outcome.  When admission control is on (see
+  /// OverloadPolicy) an overloaded service sheds the whole batch:
+  /// every outcome returns Status == Overloaded with no targets.
   ServiceBatchResult queryVars(const std::vector<ir::VarId> &Vars);
+
+  /// Same, with a per-batch deadline/cancel token: queries that trip it
+  /// unwind with partial sound-fallback outcomes marked Timeout /
+  /// Cancelled.
+  ServiceBatchResult queryVars(const std::vector<ir::VarId> &Vars,
+                               const support::Deadline &DL);
 
   /// Single-query convenience over queryVars.
   engine::QueryOutcome queryVar(ir::VarId V);
+  engine::QueryOutcome queryVar(ir::VarId V, const support::Deadline &DL);
 
   //===------------------------------------------------------------------===//
   // Persistence (warm restarts)
@@ -415,9 +481,19 @@ private:
   /// null.
   std::shared_ptr<const Generation> findGeneration(uint64_t Number) const;
 
-  /// Runs one batch against \p Gen (shared by queryVars/queryVarsAt).
+  /// Runs one batch against \p Gen (shared by queryVars/queryVarsAt);
+  /// \p DL overrides the engine options' deadline when non-null.
   ServiceBatchResult runBatch(const std::shared_ptr<const Generation> &Gen,
-                              const std::vector<ir::VarId> &Vars);
+                              const std::vector<ir::VarId> &Vars,
+                              const support::Deadline *DL);
+
+  /// Admission control: true when a new batch may run now.  Flips the
+  /// shedding flag at the high watermark and back at the low one.
+  bool admitBatch();
+
+  /// The all-Overloaded answer for a shed batch: one empty outcome per
+  /// query, Status == Overloaded — never partial garbage.
+  ServiceBatchResult shedBatch(size_t NumQueries);
 
   /// submitCommit body; caller holds the edit lock.
   incremental::CommitStats commitLocked(CommitMode Mode);
@@ -472,8 +548,19 @@ private:
   std::thread Committer;
   CommitMode PendingMode = CommitMode::Delta;
   std::shared_ptr<CommitTicket::State> PendingTicket;
+  /// Background requests coalesced into the current pending slot (the
+  /// commit backlog the MaxCommitBacklog watermark sheds against).
+  unsigned PendingCoalesced = 0;
   bool AsyncInFlight = false;
   bool AsyncStop = false;
+
+  /// Poison-edit quarantine (guarded by EditMutex): armed when a commit
+  /// fails after its retries, it fails further *background* requests
+  /// fast while the program's edit clock still reads QuarantineClock —
+  /// a new edit (or a successful foreground commit, which always runs)
+  /// lifts it.
+  bool QuarantineActive = false;
+  uint64_t QuarantineClock = 0;
 
   std::atomic<uint64_t> Commits{0};
   std::atomic<uint64_t> Rollbacks{0};
@@ -487,6 +574,21 @@ private:
   std::atomic<uint64_t> LastCommitRelowered{0};
   std::atomic<uint64_t> AsyncRequested{0};
   std::atomic<uint64_t> AsyncCoalesced{0};
+
+  /// Failure/degradation counters (see ServiceStats).
+  std::atomic<uint64_t> CommitFailures{0};
+  std::atomic<uint64_t> CommitValidationRejects{0};
+  std::atomic<uint64_t> CommitRetries{0};
+  std::atomic<uint64_t> CommitsQuarantined{0};
+  std::atomic<uint64_t> CommitsShed{0};
+  std::atomic<uint64_t> ShedBatches{0};
+  std::atomic<uint64_t> ShedQueries{0};
+  std::atomic<uint64_t> TimedOutQueries{0};
+  std::atomic<uint64_t> CancelledQueries{0};
+  /// Admission control: batches currently inside runBatch, plus the
+  /// hysteresis state (true between the high and low watermarks).
+  std::atomic<unsigned> ActiveBatches{0};
+  std::atomic<bool> SheddingState{false};
 };
 
 } // namespace service

@@ -67,7 +67,9 @@ public:
 
   /// Runs Body(W) once for each W in [0, Used): the caller executes
   /// worker 0 inline, parked threads take 1..Used-1.  Used must not
-  /// exceed maxWorkers().
+  /// exceed maxWorkers().  A throw inside Body on any worker is
+  /// captured, the barrier still completes (the pool stays usable),
+  /// and the first exception is rethrown on the caller.
   void run(unsigned Used, const std::function<void(unsigned)> &Body) {
     if (Used <= 1 || NumWorkers == 0) {
       for (unsigned W = 0; W < Used; ++W)
@@ -75,18 +77,24 @@ public:
       return;
     }
     std::lock_guard<std::mutex> RL(RunM);
+    support::detail::FirstException Err;
+    const std::function<void(unsigned)> Guarded =
+        [&Body, &Err](unsigned W) { Err.guard([&] { Body(W); }); };
     {
       std::lock_guard<std::mutex> L(M);
-      Job = &Body;
+      Job = &Guarded;
       UsedCount = Used;
       DoneCount = 0;
       ++Epoch;
     }
     WorkCv.notify_all();
-    Body(0);
-    std::unique_lock<std::mutex> L(M);
-    DoneCv.wait(L, [this] { return DoneCount == NumWorkers; });
-    Job = nullptr;
+    Guarded(0);
+    {
+      std::unique_lock<std::mutex> L(M);
+      DoneCv.wait(L, [this] { return DoneCount == NumWorkers; });
+      Job = nullptr;
+    }
+    Err.rethrow();
   }
 
 private:

@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault-injection registry: a mutex-protected site map behind the
+/// single-atomic-load armed flag.  The slow path only runs in chaos
+/// tests, so a global mutex per armed hit is fine — what matters is
+/// that the counters are exact so FireEvery/MaxFires schedules are
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace dynsum {
+namespace support {
+
+namespace detail {
+std::atomic<bool> FaultsArmedFlag{false};
+} // namespace detail
+
+namespace {
+
+struct SiteState {
+  FaultSpec Spec;
+  uint64_t Hits = 0;
+  uint64_t Fires = 0;
+};
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+std::map<std::string, SiteState> &registry() {
+  static std::map<std::string, SiteState> R;
+  return R;
+}
+
+/// Counts the hit and decides whether this one fires; returns the spec
+/// by value so the fault itself runs outside the lock.
+bool countAndArm(const char *Site, FaultSpec &SpecOut) {
+  std::lock_guard<std::mutex> L(registryMutex());
+  auto It = registry().find(Site);
+  if (It == registry().end())
+    return false;
+  SiteState &S = It->second;
+  ++S.Hits;
+  if (S.Fires >= S.Spec.MaxFires)
+    return false;
+  uint64_t Every = S.Spec.FireEvery ? S.Spec.FireEvery : 1;
+  if (S.Hits % Every != 0)
+    return false;
+  ++S.Fires;
+  SpecOut = S.Spec;
+  return true;
+}
+
+} // namespace
+
+void armFault(const std::string &Site, const FaultSpec &Spec) {
+  std::lock_guard<std::mutex> L(registryMutex());
+  registry()[Site] = SiteState{Spec, 0, 0};
+  detail::FaultsArmedFlag.store(true, std::memory_order_relaxed);
+}
+
+void clearFaults() {
+  std::lock_guard<std::mutex> L(registryMutex());
+  registry().clear();
+  detail::FaultsArmedFlag.store(false, std::memory_order_relaxed);
+}
+
+uint64_t faultHits(const std::string &Site) {
+  std::lock_guard<std::mutex> L(registryMutex());
+  auto It = registry().find(Site);
+  return It == registry().end() ? 0 : It->second.Hits;
+}
+
+uint64_t faultFires(const std::string &Site) {
+  std::lock_guard<std::mutex> L(registryMutex());
+  auto It = registry().find(Site);
+  return It == registry().end() ? 0 : It->second.Fires;
+}
+
+namespace detail {
+
+void faultPointSlow(const char *Site) {
+  FaultSpec Spec;
+  if (!countAndArm(Site, Spec))
+    return;
+  switch (Spec.Kind) {
+  case FaultKind::Throw:
+    throw FaultInjectedError(Site);
+  case FaultKind::Latency:
+    std::this_thread::sleep_for(std::chrono::microseconds(Spec.Param));
+    return;
+  case FaultKind::BadAlloc:
+    throw std::bad_alloc();
+  case FaultKind::TornWrite:
+    // Torn writes are polled via tornWriteLimit(), not thrown.
+    return;
+  }
+}
+
+size_t tornWriteLimitSlow(const char *Site) {
+  FaultSpec Spec;
+  if (!countAndArm(Site, Spec))
+    return SIZE_MAX;
+  if (Spec.Kind != FaultKind::TornWrite)
+    return SIZE_MAX;
+  return size_t(Spec.Param);
+}
+
+} // namespace detail
+
+} // namespace support
+} // namespace dynsum

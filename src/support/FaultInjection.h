@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the chaos tests and the
+/// crash-recovery smoke.
+///
+/// A fault *site* is a string literal compiled into the production code
+/// ("commit.lower", "save.write", "query.summary", ...).  Tests arm a
+/// site with a FaultSpec — throw, injected latency, torn write at byte
+/// N, or simulated allocation failure — and the site fires
+/// deterministically by hit count (every FireEvery-th hit, at most
+/// MaxFires times).  Sites are compiled in unconditionally but cost a
+/// single relaxed atomic load when nothing is armed: faultPoint() is an
+/// inline branch on a global flag, and the slow path (registry lookup,
+/// counter bump, the fault itself) only exists behind it.
+///
+/// Determinism contract: with a fixed workload and a fixed spec, the
+/// *number* of fires is exact.  Under concurrency the firing thread is
+/// scheduler-dependent — chaos tests therefore assert observable
+/// outcomes (no crash, no torn state, answers bit-identical to a
+/// fault-free twin), never which worker absorbed the fault.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_FAULTINJECTION_H
+#define DYNSUM_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dynsum {
+namespace support {
+
+enum class FaultKind : uint8_t {
+  Throw,     ///< throw FaultInjectedError from the site
+  Latency,   ///< sleep Param microseconds at the site
+  TornWrite, ///< truncate the write at byte Param (tornWriteLimit sites)
+  BadAlloc,  ///< throw std::bad_alloc from the site
+};
+
+struct FaultSpec {
+  FaultKind Kind = FaultKind::Throw;
+  /// Fire on every N-th hit of the site (1 = every hit).
+  uint64_t FireEvery = 1;
+  /// Stop firing after this many fires (the site keeps counting hits).
+  uint64_t MaxFires = UINT64_MAX;
+  /// Kind-specific: latency in microseconds, or torn-write byte limit.
+  uint64_t Param = 0;
+};
+
+/// What an armed Throw site throws.  Deliberately a std::runtime_error
+/// so production catch-sites need no fault-injection awareness.
+class FaultInjectedError : public std::runtime_error {
+public:
+  explicit FaultInjectedError(const std::string &Site)
+      : std::runtime_error("injected fault at " + Site) {}
+};
+
+namespace detail {
+extern std::atomic<bool> FaultsArmedFlag;
+void faultPointSlow(const char *Site);
+size_t tornWriteLimitSlow(const char *Site);
+} // namespace detail
+
+/// True when any site is armed — one relaxed load, the entire cost of
+/// a fault point in production.
+inline bool faultsArmed() {
+  return detail::FaultsArmedFlag.load(std::memory_order_relaxed);
+}
+
+/// Arms \p Site with \p Spec (replacing any previous spec for it).
+void armFault(const std::string &Site, const FaultSpec &Spec);
+
+/// Disarms every site and resets all counters.
+void clearFaults();
+
+/// Times the site was reached since the last clearFaults().
+uint64_t faultHits(const std::string &Site);
+
+/// Times the site actually fired since the last clearFaults().
+uint64_t faultFires(const std::string &Site);
+
+/// A Throw/Latency/BadAlloc fault point.  No-op unless armed.
+inline void faultPoint(const char *Site) {
+  if (faultsArmed())
+    detail::faultPointSlow(Site);
+}
+
+/// A TornWrite fault point: the number of bytes the caller may write
+/// before simulating the crash (SIZE_MAX = write everything).
+inline size_t tornWriteLimit(const char *Site) {
+  return faultsArmed() ? detail::tornWriteLimitSlow(Site) : SIZE_MAX;
+}
+
+} // namespace support
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_FAULTINJECTION_H

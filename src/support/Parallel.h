@@ -17,6 +17,13 @@
 /// on scheduling, so any phase whose chunks write disjoint state
 /// produces identical results at every thread count.
 ///
+/// Exception contract: a throw inside a worker is captured, every
+/// worker is still joined, and the first captured exception is
+/// rethrown on the calling thread — a failed phase never terminates
+/// the process and never leaks a running thread.  The phase's partial
+/// writes are the caller's problem (the commit pipeline abandons the
+/// half-built generation).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_SUPPORT_PARALLEL_H
@@ -24,6 +31,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -43,6 +51,35 @@ inline unsigned clampThreads(unsigned Requested) {
   return T > kMaxThreads ? kMaxThreads : T;
 }
 
+namespace support {
+namespace detail {
+
+/// First-exception capture shared by the fork-join helpers: workers
+/// race to claim the slot, the winner stores its exception, and the
+/// join (or pool barrier) publishes it to the caller.
+struct FirstException {
+  std::atomic<bool> Claimed{false};
+  std::exception_ptr Error;
+
+  template <typename Fn> void guard(Fn &&F) {
+    try {
+      F();
+    } catch (...) {
+      if (!Claimed.exchange(true, std::memory_order_acq_rel))
+        Error = std::current_exception();
+    }
+  }
+
+  /// Call after every worker has been joined / passed the barrier.
+  void rethrow() {
+    if (Claimed.load(std::memory_order_acquire) && Error)
+      std::rethrow_exception(Error);
+  }
+};
+
+} // namespace detail
+} // namespace support
+
 /// Runs \p F(Begin, End, Worker) over [0, N) split into at most
 /// \p Threads contiguous chunks.  Worker indices are dense in
 /// [0, workers-used); chunk boundaries depend only on (N, Threads).
@@ -59,6 +96,7 @@ void parallelChunks(size_t N, unsigned Threads, Fn &&F) {
     F(size_t(0), N, 0u);
     return;
   }
+  support::detail::FirstException Err;
   std::vector<std::thread> Workers;
   Workers.reserve(Threads - 1);
   for (unsigned W = 1; W < Threads; ++W) {
@@ -66,11 +104,14 @@ void parallelChunks(size_t N, unsigned Threads, Fn &&F) {
     if (Begin >= N)
       break;
     size_t End = Begin + Chunk < N ? Begin + Chunk : N;
-    Workers.emplace_back([&F, Begin, End, W] { F(Begin, End, W); });
+    Workers.emplace_back([&F, &Err, Begin, End, W] {
+      Err.guard([&] { F(Begin, End, W); });
+    });
   }
-  F(size_t(0), Chunk < N ? Chunk : N, 0u);
+  Err.guard([&] { F(size_t(0), Chunk < N ? Chunk : N, 0u); });
   for (std::thread &T : Workers)
     T.join();
+  Err.rethrow();
 }
 
 /// Runs a small fixed set of independent jobs (e.g. "copy this member
@@ -89,10 +130,14 @@ void parallelJobs(size_t NumJobs, unsigned Threads, JobFn &&Job) {
     return;
   }
   std::atomic<size_t> Next{0};
-  auto Drain = [&Next, &Job, NumJobs] {
+  support::detail::FirstException Err;
+  auto Drain = [&Next, &Job, &Err, NumJobs] {
     for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) <
-                   NumJobs;)
-      Job(I);
+                   NumJobs;) {
+      if (Err.Claimed.load(std::memory_order_relaxed))
+        return; // fail fast: stop claiming jobs once one has thrown
+      Err.guard([&] { Job(I); });
+    }
   };
   std::vector<std::thread> Workers;
   Workers.reserve(Threads - 1);
@@ -101,6 +146,7 @@ void parallelJobs(size_t NumJobs, unsigned Threads, JobFn &&Job) {
   Drain();
   for (std::thread &T : Workers)
     T.join();
+  Err.rethrow();
 }
 
 } // namespace dynsum

@@ -1,0 +1,258 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaos oracle: IrEditFuzzer/MiniJavaFuzzer workloads driven through
+/// seeded fault injection must produce BIT-CORRECT answers against a
+/// fault-free twin of the same workload.
+///
+/// For every fault scenario (commit worker exceptions, sharded-lowering
+/// exceptions, simulated allocation failure, injected query latency)
+/// the test evolves two services with same-seed edit streams.  The
+/// faulty service absorbs injected failures — retrying commits until
+/// they stick — while the twin commits cleanly.  After every round the
+/// invariants are:
+///
+///   * a failed commit never publishes: the generation number only
+///     moves on CommitOutcome::Committed;
+///   * the service never crashes, deadlocks, or std::terminates — every
+///     fault surfaces as a CommitStats outcome;
+///   * once the faulty service converges, sampled query answers are
+///     bit-identical to the twin AND to a cold scratch build of the
+///     same edited program.
+///
+/// Faults are armed only while the faulty service commits (the registry
+/// is process-global), so the twin genuinely never sees one.  The CI
+/// chaos job runs this binary under ASan and TSan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DynSum.h"
+#include "frontend/Frontend.h"
+#include "pag/PAGBuilder.h"
+#include "service/AnalysisService.h"
+#include "support/FaultInjection.h"
+
+#include "IrEditFuzzer.h"
+#include "MiniJavaFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dynsum;
+using analysis::AnalysisOptions;
+using analysis::QueryResult;
+using dynsum::testing::IrEditFuzzer;
+using dynsum::testing::sampleVars;
+using incremental::CommitOutcome;
+using incremental::CommitStats;
+using service::AnalysisService;
+using service::CommitMode;
+using service::ServiceBatchResult;
+using service::ServiceOptions;
+using support::FaultKind;
+using support::FaultSpec;
+
+namespace {
+
+constexpr unsigned kRounds = 5;
+constexpr unsigned kEditsPerRound = 10;
+
+std::unique_ptr<ir::Program> fuzzProgram(uint64_t Seed) {
+  dynsum::testing::MiniJavaFuzzer Fuzz(Seed);
+  frontend::CompileResult R = frontend::compileMiniJava(Fuzz.generate());
+  EXPECT_TRUE(R.ok()) << R.Diags.str();
+  return std::move(R.Prog);
+}
+
+/// One cell of the fault matrix: which site fails, how, and how often.
+/// Sites are re-armed (counters reset) every round, so MaxFires bounds
+/// the failures PER ROUND: throw scenarios fail the first attempt(s)
+/// of every round and then converge.
+struct FaultScenario {
+  const char *Name;
+  const char *Site;
+  FaultKind Kind;
+  uint64_t FireEvery;
+  uint64_t MaxFires;
+  uint64_t Param;
+};
+
+constexpr FaultScenario kScenarios[] = {
+    {"snapshot-throw", "commit.snapshot", FaultKind::Throw, 1, 1, 0},
+    {"lower-throw", "commit.lower", FaultKind::Throw, 1, 2, 0},
+    {"snapshot-badalloc", "commit.snapshot", FaultKind::BadAlloc, 1, 1, 0},
+    {"query-latency", "query.summary", FaultKind::Latency, 7, UINT64_MAX,
+     /*us=*/200},
+};
+
+/// Commits the faulty service in the foreground, retrying while the
+/// injected fault makes the build throw.  Asserts a failed attempt
+/// never publishes and that the scenario converges within a few tries
+/// (FireEvery > 1 guarantees a fault-free attempt).
+void commitUntilCommitted(AnalysisService &S, const FaultScenario &Sc) {
+  for (unsigned Attempt = 0; Attempt < 8; ++Attempt) {
+    uint64_t GenBefore = S.generation();
+    CommitStats St = S.submitCommit({CommitMode::Delta, false}).wait();
+    if (St.Outcome == CommitOutcome::Committed)
+      return;
+    ASSERT_EQ(St.Outcome, CommitOutcome::BuildFailed)
+        << Sc.Name << ": unexpected outcome " << incremental::toString(St.Outcome);
+    ASSERT_EQ(S.generation(), GenBefore)
+        << Sc.Name << ": a failed commit must never publish";
+    ASSERT_TRUE(S.dirty()) << Sc.Name << ": failed commits must keep edits";
+  }
+  FAIL() << Sc.Name << ": commit never converged";
+}
+
+/// Runs one scenario: same-seed fuzzer twins, faults armed only around
+/// the faulty service's queries/commits, bit-identical answers after
+/// every round.
+void runScenario(const FaultScenario &Sc, uint64_t Seed) {
+  SCOPED_TRACE(Sc.Name);
+  auto Prog = fuzzProgram(Seed);
+  auto TwinProg = fuzzProgram(Seed);
+  auto ColdProg = fuzzProgram(Seed);
+  ASSERT_TRUE(Prog && TwinProg && ColdProg);
+
+  ServiceOptions SO;
+  SO.Engine.NumThreads = 1; // deterministic store evolution: bit-exact twin
+  SO.Commit = 2;            // sharded pipeline absorbs the worker faults
+  AnalysisService Faulty(std::move(Prog), SO);
+  ServiceOptions TwinSO;
+  TwinSO.Engine.NumThreads = 1;
+  AnalysisService Twin(std::move(TwinProg), TwinSO);
+
+  IrEditFuzzer FaultyEdits(Seed * 31 + 7);
+  IrEditFuzzer TwinEdits(Seed * 31 + 7);
+  IrEditFuzzer ColdEdits(Seed * 31 + 7);
+
+  FaultSpec Spec;
+  Spec.Kind = Sc.Kind;
+  Spec.FireEvery = Sc.FireEvery;
+  Spec.MaxFires = Sc.MaxFires;
+  Spec.Param = Sc.Param;
+
+  for (unsigned Round = 0; Round < kRounds; ++Round) {
+    SCOPED_TRACE("round " + std::to_string(Round));
+    Faulty.editProgram([&](ir::Program &Q) {
+      FaultyEdits.apply(Q, kEditsPerRound);
+      return std::vector<ir::MethodId>{};
+    });
+    Twin.editProgram([&](ir::Program &Q) {
+      TwinEdits.apply(Q, kEditsPerRound);
+      return std::vector<ir::MethodId>{};
+    });
+    ColdEdits.apply(*ColdProg, kEditsPerRound);
+
+    // Faults live only while the FAULTY service works.
+    support::armFault(Sc.Site, Spec);
+    commitUntilCommitted(Faulty, Sc);
+    std::vector<ir::VarId> Probe = sampleVars(Faulty.program(), 7);
+    ServiceBatchResult Got = Faulty.queryVars(Probe);
+    support::clearFaults();
+
+    ASSERT_EQ(Twin.submitCommit({CommitMode::Delta, false}).wait().Outcome,
+              CommitOutcome::Committed);
+    ServiceBatchResult Want = Twin.queryVars(Probe);
+
+    // Bit-correct vs the fault-free twin: identical outcome vectors,
+    // including the budget flag (same engine config, same warm-store
+    // history — injected faults must be answer-invisible).
+    ASSERT_EQ(Got.Outcomes.size(), Want.Outcomes.size());
+    for (size_t I = 0; I < Probe.size(); ++I) {
+      EXPECT_EQ(Got.Outcomes[I].BudgetExceeded, Want.Outcomes[I].BudgetExceeded)
+          << "probe " << I;
+      EXPECT_EQ(Got.Outcomes[I].AllocSites, Want.Outcomes[I].AllocSites)
+          << "probe " << I;
+      EXPECT_EQ(Got.Outcomes[I].Status, Want.Outcomes[I].Status)
+          << "probe " << I;
+    }
+
+    // And sound vs a cold scratch build (in-budget answers only — the
+    // cold analysis has no warm store to finish inside the budget).
+    pag::BuiltPAG Cold = pag::buildPAG(*ColdProg);
+    analysis::DynSumAnalysis ColdA(*Cold.Graph, AnalysisOptions());
+    for (size_t I = 0; I < Probe.size(); ++I) {
+      QueryResult CR = ColdA.query(Cold.Graph->nodeOfVar(Probe[I]));
+      if (Got.Outcomes[I].BudgetExceeded || CR.BudgetExceeded)
+        continue;
+      EXPECT_EQ(Got.Outcomes[I].AllocSites, CR.allocSites()) << "probe " << I;
+    }
+  }
+
+  // The workload survived the whole matrix cell: failures were
+  // absorbed, nothing was published from a failed attempt.
+  EXPECT_FALSE(Faulty.dirty());
+  EXPECT_EQ(Faulty.generation(), Twin.generation())
+      << "same number of successful commits must reach the same epoch";
+}
+
+class ChaosTest : public ::testing::Test {
+protected:
+  void SetUp() override { support::clearFaults(); }
+  void TearDown() override { support::clearFaults(); }
+};
+
+} // namespace
+
+TEST_F(ChaosTest, FaultMatrixConvergesBitIdenticalToFaultFreeTwin) {
+  for (const FaultScenario &Sc : kScenarios)
+    runScenario(Sc, 5);
+}
+
+TEST_F(ChaosTest, SecondSeedSweep) {
+  for (const FaultScenario &Sc : kScenarios)
+    runScenario(Sc, 12);
+}
+
+/// Background-committer flavor: the committer's own retry loop (not the
+/// test) must absorb transient faults, and a coalesced ticket stream
+/// must drain to a clean converged service.
+TEST_F(ChaosTest, BackgroundCommitterAbsorbsTransientFaults) {
+  auto Prog = fuzzProgram(21);
+  auto TwinProg = fuzzProgram(21);
+  ASSERT_TRUE(Prog && TwinProg);
+  ServiceOptions SO;
+  SO.Engine.NumThreads = 1;
+  SO.BackgroundCommitRetries = 4;
+  AnalysisService Faulty(std::move(Prog), SO);
+  ServiceOptions TwinSO;
+  TwinSO.Engine.NumThreads = 1;
+  AnalysisService Twin(std::move(TwinProg), TwinSO);
+
+  IrEditFuzzer FaultyEdits(99), TwinEdits(99);
+  for (unsigned Round = 0; Round < kRounds; ++Round) {
+    SCOPED_TRACE("round " + std::to_string(Round));
+    Faulty.editProgram([&](ir::Program &Q) {
+      FaultyEdits.apply(Q, kEditsPerRound);
+      return std::vector<ir::MethodId>{};
+    });
+    Twin.editProgram([&](ir::Program &Q) {
+      TwinEdits.apply(Q, kEditsPerRound);
+      return std::vector<ir::MethodId>{};
+    });
+
+    // Two fires, four retries: the committer eats the fault alone.
+    support::armFault("commit.snapshot",
+                      FaultSpec{FaultKind::Throw, /*FireEvery=*/1,
+                                /*MaxFires=*/2, /*Param=*/0});
+    CommitStats St = Faulty.submitCommit({CommitMode::Delta, true}).wait();
+    Faulty.waitForCommits();
+    support::clearFaults();
+    EXPECT_EQ(St.Outcome, CommitOutcome::Committed)
+        << "retries must outlast a two-fire transient fault";
+
+    ASSERT_EQ(Twin.submitCommit({CommitMode::Delta, false}).wait().Outcome,
+              CommitOutcome::Committed);
+    std::vector<ir::VarId> Probe = sampleVars(Faulty.program(), 9);
+    ServiceBatchResult Got = Faulty.queryVars(Probe);
+    ServiceBatchResult Want = Twin.queryVars(Probe);
+    for (size_t I = 0; I < Probe.size(); ++I) {
+      EXPECT_EQ(Got.Outcomes[I].BudgetExceeded, Want.Outcomes[I].BudgetExceeded)
+          << "probe " << I;
+      EXPECT_EQ(Got.Outcomes[I].AllocSites, Want.Outcomes[I].AllocSites)
+          << "probe " << I;
+    }
+  }
+  EXPECT_FALSE(Faulty.dirty());
+  EXPECT_GE(Faulty.stats().CommitRetries, 1u);
+}

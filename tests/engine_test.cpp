@@ -53,7 +53,7 @@ std::vector<QueryOutcome> runSequential(const pag::PAG &G,
   Out.reserve(Nodes.size());
   for (pag::NodeId N : Nodes) {
     QueryResult R = A.query(N);
-    Out.push_back(QueryOutcome{R.allocSites(), R.BudgetExceeded, R.Steps});
+    Out.push_back(QueryOutcome{R.allocSites(), R.BudgetExceeded, R.Status, R.Steps});
   }
   return Out;
 }
@@ -168,7 +168,7 @@ TEST(EngineTest, BudgetExhaustionDoesNotPoisonOtherShards) {
   for (pag::NodeId N : F.Nodes) {
     DynSumAnalysis A(*F.Built.Graph, Tiny);
     QueryResult R = A.query(N);
-    Cold.push_back(QueryOutcome{R.allocSites(), R.BudgetExceeded, R.Steps});
+    Cold.push_back(QueryOutcome{R.allocSites(), R.BudgetExceeded, R.Status, R.Steps});
   }
   size_t NumExceeded = 0;
   for (const QueryOutcome &O : Cold)

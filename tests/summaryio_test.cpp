@@ -10,11 +10,14 @@
 
 #include "ir/Parser.h"
 #include "pag/PAGBuilder.h"
+#include "support/FaultInjection.h"
 #include "workload/Generator.h"
 
 #include "TestPrograms.h"
 
+#include <fstream>
 #include <gtest/gtest.h>
+#include <sstream>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -114,7 +117,10 @@ TEST(SummaryIOTest, FingerprintMismatchRejected) {
   EXPECT_EQ(Other.DynSum->cacheSize(), 0u);
 }
 
-TEST(SummaryIOTest, TruncatedBufferRejectedAtomically) {
+/// v3 framing contract under truncation: a cut inside the header
+/// rejects the whole file; a cut inside the record stream loads the
+/// intact prefix and reports the tear — never garbage entries.
+TEST(SummaryIOTest, TruncationLoadsIntactPrefixOnly) {
   Instance A(dynsum::testing::kFigure2Source);
   ir::TypeId MainCls = A.Prog->findClass(A.Prog->names().lookup("Main"));
   ir::MethodId Main =
@@ -124,17 +130,61 @@ TEST(SummaryIOTest, TruncatedBufferRejectedAtomically) {
       A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
   std::string Buf = serializeSummaries(*A.DynSum);
   ASSERT_GT(Buf.size(), 32u);
+  uint64_t Full = A.DynSum->cacheSize();
 
-  Instance B(dynsum::testing::kFigure2Source);
-  for (size_t Cut : {Buf.size() - 1, Buf.size() / 2, size_t(9), size_t(3)}) {
-    EXPECT_FALSE(
-        deserializeSummaries(*B.DynSum, std::string_view(Buf).substr(0, Cut)))
-        << "cut at " << Cut;
-    EXPECT_EQ(B.DynSum->cacheSize(), 0u) << "rejection must be atomic";
+  // Cuts inside the 32-byte header: hard rejection, nothing loads.
+  for (size_t Cut : {size_t(3), size_t(9), size_t(24)}) {
+    Instance B(dynsum::testing::kFigure2Source);
+    SummaryLoadReport R = deserializeSummariesReport(
+        *B.DynSum, std::string_view(Buf).substr(0, Cut));
+    EXPECT_FALSE(R.Ok) << "cut at " << Cut;
+    EXPECT_FALSE(R.Error.empty());
+    EXPECT_EQ(B.DynSum->cacheSize(), 0u);
+  }
+
+  // Cuts inside the record stream: the intact prefix loads, the report
+  // flags the tear, and no partially decoded entry ever merges.
+  for (size_t Cut : {Buf.size() - 1, Buf.size() / 2, size_t(40)}) {
+    Instance B(dynsum::testing::kFigure2Source);
+    SummaryLoadReport R = deserializeSummariesReport(
+        *B.DynSum, std::string_view(Buf).substr(0, Cut));
+    EXPECT_TRUE(R.Ok) << "cut at " << Cut;
+    EXPECT_TRUE(R.Truncated) << "cut at " << Cut;
+    EXPECT_LT(R.EntriesLoaded, Full);
+    EXPECT_EQ(B.DynSum->cacheSize(), R.EntriesLoaded);
   }
 }
 
-TEST(SummaryIOTest, CorruptMagicAndVersionRejected) {
+/// Flipping a byte inside one record's payload drops exactly that
+/// record (checksum mismatch) and keeps every other entry.
+TEST(SummaryIOTest, CorruptRecordIsSkippedAndReported) {
+  Instance A(dynsum::testing::kFigure2Source);
+  ir::TypeId MainCls = A.Prog->findClass(A.Prog->names().lookup("Main"));
+  ir::MethodId Main =
+      A.Prog->findMethod(MainCls, A.Prog->names().lookup("main"));
+  for (const ir::Variable &V : A.Prog->variables())
+    if (!V.IsGlobal && V.Owner == Main)
+      A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
+  std::string Buf = serializeSummaries(*A.DynSum);
+  uint64_t Full = A.DynSum->cacheSize();
+  ASSERT_GT(Full, 1u);
+
+  // Byte 44 sits inside the first record's payload (32-byte header +
+  // 12-byte frame).
+  std::string Corrupt = Buf;
+  Corrupt[44] = char(Corrupt[44] ^ 0x5a);
+  Instance B(dynsum::testing::kFigure2Source);
+  SummaryLoadReport R = deserializeSummariesReport(*B.DynSum, Corrupt);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.RecordsSkipped, 1u);
+  EXPECT_EQ(R.EntriesLoaded, Full - 1);
+  EXPECT_FALSE(R.Truncated);
+  ASSERT_EQ(R.SkippedRecords.size(), 1u);
+  EXPECT_NE(R.SkippedRecords[0].find("checksum mismatch"), std::string::npos);
+  EXPECT_EQ(B.DynSum->cacheSize(), Full - 1);
+}
+
+TEST(SummaryIOTest, CorruptMagicVersionAndHeaderRejected) {
   Instance A(dynsum::testing::kFigure2Source);
   std::string Buf = serializeSummaries(*A.DynSum);
   Instance B(dynsum::testing::kFigure2Source);
@@ -145,10 +195,18 @@ TEST(SummaryIOTest, CorruptMagicAndVersionRejected) {
 
   std::string BadVersion = Buf;
   BadVersion[4] = char(0x7f);
-  EXPECT_FALSE(deserializeSummaries(*B.DynSum, BadVersion));
+  SummaryLoadReport R = deserializeSummariesReport(*B.DynSum, BadVersion);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unsupported"), std::string::npos);
 
-  std::string Trailing = Buf + "junk";
-  EXPECT_FALSE(deserializeSummaries(*B.DynSum, Trailing));
+  // A damaged entry count is caught by the header checksum, not by a
+  // garbage record walk.
+  std::string BadCount = Buf;
+  BadCount[16] = char(BadCount[16] ^ 0xff);
+  R = deserializeSummariesReport(*B.DynSum, BadCount);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("checksum"), std::string::npos);
+  EXPECT_EQ(B.DynSum->cacheSize(), 0u);
 }
 
 TEST(SummaryIOTest, FileRoundTrip) {
@@ -172,6 +230,92 @@ TEST(SummaryIOTest, FileRoundTrip) {
 TEST(SummaryIOTest, MissingFileRejected) {
   Instance A(dynsum::testing::kFigure2Source);
   EXPECT_FALSE(loadSummariesFile(*A.DynSum, "/nonexistent/dynsum.bin"));
+}
+
+/// An interrupted save must never clobber the previous snapshot: the
+/// torn temp file is discarded and the target keeps its old bytes.
+TEST(SummaryIOTest, FailedSaveLeavesPreviousFileIntact) {
+  Instance A(dynsum::testing::kFigure2Source);
+  ir::TypeId MainCls = A.Prog->findClass(A.Prog->names().lookup("Main"));
+  ir::MethodId Main =
+      A.Prog->findMethod(MainCls, A.Prog->names().lookup("main"));
+  for (const ir::Variable &V : A.Prog->variables())
+    if (!V.IsGlobal && V.Owner == Main)
+      A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
+
+  std::string Path = ::testing::TempDir() + "/dynsum_atomic_save.dsum";
+  ASSERT_TRUE(saveSummariesFile(*A.DynSum, Path));
+
+  // Arm a torn write at byte 100: the next save truncates mid-stream,
+  // fails, and must not touch the published file.
+  support::FaultSpec Torn;
+  Torn.Kind = support::FaultKind::TornWrite;
+  Torn.Param = 100;
+  support::armFault("save.write", Torn);
+  EXPECT_FALSE(saveSummariesFile(*A.DynSum, Path));
+  support::clearFaults();
+
+  Instance B(dynsum::testing::kFigure2Source);
+  SummaryLoadReport R = loadSummariesFileReport(*B.DynSum, Path);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_EQ(R.RecordsSkipped, 0u);
+  EXPECT_EQ(B.DynSum->cacheSize(), A.DynSum->cacheSize());
+  std::remove(Path.c_str());
+}
+
+/// Regression corpus: checked-in corrupted/truncated .dsum files (made
+/// from tests/golden/dsum_corpus/pristine.dsum by flipping or cutting
+/// bytes — see the corpus README) must keep degrading exactly as the
+/// v3 format promises, across format and compiler changes.
+TEST(SummaryIOTest, GoldenCorruptionCorpusDegradesGracefully) {
+  std::string Dir = std::string(DYNSUM_TESTS_DIR) + "/golden/dsum_corpus/";
+  std::ifstream ProgIn(Dir + "figure2.ir");
+  ASSERT_TRUE(ProgIn.good()) << "missing corpus program";
+  std::stringstream Src;
+  Src << ProgIn.rdbuf();
+  std::string Source = Src.str();
+  Instance Pristine(Source.c_str());
+  SummaryLoadReport Base =
+      loadSummariesFileReport(*Pristine.DynSum, Dir + "pristine.dsum");
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  ASSERT_GT(Base.EntriesLoaded, 1u);
+  EXPECT_EQ(Base.RecordsSkipped, 0u);
+  EXPECT_FALSE(Base.Truncated);
+
+  // Header-level damage: hard rejection, nothing merges.
+  for (const char *Name : {"truncated_header.dsum", "bad_magic.dsum",
+                           "bad_version.dsum", "bad_header_crc.dsum",
+                           "empty.dsum"}) {
+    Instance B(Source.c_str());
+    SummaryLoadReport R = loadSummariesFileReport(*B.DynSum, Dir + Name);
+    EXPECT_FALSE(R.Ok) << Name;
+    EXPECT_FALSE(R.Error.empty()) << Name;
+    EXPECT_EQ(B.DynSum->cacheSize(), 0u) << Name;
+  }
+
+  // One corrupted record: skipped and attributed, everything else
+  // loads.
+  {
+    Instance B(Source.c_str());
+    SummaryLoadReport R =
+        loadSummariesFileReport(*B.DynSum, Dir + "corrupt_record.dsum");
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.RecordsSkipped, 1u);
+    EXPECT_EQ(R.EntriesLoaded, Base.EntriesLoaded - 1);
+    ASSERT_EQ(R.SkippedRecords.size(), 1u);
+  }
+
+  // Torn tail: the intact prefix loads and the tear is reported.
+  {
+    Instance B(Source.c_str());
+    SummaryLoadReport R =
+        loadSummariesFileReport(*B.DynSum, Dir + "truncated_records.dsum");
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.Truncated);
+    EXPECT_LT(R.EntriesLoaded, Base.EntriesLoaded);
+    EXPECT_EQ(B.DynSum->cacheSize(), R.EntriesLoaded);
+  }
 }
 
 /// Round trip over a generated program: every cached summary survives

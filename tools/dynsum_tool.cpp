@@ -231,8 +231,16 @@ void serveHelp() {
             "                          become pending again)\n"
             "  save <path> | load <path>      persist / warm-start "
             "summaries\n"
+            "  deadline <ms>           per-query wall-clock deadline for "
+            "later queries\n"
+            "                          (0 turns it off; overrun queries "
+            "report (timeout)\n"
+            "                          with the sound partial answer "
+            "gathered so far)\n"
             "  stats                   generation, store size, counters, "
-            "commit times\n"
+            "commit times,\n"
+            "                          failure counters (timeouts, shed "
+            "work, retries...)\n"
             "  quit\n"
             "method spec: Class.method or method (free); var spec appends "
             ".var\n"
@@ -256,6 +264,7 @@ int runServe(std::unique_ptr<ir::Program> Prog,
          << " variables; \"help\" lists commands\n";
 
   char Line[4096];
+  double DeadlineMs = 0; // 0 = unlimited
   for (;;) {
     outs() << "dynsum> ";
     outs().flush();
@@ -286,15 +295,22 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       }
       if (!Ok)
         continue;
-      service::ServiceBatchResult R = S.queryVars(Vars);
+      service::ServiceBatchResult R =
+          DeadlineMs > 0
+              ? S.queryVars(Vars, support::Deadline::in(DeadlineMs / 1e3))
+              : S.queryVars(Vars);
       for (size_t I = 0; I < Vars.size(); ++I) {
         const engine::QueryOutcome &O = R.Outcomes[I];
         outs() << "pts(" << W[I + 1] << ") = {";
         for (size_t A = 0; A < O.AllocSites.size(); ++A)
           outs() << (A ? ", " : "")
                  << S.program().describeAlloc(O.AllocSites[A]);
-        outs() << "}" << (O.BudgetExceeded ? " (budget exceeded)" : "")
-               << "  [" << O.Steps << " steps]\n";
+        outs() << "}";
+        if (O.Status != analysis::QueryStatus::Ok)
+          outs() << " (" << analysis::toString(O.Status) << ")";
+        else if (O.BudgetExceeded)
+          outs() << " (budget exceeded)";
+        outs() << "  [" << O.Steps << " steps]\n";
       }
       outs() << "[generation " << R.Generation << ": "
              << R.Stats.SharedHits << " shared hits, "
@@ -380,6 +396,13 @@ int runServe(std::unique_ptr<ir::Program> Prog,
         continue;
       }
       incremental::CommitStats CS = Ticket.wait();
+      if (CS.Outcome != incremental::CommitOutcome::Committed &&
+          CS.Outcome != incremental::CommitOutcome::NoOp) {
+        errs() << "error: commit " << incremental::toString(CS.Outcome)
+               << (CS.Error.empty() ? "" : ": " + CS.Error)
+               << " (edits stay buffered; generation unchanged)\n";
+        continue;
+      }
       outs() << "generation " << S.generation() << ": dropped "
              << CS.SummariesDropped << "/" << CS.SummariesBefore
              << " store summaries, " << CS.MethodsInvalidated
@@ -426,6 +449,24 @@ int runServe(std::unique_ptr<ir::Program> Prog,
                << " is not retained (see \"generations\")\n";
       continue;
     }
+    if (Cmd == "deadline" && W.size() == 2) {
+      char *End = nullptr;
+      double Ms = std::strtod(W[1].c_str(), &End);
+      if (End == W[1].c_str() || *End != '\0' || Ms < 0) {
+        errs() << "error: deadline wants a millisecond count, got '" << W[1]
+               << "'\n";
+        continue;
+      }
+      DeadlineMs = Ms;
+      if (Ms > 0) {
+        outs() << "queries now carry a ";
+        outs().writeFixed(Ms, 1);
+        outs() << " ms deadline\n";
+      } else {
+        outs() << "query deadline off\n";
+      }
+      continue;
+    }
     if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
       bool Ok = Cmd == "save" ? S.saveSummaries(W[1]) : S.loadSummaries(W[1]);
       if (Ok)
@@ -450,6 +491,20 @@ int runServe(std::unique_ptr<ir::Program> Prog,
       if (SS.RetainedGenerations > 0 || SS.Rollbacks > 0)
         outs() << "history: " << SS.RetainedGenerations
                << " retained generations, " << SS.Rollbacks << " rollbacks\n";
+      if (SS.TimedOutQueries || SS.CancelledQueries || SS.ShedQueries ||
+          SS.CommitFailures || SS.CommitValidationRejects ||
+          SS.CommitRetries || SS.CommitsQuarantined || SS.CommitsShed ||
+          SS.Quarantined || SS.Shedding) {
+        outs() << "failures: " << SS.TimedOutQueries << " query timeouts, "
+               << SS.CancelledQueries << " cancelled, " << SS.ShedQueries
+               << " shed (" << SS.ShedBatches << " batches); commits: "
+               << SS.CommitValidationRejects << " validation-rejected, "
+               << SS.CommitFailures << " build-failed, " << SS.CommitRetries
+               << " retries, " << SS.CommitsQuarantined << " quarantined, "
+               << SS.CommitsShed << " shed"
+               << (SS.Quarantined ? "; QUARANTINED" : "")
+               << (SS.Shedding ? "; SHEDDING" : "") << '\n';
+      }
       outs() << "store: " << SS.Store.Hits << "/" << SS.Store.Fetches
              << " fetches hit (" << SS.Store.StaleFetches << " stale), "
              << SS.Store.Publishes << " published ("
@@ -474,7 +529,27 @@ int runServe(std::unique_ptr<ir::Program> Prog,
 
 } // namespace
 
+namespace {
+int runTool(int argc, char **argv);
+} // namespace
+
 int main(int argc, char **argv) {
+  // Last-resort containment: whatever a malformed input or an internal
+  // failure throws, the tool reports it and exits nonzero — it never
+  // aborts with an unhandled exception.
+  try {
+    return runTool(argc, argv);
+  } catch (const std::exception &E) {
+    errs() << "fatal: " << E.what() << '\n';
+    return 1;
+  } catch (...) {
+    errs() << "fatal: unknown error\n";
+    return 1;
+  }
+}
+
+namespace {
+int runTool(int argc, char **argv) {
   CommandLine Args(argc, argv);
   if (Args.positional().empty())
     return usage();
@@ -695,3 +770,4 @@ int main(int argc, char **argv) {
 
   return Exit;
 }
+} // namespace
