@@ -197,7 +197,9 @@ void PptaEngine::expand(NodeId V, StackId F, RsmState S) {
 // Algorithm 4: the DYNSUM worklist
 //===----------------------------------------------------------------------===//
 
-PptaSummary DynSumAnalysis::internSummary(const PortableSummary &P) {
+PptaSummary DynSumAnalysis::internSummary(const PortableSummary &P,
+                                          StackId Hint,
+                                          const std::vector<uint32_t> &HintElems) {
   PptaSummary Out;
   Out.Objects.reserve(P.Objects.size());
   for (ir::AllocId A : P.Objects)
@@ -205,8 +207,16 @@ PptaSummary DynSumAnalysis::internSummary(const PortableSummary &P) {
   Out.Tuples.reserve(P.Tuples.size());
   const uint32_t *Run = P.FieldData.data();
   for (const PortableSummary::Tuple &T : P.Tuples) {
-    StackId F = StackPool::empty();
-    for (uint32_t I = 0; I < T.FieldsLen; ++I)
+    // Longest common prefix with the hint: recovered by popping the
+    // hint down (O(1) each) rather than hash-consing pushes up.
+    size_t K = 0;
+    size_t Limit = std::min(size_t(T.FieldsLen), HintElems.size());
+    while (K < Limit && Run[K] == HintElems[K])
+      ++K;
+    StackId F = Hint;
+    for (size_t I = HintElems.size(); I > K; --I)
+      F = FieldStacks.pop(F);
+    for (uint32_t I = K; I < T.FieldsLen; ++I)
       F = FieldStacks.push(F, Run[I]);
     Run += T.FieldsLen;
     Out.Tuples.push_back(PptaTuple{T.Node, F, T.State});
@@ -250,10 +260,11 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
     return &TrivialSummaries.emplace(Key, std::move(Trivial)).first->second;
   }
 
-  // Spelled-out field stack for the exchange round trip; built once and
-  // reused by the publish below (elements() allocates for non-empty
-  // stacks, and this path runs once per cold summary).
-  std::vector<uint32_t> FieldElems;
+  // Spelled-out field stack for the exchange round trip, built into
+  // member scratch whose capacity persists across fetches: a batch
+  // issues one store round trip per cold summary, and the fetch side
+  // must stay allocation-free for disk-tier serving to undercut
+  // recomputation.
   if (Opts.EnableCache) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
@@ -264,12 +275,13 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
     // Local miss: another instance on the same PAG may have published
     // this summary already (summaries are context-free, hence shareable).
     if (Exchange) {
-      FieldElems = FieldStacks.elements(F);
-      PortableSummary Shared;
-      if (Exchange->fetch(U, FieldElems, S, Shared)) {
+      FieldStacks.elementsInto(F, FetchFields);
+      if (Exchange->fetch(U, FetchFields, S, FetchScratch)) {
         UsedCache = true;
         Stats.add("dynsum.sharedHits");
-        return &Cache.emplace(Key, internSummary(Shared)).first->second;
+        return &Cache
+                    .emplace(Key, internSummary(FetchScratch, F, FetchFields))
+                    .first->second;
       }
     }
   }
@@ -291,8 +303,12 @@ const PptaSummary *DynSumAnalysis::getSummary(NodeId U, StackId F,
   if (!IsComplete)
     return nullptr;
   Fresh.shrinkToFit();
-  if (Opts.EnableCache && Exchange)
-    Exchange->publish(U, std::move(FieldElems), S, exportSummary(Fresh));
+  if (Opts.EnableCache && Exchange) {
+    // The store takes ownership, so the scratch is copied at the call —
+    // one allocation per published (cold) summary, none per fetched one.
+    FieldStacks.elementsInto(F, FetchFields);
+    Exchange->publish(U, FetchFields, S, exportSummary(Fresh));
+  }
   if (!Opts.EnableCache) {
     // Uncached mode (ablation): stash in the trivial map keyed the same
     // way so the pointer stays valid for this query.

@@ -250,7 +250,20 @@ public:
   /// Converts between the local (StackId) and portable (explicit field
   /// vector) summary representations, re-interning through this
   /// instance's field-stack pool.
-  PptaSummary internSummary(const PortableSummary &P);
+  ///
+  /// The optional hint is an already-interned stack (with \p HintElems
+  /// its spelled-out elements) the tuples' stacks are expected to share
+  /// a prefix with — on the fetch path, the query's own field stack:
+  /// PPTA boundary tuples are reached from (u, F) by pushing and
+  /// popping fields, so their stacks typically keep most of F's bottom.
+  /// The shared prefix is then recovered by O(1) pops off the hint
+  /// instead of one hash-consing push per element, which is what makes
+  /// re-interning a ~30-deep stack cheaper than recomputing its
+  /// summary.  No hint (drainInto's bulk install) interns from the
+  /// empty stack, byte-for-byte the historical behavior.
+  PptaSummary internSummary(const PortableSummary &P,
+                            StackId Hint = StackPool::empty(),
+                            const std::vector<uint32_t> &HintElems = {});
   PortableSummary exportSummary(const PptaSummary &S) const;
 
 private:
@@ -281,6 +294,12 @@ private:
   std::vector<WorkItem> Work;
   FlatU64Set QueryPts;
   FlatPairSet Enqueued;
+  /// Store round-trip scratch: the spelled-out field stack and the
+  /// portable summary a fetch decodes into.  Reusing their capacity
+  /// makes the warm fetch path allocation-free per hit, which is what
+  /// lets disk-tier serving undercut recomputation.
+  std::vector<uint32_t> FetchFields;
+  PortableSummary FetchScratch;
   /// Summaries for boundary nodes without local edges (the Section 4.3
   /// shortcut) materialized once; not counted as real summaries.
   std::unordered_map<uint64_t, PptaSummary> TrivialSummaries;

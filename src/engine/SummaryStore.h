@@ -1,205 +1,17 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Read-mostly cross-thread store of complete PPTA summaries, versioned
-/// by generation for edit-while-querying services.
-///
-/// A PPTA summary depends only on the PAG and the (node, field-stack,
-/// state) key — never on the querying context or the computing thread —
-/// so every worker of a batch may reuse every other worker's summaries.
-/// Summaries are held in the pool-independent PortableSummary form
-/// (StackIds are private to each worker's StackPool) and re-interned by
-/// the fetching DynSumAnalysis.
-///
-/// Layout: buckets are keyed by a 64-bit digest of (node, state,
-/// fields), computed by streaming over the key components without
-/// materializing a key object — the fetch-miss path (every cold-batch
-/// summary computation probes once before computing) is a hash, a
-/// shared-lock acquire and one table probe, with zero allocation.
-/// Digest collisions are resolved by exact comparison inside the
-/// bucket.
-///
-/// Generations: every entry belongs to the store's current generation.
-/// A program commit calls beginGeneration() — dropping the summaries an
-/// incremental::InvalidationPlan names and bumping the counter — or
-/// clear(), which drops everything and also bumps.  Node ids are stable
-/// across delta builds, so surviving entries carry over verbatim: no
-/// key rewrite, no table rebuild, digests unchanged.  Readers pin a
-/// generation through SummaryStoreEpoch: a fetch or publish from a
-/// stale epoch (a batch that started before the commit and is draining
-/// against the old PAG) misses / is dropped, so summaries computed
-/// against different graph versions can never mix.  Within one
-/// generation the store is append-only: publish never overwrites (all
-/// writers compute identical summaries for a key).
+/// Compatibility header: the shared summary store grew a disk tier and
+/// lock striping and now lives in engine/TieredStore.h (hot tier
+/// mechanics in engine/StripedMap.h).  SharedSummaryStore is an alias
+/// of TieredSummaryStore there; SummaryStoreEpoch is unchanged.
+/// Include this header or TieredStore.h interchangeably.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_ENGINE_SUMMARYSTORE_H
 #define DYNSUM_ENGINE_SUMMARYSTORE_H
 
-#include "analysis/DynSum.h"
-#include "incremental/Invalidation.h"
-#include "support/Hashing.h"
-
-#include <atomic>
-#include <shared_mutex>
-#include <unordered_map>
-
-namespace dynsum {
-namespace engine {
-
-/// Monotonic operation counters of one SharedSummaryStore (readable
-/// from any thread; each counter is updated with relaxed atomics, so a
-/// snapshot is approximate while writers race but exact once quiescent).
-/// These are the store-side observability the invalidation-policy
-/// benchmarks key off: a policy that over-invalidates shows up as
-/// Invalidated spikes and a collapsing Hits/Fetches ratio, and
-/// cross-thread serialization shows up in LockContended.
-struct StoreCounters {
-  uint64_t Fetches = 0;        ///< fetch/fetchAt probes issued
-  uint64_t Hits = 0;           ///< probes that returned a summary
-  uint64_t StaleFetches = 0;   ///< fetchAt probes refused (stale epoch)
-  uint64_t Publishes = 0;      ///< summaries accepted into the table
-  uint64_t StalePublishes = 0; ///< publishes dropped (stale epoch)
-  uint64_t Invalidated = 0;    ///< entries dropped by commits/clears
-  uint64_t LockContended = 0;  ///< lock acquisitions that had to wait
-};
-
-/// Thread-safe SummaryExchange backed by a digest-keyed hash map under
-/// a shared_mutex.  The SummaryExchange overrides operate on the
-/// current generation; epoch-pinned access goes through fetchAt /
-/// publishAt (see SummaryStoreEpoch).
-class SharedSummaryStore : public analysis::SummaryExchange {
-public:
-  bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
-             analysis::RsmState S, analysis::PortableSummary &Out) override;
-
-  void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
-               analysis::RsmState S,
-               analysis::PortableSummary Summary) override;
-
-  /// Epoch-pinned variants: a \p Gen older than generation() always
-  /// misses (fetch) or is silently dropped (publish) — the calling
-  /// batch is draining against a PAG that a commit has superseded, and
-  /// its summaries are only valid there.
-  bool fetchAt(uint64_t Gen, pag::NodeId Node,
-               const std::vector<uint32_t> &Fields, analysis::RsmState S,
-               analysis::PortableSummary &Out);
-  void publishAt(uint64_t Gen, pag::NodeId Node,
-                 std::vector<uint32_t> Fields, analysis::RsmState S,
-                 analysis::PortableSummary Summary);
-
-  /// The current generation.  Starts at 0; bumped by beginGeneration()
-  /// and clear().
-  uint64_t generation() const;
-
-  /// Commit handoff: drops the summaries keyed at nodes owned by any
-  /// method the plan names (looked up in the post-rebuild \p NewGraph —
-  /// node ids are stable, so every surviving key stays valid verbatim)
-  /// and bumps the generation.  Returns how many summaries were
-  /// dropped.
-  size_t beginGeneration(const pag::PAG &NewGraph,
-                         const incremental::InvalidationPlan &Plan);
-
-  /// Number of summaries stored.
-  size_t size() const;
-
-  /// Drops every summary and bumps the generation (the clear-all
-  /// invalidation policy).  (Hit accounting lives in the per-worker
-  /// "dynsum.sharedHits" stat, aggregated into BatchStats.SharedHits.)
-  void clear();
-
-  /// Publishes every summary cached in \p A into the current generation
-  /// (bulk warm-up, e.g. after SummaryIO deserialization into a staging
-  /// analysis).
-  void seedFrom(const analysis::DynSumAnalysis &A);
-
-  /// Installs every stored summary into \p A's cache (bulk export, e.g.
-  /// before SummaryIO serialization from a staging analysis).
-  void drainInto(analysis::DynSumAnalysis &A) const;
-
-  /// Snapshot of the lifetime operation counters.
-  StoreCounters counters() const;
-
-private:
-  /// One stored summary with the exact key for collision resolution.
-  struct Entry {
-    pag::NodeId Node = 0;
-    analysis::RsmState State = analysis::RsmState::S1;
-    std::vector<uint32_t> Fields;
-    analysis::PortableSummary Summary;
-  };
-
-  static uint64_t digest(pag::NodeId Node,
-                         const std::vector<uint32_t> &Fields,
-                         analysis::RsmState S) {
-    uint64_t H = hashMix(packPair(Node, uint32_t(S)));
-    for (uint32_t F : Fields)
-      H = hashCombine(H, F);
-    return H;
-  }
-
-  static bool matches(const Entry &E, pag::NodeId Node,
-                      const std::vector<uint32_t> &Fields,
-                      analysis::RsmState S) {
-    return E.Node == Node && E.State == S && E.Fields == Fields;
-  }
-
-  /// Takes the shared (reader) lock, counting a contended acquire.
-  std::shared_lock<std::shared_mutex> lockShared() const;
-  /// Takes the exclusive (writer) lock, counting a contended acquire.
-  std::unique_lock<std::shared_mutex> lockUnique() const;
-
-  mutable std::shared_mutex Mutex;
-  /// Digest -> its (almost always unique) entry.  The rare digest
-  /// collision spills into Overflow, scanned only after a digest hit
-  /// with a key mismatch.
-  std::unordered_map<uint64_t, Entry> Map;
-  std::vector<Entry> Overflow;
-  size_t Count = 0;
-  uint64_t Gen = 0;
-
-  /// StoreCounters fields (relaxed; see StoreCounters for semantics).
-  mutable std::atomic<uint64_t> NumFetches{0};
-  mutable std::atomic<uint64_t> NumHits{0};
-  mutable std::atomic<uint64_t> NumStaleFetches{0};
-  mutable std::atomic<uint64_t> NumPublishes{0};
-  mutable std::atomic<uint64_t> NumStalePublishes{0};
-  mutable std::atomic<uint64_t> NumInvalidated{0};
-  mutable std::atomic<uint64_t> NumLockContended{0};
-};
-
-/// A SummaryExchange view of a SharedSummaryStore pinned to one
-/// generation.  Batches hold one of these for their whole run: if a
-/// commit publishes a new generation mid-batch, the remaining fetches
-/// miss and publishes are dropped, so the draining batch keeps
-/// computing correct answers against its (still alive) old PAG without
-/// ever reading summaries that only hold for the new one.  Stateless
-/// beyond the pin — one instance may serve every worker of a batch.
-class SummaryStoreEpoch : public analysis::SummaryExchange {
-public:
-  SummaryStoreEpoch(SharedSummaryStore &Store, uint64_t Gen)
-      : Store(Store), Gen(Gen) {}
-
-  uint64_t generation() const { return Gen; }
-
-  bool fetch(pag::NodeId Node, const std::vector<uint32_t> &Fields,
-             analysis::RsmState S, analysis::PortableSummary &Out) override {
-    return Store.fetchAt(Gen, Node, Fields, S, Out);
-  }
-
-  void publish(pag::NodeId Node, std::vector<uint32_t> Fields,
-               analysis::RsmState S,
-               analysis::PortableSummary Summary) override {
-    Store.publishAt(Gen, Node, std::move(Fields), S, std::move(Summary));
-  }
-
-private:
-  SharedSummaryStore &Store;
-  uint64_t Gen;
-};
-
-} // namespace engine
-} // namespace dynsum
+#include "engine/TieredStore.h"
 
 #endif // DYNSUM_ENGINE_SUMMARYSTORE_H

@@ -54,7 +54,10 @@
 namespace dynsum {
 
 namespace engine {
-class SharedSummaryStore;
+class TieredSummaryStore;
+/// The store kept its historical name at call sites (see
+/// engine/TieredStore.h).
+using SharedSummaryStore = TieredSummaryStore;
 } // namespace engine
 
 namespace incremental {

@@ -54,7 +54,8 @@ uint64_t CommitTicket::generation() const {
 
 AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
                                  ServiceOptions Opts)
-    : Opts(std::move(Opts)), Prog(std::move(P)) {
+    : Opts(std::move(Opts)), Prog(std::move(P)),
+      Store(this->Opts.StoreStripes) {
   // Parallel commit budgets get a persistent pool once, here, so every
   // phase of every commit reuses the same threads instead of spawning
   // fresh ones per phase.
@@ -63,6 +64,14 @@ AnalysisService::AnalysisService(std::unique_ptr<ir::Program> P,
         std::make_shared<support::WorkerPool>(this->Opts.Commit.Budget);
   publish(buildFirstGeneration()); // generation 0, store is empty
   CommittedClock = Prog->modClock();
+  // Warm restart: attach the previous run's shutdown snapshot as the
+  // store's read-only disk tier.  Nothing is loaded eagerly — queries
+  // that miss the hot tier probe the mapped file and promote hits.  A
+  // refused attach (missing file, damage, fingerprint mismatch) just
+  // means a cold start; it is never an error.
+  if (!this->Opts.WarmFromDiskPath.empty())
+    Store.attachDiskTier(this->Opts.WarmFromDiskPath,
+                         *current()->Built->Graph);
 }
 
 AnalysisService::~AnalysisService() {
@@ -684,6 +693,10 @@ ServiceStats AnalysisService::stats() const {
   S.CancelledQueries = CancelledQueries.load(std::memory_order_relaxed);
   S.Shedding = SheddingState.load(std::memory_order_relaxed);
   S.Store = Store.counters();
+  S.DiskTierAttached = Store.hasDiskTier();
+  S.StoreStripes.reserve(Store.numStripes());
+  for (unsigned I = 0; I < Store.numStripes(); ++I)
+    S.StoreStripes.push_back(Store.stripeCounters(I));
   {
     std::lock_guard<std::mutex> Lock(GenMutex);
     S.RetainedGenerations = History.size();

@@ -158,6 +158,20 @@ struct ServiceOptions {
   /// (graceful snapshot-to-disk on shutdown; failures are swallowed —
   /// shutdown must not throw).
   std::string SnapshotOnShutdownPath;
+  /// When nonempty, the constructor attaches this DSUM file as the
+  /// store's memory-mapped read-only disk tier: queries that miss the
+  /// hot tier probe the file and promote hits, so a restarted server
+  /// answers its first batches from its previous shutdown snapshot
+  /// without recomputing anything.  A refused attach (missing file,
+  /// damaged header, program-fingerprint mismatch) is not an error —
+  /// the service just starts cold, exactly as if the path were empty.
+  /// Point it at the previous run's SnapshotOnShutdownPath for the
+  /// classic warm-restart loop.
+  std::string WarmFromDiskPath;
+  /// Lock-stripe count for the summary store's hot tier (rounded up to
+  /// a power of two; 0 = the store default).  More stripes spread
+  /// concurrent fetch/publish traffic across independent locks.
+  unsigned StoreStripes = 0;
 };
 
 /// Outcomes of one service batch plus the generation they were answered
@@ -281,9 +295,17 @@ struct ServiceStats {
   bool Quarantined = false;
   bool Shedding = false;
   /// The shared summary store's operation counters (fetch/hit/stale/
-  /// publish/invalidation/lock-contention) — the per-store view behind
-  /// the invalidation-policy benchmarks.
+  /// publish/invalidation/lock-contention, plus the disk-tier probe/
+  /// hit/promotion counters) — the per-store view behind the
+  /// invalidation-policy benchmarks.
   engine::StoreCounters Store;
+  /// Whether the store currently has a disk tier attached (false after
+  /// a rollback or ClearAll commit detached it).
+  bool DiskTierAttached = false;
+  /// Per-stripe counters of the hot tier, stripe 0 first — the bench's
+  /// contention columns.  Aggregate file-level counters (DiskCorrupt)
+  /// appear only in Store above.
+  std::vector<engine::StoreCounters> StoreStripes;
 };
 
 /// The concurrent incremental analysis server.
@@ -529,6 +551,8 @@ private:
   uint64_t CachedBoundaryGen = kNoBoundaryGen;
 
   /// The cross-generation summary store; generations are the store's.
+  /// Striped per Opts.StoreStripes; the constructor may attach a
+  /// memory-mapped disk tier (Opts.WarmFromDiskPath).
   engine::SharedSummaryStore Store;
 
   /// Guards the Current pointer swap/copy and the history ring.

@@ -17,7 +17,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace dynsum {
@@ -47,12 +46,15 @@ public:
   /// Returns the stack \p Base with \p Value pushed on top.
   StackId push(StackId Base, uint32_t Value) {
     uint64_t Key = (uint64_t(Base.Id) << 32) | Value;
-    auto It = PushCache.find(Key);
-    if (It != PushCache.end())
-      return StackId{It->second};
+    size_t H = cacheSlotFor(Key);
+    if (Cache[H].Id != kCacheEmpty)
+      return StackId{Cache[H].Id};
     uint32_t Id = uint32_t(Nodes.size());
+    assert(Id != kCacheEmpty && "stack pool exhausted");
     Nodes.push_back(Node{Base.Id, Value, Nodes[Base.Id].Depth + 1});
-    PushCache.emplace(Key, Id);
+    Cache[H] = CacheSlot{Key, Id};
+    if (++CacheUsed * 2 >= Cache.size())
+      growCache();
     return StackId{Id};
   }
 
@@ -74,13 +76,21 @@ public:
 
   /// Returns the elements of \p Stack from bottom to top.
   std::vector<uint32_t> elements(StackId Stack) const {
-    std::vector<uint32_t> Out(depth(Stack));
+    std::vector<uint32_t> Out;
+    elementsInto(Stack, Out);
+    return Out;
+  }
+
+  /// Writes the elements of \p Stack (bottom to top) into \p Out,
+  /// reusing its capacity — the allocation-free variant for hot paths
+  /// that spell a stack out once per store round trip.
+  void elementsInto(StackId Stack, std::vector<uint32_t> &Out) const {
+    Out.resize(depth(Stack));
     uint32_t Cur = Stack.Id;
     for (size_t I = Out.size(); I > 0; --I) {
       Out[I - 1] = Nodes[Cur].Value;
       Cur = Nodes[Cur].Parent;
     }
-    return Out;
   }
 
   /// Builds a stack from \p Elems listed bottom-to-top.
@@ -101,8 +111,39 @@ private:
     uint32_t Depth;
   };
 
+  /// (parent, value) -> node id memo behind push(), as a flat
+  /// open-addressing table: push is the single hottest operation in the
+  /// engine (every traversal step and every summary re-intern goes
+  /// through it), and a probe that stays within one cache line beats a
+  /// node-based unordered_map lookup by several times.
+  struct CacheSlot {
+    uint64_t Key;
+    uint32_t Id;
+  };
+  static constexpr uint32_t kCacheEmpty = 0xffffffffu;
+
+  /// Home-or-chain slot for \p Key: the slot holding it, or the empty
+  /// slot where it belongs.  Load factor is kept under 1/2.
+  size_t cacheSlotFor(uint64_t Key) const {
+    size_t H = size_t((Key * 0x9e3779b97f4a7c15ull) >> 32) & CacheMask;
+    while (Cache[H].Id != kCacheEmpty && Cache[H].Key != Key)
+      H = (H + 1) & CacheMask;
+    return H;
+  }
+
+  void growCache() {
+    std::vector<CacheSlot> Old = std::move(Cache);
+    Cache.assign(Old.size() * 2, CacheSlot{0, kCacheEmpty});
+    CacheMask = Cache.size() - 1;
+    for (const CacheSlot &S : Old)
+      if (S.Id != kCacheEmpty)
+        Cache[cacheSlotFor(S.Key)] = S;
+  }
+
   std::vector<Node> Nodes;
-  std::unordered_map<uint64_t, uint32_t> PushCache;
+  std::vector<CacheSlot> Cache = std::vector<CacheSlot>(1024, {0, kCacheEmpty});
+  size_t CacheMask = 1023;
+  size_t CacheUsed = 0;
 };
 
 } // namespace dynsum

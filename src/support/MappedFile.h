@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Read-only memory-mapped file with a heap fallback.
+///
+/// The summary disk tier serves probe misses straight out of the .dsum
+/// file, so the file must be addressable as one contiguous byte range
+/// without reading it all up front.  On POSIX that is mmap(PROT_READ,
+/// MAP_PRIVATE): pages fault in lazily, stay clean, and the kernel
+/// evicts them under pressure — a cold restart touches only the records
+/// the first queries actually probe.  Where mmap is unavailable (or
+/// fails), the file is read into a private heap buffer instead; callers
+/// see the same bytes() view either way, just without the laziness.
+///
+/// The mapping is immutable and the class is move-only; concurrent
+/// readers need no synchronization.  A file that shrinks or is
+/// rewritten in place underneath a live mapping is undefined behavior
+/// at the OS level — the summary save path never does that (it
+/// publishes by atomic rename, so an open mapping keeps the old inode
+/// alive untouched).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_MAPPEDFILE_H
+#define DYNSUM_SUPPORT_MAPPEDFILE_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dynsum {
+namespace support {
+
+/// A read-only view of one file's bytes, mmap'd when possible.
+class MappedFile {
+public:
+  MappedFile() = default;
+
+  MappedFile(MappedFile &&Other) noexcept { *this = std::move(Other); }
+
+  MappedFile &operator=(MappedFile &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      Base = Other.Base;
+      Size = Other.Size;
+      Heap = std::move(Other.Heap);
+      Other.Base = nullptr;
+      Other.Size = 0;
+    }
+    return *this;
+  }
+
+  MappedFile(const MappedFile &) = delete;
+  MappedFile &operator=(const MappedFile &) = delete;
+
+  ~MappedFile() { reset(); }
+
+  /// Maps \p Path read-only.  False (with \p Error set when non-null)
+  /// when the file cannot be opened or read; an empty file maps
+  /// successfully to an empty view.
+  bool map(const std::string &Path, std::string *Error = nullptr) {
+    reset();
+#ifndef _WIN32
+    int Fd = ::open(Path.c_str(), O_RDONLY);
+    if (Fd < 0) {
+      if (Error)
+        *Error = "cannot open " + Path;
+      return false;
+    }
+    struct stat St;
+    if (::fstat(Fd, &St) != 0) {
+      ::close(Fd);
+      if (Error)
+        *Error = "cannot stat " + Path;
+      return false;
+    }
+    if (St.st_size == 0) { // zero-length mmap is EINVAL; an empty view is fine
+      ::close(Fd);
+      Mapped = true;
+      return true;
+    }
+    void *P = ::mmap(nullptr, size_t(St.st_size), PROT_READ, MAP_PRIVATE, Fd,
+                     0);
+    ::close(Fd);
+    if (P != MAP_FAILED) {
+      Base = static_cast<const char *>(P);
+      Size = size_t(St.st_size);
+      Mapped = true;
+      return true;
+    }
+    // mmap refused (unusual filesystem, resource limits): fall through
+    // to the heap path — same bytes, eager instead of lazy.
+#endif
+    return readIntoHeap(Path, Error);
+  }
+
+  bool valid() const { return Mapped || !Heap.empty() || Base; }
+
+  /// The file's bytes.  Stable for the lifetime of this object.
+  std::string_view bytes() const {
+    if (Base)
+      return std::string_view(Base, Size);
+    return Heap;
+  }
+
+private:
+  bool readIntoHeap(const std::string &Path, std::string *Error) {
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F) {
+      if (Error)
+        *Error = "cannot open " + Path;
+      return false;
+    }
+    char Chunk[65536];
+    size_t N = 0;
+    while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+      Heap.append(Chunk, N);
+    bool Ok = std::ferror(F) == 0;
+    std::fclose(F);
+    if (!Ok) {
+      Heap.clear();
+      if (Error)
+        *Error = "read error on " + Path;
+      return false;
+    }
+    Mapped = true; // heap-backed, but valid
+    return true;
+  }
+
+  void reset() {
+#ifndef _WIN32
+    if (Base)
+      ::munmap(const_cast<char *>(Base), Size);
+#endif
+    Base = nullptr;
+    Size = 0;
+    Heap.clear();
+    Mapped = false;
+  }
+
+  const char *Base = nullptr; ///< mmap'd range (null when heap-backed)
+  size_t Size = 0;
+  std::string Heap; ///< fallback storage when mmap is unavailable
+  bool Mapped = false;
+};
+
+} // namespace support
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_MAPPEDFILE_H

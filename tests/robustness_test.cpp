@@ -177,6 +177,10 @@ TEST_F(RobustnessTest, ShedQueriesReturnOverloadedAndNeverGarbage) {
   // service from this thread until admission control trips.
   arm("query.summary", FaultKind::Latency, 1, UINT64_MAX, /*us=*/3000);
   std::thread Pinned([&] { S.queryVars(Probe); });
+  // Let the pinned batch enter the service before hammering it: if the
+  // first hammer batch wins the race instead, the PINNED batch is the
+  // one shed, it drains instantly, and nothing else ever overlaps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
   uint64_t Shed = 0;
   for (unsigned Try = 0; Try < 200 && Shed == 0; ++Try) {
     ServiceBatchResult R = S.queryVars(Probe);

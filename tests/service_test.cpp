@@ -695,3 +695,137 @@ TEST(AnalysisServiceTest, ConcurrentCommitsMatchSerialRerun) {
   for (size_t I = 0; I < Probe.size(); ++I)
     EXPECT_EQ(Final.Outcomes[I].AllocSites, Expected[kEdits][I]);
 }
+
+//===----------------------------------------------------------------------===//
+// Warm-from-disk restarts: the tiered store's mmap tier at service level
+//===----------------------------------------------------------------------===//
+
+/// The full restart loop the disk tier exists for: run, snapshot on
+/// shutdown, reconstruct with WarmFromDiskPath — the restarted server
+/// answers the first batch from disk-tier hits, byte-identical,
+/// recomputing nothing.
+TEST(AnalysisServiceTest, WarmFromDiskRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/dynsum_disk_tier.dsum";
+  std::vector<ir::VarId> Probe;
+  std::vector<std::vector<ir::AllocId>> Expected;
+
+  {
+    ServiceOptions SO;
+    SO.SnapshotOnShutdownPath = Path;
+    AnalysisService S(makeWorkload(), SO);
+    Probe = probeVariables(S.program(), 61);
+    ASSERT_GT(Probe.size(), 8u);
+    ServiceBatchResult Cold = S.queryVars(Probe);
+    ASSERT_GT(Cold.Stats.SummariesComputed, 0u);
+    for (const engine::QueryOutcome &O : Cold.Outcomes)
+      Expected.push_back(O.AllocSites);
+    // The destructor snapshots the store to Path.
+  }
+
+  ServiceOptions SO;
+  SO.WarmFromDiskPath = Path;
+  AnalysisService S(makeWorkload(), SO);
+  ServiceStats Boot = S.stats();
+  EXPECT_TRUE(Boot.DiskTierAttached);
+  EXPECT_EQ(Boot.StoreSize, 0u)
+      << "the disk tier is lazy; nothing loads until a query probes";
+
+  ServiceBatchResult Warm = S.queryVars(Probe);
+  EXPECT_EQ(Warm.Stats.SummariesComputed, 0u)
+      << "every summary must come off the mmap'd disk tier";
+  ASSERT_EQ(Warm.Outcomes.size(), Probe.size());
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(Warm.Outcomes[I].AllocSites, Expected[I]) << "probe " << I;
+
+  ServiceStats After = S.stats();
+  EXPECT_GT(After.Store.DiskHits, 0u);
+  EXPECT_GT(After.Store.Promoted, 0u);
+  EXPECT_EQ(After.Store.DiskCorrupt, 0u);
+  EXPECT_GT(After.StoreSize, 0u) << "probed records promote into the hot tier";
+
+  // Hot-tier hit-rate parity: a second identical batch is served from
+  // promoted entries without touching the disk again.
+  uint64_t ProbesBefore = After.Store.DiskProbes;
+  ServiceBatchResult Hot = S.queryVars(Probe);
+  EXPECT_EQ(Hot.Stats.SummariesComputed, 0u);
+  ServiceStats Final = S.stats();
+  EXPECT_EQ(Final.Store.DiskProbes, ProbesBefore)
+      << "promoted summaries must be answered by the hot tier";
+  EXPECT_GT(Final.Store.Hits, After.Store.Hits);
+  std::remove(Path.c_str());
+}
+
+/// A snapshot from a different program must refuse to attach — and the
+/// refusal is soft: the service still comes up cold and correct.
+TEST(AnalysisServiceTest, WarmFromDiskRejectsDifferentProgram) {
+  std::string Path = ::testing::TempDir() + "/dynsum_disk_mismatch.dsum";
+  {
+    ServiceOptions SO;
+    SO.SnapshotOnShutdownPath = Path;
+    AnalysisService S(makeWorkload());
+    std::vector<ir::VarId> Probe = probeVariables(S.program(), 61);
+    S.queryVars(Probe);
+    ASSERT_TRUE(S.saveSummaries(Path));
+  }
+
+  auto Other = makeWorkload(/*Seed=*/8);
+  std::vector<ir::VarId> Probe = probeVariables(*Other, 61);
+  std::vector<std::vector<ir::AllocId>> Expected = coldAnswers(*Other, Probe);
+
+  ServiceOptions SO;
+  SO.WarmFromDiskPath = Path;
+  AnalysisService S(std::move(Other), SO);
+  EXPECT_FALSE(S.stats().DiskTierAttached)
+      << "a mismatched fingerprint must not attach";
+
+  ServiceBatchResult R = S.queryVars(Probe);
+  EXPECT_GT(R.Stats.SummariesComputed, 0u) << "cold start, by design";
+  EXPECT_EQ(S.stats().Store.DiskProbes, 0u);
+  ASSERT_EQ(R.Outcomes.size(), Probe.size());
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(R.Outcomes[I].AllocSites, Expected[I]) << "probe " << I;
+  std::remove(Path.c_str());
+}
+
+/// Committing an edit after a warm attach must invalidate the edited
+/// methods' DISK records too: answers track the new program, never a
+/// stale snapshot.
+TEST(AnalysisServiceTest, EditAfterWarmAttachInvalidatesDiskRecords) {
+  std::string Path = ::testing::TempDir() + "/dynsum_disk_edit.dsum";
+  std::vector<ir::VarId> Probe;
+  {
+    ServiceOptions SO;
+    SO.SnapshotOnShutdownPath = Path;
+    AnalysisService S(makeWorkload(), SO);
+    Probe = probeVariables(S.program(), 61);
+    S.queryVars(Probe);
+  }
+
+  ServiceOptions SO;
+  SO.WarmFromDiskPath = Path;
+  AnalysisService S(makeWorkload(), SO);
+  ASSERT_TRUE(S.stats().DiskTierAttached);
+
+  // Edit + per-method commit BEFORE any query touches the disk tier:
+  // the invalidation must blind the tier to the edited methods even
+  // though their records were never promoted.
+  S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
+  S.submitCommit().wait();
+
+  auto Reference = makeWorkload();
+  applyScriptEdit(*Reference, 0);
+  std::vector<std::vector<ir::AllocId>> Expected =
+      coldAnswers(*Reference, Probe);
+
+  ServiceBatchResult R = S.queryVars(Probe);
+  ASSERT_EQ(R.Outcomes.size(), Probe.size());
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(R.Outcomes[I].AllocSites, Expected[I]) << "probe " << I;
+
+  // Untouched methods still ride the disk tier; the file predates the
+  // edit, so at least something must have required recomputation or
+  // refused a stale disk record.
+  ServiceStats After = S.stats();
+  EXPECT_GT(After.Store.DiskProbes, 0u);
+  std::remove(Path.c_str());
+}

@@ -17,7 +17,9 @@
 
 #include <fstream>
 #include <gtest/gtest.h>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -142,9 +144,18 @@ TEST(SummaryIOTest, TruncationLoadsIntactPrefixOnly) {
     EXPECT_EQ(B.DynSum->cacheSize(), 0u);
   }
 
+  // The serialized buffer ends with the digest-index section; the
+  // record stream ends where the index starts (the trailing u64
+  // locates it).
+  size_t RecordsEnd = 0;
+  for (int I = 7; I >= 0; --I)
+    RecordsEnd = RecordsEnd << 8 | uint8_t(Buf[Buf.size() - 8 + I]);
+  ASSERT_GT(RecordsEnd, 32u);
+  ASSERT_LT(RecordsEnd, Buf.size());
+
   // Cuts inside the record stream: the intact prefix loads, the report
   // flags the tear, and no partially decoded entry ever merges.
-  for (size_t Cut : {Buf.size() - 1, Buf.size() / 2, size_t(40)}) {
+  for (size_t Cut : {RecordsEnd - 1, RecordsEnd / 2, size_t(40)}) {
     Instance B(dynsum::testing::kFigure2Source);
     SummaryLoadReport R = deserializeSummariesReport(
         *B.DynSum, std::string_view(Buf).substr(0, Cut));
@@ -152,6 +163,18 @@ TEST(SummaryIOTest, TruncationLoadsIntactPrefixOnly) {
     EXPECT_TRUE(R.Truncated) << "cut at " << Cut;
     EXPECT_LT(R.EntriesLoaded, Full);
     EXPECT_EQ(B.DynSum->cacheSize(), R.EntriesLoaded);
+  }
+
+  // Cuts inside the trailing index section lose only the index: the
+  // streaming loader reads exactly the header's record count and never
+  // sees the damage — every record loads, no tear is reported.
+  for (size_t Cut : {Buf.size() - 1, RecordsEnd + 1, RecordsEnd}) {
+    Instance B(dynsum::testing::kFigure2Source);
+    SummaryLoadReport R = deserializeSummariesReport(
+        *B.DynSum, std::string_view(Buf).substr(0, Cut));
+    EXPECT_TRUE(R.Ok) << "cut at " << Cut;
+    EXPECT_FALSE(R.Truncated) << "cut at " << Cut;
+    EXPECT_EQ(R.EntriesLoaded, Full);
   }
 }
 
@@ -351,6 +374,284 @@ TEST(SummaryIOTest, GeneratedProgramRoundTripIsExact) {
   }
   EXPECT_EQ(A1.cacheSize(), A2.cacheSize())
       << "warm queries must not recompute anything";
+}
+
+//===----------------------------------------------------------------------===//
+// MappedSummaryFile: the disk tier's random-access reader
+//===----------------------------------------------------------------------===//
+
+/// One summary cache entry in on-disk key form, for probing the mmap
+/// reader: the packed in-memory key decoded (bit 0 = state, bits 1..32
+/// = node, bits 33..63 = field-stack id) and the node canonicalized
+/// the way the serializer does (VarId, or numVars + AllocId for object
+/// nodes).
+struct CachedKey {
+  uint32_t Canonical = 0;
+  RsmState State = RsmState::S1;
+  std::vector<uint32_t> Fields;
+  PortableSummary Summary;
+};
+
+uint32_t canonicalOf(const Instance &A, pag::NodeId N) {
+  const pag::Node &Node = A.Built.Graph->node(N);
+  if (Node.Kind == pag::NodeKind::Object)
+    return uint32_t(A.Prog->variables().size()) + Node.IrId;
+  return Node.IrId;
+}
+
+std::vector<CachedKey> decodeCache(const Instance &A) {
+  std::vector<CachedKey> Out;
+  const StackPool &Stacks = A.DynSum->fieldStacks();
+  for (const auto &[Packed, S] : A.DynSum->summaryCache()) {
+    CachedKey K;
+    K.Canonical = canonicalOf(A, pag::NodeId((Packed >> 1) & 0xffffffffu));
+    K.State = (Packed & 1) == 0 ? RsmState::S1 : RsmState::S2;
+    K.Fields = Stacks.elements(StackId{uint32_t(Packed >> 33)});
+    K.Summary = A.DynSum->exportSummary(S);
+    Out.push_back(std::move(K));
+  }
+  return Out;
+}
+
+/// The record's bytes must equal the donor cache entry exactly, with
+/// tuple nodes compared in canonical form.
+void expectRecordMatches(const Instance &A, const CachedKey &K,
+                         const DecodedSummaryRecord &R) {
+  EXPECT_EQ(R.CanonicalNode, K.Canonical);
+  EXPECT_EQ(int(R.State), int(K.State));
+  EXPECT_EQ(R.Fields, K.Fields);
+  EXPECT_EQ(R.Objects, K.Summary.Objects);
+  EXPECT_EQ(R.FieldData, K.Summary.FieldData);
+  ASSERT_EQ(R.Tuples.size(), K.Summary.Tuples.size());
+  for (size_t I = 0; I < R.Tuples.size(); ++I) {
+    EXPECT_EQ(R.Tuples[I].CanonicalNode,
+              canonicalOf(A, K.Summary.Tuples[I].Node));
+    EXPECT_EQ(int(R.Tuples[I].State), int(K.Summary.Tuples[I].State));
+    EXPECT_EQ(R.Tuples[I].FieldsLen, K.Summary.Tuples[I].FieldsLen);
+  }
+}
+
+Instance warmFigure2Instance() {
+  Instance A(dynsum::testing::kFigure2Source);
+  for (const ir::Variable &V : A.Prog->variables())
+    if (!V.IsGlobal)
+      A.DynSum->query(A.Built.Graph->nodeOfVar(V.Id));
+  EXPECT_GT(A.DynSum->cacheSize(), 10u);
+  return A;
+}
+
+TEST(MappedSummaryFileTest, FooterIndexRoundTripServesEveryRecord) {
+  Instance A = warmFigure2Instance();
+  std::string Path = ::testing::TempDir() + "/mapped_roundtrip.dsum";
+  ASSERT_TRUE(saveSummariesFile(*A.DynSum, Path));
+
+  std::string Error;
+  std::unique_ptr<MappedSummaryFile> File = MappedSummaryFile::open(
+      Path, programFingerprint(*A.Prog), A.Prog->variables().size(),
+      A.Prog->allocs().size(), &Error);
+  ASSERT_NE(File, nullptr) << Error;
+  EXPECT_TRUE(File->indexedOnOpen())
+      << "the serializer appends a digest index; open must use it";
+  EXPECT_EQ(File->records(), A.DynSum->cacheSize());
+
+  std::vector<CachedKey> Keys = decodeCache(A);
+  DecodedSummaryRecord R;
+  for (const CachedKey &K : Keys) {
+    ASSERT_TRUE(File->find(K.Canonical, K.State, K.Fields, R))
+        << "canonical node " << K.Canonical;
+    expectRecordMatches(A, K, R);
+  }
+  EXPECT_EQ(File->corruptRecords(), 0u);
+
+  // A key that was never saved misses cleanly.
+  EXPECT_FALSE(File->find(Keys[0].Canonical, RsmState::S1, {99, 99}, R));
+  std::remove(Path.c_str());
+}
+
+TEST(MappedSummaryFileTest, DamagedIndexFallsBackToFrameScan) {
+  Instance A = warmFigure2Instance();
+  std::string Path = ::testing::TempDir() + "/mapped_badindex.dsum";
+  ASSERT_TRUE(saveSummariesFile(*A.DynSum, Path));
+
+  std::ifstream In(Path, std::ios::binary);
+  std::string Buf((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  In.close();
+  size_t RecordsEnd = 0;
+  for (int I = 7; I >= 0; --I)
+    RecordsEnd = RecordsEnd << 8 | uint8_t(Buf[Buf.size() - 8 + I]);
+  ASSERT_LT(RecordsEnd, Buf.size());
+
+  std::vector<CachedKey> Keys = decodeCache(A);
+  // Two damage shapes: a flipped byte inside the index (checksum
+  // mismatch) and a torn-off footer (a pre-index-sized tail).  Both
+  // must open, report the index unusable, and still serve every
+  // record through the frame scan.
+  std::string Flipped = Buf;
+  Flipped[RecordsEnd + 5] = char(Flipped[RecordsEnd + 5] ^ 0x5a);
+  std::string Torn = Buf.substr(0, RecordsEnd);
+  for (const std::string &Damaged : {Flipped, Torn}) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Damaged.data(), std::streamsize(Damaged.size()));
+    Out.close();
+
+    std::string Error;
+    std::unique_ptr<MappedSummaryFile> File = MappedSummaryFile::open(
+        Path, programFingerprint(*A.Prog), A.Prog->variables().size(),
+        A.Prog->allocs().size(), &Error);
+    ASSERT_NE(File, nullptr) << Error;
+    EXPECT_FALSE(File->indexedOnOpen());
+    EXPECT_EQ(File->records(), A.DynSum->cacheSize());
+    DecodedSummaryRecord R;
+    for (const CachedKey &K : Keys) {
+      ASSERT_TRUE(File->find(K.Canonical, K.State, K.Fields, R));
+      expectRecordMatches(A, K, R);
+    }
+    EXPECT_EQ(File->corruptRecords(), 0u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(MappedSummaryFileTest, RejectsHeaderDamageAndWrongFingerprint) {
+  Instance A = warmFigure2Instance();
+  std::string Path = ::testing::TempDir() + "/mapped_reject.dsum";
+  ASSERT_TRUE(saveSummariesFile(*A.DynSum, Path));
+  uint64_t Fp = programFingerprint(*A.Prog);
+  size_t NumVars = A.Prog->variables().size();
+  size_t NumAllocs = A.Prog->allocs().size();
+
+  std::string Error;
+  EXPECT_EQ(MappedSummaryFile::open(Path, Fp + 1, NumVars, NumAllocs, &Error),
+            nullptr);
+  EXPECT_NE(Error.find("fingerprint"), std::string::npos) << Error;
+  EXPECT_EQ(MappedSummaryFile::open("/nonexistent/x.dsum", Fp, NumVars,
+                                    NumAllocs, &Error),
+            nullptr);
+
+  std::ifstream In(Path, std::ios::binary);
+  std::string Buf((std::istreambuf_iterator<char>(In)),
+                  std::istreambuf_iterator<char>());
+  In.close();
+  for (size_t Damage : {size_t(0), size_t(4), size_t(16)}) {
+    std::string Bad = Buf;
+    Bad[Damage] = char(Bad[Damage] ^ 0x7f);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bad.data(), std::streamsize(Bad.size()));
+    Out.close();
+    EXPECT_EQ(MappedSummaryFile::open(Path, Fp, NumVars, NumAllocs, &Error),
+              nullptr)
+        << "header byte " << Damage;
+    EXPECT_FALSE(Error.empty());
+  }
+  std::remove(Path.c_str());
+}
+
+/// The disk tier's skip semantics must match the streaming loader
+/// record-for-record over the golden corruption corpus: every record
+/// the loader merges is servable through the mmap reader, every record
+/// it skips or loses to a tear is a miss — and never a crash.  The
+/// corpus files predate the digest index, so this also pins the
+/// frame-scan fallback against real pre-index v3 bytes.
+TEST(MappedSummaryFileTest, AgreesWithStreamingLoaderOnGoldenCorpus) {
+  std::string Dir = std::string(DYNSUM_TESTS_DIR) + "/golden/dsum_corpus/";
+  std::ifstream ProgIn(Dir + "figure2.ir");
+  ASSERT_TRUE(ProgIn.good());
+  std::stringstream Src;
+  Src << ProgIn.rdbuf();
+  std::string Source = Src.str();
+
+  // The pristine file defines the full key set.
+  Instance Pristine(Source.c_str());
+  ASSERT_TRUE(loadSummariesFile(*Pristine.DynSum, Dir + "pristine.dsum"));
+  std::vector<CachedKey> AllKeys = decodeCache(Pristine);
+  ASSERT_GT(AllKeys.size(), 1u);
+  uint64_t Fp = programFingerprint(*Pristine.Prog);
+  size_t NumVars = Pristine.Prog->variables().size();
+  size_t NumAllocs = Pristine.Prog->allocs().size();
+
+  struct Expectation {
+    const char *Name;
+    uint64_t ExpectCorrupt; // records dead to CRC, counted on probe
+  };
+  for (const Expectation &E :
+       {Expectation{"pristine.dsum", 0}, Expectation{"corrupt_record.dsum", 1},
+        Expectation{"truncated_records.dsum", 0}}) {
+    // What does the streaming loader accept from this file?
+    Instance Loaded(Source.c_str());
+    SummaryLoadReport Rep =
+        loadSummariesFileReport(*Loaded.DynSum, Dir + E.Name);
+    ASSERT_TRUE(Rep.Ok) << E.Name << ": " << Rep.Error;
+    std::set<std::tuple<uint32_t, int, std::vector<uint32_t>>> Accepted;
+    for (const CachedKey &K : decodeCache(Loaded))
+      Accepted.insert({K.Canonical, int(K.State), K.Fields});
+
+    std::string Error;
+    std::unique_ptr<MappedSummaryFile> File =
+        MappedSummaryFile::open(Dir + E.Name, Fp, NumVars, NumAllocs, &Error);
+    ASSERT_NE(File, nullptr) << E.Name << ": " << Error;
+    EXPECT_FALSE(File->indexedOnOpen())
+        << E.Name << " predates the digest index";
+
+    DecodedSummaryRecord R;
+    size_t Hits = 0;
+    for (const CachedKey &K : AllKeys) {
+      bool Hit = File->find(K.Canonical, K.State, K.Fields, R);
+      bool WasAccepted =
+          Accepted.count({K.Canonical, int(K.State), K.Fields}) != 0;
+      EXPECT_EQ(Hit, WasAccepted)
+          << E.Name << ": mmap reader and streaming loader disagree on "
+             "canonical node "
+          << K.Canonical;
+      if (Hit) {
+        expectRecordMatches(Pristine, K, R);
+        ++Hits;
+      }
+    }
+    EXPECT_EQ(Hits, Rep.EntriesLoaded) << E.Name;
+    EXPECT_EQ(File->corruptRecords(), E.ExpectCorrupt) << E.Name;
+  }
+}
+
+/// Indexed golden files: a current-writer .dsum with its digest index
+/// intact must open indexed; its bad_index sibling (one flipped byte
+/// inside the index section) must fall back to the scan and still
+/// serve everything.
+TEST(MappedSummaryFileTest, GoldenIndexedCorpusServesMmapReader) {
+  std::string Dir = std::string(DYNSUM_TESTS_DIR) + "/golden/dsum_corpus/";
+  std::ifstream ProgIn(Dir + "figure2.ir");
+  ASSERT_TRUE(ProgIn.good());
+  std::stringstream Src;
+  Src << ProgIn.rdbuf();
+  std::string Source = Src.str();
+
+  Instance Pristine(Source.c_str());
+  ASSERT_TRUE(
+      loadSummariesFile(*Pristine.DynSum, Dir + "pristine_indexed.dsum"));
+  std::vector<CachedKey> Keys = decodeCache(Pristine);
+  ASSERT_GT(Keys.size(), 1u);
+  uint64_t Fp = programFingerprint(*Pristine.Prog);
+  size_t NumVars = Pristine.Prog->variables().size();
+  size_t NumAllocs = Pristine.Prog->allocs().size();
+
+  struct Expectation {
+    const char *Name;
+    bool Indexed;
+  };
+  for (const Expectation &E : {Expectation{"pristine_indexed.dsum", true},
+                               Expectation{"bad_index.dsum", false}}) {
+    std::string Error;
+    std::unique_ptr<MappedSummaryFile> File =
+        MappedSummaryFile::open(Dir + E.Name, Fp, NumVars, NumAllocs, &Error);
+    ASSERT_NE(File, nullptr) << E.Name << ": " << Error;
+    EXPECT_EQ(File->indexedOnOpen(), E.Indexed) << E.Name;
+    EXPECT_EQ(File->records(), Keys.size()) << E.Name;
+    DecodedSummaryRecord R;
+    for (const CachedKey &K : Keys) {
+      ASSERT_TRUE(File->find(K.Canonical, K.State, K.Fields, R)) << E.Name;
+      expectRecordMatches(Pristine, K, R);
+    }
+    EXPECT_EQ(File->corruptRecords(), 0u) << E.Name;
+  }
 }
 
 } // namespace

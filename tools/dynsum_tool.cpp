@@ -18,6 +18,8 @@
 ///                 [--commit-threads=N] [--keep-generations=N]
 ///                 [--stats] [--dump-ir] [--dump-pag]
 ///                 [--serve] [--save-summaries=path] [--load-summaries=path]
+///                 [--snapshot=path] [--warm-from-disk=path]
+///                 [--store-stripes=N]
 ///
 /// --threads routes queries and clients through the parallel batch
 /// engine (dynsum only; 0 = one worker per hardware thread); summary
@@ -33,6 +35,13 @@
 /// "generations" command lists them with their structural-sharing cost
 /// and "rollback <gen>" republishes one in O(1).  "save"/"load" persist
 /// warm summaries across serve sessions.
+///
+/// --snapshot=path is the warm-restart loop in one flag: the service
+/// saves its summary store there on shutdown and, on the next start,
+/// attaches the same file as the store's memory-mapped read-only disk
+/// tier — first queries answer from disk hits instead of recomputing.
+/// --warm-from-disk=path warms from a different file than the shutdown
+/// snapshot; --store-stripes=N sets the hot tier's lock-stripe count.
 ///
 /// Examples:
 ///   dynsum prog.mj --client=all
@@ -178,7 +187,9 @@ int usage() {
             " [--query=Class.method.var]\n"
             "              [--budget=N] [--max-queries=N] [--threads=N]"
             " [--commit-threads=N] [--stats] [--dump-pag] [--serve]\n"
-            "              [--save-summaries=path] [--load-summaries=path]\n";
+            "              [--save-summaries=path] [--load-summaries=path]\n"
+            "              [--snapshot=path] [--warm-from-disk=path]"
+            " [--store-stripes=N]\n";
   return 2;
 }
 
@@ -247,21 +258,41 @@ void serveHelp() {
             "(--commit-threads=N shards the commit pipeline; 0 = one worker "
             "per hardware thread;\n"
             " --keep-generations=N retains N superseded snapshots for "
-            "generations/rollback)\n";
+            "generations/rollback;\n"
+            " --snapshot=path saves the store on quit and warms the next "
+            "start from the same\n"
+            " file via the mapped disk tier; --store-stripes=N sets hot-tier "
+            "lock striping)\n";
 }
 
 int runServe(std::unique_ptr<ir::Program> Prog,
              const analysis::AnalysisOptions &AO, unsigned Threads,
-             unsigned CommitThreads, unsigned KeepGenerations) {
+             unsigned CommitThreads, unsigned KeepGenerations,
+             const std::string &Snapshot, const std::string &WarmPath,
+             unsigned StoreStripes) {
   service::ServiceOptions SO;
   SO.Engine.NumThreads = Threads;
   SO.Engine.Analysis = AO;
   SO.Commit = CommitThreads;
   SO.KeepGenerations = KeepGenerations;
+  SO.StoreStripes = StoreStripes;
+  // --snapshot=path is the warm-restart loop in one flag: save the
+  // store there on shutdown AND attach the same file as the disk tier
+  // on startup.  --warm-from-disk overrides just the startup side.
+  SO.SnapshotOnShutdownPath = Snapshot;
+  SO.WarmFromDiskPath = WarmPath.empty() ? Snapshot : WarmPath;
   service::AnalysisService S(std::move(Prog), SO);
   outs() << "dynsum serve: " << uint64_t(S.program().methods().size())
          << " methods, " << uint64_t(S.program().variables().size())
          << " variables; \"help\" lists commands\n";
+  if (!SO.WarmFromDiskPath.empty()) {
+    if (S.stats().DiskTierAttached)
+      outs() << "warm tier: " << SO.WarmFromDiskPath
+             << " attached (hot misses probe the mapped snapshot)\n";
+    else
+      outs() << "warm tier: " << SO.WarmFromDiskPath
+             << " not attached (missing/stale snapshot); starting cold\n";
+  }
 
   char Line[4096];
   double DeadlineMs = 0; // 0 = unlimited
@@ -510,7 +541,15 @@ int runServe(std::unique_ptr<ir::Program> Prog,
              << SS.Store.Publishes << " published ("
              << SS.Store.StalePublishes << " stale), " << SS.Store.Invalidated
              << " invalidated, " << SS.Store.LockContended
-             << " contended locks\n";
+             << " contended locks, " << uint64_t(SS.StoreStripes.size())
+             << " stripes\n";
+      if (SS.DiskTierAttached || SS.Store.DiskProbes > 0)
+        outs() << "disk tier: "
+               << (SS.DiskTierAttached ? "attached" : "detached") << ", "
+               << SS.Store.DiskHits << "/" << SS.Store.DiskProbes
+               << " probes hit, " << SS.Store.Promoted << " promoted, "
+               << SS.Store.DiskStale << " stale, " << SS.Store.DiskCorrupt
+               << " corrupt records\n";
       if (SS.Commits > 0) {
         outs() << "last commit ";
         outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
@@ -571,10 +610,14 @@ int runTool(int argc, char **argv) {
     int64_t ServeThreads = Args.getInt("threads", 4);
     int64_t CommitThreads = Args.getInt("commit-threads", 1);
     int64_t KeepGenerations = Args.getInt("keep-generations", 0);
+    int64_t StoreStripes = Args.getInt("store-stripes", 0);
     return runServe(std::move(Prog), ServeOpts,
                     ServeThreads < 0 ? 0u : unsigned(ServeThreads),
                     CommitThreads < 0 ? 0u : unsigned(CommitThreads),
-                    KeepGenerations < 0 ? 0u : unsigned(KeepGenerations));
+                    KeepGenerations < 0 ? 0u : unsigned(KeepGenerations),
+                    Args.getString("snapshot", ""),
+                    Args.getString("warm-from-disk", ""),
+                    StoreStripes < 0 ? 0u : unsigned(StoreStripes));
   }
 
   // Dispatch resolver.
