@@ -23,9 +23,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -149,14 +155,28 @@ void BM_DynSum_GeneratedQueries(benchmark::State &State) {
 BENCHMARK(BM_DynSum_GeneratedQueries);
 
 void BM_AndersenSolve(benchmark::State &State) {
+  // range(0) = solver threads; 1 is the serial hybrid-set worklist, >1
+  // the sharded bulk-synchronous solver (bit-identical results).
   GenProg &G = GenProg::get();
   for (auto _ : State) {
-    AndersenAnalysis A(*G.Built.Graph);
+    AndersenAnalysis A(*G.Built.Graph, unsigned(State.range(0)));
     A.solve();
     benchmark::DoNotOptimize(A.propagationCount());
   }
 }
-BENCHMARK(BM_AndersenSolve);
+BENCHMARK(BM_AndersenSolve)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_AndersenSolve_DenseBaseline(benchmark::State &State) {
+  // The pre-hybrid representation (one dense BitVector per node):
+  // the single-thread baseline the hybrid set is measured against.
+  GenProg &G = GenProg::get();
+  for (auto _ : State) {
+    AndersenAnalysis A(*G.Built.Graph, 1, PtsRep::Dense);
+    A.solve();
+    benchmark::DoNotOptimize(A.propagationCount());
+  }
+}
+BENCHMARK(BM_AndersenSolve_DenseBaseline);
 
 void BM_PAGBuild(benchmark::State &State) {
   GenProg &G = GenProg::get();
@@ -231,7 +251,87 @@ template <typename Fn> double measureRate(double MinSeconds, Fn &&Body) {
   return double(Reps) / T.seconds();
 }
 
-void runThroughputSection(const std::string &JsonPath) {
+//===----------------------------------------------------------------------===//
+// Whole-program solve scaling: Andersen at a requested program size,
+// across thread counts and set representations.  Opt-in via
+// --andersen-methods=N (a 10k-method solve is too slow for the default
+// microbench run); results ride the same trajectory JSON.
+//===----------------------------------------------------------------------===//
+
+struct AndersenSection {
+  bool Ran = false;
+  uint64_t Methods = 0, Nodes = 0, Edges = 0;
+  double T1Ms = 0, T2Ms = 0, T8Ms = 0, DenseT1Ms = 0;
+};
+
+AndersenSection runAndersenSection(uint64_t Methods) {
+  AndersenSection R;
+  if (Methods == 0)
+    return R;
+  workload::GenOptions GO;
+  GO.Scale = double(Methods) / 3400.0; // soot-c: 3.4k methods at scale 1
+  std::unique_ptr<ir::Program> Prog =
+      workload::generateProgram(workload::specByName("soot-c"), GO);
+  pag::BuiltPAG Built = pag::buildPAG(*Prog);
+
+  // Best-of-3 below ~5k methods, where allocator noise dominates the
+  // variance; a 10k-method solve runs minutes, so one rep has to do
+  // (the t8-vs-t1 ratio it feeds is ~2x on real cores — well above
+  // single-rep noise).  Progress goes to stderr as each config lands.
+  const int Reps = Methods >= 5000 ? 1 : 3;
+  auto SolveMs = [&](const char *Name, unsigned Threads, PtsRep Rep) {
+    double Best = 1e300;
+    for (int I = 0; I < Reps; ++I) {
+      Timer T;
+      AndersenAnalysis A(*Built.Graph, Threads, Rep);
+      A.solve();
+      benchmark::DoNotOptimize(A.propagationCount());
+      Best = std::min(Best, T.seconds() * 1e3);
+    }
+    std::fprintf(stderr, "andersen %s: %.2f ms (best of %d)\n", Name, Best,
+                 Reps);
+#if defined(__GLIBC__)
+    // A 10k-method solve allocates gigabytes of short-lived delta and
+    // staging storage across per-thread arenas; return it to the OS
+    // between configs so four back-to-back solves don't stack their
+    // high-water marks into an OOM on CI-sized runners.
+    malloc_trim(0);
+#endif
+    return Best;
+  };
+
+  R.Ran = true;
+  R.Methods = Prog->methods().size();
+  R.Nodes = Built.Graph->numNodes();
+  R.Edges = Built.Graph->numEdges();
+  R.T1Ms = SolveMs("hybrid t1", 1, PtsRep::Hybrid);
+  R.T2Ms = SolveMs("hybrid t2", 2, PtsRep::Hybrid);
+  R.T8Ms = SolveMs("hybrid t8", 8, PtsRep::Hybrid);
+  // The dense baseline keeps a universe-sized bitmap per node — ~30 GB
+  // at 10k methods, which the hybrid representation exists to avoid —
+  // so the A/B only runs at scales where dense fits CI-sized memory
+  // (the CI hybrid-vs-dense gate uses a second, smaller invocation).
+  if (Methods <= 5000)
+    R.DenseT1Ms = SolveMs("dense t1", 1, PtsRep::Dense);
+  else
+    std::fprintf(stderr, "andersen dense t1: skipped (universe bitmaps "
+                         "need ~30 GB at this scale)\n");
+
+  std::printf("\n-- Andersen whole-program solve (soot-c, %llu methods, "
+              "%llu nodes / %llu edges) --\n",
+              (unsigned long long)R.Methods, (unsigned long long)R.Nodes,
+              (unsigned long long)R.Edges);
+  std::printf("hybrid t1: %9.2f ms\n", R.T1Ms);
+  std::printf("hybrid t2: %9.2f ms  (%.2fx)\n", R.T2Ms, R.T1Ms / R.T2Ms);
+  std::printf("hybrid t8: %9.2f ms  (%.2fx)\n", R.T8Ms, R.T1Ms / R.T8Ms);
+  if (R.DenseT1Ms > 0)
+    std::printf("dense  t1: %9.2f ms  (hybrid %.2fx vs dense)\n", R.DenseT1Ms,
+                R.DenseT1Ms / R.T1Ms);
+  return R;
+}
+
+void runThroughputSection(const std::string &JsonPath,
+                          const AndersenSection &Andersen) {
   GenProg &G = GenProg::get();
   size_t N = G.QueryNodes.size();
   engine::EngineOptions EO;
@@ -278,6 +378,20 @@ void runThroughputSection(const std::string &JsonPath) {
   J.set("traversal.batch_cold_qps", ColdQps);
   J.set("traversal.batch_warm_qps", WarmQps);
   J.set("traversal.sequential_qps", SeqQueries);
+  if (Andersen.Ran) {
+    J.set("andersen.methods", Andersen.Methods);
+    J.set("andersen.pag_nodes", Andersen.Nodes);
+    J.set("andersen.pag_edges", Andersen.Edges);
+    J.set("andersen.t1_ms", Andersen.T1Ms);
+    J.set("andersen.t2_ms", Andersen.T2Ms);
+    J.set("andersen.t8_ms", Andersen.T8Ms);
+    J.set("andersen.speedup_8v1", Andersen.T1Ms / Andersen.T8Ms);
+    if (Andersen.DenseT1Ms > 0) {
+      J.set("andersen.dense_t1_ms", Andersen.DenseT1Ms);
+      J.set("andersen.hybrid_speedup_vs_dense",
+            Andersen.DenseT1Ms / Andersen.T1Ms);
+    }
+  }
   if (J.writeFile(JsonPath))
     std::printf("throughput JSON written to %s\n", JsonPath.c_str());
   else
@@ -286,15 +400,19 @@ void runThroughputSection(const std::string &JsonPath) {
 
 } // namespace
 
-/// Custom main: --json=<file> is peeled off before google-benchmark
-/// sees argv (it rejects flags it does not know), then the registered
-/// microbenchmarks run, then the throughput section.
+/// Custom main: --json=<file> and --andersen-methods=<N> are peeled
+/// off before google-benchmark sees argv (it rejects flags it does not
+/// know), then the registered microbenchmarks run, then the Andersen
+/// scaling and throughput sections.
 int main(int argc, char **argv) {
   std::string JsonPath;
+  uint64_t AndersenMethods = 0;
   std::vector<char *> Args;
   for (int I = 0; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--andersen-methods=", 19) == 0)
+      AndersenMethods = std::strtoull(argv[I] + 19, nullptr, 10);
     else
       Args.push_back(argv[I]);
   }
@@ -304,6 +422,7 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  runThroughputSection(JsonPath);
+  AndersenSection Andersen = runAndersenSection(AndersenMethods);
+  runThroughputSection(JsonPath, Andersen);
   return 0;
 }

@@ -10,6 +10,11 @@
 ///    Andersen analysis (see AndersenTargetResolver);
 ///  * the conservative fallback answer for budget-exceeded queries.
 ///
+/// The solver runs serial or sharded-parallel (see Threads below); the
+/// parallel solve reaches the same least fixpoint, so points-to sets
+/// are bit-identical at every thread count (fuzz-oracle-enforced in
+/// tests/andersen_parallel_test.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_ANALYSIS_ANDERSEN_H
@@ -19,6 +24,7 @@
 #include "pag/CallGraph.h"
 #include "pag/PAGBuilder.h"
 #include "support/BitVector.h"
+#include "support/FlatSet.h"
 
 #include <memory>
 #include <unordered_map>
@@ -27,10 +33,20 @@
 namespace dynsum {
 namespace analysis {
 
+/// Which container backs the solver's points-to sets.  Hybrid is the
+/// default everywhere; Dense keeps the seed BitVector representation
+/// alive as an in-run A/B baseline for benches and equivalence tests
+/// (Dense always solves serially).
+enum class PtsRep { Hybrid, Dense };
+
 /// Whole-program inclusion-based solver over a finalized PAG.
 class AndersenAnalysis {
 public:
-  explicit AndersenAnalysis(const pag::PAG &G);
+  /// \p Threads > 1 selects the sharded bulk-synchronous solver
+  /// (0 = one worker per hardware thread).  Results are identical at
+  /// every thread count.
+  explicit AndersenAnalysis(const pag::PAG &G, unsigned Threads = 1,
+                            PtsRep Rep = PtsRep::Hybrid);
 
   /// Runs to fixpoint.  Idempotent.
   void solve();
@@ -49,20 +65,27 @@ public:
   uint64_t propagationCount() const { return Propagations; }
 
 private:
-  /// Extended node space: variable nodes first, then one node per
-  /// touched (object, field) pair, created on demand.
-  uint32_t fieldNode(ir::AllocId A, ir::FieldId F);
+  template <class SetVec> void solveSerial(SetVec &P);
+  void solveParallel();
 
   /// Adds a dynamic copy edge Src -> Dst; returns true when new.
+  /// Membership is a hashed edge set, not a linear fan-out scan.
   bool addCopy(uint32_t Src, uint32_t Dst);
 
   const pag::PAG &Graph;
   size_t NumAllocs;
+  unsigned NumThreads;
+  PtsRep Rep;
   bool Solved = false;
   uint64_t Propagations = 0;
 
-  std::vector<BitVector> Pts;                  // by extended node
+  /// Extended node space: variable nodes first, then one node per
+  /// touched (object, field) pair, created on demand.  Exactly one of
+  /// Pts / DensePts is populated, selected by Rep.
+  std::vector<HybridPtsSet> Pts;               // by extended node
+  std::vector<BitVector> DensePts;             // Rep == Dense only
   std::vector<std::vector<uint32_t>> CopySucc; // dynamic + static copies
+  FlatPairSet CopyEdges;                       // (src, dst) membership
   std::unordered_map<uint64_t, uint32_t> FieldNodes; // (A,F) -> ext node
   std::vector<std::pair<ir::AllocId, ir::FieldId>> FieldNodeKeys;
 };
@@ -88,8 +111,10 @@ private:
 /// Builds a PAG whose call graph was refined by Andersen analysis:
 /// CHA-based PAG first, then up to \p Rounds rebuilds with
 /// points-to-directed dispatch until the call graph stabilizes.
+/// \p Threads parallelizes each whole-program solve.
 pag::BuiltPAG buildPAGWithAndersenCallGraph(const ir::Program &P,
-                                            unsigned Rounds = 2);
+                                            unsigned Rounds = 2,
+                                            unsigned Threads = 1);
 
 } // namespace analysis
 } // namespace dynsum

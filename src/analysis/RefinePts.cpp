@@ -72,7 +72,7 @@ QueryResult RefinePtsAnalysis::query(NodeId V,
     if (Result.BudgetExceeded)
       return Result; // out of budget: conservative answer
     // Refine every match edge encountered (Alg. 2 line 35).
-    FldsToRefine.insert(FldsSeen.begin(), FldsSeen.end());
+    FldsToRefine.orInPlace(FldsSeen);
   }
   return Result;
 }
@@ -153,10 +153,10 @@ RefinePtsAnalysis::ObjSet RefinePtsAnalysis::sbPointsTo(NodeId V, StackId Ctx,
       // E: base --load(f)--> V, i.e. V = base.f.  Alg. 1 lines 13-24.
       NodeId LoadBase = E.Src;
       ir::FieldId F = E.Aux;
-      if (!FldsToRefine.count(EId) && Refinement) {
+      if (!FldsToRefine.test(EId) && Refinement) {
         // Field-based: cross the artificial match edge to every value
         // stored into any .f, clearing the context (lines 15-17).
-        FldsSeen.insert(EId);
+        FldsSeen.set(EId);
         for (EdgeId SId : Graph.storesOfField(F)) {
           if (!B.consume())
             break;
@@ -288,9 +288,9 @@ RefinePtsAnalysis::VarSet RefinePtsAnalysis::fwdFlowsTo(NodeId V, StackId Ctx,
         if (!B.consume())
           break;
         const Edge &LE = Graph.edge(LId);
-        if (!FldsToRefine.count(LId) && Refinement) {
+        if (!FldsToRefine.test(LId) && Refinement) {
           // Field-based match edge: jump straight to the loaded var.
-          FldsSeen.insert(LId);
+          FldsSeen.set(LId);
           mergeInto(Out, fwdFlowsTo(LE.Dst, StackPool::empty(), B));
           continue;
         }

@@ -18,6 +18,7 @@
 #define DYNSUM_ANALYSIS_REFINEPTS_H
 
 #include "analysis/DemandAnalysis.h"
+#include "support/BitVector.h"
 #include "support/InternedStack.h"
 
 #include <unordered_map>
@@ -34,7 +35,8 @@ class RefinePtsAnalysis : public DemandAnalysis {
 public:
   RefinePtsAnalysis(const pag::PAG &G, const AnalysisOptions &Opts,
                     bool Refinement = true)
-      : DemandAnalysis(G, Opts), Refinement(Refinement) {}
+      : DemandAnalysis(G, Opts), Refinement(Refinement),
+        FldsToRefine(G.numEdgeSlots()), FldsSeen(G.numEdgeSlots()) {}
 
   const char *name() const override {
     return Refinement ? "REFINEPTS" : "NOREFINE";
@@ -84,10 +86,12 @@ private:
   //===------------------------------------------------------------------===//
 
   StackPool Contexts;
-  /// Load edges currently treated field-sensitively.
-  std::unordered_set<uint32_t> FldsToRefine;
+  /// Load edges currently treated field-sensitively, as a hybrid set
+  /// over the edge-slot universe (tiny for most queries, dense when a
+  /// hot query refines wide).
+  HybridPtsSet FldsToRefine;
   /// Load edges crossed field-based during the current pass.
-  std::unordered_set<uint32_t> FldsSeen;
+  HybridPtsSet FldsSeen;
   /// Cycle guards: (node, ctx) active on the recursion stack, one per
   /// direction.
   std::unordered_set<uint64_t> ActiveBack, ActiveFwd;

@@ -7,9 +7,10 @@
 
 #include "analysis/StaSum.h"
 
+#include "support/BitVector.h"
+#include "support/FlatSet.h"
 #include "support/InternedStack.h"
 
-#include <unordered_set>
 #include <vector>
 
 using namespace dynsum;
@@ -23,8 +24,12 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
   PptaEngine Engine(G, FieldStacks, Opts.MaxFieldDepth);
   Budget B(Opts.StepBudget);
 
-  std::unordered_set<uint64_t> Seen; // all keys ever enqueued
-  std::unordered_set<uint64_t> NodeStates; // keys projected to (node, state)
+  FlatU64Set Seen; // all keys ever enqueued
+  Seen.reserve(G.numNodes() / 2 + 16);
+  // Keys projected to (node, state): a small universe (2 * numNodes),
+  // so a HybridPtsSet beats a hash set — it densifies as the closure
+  // widens instead of rehashing.
+  HybridPtsSet NodeStates(size_t(2) * G.numNodes() + 1);
   // Vector-backed stack (LIFO order is fine: the closure is exhaustive
   // under Seen); sized for the boundary-node seeding pass up front.
   std::vector<uint64_t> Work;
@@ -32,7 +37,7 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
   // Key decoding mirrors packSummaryKey.
   auto Push = [&](NodeId N, StackId F, RsmState S) {
     uint64_t Key = packSummaryKey(N, F, S);
-    if (Seen.insert(Key).second)
+    if (Seen.insert(Key))
       Work.push_back(Key);
   };
 
@@ -61,7 +66,7 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
     if (G.node(N).HasLocalEdge) {
       Engine.compute(N, F, S, B, Summary);
       ++Result.NumSummaries;
-      NodeStates.insert(Key & 0x1ffffffffull);
+      NodeStates.set(size_t(Key & 0x1ffffffffull));
     } else {
       Summary.Tuples.push_back(PptaTuple{N, F, S});
     }
@@ -85,6 +90,6 @@ StaSumResult dynsum::analysis::computeStaSum(const PAG &G,
   }
 
   Result.Steps = B.used();
-  Result.NumNodeStateSummaries = NodeStates.size();
+  Result.NumNodeStateSummaries = NodeStates.count();
   return Result;
 }

@@ -8,6 +8,7 @@
 #include "service/AnalysisService.h"
 
 #include "analysis/SummaryIO.h"
+#include "engine/TieredStore.h"
 #include "ir/Validator.h"
 #include "support/FaultInjection.h"
 #include "support/Timer.h"
@@ -82,6 +83,17 @@ AnalysisService::~AnalysisService() {
   }
   if (Committer.joinable())
     Committer.join();
+  // The warmer stops after the committer: the committer's last commit
+  // may have queued one final warm job, and the warmer drains its
+  // pending slot before exiting, so the shutdown snapshot below covers
+  // the warmed summaries too.
+  {
+    std::lock_guard<std::mutex> Lock(WarmMutex);
+    WarmStop = true;
+    WarmCv.notify_all();
+  }
+  if (Warmer.joinable())
+    Warmer.join();
   // Graceful snapshot-to-disk: best effort, after the committer has
   // drained so the snapshot covers every accepted commit.  Shutdown
   // must never throw; a failed save just means a cold next start.
@@ -207,6 +219,14 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   const bool CarriedValid = CachedBoundaryGen == Old->Number;
   CachedBoundaryGen = kNoBoundaryGen;
 
+  // Pre-summarization scope: ClearAll drops every summary, so only a
+  // full warm makes sense regardless of the configured scope.  The
+  // invalidated-method set is captured from the plan below.
+  const bool WarmAll =
+      Opts.Presummarize && (Opts.Policy == InvalidationPolicy::ClearAll ||
+                            Opts.WarmScope == PresummarizeScope::All);
+  std::unordered_set<ir::MethodId> WarmMethods;
+
   // Everything below, up to the publish, is failure-isolated: the new
   // generation is built on a private copy-on-write snapshot, so a
   // throw anywhere in the pipeline (a lowering worker, an allocation
@@ -266,6 +286,8 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
       }
       Stats.MethodsInvalidated = Plan.Methods.size();
       Stats.SummariesDropped = Store.beginGeneration(*NewBuilt->Graph, Plan);
+      if (Opts.Presummarize && !WarmAll)
+        WarmMethods = Plan.Methods;
     }
     Stats.SharedSummariesDropped = Stats.SummariesDropped;
 
@@ -306,6 +328,8 @@ CommitStats AnalysisService::commitLocked(CommitMode Mode) {
   TotalCommitMicros.fetch_add(Micros, std::memory_order_relaxed);
   LastCommitRelowered.store(Stats.MethodsRelowered,
                             std::memory_order_relaxed);
+  if (Opts.Presummarize)
+    scheduleWarm(WarmAll, WarmMethods);
   return Stats;
 }
 
@@ -451,6 +475,112 @@ void AnalysisService::waitForCommits() {
 }
 
 //===----------------------------------------------------------------------===//
+// Post-commit pre-summarization
+//===----------------------------------------------------------------------===//
+//
+// A successful commit queues one warm job: the variables whose
+// summaries the commit just dropped (plus the recently-queried hot
+// set, scope permitting), against the generation it published.  A
+// single warmer thread runs jobs newest-wins — a commit racing ahead
+// of a queued pass simply replaces it, and a pass racing a commit is
+// harmless because it publishes through an epoch pinned to its own
+// generation: the store's gate drops stale entries.  The pass fans out
+// over the commit ExecContext; WorkerPool::run is internally
+// serialized, so sharing the committer's pool costs ordering, never
+// correctness.
+
+void AnalysisService::scheduleWarm(
+    bool All, const std::unordered_set<ir::MethodId> &Methods) {
+  std::shared_ptr<const Generation> Gen = current();
+  const bool UseHot = !All && (Opts.WarmScope == PresummarizeScope::Hot ||
+                               Opts.WarmScope ==
+                                   PresummarizeScope::HotAndInvalidated);
+  const bool UseInvalidated =
+      !All && Opts.WarmScope != PresummarizeScope::Hot;
+  std::unordered_set<ir::VarId> Hot;
+  if (UseHot) {
+    std::lock_guard<std::mutex> Lock(HotMutex);
+    Hot = HotSet;
+  }
+  // Warm set per scope: recently-queried variables re-demand exactly
+  // the dropped summaries on paths clients actually use (hot variables
+  // whose summaries survived cost one store hit each — noise); the
+  // invalidated-method scopes add every variable the edited methods
+  // own, a speculative bet that new code is queried next.
+  std::vector<ir::VarId> Vars;
+  const std::vector<ir::Variable> &AllVars = Prog->variables();
+  size_t Known = std::min(AllVars.size(), Gen->NumVars);
+  for (size_t I = 0; I < Known; ++I) {
+    if (All || (UseInvalidated && Methods.count(AllVars[I].Owner)) ||
+        (UseHot && Hot.count(ir::VarId(I))))
+      Vars.push_back(ir::VarId(I));
+  }
+  if (Vars.empty())
+    return;
+
+  std::lock_guard<std::mutex> Lock(WarmMutex);
+  if (WarmStop)
+    return;
+  PendingWarm = WarmJob{std::move(Gen), std::move(Vars)}; // newest wins
+  if (!Warmer.joinable())
+    Warmer = std::thread([this] { warmerLoop(); });
+  WarmCv.notify_one();
+}
+
+void AnalysisService::warmerLoop() {
+  std::unique_lock<std::mutex> Lock(WarmMutex);
+  for (;;) {
+    WarmCv.wait(Lock,
+                [this] { return PendingWarm.has_value() || WarmStop; });
+    if (!PendingWarm) // stop requested and queue drained
+      return;
+    WarmJob Job = std::move(*PendingWarm);
+    PendingWarm.reset();
+    WarmInFlight = true;
+    Lock.unlock();
+    try {
+      runWarmJob(Job);
+    } catch (...) {
+      // Best effort by contract: a failed pass costs cold queries
+      // later, nothing else.
+    }
+    Lock.lock();
+    WarmInFlight = false;
+    WarmIdleCv.notify_all();
+  }
+}
+
+void AnalysisService::runWarmJob(const WarmJob &Job) {
+  if (Store.generation() != Job.Gen->Number)
+    return; // superseded before it started
+  WarmRunsCount.fetch_add(1, std::memory_order_relaxed);
+  engine::SummaryStoreEpoch Epoch(Store, Job.Gen->Number);
+  const pag::PAG &G = *Job.Gen->Built->Graph;
+  std::atomic<uint64_t> Computed{0};
+  parallelChunks(
+      Job.Vars.size(), Opts.Commit, [&](size_t Begin, size_t End, unsigned) {
+        analysis::DynSumAnalysis A(G, Opts.Engine.Analysis);
+        A.setSummaryExchange(&Epoch);
+        for (size_t I = Begin; I < End; ++I) {
+          if (Store.generation() != Job.Gen->Number)
+            break; // superseded mid-pass: stop burning cycles
+          A.query(G.nodeOfVar(Job.Vars[I]));
+        }
+        Computed.fetch_add(A.stats().get("dynsum.pptaComputed"),
+                           std::memory_order_relaxed);
+      });
+  WarmQueriesRun.fetch_add(Job.Vars.size(), std::memory_order_relaxed);
+  WarmComputed.fetch_add(Computed.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+}
+
+void AnalysisService::waitForWarm() {
+  std::unique_lock<std::mutex> Lock(WarmMutex);
+  WarmIdleCv.wait(Lock,
+                  [this] { return !PendingWarm.has_value() && !WarmInFlight; });
+}
+
+//===----------------------------------------------------------------------===//
 // Generation history
 //===----------------------------------------------------------------------===//
 
@@ -585,6 +715,20 @@ AnalysisService::runBatch(const std::shared_ptr<const Generation> &Gen,
     }
   }
 
+  // Feed the warmer's hot set (capped; no eviction — a saturated set
+  // is already far more than one warm pass will chew through).  Only
+  // the hot-including scopes ever read it.
+  if (Opts.Presummarize &&
+      (Opts.WarmScope == PresummarizeScope::Hot ||
+       Opts.WarmScope == PresummarizeScope::HotAndInvalidated)) {
+    std::lock_guard<std::mutex> Lock(HotMutex);
+    for (ir::VarId V : Vars) {
+      if (HotSet.size() >= kHotSetCap)
+        break;
+      HotSet.insert(V);
+    }
+  }
+
   engine::BatchResult R =
       DL ? Gen->Engine->run(Batch, *DL) : Gen->Engine->run(Batch);
   ActiveBatches.fetch_sub(1, std::memory_order_relaxed);
@@ -691,6 +835,9 @@ ServiceStats AnalysisService::stats() const {
   S.ShedQueries = ShedQueries.load(std::memory_order_relaxed);
   S.TimedOutQueries = TimedOutQueries.load(std::memory_order_relaxed);
   S.CancelledQueries = CancelledQueries.load(std::memory_order_relaxed);
+  S.WarmRuns = WarmRunsCount.load(std::memory_order_relaxed);
+  S.WarmQueries = WarmQueriesRun.load(std::memory_order_relaxed);
+  S.WarmSummariesComputed = WarmComputed.load(std::memory_order_relaxed);
   S.Shedding = SheddingState.load(std::memory_order_relaxed);
   S.Store = Store.counters();
   S.DiskTierAttached = Store.hasDiskTier();

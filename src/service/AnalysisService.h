@@ -50,8 +50,20 @@
 ///     buffered before it grabbed the edit lock — Scratch wins when
 ///     modes mix), and every coalesced ticket shares the covering
 ///     commit's ticket state: they all complete together, with the same
-///     stats.  The legacy commit()/commitAsync()/waitForCommits()
-///     surface survives as thin deprecated wrappers.
+///     stats.  waitForCommits() is the fence for tickets that were
+///     dropped.
+///
+///   * Optionally (ServiceOptions::Presummarize), every published
+///     commit hands a background warmer the set of variables the commit
+///     invalidated (plus the recently-queried hot set), and the warmer
+///     bulk-computes their PPTA summaries in parallel — on the
+///     committer's ExecContext, pinned to the published store
+///     generation — and publishes them into the TieredSummaryStore.
+///     The first query batch after a commit then hits warm summaries
+///     instead of computing them one query-miss at a time.  A newer
+///     commit supersedes a queued warm job (newest wins) and stale
+///     publishes drop at the store's epoch gate, so warming can never
+///     pollute a later generation.
 ///
 ///   * The commit pipeline shards across ServiceOptions::Commit — a
 ///     support::ExecContext carrying the thread budget and, for budgets
@@ -95,6 +107,8 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
+#include <vector>
 
 namespace dynsum {
 namespace service {
@@ -118,6 +132,27 @@ struct OverloadPolicy {
   /// immediately with CommitOutcome::Shed; the edits stay buffered and
   /// the next accepted commit covers them).  0 = never shed commits.
   unsigned MaxCommitBacklog = 0;
+};
+
+/// Which variables the post-commit warmer pre-summarizes (only read
+/// when ServiceOptions::Presummarize is on).
+enum class PresummarizeScope : uint8_t {
+  /// Every variable a recent query batch asked about.  The default:
+  /// re-querying the hot set recomputes exactly the dropped summaries
+  /// on paths clients actually demand, and nothing else — no
+  /// speculative closure of never-queried variables bloating the hot
+  /// tier (measured at 10k methods, speculation grew the store ~1.8x
+  /// and made every fetch of the next batch ~9% slower).
+  Hot,
+  /// The hot set plus every variable owned by an invalidated method —
+  /// speculative: freshly-edited code is likely to be queried next,
+  /// but most of those closures are keys no client ever demanded.
+  HotAndInvalidated,
+  /// Only variables owned by invalidated methods.
+  Invalidated,
+  /// Every variable (a full store fill; expensive, mostly for benches
+  /// and cold-start experiments).
+  All,
 };
 
 /// Service tunables: the engine configuration every generation's
@@ -172,6 +207,17 @@ struct ServiceOptions {
   /// a power of two; 0 = the store default).  More stripes spread
   /// concurrent fetch/publish traffic across independent locks.
   unsigned StoreStripes = 0;
+  /// Pre-summarize after commits: every published commit enqueues a
+  /// background warm pass that bulk-computes PPTA summaries for the
+  /// WarmScope variable set and publishes them into the store at the
+  /// new generation, so the first post-commit batch hits warm.  The
+  /// pass runs on the Commit ExecContext (WorkerPool::run is
+  /// serialized, so warm phases and commit phases interleave safely on
+  /// the same pool) and is superseded — not queued behind — by the next
+  /// commit.  waitForWarm() is the completion fence.
+  bool Presummarize = false;
+  /// What the warm pass covers (see PresummarizeScope).
+  PresummarizeScope WarmScope = PresummarizeScope::Hot;
 };
 
 /// Outcomes of one service batch plus the generation they were answered
@@ -294,6 +340,12 @@ struct ServiceStats {
   /// Advisory live flags: quarantine armed / currently shedding.
   bool Quarantined = false;
   bool Shedding = false;
+  /// Post-commit pre-summarization counters: warm passes that ran (a
+  /// superseded job does not count), variables they queried, and
+  /// summaries they actually computed (store hits cost nothing).
+  uint64_t WarmRuns = 0;
+  uint64_t WarmQueries = 0;
+  uint64_t WarmSummariesComputed = 0;
   /// The shared summary store's operation counters (fetch/hit/stale/
   /// publish/invalidation/lock-contention, plus the disk-tier probe/
   /// hit/promotion counters) — the per-store view behind the
@@ -377,26 +429,18 @@ public:
   /// commit is a no-op whose ticket completes with empty stats.
   CommitTicket submitCommit(const CommitRequest &Req = CommitRequest());
 
-  /// Deprecated pre-ticket surface: blocking commit.
-  /// Equivalent to submitCommit({Mode, false}).wait().
-  [[deprecated("use submitCommit")]] incremental::CommitStats
-  commit(CommitMode Mode = CommitMode::Delta) {
-    return submitCommit(CommitRequest{Mode, false}).wait();
-  }
-
-  /// Deprecated pre-ticket surface: fire-and-forget background commit.
-  /// Equivalent to submitCommit({Mode, true}) with the ticket dropped.
-  [[deprecated("use submitCommit")]] void
-  commitAsync(CommitMode Mode = CommitMode::Delta) {
-    submitCommit(CommitRequest{Mode, true});
-  }
-
   /// Blocks until the background queue is empty and no background
   /// commit is running.  After it returns, every edit made before the
-  /// last background submission is published.  (Not deprecated — it is
-  /// still the fence for tickets that were dropped — but new code
-  /// should prefer waiting on the ticket itself.)
+  /// last background submission is published.  (The fence for tickets
+  /// that were dropped; new code should prefer waiting on the ticket
+  /// itself.)
   void waitForCommits();
+
+  /// Blocks until no pre-summarization pass is queued or running.
+  /// After it returns (and absent newer commits), every summary the
+  /// latest warm pass covers is resident in the store.  Immediate when
+  /// Presummarize is off.
+  void waitForWarm();
 
   //===------------------------------------------------------------------===//
   // Generation history
@@ -529,6 +573,32 @@ private:
   /// first background submission).
   void committerLoop();
 
+  /// One queued pre-summarization pass: the generation it targets and
+  /// the variables to warm.  Newest wins — a later commit replaces a
+  /// queued job wholesale.
+  struct WarmJob {
+    std::shared_ptr<const Generation> Gen;
+    std::vector<ir::VarId> Vars;
+  };
+
+  /// Builds the warm set for the just-published generation and queues
+  /// it (caller holds the edit lock).  \p All warms every variable;
+  /// otherwise only variables owned by \p Methods (plus the hot set,
+  /// scope permitting).
+  void scheduleWarm(bool All,
+                    const std::unordered_set<ir::MethodId> &Methods);
+
+  /// Body of the background warmer thread (started lazily by the first
+  /// scheduled job).
+  void warmerLoop();
+
+  /// Runs one pre-summarization pass.  Skips silently if the store has
+  /// moved past the job's generation; otherwise fans the variables out
+  /// over the commit ExecContext and publishes summaries through an
+  /// epoch-pinned exchange, so a racing newer generation drops them at
+  /// the store's gate.
+  void runWarmJob(const WarmJob &Job);
+
   ServiceOptions Opts;
   std::unique_ptr<ir::Program> Prog;
 
@@ -578,6 +648,26 @@ private:
   bool AsyncInFlight = false;
   bool AsyncStop = false;
 
+  /// Pre-summarization warmer (Opts.Presummarize).  WarmMutex guards
+  /// the single pending-job slot and the in-flight marker; WarmCv wakes
+  /// the warmer, WarmIdleCv wakes waitForWarm.  The warm passes
+  /// themselves take no service lock — they query a retained generation
+  /// snapshot and publish through the store's epoch gate.
+  mutable std::mutex WarmMutex;
+  std::condition_variable WarmCv;
+  std::condition_variable WarmIdleCv;
+  std::thread Warmer;
+  std::optional<WarmJob> PendingWarm;
+  bool WarmInFlight = false;
+  bool WarmStop = false;
+
+  /// Recently queried variables (guarded by HotMutex) — the hot set
+  /// behind PresummarizeScope::Hot/HotAndInvalidated.  Capped; recording
+  /// stops at the cap rather than evicting (plenty for a warm pass).
+  mutable std::mutex HotMutex;
+  std::unordered_set<ir::VarId> HotSet;
+  static constexpr size_t kHotSetCap = 65536;
+
   /// Poison-edit quarantine (guarded by EditMutex): armed when a commit
   /// fails after its retries, it fails further *background* requests
   /// fast while the program's edit clock still reads QuarantineClock —
@@ -609,6 +699,10 @@ private:
   std::atomic<uint64_t> ShedQueries{0};
   std::atomic<uint64_t> TimedOutQueries{0};
   std::atomic<uint64_t> CancelledQueries{0};
+  /// Warmer counters (see ServiceStats).
+  std::atomic<uint64_t> WarmRunsCount{0};
+  std::atomic<uint64_t> WarmQueriesRun{0};
+  std::atomic<uint64_t> WarmComputed{0};
   /// Admission control: batches currently inside runBatch, plus the
   /// hysteresis state (true between the high and low watermarks).
   std::atomic<unsigned> ActiveBatches{0};

@@ -1,13 +1,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A growable bit vector used for dense visited sets.
+/// A growable bit vector used for dense visited sets, and HybridPtsSet,
+/// the adaptive sparse/dense set that backs points-to sets.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DYNSUM_SUPPORT_BITVECTOR_H
 #define DYNSUM_SUPPORT_BITVECTOR_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -86,6 +88,236 @@ private:
   }
 
   size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+/// Adaptive membership set over a fixed universe [0, size()), tuned for
+/// points-to sets: most sets hold a handful of allocation sites, a few
+/// (library roots, merged fields) approach the whole universe.  The
+/// representation escalates with population and never pays for the
+/// universe until a set is genuinely dense:
+///
+///   * Inline: up to 8 elements in a sorted in-object array — no heap.
+///   * Sparse: a sorted vector of element ids.
+///   * Dense:  64-bit words (BitVector layout) with word-level union
+///     loops, entered once the element count crosses 1/8th of the
+///     universe.
+///
+/// Transitions are promote-only within a fill (clear() resets to
+/// Inline, keeping heap capacity).  The API mirrors the BitVector
+/// subset the analyses use — size() is the UNIVERSE, count() the
+/// population — so the two are interchangeable behind a template.
+class HybridPtsSet {
+public:
+  enum class Rep : uint8_t { Inline, Sparse, Dense };
+
+  HybridPtsSet() = default;
+  explicit HybridPtsSet(size_t Size) { resize(Size); }
+
+  /// Grows (or shrinks) the universe to \p Size.  Elements are kept;
+  /// shrinking below an existing element is the caller's bug, as with
+  /// BitVector.
+  void resize(size_t Size) {
+    Universe = Size;
+    if (Kind == Rep::Dense) {
+      Words.resize((Size + 63) / 64, 0);
+      if (Size % 64 != 0 && !Words.empty())
+        Words.back() &= (1ull << (Size % 64)) - 1;
+    }
+  }
+
+  /// The universe, NOT the population (matches BitVector::size()).
+  size_t size() const { return Universe; }
+
+  size_t count() const { return Count; }
+  bool empty() const { return Count == 0; }
+  Rep rep() const { return Kind; }
+
+  /// Inserts \p Index; returns true when it was newly set.
+  bool set(size_t Index) {
+    assert(Index < Universe && "element out of range");
+    uint32_t E = uint32_t(Index);
+    switch (Kind) {
+    case Rep::Inline: {
+      size_t I = 0;
+      while (I < Count && Small[I] < E)
+        ++I;
+      if (I < Count && Small[I] == E)
+        return false;
+      if (Count < kInlineCap) {
+        for (size_t J = Count; J > I; --J)
+          Small[J] = Small[J - 1];
+        Small[I] = E;
+        ++Count;
+        return true;
+      }
+      promoteFromInline(E, I);
+      return true;
+    }
+    case Rep::Sparse: {
+      auto It = std::lower_bound(Elems.begin(), Elems.end(), E);
+      if (It != Elems.end() && *It == E)
+        return false;
+      if (wantsDense(Count + 1)) {
+        promoteToDense();
+        Words[E / 64] |= 1ull << (E % 64);
+      } else {
+        Elems.insert(It, E);
+      }
+      ++Count;
+      return true;
+    }
+    case Rep::Dense: {
+      uint64_t Mask = 1ull << (E % 64);
+      uint64_t &Word = Words[E / 64];
+      if (Word & Mask)
+        return false;
+      Word |= Mask;
+      ++Count;
+      return true;
+    }
+    }
+    return false;
+  }
+
+  bool test(size_t Index) const {
+    assert(Index < Universe && "element out of range");
+    uint32_t E = uint32_t(Index);
+    switch (Kind) {
+    case Rep::Inline:
+      for (size_t I = 0; I < Count; ++I)
+        if (Small[I] == E)
+          return true;
+      return false;
+    case Rep::Sparse:
+      return std::binary_search(Elems.begin(), Elems.end(), E);
+    case Rep::Dense:
+      return (Words[E / 64] >> (E % 64)) & 1;
+    }
+    return false;
+  }
+
+  /// Empties the set (population 0, Inline rep), keeping the universe
+  /// and any heap capacity for reuse.
+  void clear() {
+    Count = 0;
+    Kind = Rep::Inline;
+    Elems.clear();
+  }
+
+  /// Unions \p Other into this; universes must match.  Returns true
+  /// when any element was added.  Dense|dense runs the word loop — the
+  /// auto-vectorized hot path of the whole-program solve.
+  bool orInPlace(const HybridPtsSet &Other) {
+    return orInPlace(Other, [](uint32_t) {});
+  }
+
+  /// As orInPlace, additionally invoking \p OnNew(E) for every element
+  /// newly added (in no particular order).  Lets a caller maintain a
+  /// delta set without per-element membership probes.
+  template <typename F> bool orInPlace(const HybridPtsSet &Other, F OnNew) {
+    assert(Universe == Other.Universe && "universe mismatch in or");
+    if (Other.Count == 0 || &Other == this)
+      return false;
+    if (Kind == Rep::Dense && Other.Kind == Rep::Dense) {
+      bool Changed = false;
+      for (size_t I = 0, N = Words.size(); I != N; ++I) {
+        uint64_t New = Other.Words[I] & ~Words[I];
+        if (!New)
+          continue;
+        Words[I] |= New;
+        Count += size_t(__builtin_popcountll(New));
+        Changed = true;
+        while (New) {
+          OnNew(uint32_t(I * 64 + size_t(__builtin_ctzll(New))));
+          New &= New - 1;
+        }
+      }
+      return Changed;
+    }
+    // At least one side is element-based: element-wise insert.  Promote
+    // this set to dense up front when the union is guaranteed dense, so
+    // the inserts are O(1) instead of sorted-vector shifts.
+    if (Kind != Rep::Dense &&
+        (Other.Kind == Rep::Dense || wantsDense(Count + Other.Count)))
+      promoteToDense();
+    bool Changed = false;
+    Other.forEach([&](uint32_t E) {
+      if (set(E)) {
+        OnNew(E);
+        Changed = true;
+      }
+    });
+    return Changed;
+  }
+
+  /// Visits elements in ascending order.
+  template <typename F> void forEach(F Fn) const {
+    switch (Kind) {
+    case Rep::Inline:
+      for (size_t I = 0; I < Count; ++I)
+        Fn(Small[I]);
+      return;
+    case Rep::Sparse:
+      for (uint32_t E : Elems)
+        Fn(E);
+      return;
+    case Rep::Dense:
+      for (size_t I = 0, N = Words.size(); I != N; ++I) {
+        uint64_t Word = Words[I];
+        while (Word) {
+          Fn(uint32_t(I * 64 + size_t(__builtin_ctzll(Word))));
+          Word &= Word - 1;
+        }
+      }
+      return;
+    }
+  }
+
+private:
+  static constexpr size_t kInlineCap = 8;
+
+  /// Dense pays Universe/8 bytes regardless of population; it wins once
+  /// the population is a meaningful fraction of that.
+  bool wantsDense(size_t Population) const {
+    return Population * 8 >= Universe;
+  }
+
+  void promoteToDense() {
+    Words.assign((Universe + 63) / 64, 0);
+    if (Kind == Rep::Inline) {
+      for (size_t I = 0; I < Count; ++I)
+        Words[Small[I] / 64] |= 1ull << (Small[I] % 64);
+    } else {
+      for (uint32_t E : Elems)
+        Words[E / 64] |= 1ull << (E % 64);
+      Elems.clear();
+    }
+    Kind = Rep::Dense;
+  }
+
+  /// Called with the inline array full and \p E absent; \p At is E's
+  /// sorted position.  Moves to the next tier and inserts E.
+  void promoteFromInline(uint32_t E, size_t At) {
+    if (wantsDense(Count + 1)) {
+      promoteToDense();
+      Words[E / 64] |= 1ull << (E % 64);
+    } else {
+      Elems.clear();
+      Elems.reserve(kInlineCap * 2);
+      Elems.insert(Elems.end(), Small, Small + At);
+      Elems.push_back(E);
+      Elems.insert(Elems.end(), Small + At, Small + Count);
+      Kind = Rep::Sparse;
+    }
+    ++Count;
+  }
+
+  size_t Universe = 0;
+  size_t Count = 0;
+  Rep Kind = Rep::Inline;
+  uint32_t Small[kInlineCap] = {};
+  std::vector<uint32_t> Elems;
   std::vector<uint64_t> Words;
 };
 

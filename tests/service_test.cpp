@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <unordered_set>
 
 using namespace dynsum;
 using namespace dynsum::engine;
@@ -828,4 +829,127 @@ TEST(AnalysisServiceTest, EditAfterWarmAttachInvalidatesDiskRecords) {
   ServiceStats After = S.stats();
   EXPECT_GT(After.Store.DiskProbes, 0u);
   std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Post-commit pre-summarization
+//===----------------------------------------------------------------------===//
+
+/// The warmer's whole contract in one scenario: after an edit + commit,
+/// the background pass recomputes the summaries for invalidated and
+/// recently-queried (hot) variables, so re-running the probe batch
+/// computes nothing — and, critically, the pre-summarized answers are
+/// byte-equal to cold ground truth on the edited program.
+TEST(AnalysisServiceTest, PresummarizedAnswersEqualColdAcrossCommit) {
+  auto P = makeWorkload();
+  std::vector<ir::VarId> Probe = probeVariables(*P, 61);
+  ASSERT_GT(Probe.size(), 8u);
+
+  ServiceOptions SO;
+  SO.Presummarize = true;
+  AnalysisService S(makeWorkload(), SO);
+
+  // Cold pass: computes summaries and records the probe as hot.
+  ServiceBatchResult Cold = S.queryVars(Probe);
+  ASSERT_GT(Cold.Stats.SummariesComputed, 0u);
+
+  S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
+  S.submitCommit().wait();
+  S.waitForWarm();
+
+  ServiceStats SS = S.stats();
+  EXPECT_GE(SS.WarmRuns, 1u);
+  EXPECT_GT(SS.WarmQueries, 0u);
+
+  applyScriptEdit(*P, 0); // mirror the edit on the reference program
+  std::vector<std::vector<ir::AllocId>> Expected = coldAnswers(*P, Probe);
+
+  ServiceBatchResult Warm = S.queryVars(Probe);
+  EXPECT_EQ(Warm.Stats.SummariesComputed, 0u)
+      << "the warm pass must have pre-computed every probe summary";
+  ASSERT_EQ(Warm.Outcomes.size(), Probe.size());
+  for (size_t I = 0; I < Probe.size(); ++I)
+    EXPECT_EQ(Warm.Outcomes[I].AllocSites, Expected[I]) << "probe " << I;
+}
+
+/// Under ClearAll every summary is dropped, so scope degenerates to a
+/// whole-program warm: even never-queried variables answer from the
+/// store afterwards.
+TEST(AnalysisServiceTest, PresummarizeClearAllWarmsWholeProgram) {
+  ServiceOptions SO;
+  SO.Presummarize = true;
+  SO.Policy = incremental::InvalidationPolicy::ClearAll;
+  AnalysisService S(makeWorkload(), SO);
+  std::vector<ir::VarId> Probe = probeVariables(S.program(), 61);
+  ASSERT_GT(Probe.size(), 8u);
+
+  S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
+  S.submitCommit().wait();
+  S.waitForWarm();
+  ASSERT_GE(S.stats().WarmRuns, 1u);
+
+  ServiceBatchResult Warm = S.queryVars(Probe);
+  EXPECT_EQ(Warm.Stats.SummariesComputed, 0u)
+      << "a whole-program warm must cover variables never queried before";
+}
+
+/// The default Hot scope warms only what clients recently queried; the
+/// speculative HotAndInvalidated scope additionally covers variables
+/// the edited methods own that no batch ever asked for.  Distinguish
+/// them by querying exactly those never-queried variables afterwards:
+/// speculative warming answers them from the store, Hot leaves them to
+/// compute on first demand.
+TEST(AnalysisServiceTest, PresummarizeScopeHotSkipsUnqueriedVars) {
+  for (bool Speculative : {false, true}) {
+    ServiceOptions SO;
+    SO.Presummarize = true;
+    SO.WarmScope = Speculative ? PresummarizeScope::HotAndInvalidated
+                               : PresummarizeScope::Hot;
+    AnalysisService S(makeWorkload(), SO);
+    std::vector<ir::VarId> Probe = probeVariables(S.program(), 61);
+    ASSERT_GT(Probe.size(), 8u);
+    (void)S.queryVars(Probe);
+
+    std::vector<ir::MethodId> Edited;
+    S.editProgram([&](ir::Program &Q) {
+      Edited = applyScriptEdit(Q, 0);
+      return Edited;
+    });
+    S.submitCommit().wait();
+    S.waitForWarm();
+    ASSERT_GE(S.stats().WarmRuns, 1u);
+    ASSERT_EQ(Edited.size(), 1u);
+
+    std::unordered_set<ir::VarId> Probed(Probe.begin(), Probe.end());
+    std::vector<ir::VarId> Unqueried;
+    const std::vector<ir::Variable> &Vars = S.program().variables();
+    for (size_t I = 0; I < Vars.size(); ++I)
+      if (Vars[I].Owner == Edited[0] && !Probed.count(ir::VarId(I)))
+        Unqueried.push_back(ir::VarId(I));
+    ASSERT_GT(Unqueried.size(), 0u)
+        << "the edited method must own variables outside the probe";
+
+    ServiceBatchResult R = S.queryVars(Unqueried);
+    if (Speculative)
+      EXPECT_EQ(R.Stats.SummariesComputed, 0u)
+          << "HotAndInvalidated must have warmed the edited method's "
+             "variables";
+    else
+      EXPECT_GT(R.Stats.SummariesComputed, 0u)
+          << "Hot scope must not speculatively warm never-queried "
+             "variables";
+  }
+}
+
+/// Presummarize off is the default and must stay inert: no warm passes,
+/// and waitForWarm returns immediately instead of hanging.
+TEST(AnalysisServiceTest, PresummarizeOffIsInert) {
+  AnalysisService S(makeWorkload());
+  std::vector<ir::VarId> Probe = probeVariables(S.program(), 13);
+  S.queryVars(Probe);
+  S.editProgram([](ir::Program &Q) { return applyScriptEdit(Q, 0); });
+  S.submitCommit().wait();
+  S.waitForWarm(); // must not block
+  EXPECT_EQ(S.stats().WarmRuns, 0u);
+  EXPECT_EQ(S.stats().WarmQueries, 0u);
 }

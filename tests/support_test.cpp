@@ -194,6 +194,119 @@ TEST(BitVectorTest, ClearKeepsSize) {
 }
 
 //===----------------------------------------------------------------------===//
+// HybridPtsSet
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::vector<uint32_t> elementsOf(const HybridPtsSet &S) {
+  std::vector<uint32_t> Out;
+  S.forEach([&](uint32_t E) { Out.push_back(E); });
+  return Out;
+}
+} // namespace
+
+TEST(HybridPtsSetTest, InlineToSparseToDenseTransitions) {
+  HybridPtsSet S(1024); // dense threshold at 1024/8 = 128 elements
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Inline);
+  for (uint32_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(S.set(I * 5));
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Inline);
+  EXPECT_TRUE(S.set(999));
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Sparse);
+  for (uint32_t I = 0; I < 200; ++I)
+    S.set(I * 3);
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Dense);
+  // All elements survive both promotions.
+  for (uint32_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(S.test(I * 5));
+  EXPECT_TRUE(S.test(999));
+  EXPECT_TRUE(S.test(3 * 199));
+}
+
+TEST(HybridPtsSetTest, SmallUniverseSkipsSparse) {
+  HybridPtsSet S(40); // 9 elements * 8 >= 40: inline promotes straight to dense
+  for (uint32_t I = 0; I < 9; ++I)
+    S.set(I);
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Dense);
+  EXPECT_EQ(S.count(), 9u);
+}
+
+TEST(HybridPtsSetTest, SetReportsNewlyInsertedAcrossReps) {
+  HybridPtsSet S(4096);
+  for (uint32_t I = 0; I < 600; ++I) {
+    EXPECT_TRUE(S.set(I * 2));
+    EXPECT_FALSE(S.set(I * 2));
+  }
+  EXPECT_EQ(S.count(), 600u);
+}
+
+TEST(HybridPtsSetTest, ForEachAscendingInEveryRep) {
+  for (size_t Fill : {5u, 40u, 900u}) {
+    HybridPtsSet S(2048);
+    std::vector<uint32_t> Expect;
+    // Insert in a scrambled order.
+    for (size_t I = 0; I < Fill; ++I) {
+      uint32_t E = uint32_t((I * 797) % 2048);
+      if (S.set(E))
+        Expect.push_back(E);
+    }
+    std::sort(Expect.begin(), Expect.end());
+    EXPECT_EQ(elementsOf(S), Expect);
+  }
+}
+
+TEST(HybridPtsSetTest, RandomizedEquivalenceWithBitVector) {
+  Rng R(7);
+  for (int Round = 0; Round < 20; ++Round) {
+    const size_t Universe = 64 + R.next() % 1500;
+    HybridPtsSet A(Universe), B(Universe);
+    BitVector RefA(Universe), RefB(Universe);
+    const size_t Ops = R.next() % 400;
+    for (size_t I = 0; I < Ops; ++I) {
+      size_t E = R.next() % Universe;
+      if (R.next() % 2) {
+        EXPECT_EQ(A.set(E), RefA.set(E));
+      } else {
+        EXPECT_EQ(B.set(E), RefB.set(E));
+      }
+    }
+    EXPECT_EQ(A.orInPlace(B), RefA.orInPlace(RefB));
+    EXPECT_EQ(A.count(), RefA.count());
+    for (uint32_t E : elementsOf(A))
+      EXPECT_TRUE(RefA.test(E));
+    EXPECT_FALSE(A.orInPlace(B)); // already subsumed, like BitVector
+  }
+}
+
+TEST(HybridPtsSetTest, OrInPlaceReportsNewElements) {
+  HybridPtsSet A(512), B(512);
+  A.set(1);
+  A.set(100);
+  for (uint32_t I = 0; I < 200; ++I)
+    B.set(I * 2);
+  std::vector<uint32_t> New;
+  EXPECT_TRUE(A.orInPlace(B, [&](uint32_t E) { New.push_back(E); }));
+  std::sort(New.begin(), New.end());
+  // Everything in B except 100 (already present); 1 is odd, never in B.
+  EXPECT_EQ(New.size(), 199u);
+  EXPECT_FALSE(std::binary_search(New.begin(), New.end(), 100u));
+  EXPECT_EQ(A.count(), 201u);
+}
+
+TEST(HybridPtsSetTest, ClearResetsToInlineKeepingUniverse) {
+  HybridPtsSet S(256);
+  for (uint32_t I = 0; I < 100; ++I)
+    S.set(I);
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Dense);
+  S.clear();
+  EXPECT_EQ(S.size(), 256u);
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.rep(), HybridPtsSet::Rep::Inline);
+  EXPECT_TRUE(S.set(7));
+  EXPECT_TRUE(S.test(7));
+}
+
+//===----------------------------------------------------------------------===//
 // Rng / ZipfSampler
 //===----------------------------------------------------------------------===//
 

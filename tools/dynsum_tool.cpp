@@ -19,7 +19,7 @@
 ///                 [--stats] [--dump-ir] [--dump-pag]
 ///                 [--serve] [--save-summaries=path] [--load-summaries=path]
 ///                 [--snapshot=path] [--warm-from-disk=path]
-///                 [--store-stripes=N]
+///                 [--store-stripes=N] [--presummarize]
 ///
 /// --threads routes queries and clients through the parallel batch
 /// engine (dynsum only; 0 = one worker per hardware thread); summary
@@ -40,6 +40,11 @@
 /// saves its summary store there on shutdown and, on the next start,
 /// attaches the same file as the store's memory-mapped read-only disk
 /// tier — first queries answer from disk hits instead of recomputing.
+/// --presummarize (serve only) turns on the post-commit warmer: after
+/// each published commit a background pass re-summarizes the
+/// recently-queried variables (PresummarizeScope::Hot), so the first
+/// batch after an edit hits the store instead of computing.
+///
 /// --warm-from-disk=path warms from a different file than the shutdown
 /// snapshot; --store-stripes=N sets the hot tier's lock-stripe count.
 ///
@@ -262,20 +267,23 @@ void serveHelp() {
             " --snapshot=path saves the store on quit and warms the next "
             "start from the same\n"
             " file via the mapped disk tier; --store-stripes=N sets hot-tier "
-            "lock striping)\n";
+            "lock striping;\n"
+            " --presummarize re-summarizes recently-queried variables "
+            "after each commit)\n";
 }
 
 int runServe(std::unique_ptr<ir::Program> Prog,
              const analysis::AnalysisOptions &AO, unsigned Threads,
              unsigned CommitThreads, unsigned KeepGenerations,
              const std::string &Snapshot, const std::string &WarmPath,
-             unsigned StoreStripes) {
+             unsigned StoreStripes, bool Presummarize) {
   service::ServiceOptions SO;
   SO.Engine.NumThreads = Threads;
   SO.Engine.Analysis = AO;
   SO.Commit = CommitThreads;
   SO.KeepGenerations = KeepGenerations;
   SO.StoreStripes = StoreStripes;
+  SO.Presummarize = Presummarize;
   // --snapshot=path is the warm-restart loop in one flag: save the
   // store there on shutdown AND attach the same file as the disk tier
   // on startup.  --warm-from-disk overrides just the startup side.
@@ -457,6 +465,7 @@ int runServe(std::unique_ptr<ir::Program> Prog,
     }
     if (Cmd == "wait" && W.size() == 1) {
       S.waitForCommits();
+      S.waitForWarm(); // immediate unless --presummarize
       outs() << "generation " << S.generation() << " (async queue drained)\n";
       continue;
     }
@@ -550,6 +559,10 @@ int runServe(std::unique_ptr<ir::Program> Prog,
                << " probes hit, " << SS.Store.Promoted << " promoted, "
                << SS.Store.DiskStale << " stale, " << SS.Store.DiskCorrupt
                << " corrupt records\n";
+      if (SS.WarmRuns > 0)
+        outs() << "presummarize: " << SS.WarmRuns << " warm passes, "
+               << SS.WarmQueries << " vars warmed, "
+               << SS.WarmSummariesComputed << " summaries computed\n";
       if (SS.Commits > 0) {
         outs() << "last commit ";
         outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
@@ -617,7 +630,8 @@ int runTool(int argc, char **argv) {
                     KeepGenerations < 0 ? 0u : unsigned(KeepGenerations),
                     Args.getString("snapshot", ""),
                     Args.getString("warm-from-disk", ""),
-                    StoreStripes < 0 ? 0u : unsigned(StoreStripes));
+                    StoreStripes < 0 ? 0u : unsigned(StoreStripes),
+                    Args.has("presummarize"));
   }
 
   // Dispatch resolver.
