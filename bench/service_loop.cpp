@@ -44,11 +44,21 @@
 /// explicitly (Status == Overloaded) while SERVED batches keep a
 /// bounded p95, instead of every batch degrading together.
 ///
+/// Part 9 drives the multi-tenant socket server end to end: an
+/// in-process AnalysisServer hosting 4 tenants takes a closed-loop
+/// 4-clients-per-tenant mix of query batches, buffered edits and async
+/// commits over real loopback connections, and the per-request wall
+/// times become the server.* latency percentiles in `BENCH_pr10.json`
+/// (plus shed counts: overloaded queries and capped connections are
+/// explicit replies, so the bench can count them instead of guessing).
+///
 //===----------------------------------------------------------------------===//
 
 #include "Harness.h"
 
 #include "incremental/EditSession.h"
+#include "server/CommandInterpreter.h"
+#include "server/Serverd.h"
 #include "service/AnalysisService.h"
 #include "support/CommandLine.h"
 #include "support/OStream.h"
@@ -59,6 +69,11 @@
 #include <atomic>
 #include <mutex>
 #include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace dynsum;
 using namespace dynsum::analysis;
@@ -94,6 +109,81 @@ double percentile(std::vector<double> Samples, double P) {
   size_t I = size_t(P * double(Samples.size() - 1) + 0.5);
   return Samples[I];
 }
+
+/// Builds the protocol query spec ("Class.method.var" / "method.var")
+/// for a local variable, i.e. the inverse of server::resolveVarSpec.
+std::string querySpecOf(const ir::Program &P, ir::VarId V) {
+  const ir::Variable &Var = P.variable(V);
+  const ir::Method &M = P.method(Var.Owner);
+  std::string Spec;
+  if (M.Owner != ir::kNone) {
+    Spec += P.names().text(P.classOf(M.Owner).Name);
+    Spec += '.';
+  }
+  Spec += P.names().text(M.Name);
+  Spec += '.';
+  Spec += P.names().text(Var.Name);
+  return Spec;
+}
+
+/// A minimal blocking client for the serverd line protocol: one
+/// request line out, one "."-terminated reply block back.
+class BenchClient {
+public:
+  explicit BenchClient(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = htons(Port);
+    Connected = Fd >= 0 && ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                                     sizeof(Addr)) == 0;
+  }
+  ~BenchClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool connected() const { return Connected; }
+
+  std::string request(const std::string &Line) {
+    std::string Wire = Line + "\n";
+    size_t Off = 0;
+    while (Off < Wire.size()) {
+      ssize_t W = ::send(Fd, Wire.data() + Off, Wire.size() - Off,
+                         MSG_NOSIGNAL);
+      if (W < 0)
+        return {};
+      Off += size_t(W);
+    }
+    return readBlock();
+  }
+
+  std::string readBlock() {
+    std::string Block;
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string L = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        if (L == ".")
+          return Block;
+        Block += L;
+        Block += '\n';
+        continue;
+      }
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return Block; // hangup
+      Buf.append(Chunk, size_t(N));
+    }
+  }
+
+private:
+  int Fd = -1;
+  bool Connected = false;
+  std::string Buf;
+};
 
 /// Accumulated results of one configuration's script replay.
 struct LoopResult {
@@ -1075,6 +1165,162 @@ int main(int argc, char **argv) {
   Json.set("service.concurrent_stale_batches", Drained);
   Json.set("service.concurrent_qps",
            Seconds > 0.0 ? double(Batches) * double(NumProbe) / Seconds : 0.0);
+  // --- Part 9: the multi-tenant socket server, closed loop -------------
+  {
+    constexpr unsigned kTenants = 4;
+    constexpr unsigned kClientsPerTenant = 4;
+    constexpr unsigned kRequestsPerClient = 36;
+    outs() << "\n=== Part 9: dynsum_serverd closed loop (" << kTenants
+           << " tenants x " << kClientsPerTenant
+           << " clients, mixed edit/query) ===\n\n";
+
+    server::ServerOptions SrvO;
+    SrvO.QueryThreads = 1; // per tenant; tenants already run concurrently
+    SrvO.CommitThreads = 2;
+    SrvO.MaxConnections = kTenants * kClientsPerTenant + 4;
+    SrvO.Overload.MaxActiveBatches = 8; // per-tenant watermark
+    SrvO.Analysis = Opts.analysisOptions();
+    server::AnalysisServer Server(SrvO);
+    for (unsigned T = 0; T < kTenants; ++T)
+      Server.addTenant("t" + std::to_string(T), makeProgram(Opts));
+
+    // The tenants share one generated program (same spec, same seed),
+    // so specs built from a local twin resolve inside every tenant.
+    auto Twin = makeProgram(Opts);
+    std::vector<std::string> Specs;
+    std::string EditMethod;
+    for (ir::VarId V : probeVariables(*Twin, 61)) {
+      std::string Spec = querySpecOf(*Twin, V);
+      if (server::resolveVarSpec(*Twin, Spec) != V)
+        continue; // shadowed name; the protocol could reach a twin
+      if (EditMethod.empty())
+        EditMethod = Spec.substr(0, Spec.rfind('.'));
+      Specs.push_back(Spec);
+    }
+    // Any real class works as the alloc target type.
+    std::string EditClass =
+        Twin->classes().empty()
+            ? std::string()
+            : std::string(Twin->names().text(Twin->classes().front().Name));
+
+    std::string StartError;
+    if (Specs.size() < 8 || EditClass.empty() ||
+        !Server.start(StartError)) {
+      errs() << "warning: part 9 skipped ("
+             << (StartError.empty() ? "too few resolvable specs"
+                                    : StartError)
+             << ")\n";
+    } else {
+      std::mutex SampleM;
+      std::vector<double> QueryMs, EditMs, CommitMs;
+      std::atomic<uint64_t> Requests{0}, Errors{0}, ShedQueries{0};
+      Timer Wall;
+      std::vector<std::thread> Clients;
+      for (unsigned T = 0; T < kTenants; ++T) {
+        for (unsigned C = 0; C < kClientsPerTenant; ++C) {
+          Clients.emplace_back([&, T, C] {
+            BenchClient Client(Server.port());
+            if (!Client.connected()) {
+              ++Errors;
+              return;
+            }
+            Client.readBlock(); // greeting
+            if (Client.request("tenant t" + std::to_string(T))
+                    .find("bound") == std::string::npos) {
+              ++Errors;
+              return;
+            }
+            std::vector<double> Q, E, K;
+            uint64_t MyErrors = 0, MyShed = 0;
+            for (unsigned I = 0; I < kRequestsPerClient; ++I) {
+              unsigned Mix = (I + C) % 12;
+              std::string Cmd;
+              std::vector<double> *Bucket;
+              if (Mix == 4 || Mix == 9) {
+                Cmd = "alloc " + EditMethod + " bv" + std::to_string(T) +
+                      "_" + std::to_string(C) + " " + EditClass;
+                Bucket = &E;
+              } else if (Mix == 11) {
+                Cmd = "commit --async";
+                Bucket = &K;
+              } else {
+                size_t Base = (size_t(I) * 7 + C) % Specs.size();
+                Cmd = "query";
+                for (size_t S = 0; S < 4; ++S) {
+                  Cmd += ' ';
+                  Cmd += Specs[(Base + S * 3) % Specs.size()];
+                }
+                Bucket = &Q;
+              }
+              Timer Rt;
+              std::string Reply = Client.request(Cmd);
+              double Ms = Rt.millis();
+              ++Requests;
+              if (Reply.find("(overloaded)") != std::string::npos)
+                ++MyShed; // well-formed shed, not an error
+              else if (Reply.empty() ||
+                       Reply.find("error:") != std::string::npos)
+                ++MyErrors;
+              else
+                Bucket->push_back(Ms);
+            }
+            Client.request("quit");
+            std::lock_guard<std::mutex> L(SampleM);
+            QueryMs.insert(QueryMs.end(), Q.begin(), Q.end());
+            EditMs.insert(EditMs.end(), E.begin(), E.end());
+            CommitMs.insert(CommitMs.end(), K.begin(), K.end());
+            Errors += MyErrors;
+            ShedQueries += MyShed;
+          });
+        }
+      }
+      for (std::thread &T : Clients)
+        T.join();
+      double WallS = Wall.seconds();
+      Server.stop(); // drain; no snapshot dir, so teardown only
+
+      PrettyTable ST;
+      ST.row()
+          .cell("requests")
+          .cell("errors")
+          .cell("shed")
+          .cell("query p50 ms")
+          .cell("query p95 ms")
+          .cell("query p99 ms")
+          .cell("rps");
+      double QP50 = QueryMs.empty() ? 0.0 : percentile(QueryMs, 0.5);
+      double QP95 = QueryMs.empty() ? 0.0 : percentile(QueryMs, 0.95);
+      double QP99 = QueryMs.empty() ? 0.0 : percentile(QueryMs, 0.99);
+      ST.row()
+          .cell(Requests.load())
+          .cell(Errors.load())
+          .cell(ShedQueries.load())
+          .cell(QP50, 3)
+          .cell(QP95, 3)
+          .cell(QP99, 3)
+          .cell(WallS > 0.0 ? double(Requests.load()) / WallS : 0.0, 0);
+      ST.print(outs());
+
+      Json.set("server.tenants", uint64_t(kTenants));
+      Json.set("server.clients", uint64_t(kTenants * kClientsPerTenant));
+      Json.set("server.requests", Requests.load());
+      Json.set("server.errors", Errors.load());
+      Json.set("server.shed_queries", ShedQueries.load());
+      Json.set("server.shed_connections", Server.shedConnections());
+      Json.set("server.accepted_connections", Server.acceptedConnections());
+      Json.set("server.query_p50_ms", QP50);
+      Json.set("server.query_p95_ms", QP95);
+      Json.set("server.query_p99_ms", QP99);
+      Json.set("server.edit_p50_ms",
+               EditMs.empty() ? 0.0 : percentile(EditMs, 0.5));
+      Json.set("server.commit_submit_p50_ms",
+               CommitMs.empty() ? 0.0 : percentile(CommitMs, 0.5));
+      Json.set("server.wall_s", WallS);
+      Json.set("server.rps",
+               WallS > 0.0 ? double(Requests.load()) / WallS : 0.0);
+    }
+  }
+
   if (!Opts.JsonPath.empty() && !Json.writeFile(Opts.JsonPath))
     errs() << "warning: cannot write " << Opts.JsonPath << '\n';
   return 0;

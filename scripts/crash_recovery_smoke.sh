@@ -7,6 +7,12 @@
 # ANY instant may strand a *.tmp file, but the target path is only ever
 # touched by rename(2).
 #
+# A second case covers GRACEFUL interruption: a serve session holding
+# --snapshot gets SIGTERM mid-session (parked in its stdin read) and
+# must still write the shutdown snapshot — the signal handlers install
+# without SA_RESTART, the read returns EINTR, and the session unwinds
+# through the normal destructor path instead of dying snapshotless.
+#
 # Usage: scripts/crash_recovery_smoke.sh [build-dir] [iterations]
 #
 # Exits nonzero on the first iteration whose snapshot fails to load.
@@ -36,7 +42,8 @@ WARMUP=$(printf 'query Main.main.s1\nquery Main.main.s2\nquery Vector.get.ret\n'
 # The snapshot must parse as a well-formed DSUM file AND yield warm
 # summaries; "starting cold" means the load was rejected.
 load_ok() {
-  "$TOOL" "$IR" --analysis=dynsum --load-summaries="$STORE" \
+  local FILE=${1:-$STORE}
+  "$TOOL" "$IR" --analysis=dynsum --load-summaries="$FILE" \
     --query=Vector.get.ret 2>/dev/null | grep -q 'loaded .* summaries'
 }
 
@@ -73,3 +80,25 @@ if [ "$FAILED" -ne 0 ]; then
   exit 1
 fi
 echo "crash-recovery smoke: $ITERS kill -9 shots, snapshot loadable every time"
+
+# --- SIGTERM mid-session: the graceful half of the story ---------------
+# The session warms a few summaries, then parks in its stdin read (the
+# sleep keeps the pipe open with no further input).  SIGTERM must make
+# it save --snapshot on the way out, exactly like a clean "quit".
+TERMSTORE=$WORK/term.dsum
+{ printf '%s\n' "$WARMUP"; sleep 30; } \
+  | "$TOOL" "$IR" --analysis=dynsum --serve --snapshot="$TERMSTORE" \
+    >/dev/null 2>&1 &
+PID=$!
+sleep 1 # let the warmup queries land; the session then parks in fgets
+kill -TERM "$PID" 2>/dev/null
+wait "$PID" 2>/dev/null
+if [ ! -s "$TERMSTORE" ]; then
+  echo "FAIL: SIGTERM mid-session left no snapshot at $TERMSTORE" >&2
+  exit 1
+fi
+if ! load_ok "$TERMSTORE"; then
+  echo "FAIL: the SIGTERM-mid-session snapshot does not load" >&2
+  exit 1
+fi
+echo "crash-recovery smoke: SIGTERM mid-session saved a loadable snapshot"

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shutdown-signal plumbing implementation (see Shutdown.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Shutdown.h"
+
+#include <atomic>
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace dynsum;
+
+namespace {
+
+/// The signal that requested shutdown; 0 = none.  Lock-free so the
+/// handler may store it.
+std::atomic<int> RequestedSignal{0};
+
+/// Self-pipe: the handler writes one byte to [1] so a poll() on [0]
+/// wakes even when the signal lands on a thread that is not the one
+/// blocked in the front end's read.
+int WakePipe[2] = {-1, -1};
+
+void onShutdownSignal(int Sig) {
+  RequestedSignal.store(Sig, std::memory_order_relaxed);
+  if (WakePipe[1] >= 0) {
+    char Byte = 1;
+    // The pipe is non-blocking; a full pipe just means earlier wakeups
+    // are still pending, which is as good as this one.
+    ssize_t Ignored = ::write(WakePipe[1], &Byte, 1);
+    (void)Ignored;
+  }
+}
+
+} // namespace
+
+bool support::installShutdownHandlers() {
+  static bool Installed = false;
+  if (Installed)
+    return true;
+  if (WakePipe[0] < 0) {
+    if (::pipe(WakePipe) != 0)
+      return false;
+    for (int Fd : WakePipe) {
+      ::fcntl(Fd, F_SETFL, O_NONBLOCK);
+      ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+    }
+  }
+  struct sigaction SA;
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: blocking reads must return EINTR
+  if (sigaction(SIGINT, &SA, nullptr) != 0 ||
+      sigaction(SIGTERM, &SA, nullptr) != 0)
+    return false;
+  // A peer that disconnects mid-response must surface as EPIPE on the
+  // write, never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  Installed = true;
+  return true;
+}
+
+bool support::shutdownRequested() {
+  return RequestedSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int support::shutdownSignal() {
+  return RequestedSignal.load(std::memory_order_relaxed);
+}
+
+int support::shutdownWakeFd() { return WakePipe[0]; }
+
+void support::resetShutdownRequest() {
+  RequestedSignal.store(0, std::memory_order_relaxed);
+  if (WakePipe[0] >= 0) {
+    char Drain[16];
+    while (::read(WakePipe[0], Drain, sizeof(Drain)) > 0) {
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide graceful-shutdown plumbing shared by the serve-path
+/// front ends (the dynsum_tool --serve REPL and dynsum_serverd).
+///
+/// installShutdownHandlers() arms SIGINT/SIGTERM handlers that are
+/// async-signal-safe by construction: they store the signal number in a
+/// lock-free atomic and write one byte to a self-pipe.  The handlers
+/// are installed WITHOUT SA_RESTART, so a blocking read the front end
+/// is parked in (fgets on stdin, accept/recv on a socket) returns with
+/// EINTR instead of swallowing the signal — the caller observes
+/// shutdownRequested() and unwinds through its normal destructors.
+/// That is the whole point: AnalysisService saves its shutdown snapshot
+/// (ServiceOptions::SnapshotOnShutdownPath) from its destructor, so a
+/// Ctrl-C that used to kill the process with the default disposition
+/// now drains into the same warm-restart snapshot a clean "quit" does.
+///
+/// SIGPIPE is ignored as part of installation: a server writing to a
+/// peer that already disconnected must see EPIPE, not die.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DYNSUM_SUPPORT_SHUTDOWN_H
+#define DYNSUM_SUPPORT_SHUTDOWN_H
+
+namespace dynsum {
+namespace support {
+
+/// Arms the SIGINT/SIGTERM handlers (idempotent; call from the main
+/// thread before spawning workers).  Returns false when the self-pipe
+/// or sigaction setup fails — the caller keeps running with the default
+/// dispositions.
+bool installShutdownHandlers();
+
+/// True once a handled signal has arrived.
+bool shutdownRequested();
+
+/// The signal that requested shutdown (SIGINT or SIGTERM), 0 if none.
+int shutdownSignal();
+
+/// Read end of the self-pipe: poll()able, becomes readable when a
+/// signal arrives.  -1 before installShutdownHandlers().
+int shutdownWakeFd();
+
+/// Test hook: clears the request flag and drains the wake pipe so one
+/// process can exercise several shutdown cycles.
+void resetShutdownRequest();
+
+} // namespace support
+} // namespace dynsum
+
+#endif // DYNSUM_SUPPORT_SHUTDOWN_H

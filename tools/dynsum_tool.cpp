@@ -70,13 +70,16 @@
 #include "pag/GraphViz.h"
 #include "pag/PAGBuilder.h"
 #include "pag/Rta.h"
+#include "server/CommandInterpreter.h"
 #include "service/AnalysisService.h"
 #include "support/CommandLine.h"
 #include "support/OStream.h"
 #include "support/PrettyTable.h"
+#include "support/Shutdown.h"
 #include "support/StringExtras.h"
 
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -87,74 +90,21 @@ using namespace dynsum;
 
 namespace {
 
-/// Reads a whole file; empty optional-style flag via Ok.
-bool readFile(const std::string &Path, std::string &Out) {
-  std::FILE *F = std::fopen(Path.c_str(), "rb");
-  if (!F)
-    return false;
-  char Chunk[65536];
-  size_t N = 0;
-  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
-    Out.append(Chunk, N);
-  std::fclose(F);
-  return true;
-}
-
-/// Loads \p Path as MiniJava or textual IR by extension.
+/// Loads \p Path as MiniJava or textual IR by extension (shared with
+/// dynsum_serverd through server::loadProgramFile).
 std::unique_ptr<ir::Program> loadProgram(const std::string &Path) {
-  std::string Source;
-  if (!readFile(Path, Source)) {
-    errs() << "error: cannot read '" << Path << "'\n";
-    return nullptr;
-  }
-  if (endsWith(Path, ".mj") || endsWith(Path, ".minijava") ||
-      endsWith(Path, ".java")) {
-    frontend::CompileResult R = frontend::compileMiniJava(Source);
-    if (!R.ok()) {
-      errs() << Path << ": compilation failed\n" << R.Diags.str() << '\n';
-      return nullptr;
-    }
-    return std::move(R.Prog);
-  }
-  ir::ParseResult R = ir::parseProgram(Source);
-  if (!R.ok()) {
-    errs() << Path << ": " << R.Error << '\n';
-    return nullptr;
-  }
-  return std::move(R.Prog);
-}
-
-/// Resolves "Class.method" or "method" (free methods) to a MethodId.
-ir::MethodId resolveMethod(const ir::Program &P, const std::string &Spec) {
-  size_t Dot = Spec.find('.');
-  if (Dot == std::string::npos)
-    return P.findFreeMethod(P.names().lookup(Spec));
-  ir::TypeId Cls = P.findClass(P.names().lookup(Spec.substr(0, Dot)));
-  if (Cls == ir::kNone)
-    return ir::kNone;
-  return P.findMethod(Cls, P.names().lookup(Spec.substr(Dot + 1)));
-}
-
-/// Resolves "Class.method.var" / "method.var" to a VarId.
-ir::VarId resolveVar(const ir::Program &P, const std::string &Spec) {
-  size_t LastDot = Spec.rfind('.');
-  if (LastDot == std::string::npos)
-    return ir::kNone;
-  ir::MethodId M = resolveMethod(P, Spec.substr(0, LastDot));
-  if (M == ir::kNone)
-    return ir::kNone;
-  Symbol N = P.names().lookup(Spec.substr(LastDot + 1));
-  for (const ir::Variable &V : P.variables())
-    if (!V.IsGlobal && V.Owner == M && V.Name == N)
-      return V.Id;
-  return ir::kNone;
+  std::string Error;
+  std::unique_ptr<ir::Program> Prog = server::loadProgramFile(Path, Error);
+  if (!Prog)
+    errs() << "error: " << Error << '\n';
+  return Prog;
 }
 
 /// Resolves "Class.method.var" / "method.var" to a PAG variable node,
 /// reporting what part failed to resolve.
 bool findQueryNode(const ir::Program &P, const pag::PAG &G,
                    const std::string &Spec, pag::NodeId &Node) {
-  ir::VarId V = resolveVar(P, Spec);
+  ir::VarId V = server::resolveVarSpec(P, Spec);
   if (V == ir::kNone) {
     errs() << "error: cannot resolve '" << Spec
            << "' (expected Class.method.var or method.var)\n";
@@ -202,76 +152,6 @@ int usage() {
 // --serve: an interactive AnalysisService session on stdin
 //===----------------------------------------------------------------------===//
 
-std::vector<std::string> splitWords(const char *Line) {
-  std::vector<std::string> Words;
-  std::string Cur;
-  for (const char *C = Line; *C; ++C) {
-    if (std::isspace(static_cast<unsigned char>(*C))) {
-      if (!Cur.empty()) {
-        Words.push_back(std::move(Cur));
-        Cur.clear();
-      }
-    } else {
-      Cur.push_back(*C);
-    }
-  }
-  if (!Cur.empty())
-    Words.push_back(std::move(Cur));
-  return Words;
-}
-
-void serveHelp() {
-  outs() << "commands:\n"
-            "  query <m.var>...        batched points-to queries (current "
-            "generation)\n"
-            "  alloc <method> <var> <Class>   buffer: var = new Class "
-            "(creates var if new)\n"
-            "  assign <method> <dst> <src>    buffer: dst = src\n"
-            "  touch <method>          mark a method edited\n"
-            "  commit [--scratch] [--async]   publish buffered edits as the "
-            "next generation\n"
-            "                          (--scratch force-re-lowers every "
-            "method: A/B check\n"
-            "                          against the delta build; --async "
-            "queues the commit on\n"
-            "                          the background committer and returns "
-            "immediately;\n"
-            "                          requests racing an in-flight commit "
-            "coalesce)\n"
-            "  wait                    block until queued async commits are "
-            "published\n"
-            "  generations             list retained snapshots (number, "
-            "vars, retained bytes)\n"
-            "  rollback <generation>   republish a retained snapshot (O(1); "
-            "later edits\n"
-            "                          become pending again)\n"
-            "  save <path> | load <path>      persist / warm-start "
-            "summaries\n"
-            "  deadline <ms>           per-query wall-clock deadline for "
-            "later queries\n"
-            "                          (0 turns it off; overrun queries "
-            "report (timeout)\n"
-            "                          with the sound partial answer "
-            "gathered so far)\n"
-            "  stats                   generation, store size, counters, "
-            "commit times,\n"
-            "                          failure counters (timeouts, shed "
-            "work, retries...)\n"
-            "  quit\n"
-            "method spec: Class.method or method (free); var spec appends "
-            ".var\n"
-            "(--commit-threads=N shards the commit pipeline; 0 = one worker "
-            "per hardware thread;\n"
-            " --keep-generations=N retains N superseded snapshots for "
-            "generations/rollback;\n"
-            " --snapshot=path saves the store on quit and warms the next "
-            "start from the same\n"
-            " file via the mapped disk tier; --store-stripes=N sets hot-tier "
-            "lock striping;\n"
-            " --presummarize re-summarizes recently-queried variables "
-            "after each commit)\n";
-}
-
 int runServe(std::unique_ptr<ir::Program> Prog,
              const analysis::AnalysisOptions &AO, unsigned Threads,
              unsigned CommitThreads, unsigned KeepGenerations,
@@ -302,279 +182,36 @@ int runServe(std::unique_ptr<ir::Program> Prog,
              << " not attached (missing/stale snapshot); starting cold\n";
   }
 
-  char Line[4096];
-  double DeadlineMs = 0; // 0 = unlimited
+  support::installShutdownHandlers();
+  server::CommandInterpreter Interp(S);
+  std::string Line;
   for (;;) {
+    if (support::shutdownRequested()) {
+      // A SIGINT/SIGTERM mid-session drains like "quit": the normal
+      // return below unwinds ~AnalysisService, which saves --snapshot.
+      outs() << '\n'
+             << (support::shutdownSignal() == SIGTERM ? "SIGTERM" : "SIGINT")
+             << ": shutting down"
+             << (Snapshot.empty() ? "" : " (snapshot saves)") << '\n';
+      break;
+    }
     outs() << "dynsum> ";
     outs().flush();
-    if (!std::fgets(Line, sizeof(Line), stdin))
+    server::LineStatus LS =
+        server::readCommandLine(stdin, Line, server::kMaxReplLineBytes);
+    if (LS == server::LineStatus::Interrupted)
+      continue; // the loop head re-checks the shutdown flag
+    if (LS == server::LineStatus::Eof)
       break;
-    std::vector<std::string> W = splitWords(Line);
-    if (W.empty())
+    if (LS == server::LineStatus::Overflow) {
+      // One command, one error: the overlong line is drained whole, so
+      // its tail can no longer execute as a second command.
+      errs() << "error: line exceeds " << uint64_t(server::kMaxReplLineBytes)
+             << " bytes (ignored)\n";
       continue;
-    const std::string &Cmd = W[0];
-
-    if (Cmd == "quit" || Cmd == "exit")
+    }
+    if (Interp.execute(Line, outs(), errs()) == server::CommandStatus::Quit)
       break;
-    if (Cmd == "help") {
-      serveHelp();
-      continue;
-    }
-    if (Cmd == "query" && W.size() > 1) {
-      std::vector<ir::VarId> Vars;
-      bool Ok = true;
-      for (size_t I = 1; I < W.size(); ++I) {
-        ir::VarId V = resolveVar(S.program(), W[I]);
-        if (V == ir::kNone) {
-          errs() << "error: no variable '" << W[I] << "'\n";
-          Ok = false;
-          break;
-        }
-        Vars.push_back(V);
-      }
-      if (!Ok)
-        continue;
-      service::ServiceBatchResult R =
-          DeadlineMs > 0
-              ? S.queryVars(Vars, support::Deadline::in(DeadlineMs / 1e3))
-              : S.queryVars(Vars);
-      for (size_t I = 0; I < Vars.size(); ++I) {
-        const engine::QueryOutcome &O = R.Outcomes[I];
-        outs() << "pts(" << W[I + 1] << ") = {";
-        for (size_t A = 0; A < O.AllocSites.size(); ++A)
-          outs() << (A ? ", " : "")
-                 << S.program().describeAlloc(O.AllocSites[A]);
-        outs() << "}";
-        if (O.Status != analysis::QueryStatus::Ok)
-          outs() << " (" << analysis::toString(O.Status) << ")";
-        else if (O.BudgetExceeded)
-          outs() << " (budget exceeded)";
-        outs() << "  [" << O.Steps << " steps]\n";
-      }
-      outs() << "[generation " << R.Generation << ": "
-             << R.Stats.SharedHits << " shared hits, "
-             << R.Stats.SummariesComputed << " computed]\n";
-      continue;
-    }
-    if (Cmd == "alloc" && W.size() == 4) {
-      ir::MethodId M = resolveMethod(S.program(), W[1]);
-      ir::TypeId T = S.program().findClass(S.program().names().lookup(W[3]));
-      if (M == ir::kNone || T == ir::kNone) {
-        errs() << "error: unknown method or class\n";
-        continue;
-      }
-      S.editProgram([&](ir::Program &P) {
-        ir::VarId Dst = resolveVar(P, W[1] + "." + W[2]);
-        if (Dst == ir::kNone)
-          Dst = P.createLocal(P.name(W[2]), M, T);
-        ir::Statement New;
-        New.Kind = ir::StmtKind::Alloc;
-        New.Dst = Dst;
-        New.Type = T;
-        New.Alloc = P.createAllocSite(T, M, P.name(W[2] + "@serve"));
-        P.addStatement(M, std::move(New));
-        return std::vector<ir::MethodId>{M};
-      });
-      outs() << "buffered: " << W[2] << " = new " << W[3] << " in " << W[1]
-             << '\n';
-      continue;
-    }
-    if (Cmd == "assign" && W.size() == 4) {
-      ir::VarId Dst = resolveVar(S.program(), W[1] + "." + W[2]);
-      ir::VarId Src = resolveVar(S.program(), W[1] + "." + W[3]);
-      ir::MethodId M = resolveMethod(S.program(), W[1]);
-      if (Dst == ir::kNone || Src == ir::kNone) {
-        errs() << "error: unknown variable\n";
-        continue;
-      }
-      ir::Statement St;
-      St.Kind = ir::StmtKind::Assign;
-      St.Dst = Dst;
-      St.Src = Src;
-      S.addStatement(M, std::move(St));
-      outs() << "buffered: " << W[2] << " = " << W[3] << " in " << W[1]
-             << '\n';
-      continue;
-    }
-    if (Cmd == "touch" && W.size() == 2) {
-      ir::MethodId M = resolveMethod(S.program(), W[1]);
-      if (M == ir::kNone) {
-        errs() << "error: no method '" << W[1] << "'\n";
-        continue;
-      }
-      S.markDirty(M);
-      continue;
-    }
-    if (Cmd == "commit" && W.size() <= 3) {
-      service::CommitMode Mode = service::CommitMode::Delta;
-      bool Async = false;
-      bool Bad = false;
-      for (size_t I = 1; I < W.size(); ++I) {
-        if (W[I] == "--scratch") {
-          Mode = service::CommitMode::Scratch;
-        } else if (W[I] == "--async") {
-          Async = true;
-        } else {
-          errs() << "error: bad commit flag '" << W[I]
-                 << "' (only --scratch / --async)\n";
-          Bad = true;
-          break;
-        }
-      }
-      if (Bad)
-        continue;
-      service::CommitRequest Req;
-      Req.Mode = Mode;
-      Req.Background = Async;
-      service::CommitTicket Ticket = S.submitCommit(Req);
-      if (Async) {
-        outs() << "queued async commit"
-               << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
-               << "; \"wait\" blocks until published, \"stats\" shows "
-                  "progress\n";
-        continue;
-      }
-      incremental::CommitStats CS = Ticket.wait();
-      if (CS.Outcome != incremental::CommitOutcome::Committed &&
-          CS.Outcome != incremental::CommitOutcome::NoOp) {
-        errs() << "error: commit " << incremental::toString(CS.Outcome)
-               << (CS.Error.empty() ? "" : ": " + CS.Error)
-               << " (edits stay buffered; generation unchanged)\n";
-        continue;
-      }
-      outs() << "generation " << S.generation() << ": dropped "
-             << CS.SummariesDropped << "/" << CS.SummariesBefore
-             << " store summaries, " << CS.MethodsInvalidated
-             << " methods invalidated, " << CS.MethodsRelowered
-             << " re-lowered"
-             << (Mode == service::CommitMode::Scratch ? " (scratch)" : "")
-             << " in ";
-      outs().writeFixed(CS.Seconds * 1e3, 2);
-      outs() << " ms (clone ";
-      outs().writeFixed(CS.CloneSeconds * 1e3, 2);
-      outs() << ", shape ";
-      outs().writeFixed(CS.ShapeSeconds * 1e3, 2);
-      outs() << ", lower ";
-      outs().writeFixed(CS.LowerSeconds * 1e3, 2);
-      outs() << ", apply ";
-      outs().writeFixed(CS.ApplySeconds * 1e3, 2);
-      outs() << ", repack ";
-      outs().writeFixed(CS.RepackSeconds * 1e3, 2);
-      outs() << ")\n";
-      continue;
-    }
-    if (Cmd == "wait" && W.size() == 1) {
-      S.waitForCommits();
-      S.waitForWarm(); // immediate unless --presummarize
-      outs() << "generation " << S.generation() << " (async queue drained)\n";
-      continue;
-    }
-    if (Cmd == "generations" && W.size() == 1) {
-      for (const service::GenerationInfo &G : S.generations()) {
-        outs() << "  generation " << G.Number << ": " << uint64_t(G.NumVars)
-               << " vars, " << G.RetainedBytes << " / " << G.TotalBytes
-               << " bytes exclusive" << (G.IsCurrent ? " (current)" : "")
-               << '\n';
-      }
-      continue;
-    }
-    if (Cmd == "rollback" && W.size() == 2) {
-      uint64_t Gen = uint64_t(std::atoll(W[1].c_str()));
-      if (S.rollback(Gen))
-        outs() << "rolled back to snapshot " << Gen << "; now serving "
-               << "generation " << S.generation()
-               << " (edits after its capture are pending again)\n";
-      else
-        errs() << "error: generation " << Gen
-               << " is not retained (see \"generations\")\n";
-      continue;
-    }
-    if (Cmd == "deadline" && W.size() == 2) {
-      char *End = nullptr;
-      double Ms = std::strtod(W[1].c_str(), &End);
-      if (End == W[1].c_str() || *End != '\0' || Ms < 0) {
-        errs() << "error: deadline wants a millisecond count, got '" << W[1]
-               << "'\n";
-        continue;
-      }
-      DeadlineMs = Ms;
-      if (Ms > 0) {
-        outs() << "queries now carry a ";
-        outs().writeFixed(Ms, 1);
-        outs() << " ms deadline\n";
-      } else {
-        outs() << "query deadline off\n";
-      }
-      continue;
-    }
-    if ((Cmd == "save" || Cmd == "load") && W.size() == 2) {
-      bool Ok = Cmd == "save" ? S.saveSummaries(W[1]) : S.loadSummaries(W[1]);
-      if (Ok)
-        outs() << Cmd << ": " << uint64_t(S.stats().StoreSize)
-               << " summaries (" << W[1] << ")\n";
-      else
-        errs() << "error: cannot " << Cmd << " " << W[1] << '\n';
-      continue;
-    }
-    if (Cmd == "stats") {
-      service::ServiceStats SS = S.stats();
-      outs() << "generation " << SS.Generation << ", store "
-             << uint64_t(SS.StoreSize) << " summaries, " << SS.Commits
-             << " commits, " << SS.Batches << " batches, " << SS.Queries
-             << " queries, " << SS.SharedSummariesDropped
-             << " summaries dropped\n";
-      if (SS.AsyncCommitsRequested > 0 || SS.CommitInFlight)
-        outs() << "async: " << SS.AsyncCommitsRequested << " requested, "
-               << SS.AsyncCommitsCoalesced << " coalesced, "
-               << (SS.CommitInFlight ? "commit in flight\n"
-                                     : "queue idle\n");
-      if (SS.RetainedGenerations > 0 || SS.Rollbacks > 0)
-        outs() << "history: " << SS.RetainedGenerations
-               << " retained generations, " << SS.Rollbacks << " rollbacks\n";
-      if (SS.TimedOutQueries || SS.CancelledQueries || SS.ShedQueries ||
-          SS.CommitFailures || SS.CommitValidationRejects ||
-          SS.CommitRetries || SS.CommitsQuarantined || SS.CommitsShed ||
-          SS.Quarantined || SS.Shedding) {
-        outs() << "failures: " << SS.TimedOutQueries << " query timeouts, "
-               << SS.CancelledQueries << " cancelled, " << SS.ShedQueries
-               << " shed (" << SS.ShedBatches << " batches); commits: "
-               << SS.CommitValidationRejects << " validation-rejected, "
-               << SS.CommitFailures << " build-failed, " << SS.CommitRetries
-               << " retries, " << SS.CommitsQuarantined << " quarantined, "
-               << SS.CommitsShed << " shed"
-               << (SS.Quarantined ? "; QUARANTINED" : "")
-               << (SS.Shedding ? "; SHEDDING" : "") << '\n';
-      }
-      outs() << "store: " << SS.Store.Hits << "/" << SS.Store.Fetches
-             << " fetches hit (" << SS.Store.StaleFetches << " stale), "
-             << SS.Store.Publishes << " published ("
-             << SS.Store.StalePublishes << " stale), " << SS.Store.Invalidated
-             << " invalidated, " << SS.Store.LockContended
-             << " contended locks, " << uint64_t(SS.StoreStripes.size())
-             << " stripes\n";
-      if (SS.DiskTierAttached || SS.Store.DiskProbes > 0)
-        outs() << "disk tier: "
-               << (SS.DiskTierAttached ? "attached" : "detached") << ", "
-               << SS.Store.DiskHits << "/" << SS.Store.DiskProbes
-               << " probes hit, " << SS.Store.Promoted << " promoted, "
-               << SS.Store.DiskStale << " stale, " << SS.Store.DiskCorrupt
-               << " corrupt records\n";
-      if (SS.WarmRuns > 0)
-        outs() << "presummarize: " << SS.WarmRuns << " warm passes, "
-               << SS.WarmQueries << " vars warmed, "
-               << SS.WarmSummariesComputed << " summaries computed\n";
-      if (SS.Commits > 0) {
-        outs() << "last commit ";
-        outs().writeFixed(SS.LastCommitSeconds * 1e3, 2);
-        outs() << " ms (" << SS.LastCommitRelowered
-               << " methods re-lowered), mean ";
-        outs().writeFixed(SS.TotalCommitSeconds * 1e3 / double(SS.Commits),
-                          2);
-        outs() << " ms over " << SS.Commits << " commits\n";
-      }
-      continue;
-    }
-    errs() << "error: bad command (try \"help\")\n";
   }
   return 0;
 }
